@@ -1,0 +1,475 @@
+package activefile_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/activefile"
+	"repro/activefile/sentinel"
+	"repro/internal/remote"
+	"repro/internal/wire"
+)
+
+func TestMain(m *testing.M) {
+	sentinel.MaybeChild()
+	os.Exit(m.Run())
+}
+
+func TestStrategyAndCacheStrings(t *testing.T) {
+	tests := []struct {
+		give string
+		want string
+	}{
+		{activefile.StrategyDefault.String(), "default"},
+		{activefile.StrategyProcess.String(), "process"},
+		{activefile.StrategyProcessControl.String(), "procctl"},
+		{activefile.StrategyThread.String(), "thread"},
+		{activefile.StrategyDirect.String(), "direct"},
+		{activefile.CacheNone.String(), "none"},
+		{activefile.CacheDisk.String(), "disk"},
+		{activefile.CacheMemory.String(), "memory"},
+	}
+	for _, tt := range tests {
+		if tt.give != tt.want {
+			t.Errorf("got %q, want %q", tt.give, tt.want)
+		}
+	}
+}
+
+func TestCreateStatRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cfg.af")
+	def := activefile.Definition{
+		Program:  activefile.ProgramSpec{Name: "filter:upper"},
+		Strategy: activefile.StrategyThread,
+		Cache:    activefile.CacheDisk,
+		Source:   activefile.SourceSpec{Kind: "tcp", Addr: "127.0.0.1:9", Path: "o"},
+		Params:   map[string]string{"k": "v"},
+	}
+	if err := activefile.Create(path, def); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	got, err := activefile.Stat(path)
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	if got.Program.Name != "filter:upper" || got.Strategy != activefile.StrategyThread ||
+		got.Cache != activefile.CacheDisk || got.Source.Addr != "127.0.0.1:9" ||
+		got.Params["k"] != "v" {
+		t.Errorf("Stat = %+v", got)
+	}
+}
+
+func TestOpenTransparency(t *testing.T) {
+	dir := t.TempDir()
+
+	// The same application function works on a passive file and on an
+	// active file with a null-equivalent sentinel.
+	run := func(f activefile.File) string {
+		t.Helper()
+		if _, err := f.Write([]byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			t.Fatal(err)
+		}
+		out, err := io.ReadAll(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(out)
+	}
+
+	passive := filepath.Join(dir, "p.txt")
+	if err := os.WriteFile(passive, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pf, err := activefile.Open(passive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+
+	active := filepath.Join(dir, "a.af")
+	if err := activefile.Create(active, activefile.Definition{
+		Program: activefile.ProgramSpec{Name: "passthrough"},
+		Cache:   activefile.CacheDisk,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	af, err := activefile.Open(active)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer af.Close()
+
+	if got := run(pf); got != "payload" {
+		t.Errorf("passive = %q", got)
+	}
+	if got := run(af); got != "payload" {
+		t.Errorf("active = %q", got)
+	}
+}
+
+func TestOpenActiveWithStrategyOverride(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.af")
+	if err := activefile.Create(path, activefile.Definition{
+		Program:  activefile.ProgramSpec{Name: "passthrough"},
+		Strategy: activefile.StrategyThread,
+		Cache:    activefile.CacheMemory,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := activefile.OpenActive(path, activefile.WithStrategy(activefile.StrategyDirect))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if h.Strategy() != activefile.StrategyDirect {
+		t.Errorf("Strategy = %v, want direct", h.Strategy())
+	}
+}
+
+func TestAllStrategiesThroughPublicAPI(t *testing.T) {
+	for _, strategy := range []activefile.Strategy{
+		activefile.StrategyProcess,
+		activefile.StrategyProcessControl,
+		activefile.StrategyThread,
+		activefile.StrategyDirect,
+	} {
+		strategy := strategy
+		t.Run(strategy.String(), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "f.af")
+			if err := activefile.Create(path, activefile.Definition{
+				Program: activefile.ProgramSpec{Name: "passthrough"},
+				Cache:   activefile.CacheDisk,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			h, err := activefile.OpenActive(path, activefile.WithStrategy(strategy))
+			if err != nil {
+				t.Fatalf("OpenActive: %v", err)
+			}
+			if _, err := h.Write([]byte("across all strategies")); err != nil {
+				t.Fatalf("Write: %v", err)
+			}
+			if err := h.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			stored, err := os.ReadFile(activefile.DataPath(path))
+			if err != nil || string(stored) != "across all strategies" {
+				t.Errorf("data part = (%q, %v)", stored, err)
+			}
+		})
+	}
+}
+
+func TestDirectoryOperations(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src.af")
+	if err := activefile.Create(src, activefile.Definition{
+		Program: activefile.ProgramSpec{Name: "passthrough"},
+		Cache:   activefile.CacheDisk,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !activefile.IsActive(src) {
+		t.Error("IsActive(src) = false")
+	}
+
+	cp := filepath.Join(dir, "copy.af")
+	if err := activefile.Copy(src, cp); err != nil {
+		t.Fatalf("Copy: %v", err)
+	}
+	mv := filepath.Join(dir, "moved.af")
+	if err := activefile.Rename(cp, mv); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	list, err := activefile.List(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 {
+		t.Errorf("List = %v, want 2 entries", list)
+	}
+	if err := activefile.Remove(mv); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	list, _ = activefile.List(dir)
+	if len(list) != 1 {
+		t.Errorf("List after Remove = %v", list)
+	}
+}
+
+func TestFSInterposition(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := activefile.NewFS(activefile.WithStrategy(activefile.StrategyDirect))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "via-fs.af")
+	if err := activefile.Create(path, activefile.Definition{
+		Program: activefile.ProgramSpec{Name: "filter:rot13"},
+		Cache:   activefile.CacheDisk,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("secret")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stored, _ := os.ReadFile(activefile.DataPath(path))
+	if string(stored) != "frperg" {
+		t.Errorf("stored = %q, want rot13 of secret", stored)
+	}
+}
+
+func TestPublicHandleStats(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.af")
+	if err := activefile.Create(path, activefile.Definition{
+		Program: activefile.ProgramSpec{Name: "passthrough"},
+		Cache:   activefile.CacheMemory,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := activefile.OpenActive(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	h.Write([]byte("abcd"))
+	h.ReadAt(make([]byte, 2), 0)
+	got := h.Stats()
+	if got.Writes != 1 || got.BytesWritten != 4 || got.Reads != 1 || got.BytesRead != 2 {
+		t.Errorf("Stats = %+v", got)
+	}
+}
+
+func TestFSDirectoryAndFileOperations(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := activefile.NewFS()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Create a passive file through the FS.
+	p := filepath.Join(dir, "made.txt")
+	f, err := fs.Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("fs file")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Copy, rename, remove through the same FS.
+	cp := filepath.Join(dir, "copy.txt")
+	if err := fs.Copy(p, cp); err != nil {
+		t.Fatalf("Copy: %v", err)
+	}
+	mv := filepath.Join(dir, "moved.txt")
+	if err := fs.Rename(cp, mv); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	got, err := os.ReadFile(mv)
+	if err != nil || string(got) != "fs file" {
+		t.Errorf("moved copy = (%q, %v)", got, err)
+	}
+	if err := fs.Remove(mv); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if _, err := os.Stat(mv); !errors.Is(err, os.ErrNotExist) {
+		t.Error("file survived Remove")
+	}
+
+	// The same operations on an active file route through vfs.
+	af := filepath.Join(dir, "a.af")
+	if err := activefile.Create(af, activefile.Definition{
+		Program: activefile.ProgramSpec{Name: "passthrough"},
+		Cache:   activefile.CacheDisk,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	afCopy := filepath.Join(dir, "b.af")
+	if err := fs.Copy(af, afCopy); err != nil {
+		t.Fatalf("active Copy: %v", err)
+	}
+	if err := fs.Remove(afCopy); err != nil {
+		t.Fatalf("active Remove: %v", err)
+	}
+	if _, err := os.Stat(activefile.DataPath(afCopy)); !errors.Is(err, os.ErrNotExist) {
+		t.Error("active data part survived FS.Remove")
+	}
+}
+
+// shoutProgram is a user-authored sentinel program registered through the
+// public kit: reads come back exclaimed.
+type shoutProgram struct{}
+
+func (shoutProgram) Name() string { return "shout" }
+
+func (shoutProgram) Open(env *sentinel.Env) (sentinel.Handler, error) {
+	storage, err := env.OpenStorage()
+	if err != nil {
+		return nil, err
+	}
+	return &shoutHandler{storage: storage, bang: env.Param("bang", "!")}, nil
+}
+
+type shoutHandler struct {
+	storage sentinel.Storage
+	bang    string
+}
+
+func (h *shoutHandler) ReadAt(p []byte, off int64) (int, error) {
+	n, err := h.storage.ReadAt(p, off)
+	for i := 0; i < n; i++ {
+		if p[i] == '.' {
+			p[i] = h.bang[0]
+		}
+	}
+	return n, err
+}
+
+func (h *shoutHandler) WriteAt(p []byte, off int64) (int, error) {
+	return h.storage.WriteAt(p, off)
+}
+
+func (h *shoutHandler) Size() (int64, error)   { return h.storage.Size() }
+func (h *shoutHandler) Truncate(n int64) error { return h.storage.Truncate(n) }
+func (h *shoutHandler) Sync() error            { return h.storage.Sync() }
+func (h *shoutHandler) Close() error           { return h.storage.Close() }
+
+func TestCustomProgramViaSentinelKit(t *testing.T) {
+	sentinel.Register(shoutProgram{})
+	found := false
+	for _, name := range sentinel.Programs() {
+		if name == "shout" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("registered program not listed")
+	}
+
+	path := filepath.Join(t.TempDir(), "s.af")
+	if err := activefile.Create(path, activefile.Definition{
+		Program: activefile.ProgramSpec{Name: "shout"},
+		Cache:   activefile.CacheDisk,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := activefile.OpenActive(path, activefile.WithStrategy(activefile.StrategyThread))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if _, err := h.Write([]byte("calm. quiet.")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 12)
+	if _, err := h.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "calm! quiet!" {
+		t.Errorf("shouted view = %q", got)
+	}
+}
+
+func TestHandleControlAndLockSurface(t *testing.T) {
+	// The quotes program exposes Control; passthrough does not support Lock.
+	srv := remote.NewQuoteServer([]remote.Quote{{Symbol: "Q", Cents: 100}})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	dir := t.TempDir()
+	quotes := filepath.Join(dir, "q.af")
+	if err := activefile.Create(quotes, activefile.Definition{
+		Program: activefile.ProgramSpec{Name: "quotes"},
+		NoData:  true,
+		Params:  map[string]string{"addrs": addr},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := activefile.OpenActive(quotes, activefile.WithStrategy(activefile.StrategyThread))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	reply, err := h.Control([]byte("refresh"))
+	if err != nil || !strings.Contains(string(reply), "refreshed") {
+		t.Errorf("Control = (%q, %v)", reply, err)
+	}
+	if err := h.Lock(0, 1); !errors.Is(err, wire.ErrUnsupported) {
+		t.Errorf("Lock err = %v, want ErrUnsupported", err)
+	}
+	if err := h.Unlock(0, 1); !errors.Is(err, wire.ErrUnsupported) {
+		t.Errorf("Unlock err = %v, want ErrUnsupported", err)
+	}
+}
+
+func TestCompressThroughPublicAPI(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.af")
+	if err := activefile.Create(path, activefile.Definition{
+		Program: activefile.ProgramSpec{Name: "compress"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	content := bytes.Repeat([]byte("compressible content "), 500)
+	h, err := activefile.OpenActive(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write(content); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stored, err := os.ReadFile(activefile.DataPath(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stored) >= len(content) {
+		t.Errorf("stored %d >= content %d; no compression", len(stored), len(content))
+	}
+	h2, err := activefile.OpenActive(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Close()
+	back, err := io.ReadAll(h2)
+	if err != nil || !bytes.Equal(back, content) {
+		t.Errorf("round trip: %d bytes, err %v", len(back), err)
+	}
+}
+
+func TestCreateRejectsBadDefinition(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.af")
+	err := activefile.Create(path, activefile.Definition{
+		Program:  activefile.ProgramSpec{Name: "x"},
+		Strategy: activefile.Strategy(42),
+	})
+	if err == nil {
+		t.Error("Create with bogus strategy succeeded")
+	}
+}

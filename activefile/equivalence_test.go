@@ -1,0 +1,197 @@
+package activefile_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"repro/activefile"
+)
+
+// TestActiveFileIndistinguishableProperty is the paper's central claim as a
+// property test: "from the user process' perspective, interactions with
+// active files are indistinguishable from interactions with ordinary
+// (passive) files". A random sequence of file operations is applied to a
+// passive file and to an active file (null sentinel) under each positioned
+// strategy; every result — data read, sizes, offsets, error presence — must
+// match.
+func TestActiveFileIndistinguishableProperty(t *testing.T) {
+	strategies := []activefile.Strategy{
+		activefile.StrategyProcessControl,
+		activefile.StrategyThread,
+		activefile.StrategyDirect,
+	}
+	for _, strategy := range strategies {
+		strategy := strategy
+		t.Run(strategy.String(), func(t *testing.T) {
+			f := func(seed int64) bool {
+				return runEquivalenceTrace(t, strategy, seed)
+			}
+			cfg := &quick.Config{MaxCount: 10}
+			if strategy == activefile.StrategyProcessControl {
+				cfg.MaxCount = 3 // subprocess spawns are costly
+			}
+			if err := quick.Check(f, cfg); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// runEquivalenceTrace drives one random operation trace against both files.
+func runEquivalenceTrace(t *testing.T, strategy activefile.Strategy, seed int64) bool {
+	t.Helper()
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(seed))
+
+	passivePath := filepath.Join(dir, "p.txt")
+	if err := os.WriteFile(passivePath, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	passive, err := os.OpenFile(passivePath, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer passive.Close()
+
+	activePath := filepath.Join(dir, "a.af")
+	if err := activefile.Create(activePath, activefile.Definition{
+		Program: activefile.ProgramSpec{Name: "passthrough"},
+		Cache:   activefile.CacheDisk,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	active, err := activefile.OpenActive(activePath, activefile.WithStrategy(strategy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer active.Close()
+
+	for step := 0; step < 40; step++ {
+		if desc, ok := applyRandomOp(rng, passive, active); !ok {
+			t.Logf("seed %d step %d diverged: %s", seed, step, desc)
+			return false
+		}
+	}
+	return true
+}
+
+// fileAPI is the common surface of *os.File and *activefile.Handle used by
+// the trace.
+type fileAPI interface {
+	io.ReadWriteSeeker
+	io.ReaderAt
+	io.WriterAt
+	Truncate(int64) error
+}
+
+// applyRandomOp performs one random operation on both files and compares
+// outcomes. It reports a description of any divergence.
+func applyRandomOp(rng *rand.Rand, passive *os.File, active *activefile.Handle) (string, bool) {
+	op := rng.Intn(7)
+	switch op {
+	case 0: // sequential write
+		data := make([]byte, rng.Intn(200))
+		rng.Read(data)
+		pn, perr := passive.Write(data)
+		an, aerr := active.Write(data)
+		if pn != an || (perr == nil) != (aerr == nil) {
+			return fmt.Sprintf("Write: passive (%d,%v) active (%d,%v)", pn, perr, an, aerr), false
+		}
+	case 1: // sequential read
+		n := rng.Intn(200) + 1
+		pbuf := make([]byte, n)
+		abuf := make([]byte, n)
+		pn, perr := io.ReadFull(passive, pbuf)
+		an, aerr := io.ReadFull(active, abuf)
+		if pn != an || !bytes.Equal(pbuf[:pn], abuf[:an]) {
+			return fmt.Sprintf("Read: passive (%d,%v) active (%d,%v)", pn, perr, an, aerr), false
+		}
+		if !sameErrClass(perr, aerr) {
+			return fmt.Sprintf("Read errors: passive %v active %v", perr, aerr), false
+		}
+	case 2: // seek
+		whence := []int{io.SeekStart, io.SeekCurrent, io.SeekEnd}[rng.Intn(3)]
+		off := int64(rng.Intn(300))
+		if whence == io.SeekEnd {
+			off = -off // stay within the file going backwards from the end
+		}
+		ppos, perr := passive.Seek(off, whence)
+		apos, aerr := active.Seek(off, whence)
+		if perr != nil || aerr != nil {
+			// Negative targets can error; both must agree and stay usable.
+			if (perr == nil) != (aerr == nil) {
+				return fmt.Sprintf("Seek errors: passive %v active %v", perr, aerr), false
+			}
+			if perr != nil {
+				// Both errored; resynchronize both offsets.
+				passive.Seek(0, io.SeekStart)
+				active.Seek(0, io.SeekStart)
+				return "", true
+			}
+		}
+		if ppos != apos {
+			return fmt.Sprintf("Seek: passive %d active %d", ppos, apos), false
+		}
+	case 3: // positioned write
+		data := make([]byte, rng.Intn(100))
+		rng.Read(data)
+		off := int64(rng.Intn(400))
+		pn, perr := passive.WriteAt(data, off)
+		an, aerr := active.WriteAt(data, off)
+		if pn != an || (perr == nil) != (aerr == nil) {
+			return fmt.Sprintf("WriteAt: passive (%d,%v) active (%d,%v)", pn, perr, an, aerr), false
+		}
+	case 4: // positioned read
+		n := rng.Intn(100) + 1
+		off := int64(rng.Intn(400))
+		pbuf := make([]byte, n)
+		abuf := make([]byte, n)
+		pn, perr := passive.ReadAt(pbuf, off)
+		an, aerr := active.ReadAt(abuf, off)
+		if pn != an || !bytes.Equal(pbuf[:pn], abuf[:an]) || !sameErrClass(perr, aerr) {
+			return fmt.Sprintf("ReadAt(%d): passive (%d,%v) active (%d,%v)", off, pn, perr, an, aerr), false
+		}
+	case 5: // truncate
+		n := int64(rng.Intn(300))
+		perr := passive.Truncate(n)
+		aerr := active.Truncate(n)
+		if (perr == nil) != (aerr == nil) {
+			return fmt.Sprintf("Truncate: passive %v active %v", perr, aerr), false
+		}
+	case 6: // size
+		pinfo, perr := passive.Stat()
+		asize, aerr := active.Size()
+		if perr != nil || aerr != nil {
+			return fmt.Sprintf("Size errors: passive %v active %v", perr, aerr), false
+		}
+		if pinfo.Size() != asize {
+			return fmt.Sprintf("Size: passive %d active %d", pinfo.Size(), asize), false
+		}
+	}
+	return "", true
+}
+
+// sameErrClass treats nil, io.EOF, and io.ErrUnexpectedEOF as the classes
+// that must match between the two files.
+func sameErrClass(a, b error) bool {
+	class := func(err error) int {
+		switch {
+		case err == nil:
+			return 0
+		case errors.Is(err, io.EOF):
+			return 1
+		case errors.Is(err, io.ErrUnexpectedEOF):
+			return 2
+		default:
+			return 3
+		}
+	}
+	return class(a) == class(b)
+}

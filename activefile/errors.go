@@ -1,0 +1,18 @@
+package activefile
+
+import "repro/internal/wire"
+
+// Errors surfaced by active-file operations, matchable with errors.Is.
+var (
+	// ErrUnsupported reports an operation the implementation strategy or
+	// sentinel program cannot perform — notably seek, size, and positioned
+	// I/O on the plain process strategy ("simply dropped with an
+	// appropriate return code", §4.1), and writes to read-only programs.
+	ErrUnsupported = wire.ErrUnsupported
+	// ErrClosed reports use of a handle after Close.
+	ErrClosed = wire.ErrClosed
+	// ErrBusy reports a byte-range lock conflict surfaced by a sentinel.
+	ErrBusy = wire.ErrBusy
+	// ErrNotFound reports a missing remote object or program resource.
+	ErrNotFound = wire.ErrNotFound
+)

@@ -1,0 +1,160 @@
+package activefile_test
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/activefile"
+)
+
+// A filtering active file is created once and then used exactly like a
+// regular file: the write is stored upper-cased, the read comes back
+// lower-cased, and the calling code never mentions the sentinel.
+func Example() {
+	dir, err := os.MkdirTemp("", "af-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "notes.af")
+
+	if err := activefile.Create(path, activefile.Definition{
+		Program: activefile.ProgramSpec{Name: "filter:upper"},
+		Cache:   activefile.CacheDisk,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	f, err := activefile.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("Hello, Active Files")); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		log.Fatal(err)
+	}
+	view, err := io.ReadAll(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stored, err := os.ReadFile(activefile.DataPath(path))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("application sees:", string(view))
+	fmt.Println("data part holds: ", string(stored))
+	// Output:
+	// application sees: hello, active files
+	// data part holds:  HELLO, ACTIVE FILES
+}
+
+// Stat inspects an active file's definition without opening a session.
+func ExampleStat() {
+	dir, err := os.MkdirTemp("", "af-stat")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "journal.af")
+
+	if err := activefile.Create(path, activefile.Definition{
+		Program:  activefile.ProgramSpec{Name: "compress"},
+		Strategy: activefile.StrategyThread,
+		Params:   map[string]string{"codec": "lz"},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	def, err := activefile.Stat(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("program: ", def.Program.Name)
+	fmt.Println("strategy:", def.Strategy)
+	fmt.Println("codec:   ", def.Params["codec"])
+	// Output:
+	// program:  compress
+	// strategy: thread
+	// codec:    lz
+}
+
+// DirFS plugs active files into anything that consumes io/fs: here,
+// fs.ReadFile transparently decodes a rot13-filtered file.
+func ExampleDirFS() {
+	dir, err := os.MkdirTemp("", "af-dirfs")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "cipher.af")
+
+	if err := activefile.Create(path, activefile.Definition{
+		Program: activefile.ProgramSpec{Name: "filter:rot13"},
+		Cache:   activefile.CacheDisk,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	h, err := activefile.OpenActive(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := h.Write([]byte("attack at dawn")); err != nil {
+		log.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	var fsys fs.FS = activefile.DirFS(dir)
+	plain, err := fs.ReadFile(fsys, "cipher.af")
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw, err := os.ReadFile(activefile.DataPath(path))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("through io/fs:", string(plain))
+	fmt.Println("on disk:      ", string(raw))
+	// Output:
+	// through io/fs: attack at dawn
+	// on disk:       nggnpx ng qnja
+}
+
+// Copy produces an independent active file with the same program and data.
+func ExampleCopy() {
+	dir, err := os.MkdirTemp("", "af-copy")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	src := filepath.Join(dir, "src.af")
+	dst := filepath.Join(dir, "dst.af")
+
+	if err := activefile.Create(src, activefile.Definition{
+		Program: activefile.ProgramSpec{Name: "passthrough"},
+		Cache:   activefile.CacheDisk,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := activefile.Copy(src, dst); err != nil {
+		log.Fatal(err)
+	}
+	names, err := activefile.List(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range names {
+		fmt.Println(filepath.Base(name))
+	}
+	// Output:
+	// dst.af
+	// src.af
+}

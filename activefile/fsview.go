@@ -1,0 +1,83 @@
+package activefile
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// DirFS returns an io/fs.FS rooted at dir in which opening an active file
+// starts its sentinel: fs.ReadFile, fs.WalkDir, and any code consuming
+// io/fs sees sentinel-mediated content without knowing it. Directories and
+// passive files behave exactly as in os.DirFS.
+//
+// The returned file system is read-oriented (io/fs has no write surface);
+// use Open/OpenActive for writable sessions.
+func DirFS(dir string) fs.FS {
+	return dirFS{dir: dir, os: os.DirFS(dir)}
+}
+
+type dirFS struct {
+	dir string
+	os  fs.FS
+}
+
+var _ fs.FS = dirFS{}
+
+// Open implements fs.FS.
+func (d dirFS) Open(name string) (fs.File, error) {
+	if !fs.ValidPath(name) {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrInvalid}
+	}
+	full := filepath.Join(d.dir, filepath.FromSlash(name))
+	if !IsActive(full) {
+		return d.os.Open(name) // directories and passive files
+	}
+	registerBuiltins()
+	h, err := OpenActive(full)
+	if err != nil {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: err}
+	}
+	return &fsFile{h: h, name: filepath.Base(name)}, nil
+}
+
+// fsFile adapts a Handle to fs.File.
+type fsFile struct {
+	h    *Handle
+	name string
+}
+
+var _ fs.File = (*fsFile)(nil)
+
+// Read implements fs.File.
+func (f *fsFile) Read(p []byte) (int, error) { return f.h.Read(p) }
+
+// Close implements fs.File.
+func (f *fsFile) Close() error { return f.h.Close() }
+
+// Stat implements fs.File. The size is the sentinel's view of the session
+// content, which can differ from (and supersede) the stored form.
+func (f *fsFile) Stat() (fs.FileInfo, error) {
+	size, err := f.h.Size()
+	if err != nil {
+		return nil, fmt.Errorf("stat active file %q: %w", f.name, err)
+	}
+	return fileInfo{name: f.name, size: size}, nil
+}
+
+// fileInfo is the minimal FileInfo for an active-file session.
+type fileInfo struct {
+	name string
+	size int64
+}
+
+var _ fs.FileInfo = fileInfo{}
+
+func (fi fileInfo) Name() string       { return fi.name }
+func (fi fileInfo) Size() int64        { return fi.size }
+func (fi fileInfo) Mode() fs.FileMode  { return 0o644 }
+func (fi fileInfo) ModTime() time.Time { return time.Time{} }
+func (fi fileInfo) IsDir() bool        { return false }
+func (fi fileInfo) Sys() any           { return nil }

@@ -1,0 +1,160 @@
+package activefile_test
+
+import (
+	"bytes"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/activefile"
+)
+
+func setupFSTree(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "plain.txt"), []byte("passive"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	af := filepath.Join(dir, "sub", "shout.af")
+	if err := activefile.Create(af, activefile.Definition{
+		Program: activefile.ProgramSpec{Name: "filter:rot13"},
+		Cache:   activefile.CacheDisk,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Store through the sentinel so the data part holds the rot13 form.
+	h, err := activefile.OpenActive(af)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("secret")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestDirFSReadFileThroughSentinel(t *testing.T) {
+	dir := setupFSTree(t)
+	fsys := activefile.DirFS(dir)
+
+	// fs.ReadFile on an active file returns the decoded application view.
+	got, err := fs.ReadFile(fsys, "sub/shout.af")
+	if err != nil {
+		t.Fatalf("fs.ReadFile: %v", err)
+	}
+	if string(got) != "secret" {
+		t.Errorf("active view = %q, want %q", got, "secret")
+	}
+	// While the raw stored form is rot13.
+	raw, err := os.ReadFile(filepath.Join(dir, "sub", "shout.af.data"))
+	if err != nil || string(raw) != "frperg" {
+		t.Errorf("stored form = (%q, %v)", raw, err)
+	}
+	// Passive files pass straight through.
+	got, err = fs.ReadFile(fsys, "plain.txt")
+	if err != nil || string(got) != "passive" {
+		t.Errorf("passive view = (%q, %v)", got, err)
+	}
+}
+
+func TestDirFSStat(t *testing.T) {
+	dir := setupFSTree(t)
+	fsys := activefile.DirFS(dir)
+	f, err := fsys.Open("sub/shout.af")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	if info.Name() != "shout.af" || info.Size() != 6 || info.IsDir() {
+		t.Errorf("info = %s/%d/dir=%v", info.Name(), info.Size(), info.IsDir())
+	}
+}
+
+func TestDirFSWalk(t *testing.T) {
+	dir := setupFSTree(t)
+	fsys := activefile.DirFS(dir)
+	var names []string
+	err := fs.WalkDir(fsys, ".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			names = append(names, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("WalkDir: %v", err)
+	}
+	sort.Strings(names)
+	want := []string{"plain.txt", "sub/shout.af", "sub/shout.af.data"}
+	if len(names) != len(want) {
+		t.Fatalf("walked %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("walked %v, want %v", names, want)
+			break
+		}
+	}
+}
+
+func TestDirFSInvalidPath(t *testing.T) {
+	fsys := activefile.DirFS(t.TempDir())
+	if _, err := fsys.Open("../escape"); err == nil {
+		t.Error("Open with path escape succeeded")
+	}
+	var pathErr *fs.PathError
+	_, err := fsys.Open("missing.af")
+	if err == nil {
+		t.Fatal("Open of missing active file succeeded")
+	}
+	if !errors.As(err, &pathErr) {
+		t.Errorf("err = %T, want *fs.PathError", err)
+	}
+}
+
+func TestDirFSIsFSTestCompatible(t *testing.T) {
+	// Light structural conformance: Open returns files whose reads match
+	// fs.ReadFile and whose Stat sizes agree with content length.
+	dir := setupFSTree(t)
+	fsys := activefile.DirFS(dir)
+	for _, name := range []string{"plain.txt", "sub/shout.af"} {
+		content, err := fs.ReadFile(fsys, name)
+		if err != nil {
+			t.Fatalf("ReadFile(%s): %v", name, err)
+		}
+		f, err := fsys.Open(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		info, err := f.Stat()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Size() != int64(len(content)) {
+			t.Errorf("%s: Stat size %d, content %d", name, info.Size(), len(content))
+		}
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(f); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		if !bytes.Equal(buf.Bytes(), content) {
+			t.Errorf("%s: streamed read differs from ReadFile", name)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Package legacy exposes the Win32-shaped, fictitious-handle file API for
+// porting code whose structure follows the paper's instrumented applications:
+// integer handles, OpenFile/ReadFile/WriteFile/SetFilePointer/GetFileSize/
+// CloseHandle. A Table opens passive and active files alike; the handle the
+// application holds betrays nothing about which it got.
+//
+//	t := legacy.NewTable()
+//	h, _ := t.OpenFile("report.af") // or report.txt — same code either way
+//	t.WriteFile(h, data)
+//	t.SetFilePointer(h, 0, io.SeekStart)
+//	t.ReadFile(h, buf)
+//	t.CloseHandle(h)
+package legacy
+
+import (
+	"repro/internal/core"
+	"repro/internal/interpose"
+	"repro/internal/program"
+)
+
+// Handle is a fictitious file handle issued by a Table.
+type Handle = interpose.Handle
+
+// InvalidHandle is returned by failed opens.
+const InvalidHandle = interpose.InvalidHandle
+
+// ErrBadHandle reports an operation on an unknown or closed handle.
+var ErrBadHandle = interpose.ErrBadHandle
+
+// Table issues and resolves fictitious handles over the interposing file
+// system.
+type Table struct {
+	inner *interpose.HandleTable
+}
+
+// NewTable returns an empty handle table. Active opens use each file's
+// default strategy.
+func NewTable() *Table {
+	program.RegisterAll()
+	return &Table{inner: interpose.NewHandleTable(nil)}
+}
+
+// NewTableWithStrategy returns a table forcing every active open to the
+// named strategy ("process", "procctl", "thread", "direct").
+func NewTableWithStrategy(strategy string) (*Table, error) {
+	program.RegisterAll()
+	s, err := core.ParseStrategy(strategy)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{inner: interpose.NewHandleTable(interpose.New(interpose.WithStrategy(s)))}, nil
+}
+
+// OpenFile opens an existing file (passive or active).
+func (t *Table) OpenFile(path string) (Handle, error) { return t.inner.OpenFile(path) }
+
+// CreateFile opens path, creating a passive file if absent.
+func (t *Table) CreateFile(path string) (Handle, error) { return t.inner.CreateFile(path) }
+
+// ReadFile reads from the handle's current position.
+func (t *Table) ReadFile(h Handle, p []byte) (int, error) { return t.inner.ReadFile(h, p) }
+
+// WriteFile writes at the handle's current position.
+func (t *Table) WriteFile(h Handle, p []byte) (int, error) { return t.inner.WriteFile(h, p) }
+
+// SetFilePointer repositions the handle (whence as in io.Seek*).
+func (t *Table) SetFilePointer(h Handle, off int64, whence int) (int64, error) {
+	return t.inner.SetFilePointer(h, off, whence)
+}
+
+// GetFileSize returns the file length.
+func (t *Table) GetFileSize(h Handle) (int64, error) { return t.inner.GetFileSize(h) }
+
+// SetEndOfFile truncates or extends the file.
+func (t *Table) SetEndOfFile(h Handle, n int64) error { return t.inner.SetEndOfFile(h, n) }
+
+// FlushFileBuffers flushes buffered state.
+func (t *Table) FlushFileBuffers(h Handle) error { return t.inner.FlushFileBuffers(h) }
+
+// LockFile acquires a byte-range lock (active files with locking programs).
+func (t *Table) LockFile(h Handle, off, n int64) error { return t.inner.LockFile(h, off, n) }
+
+// UnlockFile releases a byte-range lock.
+func (t *Table) UnlockFile(h Handle, off, n int64) error { return t.inner.UnlockFile(h, off, n) }
+
+// CloseHandle closes the file and retires the handle.
+func (t *Table) CloseHandle(h Handle) error { return t.inner.CloseHandle(h) }
+
+// OpenCount returns the number of live handles.
+func (t *Table) OpenCount() int { return t.inner.OpenCount() }
+
+// CloseAll closes every open handle.
+func (t *Table) CloseAll() error { return t.inner.CloseAll() }

@@ -1,0 +1,154 @@
+package legacy_test
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/activefile"
+	"repro/activefile/legacy"
+	"repro/activefile/sentinel"
+)
+
+func TestMain(m *testing.M) {
+	sentinel.MaybeChild()
+	os.Exit(m.Run())
+}
+
+// grepCount is a "legacy tool": it counts occurrences of a byte in a file it
+// knows only through integer handles.
+func grepCount(t *legacy.Table, path string, target byte) (int, error) {
+	h, err := t.OpenFile(path)
+	if err != nil {
+		return 0, err
+	}
+	defer t.CloseHandle(h)
+	count := 0
+	buf := make([]byte, 64)
+	for {
+		n, err := t.ReadFile(h, buf)
+		for _, b := range buf[:n] {
+			if b == target {
+				count++
+			}
+		}
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return count, nil
+			}
+			return count, err
+		}
+		if n == 0 {
+			return count, nil
+		}
+	}
+}
+
+func TestLegacyToolOverPassiveAndActive(t *testing.T) {
+	dir := t.TempDir()
+	table := legacy.NewTable()
+
+	passive := filepath.Join(dir, "p.txt")
+	if err := os.WriteFile(passive, []byte("a-b-a-b-a"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	active := filepath.Join(dir, "a.af")
+	if err := activefile.Create(active, activefile.Definition{
+		Program: activefile.ProgramSpec{Name: "passthrough"},
+		Cache:   activefile.CacheDisk,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(activefile.DataPath(active), []byte("a-b-a-b-a"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, path := range []string{passive, active} {
+		got, err := grepCount(table, path, 'a')
+		if err != nil {
+			t.Fatalf("grepCount(%s): %v", path, err)
+		}
+		if got != 3 {
+			t.Errorf("grepCount(%s) = %d, want 3", path, got)
+		}
+	}
+	if table.OpenCount() != 0 {
+		t.Errorf("OpenCount = %d", table.OpenCount())
+	}
+}
+
+func TestTableWithStrategy(t *testing.T) {
+	dir := t.TempDir()
+	active := filepath.Join(dir, "s.af")
+	if err := activefile.Create(active, activefile.Definition{
+		Program: activefile.ProgramSpec{Name: "filter:upper"},
+		Cache:   activefile.CacheDisk,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	table, err := legacy.NewTableWithStrategy("procctl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := table.OpenFile(active)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := table.WriteFile(h, []byte("via procctl")); err != nil {
+		t.Fatal(err)
+	}
+	if err := table.CloseHandle(h); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(activefile.DataPath(active))
+	if err != nil || string(raw) != "VIA PROCCTL" {
+		t.Errorf("stored = (%q, %v)", raw, err)
+	}
+}
+
+func TestTableWithBadStrategy(t *testing.T) {
+	if _, err := legacy.NewTableWithStrategy("kernel-mode"); err == nil {
+		t.Error("bogus strategy accepted")
+	}
+}
+
+func TestTableFullSurface(t *testing.T) {
+	dir := t.TempDir()
+	table := legacy.NewTable()
+	h, err := table.CreateFile(filepath.Join(dir, "f.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer table.CloseAll()
+
+	table.WriteFile(h, []byte("0123456789"))
+	if size, err := table.GetFileSize(h); err != nil || size != 10 {
+		t.Errorf("GetFileSize = (%d, %v)", size, err)
+	}
+	if err := table.SetEndOfFile(h, 4); err != nil {
+		t.Fatal(err)
+	}
+	if pos, err := table.SetFilePointer(h, 0, io.SeekStart); err != nil || pos != 0 {
+		t.Errorf("SetFilePointer = (%d, %v)", pos, err)
+	}
+	buf := make([]byte, 4)
+	if _, err := table.ReadFile(h, buf); err != nil || string(buf) != "0123" {
+		t.Errorf("ReadFile = (%q, %v)", buf, err)
+	}
+	if err := table.FlushFileBuffers(h); err != nil {
+		t.Errorf("FlushFileBuffers: %v", err)
+	}
+	if err := table.LockFile(h, 0, 1); !errors.Is(err, activefile.ErrUnsupported) {
+		t.Errorf("LockFile on passive err = %v, want ErrUnsupported", err)
+	}
+	if err := table.UnlockFile(h, 0, 1); !errors.Is(err, activefile.ErrUnsupported) {
+		t.Errorf("UnlockFile on passive err = %v, want ErrUnsupported", err)
+	}
+	if _, err := table.ReadFile(legacy.InvalidHandle, buf); !errors.Is(err, legacy.ErrBadHandle) {
+		t.Errorf("invalid handle err = %v, want ErrBadHandle", err)
+	}
+}

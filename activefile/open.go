@@ -1,0 +1,195 @@
+package activefile
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/interpose"
+	"repro/internal/program"
+)
+
+// File is the operation set applications use — a regular file's API. Both
+// passive files and active files satisfy it, which is the point: code
+// holding a File cannot tell whether a sentinel is underneath.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.ReaderAt
+	io.WriterAt
+	io.Closer
+	// Size returns the file length.
+	Size() (int64, error)
+	// Truncate sets the file length.
+	Truncate(n int64) error
+	// Sync flushes buffered state.
+	Sync() error
+}
+
+// registerBuiltins installs the built-in sentinel programs exactly once,
+// before the first open that may need them.
+var registerBuiltins = sync.OnceFunc(program.RegisterAll)
+
+// OpenOption adjusts one Open call.
+type OpenOption interface {
+	apply(*openConfig)
+}
+
+type openConfig struct {
+	strategy Strategy
+}
+
+type strategyOpenOption Strategy
+
+func (o strategyOpenOption) apply(c *openConfig) { c.strategy = Strategy(o) }
+
+// WithStrategy overrides the file's default implementation strategy for
+// this open.
+func WithStrategy(s Strategy) OpenOption { return strategyOpenOption(s) }
+
+// Open opens the file at path. An active path starts its sentinel and
+// returns the connected handle; a passive path opens normally. Either way
+// the result behaves as a regular file.
+func Open(path string, opts ...OpenOption) (File, error) {
+	if IsActive(path) {
+		h, err := OpenActive(path, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return h, nil
+	}
+	fs := interpose.New()
+	return fs.Open(path)
+}
+
+// OpenActive opens an active file, returning the full handle with the
+// operations that go beyond the regular file API (locks, control commands).
+func OpenActive(path string, opts ...OpenOption) (*Handle, error) {
+	registerBuiltins()
+	var cfg openConfig
+	for _, o := range opts {
+		o.apply(&cfg)
+	}
+	cs, err := cfg.strategy.toCore()
+	if err != nil {
+		return nil, err
+	}
+	h, err := core.Open(path, core.Options{Strategy: cs})
+	if err != nil {
+		return nil, fmt.Errorf("open active file %q: %w", path, err)
+	}
+	return &Handle{inner: h}, nil
+}
+
+// Handle is an open active-file session. It satisfies File and additionally
+// exposes byte-range locks and program-specific control commands.
+type Handle struct {
+	inner *core.Handle
+}
+
+var _ File = (*Handle)(nil)
+
+// Read reads from the current offset.
+func (h *Handle) Read(p []byte) (int, error) { return h.inner.Read(p) }
+
+// Write writes at the current offset.
+func (h *Handle) Write(p []byte) (int, error) { return h.inner.Write(p) }
+
+// Seek repositions the offset.
+func (h *Handle) Seek(off int64, whence int) (int64, error) { return h.inner.Seek(off, whence) }
+
+// ReadAt reads at an absolute offset.
+func (h *Handle) ReadAt(p []byte, off int64) (int, error) { return h.inner.ReadAt(p, off) }
+
+// WriteAt writes at an absolute offset.
+func (h *Handle) WriteAt(p []byte, off int64) (int, error) { return h.inner.WriteAt(p, off) }
+
+// Size returns the session content length.
+func (h *Handle) Size() (int64, error) { return h.inner.Size() }
+
+// Truncate sets the content length.
+func (h *Handle) Truncate(n int64) error { return h.inner.Truncate(n) }
+
+// Sync flushes sentinel state (caches, pending distribution).
+func (h *Handle) Sync() error { return h.inner.Sync() }
+
+// Close ends the session and terminates the sentinel.
+func (h *Handle) Close() error { return h.inner.Close() }
+
+// Lock acquires a byte-range lock if the program supports it.
+func (h *Handle) Lock(off, n int64) error { return h.inner.Lock(off, n) }
+
+// Unlock releases a byte-range lock.
+func (h *Handle) Unlock(off, n int64) error { return h.inner.Unlock(off, n) }
+
+// Control sends a program-specific command (for example "refresh" to the
+// quotes program) and returns its reply.
+func (h *Handle) Control(req []byte) ([]byte, error) { return h.inner.Control(req) }
+
+// Strategy reports which implementation strategy serves this handle.
+func (h *Handle) Strategy() Strategy { return strategyFromCore(h.inner.Strategy()) }
+
+// Stats counts a session's activity: operations issued and bytes moved
+// through the sentinel, plus how many operations returned errors (EOF
+// included).
+type Stats struct {
+	Reads        uint64
+	Writes       uint64
+	BytesRead    uint64
+	BytesWritten uint64
+	Errors       uint64
+}
+
+// Stats returns a snapshot of the session's activity counters.
+func (h *Handle) Stats() Stats {
+	s := h.inner.Stats()
+	return Stats{
+		Reads:        s.Reads,
+		Writes:       s.Writes,
+		BytesRead:    s.BytesRead,
+		BytesWritten: s.BytesWritten,
+		Errors:       s.Errors,
+	}
+}
+
+// FS opens files with active-file interposition under fixed options; use it
+// to hand a whole subsystem a file-opening dependency that transparently
+// supports active files.
+type FS struct {
+	inner *interpose.FS
+}
+
+// NewFS returns an interposing file system. Opts apply to every active open.
+func NewFS(opts ...OpenOption) (*FS, error) {
+	registerBuiltins()
+	var cfg openConfig
+	for _, o := range opts {
+		o.apply(&cfg)
+	}
+	var iopts []interpose.Option
+	if cfg.strategy != StrategyDefault {
+		cs, err := cfg.strategy.toCore()
+		if err != nil {
+			return nil, err
+		}
+		iopts = append(iopts, interpose.WithStrategy(cs))
+	}
+	return &FS{inner: interpose.New(iopts...)}, nil
+}
+
+// Open opens path with interposition.
+func (fs *FS) Open(path string) (File, error) { return fs.inner.Open(path) }
+
+// Create opens path, creating a passive file if absent.
+func (fs *FS) Create(path string) (File, error) { return fs.inner.Create(path) }
+
+// Remove deletes path (both components of an active file).
+func (fs *FS) Remove(path string) error { return fs.inner.Remove(path) }
+
+// Copy duplicates src to dst.
+func (fs *FS) Copy(src, dst string) error { return fs.inner.Copy(src, dst) }
+
+// Rename moves src to dst.
+func (fs *FS) Rename(src, dst string) error { return fs.inner.Rename(src, dst) }

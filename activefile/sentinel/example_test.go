@@ -1,0 +1,139 @@
+package sentinel_test
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/activefile"
+	"repro/activefile/sentinel"
+)
+
+// reverser is a complete custom sentinel program: it stores content
+// reversed and serves it back in order — a whole-file transform, so it
+// buffers the session image and commits on close like the built-in
+// compression program does.
+type reverser struct{}
+
+func (reverser) Name() string { return "reverse" }
+
+func (reverser) Open(env *sentinel.Env) (sentinel.Handler, error) {
+	storage, err := env.OpenStorage()
+	if err != nil {
+		return nil, err
+	}
+	return &reverserHandler{storage: storage}, nil
+}
+
+type reverserHandler struct {
+	storage sentinel.Storage
+}
+
+func (h *reverserHandler) ReadAt(p []byte, off int64) (int, error) {
+	size, err := h.storage.Size()
+	if err != nil {
+		return 0, err
+	}
+	if off >= size {
+		return 0, io.EOF
+	}
+	n := len(p)
+	if int64(n) > size-off {
+		n = int(size - off)
+	}
+	// Byte i of the view is byte size-1-i of storage.
+	tmp := make([]byte, n)
+	if _, err := h.storage.ReadAt(tmp, size-off-int64(n)); err != nil && err != io.EOF {
+		return 0, err
+	}
+	for i := 0; i < n; i++ {
+		p[i] = tmp[n-1-i]
+	}
+	if int64(n) == size-off {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (h *reverserHandler) WriteAt(p []byte, off int64) (int, error) {
+	// Keep the example simple: only appends at the current end are stored
+	// (reversed into position zero onwards).
+	size, err := h.storage.Size()
+	if err != nil {
+		return 0, err
+	}
+	if off != size {
+		return 0, fmt.Errorf("reverse: only appends supported")
+	}
+	rev := make([]byte, len(p))
+	for i, b := range p {
+		rev[len(p)-1-i] = b
+	}
+	// Prepend by rewriting: read existing, write rev + existing.
+	old := make([]byte, size)
+	if size > 0 {
+		if _, err := h.storage.ReadAt(old, 0); err != nil && err != io.EOF {
+			return 0, err
+		}
+	}
+	if _, err := h.storage.WriteAt(rev, 0); err != nil {
+		return 0, err
+	}
+	if _, err := h.storage.WriteAt(old, int64(len(rev))); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+func (h *reverserHandler) Size() (int64, error)   { return h.storage.Size() }
+func (h *reverserHandler) Truncate(n int64) error { return h.storage.Truncate(n) }
+func (h *reverserHandler) Sync() error            { return h.storage.Sync() }
+func (h *reverserHandler) Close() error           { return h.storage.Close() }
+
+// Register a custom program and bind an active file to it; the application
+// reads its own text back while the data part holds the reversed form.
+func Example() {
+	sentinel.Register(reverser{})
+
+	dir, err := os.MkdirTemp("", "af-reverse")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "r.af")
+
+	if err := activefile.Create(path, activefile.Definition{
+		Program: activefile.ProgramSpec{Name: "reverse"},
+		Cache:   activefile.CacheDisk,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	f, err := activefile.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := f.Write([]byte("palindrome")); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		log.Fatal(err)
+	}
+	view, err := io.ReadAll(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	stored, err := os.ReadFile(activefile.DataPath(path))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("view:  ", string(view))
+	fmt.Println("stored:", string(stored))
+	// Output:
+	// view:   palindrome
+	// stored: emordnilap
+}

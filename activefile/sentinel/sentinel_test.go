@@ -1,0 +1,181 @@
+package sentinel_test
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/activefile"
+	"repro/activefile/sentinel"
+	"repro/activefile/services"
+)
+
+func TestMain(m *testing.M) {
+	sentinel.MaybeChild()
+	os.Exit(m.Run())
+}
+
+// envProbe is a program that records what its Env exposes.
+type envProbe struct {
+	gotPath    string
+	gotProgram string
+	gotParam   string
+	gotDefault string
+	sourceNil  bool
+	sourceErr  error
+}
+
+func (p *envProbe) Name() string { return "env-probe" }
+
+func (p *envProbe) Open(env *sentinel.Env) (sentinel.Handler, error) {
+	p.gotPath = env.Path()
+	p.gotProgram = env.ProgramName()
+	p.gotParam = env.Param("set", "")
+	p.gotDefault = env.Param("unset", "fallback")
+	src, err := env.OpenSource()
+	p.sourceNil = src == nil
+	p.sourceErr = err
+	if src != nil {
+		src.Close()
+	}
+	storage, err := env.OpenStorage()
+	if err != nil {
+		return nil, err
+	}
+	return probeHandler{storage}, nil
+}
+
+type probeHandler struct {
+	storage sentinel.Storage
+}
+
+func (h probeHandler) ReadAt(p []byte, off int64) (int, error)  { return h.storage.ReadAt(p, off) }
+func (h probeHandler) WriteAt(p []byte, off int64) (int, error) { return h.storage.WriteAt(p, off) }
+func (h probeHandler) Size() (int64, error)                     { return h.storage.Size() }
+func (h probeHandler) Truncate(n int64) error                   { return h.storage.Truncate(n) }
+func (h probeHandler) Sync() error                              { return h.storage.Sync() }
+func (h probeHandler) Close() error                             { return h.storage.Close() }
+
+func TestEnvExposesDefinition(t *testing.T) {
+	probe := &envProbe{}
+	sentinel.Register(probe)
+
+	path := filepath.Join(t.TempDir(), "probe.af")
+	if err := activefile.Create(path, activefile.Definition{
+		Program: activefile.ProgramSpec{Name: "env-probe"},
+		Cache:   activefile.CacheMemory,
+		Params:  map[string]string{"set": "value"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := activefile.OpenActive(path, activefile.WithStrategy(activefile.StrategyDirect))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	if probe.gotPath != path {
+		t.Errorf("Path() = %q, want %q", probe.gotPath, path)
+	}
+	if probe.gotProgram != "env-probe" {
+		t.Errorf("ProgramName() = %q", probe.gotProgram)
+	}
+	if probe.gotParam != "value" || probe.gotDefault != "fallback" {
+		t.Errorf("Param = %q / %q", probe.gotParam, probe.gotDefault)
+	}
+	if !probe.sourceNil || probe.sourceErr != nil {
+		t.Errorf("OpenSource without binding = (nil=%v, %v), want (true, nil)",
+			probe.sourceNil, probe.sourceErr)
+	}
+}
+
+func TestEnvOpenSourceWithBinding(t *testing.T) {
+	srv := services.NewFileServer()
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Put("obj", []byte("bound"))
+
+	probe := &envProbe{}
+	sentinel.Register(probe)
+	path := filepath.Join(t.TempDir(), "bound.af")
+	if err := activefile.Create(path, activefile.Definition{
+		Program: activefile.ProgramSpec{Name: "env-probe"},
+		Cache:   activefile.CacheMemory,
+		Source:  activefile.SourceSpec{Kind: "tcp", Addr: addr, Path: "obj"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := activefile.OpenActive(path, activefile.WithStrategy(activefile.StrategyDirect))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if probe.sourceNil || probe.sourceErr != nil {
+		t.Errorf("OpenSource with binding = (nil=%v, %v)", probe.sourceNil, probe.sourceErr)
+	}
+	// The memory cache populated from the source.
+	got, err := io.ReadAll(h)
+	if err != nil || string(got) != "bound" {
+		t.Errorf("content = (%q, %v)", got, err)
+	}
+}
+
+// failingProgram returns an error from Open; it must surface to the opener.
+type failingProgram struct{}
+
+func (failingProgram) Name() string { return "always-fails" }
+
+func (failingProgram) Open(*sentinel.Env) (sentinel.Handler, error) {
+	return nil, errors.New("deliberate open failure")
+}
+
+func TestProgramOpenErrorSurfaces(t *testing.T) {
+	sentinel.Register(failingProgram{})
+	path := filepath.Join(t.TempDir(), "f.af")
+	if err := activefile.Create(path, activefile.Definition{
+		Program: activefile.ProgramSpec{Name: "always-fails"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := activefile.OpenActive(path, activefile.WithStrategy(activefile.StrategyThread))
+	if err == nil || !containsStr(err.Error(), "deliberate open failure") {
+		t.Errorf("OpenActive err = %v, want the program's failure", err)
+	}
+}
+
+func containsStr(haystack, needle string) bool {
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		if haystack[i:i+len(needle)] == needle {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRegisterReplacesSameName(t *testing.T) {
+	sentinel.Register(failingProgram{})
+	sentinel.Register(failingProgram{}) // replacement is allowed
+	count := 0
+	for _, name := range sentinel.Programs() {
+		if name == "always-fails" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("program listed %d times", count)
+	}
+}
+
+func TestRegisterBuiltinsIdempotent(t *testing.T) {
+	sentinel.RegisterBuiltins()
+	first := len(sentinel.Programs())
+	sentinel.RegisterBuiltins()
+	if got := len(sentinel.Programs()); got != first {
+		t.Errorf("program count changed %d -> %d", first, got)
+	}
+}

@@ -1,0 +1,101 @@
+// Package services exposes the simulated remote information services that
+// active files aggregate from and distribute to: a block file store (the
+// "tcp" source kind), a stock-quote feed, and a mail drop. In the paper
+// these are the distributed internet sources motivating the mechanism; here
+// they are real TCP servers you can run in-process (examples, tests) or via
+// cmd/afd.
+package services
+
+import (
+	"time"
+
+	"repro/internal/remote"
+)
+
+// FileServer is a TCP block-object store. Active files bound with
+// SourceSpec{Kind: "tcp", Addr: addr, Path: name} read and write the named
+// object on it.
+type FileServer struct {
+	inner *remote.FileServer
+}
+
+// NewFileServer returns a server with an empty object store.
+func NewFileServer() *FileServer {
+	return &FileServer{inner: remote.NewFileServer()}
+}
+
+// Start begins listening on addr ("127.0.0.1:0" for an ephemeral port) and
+// returns the bound address.
+func (s *FileServer) Start(addr string) (string, error) { return s.inner.Start(addr) }
+
+// Close stops the server.
+func (s *FileServer) Close() error { return s.inner.Close() }
+
+// Put creates or replaces the named object.
+func (s *FileServer) Put(name string, data []byte) { s.inner.Put(name, data) }
+
+// Get returns a copy of the named object's contents.
+func (s *FileServer) Get(name string) ([]byte, bool) { return s.inner.Get(name) }
+
+// SetLatency injects a fixed per-operation delay, simulating a distant
+// source.
+func (s *FileServer) SetLatency(d time.Duration) { s.inner.SetLatency(d) }
+
+// Quote is one instrument's latest price in cents.
+type Quote struct {
+	Symbol string
+	Cents  int64
+}
+
+// QuoteServer is a TCP stock-quote feed for the "quotes" sentinel program
+// (its "addrs" parameter).
+type QuoteServer struct {
+	inner *remote.QuoteServer
+}
+
+// NewQuoteServer returns a feed seeded with the given quotes.
+func NewQuoteServer(initial []Quote) *QuoteServer {
+	conv := make([]remote.Quote, len(initial))
+	for i, q := range initial {
+		conv[i] = remote.Quote{Symbol: q.Symbol, Cents: q.Cents}
+	}
+	return &QuoteServer{inner: remote.NewQuoteServer(conv)}
+}
+
+// Start begins listening on addr and returns the bound address.
+func (s *QuoteServer) Start(addr string) (string, error) { return s.inner.Start(addr) }
+
+// Close stops the server.
+func (s *QuoteServer) Close() error { return s.inner.Close() }
+
+// SetQuote updates one instrument.
+func (s *QuoteServer) SetQuote(symbol string, cents int64) { s.inner.SetQuote(symbol, cents) }
+
+// Tick applies a deterministic pseudo-random walk to every price.
+func (s *QuoteServer) Tick() { s.inner.Tick() }
+
+// MailServer is a TCP message drop with POP-style retrieval and SMTP-style
+// delivery, for the "inbox" and "outbox" sentinel programs.
+type MailServer struct {
+	inner *remote.MailServer
+}
+
+// NewMailServer returns an empty message drop.
+func NewMailServer() *MailServer {
+	return &MailServer{inner: remote.NewMailServer()}
+}
+
+// Start begins listening on addr and returns the bound address.
+func (s *MailServer) Start(addr string) (string, error) { return s.inner.Start(addr) }
+
+// Close stops the server.
+func (s *MailServer) Close() error { return s.inner.Close() }
+
+// Deposit places a message directly into a mailbox.
+func (s *MailServer) Deposit(mailbox string, msg []byte) { s.inner.Deposit(mailbox, msg) }
+
+// Count returns the number of messages waiting in mailbox.
+func (s *MailServer) Count(mailbox string) int { return s.inner.Count(mailbox) }
+
+// Messages returns copies of the messages in mailbox.
+func (s *MailServer) Messages(mailbox string) [][]byte { return s.inner.Messages(mailbox) }

@@ -1,0 +1,184 @@
+package services_test
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/activefile"
+	"repro/activefile/sentinel"
+	"repro/activefile/services"
+)
+
+func TestMain(m *testing.M) {
+	sentinel.MaybeChild()
+	os.Exit(m.Run())
+}
+
+func TestFileServerBacksActiveFile(t *testing.T) {
+	srv := services.NewFileServer()
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Put("doc", []byte("remote document"))
+
+	path := filepath.Join(t.TempDir(), "doc.af")
+	if err := activefile.Create(path, activefile.Definition{
+		Program: activefile.ProgramSpec{Name: "passthrough"},
+		Cache:   activefile.CacheNone,
+		Source:  activefile.SourceSpec{Kind: "tcp", Addr: addr, Path: "doc"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := activefile.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := io.ReadAll(f)
+	if err != nil || string(got) != "remote document" {
+		t.Errorf("read = (%q, %v)", got, err)
+	}
+	// And writes land on the server.
+	if _, err := f.WriteAt([]byte("REMOTE"), 0); err != nil {
+		t.Fatal(err)
+	}
+	obj, ok := srv.Get("doc")
+	if !ok || string(obj) != "REMOTE document" {
+		t.Errorf("server object = (%q, %v)", obj, ok)
+	}
+}
+
+func TestFileServerLatency(t *testing.T) {
+	srv := services.NewFileServer()
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Put("slow", []byte("x"))
+	srv.SetLatency(25 * time.Millisecond)
+
+	path := filepath.Join(t.TempDir(), "slow.af")
+	if err := activefile.Create(path, activefile.Definition{
+		Program: activefile.ProgramSpec{Name: "passthrough"},
+		Cache:   activefile.CacheNone,
+		Source:  activefile.SourceSpec{Kind: "tcp", Addr: addr, Path: "slow"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := activefile.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	start := time.Now()
+	buf := make([]byte, 1)
+	if _, err := f.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Error("injected latency not observed through the sentinel")
+	}
+}
+
+func TestQuoteServerBacksTicker(t *testing.T) {
+	srv := services.NewQuoteServer([]services.Quote{{Symbol: "T", Cents: 4200}})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Tick() // prices move before the open
+
+	path := filepath.Join(t.TempDir(), "t.af")
+	if err := activefile.Create(path, activefile.Definition{
+		Program: activefile.ProgramSpec{Name: "quotes"},
+		NoData:  true,
+		Params:  map[string]string{"addrs": addr},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := activefile.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := io.ReadAll(f)
+	if err != nil || !strings.HasPrefix(string(got), "T\t") {
+		t.Errorf("ticker = (%q, %v)", got, err)
+	}
+}
+
+func TestMailServerBacksMailbox(t *testing.T) {
+	srv := services.NewMailServer()
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "out.af")
+	if err := activefile.Create(outPath, activefile.Definition{
+		Program: activefile.ProgramSpec{Name: "outbox"},
+		NoData:  true,
+		Params:  map[string]string{"server": addr},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := activefile.Open(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("To: rx@here\n\nhello\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Count("rx@here") != 1 {
+		t.Fatalf("Count = %d, want 1", srv.Count("rx@here"))
+	}
+	msgs := srv.Messages("rx@here")
+	if len(msgs) != 1 || !strings.Contains(string(msgs[0]), "hello") {
+		t.Errorf("messages = %q", msgs)
+	}
+	srv.Deposit("rx@here", []byte("direct deposit"))
+	if srv.Count("rx@here") != 2 {
+		t.Errorf("Count after deposit = %d", srv.Count("rx@here"))
+	}
+}
+
+func TestQuoteServerSetQuote(t *testing.T) {
+	srv := services.NewQuoteServer(nil)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.SetQuote("NEW", 12345)
+
+	path := filepath.Join(t.TempDir(), "q.af")
+	if err := activefile.Create(path, activefile.Definition{
+		Program: activefile.ProgramSpec{Name: "quotes"},
+		NoData:  true,
+		Params:  map[string]string{"addrs": addr},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := activefile.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := io.ReadAll(f)
+	if err != nil || !strings.Contains(string(got), "123.45") {
+		t.Errorf("ticker = (%q, %v)", got, err)
+	}
+}

@@ -1,0 +1,135 @@
+package activefile_test
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/activefile"
+)
+
+// TestSoakMixedStrategies opens, uses, and closes many sessions
+// concurrently across strategies and programs — the whole engine under
+// simultaneous load. Run with -race for the full effect.
+func TestSoakMixedStrategies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	dir := t.TempDir()
+
+	// A shared log everyone appends to.
+	logPath := filepath.Join(dir, "shared.af")
+	if err := activefile.Create(logPath, activefile.Definition{
+		Program: activefile.ProgramSpec{Name: "logger"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	strategies := []activefile.Strategy{
+		activefile.StrategyThread,
+		activefile.StrategyDirect,
+		activefile.StrategyProcessControl,
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 6; w++ {
+		w := w
+		strategy := strategies[w%len(strategies)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			iterations := 10
+			if strategy == activefile.StrategyProcessControl {
+				iterations = 3 // subprocess spawns are costly
+			}
+			for i := 0; i < iterations; i++ {
+				// Private filtered file: open, write, verify, close.
+				path := filepath.Join(dir, fmt.Sprintf("w%d-i%d.af", w, i))
+				if err := activefile.Create(path, activefile.Definition{
+					Program: activefile.ProgramSpec{Name: "filter:rot13"},
+					Cache:   activefile.CacheMemory,
+				}); err != nil {
+					errs <- err
+					return
+				}
+				h, err := activefile.OpenActive(path, activefile.WithStrategy(strategy))
+				if err != nil {
+					errs <- err
+					return
+				}
+				payload := []byte(fmt.Sprintf("worker %d iteration %d", w, i))
+				if _, err := h.Write(payload); err != nil {
+					errs <- err
+					h.Close()
+					return
+				}
+				back := make([]byte, len(payload))
+				if _, err := h.ReadAt(back, 0); err != nil {
+					errs <- err
+					h.Close()
+					return
+				}
+				if !bytes.Equal(back, payload) {
+					errs <- fmt.Errorf("worker %d: corrupted round trip", w)
+				}
+				if err := h.Close(); err != nil {
+					errs <- err
+					return
+				}
+
+				// Shared log append through a fresh session.
+				lh, err := activefile.OpenActive(logPath, activefile.WithStrategy(activefile.StrategyThread))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, err := lh.Write([]byte(fmt.Sprintf("log w%d i%d", w, i))); err != nil {
+					errs <- err
+				}
+				if err := lh.Close(); err != nil {
+					errs <- err
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Every log record arrived exactly once, unmangled.
+	h, err := activefile.OpenActive(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	size, err := h.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, size)
+	if _, err := h.ReadAt(buf, 0); err != nil && size > 0 {
+		t.Fatal(err)
+	}
+	records := strings.Split(strings.TrimSuffix(string(buf), "\n"), "\n")
+	// Workers 0,3 thread (10 each), 1,4 direct (10 each), 2,5 procctl (3 each).
+	want := 4*10 + 2*3
+	if len(records) != want {
+		t.Errorf("log records = %d, want %d", len(records), want)
+	}
+	seen := make(map[string]bool, len(records))
+	for _, r := range records {
+		if seen[r] {
+			t.Errorf("duplicate record %q", r)
+		}
+		seen[r] = true
+		if !strings.HasPrefix(r, "log w") {
+			t.Errorf("mangled record %q", r)
+		}
+	}
+}

@@ -1,0 +1,413 @@
+// Benchmarks regenerating the paper's evaluation (Figure 6): Read and Write
+// overheads per implementation strategy, block size, and caching path. Each
+// BenchmarkFig6* function is one panel; sub-benchmarks sweep the strategies
+// the paper plots (procctl = its "Process" line, thread, direct = its "DLL"
+// line) and the block sizes {8, 32, 128, 512, 2048}. BenchmarkBaseline is
+// the no-sentinel series; BenchmarkAblation* cover design alternatives the
+// paper discusses but does not plot. cmd/afbench prints the same data with
+// the paper's fixed-1000-calls methodology.
+package repro_test
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/program"
+	"repro/internal/vfs"
+)
+
+func TestMain(m *testing.M) {
+	program.RegisterAll()
+	core.RunChildIfRequested()
+	os.Exit(m.Run())
+}
+
+var (
+	runnerOnce sync.Once
+	runner     *bench.Runner
+	runnerErr  error
+)
+
+// sharedRunner lazily provisions the scratch dir and remote service shared
+// by every benchmark in this file.
+func sharedRunner(b *testing.B) *bench.Runner {
+	b.Helper()
+	runnerOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "afbench")
+		if err != nil {
+			runnerErr = err
+			return
+		}
+		runner, runnerErr = bench.NewRunner(dir)
+	})
+	if runnerErr != nil {
+		b.Fatalf("bench runner: %v", runnerErr)
+	}
+	return runner
+}
+
+// figureStrategies are the three series of every Figure 6 panel.
+var figureStrategies = []core.Strategy{
+	core.StrategyProcCtl, // the paper's "Process" line
+	core.StrategyThread,
+	core.StrategyDirect, // the paper's "DLL" line
+}
+
+// benchPanel runs one Figure 6 panel as sub-benchmarks strategy/block.
+func benchPanel(b *testing.B, path bench.CachePath, op bench.Op) {
+	r := sharedRunner(b)
+	for _, strategy := range figureStrategies {
+		for _, block := range bench.BlockSizes {
+			name := fmt.Sprintf("%s/%d", strategy, block)
+			b.Run(name, func(b *testing.B) {
+				h, size, cleanup, err := r.Setup(bench.Config{
+					Strategy:  strategy,
+					Path:      path,
+					Op:        op,
+					BlockSize: block,
+					Ops:       bench.DefaultOps,
+				})
+				if err != nil {
+					b.Fatalf("setup: %v", err)
+				}
+				defer cleanup()
+				buf := make([]byte, block)
+				b.SetBytes(int64(block))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					off := (int64(i) * int64(block)) % size
+					if op == bench.OpRead {
+						_, err = h.ReadAt(buf, off)
+					} else {
+						_, err = h.WriteAt(buf, off)
+					}
+					if err != nil {
+						b.Fatalf("op %d: %v", i, err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig6aRead is Figure 6(a) Read: sentinel forwards to a remote
+// source on every operation.
+func BenchmarkFig6aRead(b *testing.B) { benchPanel(b, bench.PathRemote, bench.OpRead) }
+
+// BenchmarkFig6aWrite is Figure 6(a) Write.
+func BenchmarkFig6aWrite(b *testing.B) { benchPanel(b, bench.PathRemote, bench.OpWrite) }
+
+// BenchmarkFig6bRead is Figure 6(b) Read: the on-disk data part is the
+// cache; the remote source is off the critical path.
+func BenchmarkFig6bRead(b *testing.B) { benchPanel(b, bench.PathDisk, bench.OpRead) }
+
+// BenchmarkFig6bWrite is Figure 6(b) Write.
+func BenchmarkFig6bWrite(b *testing.B) { benchPanel(b, bench.PathDisk, bench.OpWrite) }
+
+// BenchmarkFig6cRead is Figure 6(c) Read: the cache lives in the sentinel's
+// memory.
+func BenchmarkFig6cRead(b *testing.B) { benchPanel(b, bench.PathMemory, bench.OpRead) }
+
+// BenchmarkFig6cWrite is Figure 6(c) Write.
+func BenchmarkFig6cWrite(b *testing.B) { benchPanel(b, bench.PathMemory, bench.OpWrite) }
+
+// BenchmarkBaseline measures direct access with no sentinel, the series the
+// paper reports as indistinguishable from DLL-only.
+func BenchmarkBaseline(b *testing.B) {
+	r := sharedRunner(b)
+	for _, path := range []bench.CachePath{bench.PathRemote, bench.PathDisk, bench.PathMemory} {
+		for _, op := range []bench.Op{bench.OpRead, bench.OpWrite} {
+			for _, block := range bench.BlockSizes {
+				name := fmt.Sprintf("%s/%s/%d", path, op, block)
+				b.Run(name, func(b *testing.B) {
+					// MeasureBaseline times a fixed op count; drive it b.N
+					// ops at a time so testing.B owns the clock.
+					b.SetBytes(int64(block))
+					res, err := r.MeasureBaseline(path, op, block, b.N)
+					if err != nil {
+						b.Fatal(err)
+					}
+					_ = res
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkAblationNoControlChannel compares the §4.1 plain-process
+// strategy (two pipes, streaming only) against process-plus-control for
+// sequential reads — the cost of the control-channel round trip. The plain
+// process side streams from a generate program so any b.N is satisfiable.
+func BenchmarkAblationNoControlChannel(b *testing.B) {
+	r := sharedRunner(b)
+	const block = 512
+
+	b.Run("process-stream", func(b *testing.B) {
+		dir := b.TempDir()
+		path := dir + "/gen.af"
+		if err := vfs.Create(path, vfs.Manifest{
+			Program: vfs.ProgramSpec{Name: "generate"},
+			NoData:  true,
+			Params:  map[string]string{"size": "1099511627776"}, // effectively endless
+		}); err != nil {
+			b.Fatal(err)
+		}
+		h, err := core.Open(path, core.Options{Strategy: core.StrategyProcess})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer h.Close()
+		buf := make([]byte, block)
+		b.SetBytes(block)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := io.ReadFull(h, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("procctl", func(b *testing.B) {
+		h, size, cleanup, err := r.Setup(bench.Config{
+			Strategy:  core.StrategyProcCtl,
+			Path:      bench.PathDisk,
+			Op:        bench.OpRead,
+			BlockSize: block,
+			Ops:       bench.DefaultOps,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cleanup()
+		buf := make([]byte, block)
+		b.SetBytes(block)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			off := (int64(i) * block) % size
+			if _, err := h.ReadAt(buf, off); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationAsyncWrites quantifies the paper's footnote-1
+// optimization: procctl writes stream without acknowledgement, so their
+// per-op cost reflects bandwidth, while reads pay full round-trip latency.
+func BenchmarkAblationAsyncWrites(b *testing.B) {
+	r := sharedRunner(b)
+	const block = 512
+	for _, op := range []bench.Op{bench.OpRead, bench.OpWrite} {
+		b.Run(op.String(), func(b *testing.B) {
+			h, size, cleanup, err := r.Setup(bench.Config{
+				Strategy:  core.StrategyProcCtl,
+				Path:      bench.PathMemory,
+				Op:        op,
+				BlockSize: block,
+				Ops:       bench.DefaultOps,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cleanup()
+			buf := make([]byte, block)
+			b.SetBytes(block)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				off := (int64(i) * block) % size
+				if op == bench.OpRead {
+					_, err = h.ReadAt(buf, off)
+				} else {
+					_, err = h.WriteAt(buf, off)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationReadAhead measures the §4.2 eager-injection option: a
+// procctl sentinel prefetching the next sequential block versus the plain
+// dispatch loop, for sequential reads from the on-disk cache.
+func BenchmarkAblationReadAhead(b *testing.B) {
+	const block = 512
+	for _, readAhead := range []bool{false, true} {
+		name := "off"
+		if readAhead {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			dir := b.TempDir()
+			path := dir + "/ra.af"
+			m := vfs.Manifest{
+				Program: vfs.ProgramSpec{Name: "passthrough"},
+				Cache:   "disk",
+			}
+			if readAhead {
+				m.Params = map[string]string{"readahead": "true"}
+			}
+			if err := vfs.Create(path, m); err != nil {
+				b.Fatal(err)
+			}
+			size := int64(block) * bench.DefaultOps
+			content := make([]byte, size)
+			if err := os.WriteFile(vfs.DataPath(path), content, 0o644); err != nil {
+				b.Fatal(err)
+			}
+			h, err := core.Open(path, core.Options{Strategy: core.StrategyProcCtl})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer h.Close()
+			buf := make([]byte, block)
+			b.SetBytes(block)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				off := (int64(i) * block) % size
+				if _, err := h.ReadAt(buf, off); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBlockCache measures the §1 frequency cache: repeated
+// reads of a hot region through the "cached" program versus uncached
+// passthrough to the remote source.
+func BenchmarkAblationBlockCache(b *testing.B) {
+	r := sharedRunner(b)
+	const block = 512
+	for _, prog := range []struct {
+		name    string
+		program string
+		params  map[string]string
+	}{
+		{name: "uncached", program: "passthrough"},
+		{name: "cached", program: "cached", params: map[string]string{"blocksize": "512", "blocks": "16"}},
+	} {
+		b.Run(prog.name, func(b *testing.B) {
+			h, size, cleanup, err := r.Setup(bench.Config{
+				Strategy:  core.StrategyThread,
+				Path:      bench.PathRemote,
+				Op:        bench.OpRead,
+				BlockSize: block,
+				Ops:       bench.DefaultOps,
+				Program:   prog.program,
+				Params:    prog.params,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cleanup()
+			buf := make([]byte, block)
+			b.SetBytes(block)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// A hot working set: 4 blocks, far smaller than the cache.
+				off := (int64(i%4) * block) % size
+				if _, err := h.ReadAt(buf, off); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCacheUnderLatency shows where the Figure 5 caching paths
+// pay off: against a slow remote source (500µs injected per operation), the
+// no-cache path pays the latency on every read while the disk and memory
+// paths pay it only at open — the crossover the paper's §1 caching
+// discussion predicts.
+func BenchmarkAblationCacheUnderLatency(b *testing.B) {
+	const block = 512
+	dir, err := os.MkdirTemp("", "aflat")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	r, err := bench.NewRunner(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	r.SetRemoteLatency(500 * time.Microsecond)
+
+	for _, path := range []bench.CachePath{bench.PathRemote, bench.PathDisk, bench.PathMemory} {
+		b.Run(path.String(), func(b *testing.B) {
+			h, size, cleanup, err := r.Setup(bench.Config{
+				Strategy:  core.StrategyThread,
+				Path:      path,
+				Op:        bench.OpRead,
+				BlockSize: block,
+				Ops:       100, // keep the latency-bound populate step short
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cleanup()
+			buf := make([]byte, block)
+			b.SetBytes(block)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				off := (int64(i) * block) % size
+				if _, err := h.ReadAt(buf, off); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFilterCost measures what a non-null sentinel adds: the
+// same direct-strategy memory path through the null filter versus an XOR
+// cipher filter — supporting the paper's claim that "the eventual cost of
+// using active files is determined only by the functionality that they
+// implement".
+func BenchmarkAblationFilterCost(b *testing.B) {
+	const block = 512
+	for _, prog := range []struct {
+		name    string
+		program string
+		params  map[string]string
+	}{
+		{name: "null", program: "passthrough"},
+		{name: "xor", program: "filter", params: map[string]string{"filter": "xor:benchkey"}},
+	} {
+		b.Run(prog.name, func(b *testing.B) {
+			dir := b.TempDir()
+			path := dir + "/f.af"
+			if err := vfs.Create(path, vfs.Manifest{
+				Program: vfs.ProgramSpec{Name: prog.program},
+				Cache:   "memory",
+				Params:  prog.params,
+			}); err != nil {
+				b.Fatal(err)
+			}
+			h, err := core.Open(path, core.Options{Strategy: core.StrategyDirect})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer h.Close()
+			buf := make([]byte, block)
+			if _, err := h.WriteAt(buf, 0); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(block)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := h.ReadAt(buf, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,102 @@
+// Command afbench regenerates the paper's Figure 6 with its exact
+// methodology: for every panel — (a) remote source, (b) on-disk cache,
+// (c) in-memory cache — it times 1000 fixed-size-block Read and Write calls
+// per implementation strategy and block size, printing one table per panel.
+//
+//	afbench                  # all six panels, 1000 ops per point
+//	afbench -panel a -op read
+//	afbench -ops 200 -process -baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/activefile/sentinel"
+	"repro/internal/bench"
+)
+
+func main() {
+	sentinel.MaybeChild() // afbench spawns itself for the process strategies
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "afbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	flags := flag.NewFlagSet("afbench", flag.ContinueOnError)
+	var (
+		panel    = flags.String("panel", "all", `panel to run: "a" (remote), "b" (disk), "c" (memory), or "all"`)
+		op       = flags.String("op", "both", `operation: "read", "write", or "both"`)
+		ops      = flags.Int("ops", bench.DefaultOps, "operations per data point")
+		blocks   = flags.String("blocks", "", "comma-separated block sizes (default 8,32,128,512,2048)")
+		process  = flags.Bool("process", false, "include the plain process strategy (no control channel)")
+		baseline = flags.Bool("baseline", true, "include the no-sentinel baseline series")
+	)
+	if err := flags.Parse(args); err != nil {
+		return err
+	}
+
+	opts := bench.FigureOptions{
+		Ops:             *ops,
+		IncludeProcess:  *process,
+		IncludeBaseline: *baseline,
+	}
+	switch *panel {
+	case "all":
+	case "a":
+		opts.Paths = []bench.CachePath{bench.PathRemote}
+	case "b":
+		opts.Paths = []bench.CachePath{bench.PathDisk}
+	case "c":
+		opts.Paths = []bench.CachePath{bench.PathMemory}
+	default:
+		return fmt.Errorf("unknown panel %q", *panel)
+	}
+	switch *op {
+	case "both":
+	case "read":
+		opts.OpsFilter = bench.OpRead
+	case "write":
+		opts.OpsFilter = bench.OpWrite
+	default:
+		return fmt.Errorf("unknown op %q", *op)
+	}
+	if *blocks != "" {
+		for _, part := range strings.Split(*blocks, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				return fmt.Errorf("bad block size %q", part)
+			}
+			opts.Blocks = append(opts.Blocks, n)
+		}
+	}
+
+	dir, err := os.MkdirTemp("", "afbench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	runner, err := bench.NewRunner(dir)
+	if err != nil {
+		return err
+	}
+	defer runner.Close()
+
+	fmt.Printf("active files — Figure 6 reproduction (%d ops per point)\n\n", *ops)
+	panels, err := runner.RunFigure6(opts)
+	if err != nil {
+		return err
+	}
+	for _, p := range panels {
+		if err := p.WriteTable(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/activefile/sentinel"
+)
+
+func TestMain(m *testing.M) {
+	sentinel.MaybeChild()
+	os.Exit(m.Run())
+}
+
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string, 1)
+	go func() {
+		var buf bytes.Buffer
+		buf.ReadFrom(r)
+		done <- buf.String()
+	}()
+	ferr := fn()
+	w.Close()
+	return <-done, ferr
+}
+
+func TestRunSmallPanel(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-panel", "c", "-op", "read", "-ops", "20", "-blocks", "8,64"})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "Figure 6(c) Read") {
+		t.Errorf("missing panel title:\n%s", out)
+	}
+	for _, col := range []string{"procctl", "thread", "direct", "baseline"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("missing column %q:\n%s", col, out)
+		}
+	}
+	if strings.Contains(out, "Write") {
+		t.Errorf("-op read produced a Write panel:\n%s", out)
+	}
+	if !strings.Contains(out, "\n8  ") && !strings.Contains(out, "\n8 ") {
+		t.Errorf("missing block-8 row:\n%s", out)
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{name: "bad panel", args: []string{"-panel", "z"}},
+		{name: "bad op", args: []string{"-op", "fsync"}},
+		{name: "bad blocks", args: []string{"-blocks", "8,oops"}},
+		{name: "negative block", args: []string{"-blocks", "-4"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args); err == nil {
+				t.Errorf("run(%v) succeeded", tt.args)
+			}
+		})
+	}
+}

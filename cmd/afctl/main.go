@@ -1,0 +1,295 @@
+// Command afctl creates and manipulates active files on disk.
+//
+//	afctl create -program filter:upper -cache disk notes.af
+//	afctl stat notes.af
+//	afctl ctl ticker.af refresh              # program control commands
+//	afctl write notes.af < draft.txt     # through the sentinel
+//	afctl cat notes.af                   # through the sentinel
+//	afctl raw notes.af                   # the stored data part, unfiltered
+//	afctl cp notes.af copy.af
+//	afctl mv copy.af moved.af
+//	afctl rm moved.af
+//	afctl ls .
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/activefile"
+	"repro/activefile/sentinel"
+)
+
+func main() {
+	sentinel.MaybeChild() // afctl spawns itself for process-strategy opens
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "afctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return errors.New("usage: afctl <create|stat|cat|raw|write|ctl|cp|mv|rm|ls> ...")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "create":
+		return runCreate(rest)
+	case "stat":
+		return runStat(rest)
+	case "cat":
+		return runCat(rest)
+	case "raw":
+		return runRaw(rest)
+	case "write":
+		return runWrite(rest)
+	case "ctl":
+		return runControl(rest)
+	case "cp":
+		return twoArg(rest, "cp", activefile.Copy)
+	case "mv":
+		return twoArg(rest, "mv", activefile.Rename)
+	case "rm":
+		return oneArg(rest, "rm", activefile.Remove)
+	case "ls":
+		return runList(rest)
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func parseStrategy(s string) (activefile.Strategy, error) {
+	switch s {
+	case "", "default":
+		return activefile.StrategyDefault, nil
+	case "process":
+		return activefile.StrategyProcess, nil
+	case "procctl":
+		return activefile.StrategyProcessControl, nil
+	case "thread":
+		return activefile.StrategyThread, nil
+	case "direct":
+		return activefile.StrategyDirect, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q", s)
+	}
+}
+
+func parseCache(s string) (activefile.CacheMode, error) {
+	switch s {
+	case "", "default":
+		return activefile.CacheDefault, nil
+	case "none":
+		return activefile.CacheNone, nil
+	case "disk":
+		return activefile.CacheDisk, nil
+	case "memory":
+		return activefile.CacheMemory, nil
+	default:
+		return 0, fmt.Errorf("unknown cache mode %q", s)
+	}
+}
+
+// paramList collects repeated -param key=value flags.
+type paramList map[string]string
+
+func (p paramList) String() string { return fmt.Sprint(map[string]string(p)) }
+
+func (p paramList) Set(v string) error {
+	key, value, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("param %q is not key=value", v)
+	}
+	p[key] = value
+	return nil
+}
+
+func runCreate(args []string) error {
+	flags := flag.NewFlagSet("create", flag.ContinueOnError)
+	var (
+		programName = flags.String("program", "passthrough", "sentinel program name")
+		execPath    = flags.String("exec", "", "standalone sentinel executable (process strategies)")
+		strategyStr = flags.String("strategy", "", "default strategy: process|procctl|thread|direct")
+		cacheStr    = flags.String("cache", "", "cache mode: none|disk|memory")
+		srcKind     = flags.String("source-kind", "", "remote source kind (tcp)")
+		srcAddr     = flags.String("source-addr", "", "remote source address")
+		srcPath     = flags.String("source-path", "", "remote source object name")
+		noData      = flags.Bool("nodata", false, "create without a data part")
+	)
+	params := make(paramList)
+	flags.Var(params, "param", "program parameter key=value (repeatable)")
+	if err := flags.Parse(args); err != nil {
+		return err
+	}
+	if flags.NArg() != 1 {
+		return errors.New("usage: afctl create [flags] <path.af>")
+	}
+	strategy, err := parseStrategy(*strategyStr)
+	if err != nil {
+		return err
+	}
+	cacheMode, err := parseCache(*cacheStr)
+	if err != nil {
+		return err
+	}
+	def := activefile.Definition{
+		Program:  activefile.ProgramSpec{Name: *programName, Exec: *execPath},
+		Strategy: strategy,
+		Cache:    cacheMode,
+		Source:   activefile.SourceSpec{Kind: *srcKind, Addr: *srcAddr, Path: *srcPath},
+		NoData:   *noData,
+	}
+	if len(params) > 0 {
+		def.Params = params
+	}
+	return activefile.Create(flags.Arg(0), def)
+}
+
+func runStat(args []string) error {
+	if len(args) != 1 {
+		return errors.New("usage: afctl stat <path.af>")
+	}
+	def, err := activefile.Stat(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("program:  %s", def.Program.Name)
+	if def.Program.Exec != "" {
+		fmt.Printf(" (exec %s)", def.Program.Exec)
+	}
+	fmt.Println()
+	fmt.Println("strategy:", def.Strategy)
+	fmt.Println("cache:   ", def.Cache)
+	if def.Source.Kind != "" {
+		fmt.Printf("source:   %s %s/%s\n", def.Source.Kind, def.Source.Addr, def.Source.Path)
+	}
+	for k, v := range def.Params {
+		fmt.Printf("param:    %s=%s\n", k, v)
+	}
+	if def.NoData {
+		fmt.Println("data:     none (synthesized by sentinel)")
+	} else {
+		fmt.Println("data:    ", activefile.DataPath(args[0]))
+	}
+	return nil
+}
+
+func runCat(args []string) error {
+	flags := flag.NewFlagSet("cat", flag.ContinueOnError)
+	strategyStr := flags.String("strategy", "", "strategy override")
+	if err := flags.Parse(args); err != nil {
+		return err
+	}
+	if flags.NArg() != 1 {
+		return errors.New("usage: afctl cat [-strategy s] <path.af>")
+	}
+	strategy, err := parseStrategy(*strategyStr)
+	if err != nil {
+		return err
+	}
+	f, err := activefile.Open(flags.Arg(0), activefile.WithStrategy(strategy))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = io.Copy(os.Stdout, f)
+	return err
+}
+
+func runRaw(args []string) error {
+	if len(args) != 1 {
+		return errors.New("usage: afctl raw <path.af>")
+	}
+	data, err := os.ReadFile(activefile.DataPath(args[0]))
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(data)
+	return err
+}
+
+func runWrite(args []string) error {
+	flags := flag.NewFlagSet("write", flag.ContinueOnError)
+	strategyStr := flags.String("strategy", "", "strategy override")
+	if err := flags.Parse(args); err != nil {
+		return err
+	}
+	if flags.NArg() != 1 {
+		return errors.New("usage: afctl write [-strategy s] <path.af> < input")
+	}
+	strategy, err := parseStrategy(*strategyStr)
+	if err != nil {
+		return err
+	}
+	f, err := activefile.Open(flags.Arg(0), activefile.WithStrategy(strategy))
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(f, os.Stdin); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// runControl sends a program-specific control command (e.g. "refresh" to a
+// quotes file, "stats" to a cached file) and prints the reply.
+func runControl(args []string) error {
+	if len(args) != 2 {
+		return errors.New("usage: afctl ctl <path.af> <command>")
+	}
+	h, err := activefile.OpenActive(args[0])
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+	reply, err := h.Control([]byte(args[1]))
+	if err != nil {
+		return err
+	}
+	if len(reply) > 0 {
+		fmt.Println(string(reply))
+	}
+	return nil
+}
+
+func runList(args []string) error {
+	dir := "."
+	if len(args) == 1 {
+		dir = args[0]
+	} else if len(args) > 1 {
+		return errors.New("usage: afctl ls [dir]")
+	}
+	paths, err := activefile.List(dir)
+	if err != nil {
+		return err
+	}
+	for _, p := range paths {
+		def, err := activefile.Stat(p)
+		if err != nil {
+			fmt.Printf("%s\t(unreadable: %v)\n", p, err)
+			continue
+		}
+		fmt.Printf("%s\tprogram=%s cache=%s\n", p, def.Program.Name, def.Cache)
+	}
+	return nil
+}
+
+func twoArg(args []string, name string, fn func(a, b string) error) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: afctl %s <src.af> <dst.af>", name)
+	}
+	return fn(args[0], args[1])
+}
+
+func oneArg(args []string, name string, fn func(a string) error) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: afctl %s <path.af>", name)
+	}
+	return fn(args[0])
+}

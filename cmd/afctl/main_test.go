@@ -1,0 +1,210 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/activefile/sentinel"
+	"repro/activefile/services"
+)
+
+func TestMain(m *testing.M) {
+	sentinel.MaybeChild()
+	os.Exit(m.Run())
+}
+
+// captureStdout runs fn with os.Stdout redirected and returns what it wrote.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+
+	done := make(chan string, 1)
+	go func() {
+		var buf bytes.Buffer
+		buf.ReadFrom(r)
+		done <- buf.String()
+	}()
+	ferr := fn()
+	w.Close()
+	out := <-done
+	return out, ferr
+}
+
+// feedStdin runs fn with os.Stdin fed from data.
+func feedStdin(t *testing.T, data string, fn func() error) error {
+	t.Helper()
+	old := os.Stdin
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdin = r
+	defer func() { os.Stdin = old }()
+	go func() {
+		w.WriteString(data)
+		w.Close()
+	}()
+	return fn()
+}
+
+func TestCreateWriteCatRawLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "n.af")
+
+	if err := run([]string{"create", "-program", "filter:upper", "-cache", "disk", path}); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if err := feedStdin(t, "quiet words", func() error {
+		return run([]string{"write", path})
+	}); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	out, err := captureStdout(t, func() error {
+		return run([]string{"cat", path})
+	})
+	if err != nil || out != "quiet words" {
+		t.Errorf("cat = (%q, %v)", out, err)
+	}
+	out, err = captureStdout(t, func() error {
+		return run([]string{"raw", path})
+	})
+	if err != nil || out != "QUIET WORDS" {
+		t.Errorf("raw = (%q, %v)", out, err)
+	}
+}
+
+func TestStatOutput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.af")
+	if err := run([]string{"create", "-program", "compress", "-strategy", "direct",
+		"-param", "codec=lz", path}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := captureStdout(t, func() error {
+		return run([]string{"stat", path})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"program:  compress", "strategy: direct", "codec=lz"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stat output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCopyMoveRemoveList(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src.af")
+	if err := run([]string{"create", src}); err != nil {
+		t.Fatal(err)
+	}
+	cp := filepath.Join(dir, "cp.af")
+	if err := run([]string{"cp", src, cp}); err != nil {
+		t.Fatalf("cp: %v", err)
+	}
+	mv := filepath.Join(dir, "mv.af")
+	if err := run([]string{"mv", cp, mv}); err != nil {
+		t.Fatalf("mv: %v", err)
+	}
+	out, err := captureStdout(t, func() error {
+		return run([]string{"ls", dir})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "src.af") || !strings.Contains(out, "mv.af") {
+		t.Errorf("ls = %q", out)
+	}
+	if err := run([]string{"rm", mv}); err != nil {
+		t.Fatalf("rm: %v", err)
+	}
+	out, _ = captureStdout(t, func() error { return run([]string{"ls", dir}) })
+	if strings.Contains(out, "mv.af") {
+		t.Errorf("ls after rm still shows mv.af: %q", out)
+	}
+}
+
+func TestControlCommand(t *testing.T) {
+	dir := t.TempDir()
+	srv := services.NewQuoteServer([]services.Quote{{Symbol: "CLI", Cents: 100}})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	path := filepath.Join(dir, "t.af")
+	if err := run([]string{"create", "-program", "quotes", "-nodata",
+		"-param", "addrs=" + addr, path}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := captureStdout(t, func() error {
+		return run([]string{"ctl", path, "refresh"})
+	})
+	if err != nil || !strings.Contains(out, "refreshed") {
+		t.Errorf("ctl refresh = (%q, %v)", out, err)
+	}
+	if err := run([]string{"ctl", path, "bogus-command"}); err == nil {
+		t.Error("bogus control command succeeded")
+	}
+	if err := run([]string{"ctl", path}); err == nil {
+		t.Error("ctl without command succeeded")
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{name: "no command", args: nil},
+		{name: "unknown command", args: []string{"explode"}},
+		{name: "create no path", args: []string{"create"}},
+		{name: "create bad strategy", args: []string{"create", "-strategy", "kernel", "x.af"}},
+		{name: "create bad cache", args: []string{"create", "-cache", "l3", "x.af"}},
+		{name: "create bad param", args: []string{"create", "-param", "noequals", "x.af"}},
+		{name: "stat no path", args: []string{"stat"}},
+		{name: "cp one arg", args: []string{"cp", "only.af"}},
+		{name: "rm no arg", args: []string{"rm"}},
+		{name: "ls too many", args: []string{"ls", "a", "b"}},
+		{name: "cat missing", args: []string{"cat", "/does/not/exist.af"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args); err == nil {
+				t.Errorf("run(%v) succeeded, want error", tt.args)
+			}
+		})
+	}
+}
+
+func TestWriteViaProcessStrategy(t *testing.T) {
+	// Exercises the subprocess path through the CLI: the child is a re-exec
+	// of this test binary via sentinel.MaybeChild.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.af")
+	if err := run([]string{"create", "-cache", "disk", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := feedStdin(t, "through a subprocess", func() error {
+		return run([]string{"write", "-strategy", "process", path})
+	}); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	out, err := captureStdout(t, func() error {
+		return run([]string{"raw", path})
+	})
+	if err != nil || out != "through a subprocess" {
+		t.Errorf("raw = (%q, %v)", out, err)
+	}
+}

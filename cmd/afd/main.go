@@ -1,0 +1,147 @@
+// Command afd runs the simulated remote information services active files
+// aggregate from and distribute to: the block file store, the stock-quote
+// feed, and the mail drop. It prints each bound address and serves until
+// interrupted.
+//
+//	afd                          # all three services on ephemeral ports
+//	afd -file 127.0.0.1:7001 -quotes "" -mail ""
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+
+	"repro/internal/remote"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, waitForInterrupt); err != nil {
+		fmt.Fprintln(os.Stderr, "afd:", err)
+		os.Exit(1)
+	}
+}
+
+func waitForInterrupt() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+}
+
+// config selects which services to start and where.
+type config struct {
+	fileAddr  string
+	quoteAddr string
+	mailAddr  string
+	seed      bool
+}
+
+func parseFlags(args []string) (config, error) {
+	flags := flag.NewFlagSet("afd", flag.ContinueOnError)
+	var cfg config
+	flags.StringVar(&cfg.fileAddr, "file", "127.0.0.1:0", "block file service address (empty to disable)")
+	flags.StringVar(&cfg.quoteAddr, "quotes", "127.0.0.1:0", "stock quote service address (empty to disable)")
+	flags.StringVar(&cfg.mailAddr, "mail", "127.0.0.1:0", "mail service address (empty to disable)")
+	flags.BoolVar(&cfg.seed, "seed", true, "seed demonstration data")
+	if err := flags.Parse(args); err != nil {
+		return config{}, err
+	}
+	return cfg, nil
+}
+
+// services is the running set, with the addresses actually bound.
+type services struct {
+	FileAddr  string
+	QuoteAddr string
+	MailAddr  string
+	stops     []func() error
+}
+
+// Close stops every running service.
+func (s *services) Close() {
+	for _, stop := range s.stops {
+		stop()
+	}
+}
+
+// startServices launches the configured services.
+func startServices(cfg config) (*services, error) {
+	svc := &services{}
+	ok := false
+	defer func() {
+		if !ok {
+			svc.Close()
+		}
+	}()
+
+	if cfg.fileAddr != "" {
+		srv := remote.NewFileServer()
+		if cfg.seed {
+			srv.Put("hello", []byte("hello from the block file service\n"))
+		}
+		addr, err := srv.Start(cfg.fileAddr)
+		if err != nil {
+			return nil, err
+		}
+		svc.stops = append(svc.stops, srv.Close)
+		svc.FileAddr = addr
+	}
+	if cfg.quoteAddr != "" {
+		var initial []remote.Quote
+		if cfg.seed {
+			initial = []remote.Quote{
+				{Symbol: "AAPL", Cents: 19254},
+				{Symbol: "GOOG", Cents: 17510},
+				{Symbol: "MSFT", Cents: 41089},
+			}
+		}
+		srv := remote.NewQuoteServer(initial)
+		addr, err := srv.Start(cfg.quoteAddr)
+		if err != nil {
+			return nil, err
+		}
+		svc.stops = append(svc.stops, srv.Close)
+		svc.QuoteAddr = addr
+	}
+	if cfg.mailAddr != "" {
+		srv := remote.NewMailServer()
+		if cfg.seed {
+			srv.Deposit("demo", []byte("To: demo@local\nSubject: welcome\n\nseeded message\n"))
+		}
+		addr, err := srv.Start(cfg.mailAddr)
+		if err != nil {
+			return nil, err
+		}
+		svc.stops = append(svc.stops, srv.Close)
+		svc.MailAddr = addr
+	}
+	ok = true
+	return svc, nil
+}
+
+func run(args []string, out io.Writer, wait func()) error {
+	cfg, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	svc, err := startServices(cfg)
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	if svc.FileAddr != "" {
+		fmt.Fprintln(out, "file service:  ", svc.FileAddr)
+	}
+	if svc.QuoteAddr != "" {
+		fmt.Fprintln(out, "quote service: ", svc.QuoteAddr)
+	}
+	if svc.MailAddr != "" {
+		fmt.Fprintln(out, "mail service:  ", svc.MailAddr)
+	}
+	fmt.Fprintln(out, "serving; interrupt to stop")
+	wait()
+	return nil
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/remote"
+)
+
+func TestStartServicesAllAndReachable(t *testing.T) {
+	svc, err := startServices(config{
+		fileAddr:  "127.0.0.1:0",
+		quoteAddr: "127.0.0.1:0",
+		mailAddr:  "127.0.0.1:0",
+		seed:      true,
+	})
+	if err != nil {
+		t.Fatalf("startServices: %v", err)
+	}
+	defer svc.Close()
+
+	// Seeded file object.
+	fc, err := remote.Dial(svc.FileAddr, "hello")
+	if err != nil {
+		t.Fatalf("dial file service: %v", err)
+	}
+	defer fc.Close()
+	size, err := fc.Size()
+	if err != nil || size == 0 {
+		t.Errorf("seeded object size = (%d, %v)", size, err)
+	}
+
+	// Seeded quotes.
+	quotes, err := remote.FetchQuotes(svc.QuoteAddr)
+	if err != nil || len(quotes) != 3 {
+		t.Errorf("FetchQuotes = (%v, %v)", quotes, err)
+	}
+
+	// Seeded mail.
+	msgs, err := remote.FetchMail(svc.MailAddr, "demo", false)
+	if err != nil || len(msgs) != 1 {
+		t.Errorf("FetchMail = (%d msgs, %v)", len(msgs), err)
+	}
+}
+
+func TestStartServicesSelective(t *testing.T) {
+	svc, err := startServices(config{quoteAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if svc.FileAddr != "" || svc.MailAddr != "" {
+		t.Errorf("unexpected services: %+v", svc)
+	}
+	if svc.QuoteAddr == "" {
+		t.Error("quote service missing")
+	}
+	// Unseeded: empty listing.
+	quotes, err := remote.FetchQuotes(svc.QuoteAddr)
+	if err != nil || len(quotes) != 0 {
+		t.Errorf("unseeded FetchQuotes = (%v, %v)", quotes, err)
+	}
+}
+
+func TestStartServicesBindFailure(t *testing.T) {
+	// Take a port, then ask afd to bind the same one.
+	first, err := startServices(config{fileAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	if _, err := startServices(config{fileAddr: first.FileAddr}); err == nil {
+		t.Error("second bind of the same port succeeded")
+	}
+}
+
+func TestRunPrintsAddressesAndStops(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-mail", "", "-quotes", ""}, &out, func() {} /* return immediately */)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "file service:") || !strings.Contains(text, "serving") {
+		t.Errorf("output = %q", text)
+	}
+	if strings.Contains(text, "mail service:") {
+		t.Errorf("disabled service printed: %q", text)
+	}
+}
+
+func TestRunFlagError(t *testing.T) {
+	if err := run([]string{"-bogus"}, &bytes.Buffer{}, func() {}); err == nil {
+		t.Error("run with unknown flag succeeded")
+	}
+}

@@ -1,0 +1,28 @@
+// Command afsentinel is a standalone sentinel executable hosting the
+// library's built-in programs. An active file whose definition sets
+// Program.Exec to this binary's path runs its sentinel as this separate
+// image — the exact arrangement of the paper's process-based
+// implementations, where "the active part is an executable".
+//
+// Run directly (not as a spawned sentinel), it lists the available
+// programs.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/activefile/sentinel"
+)
+
+func main() {
+	sentinel.MaybeChild() // never returns when spawned as a sentinel
+
+	fmt.Println("afsentinel hosts sentinel programs for active files.")
+	fmt.Println("Point an active file's Program.Exec at this binary to run")
+	fmt.Println("its sentinel as a standalone process. Available programs:")
+	for _, name := range sentinel.Programs() {
+		fmt.Println("  ", name)
+	}
+	os.Exit(0)
+}

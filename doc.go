@@ -1,0 +1,10 @@
+// Package repro is a Go reproduction of "Active Files: A Mechanism for
+// Integrating Legacy Applications into Distributed Systems" (Dasgupta,
+// Itzkovitz, Karamcheti — ICDCS 2000).
+//
+// The public API lives in repro/activefile (using active files) and
+// repro/activefile/sentinel (authoring sentinel programs). The benchmarks in
+// bench_test.go regenerate the paper's Figure 6; cmd/afbench prints the same
+// series with the paper's exact methodology. See README.md, DESIGN.md, and
+// EXPERIMENTS.md.
+package repro

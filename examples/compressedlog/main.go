@@ -1,0 +1,150 @@
+// Compressedlog: two §3 filtering uses together. First, a compressed active
+// file — the application reads and writes plain text while the data part
+// holds the encoded form. Second, a concurrent log — many writers append
+// through their own sentinels, which lock the file per record so entries
+// never interleave, and compact old records on close.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/activefile"
+	"repro/activefile/sentinel"
+)
+
+func main() {
+	sentinel.MaybeChild()
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "af-compressedlog")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	if err := compressedFile(dir); err != nil {
+		return err
+	}
+	return concurrentLog(dir)
+}
+
+func compressedFile(dir string) error {
+	path := filepath.Join(dir, "journal.af")
+	if err := activefile.Create(path, activefile.Definition{
+		Program: activefile.ProgramSpec{Name: "compress"},
+		Params:  map[string]string{"codec": "lz"},
+	}); err != nil {
+		return err
+	}
+
+	entry := strings.Repeat("2026-07-06 service heartbeat OK\n", 400)
+	f, err := activefile.Open(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte(entry)); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	stored, err := os.ReadFile(activefile.DataPath(path))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("compressed file: %d plain bytes -> %d stored bytes (%.1fx)\n",
+		len(entry), len(stored), float64(len(entry))/float64(len(stored)))
+
+	// Reopen: the application sees plain text again, unaware of the codec.
+	f2, err := activefile.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f2.Close()
+	size, err := f2.Size()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("reopened view:   %d plain bytes\n", size)
+	return nil
+}
+
+func concurrentLog(dir string) error {
+	path := filepath.Join(dir, "events.af")
+	if err := activefile.Create(path, activefile.Definition{
+		Program: activefile.ProgramSpec{Name: "logger"},
+	}); err != nil {
+		return err
+	}
+
+	// Five writers log concurrently; none of them knows about locking.
+	var wg sync.WaitGroup
+	for w := 0; w < 5; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f, err := activefile.Open(path)
+			if err != nil {
+				log.Println("open:", err)
+				return
+			}
+			defer f.Close()
+			for i := 0; i < 8; i++ {
+				record := fmt.Sprintf("worker=%d event=%d", w, i)
+				if _, err := f.Write([]byte(record)); err != nil {
+					log.Println("write:", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	data, err := os.ReadFile(activefile.DataPath(path))
+	if err != nil {
+		return err
+	}
+	records := strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+	fmt.Printf("concurrent log:  %d records, none interleaved\n", len(records))
+
+	// A rotated log: the sentinel's background cleanup keeps only the
+	// newest records when the session closes.
+	rotated := filepath.Join(dir, "rotated.af")
+	if err := activefile.Create(rotated, activefile.Definition{
+		Program: activefile.ProgramSpec{Name: "logger"},
+		Params:  map[string]string{"keep": "10"},
+	}); err != nil {
+		return err
+	}
+	f, err := activefile.Open(rotated)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 15; i++ {
+		if _, err := f.Write([]byte(fmt.Sprintf("entry %d", i))); err != nil {
+			return err
+		}
+	}
+	if err := f.Close(); err != nil { // close triggers compaction
+		return err
+	}
+	data, err = os.ReadFile(activefile.DataPath(rotated))
+	if err != nil {
+		return err
+	}
+	records = strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+	fmt.Printf("rotated log:     15 written, %d kept (keep=10), newest: %s\n",
+		len(records), records[len(records)-1])
+	return nil
+}

@@ -1,0 +1,121 @@
+// Legacyapp: the paper's integration thesis from the legacy side. A
+// word-count tool written years ago against a Win32-shaped handle API runs
+// unmodified over (1) a plain local file, (2) a compressed active file, and
+// (3) an active file whose content lives on a remote server — and cannot
+// tell them apart.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/activefile"
+	"repro/activefile/legacy"
+	"repro/activefile/sentinel"
+	"repro/activefile/services"
+)
+
+// wordCount is the "legacy application": handle-based, byte-oriented, and
+// completely unaware of active files.
+func wordCount(t *legacy.Table, path string) (int, error) {
+	h, err := t.OpenFile(path)
+	if err != nil {
+		return 0, err
+	}
+	defer t.CloseHandle(h)
+
+	words, inWord := 0, false
+	buf := make([]byte, 128)
+	for {
+		n, err := t.ReadFile(h, buf)
+		for _, b := range buf[:n] {
+			space := b == ' ' || b == '\n' || b == '\t'
+			if !space && !inWord {
+				words++
+			}
+			inWord = !space
+		}
+		if errors.Is(err, io.EOF) || (err == nil && n == 0) {
+			return words, nil
+		}
+		if err != nil {
+			return words, err
+		}
+	}
+}
+
+func main() {
+	sentinel.MaybeChild()
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "af-legacy")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	const text = "the quick brown fox jumps over the lazy dog\n"
+	table := legacy.NewTable()
+
+	// 1. A plain passive file.
+	passive := filepath.Join(dir, "plain.txt")
+	if err := os.WriteFile(passive, []byte(text), 0o644); err != nil {
+		return err
+	}
+
+	// 2. A compressed active file holding the same text.
+	compressed := filepath.Join(dir, "packed.af")
+	if err := activefile.Create(compressed, activefile.Definition{
+		Program: activefile.ProgramSpec{Name: "compress"},
+	}); err != nil {
+		return err
+	}
+	f, err := activefile.Open(compressed)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte(text)); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	// 3. An active file proxying a remote object with the same text.
+	srv := services.NewFileServer()
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	srv.Put("essay", []byte(text))
+	remotePath := filepath.Join(dir, "remote.af")
+	if err := activefile.Create(remotePath, activefile.Definition{
+		Program: activefile.ProgramSpec{Name: "passthrough"},
+		Cache:   activefile.CacheNone,
+		Source:  activefile.SourceSpec{Kind: "tcp", Addr: addr, Path: "essay"},
+	}); err != nil {
+		return err
+	}
+
+	for _, tc := range []struct{ label, path string }{
+		{"plain local file:         ", passive},
+		{"compressed active file:   ", compressed},
+		{"remote-backed active file:", remotePath},
+	} {
+		words, err := wordCount(table, tc.path)
+		if err != nil {
+			return fmt.Errorf("%s %w", tc.label, err)
+		}
+		fmt.Printf("%s %d words\n", tc.label, words)
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+// Mailbox: the paper's §3 mail examples. An outbox active file distributes
+// every written message to the recipients named in its "To" header; an
+// inbox active file aggregates messages from multiple POP-style servers on
+// each open. A plain text editor plus these two files is a mail client.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/activefile"
+	"repro/activefile/sentinel"
+	"repro/activefile/services"
+)
+
+func main() {
+	sentinel.MaybeChild()
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Two mail drops stand in for remote POP servers.
+	homeServer := services.NewMailServer()
+	homeAddr, err := homeServer.Start("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer homeServer.Close()
+
+	workServer := services.NewMailServer()
+	workAddr, err := workServer.Start("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer workServer.Close()
+
+	dir, err := os.MkdirTemp("", "af-mailbox")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// The outbox: writing a message file sends it.
+	outboxPath := filepath.Join(dir, "outbox.af")
+	if err := activefile.Create(outboxPath, activefile.Definition{
+		Program: activefile.ProgramSpec{Name: "outbox"},
+		NoData:  true,
+		Params:  map[string]string{"server": homeAddr},
+	}); err != nil {
+		return err
+	}
+
+	outbox, err := activefile.Open(outboxPath)
+	if err != nil {
+		return err
+	}
+	message := "To: alice@home, bob@home\nSubject: lunch?\n\nnoon at the usual place\n"
+	if _, err := outbox.Write([]byte(message)); err != nil {
+		return err
+	}
+	if err := outbox.Close(); err != nil { // close flushes: the mail goes out
+		return err
+	}
+	fmt.Printf("sent; alice@home has %d message(s), bob@home has %d\n",
+		homeServer.Count("alice@home"), homeServer.Count("bob@home"))
+
+	// Seed the work account too, then read the aggregated inbox.
+	workServer.Deposit("alice@work", []byte("To: alice@work\nSubject: standup\n\nmoved to 9:30\n"))
+
+	inboxPath := filepath.Join(dir, "inbox.af")
+	if err := activefile.Create(inboxPath, activefile.Definition{
+		Program: activefile.ProgramSpec{Name: "inbox"},
+		NoData:  true,
+		Params: map[string]string{
+			"servers": homeAddr + "/alice@home, " + workAddr + "/alice@work",
+		},
+	}); err != nil {
+		return err
+	}
+
+	inbox, err := activefile.Open(inboxPath)
+	if err != nil {
+		return err
+	}
+	defer inbox.Close()
+	all, err := io.ReadAll(inbox)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("--- alice's unified inbox (both servers)\n%s", all)
+	return nil
+}

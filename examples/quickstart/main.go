@@ -1,0 +1,85 @@
+// Quickstart: create an active file bound to a filtering sentinel and use
+// it exactly like a regular file. The writing and reading code below would
+// work unchanged on a passive file — that transparency is the mechanism's
+// whole point.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/activefile"
+	"repro/activefile/sentinel"
+)
+
+func main() {
+	sentinel.MaybeChild() // become a sentinel if spawned as one
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "af-quickstart")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "notes.af")
+
+	// An active file = data part + sentinel program. This one stores text
+	// upper-cased and serves it back lower-cased.
+	if err := activefile.Create(path, activefile.Definition{
+		Program: activefile.ProgramSpec{Name: "filter:upper"},
+		Cache:   activefile.CacheDisk,
+	}); err != nil {
+		return err
+	}
+
+	// Legacy-style code: open, write, seek, read. Nothing here knows about
+	// sentinels.
+	f, err := activefile.Open(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("Hello, Active Files!")); err != nil {
+		return err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	view, err := io.ReadAll(f)
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	stored, err := os.ReadFile(activefile.DataPath(path))
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("application view: %s\n", view)
+	fmt.Printf("stored data part: %s\n", stored)
+
+	// The same file through a different implementation strategy — a real
+	// sentinel subprocess — behaves identically.
+	f2, err := activefile.Open(path, activefile.WithStrategy(activefile.StrategyProcess))
+	if err != nil {
+		return err
+	}
+	streamed, err := io.ReadAll(f2)
+	if err != nil {
+		return err
+	}
+	if err := f2.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("via subprocess:   %s\n", streamed)
+	return nil
+}

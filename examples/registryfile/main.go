@@ -1,0 +1,92 @@
+// Registryfile: the paper's §3 configuration-filtering use — "a file-based
+// interface to the Windows system registry". The sentinel renders a
+// hierarchical typed registry as editable text; valid edits written back
+// become registry modifications, and malformed edits are rejected before
+// they can corrupt anything.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/activefile"
+	"repro/activefile/sentinel"
+)
+
+func main() {
+	sentinel.MaybeChild()
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "af-registry")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "config.af")
+
+	if err := activefile.Create(path, activefile.Definition{
+		Program: activefile.ProgramSpec{Name: "registryfile"},
+	}); err != nil {
+		return err
+	}
+
+	// "Edit" the configuration with plain file writes.
+	f, err := activefile.Open(path)
+	if err != nil {
+		return err
+	}
+	config := `[system/network]
+dns = "10.0.0.1"
+mtu = 1500
+
+[system/display]
+depth = 32
+driver = "vga"
+`
+	if _, err := f.Write([]byte(config)); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil { // close parses and commits the edit
+		return err
+	}
+
+	// A fresh open shows the canonical rendering of the parsed registry.
+	f2, err := activefile.Open(path)
+	if err != nil {
+		return err
+	}
+	rendered, err := io.ReadAll(f2)
+	if err != nil {
+		return err
+	}
+	if err := f2.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("--- registry as a file\n%s\n", rendered)
+
+	// A malformed edit is rejected at flush time; the registry survives.
+	f3, err := activefile.OpenActive(path)
+	if err != nil {
+		return err
+	}
+	defer f3.Close()
+	if err := f3.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := f3.WriteAt([]byte("!!! not registry syntax !!!"), 0); err != nil {
+		return err
+	}
+	if err := f3.Sync(); err != nil {
+		fmt.Printf("malformed edit rejected: %v\n", err)
+	} else {
+		return fmt.Errorf("malformed edit was accepted")
+	}
+	return nil
+}

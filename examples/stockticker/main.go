@@ -1,0 +1,107 @@
+// Stockticker: the paper's §3 aggregation example — "an active file that
+// reflects the latest stock quotes (downloaded by the sentinel from a
+// server) every time the file is opened". Two quote feeds stand in for
+// distributed information sources; the active file merges them into one
+// listing that any file-reading tool could consume.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/activefile"
+	"repro/activefile/sentinel"
+	"repro/activefile/services"
+)
+
+func main() {
+	sentinel.MaybeChild()
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Two "remote" exchanges.
+	nyse := services.NewQuoteServer([]services.Quote{
+		{Symbol: "GM", Cents: 4250},
+		{Symbol: "IBM", Cents: 11830},
+	})
+	nyseAddr, err := nyse.Start("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer nyse.Close()
+
+	nasdaq := services.NewQuoteServer([]services.Quote{
+		{Symbol: "AAPL", Cents: 19254},
+		{Symbol: "MSFT", Cents: 41089},
+	})
+	nasdaqAddr, err := nasdaq.Start("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer nasdaq.Close()
+
+	dir, err := os.MkdirTemp("", "af-ticker")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "ticker.af")
+
+	// The active file has no data part at all: its contents are synthesized
+	// from the feeds on every open.
+	if err := activefile.Create(path, activefile.Definition{
+		Program: activefile.ProgramSpec{Name: "quotes"},
+		NoData:  true,
+		Params:  map[string]string{"addrs": nyseAddr + "," + nasdaqAddr},
+	}); err != nil {
+		return err
+	}
+
+	cat := func(label string) error {
+		f, err := activefile.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		listing, err := io.ReadAll(f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("--- %s\n%s", label, listing)
+		return nil
+	}
+
+	if err := cat("opening bell"); err != nil {
+		return err
+	}
+
+	// The market moves; a fresh open sees the new prices.
+	nyse.Tick()
+	nasdaq.SetQuote("AAPL", 20112)
+	if err := cat("after the market moves"); err != nil {
+		return err
+	}
+
+	// A long-lived reader can refresh in place with a control command.
+	h, err := activefile.OpenActive(path)
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+	nasdaq.SetQuote("MSFT", 39001)
+	if _, err := h.Control([]byte("refresh")); err != nil {
+		return err
+	}
+	listing, err := io.ReadAll(h)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("--- after in-place refresh\n%s", listing)
+	return nil
+}

@@ -1,0 +1,149 @@
+// Package aggregate implements the sentinel action of collecting information
+// from several sources and presenting it "to client applications as a
+// conventional file" (§3, Aggregation). Aggregators produce a byte snapshot
+// from one or more remote sources; an aggregation sentinel refreshes the
+// snapshot when the active file is opened (the paper's stock-quote and inbox
+// examples re-fetch on every open).
+package aggregate
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/remote"
+)
+
+// Aggregator produces the current aggregated content.
+type Aggregator interface {
+	// Aggregate fetches from every source and returns the combined bytes.
+	Aggregate() ([]byte, error)
+}
+
+// ErrNoSources reports an aggregator constructed with nothing to aggregate.
+var ErrNoSources = errors.New("aggregate: no sources")
+
+// readAll drains a Source from offset zero.
+func readAll(src remote.Source) ([]byte, error) {
+	size, err := src.Size()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, size)
+	var off int64
+	for off < size {
+		n, rerr := src.ReadAt(out[off:], off)
+		off += int64(n)
+		if rerr != nil {
+			if errors.Is(rerr, io.EOF) {
+				break
+			}
+			return nil, rerr
+		}
+		if n == 0 {
+			break
+		}
+	}
+	return out[:off], nil
+}
+
+// Concat merges sources by concatenation, optionally separating them — the
+// sentinel that "can also merge multiple remote files into a single local
+// file".
+type Concat struct {
+	sources   []remote.Source
+	separator []byte
+}
+
+var _ Aggregator = (*Concat)(nil)
+
+// NewConcat returns a concatenating aggregator over sources, inserting
+// separator between each (nil for none).
+func NewConcat(sources []remote.Source, separator []byte) (*Concat, error) {
+	if len(sources) == 0 {
+		return nil, ErrNoSources
+	}
+	sep := make([]byte, len(separator))
+	copy(sep, separator)
+	return &Concat{sources: sources, separator: sep}, nil
+}
+
+// Aggregate implements Aggregator.
+func (c *Concat) Aggregate() ([]byte, error) {
+	var buf bytes.Buffer
+	for i, src := range c.sources {
+		if i > 0 && len(c.separator) > 0 {
+			buf.Write(c.separator)
+		}
+		part, err := readAll(src)
+		if err != nil {
+			return nil, fmt.Errorf("aggregate source %d: %w", i, err)
+		}
+		buf.Write(part)
+	}
+	return buf.Bytes(), nil
+}
+
+// Interleave merges line-oriented sources round-robin, the shape of a
+// sentinel that folds several event feeds into one chronological view.
+type Interleave struct {
+	sources []remote.Source
+}
+
+var _ Aggregator = (*Interleave)(nil)
+
+// NewInterleave returns a line-interleaving aggregator over sources.
+func NewInterleave(sources []remote.Source) (*Interleave, error) {
+	if len(sources) == 0 {
+		return nil, ErrNoSources
+	}
+	return &Interleave{sources: sources}, nil
+}
+
+// Aggregate implements Aggregator.
+func (iv *Interleave) Aggregate() ([]byte, error) {
+	lines := make([][][]byte, len(iv.sources))
+	for i, src := range iv.sources {
+		raw, err := readAll(src)
+		if err != nil {
+			return nil, fmt.Errorf("aggregate source %d: %w", i, err)
+		}
+		lines[i] = splitLines(raw)
+	}
+	var buf bytes.Buffer
+	for row := 0; ; row++ {
+		wrote := false
+		for i := range lines {
+			if row < len(lines[i]) {
+				buf.Write(lines[i][row])
+				buf.WriteByte('\n')
+				wrote = true
+			}
+		}
+		if !wrote {
+			break
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+func splitLines(raw []byte) [][]byte {
+	if len(raw) == 0 {
+		return nil
+	}
+	raw = bytes.TrimSuffix(raw, []byte("\n"))
+	if len(raw) == 0 {
+		return nil
+	}
+	return bytes.Split(raw, []byte("\n"))
+}
+
+// Func adapts a function to the Aggregator interface, for sentinels whose
+// aggregation is computed (stock quotes, mail retrieval).
+type Func func() ([]byte, error)
+
+var _ Aggregator = (Func)(nil)
+
+// Aggregate implements Aggregator.
+func (f Func) Aggregate() ([]byte, error) { return f() }

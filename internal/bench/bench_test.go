@@ -1,0 +1,208 @@
+package bench_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/program"
+)
+
+func TestMain(m *testing.M) {
+	program.RegisterAll()
+	core.RunChildIfRequested()
+	os.Exit(m.Run())
+}
+
+func newRunner(t *testing.T) *bench.Runner {
+	t.Helper()
+	r, err := bench.NewRunner(t.TempDir())
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+func TestMeasureEveryCellVariant(t *testing.T) {
+	r := newRunner(t)
+	// A small sweep over every dimension proves each cell is measurable.
+	for _, strategy := range []core.Strategy{core.StrategyProcCtl, core.StrategyThread, core.StrategyDirect} {
+		for _, path := range []bench.CachePath{bench.PathRemote, bench.PathDisk, bench.PathMemory} {
+			for _, op := range []bench.Op{bench.OpRead, bench.OpWrite} {
+				cfg := bench.Config{
+					Strategy:  strategy,
+					Path:      path,
+					Op:        op,
+					BlockSize: 32,
+					Ops:       8,
+				}
+				res, err := r.Measure(cfg)
+				if err != nil {
+					t.Fatalf("Measure(%v/%v/%v): %v", strategy, path, op, err)
+				}
+				if res.Total <= 0 {
+					t.Errorf("Measure(%v/%v/%v) total = %v", strategy, path, op, res.Total)
+				}
+				if res.MicrosPerOp() <= 0 {
+					t.Errorf("MicrosPerOp = %v", res.MicrosPerOp())
+				}
+			}
+		}
+	}
+}
+
+func TestMeasurePlainProcessStreams(t *testing.T) {
+	r := newRunner(t)
+	for _, op := range []bench.Op{bench.OpRead, bench.OpWrite} {
+		res, err := r.Measure(bench.Config{
+			Strategy:  core.StrategyProcess,
+			Path:      bench.PathDisk,
+			Op:        op,
+			BlockSize: 64,
+			Ops:       8,
+		})
+		if err != nil {
+			t.Fatalf("Measure(process/%v): %v", op, err)
+		}
+		if res.Total <= 0 {
+			t.Errorf("total = %v", res.Total)
+		}
+	}
+}
+
+func TestMeasureBaselineAllPaths(t *testing.T) {
+	r := newRunner(t)
+	for _, path := range []bench.CachePath{bench.PathRemote, bench.PathDisk, bench.PathMemory} {
+		for _, op := range []bench.Op{bench.OpRead, bench.OpWrite} {
+			res, err := r.MeasureBaseline(path, op, 32, 8)
+			if err != nil {
+				t.Fatalf("MeasureBaseline(%v/%v): %v", path, op, err)
+			}
+			if res.Total <= 0 {
+				t.Errorf("baseline total = %v", res.Total)
+			}
+		}
+	}
+}
+
+func TestRunFigure6ShapeHolds(t *testing.T) {
+	// A reduced Figure 6 (one panel, small op count) must reproduce the
+	// paper's qualitative ordering: procctl (the paper's "Process" line)
+	// costs more per read than thread, which costs more than direct.
+	r := newRunner(t)
+	panels, err := r.RunFigure6(bench.FigureOptions{
+		Ops:             200,
+		Blocks:          []int{128},
+		Paths:           []bench.CachePath{bench.PathMemory},
+		OpsFilter:       bench.OpRead,
+		IncludeBaseline: true,
+	})
+	if err != nil {
+		t.Fatalf("RunFigure6: %v", err)
+	}
+	if len(panels) != 1 {
+		t.Fatalf("panels = %d, want 1", len(panels))
+	}
+	p := panels[0]
+	procctl, ok1 := p.Value("procctl", 128)
+	thread, ok2 := p.Value("thread", 128)
+	direct, ok3 := p.Value("direct", 128)
+	baseline, ok4 := p.Value("baseline", 128)
+	if !ok1 || !ok2 || !ok3 || !ok4 {
+		t.Fatalf("missing cells: %+v", p.Cells)
+	}
+	if !(procctl > thread && thread > direct) {
+		t.Errorf("ordering violated: procctl=%.2f thread=%.2f direct=%.2f",
+			procctl, thread, direct)
+	}
+	// Direct should be within a small factor of baseline ("negligible
+	// impact"); allow generous slack for a single noisy run.
+	if direct > baseline*20+5 {
+		t.Errorf("direct %.2fµs far above baseline %.2fµs", direct, baseline)
+	}
+}
+
+func TestPanelTableRendering(t *testing.T) {
+	p := &bench.Panel{
+		Path: bench.PathRemote,
+		Op:   bench.OpRead,
+		Cells: []bench.Cell{
+			{Strategy: "direct", Block: 8, MicrosOp: 1.5},
+			{Strategy: "thread", Block: 8, MicrosOp: 3.25},
+			{Strategy: "procctl", Block: 8, MicrosOp: 42},
+			{Strategy: "baseline", Block: 8, MicrosOp: 1.4},
+			{Strategy: "procctl", Block: 32, MicrosOp: 44},
+		},
+	}
+	var buf bytes.Buffer
+	if err := p.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 6(a) Read") {
+		t.Errorf("missing title: %q", out)
+	}
+	// Legend order: procctl, thread, direct, then baseline.
+	head := strings.SplitN(out, "\n", 3)[1]
+	if !strings.Contains(head, "procctl") || strings.Index(head, "procctl") > strings.Index(head, "thread") {
+		t.Errorf("column order wrong: %q", head)
+	}
+	if strings.Index(head, "thread") > strings.Index(head, "direct") {
+		t.Errorf("column order wrong: %q", head)
+	}
+	if !strings.Contains(out, "42.0") {
+		t.Errorf("missing value: %q", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Errorf("missing placeholder for absent cell: %q", out)
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	tests := []struct {
+		give fmt.Stringer
+		want string
+	}{
+		{bench.PathRemote, "remote"},
+		{bench.PathDisk, "disk"},
+		{bench.PathMemory, "memory"},
+		{bench.CachePath(9), "path(9)"},
+		{bench.OpRead, "read"},
+		{bench.OpWrite, "write"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestMicrosPerOpZeroOps(t *testing.T) {
+	var r bench.Result
+	if got := r.MicrosPerOp(); got != 0 {
+		t.Errorf("MicrosPerOp on zero ops = %v", got)
+	}
+}
+
+func TestPanelTitles(t *testing.T) {
+	tests := []struct {
+		path bench.CachePath
+		op   bench.Op
+		want string
+	}{
+		{bench.PathRemote, bench.OpRead, "Figure 6(a) Read — sentinel uses a remote source (µs/op)"},
+		{bench.PathDisk, bench.OpWrite, "Figure 6(b) Write — sentinel uses a local on-disk cache (µs/op)"},
+		{bench.PathMemory, bench.OpRead, "Figure 6(c) Read — sentinel uses an in-memory cache (µs/op)"},
+	}
+	for _, tt := range tests {
+		p := &bench.Panel{Path: tt.path, Op: tt.op}
+		if got := p.Title(); got != tt.want {
+			t.Errorf("Title = %q, want %q", got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Cell is one (strategy, blockSize) data point of a panel.
+type Cell struct {
+	Strategy string // strategy name or "baseline"
+	Block    int
+	MicrosOp float64
+}
+
+// Panel is one Figure 6 graph: a caching path and an operation, with a
+// series per implementation strategy.
+type Panel struct {
+	Path  CachePath
+	Op    Op
+	Cells []Cell
+}
+
+// Title returns the panel heading matching the paper's figure captions.
+func (p *Panel) Title() string {
+	letter := map[CachePath]string{PathRemote: "a", PathDisk: "b", PathMemory: "c"}[p.Path]
+	desc := map[CachePath]string{
+		PathRemote: "sentinel uses a remote source",
+		PathDisk:   "sentinel uses a local on-disk cache",
+		PathMemory: "sentinel uses an in-memory cache",
+	}[p.Path]
+	return fmt.Sprintf("Figure 6(%s) %s — %s (µs/op)", letter, titleOp(p.Op), desc)
+}
+
+func titleOp(o Op) string {
+	if o == OpRead {
+		return "Read"
+	}
+	return "Write"
+}
+
+// strategies lists the panel's series in the paper's legend order, with any
+// extras (ablations, baseline) after.
+func (p *Panel) strategies() []string {
+	order := map[string]int{
+		"procctl":  1, // the paper's "Process" line
+		"thread":   2,
+		"direct":   3, // the paper's "DLL" line
+		"process":  4, // ablation: no control channel
+		"baseline": 5,
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for _, c := range p.Cells {
+		if !seen[c.Strategy] {
+			seen[c.Strategy] = true
+			out = append(out, c.Strategy)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		oi, oj := order[out[i]], order[out[j]]
+		if oi != oj {
+			return oi < oj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Value returns the panel's data point for (strategy, block).
+func (p *Panel) Value(strategy string, block int) (float64, bool) {
+	for _, c := range p.Cells {
+		if c.Strategy == strategy && c.Block == block {
+			return c.MicrosOp, true
+		}
+	}
+	return 0, false
+}
+
+// WriteTable renders the panel as an aligned text table, one row per block
+// size and one column per strategy — the series the paper plots.
+func (p *Panel) WriteTable(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, p.Title()); err != nil {
+		return err
+	}
+	strategies := p.strategies()
+	if _, err := fmt.Fprintf(w, "%-8s", "block"); err != nil {
+		return err
+	}
+	for _, s := range strategies {
+		if _, err := fmt.Fprintf(w, "%12s", s); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	blocks := p.blocks()
+	for _, b := range blocks {
+		if _, err := fmt.Fprintf(w, "%-8d", b); err != nil {
+			return err
+		}
+		for _, s := range strategies {
+			if v, ok := p.Value(s, b); ok {
+				if _, err := fmt.Fprintf(w, "%12.1f", v); err != nil {
+					return err
+				}
+			} else if _, err := fmt.Fprintf(w, "%12s", "-"); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func (p *Panel) blocks() []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, c := range p.Cells {
+		if !seen[c.Block] {
+			seen[c.Block] = true
+			out = append(out, c.Block)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// FigureOptions adjust a full Figure 6 run.
+type FigureOptions struct {
+	// Ops per data point; 0 means DefaultOps (the paper's 1000).
+	Ops int
+	// Blocks to sweep; nil means BlockSizes.
+	Blocks []int
+	// IncludeProcess adds the plain process strategy (the §4.1 ablation the
+	// paper describes but does not plot).
+	IncludeProcess bool
+	// IncludeBaseline adds the no-sentinel direct-access series.
+	IncludeBaseline bool
+	// Paths to run; nil means all three panels.
+	Paths []CachePath
+	// OpsFilter limits to one operation; 0 means both.
+	OpsFilter Op
+}
+
+// RunFigure6 measures every requested panel and returns them in the paper's
+// order: (a) read, (a) write, (b) read, ... .
+func (r *Runner) RunFigure6(opts FigureOptions) ([]*Panel, error) {
+	blocks := opts.Blocks
+	if blocks == nil {
+		blocks = BlockSizes
+	}
+	paths := opts.Paths
+	if paths == nil {
+		paths = []CachePath{PathRemote, PathDisk, PathMemory}
+	}
+	operations := []Op{OpRead, OpWrite}
+	if opts.OpsFilter != 0 {
+		operations = []Op{opts.OpsFilter}
+	}
+
+	strategies := []core.Strategy{core.StrategyProcCtl, core.StrategyThread, core.StrategyDirect}
+	if opts.IncludeProcess {
+		strategies = append(strategies, core.StrategyProcess)
+	}
+
+	var panels []*Panel
+	for _, path := range paths {
+		for _, op := range operations {
+			panel := &Panel{Path: path, Op: op}
+			for _, strategy := range strategies {
+				for _, block := range blocks {
+					res, err := r.Measure(Config{
+						Strategy:  strategy,
+						Path:      path,
+						Op:        op,
+						BlockSize: block,
+						Ops:       opts.Ops,
+					})
+					if err != nil {
+						return nil, err
+					}
+					panel.Cells = append(panel.Cells, Cell{
+						Strategy: strategy.String(),
+						Block:    block,
+						MicrosOp: res.MicrosPerOp(),
+					})
+				}
+			}
+			if opts.IncludeBaseline {
+				for _, block := range blocks {
+					res, err := r.MeasureBaseline(path, op, block, opts.Ops)
+					if err != nil {
+						return nil, err
+					}
+					panel.Cells = append(panel.Cells, Cell{
+						Strategy: "baseline",
+						Block:    block,
+						MicrosOp: res.MicrosPerOp(),
+					})
+				}
+			}
+			panels = append(panels, panel)
+		}
+	}
+	return panels, nil
+}

@@ -1,0 +1,232 @@
+package cache
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Stats counts BlockCache activity.
+type Stats struct {
+	Hits          int64
+	Misses        int64
+	Evictions     int64
+	Invalidations int64
+}
+
+// BlockCache layers an LRU cache of fixed-size blocks over a slower
+// RandomAccess (typically a remote source). Reads of hot blocks are served
+// locally; writes go through to the backing store and update the cached
+// copy. Invalidate discards blocks when a remote update notification
+// arrives, keeping the cache consistent with the source.
+type BlockCache struct {
+	backing   RandomAccess
+	blockSize int
+	capacity  int
+
+	mu     sync.Mutex
+	blocks map[int64]*list.Element // block index -> lru element
+	lru    *list.List              // front = most recently used
+	stats  Stats
+}
+
+type cachedBlock struct {
+	index int64
+	data  []byte // exactly blockSize, zero padded past EOF
+	valid int    // bytes of data that are real (≤ blockSize)
+}
+
+var _ RandomAccess = (*BlockCache)(nil)
+
+// NewBlockCache returns a cache of up to capacity blocks of blockSize bytes
+// over backing.
+func NewBlockCache(backing RandomAccess, blockSize, capacity int) (*BlockCache, error) {
+	if backing == nil {
+		return nil, errNoStore
+	}
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("cache: block size %d must be positive", blockSize)
+	}
+	if capacity <= 0 {
+		return nil, fmt.Errorf("cache: capacity %d must be positive", capacity)
+	}
+	return &BlockCache{
+		backing:   backing,
+		blockSize: blockSize,
+		capacity:  capacity,
+		blocks:    make(map[int64]*list.Element, capacity),
+		lru:       list.New(),
+	}, nil
+}
+
+// Stats returns a snapshot of the hit/miss/eviction counters.
+func (c *BlockCache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// getBlock returns the cached block at index, faulting it in on a miss.
+// Called with c.mu held.
+func (c *BlockCache) getBlock(index int64) (*cachedBlock, error) {
+	if el, ok := c.blocks[index]; ok {
+		c.stats.Hits++
+		c.lru.MoveToFront(el)
+		blk, ok := el.Value.(*cachedBlock)
+		if !ok {
+			return nil, errors.New("cache: corrupt lru entry")
+		}
+		return blk, nil
+	}
+	c.stats.Misses++
+	blk := &cachedBlock{index: index, data: make([]byte, c.blockSize)}
+	n, err := c.backing.ReadAt(blk.data, index*int64(c.blockSize))
+	if err != nil && !errors.Is(err, io.EOF) {
+		return nil, err
+	}
+	blk.valid = n
+	c.insert(blk)
+	return blk, nil
+}
+
+// insert adds blk to the cache, evicting the least recently used block if at
+// capacity. Called with c.mu held.
+func (c *BlockCache) insert(blk *cachedBlock) {
+	for c.lru.Len() >= c.capacity {
+		oldest := c.lru.Back()
+		if oldest == nil {
+			break
+		}
+		old, ok := oldest.Value.(*cachedBlock)
+		if ok {
+			delete(c.blocks, old.index)
+		}
+		c.lru.Remove(oldest)
+		c.stats.Evictions++
+	}
+	c.blocks[blk.index] = c.lru.PushFront(blk)
+}
+
+// ReadAt implements RandomAccess, serving from cached blocks where possible.
+func (c *BlockCache) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, errors.New("cache: negative offset")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0
+	for total < len(p) {
+		pos := off + int64(total)
+		index := pos / int64(c.blockSize)
+		inBlock := int(pos % int64(c.blockSize))
+		blk, err := c.getBlock(index)
+		if err != nil {
+			return total, err
+		}
+		if inBlock >= blk.valid {
+			if total == 0 {
+				return 0, io.EOF
+			}
+			return total, io.EOF
+		}
+		n := copy(p[total:], blk.data[inBlock:blk.valid])
+		total += n
+		if blk.valid < c.blockSize {
+			// Short block: end of the backing object.
+			if total < len(p) {
+				return total, io.EOF
+			}
+			break
+		}
+	}
+	return total, nil
+}
+
+// WriteAt implements RandomAccess: write-through to the backing store, then
+// update any cached blocks in place so subsequent reads stay consistent.
+func (c *BlockCache) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, errors.New("cache: negative offset")
+	}
+	n, err := c.backing.WriteAt(p, off)
+	if n > 0 {
+		c.mu.Lock()
+		c.patchLocked(p[:n], off)
+		c.mu.Unlock()
+	}
+	return n, err
+}
+
+// patchLocked overlays written bytes onto cached blocks. Called with c.mu
+// held.
+func (c *BlockCache) patchLocked(p []byte, off int64) {
+	done := 0
+	for done < len(p) {
+		pos := off + int64(done)
+		index := pos / int64(c.blockSize)
+		inBlock := int(pos % int64(c.blockSize))
+		span := c.blockSize - inBlock
+		if span > len(p)-done {
+			span = len(p) - done
+		}
+		if el, ok := c.blocks[index]; ok {
+			if blk, ok := el.Value.(*cachedBlock); ok {
+				copy(blk.data[inBlock:inBlock+span], p[done:done+span])
+				if end := inBlock + span; end > blk.valid {
+					blk.valid = end
+				}
+			}
+		}
+		done += span
+	}
+}
+
+// Size implements RandomAccess, always consulting the backing store.
+func (c *BlockCache) Size() (int64, error) { return c.backing.Size() }
+
+// Truncate implements RandomAccess, dropping every cached block (length
+// changes can shorten any block).
+func (c *BlockCache) Truncate(n int64) error {
+	if err := c.backing.Truncate(n); err != nil {
+		return err
+	}
+	c.InvalidateAll()
+	return nil
+}
+
+// Invalidate discards cached blocks overlapping [off, off+length), used when
+// a remote-update notification reports external modification.
+func (c *BlockCache) Invalidate(off, length int64) {
+	if length <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	first := off / int64(c.blockSize)
+	last := (off + length - 1) / int64(c.blockSize)
+	for i := first; i <= last; i++ {
+		if el, ok := c.blocks[i]; ok {
+			c.lru.Remove(el)
+			delete(c.blocks, i)
+			c.stats.Invalidations++
+		}
+	}
+}
+
+// InvalidateAll discards every cached block.
+func (c *BlockCache) InvalidateAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Invalidations += int64(c.lru.Len())
+	c.lru.Init()
+	c.blocks = make(map[int64]*list.Element, c.capacity)
+}
+
+// Len returns the number of blocks currently cached.
+func (c *BlockCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

@@ -1,0 +1,340 @@
+// Package cache implements the caching options a sentinel can interpose
+// between the application and a remote information source. These realize the
+// three critical execution paths of the paper's Figure 5:
+//
+//	path 1 (Mode None)   — every operation goes to the remote service;
+//	path 2 (Mode Disk)   — the active file's on-disk data part is the cache;
+//	path 3 (Mode Memory) — the cache lives in the sentinel's memory.
+//
+// A frequency-based block cache (BlockCache) additionally implements the §1
+// use of "caching only the most frequently accessed contents" with
+// invalidation so the cache "can be kept consistent with any updates
+// performed to its contents at any of the remote sources".
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// Mode selects a caching path.
+type Mode int
+
+// Caching modes, one per Figure 5 path.
+const (
+	ModeNone Mode = iota + 1
+	ModeDisk
+	ModeMemory
+)
+
+// ParseMode maps a manifest cache string to a Mode; empty selects ModeNone.
+func ParseMode(s string) (Mode, error) {
+	switch strings.ToLower(s) {
+	case "", "none":
+		return ModeNone, nil
+	case "disk":
+		return ModeDisk, nil
+	case "memory", "mem":
+		return ModeMemory, nil
+	default:
+		return 0, fmt.Errorf("cache: unknown mode %q", s)
+	}
+}
+
+// String returns the manifest spelling of the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeNone:
+		return "none"
+	case ModeDisk:
+		return "disk"
+	case ModeMemory:
+		return "memory"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// RandomAccess is the storage contract shared by remote sources, the on-disk
+// data part, and in-memory buffers.
+type RandomAccess interface {
+	io.ReaderAt
+	io.WriterAt
+	Size() (int64, error)
+	Truncate(n int64) error
+}
+
+// Backend is what a sentinel session performs file operations against; the
+// concrete type determines which Figure 5 path each operation takes.
+type Backend interface {
+	RandomAccess
+	// Sync pushes buffered state toward stable storage or the remote source.
+	Sync() error
+	// Close releases the backend, flushing as Sync does.
+	Close() error
+}
+
+// errNoStore reports a backend constructed without its required store.
+var errNoStore = errors.New("cache: backend requires a store")
+
+// Passthrough is the Mode None backend: it forwards every operation to the
+// remote store with no local state (Figure 5, path 1).
+type Passthrough struct {
+	store RandomAccess
+}
+
+var _ Backend = (*Passthrough)(nil)
+
+// NewPassthrough returns a backend forwarding directly to store.
+func NewPassthrough(store RandomAccess) (*Passthrough, error) {
+	if store == nil {
+		return nil, errNoStore
+	}
+	return &Passthrough{store: store}, nil
+}
+
+// ReadAt implements Backend.
+func (b *Passthrough) ReadAt(p []byte, off int64) (int, error) { return b.store.ReadAt(p, off) }
+
+// WriteAt implements Backend.
+func (b *Passthrough) WriteAt(p []byte, off int64) (int, error) { return b.store.WriteAt(p, off) }
+
+// Size implements Backend.
+func (b *Passthrough) Size() (int64, error) { return b.store.Size() }
+
+// Truncate implements Backend.
+func (b *Passthrough) Truncate(n int64) error { return b.store.Truncate(n) }
+
+// Sync implements Backend; the remote store is always current.
+func (b *Passthrough) Sync() error { return nil }
+
+// Close implements Backend.
+func (b *Passthrough) Close() error {
+	if c, ok := b.store.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// Local is the Mode Disk / Mode Memory backend: operations hit a local store
+// (the data part on disk, or a memory buffer), and writes are optionally
+// propagated write-through to a remote source in the background of the
+// critical path (Figure 5, paths 2 and 3: "the sentinel interacts with its
+// local file rather than contacting the remote service").
+type Local struct {
+	local  RandomAccess
+	remote RandomAccess // optional write-through target
+
+	mu    sync.Mutex
+	dirty bool
+}
+
+var _ Backend = (*Local)(nil)
+
+// NewLocal returns a backend serving from local, propagating writes to
+// remote when it is non-nil.
+func NewLocal(local, remote RandomAccess) (*Local, error) {
+	if local == nil {
+		return nil, errNoStore
+	}
+	return &Local{local: local, remote: remote}, nil
+}
+
+// Populate fills the local store from the remote source, the sentinel's
+// "creates a local copy" step when an active file is opened.
+func (b *Local) Populate() error {
+	if b.remote == nil {
+		return nil
+	}
+	size, err := b.remote.Size()
+	if err != nil {
+		return fmt.Errorf("populate: remote size: %w", err)
+	}
+	if err := b.local.Truncate(size); err != nil {
+		return fmt.Errorf("populate: truncate local: %w", err)
+	}
+	buf := make([]byte, 64*1024)
+	var off int64
+	for off < size {
+		n := len(buf)
+		if int64(n) > size-off {
+			n = int(size - off)
+		}
+		rn, rerr := b.remote.ReadAt(buf[:n], off)
+		if rn > 0 {
+			if _, werr := b.local.WriteAt(buf[:rn], off); werr != nil {
+				return fmt.Errorf("populate: write local: %w", werr)
+			}
+			off += int64(rn)
+		}
+		if rerr != nil {
+			if errors.Is(rerr, io.EOF) {
+				break
+			}
+			return fmt.Errorf("populate: remote read: %w", rerr)
+		}
+		if rn == 0 {
+			break
+		}
+	}
+	return nil
+}
+
+// ReadAt implements Backend, serving from the local store only.
+func (b *Local) ReadAt(p []byte, off int64) (int, error) { return b.local.ReadAt(p, off) }
+
+// WriteAt implements Backend: the local store is updated on the critical
+// path; the remote copy is marked stale and refreshed on Sync/Close.
+func (b *Local) WriteAt(p []byte, off int64) (int, error) {
+	n, err := b.local.WriteAt(p, off)
+	if n > 0 && b.remote != nil {
+		b.mu.Lock()
+		b.dirty = true
+		b.mu.Unlock()
+	}
+	return n, err
+}
+
+// Size implements Backend.
+func (b *Local) Size() (int64, error) { return b.local.Size() }
+
+// Truncate implements Backend.
+func (b *Local) Truncate(n int64) error {
+	err := b.local.Truncate(n)
+	if err == nil && b.remote != nil {
+		b.mu.Lock()
+		b.dirty = true
+		b.mu.Unlock()
+	}
+	return err
+}
+
+// Sync implements Backend: if the local copy changed, it is pushed back to
+// the remote source in full.
+func (b *Local) Sync() error {
+	b.mu.Lock()
+	dirty := b.dirty
+	b.dirty = false
+	b.mu.Unlock()
+	if !dirty || b.remote == nil {
+		return nil
+	}
+	size, err := b.local.Size()
+	if err != nil {
+		return fmt.Errorf("sync: local size: %w", err)
+	}
+	if err := b.remote.Truncate(size); err != nil {
+		return fmt.Errorf("sync: truncate remote: %w", err)
+	}
+	buf := make([]byte, 64*1024)
+	var off int64
+	for off < size {
+		n := len(buf)
+		if int64(n) > size-off {
+			n = int(size - off)
+		}
+		rn, rerr := b.local.ReadAt(buf[:n], off)
+		if rn > 0 {
+			if _, werr := b.remote.WriteAt(buf[:rn], off); werr != nil {
+				return fmt.Errorf("sync: remote write: %w", werr)
+			}
+			off += int64(rn)
+		}
+		if rerr != nil && !errors.Is(rerr, io.EOF) {
+			return fmt.Errorf("sync: local read: %w", rerr)
+		}
+		if rn == 0 {
+			break
+		}
+	}
+	return nil
+}
+
+// Close implements Backend, flushing dirty state first.
+func (b *Local) Close() error {
+	err := b.Sync()
+	if c, ok := b.local.(io.Closer); ok {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if c, ok := b.remote.(io.Closer); ok {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// MemStore is a plain in-memory RandomAccess used as the Mode Memory local
+// store.
+type MemStore struct {
+	mu   sync.Mutex
+	data []byte
+}
+
+var _ RandomAccess = (*MemStore)(nil)
+
+// NewMemStore returns an empty memory store.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+// ReadAt implements RandomAccess.
+func (m *MemStore) ReadAt(p []byte, off int64) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if off < 0 {
+		return 0, errors.New("cache: negative offset")
+	}
+	if off >= int64(len(m.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, m.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// WriteAt implements RandomAccess, growing the buffer as needed.
+func (m *MemStore) WriteAt(p []byte, off int64) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if off < 0 {
+		return 0, errors.New("cache: negative offset")
+	}
+	end := off + int64(len(p))
+	if end > int64(len(m.data)) {
+		grown := make([]byte, end)
+		copy(grown, m.data)
+		m.data = grown
+	}
+	copy(m.data[off:end], p)
+	return len(p), nil
+}
+
+// Size implements RandomAccess.
+func (m *MemStore) Size() (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return int64(len(m.data)), nil
+}
+
+// Truncate implements RandomAccess.
+func (m *MemStore) Truncate(n int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n < 0 {
+		return errors.New("cache: negative length")
+	}
+	if n <= int64(len(m.data)) {
+		m.data = m.data[:n]
+		return nil
+	}
+	grown := make([]byte, n)
+	copy(grown, m.data)
+	m.data = grown
+	return nil
+}

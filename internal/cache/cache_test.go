@@ -1,0 +1,518 @@
+package cache
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseMode(t *testing.T) {
+	tests := []struct {
+		give    string
+		want    Mode
+		wantErr bool
+	}{
+		{give: "", want: ModeNone},
+		{give: "none", want: ModeNone},
+		{give: "disk", want: ModeDisk},
+		{give: "memory", want: ModeMemory},
+		{give: "mem", want: ModeMemory},
+		{give: "MEMORY", want: ModeMemory},
+		{give: "l2", wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.give, func(t *testing.T) {
+			got, err := ParseMode(tt.give)
+			if tt.wantErr {
+				if err == nil {
+					t.Errorf("ParseMode(%q) succeeded, want error", tt.give)
+				}
+				return
+			}
+			if err != nil || got != tt.want {
+				t.Errorf("ParseMode(%q) = (%v, %v), want %v", tt.give, got, err, tt.want)
+			}
+		})
+	}
+}
+
+func TestModeString(t *testing.T) {
+	tests := []struct {
+		give Mode
+		want string
+	}{
+		{ModeNone, "none"},
+		{ModeDisk, "disk"},
+		{ModeMemory, "memory"},
+		{Mode(9), "mode(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("Mode(%d).String() = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestMemStoreBasics(t *testing.T) {
+	m := NewMemStore()
+	if _, err := m.WriteAt([]byte("abcdef"), 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 3)
+	if _, err := m.ReadAt(buf, 2); err != nil || string(buf) != "cde" {
+		t.Errorf("ReadAt = (%q, %v)", buf, err)
+	}
+	if size, _ := m.Size(); size != 6 {
+		t.Errorf("Size = %d, want 6", size)
+	}
+	if err := m.Truncate(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ReadAt(buf, 2); !errors.Is(err, io.EOF) {
+		t.Errorf("ReadAt after truncate err = %v, want EOF", err)
+	}
+	if err := m.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	if size, _ := m.Size(); size != 4 {
+		t.Errorf("Size after grow = %d, want 4", size)
+	}
+}
+
+func TestPassthroughForwards(t *testing.T) {
+	store := NewMemStore()
+	b, err := NewPassthrough(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.WriteAt([]byte("direct"), 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 6)
+	if _, err := store.ReadAt(got, 0); err != nil || string(got) != "direct" {
+		t.Errorf("store saw (%q, %v), want write-through", got, err)
+	}
+	if _, err := b.ReadAt(got, 0); err != nil || string(got) != "direct" {
+		t.Errorf("backend read = (%q, %v)", got, err)
+	}
+	if size, _ := b.Size(); size != 6 {
+		t.Errorf("Size = %d", size)
+	}
+	if err := b.Sync(); err != nil {
+		t.Errorf("Sync: %v", err)
+	}
+	if err := b.Truncate(0); err != nil {
+		t.Errorf("Truncate: %v", err)
+	}
+	if err := b.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+func TestNewBackendsRejectNilStore(t *testing.T) {
+	if _, err := NewPassthrough(nil); err == nil {
+		t.Error("NewPassthrough(nil) succeeded")
+	}
+	if _, err := NewLocal(nil, NewMemStore()); err == nil {
+		t.Error("NewLocal(nil, ...) succeeded")
+	}
+	if _, err := NewBlockCache(nil, 4, 4); err == nil {
+		t.Error("NewBlockCache(nil, ...) succeeded")
+	}
+}
+
+func TestLocalServesFromLocalStore(t *testing.T) {
+	remote := NewMemStore()
+	remote.WriteAt([]byte("remote truth"), 0)
+	local := NewMemStore()
+	b, err := NewLocal(local, remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Populate(); err != nil {
+		t.Fatalf("Populate: %v", err)
+	}
+	buf := make([]byte, 12)
+	if _, err := b.ReadAt(buf, 0); err != nil || string(buf) != "remote truth" {
+		t.Fatalf("ReadAt = (%q, %v)", buf, err)
+	}
+	// Mutate the remote after population: reads must keep coming from the
+	// local copy (that is the point of path 2/3).
+	remote.WriteAt([]byte("REMOTE"), 0)
+	if _, err := b.ReadAt(buf, 0); err != nil || string(buf) != "remote truth" {
+		t.Errorf("ReadAt after remote mutation = (%q, %v), want cached copy", buf, err)
+	}
+}
+
+func TestLocalWritePropagatesOnSync(t *testing.T) {
+	remote := NewMemStore()
+	local := NewMemStore()
+	b, err := NewLocal(local, remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.WriteAt([]byte("dirty"), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Before Sync the remote has not seen the write.
+	if size, _ := remote.Size(); size != 0 {
+		t.Errorf("remote size before sync = %d, want 0", size)
+	}
+	if err := b.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	buf := make([]byte, 5)
+	if _, err := remote.ReadAt(buf, 0); err != nil || string(buf) != "dirty" {
+		t.Errorf("remote after sync = (%q, %v)", buf, err)
+	}
+	// Clean sync is a no-op even if the remote then diverges.
+	remote.WriteAt([]byte("XXXXX"), 0)
+	if err := b.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	remote.ReadAt(buf, 0)
+	if string(buf) != "XXXXX" {
+		t.Errorf("clean Sync overwrote remote: %q", buf)
+	}
+}
+
+func TestLocalTruncateMarksDirty(t *testing.T) {
+	remote := NewMemStore()
+	remote.WriteAt([]byte("0123456789"), 0)
+	local := NewMemStore()
+	b, err := NewLocal(local, remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Populate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if size, _ := remote.Size(); size != 4 {
+		t.Errorf("remote size after truncate sync = %d, want 4", size)
+	}
+}
+
+func TestLocalCloseFlushes(t *testing.T) {
+	remote := NewMemStore()
+	b, err := NewLocal(NewMemStore(), remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.WriteAt([]byte("bye"), 0)
+	if err := b.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	buf := make([]byte, 3)
+	if _, err := remote.ReadAt(buf, 0); err != nil || string(buf) != "bye" {
+		t.Errorf("remote after close = (%q, %v)", buf, err)
+	}
+}
+
+func TestLocalWithoutRemote(t *testing.T) {
+	b, err := NewLocal(NewMemStore(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Populate(); err != nil {
+		t.Errorf("Populate without remote: %v", err)
+	}
+	b.WriteAt([]byte("solo"), 0)
+	if err := b.Sync(); err != nil {
+		t.Errorf("Sync without remote: %v", err)
+	}
+}
+
+// countingStore counts operations reaching the backing store.
+type countingStore struct {
+	RandomAccess
+	reads, writes int
+}
+
+func (c *countingStore) ReadAt(p []byte, off int64) (int, error) {
+	c.reads++
+	return c.RandomAccess.ReadAt(p, off)
+}
+
+func (c *countingStore) WriteAt(p []byte, off int64) (int, error) {
+	c.writes++
+	return c.RandomAccess.WriteAt(p, off)
+}
+
+func TestBlockCacheHitAvoidsBacking(t *testing.T) {
+	mem := NewMemStore()
+	mem.WriteAt(bytes.Repeat([]byte("x"), 1024), 0)
+	store := &countingStore{RandomAccess: mem}
+	c, err := NewBlockCache(store, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	if _, err := c.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	readsAfterMiss := store.reads
+	for i := 0; i < 10; i++ {
+		if _, err := c.ReadAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if store.reads != readsAfterMiss {
+		t.Errorf("backing reads grew from %d to %d on cache hits", readsAfterMiss, store.reads)
+	}
+	st := c.Stats()
+	if st.Hits != 10 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 10 hits / 1 miss", st)
+	}
+}
+
+func TestBlockCacheWriteThrough(t *testing.T) {
+	mem := NewMemStore()
+	mem.WriteAt(make([]byte, 256), 0)
+	c, err := NewBlockCache(mem, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fault in block 0, then write through it.
+	buf := make([]byte, 8)
+	if _, err := c.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WriteAt([]byte("fresh"), 2); err != nil {
+		t.Fatal(err)
+	}
+	// The backing store sees the write immediately.
+	got := make([]byte, 5)
+	if _, err := mem.ReadAt(got, 2); err != nil || string(got) != "fresh" {
+		t.Errorf("backing = (%q, %v)", got, err)
+	}
+	// The cached block was patched, not left stale.
+	if _, err := c.ReadAt(got, 2); err != nil || string(got) != "fresh" {
+		t.Errorf("cached read = (%q, %v)", got, err)
+	}
+}
+
+func TestBlockCacheLRUEviction(t *testing.T) {
+	mem := NewMemStore()
+	mem.WriteAt(make([]byte, 64*10), 0)
+	c, err := NewBlockCache(mem, 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	c.ReadAt(buf, 0)    // block 0
+	c.ReadAt(buf, 64)   // block 1
+	c.ReadAt(buf, 0)    // touch block 0 (now MRU)
+	c.ReadAt(buf, 2*64) // block 2 evicts block 1
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	// Re-reading block 0 is still a hit; block 1 is a miss.
+	before := c.Stats().Misses
+	c.ReadAt(buf, 0)
+	if c.Stats().Misses != before {
+		t.Error("block 0 was evicted, want it retained as MRU")
+	}
+	c.ReadAt(buf, 64)
+	if c.Stats().Misses != before+1 {
+		t.Error("block 1 unexpectedly still cached")
+	}
+}
+
+func TestBlockCacheInvalidate(t *testing.T) {
+	mem := NewMemStore()
+	mem.WriteAt(bytes.Repeat([]byte("a"), 256), 0)
+	c, err := NewBlockCache(mem, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	c.ReadAt(buf, 0)
+	// External writer updates the source behind the cache's back.
+	mem.WriteAt(bytes.Repeat([]byte("b"), 64), 0)
+	c.ReadAt(buf, 0)
+	if buf[0] != 'a' {
+		t.Fatal("expected stale read before invalidation")
+	}
+	c.Invalidate(0, 64)
+	c.ReadAt(buf, 0)
+	if buf[0] != 'b' {
+		t.Error("read after Invalidate still stale")
+	}
+	if st := c.Stats(); st.Invalidations != 1 {
+		t.Errorf("invalidations = %d, want 1", st.Invalidations)
+	}
+}
+
+func TestBlockCacheInvalidateAll(t *testing.T) {
+	mem := NewMemStore()
+	mem.WriteAt(make([]byte, 256), 0)
+	c, err := NewBlockCache(mem, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	for off := int64(0); off < 256; off += 64 {
+		c.ReadAt(buf, off)
+	}
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", c.Len())
+	}
+	c.InvalidateAll()
+	if c.Len() != 0 {
+		t.Errorf("Len after InvalidateAll = %d, want 0", c.Len())
+	}
+}
+
+func TestBlockCacheTruncateDropsBlocks(t *testing.T) {
+	mem := NewMemStore()
+	mem.WriteAt(bytes.Repeat([]byte("z"), 256), 0)
+	c, err := NewBlockCache(mem, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	c.ReadAt(buf, 0)
+	if err := c.Truncate(10); err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.ReadAt(buf, 0)
+	if n != 10 || !errors.Is(err, io.EOF) {
+		t.Errorf("ReadAt after truncate = (%d, %v), want (10, EOF)", n, err)
+	}
+}
+
+func TestBlockCacheEOFAtExactEnd(t *testing.T) {
+	mem := NewMemStore()
+	mem.WriteAt([]byte("0123456789"), 0)
+	c, err := NewBlockCache(mem, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := c.ReadAt(buf, 10); !errors.Is(err, io.EOF) {
+		t.Errorf("ReadAt at end err = %v, want EOF", err)
+	}
+	n, err := c.ReadAt(buf, 8)
+	if n != 2 || !errors.Is(err, io.EOF) {
+		t.Errorf("ReadAt(8) = (%d, %v), want (2, EOF)", n, err)
+	}
+}
+
+func TestBlockCacheRejectsBadConfig(t *testing.T) {
+	mem := NewMemStore()
+	if _, err := NewBlockCache(mem, 0, 4); err == nil {
+		t.Error("blockSize 0 accepted")
+	}
+	if _, err := NewBlockCache(mem, 64, 0); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+}
+
+func TestBlockCacheMatchesBackingProperty(t *testing.T) {
+	// Under any interleaving of cached reads and write-throughs, a read
+	// through the cache returns exactly what a direct read of the backing
+	// store would.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mem := NewMemStore()
+		initial := make([]byte, 1000)
+		rng.Read(initial)
+		mem.WriteAt(initial, 0)
+
+		c, err := NewBlockCache(mem, 32, 4)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 200; i++ {
+			off := int64(rng.Intn(1000))
+			n := rng.Intn(100) + 1
+			if rng.Intn(2) == 0 {
+				data := make([]byte, n)
+				rng.Read(data)
+				if _, err := c.WriteAt(data, off); err != nil {
+					return false
+				}
+			} else {
+				got := make([]byte, n)
+				gn, gerr := c.ReadAt(got, off)
+				want := make([]byte, n)
+				wn, werr := mem.ReadAt(want, off)
+				if gn != wn || !bytes.Equal(got[:gn], want[:wn]) {
+					return false
+				}
+				if (gerr == nil) != (werr == nil) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockCacheSizeDelegates(t *testing.T) {
+	mem := NewMemStore()
+	mem.WriteAt(make([]byte, 100), 0)
+	c, err := NewBlockCache(mem, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size, err := c.Size(); err != nil || size != 100 {
+		t.Errorf("Size = (%d, %v), want 100", size, err)
+	}
+}
+
+func TestLocalCloseClosesBothStores(t *testing.T) {
+	local := remoteCloser{NewMemStore(), new(bool)}
+	remote := remoteCloser{NewMemStore(), new(bool)}
+	b, err := NewLocal(local, remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !*local.closed || !*remote.closed {
+		t.Errorf("closed = local %v, remote %v", *local.closed, *remote.closed)
+	}
+}
+
+// remoteCloser decorates a RandomAccess with a Close flag.
+type remoteCloser struct {
+	RandomAccess
+	closed *bool
+}
+
+func (r remoteCloser) Close() error {
+	*r.closed = true
+	return nil
+}
+
+func TestPassthroughCloseClosesStore(t *testing.T) {
+	store := remoteCloser{NewMemStore(), new(bool)}
+	b, err := NewPassthrough(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !*store.closed {
+		t.Error("underlying store not closed")
+	}
+}

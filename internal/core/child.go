@@ -1,0 +1,238 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/vfs"
+	"repro/internal/wire"
+)
+
+// Child-side file descriptors, in the order ipc.ChannelFiles passes them.
+const (
+	childFDRead  = 3 // application data flowing in (our "stdin" pipe)
+	childFDWrite = 4 // data/responses flowing back to the application
+	childFDCtrl  = 5 // control commands (process-plus-control only)
+)
+
+// RunChildIfRequested turns the current process into a sentinel if it was
+// spawned as one (the environment marker is set). Binaries that can host
+// process-strategy sentinels — including test binaries, via TestMain — must
+// call this before doing anything else; it never returns in a child.
+func RunChildIfRequested() {
+	if os.Getenv(envChildMarker) == "" {
+		return
+	}
+	if err := runChild(); err != nil {
+		fmt.Fprintln(os.Stderr, "af sentinel:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// runChild loads the session description from the environment, opens the
+// program, and serves until the application closes the file.
+func runChild() error {
+	manifestPath := os.Getenv(envManifest)
+	if manifestPath == "" {
+		return errors.New("no manifest in environment")
+	}
+	strategy, err := ParseStrategy(os.Getenv(envStrategy))
+	if err != nil {
+		return err
+	}
+	m, err := vfs.Load(manifestPath)
+	if err != nil {
+		return fmt.Errorf("load manifest: %w", err)
+	}
+	program, err := LookupProgram(m.Program.Name)
+	if err != nil {
+		return err
+	}
+	handler, err := program.Open(&Env{Path: manifestPath, Manifest: m})
+	if err != nil {
+		return fmt.Errorf("open program %q: %w", m.Program.Name, err)
+	}
+
+	in := os.NewFile(childFDRead, "af-data-in")
+	out := os.NewFile(childFDWrite, "af-data-out")
+	if in == nil || out == nil {
+		handler.Close()
+		return errors.New("sentinel data pipes not inherited")
+	}
+
+	switch strategy {
+	case StrategyProcess:
+		return serveStream(handler, in, out)
+	case StrategyProcCtl:
+		ctrl := os.NewFile(childFDCtrl, "af-ctrl")
+		if ctrl == nil {
+			handler.Close()
+			return errors.New("sentinel control pipe not inherited")
+		}
+		readAhead := m.Params["readahead"] == "true"
+		return serveControl(handler, in, out, ctrl, readAhead)
+	default:
+		handler.Close()
+		return fmt.Errorf("strategy %v cannot run as a subprocess", strategy)
+	}
+}
+
+// serveStream is the plain-process sentinel loop, the shape of the paper's
+// Figure 2 null filter: one thread streams session content to the
+// application, another consumes the application's write stream. Read and
+// write positions advance independently from zero; there is no control
+// channel to reposition either.
+func serveStream(handler Handler, in io.ReadCloser, out io.WriteCloser) error {
+	var wg sync.WaitGroup
+	errCh := make(chan error, 2)
+
+	wg.Add(1)
+	go func() { // supply application reads
+		defer wg.Done()
+		defer out.Close()
+		buf := make([]byte, 32*1024)
+		var off int64
+		for {
+			n, rerr := handler.ReadAt(buf, off)
+			if n > 0 {
+				if _, werr := out.Write(buf[:n]); werr != nil {
+					return // application stopped reading
+				}
+				off += int64(n)
+			}
+			if rerr != nil {
+				if !errors.Is(rerr, io.EOF) {
+					errCh <- fmt.Errorf("stream read: %w", rerr)
+				}
+				return
+			}
+			if n == 0 {
+				return
+			}
+		}
+	}()
+
+	wg.Add(1)
+	go func() { // consume application writes
+		defer wg.Done()
+		buf := make([]byte, 32*1024)
+		var off int64
+		for {
+			n, rerr := in.Read(buf)
+			if n > 0 {
+				if _, werr := handler.WriteAt(buf[:n], off); werr != nil {
+					errCh <- fmt.Errorf("stream write: %w", werr)
+					return
+				}
+				off += int64(n)
+			}
+			if rerr != nil {
+				return // EOF: application closed its end
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errCh)
+	var first error
+	for err := range errCh {
+		if first == nil {
+			first = err
+		}
+	}
+	if cerr := handler.Close(); first == nil {
+		first = cerr
+	}
+	return first
+}
+
+// serveControl is the process-plus-control sentinel loop: a single dispatch
+// thread blocks on the control channel, pulls write payloads off the data-in
+// pipe, and ships responses (with any read data) back on the data-out pipe.
+// Writes are not acknowledged; their failures are carried to the next
+// sync/close response.
+//
+// With readAhead, the sentinel anticipates sequential reads (§4.2: "the
+// sentinel process might choose to eagerly inject data into the read pipe
+// (anticipating read requests)"): after each read it prefetches the next
+// same-sized block, serving a following sequential read without touching the
+// handler on the critical path.
+func serveControl(handler Handler, in io.Reader, out io.Writer, ctrl io.Reader, readAhead bool) error {
+	reqs := wire.NewReader(ctrl)
+	resps := wire.NewWriter(out)
+	d := newDispatcher(handler)
+
+	var pendingWriteErr error
+	payload := make([]byte, 0, 64*1024)
+	var prefetch *prefetchState
+	if readAhead {
+		prefetch = &prefetchState{}
+	}
+
+	for {
+		req, err := reqs.ReadRequest()
+		if err != nil {
+			// Control channel gone: application vanished without OpClose.
+			handler.Close()
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("control channel: %w", err)
+		}
+
+		if req.Op == wire.OpWrite {
+			n := int(req.N)
+			if n < 0 || n > wire.MaxPayload {
+				pendingWriteErr = fmt.Errorf("bad write size %d", n)
+				continue
+			}
+			if cap(payload) < n {
+				payload = make([]byte, n)
+			}
+			if _, err := io.ReadFull(in, payload[:n]); err != nil {
+				handler.Close()
+				return fmt.Errorf("write payload: %w", err)
+			}
+			wreq := req
+			wreq.Data = payload[:n]
+			resp := d.dispatch(&wreq)
+			if werr := wire.ToError(wire.OpWrite, resp.Status, resp.Msg); werr != nil && pendingWriteErr == nil {
+				pendingWriteErr = werr
+			}
+			prefetch.invalidate() // written content may overlap the prefetch
+			continue              // deliberately unacknowledged
+		}
+
+		var resp wire.Response
+		if req.Op == wire.OpRead && prefetch.serve(&req, &resp) {
+			// Served entirely from the prefetched block.
+		} else {
+			resp = d.dispatch(&req)
+			if req.Op == wire.OpTruncate {
+				prefetch.invalidate()
+			}
+		}
+		// Deferred write failures surface on the next synchronous barrier.
+		if (req.Op == wire.OpSync || req.Op == wire.OpClose) &&
+			resp.Status == wire.StatusOK && pendingWriteErr != nil {
+			resp.Status, resp.Msg = wire.FromError(pendingWriteErr)
+			pendingWriteErr = nil
+		}
+		if err := resps.WriteResponse(&resp); err != nil {
+			handler.Close()
+			return fmt.Errorf("response channel: %w", err)
+		}
+		if req.Op == wire.OpClose {
+			return nil
+		}
+		if req.Op == wire.OpRead {
+			// Anticipate the next sequential read while the application is
+			// busy consuming this one.
+			prefetch.fill(handler, req.Off+int64(len(resp.Data)), int(req.N))
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+import "repro/internal/wire"
+
+// directTransport implements the DLL-only strategy (§4.4): file operations
+// are routed straight into the sentinel program's routines — no pipe, no
+// goroutine switch, no extra copy. This is the paper's most efficient
+// implementation, "incurring the same costs as if the application were
+// directly accessing the information sources".
+type directTransport struct {
+	handler Handler
+}
+
+var _ transport = (*directTransport)(nil)
+
+func newDirectTransport(h Handler) *directTransport {
+	return &directTransport{handler: h}
+}
+
+func (t *directTransport) readAt(p []byte, off int64) (int, error) {
+	return t.handler.ReadAt(p, off)
+}
+
+func (t *directTransport) writeAt(p []byte, off int64) (int, error) {
+	return t.handler.WriteAt(p, off)
+}
+
+func (t *directTransport) size() (int64, error) { return t.handler.Size() }
+
+func (t *directTransport) truncate(n int64) error { return t.handler.Truncate(n) }
+
+func (t *directTransport) sync() error { return t.handler.Sync() }
+
+func (t *directTransport) lock(off, n int64) error {
+	if l, ok := t.handler.(Locker); ok {
+		return l.Lock(off, n)
+	}
+	return wire.ErrUnsupported
+}
+
+func (t *directTransport) unlock(off, n int64) error {
+	if l, ok := t.handler.(Locker); ok {
+		return l.Unlock(off, n)
+	}
+	return wire.ErrUnsupported
+}
+
+func (t *directTransport) control(req []byte) ([]byte, error) {
+	if c, ok := t.handler.(Controller); ok {
+		return c.Control(req)
+	}
+	return nil, wire.ErrUnsupported
+}
+
+func (t *directTransport) close() error { return t.handler.Close() }

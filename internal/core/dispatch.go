@@ -1,0 +1,107 @@
+package core
+
+import "repro/internal/wire"
+
+// dispatcher executes decoded requests against a Handler, producing the
+// response each transport ships back. It owns a reusable read buffer, so a
+// dispatcher serves exactly one session loop at a time.
+type dispatcher struct {
+	handler Handler
+	buf     []byte
+}
+
+func newDispatcher(h Handler) *dispatcher {
+	return &dispatcher{handler: h}
+}
+
+// dispatch runs one operation. The returned response's Data may alias the
+// dispatcher's internal buffer; transports must ship or copy it before the
+// next call.
+func (d *dispatcher) dispatch(req *wire.Request) wire.Response {
+	resp := wire.Response{Seq: req.Seq, Status: wire.StatusOK}
+	switch req.Op {
+	case wire.OpRead:
+		n := int(req.N)
+		if n < 0 || n > wire.MaxPayload {
+			resp.Status, resp.Msg = wire.StatusError, "bad read size"
+			return resp
+		}
+		if cap(d.buf) < n {
+			d.buf = make([]byte, n)
+		}
+		rn, err := d.handler.ReadAt(d.buf[:n], req.Off)
+		resp.N = int64(rn)
+		resp.Data = d.buf[:rn]
+		if err != nil {
+			// A short read at end of file keeps its data AND reports EOF,
+			// matching os.File.ReadAt semantics end to end.
+			resp.Status, resp.Msg = wire.FromError(err)
+		}
+
+	case wire.OpWrite:
+		wn, err := d.handler.WriteAt(req.Data, req.Off)
+		resp.N = int64(wn)
+		if err != nil {
+			resp.Status, resp.Msg = wire.FromError(err)
+		}
+
+	case wire.OpSize:
+		size, err := d.handler.Size()
+		resp.N = size
+		if err != nil {
+			resp.Status, resp.Msg = wire.FromError(err)
+		}
+
+	case wire.OpTruncate:
+		if err := d.handler.Truncate(req.Off); err != nil {
+			resp.Status, resp.Msg = wire.FromError(err)
+		}
+
+	case wire.OpSync:
+		if err := d.handler.Sync(); err != nil {
+			resp.Status, resp.Msg = wire.FromError(err)
+		}
+
+	case wire.OpLock:
+		locker, ok := d.handler.(Locker)
+		if !ok {
+			resp.Status = wire.StatusUnsupported
+			return resp
+		}
+		if err := locker.Lock(req.Off, req.N); err != nil {
+			resp.Status, resp.Msg = wire.FromError(err)
+		}
+
+	case wire.OpUnlock:
+		locker, ok := d.handler.(Locker)
+		if !ok {
+			resp.Status = wire.StatusUnsupported
+			return resp
+		}
+		if err := locker.Unlock(req.Off, req.N); err != nil {
+			resp.Status, resp.Msg = wire.FromError(err)
+		}
+
+	case wire.OpControl:
+		ctl, ok := d.handler.(Controller)
+		if !ok {
+			resp.Status = wire.StatusUnsupported
+			return resp
+		}
+		out, err := ctl.Control(req.Data)
+		resp.Data = out
+		resp.N = int64(len(out))
+		if err != nil {
+			resp.Status, resp.Msg = wire.FromError(err)
+		}
+
+	case wire.OpClose:
+		if err := d.handler.Close(); err != nil {
+			resp.Status, resp.Msg = wire.FromError(err)
+		}
+
+	default:
+		resp.Status = wire.StatusUnsupported
+	}
+	return resp
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// fakeHandler records calls and returns scripted results.
+type fakeHandler struct {
+	data      []byte
+	syncErr   error
+	closed    bool
+	truncated int64
+}
+
+func (f *fakeHandler) ReadAt(p []byte, off int64) (int, error) {
+	if off >= int64(len(f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (f *fakeHandler) WriteAt(p []byte, off int64) (int, error) {
+	end := off + int64(len(p))
+	if end > int64(len(f.data)) {
+		grown := make([]byte, end)
+		copy(grown, f.data)
+		f.data = grown
+	}
+	copy(f.data[off:end], p)
+	return len(p), nil
+}
+
+func (f *fakeHandler) Size() (int64, error) { return int64(len(f.data)), nil }
+
+func (f *fakeHandler) Truncate(n int64) error {
+	f.truncated = n
+	if n < int64(len(f.data)) {
+		f.data = f.data[:n]
+	}
+	return nil
+}
+
+func (f *fakeHandler) Sync() error { return f.syncErr }
+
+func (f *fakeHandler) Close() error {
+	f.closed = true
+	return nil
+}
+
+// lockingFake adds Locker and Controller.
+type lockingFake struct {
+	fakeHandler
+	locked   [][2]int64
+	ctrlSeen []byte
+}
+
+func (l *lockingFake) Lock(off, n int64) error {
+	l.locked = append(l.locked, [2]int64{off, n})
+	return nil
+}
+
+func (l *lockingFake) Unlock(off, n int64) error {
+	for i, sp := range l.locked {
+		if sp[0] == off && sp[1] == n {
+			l.locked = append(l.locked[:i], l.locked[i+1:]...)
+			return nil
+		}
+	}
+	return errors.New("not held")
+}
+
+func (l *lockingFake) Control(req []byte) ([]byte, error) {
+	l.ctrlSeen = append([]byte(nil), req...)
+	return []byte("ack"), nil
+}
+
+func TestDispatchRead(t *testing.T) {
+	h := &fakeHandler{data: []byte("0123456789")}
+	d := newDispatcher(h)
+
+	resp := d.dispatch(&wire.Request{Op: wire.OpRead, Seq: 3, Off: 2, N: 4})
+	if resp.Status != wire.StatusOK || resp.Seq != 3 || string(resp.Data) != "2345" || resp.N != 4 {
+		t.Errorf("read resp = %+v", resp)
+	}
+
+	// Short read at EOF keeps its data and reports EOF.
+	resp = d.dispatch(&wire.Request{Op: wire.OpRead, Off: 8, N: 4})
+	if resp.Status != wire.StatusEOF || string(resp.Data) != "89" || resp.N != 2 {
+		t.Errorf("eof read resp = %+v", resp)
+	}
+
+	// Past-end read is a clean EOF.
+	resp = d.dispatch(&wire.Request{Op: wire.OpRead, Off: 100, N: 4})
+	if resp.Status != wire.StatusEOF || resp.N != 0 {
+		t.Errorf("past-end resp = %+v", resp)
+	}
+}
+
+func TestDispatchReadBadSize(t *testing.T) {
+	d := newDispatcher(&fakeHandler{})
+	for _, n := range []int64{-1, wire.MaxPayload + 1} {
+		resp := d.dispatch(&wire.Request{Op: wire.OpRead, N: n})
+		if resp.Status != wire.StatusError {
+			t.Errorf("read N=%d status = %v, want error", n, resp.Status)
+		}
+	}
+}
+
+func TestDispatchWriteSizeTruncateSync(t *testing.T) {
+	h := &fakeHandler{}
+	d := newDispatcher(h)
+
+	resp := d.dispatch(&wire.Request{Op: wire.OpWrite, Off: 0, Data: []byte("abc")})
+	if resp.Status != wire.StatusOK || resp.N != 3 {
+		t.Errorf("write resp = %+v", resp)
+	}
+	resp = d.dispatch(&wire.Request{Op: wire.OpSize})
+	if resp.Status != wire.StatusOK || resp.N != 3 {
+		t.Errorf("size resp = %+v", resp)
+	}
+	resp = d.dispatch(&wire.Request{Op: wire.OpTruncate, Off: 1})
+	if resp.Status != wire.StatusOK || h.truncated != 1 {
+		t.Errorf("truncate resp = %+v, handler saw %d", resp, h.truncated)
+	}
+	resp = d.dispatch(&wire.Request{Op: wire.OpSync})
+	if resp.Status != wire.StatusOK {
+		t.Errorf("sync resp = %+v", resp)
+	}
+	h.syncErr = errors.New("flush failed")
+	resp = d.dispatch(&wire.Request{Op: wire.OpSync})
+	if resp.Status != wire.StatusError || resp.Msg != "flush failed" {
+		t.Errorf("failed sync resp = %+v", resp)
+	}
+}
+
+func TestDispatchLockAndControlOptionalInterfaces(t *testing.T) {
+	plain := newDispatcher(&fakeHandler{})
+	for _, op := range []wire.Op{wire.OpLock, wire.OpUnlock, wire.OpControl} {
+		resp := plain.dispatch(&wire.Request{Op: op})
+		if resp.Status != wire.StatusUnsupported {
+			t.Errorf("%v on plain handler status = %v, want unsupported", op, resp.Status)
+		}
+	}
+
+	lf := &lockingFake{}
+	rich := newDispatcher(lf)
+	resp := rich.dispatch(&wire.Request{Op: wire.OpLock, Off: 4, N: 8})
+	if resp.Status != wire.StatusOK || len(lf.locked) != 1 {
+		t.Errorf("lock resp = %+v, locked = %v", resp, lf.locked)
+	}
+	resp = rich.dispatch(&wire.Request{Op: wire.OpUnlock, Off: 4, N: 8})
+	if resp.Status != wire.StatusOK || len(lf.locked) != 0 {
+		t.Errorf("unlock resp = %+v", resp)
+	}
+	resp = rich.dispatch(&wire.Request{Op: wire.OpUnlock, Off: 9, N: 9})
+	if resp.Status != wire.StatusError {
+		t.Errorf("unheld unlock status = %v", resp.Status)
+	}
+	resp = rich.dispatch(&wire.Request{Op: wire.OpControl, Data: []byte("cmd")})
+	if resp.Status != wire.StatusOK || string(resp.Data) != "ack" || string(lf.ctrlSeen) != "cmd" {
+		t.Errorf("control resp = %+v", resp)
+	}
+}
+
+func TestDispatchClose(t *testing.T) {
+	h := &fakeHandler{}
+	d := newDispatcher(h)
+	resp := d.dispatch(&wire.Request{Op: wire.OpClose, Seq: 9})
+	if resp.Status != wire.StatusOK || resp.Seq != 9 || !h.closed {
+		t.Errorf("close resp = %+v, closed = %v", resp, h.closed)
+	}
+}
+
+func TestDispatchUnknownOp(t *testing.T) {
+	d := newDispatcher(&fakeHandler{})
+	resp := d.dispatch(&wire.Request{Op: wire.OpStat})
+	if resp.Status != wire.StatusUnsupported {
+		t.Errorf("stat status = %v, want unsupported", resp.Status)
+	}
+	resp = d.dispatch(&wire.Request{Op: wire.Op(99)})
+	if resp.Status != wire.StatusUnsupported {
+		t.Errorf("bogus op status = %v, want unsupported", resp.Status)
+	}
+}
+
+func TestDispatchBufferReuse(t *testing.T) {
+	// The dispatcher reuses its read buffer across calls (the footnote-1
+	// buffer-reuse optimization); its responses alias that buffer, so each
+	// must be consumed before the next dispatch.
+	h := &fakeHandler{data: []byte("abcdef")}
+	d := newDispatcher(h)
+	first := d.dispatch(&wire.Request{Op: wire.OpRead, Off: 0, N: 3})
+	saved := string(first.Data)
+	second := d.dispatch(&wire.Request{Op: wire.OpRead, Off: 3, N: 3})
+	if saved != "abc" || string(second.Data) != "def" {
+		t.Errorf("reads = %q, %q", saved, second.Data)
+	}
+	if &first.Data[0] != &second.Data[0] {
+		t.Error("buffer not reused across dispatches")
+	}
+}
+
+func TestPrefetchStateNilSafe(t *testing.T) {
+	var p *prefetchState
+	p.invalidate()
+	p.fill(&fakeHandler{}, 0, 16)
+	var resp wire.Response
+	if p.serve(&wire.Request{Op: wire.OpRead}, &resp) {
+		t.Error("nil prefetch served a request")
+	}
+}
+
+func TestPrefetchStateLifecycle(t *testing.T) {
+	h := &fakeHandler{data: []byte("0123456789")}
+	p := &prefetchState{}
+
+	p.fill(h, 4, 4)
+	var resp wire.Response
+	if !p.serve(&wire.Request{Op: wire.OpRead, Off: 4, N: 4, Seq: 7}, &resp) {
+		t.Fatal("prefetch did not serve a matching read")
+	}
+	if resp.Status != wire.StatusOK || string(resp.Data) != "4567" || resp.Seq != 7 {
+		t.Errorf("served resp = %+v", resp)
+	}
+	// Single use: the same request misses until refilled.
+	if p.serve(&wire.Request{Op: wire.OpRead, Off: 4, N: 4}, &resp) {
+		t.Error("prefetch served twice without a refill")
+	}
+
+	// Mismatched offset misses.
+	p.fill(h, 0, 4)
+	if p.serve(&wire.Request{Op: wire.OpRead, Off: 2, N: 4}, &resp) {
+		t.Error("prefetch served a mismatched offset")
+	}
+
+	// Short block at EOF serves with StatusEOF.
+	p.fill(h, 8, 4)
+	if !p.serve(&wire.Request{Op: wire.OpRead, Off: 8, N: 4}, &resp) {
+		t.Fatal("prefetch did not serve the EOF block")
+	}
+	if resp.Status != wire.StatusEOF || string(resp.Data) != "89" {
+		t.Errorf("eof serve = %+v", resp)
+	}
+
+	// Invalidate discards.
+	p.fill(h, 0, 4)
+	p.invalidate()
+	if p.serve(&wire.Request{Op: wire.OpRead, Off: 0, N: 4}, &resp) {
+		t.Error("prefetch served after invalidate")
+	}
+}

@@ -1,0 +1,277 @@
+package core
+
+import (
+	"errors"
+	"io"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// transport is the client half of a strategy: it carries one session's
+// operations from the application stubs to the sentinel. Implementations are
+// not required to be concurrency safe; Handle serializes access.
+type transport interface {
+	// readAt fills p from offset off. Stream transports ignore off and
+	// deliver the next bytes of the sentinel's output stream.
+	readAt(p []byte, off int64) (int, error)
+	// writeAt stores p at offset off. Stream transports ignore off and
+	// append to the sentinel's input stream.
+	writeAt(p []byte, off int64) (int, error)
+	size() (int64, error)
+	truncate(n int64) error
+	sync() error
+	lock(off, n int64) error
+	unlock(off, n int64) error
+	control(req []byte) ([]byte, error)
+	close() error
+}
+
+// Handle is an open session on an active file. It exposes the ordinary file
+// API — Read, Write, Seek, and friends — so that, per the paper's central
+// claim, "interactions with active files are indistinguishable from
+// interactions with ordinary (passive) files". The strategy underneath
+// determines only cost and (for the plain process strategy) which operations
+// are supported.
+type Handle struct {
+	mu       sync.Mutex
+	strategy Strategy
+	tr       transport
+	offset   int64
+	closed   bool
+	stats    Stats
+}
+
+// Stats counts a session's activity — what the sentinel mediated on the
+// application's behalf.
+type Stats struct {
+	Reads        uint64
+	Writes       uint64
+	BytesRead    uint64
+	BytesWritten uint64
+	Errors       uint64
+}
+
+var (
+	_ io.ReadWriteSeeker = (*Handle)(nil)
+	_ io.ReaderAt        = (*Handle)(nil)
+	_ io.WriterAt        = (*Handle)(nil)
+	_ io.Closer          = (*Handle)(nil)
+)
+
+func newHandle(strategy Strategy, tr transport) *Handle {
+	return &Handle{strategy: strategy, tr: tr}
+}
+
+// Strategy returns the implementation strategy serving this handle.
+func (h *Handle) Strategy() Strategy { return h.strategy }
+
+// Stats returns a snapshot of the session's activity counters.
+func (h *Handle) Stats() Stats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stats
+}
+
+// countRead updates the read counters. Called with h.mu held.
+func (h *Handle) countRead(n int, err error) {
+	h.stats.Reads++
+	h.stats.BytesRead += uint64(n)
+	if err != nil {
+		h.stats.Errors++
+	}
+}
+
+// countWrite updates the write counters. Called with h.mu held.
+func (h *Handle) countWrite(n int, err error) {
+	h.stats.Writes++
+	h.stats.BytesWritten += uint64(n)
+	if err != nil {
+		h.stats.Errors++
+	}
+}
+
+// Read reads from the current offset, advancing it.
+func (h *Handle) Read(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return 0, wire.ErrClosed
+	}
+	n, err := h.tr.readAt(p, h.offset)
+	h.offset += int64(n)
+	h.countRead(n, err)
+	return n, err
+}
+
+// Write writes at the current offset, advancing it.
+func (h *Handle) Write(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return 0, wire.ErrClosed
+	}
+	n, err := h.tr.writeAt(p, h.offset)
+	h.offset += int64(n)
+	h.countWrite(n, err)
+	return n, err
+}
+
+// ReadAt reads at an absolute offset without moving the handle's offset.
+// Unsupported on the plain process strategy.
+func (h *Handle) ReadAt(p []byte, off int64) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return 0, wire.ErrClosed
+	}
+	if !h.strategy.SupportsPositioning() {
+		return 0, wire.ErrUnsupported
+	}
+	n, err := h.tr.readAt(p, off)
+	h.countRead(n, err)
+	return n, err
+}
+
+// WriteAt writes at an absolute offset without moving the handle's offset.
+// Unsupported on the plain process strategy.
+func (h *Handle) WriteAt(p []byte, off int64) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return 0, wire.ErrClosed
+	}
+	if !h.strategy.SupportsPositioning() {
+		return 0, wire.ErrUnsupported
+	}
+	n, err := h.tr.writeAt(p, off)
+	h.countWrite(n, err)
+	return n, err
+}
+
+// Seek repositions the handle offset. On the plain process strategy it is
+// dropped with wire.ErrUnsupported, matching §4.1.
+func (h *Handle) Seek(offset int64, whence int) (int64, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return 0, wire.ErrClosed
+	}
+	if !h.strategy.SupportsPositioning() {
+		return 0, wire.ErrUnsupported
+	}
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = h.offset
+	case io.SeekEnd:
+		size, err := h.tr.size()
+		if err != nil {
+			return 0, err
+		}
+		base = size
+	default:
+		return 0, errors.New("core: invalid seek whence")
+	}
+	target := base + offset
+	if target < 0 {
+		return 0, errors.New("core: negative seek position")
+	}
+	h.offset = target
+	return target, nil
+}
+
+// Size returns the session content length (GetFileSize). Unsupported on the
+// plain process strategy.
+func (h *Handle) Size() (int64, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return 0, wire.ErrClosed
+	}
+	if !h.strategy.SupportsPositioning() {
+		return 0, wire.ErrUnsupported
+	}
+	return h.tr.size()
+}
+
+// Truncate sets the content length. Unsupported on the plain process
+// strategy.
+func (h *Handle) Truncate(n int64) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return wire.ErrClosed
+	}
+	if !h.strategy.SupportsPositioning() {
+		return wire.ErrUnsupported
+	}
+	return h.tr.truncate(n)
+}
+
+// Sync flushes sentinel state (caches, deferred writes, remote propagation).
+func (h *Handle) Sync() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return wire.ErrClosed
+	}
+	if !h.strategy.SupportsPositioning() {
+		return wire.ErrUnsupported
+	}
+	return h.tr.sync()
+}
+
+// Lock acquires a byte-range lock [off, off+n) if the program supports it.
+func (h *Handle) Lock(off, n int64) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return wire.ErrClosed
+	}
+	if !h.strategy.SupportsPositioning() {
+		return wire.ErrUnsupported
+	}
+	return h.tr.lock(off, n)
+}
+
+// Unlock releases a byte-range lock.
+func (h *Handle) Unlock(off, n int64) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return wire.ErrClosed
+	}
+	if !h.strategy.SupportsPositioning() {
+		return wire.ErrUnsupported
+	}
+	return h.tr.unlock(off, n)
+}
+
+// Control sends a program-specific out-of-band command.
+func (h *Handle) Control(req []byte) ([]byte, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, wire.ErrClosed
+	}
+	if !h.strategy.SupportsPositioning() {
+		return nil, wire.ErrUnsupported
+	}
+	return h.tr.control(req)
+}
+
+// Close ends the session, terminating the sentinel ("the sentinel process is
+// ... terminated when a user process ... closes the active file", §2.2).
+// Close is idempotent.
+func (h *Handle) Close() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil
+	}
+	h.closed = true
+	return h.tr.close()
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/vfs"
+)
+
+// Options adjust how an active file is opened.
+type Options struct {
+	// Strategy overrides the manifest's default implementation strategy.
+	Strategy Strategy
+	// Registry resolves program names; nil selects the default registry.
+	Registry *Registry
+}
+
+// Open opens the active file at path: it loads the manifest, resolves the
+// sentinel program and strategy, instantiates the sentinel (spawning a
+// subprocess or goroutine as the strategy dictates), and returns the
+// connected Handle. This is the machinery behind the instrumented
+// OpenFile/CreateFile stub.
+func Open(path string, opts Options) (*Handle, error) {
+	m, err := vfs.Load(path)
+	if err != nil {
+		return nil, err
+	}
+
+	strategy := opts.Strategy
+	if strategy == 0 {
+		if strategy, err = ParseStrategy(m.Strategy); err != nil {
+			return nil, err
+		}
+	}
+	if !strategy.Valid() {
+		return nil, fmt.Errorf("core: invalid strategy %v", strategy)
+	}
+
+	switch strategy {
+	case StrategyProcess:
+		tr, err := newProcessTransport(path, m)
+		if err != nil {
+			return nil, err
+		}
+		return newHandle(strategy, tr), nil
+
+	case StrategyProcCtl:
+		tr, err := newProcCtlTransport(path, m)
+		if err != nil {
+			return nil, err
+		}
+		return newHandle(strategy, tr), nil
+
+	case StrategyThread, StrategyDirect:
+		registry := opts.Registry
+		if registry == nil {
+			registry = defaultRegistry
+		}
+		program, err := registry.Lookup(m.Program.Name)
+		if err != nil {
+			return nil, err
+		}
+		handler, err := program.Open(&Env{Path: path, Manifest: m})
+		if err != nil {
+			return nil, fmt.Errorf("open program %q: %w", m.Program.Name, err)
+		}
+		if strategy == StrategyThread {
+			return newHandle(strategy, newThreadTransport(handler)), nil
+		}
+		return newHandle(strategy, newDirectTransport(handler)), nil
+
+	default:
+		return nil, fmt.Errorf("core: unhandled strategy %v", strategy)
+	}
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"errors"
+	"io"
+
+	"repro/internal/wire"
+)
+
+// prefetchState is the procctl sentinel's one-block read-ahead buffer. A nil
+// *prefetchState disables read-ahead: every method is a safe no-op, so the
+// serving loop needs no conditionals.
+type prefetchState struct {
+	off   int64
+	data  []byte
+	eof   bool
+	valid bool
+}
+
+// serve answers req from the prefetched block when it covers the request
+// exactly (the sequential pattern read-ahead targets). It reports whether
+// resp was filled.
+func (p *prefetchState) serve(req *wire.Request, resp *wire.Response) bool {
+	if p == nil || !p.valid || req.Off != p.off || int(req.N) < len(p.data) {
+		return false
+	}
+	// Either a full block, or the short block at EOF.
+	if int(req.N) > len(p.data) && !p.eof {
+		return false
+	}
+	resp.Seq = req.Seq
+	resp.Status = wire.StatusOK
+	resp.N = int64(len(p.data))
+	resp.Data = p.data
+	if p.eof {
+		resp.Status = wire.StatusEOF
+	}
+	p.valid = false // single use; fill replenishes it
+	return true
+}
+
+// fill prefetches n bytes at off for the anticipated next read.
+func (p *prefetchState) fill(handler Handler, off int64, n int) {
+	if p == nil || n <= 0 || n > wire.MaxPayload {
+		return
+	}
+	if cap(p.data) < n {
+		p.data = make([]byte, n)
+	}
+	rn, err := handler.ReadAt(p.data[:n], off)
+	if err != nil && !errors.Is(err, io.EOF) {
+		p.valid = false
+		return
+	}
+	p.off = off
+	p.data = p.data[:rn]
+	p.eof = errors.Is(err, io.EOF)
+	p.valid = true
+}
+
+// invalidate discards the prefetched block (after writes or truncation).
+func (p *prefetchState) invalidate() {
+	if p != nil {
+		p.valid = false
+	}
+}

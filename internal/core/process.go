@@ -1,0 +1,284 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"time"
+
+	"repro/internal/ipc"
+	"repro/internal/vfs"
+	"repro/internal/wire"
+)
+
+// Environment variables carrying the session description to a sentinel
+// subprocess (the analogue of the stub "passing the created process the name
+// of the data part", §4.1).
+const (
+	envChildMarker = "AF_SENTINEL_CHILD"
+	envManifest    = "AF_MANIFEST"
+	envStrategy    = "AF_STRATEGY"
+)
+
+// childWaitTimeout bounds how long Close waits for a sentinel subprocess to
+// exit before killing it.
+const childWaitTimeout = 5 * time.Second
+
+// spawnSentinel starts the sentinel subprocess for manifestPath with the
+// pipe layout of the given strategy. When the manifest names an external
+// executable it is run directly; otherwise the current binary is re-executed
+// in child mode (the offline substitute for a separate sentinel image).
+func spawnSentinel(manifestPath string, m vfs.Manifest, strategy Strategy) (*exec.Cmd, *ipc.ChannelFiles, error) {
+	cf, err := ipc.NewChannelFiles(strategy == StrategyProcCtl)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var cmd *exec.Cmd
+	if m.Program.Exec != "" {
+		cmd = exec.Command(m.Program.Exec, m.Program.Args...)
+	} else {
+		self, err := os.Executable()
+		if err != nil {
+			cf.Close()
+			return nil, nil, fmt.Errorf("locate own executable: %w", err)
+		}
+		cmd = exec.Command(self)
+	}
+	cmd.Env = append(os.Environ(),
+		envChildMarker+"=1",
+		envManifest+"="+manifestPath,
+		envStrategy+"="+strategy.String(),
+	)
+	cmd.ExtraFiles = cf.ChildFiles()
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		cf.Close()
+		return nil, nil, fmt.Errorf("start sentinel process: %w", err)
+	}
+	cf.CloseChildEnds()
+	return cmd, cf, nil
+}
+
+// waitChild reaps the subprocess, killing it if it outlives the timeout.
+func waitChild(cmd *exec.Cmd) error {
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(childWaitTimeout):
+		cmd.Process.Kill()
+		return <-done
+	}
+}
+
+// processTransport is the client side of the plain process strategy (§4.1):
+// two data pipes, no control channel. Reads pull the next bytes of the
+// sentinel's output stream; writes push onto its input stream; everything
+// else is unsupported.
+type processTransport struct {
+	cmd *exec.Cmd
+	cf  *ipc.ChannelFiles
+}
+
+var _ transport = (*processTransport)(nil)
+
+func newProcessTransport(manifestPath string, m vfs.Manifest) (*processTransport, error) {
+	cmd, cf, err := spawnSentinel(manifestPath, m, StrategyProcess)
+	if err != nil {
+		return nil, err
+	}
+	return &processTransport{cmd: cmd, cf: cf}, nil
+}
+
+func (t *processTransport) readAt(p []byte, _ int64) (int, error) {
+	return t.cf.FromChild.Read(p)
+}
+
+func (t *processTransport) writeAt(p []byte, _ int64) (int, error) {
+	return t.cf.ToChild.Write(p)
+}
+
+func (t *processTransport) size() (int64, error)    { return 0, wire.ErrUnsupported }
+func (t *processTransport) truncate(int64) error    { return wire.ErrUnsupported }
+func (t *processTransport) sync() error             { return wire.ErrUnsupported }
+func (t *processTransport) lock(_, _ int64) error   { return wire.ErrUnsupported }
+func (t *processTransport) unlock(_, _ int64) error { return wire.ErrUnsupported }
+func (t *processTransport) control([]byte) ([]byte, error) {
+	return nil, wire.ErrUnsupported
+}
+
+func (t *processTransport) close() error {
+	// Closing our pipe ends delivers EOF to the sentinel's writer loop and
+	// EPIPE to its reader loop; it then flushes and exits.
+	t.cf.Close()
+	if err := waitChild(t.cmd); err != nil {
+		var exitErr *exec.ExitError
+		if errors.As(err, &exitErr) {
+			return fmt.Errorf("sentinel process: %w", err)
+		}
+		return err
+	}
+	return nil
+}
+
+// procCtlTransport is the client side of the process-plus-control strategy
+// (§4.2): requests travel as commands on the control pipe; read results
+// return as frames on the read pipe; write payloads stream down the write
+// pipe without waiting for completion, exactly the asymmetry Figure 6
+// measures ("writes are issued without waiting for their completion").
+type procCtlTransport struct {
+	cmd  *exec.Cmd
+	cf   *ipc.ChannelFiles
+	ctrl *wire.Writer
+	resp *wire.Reader
+	seq  uint32
+}
+
+var _ transport = (*procCtlTransport)(nil)
+
+func newProcCtlTransport(manifestPath string, m vfs.Manifest) (*procCtlTransport, error) {
+	cmd, cf, err := spawnSentinel(manifestPath, m, StrategyProcCtl)
+	if err != nil {
+		return nil, err
+	}
+	return &procCtlTransport{
+		cmd:  cmd,
+		cf:   cf,
+		ctrl: wire.NewWriter(cf.CtrlToChild),
+		resp: wire.NewReader(cf.FromChild),
+	}, nil
+}
+
+// roundTrip sends a command and waits for its response frame.
+func (t *procCtlTransport) roundTrip(req *wire.Request) (wire.Response, error) {
+	t.seq++
+	req.Seq = t.seq
+	if err := t.ctrl.WriteRequest(req); err != nil {
+		return wire.Response{}, fmt.Errorf("send %s command: %w", req.Op, err)
+	}
+	resp, err := t.resp.ReadResponse()
+	if err != nil {
+		return wire.Response{}, fmt.Errorf("read %s response: %w", req.Op, err)
+	}
+	if resp.Seq != req.Seq {
+		return wire.Response{}, fmt.Errorf("response sequence %d for command %d", resp.Seq, req.Seq)
+	}
+	return resp, nil
+}
+
+func (t *procCtlTransport) readAt(p []byte, off int64) (int, error) {
+	total := 0
+	for total < len(p) {
+		chunk := len(p) - total
+		if chunk > wire.MaxPayload {
+			chunk = wire.MaxPayload
+		}
+		resp, err := t.roundTrip(&wire.Request{Op: wire.OpRead, Off: off + int64(total), N: int64(chunk)})
+		if err != nil {
+			return total, err
+		}
+		n := copy(p[total:], resp.Data)
+		total += n
+		if werr := wire.ToError(wire.OpRead, resp.Status, resp.Msg); werr != nil {
+			return total, werr
+		}
+		if n == 0 {
+			break
+		}
+	}
+	return total, nil
+}
+
+func (t *procCtlTransport) writeAt(p []byte, off int64) (int, error) {
+	total := 0
+	for total < len(p) {
+		chunk := len(p) - total
+		if chunk > wire.MaxPayload {
+			chunk = wire.MaxPayload
+		}
+		// "write N" on the control channel, then N bytes on the write pipe;
+		// no acknowledgement — failures surface on the next sync/close.
+		t.seq++
+		req := wire.Request{Op: wire.OpWrite, Seq: t.seq, Off: off + int64(total), N: int64(chunk)}
+		if err := t.ctrl.WriteRequest(&req); err != nil {
+			return total, fmt.Errorf("send write command: %w", err)
+		}
+		if _, err := t.cf.ToChild.Write(p[total : total+chunk]); err != nil {
+			return total, fmt.Errorf("stream write payload: %w", err)
+		}
+		total += chunk
+	}
+	return total, nil
+}
+
+func (t *procCtlTransport) size() (int64, error) {
+	resp, err := t.roundTrip(&wire.Request{Op: wire.OpSize})
+	if err != nil {
+		return 0, err
+	}
+	return resp.N, wire.ToError(wire.OpSize, resp.Status, resp.Msg)
+}
+
+func (t *procCtlTransport) truncate(n int64) error {
+	resp, err := t.roundTrip(&wire.Request{Op: wire.OpTruncate, Off: n})
+	if err != nil {
+		return err
+	}
+	return wire.ToError(wire.OpTruncate, resp.Status, resp.Msg)
+}
+
+func (t *procCtlTransport) sync() error {
+	resp, err := t.roundTrip(&wire.Request{Op: wire.OpSync})
+	if err != nil {
+		return err
+	}
+	return wire.ToError(wire.OpSync, resp.Status, resp.Msg)
+}
+
+func (t *procCtlTransport) lock(off, n int64) error {
+	resp, err := t.roundTrip(&wire.Request{Op: wire.OpLock, Off: off, N: n})
+	if err != nil {
+		return err
+	}
+	return wire.ToError(wire.OpLock, resp.Status, resp.Msg)
+}
+
+func (t *procCtlTransport) unlock(off, n int64) error {
+	resp, err := t.roundTrip(&wire.Request{Op: wire.OpUnlock, Off: off, N: n})
+	if err != nil {
+		return err
+	}
+	return wire.ToError(wire.OpUnlock, resp.Status, resp.Msg)
+}
+
+func (t *procCtlTransport) control(req []byte) ([]byte, error) {
+	resp, err := t.roundTrip(&wire.Request{Op: wire.OpControl, Data: req})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(resp.Data))
+	copy(out, resp.Data)
+	return out, wire.ToError(wire.OpControl, resp.Status, resp.Msg)
+}
+
+func (t *procCtlTransport) close() error {
+	resp, rtErr := t.roundTrip(&wire.Request{Op: wire.OpClose})
+	t.cf.Close()
+	waitErr := waitChild(t.cmd)
+	switch {
+	case rtErr != nil && errors.Is(rtErr, io.EOF):
+		// Child already exited; its wait status is the verdict.
+		return waitErr
+	case rtErr != nil:
+		return rtErr
+	default:
+		if err := wire.ToError(wire.OpClose, resp.Status, resp.Msg); err != nil {
+			return err
+		}
+		return waitErr
+	}
+}

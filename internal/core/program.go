@@ -1,0 +1,257 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/remote"
+	"repro/internal/vfs"
+)
+
+// Handler serves the file operations of one open session of an active file.
+// It is the sentinel program's per-session state: what §2.2 calls "the
+// sentinel process", abstracted away from how operations reach it (pipes,
+// rendezvous, or direct calls — the engine supplies the transport).
+//
+// Handlers are invoked from a single dispatching goroutine per session and
+// need not be internally synchronized against their own methods.
+type Handler interface {
+	// ReadAt fills p with session content at offset off.
+	ReadAt(p []byte, off int64) (int, error)
+	// WriteAt stores p at offset off.
+	WriteAt(p []byte, off int64) (int, error)
+	// Size returns the current content length.
+	Size() (int64, error)
+	// Truncate sets the content length.
+	Truncate(n int64) error
+	// Sync flushes program state (caches, remote propagation).
+	Sync() error
+	// Close ends the session, flushing and releasing resources.
+	Close() error
+}
+
+// Locker is optionally implemented by handlers that support byte-range
+// locks (the §3 concurrent logging use).
+type Locker interface {
+	Lock(off, n int64) error
+	Unlock(off, n int64) error
+}
+
+// Controller is optionally implemented by handlers accepting
+// program-specific out-of-band commands.
+type Controller interface {
+	Control(req []byte) ([]byte, error)
+}
+
+// Program is a sentinel program — the active part of an active file. One
+// Program serves many sessions; Open is called once per application open,
+// mirroring "the sentinel process is started ... when a user process opens
+// the active file" (§2.2).
+type Program interface {
+	// Name is the identifier stored in manifests.
+	Name() string
+	// Open begins a session against the environment described by env.
+	Open(env *Env) (Handler, error)
+}
+
+// Env is everything a program may bind to when a session opens: the
+// manifest, the data part, and the remote source.
+type Env struct {
+	// Path is the manifest location on disk.
+	Path string
+	// Manifest is the loaded description of the active file.
+	Manifest vfs.Manifest
+}
+
+// Param returns a program parameter from the manifest, or def when unset.
+func (e *Env) Param(key, def string) string {
+	if v, ok := e.Manifest.Params[key]; ok {
+		return v
+	}
+	return def
+}
+
+// OpenSource dials the manifest's remote source. It returns (nil, nil) when
+// the manifest binds no source. Two transports ship with the library: "tcp"
+// (the block file service) and "http" (any HTTP server honouring Range; the
+// URL is http://<Addr><Path>).
+func (e *Env) OpenSource() (remote.Source, error) {
+	src := e.Manifest.Source
+	switch src.Kind {
+	case "":
+		return nil, nil
+	case "tcp":
+		c, err := remote.Dial(src.Addr, src.Path)
+		if err != nil {
+			return nil, fmt.Errorf("source %s/%s: %w", src.Addr, src.Path, err)
+		}
+		return c, nil
+	case "http":
+		url := src.Addr
+		if !strings.HasPrefix(url, "http://") && !strings.HasPrefix(url, "https://") {
+			url = "http://" + url
+		}
+		return remote.NewHTTPSource(url+src.Path, nil), nil
+	default:
+		return nil, fmt.Errorf("core: unknown source kind %q", src.Kind)
+	}
+}
+
+// OpenData opens the active file's data part.
+func (e *Env) OpenData() (*vfs.DataFile, error) {
+	if e.Manifest.NoData {
+		return nil, errors.New("core: active file has no data part")
+	}
+	return vfs.OpenData(e.Path)
+}
+
+// OpenBackend assembles the storage backend realizing the manifest's cache
+// mode (the Figure 5 critical paths):
+//
+//   - none:   operations pass through to the remote source (or, without a
+//     source, directly to the data part);
+//   - disk:   the data part is the cache; it is populated from the source on
+//     open and flushed back on sync/close;
+//   - memory: a buffer in the sentinel's memory is the cache, populated from
+//     the source if bound, else from the data part.
+func (e *Env) OpenBackend() (cache.Backend, error) {
+	mode, err := cache.ParseMode(e.Manifest.Cache)
+	if err != nil {
+		return nil, err
+	}
+	source, err := e.OpenSource()
+	if err != nil {
+		return nil, err
+	}
+
+	switch mode {
+	case cache.ModeNone:
+		if source != nil {
+			return cache.NewPassthrough(source)
+		}
+		data, err := e.OpenData()
+		if err != nil {
+			return nil, err
+		}
+		return cache.NewPassthrough(data)
+
+	case cache.ModeDisk:
+		data, err := e.OpenData()
+		if err != nil {
+			closeSource(source)
+			return nil, err
+		}
+		var remoteStore cache.RandomAccess
+		if source != nil {
+			remoteStore = source
+		}
+		backend, err := cache.NewLocal(data, remoteStore)
+		if err != nil {
+			data.Close()
+			closeSource(source)
+			return nil, err
+		}
+		if source != nil {
+			if err := backend.Populate(); err != nil {
+				backend.Close()
+				return nil, err
+			}
+		}
+		return backend, nil
+
+	case cache.ModeMemory:
+		var persistent cache.RandomAccess
+		if source != nil {
+			persistent = source
+		} else if !e.Manifest.NoData {
+			data, err := e.OpenData()
+			if err != nil {
+				return nil, err
+			}
+			persistent = data
+		}
+		backend, err := cache.NewLocal(cache.NewMemStore(), persistent)
+		if err != nil {
+			closeSource(source)
+			return nil, err
+		}
+		if persistent != nil {
+			if err := backend.Populate(); err != nil {
+				backend.Close()
+				return nil, err
+			}
+		}
+		return backend, nil
+
+	default:
+		return nil, fmt.Errorf("core: unhandled cache mode %v", mode)
+	}
+}
+
+func closeSource(s remote.Source) {
+	if s != nil {
+		s.Close()
+	}
+}
+
+// ErrUnknownProgram reports a manifest naming an unregistered program.
+var ErrUnknownProgram = errors.New("core: unknown sentinel program")
+
+// Registry maps program names to implementations, like a driver registry.
+type Registry struct {
+	mu       sync.RWMutex
+	programs map[string]Program
+}
+
+// NewRegistry returns an empty program registry.
+func NewRegistry() *Registry {
+	return &Registry{programs: make(map[string]Program)}
+}
+
+// Register adds p under its name, replacing any previous registration.
+func (r *Registry) Register(p Program) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.programs[p.Name()] = p
+}
+
+// Lookup returns the named program.
+func (r *Registry) Lookup(name string) (Program, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	p, ok := r.programs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownProgram, name)
+	}
+	return p, nil
+}
+
+// Names returns the sorted registered program names.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.programs))
+	for name := range r.programs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// defaultRegistry is the process-wide registry used by Open and the
+// re-exec'd sentinel children; programs register at startup, mirroring how
+// every NT sentinel executable links the active-file library.
+var defaultRegistry = NewRegistry()
+
+// Register adds a program to the default registry.
+func Register(p Program) { defaultRegistry.Register(p) }
+
+// LookupProgram finds a program in the default registry.
+func LookupProgram(name string) (Program, error) { return defaultRegistry.Lookup(name) }
+
+// ProgramNames lists the default registry's contents.
+func ProgramNames() []string { return defaultRegistry.Names() }

@@ -1,0 +1,84 @@
+// Package core implements the active-file engine: the binding between an
+// application-visible file handle and the sentinel serving it, across the
+// paper's four implementation strategies (§4). Opening an active file
+// instantiates a sentinel (subprocess, goroutine, or direct dispatch),
+// wires the data and control channels, and returns a Handle whose operations
+// are indistinguishable from those on a passive file.
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Strategy selects how the sentinel is instantiated and reached, trading
+// run-time overhead against capability exactly as §4 describes.
+type Strategy int
+
+// The four implementation strategies.
+const (
+	// StrategyProcess runs the sentinel as a separate process connected by
+	// two data pipes only (§4.1). Operations without a pipe analogue (seek,
+	// size, truncate, positioned reads) are unsupported and "simply dropped
+	// with an appropriate return code".
+	StrategyProcess Strategy = iota + 1
+	// StrategyProcCtl adds a control channel carrying every file operation
+	// as a command with arguments (§4.2); the full file API works, at the
+	// cost of two protection-domain crossings per operation.
+	StrategyProcCtl
+	// StrategyThread folds the sentinel into the application as a goroutine
+	// communicating through a synchronous rendezvous (§4.3, DLL-with-thread):
+	// no process switch, one user-level copy.
+	StrategyThread
+	// StrategyDirect dispatches file operations as plain function calls into
+	// the sentinel program (§4.4, DLL-only): no switch at all.
+	StrategyDirect
+)
+
+var strategyNames = map[Strategy]string{
+	StrategyProcess: "process",
+	StrategyProcCtl: "procctl",
+	StrategyThread:  "thread",
+	StrategyDirect:  "direct",
+}
+
+// String returns the manifest spelling of the strategy.
+func (s Strategy) String() string {
+	if n, ok := strategyNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("strategy(%d)", int(s))
+}
+
+// Valid reports whether s is one of the four strategies.
+func (s Strategy) Valid() bool {
+	_, ok := strategyNames[s]
+	return ok
+}
+
+// ParseStrategy maps a manifest strategy string to a Strategy. The empty
+// string selects StrategyThread, the paper's recommended middle ground
+// between efficiency and programming convenience.
+func ParseStrategy(s string) (Strategy, error) {
+	switch strings.ToLower(s) {
+	case "":
+		return StrategyThread, nil
+	case "process":
+		return StrategyProcess, nil
+	case "procctl", "process-plus-control", "process+control":
+		return StrategyProcCtl, nil
+	case "thread", "dll-with-thread":
+		return StrategyThread, nil
+	case "direct", "dll", "dll-only":
+		return StrategyDirect, nil
+	default:
+		return 0, fmt.Errorf("core: unknown strategy %q", s)
+	}
+}
+
+// SupportsPositioning reports whether the strategy can carry positioned
+// operations (seek, size, truncate, locks). Only the plain process strategy
+// cannot: it has no channel for control information (§4.1).
+func (s Strategy) SupportsPositioning() bool {
+	return s != StrategyProcess
+}

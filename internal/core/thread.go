@@ -1,0 +1,173 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/ipc"
+	"repro/internal/wire"
+)
+
+// threadTransport implements the DLL-with-thread strategy (§4.3): the
+// sentinel runs as a goroutine inside the application process and each file
+// operation is a synchronous rendezvous with it — the analogue of the
+// paper's shared-memory buffers with event signalling ("the application
+// simply switches over to the sentinel thread ... without requiring costly
+// interactions across process boundaries").
+type threadTransport struct {
+	rv   *ipc.Rendezvous[*wire.Request, wire.Response]
+	seq  uint32
+	done chan struct{} // closed when the sentinel goroutine exits
+}
+
+var _ transport = (*threadTransport)(nil)
+
+// newThreadTransport starts the sentinel goroutine over handler and returns
+// the connected transport. The goroutine exits when the transport closes.
+func newThreadTransport(handler Handler) *threadTransport {
+	t := &threadTransport{
+		rv:   ipc.NewRendezvous[*wire.Request, wire.Response](),
+		done: make(chan struct{}),
+	}
+	go t.sentinelMain(handler)
+	return t
+}
+
+// sentinelMain is the SentinelThrdMain dispatch loop: block on the
+// rendezvous for control messages, perform the operation, reply.
+func (t *threadTransport) sentinelMain(handler Handler) {
+	defer close(t.done)
+	d := newDispatcher(handler)
+	for {
+		req, reply, err := t.rv.Next()
+		if err != nil {
+			// Transport closed without an explicit OpClose (application
+			// abandoned the handle); release program resources.
+			handler.Close()
+			return
+		}
+		resp := d.dispatch(req)
+		reply(resp)
+		if req.Op == wire.OpClose {
+			return
+		}
+	}
+}
+
+// call performs one synchronous exchange with the sentinel goroutine.
+func (t *threadTransport) call(req *wire.Request) (wire.Response, error) {
+	t.seq++
+	req.Seq = t.seq
+	resp, err := t.rv.Call(req)
+	if err != nil {
+		return wire.Response{}, wire.ErrClosed
+	}
+	return resp, nil
+}
+
+func (t *threadTransport) readAt(p []byte, off int64) (int, error) {
+	total := 0
+	for total < len(p) {
+		chunk := len(p) - total
+		if chunk > wire.MaxPayload {
+			chunk = wire.MaxPayload
+		}
+		resp, err := t.call(&wire.Request{Op: wire.OpRead, Off: off + int64(total), N: int64(chunk)})
+		if err != nil {
+			return total, err
+		}
+		n := copy(p[total:], resp.Data)
+		total += n
+		if werr := wire.ToError(wire.OpRead, resp.Status, resp.Msg); werr != nil {
+			return total, werr
+		}
+		if n == 0 {
+			break
+		}
+	}
+	return total, nil
+}
+
+func (t *threadTransport) writeAt(p []byte, off int64) (int, error) {
+	total := 0
+	for total < len(p) {
+		chunk := len(p) - total
+		if chunk > wire.MaxPayload {
+			chunk = wire.MaxPayload
+		}
+		resp, err := t.call(&wire.Request{Op: wire.OpWrite, Off: off + int64(total), Data: p[total : total+chunk]})
+		if err != nil {
+			return total, err
+		}
+		total += int(resp.N)
+		if werr := wire.ToError(wire.OpWrite, resp.Status, resp.Msg); werr != nil {
+			return total, werr
+		}
+		if resp.N == 0 {
+			break
+		}
+	}
+	return total, nil
+}
+
+func (t *threadTransport) size() (int64, error) {
+	resp, err := t.call(&wire.Request{Op: wire.OpSize})
+	if err != nil {
+		return 0, err
+	}
+	return resp.N, wire.ToError(wire.OpSize, resp.Status, resp.Msg)
+}
+
+func (t *threadTransport) truncate(n int64) error {
+	resp, err := t.call(&wire.Request{Op: wire.OpTruncate, Off: n})
+	if err != nil {
+		return err
+	}
+	return wire.ToError(wire.OpTruncate, resp.Status, resp.Msg)
+}
+
+func (t *threadTransport) sync() error {
+	resp, err := t.call(&wire.Request{Op: wire.OpSync})
+	if err != nil {
+		return err
+	}
+	return wire.ToError(wire.OpSync, resp.Status, resp.Msg)
+}
+
+func (t *threadTransport) lock(off, n int64) error {
+	resp, err := t.call(&wire.Request{Op: wire.OpLock, Off: off, N: n})
+	if err != nil {
+		return err
+	}
+	return wire.ToError(wire.OpLock, resp.Status, resp.Msg)
+}
+
+func (t *threadTransport) unlock(off, n int64) error {
+	resp, err := t.call(&wire.Request{Op: wire.OpUnlock, Off: off, N: n})
+	if err != nil {
+		return err
+	}
+	return wire.ToError(wire.OpUnlock, resp.Status, resp.Msg)
+}
+
+func (t *threadTransport) control(req []byte) ([]byte, error) {
+	resp, err := t.call(&wire.Request{Op: wire.OpControl, Data: req})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(resp.Data))
+	copy(out, resp.Data)
+	return out, wire.ToError(wire.OpControl, resp.Status, resp.Msg)
+}
+
+func (t *threadTransport) close() error {
+	resp, callErr := t.call(&wire.Request{Op: wire.OpClose})
+	t.rv.Close()
+	<-t.done // wait for the sentinel goroutine to exit
+	if callErr != nil {
+		if errors.Is(callErr, wire.ErrClosed) {
+			return nil // already shut down
+		}
+		return callErr
+	}
+	return wire.ToError(wire.OpClose, resp.Status, resp.Msg)
+}

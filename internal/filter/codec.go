@@ -1,0 +1,191 @@
+package filter
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Codec is a whole-buffer transform whose output length can differ from the
+// input. A compression sentinel decodes the stored form on open and encodes
+// it back on flush, so "the client application is completely unaware that it
+// is interacting with a compressed file" (§3).
+type Codec interface {
+	// Name identifies the codec in manifests.
+	Name() string
+	// Encode returns the stored representation of src.
+	Encode(src []byte) ([]byte, error)
+	// Decode returns the application view of stored bytes.
+	Decode(src []byte) ([]byte, error)
+}
+
+// Codec construction errors.
+var (
+	ErrUnknownCodec = errors.New("filter: unknown codec")
+	ErrCorrupt      = errors.New("filter: corrupt compressed data")
+)
+
+// NewCodec returns the named Codec. Recognized names: "identity" and "lz".
+func NewCodec(name string) (Codec, error) {
+	switch name {
+	case "", "identity":
+		return Identity{}, nil
+	case "lz":
+		return LZ{}, nil
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownCodec, name)
+	}
+}
+
+// Identity stores bytes verbatim.
+type Identity struct{}
+
+var _ Codec = Identity{}
+
+// Name implements Codec.
+func (Identity) Name() string { return "identity" }
+
+// Encode implements Codec.
+func (Identity) Encode(src []byte) ([]byte, error) {
+	out := make([]byte, len(src))
+	copy(out, src)
+	return out, nil
+}
+
+// Decode implements Codec.
+func (Identity) Decode(src []byte) ([]byte, error) {
+	out := make([]byte, len(src))
+	copy(out, src)
+	return out, nil
+}
+
+// LZ is a from-scratch LZ77-style compressor: greedy matching against a
+// sliding window, emitting literal runs and (distance, length) copies.
+// Overlapping copies make it subsume run-length encoding. The format is:
+//
+//	header:  magic "AFLZ" + uint32 decoded length
+//	tokens:  0x00 u16(len) bytes...   literal run
+//	         0x01 u16(dist) u16(len)  copy len bytes from dist back
+//
+// It favours simplicity and per-file incremental use over ratio, per the
+// paper's point that active files allow "different compression algorithms
+// for different types of files".
+type LZ struct{}
+
+var _ Codec = LZ{}
+
+const (
+	lzMagic      = "AFLZ"
+	lzMinMatch   = 4
+	lzMaxMatch   = 1 << 16
+	lzMaxDist    = 1 << 16
+	lzMaxLiteral = 1 << 16
+)
+
+// Name implements Codec.
+func (LZ) Name() string { return "lz" }
+
+// Encode implements Codec.
+func (LZ) Encode(src []byte) ([]byte, error) {
+	out := make([]byte, 0, len(src)/2+16)
+	out = append(out, lzMagic...)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(src)))
+
+	// Last position of each 4-byte hash.
+	var table [1 << 14]int32
+	for i := range table {
+		table[i] = -1
+	}
+	hash := func(i int) uint32 {
+		v := binary.LittleEndian.Uint32(src[i:])
+		return (v * 2654435761) >> 18
+	}
+
+	litStart := 0
+	flushLiterals := func(end int) {
+		for litStart < end {
+			n := end - litStart
+			if n > lzMaxLiteral {
+				n = lzMaxLiteral
+			}
+			out = append(out, 0x00)
+			out = binary.BigEndian.AppendUint16(out, uint16(n-1))
+			out = append(out, src[litStart:litStart+n]...)
+			litStart += n
+		}
+	}
+
+	i := 0
+	for i+lzMinMatch <= len(src) {
+		h := hash(i)
+		cand := table[h]
+		table[h] = int32(i)
+		if cand >= 0 && i-int(cand) < lzMaxDist &&
+			binary.LittleEndian.Uint32(src[cand:]) == binary.LittleEndian.Uint32(src[i:]) {
+			// Extend the match.
+			length := lzMinMatch
+			for i+length < len(src) && length < lzMaxMatch-1 &&
+				src[int(cand)+length] == src[i+length] {
+				length++
+			}
+			flushLiterals(i)
+			out = append(out, 0x01)
+			out = binary.BigEndian.AppendUint16(out, uint16(i-int(cand)-1))
+			out = binary.BigEndian.AppendUint16(out, uint16(length-1))
+			i += length
+			litStart = i
+			continue
+		}
+		i++
+	}
+	flushLiterals(len(src))
+	return out, nil
+}
+
+// Decode implements Codec.
+func (LZ) Decode(src []byte) ([]byte, error) {
+	if len(src) < len(lzMagic)+4 || string(src[:4]) != lzMagic {
+		return nil, fmt.Errorf("%w: bad header", ErrCorrupt)
+	}
+	decodedLen := int(binary.BigEndian.Uint32(src[4:8]))
+	out := make([]byte, 0, decodedLen)
+	p := 8
+	for p < len(src) {
+		tok := src[p]
+		p++
+		switch tok {
+		case 0x00:
+			if p+2 > len(src) {
+				return nil, fmt.Errorf("%w: truncated literal header", ErrCorrupt)
+			}
+			n := int(binary.BigEndian.Uint16(src[p:])) + 1
+			p += 2
+			if p+n > len(src) {
+				return nil, fmt.Errorf("%w: truncated literal run", ErrCorrupt)
+			}
+			out = append(out, src[p:p+n]...)
+			p += n
+		case 0x01:
+			if p+4 > len(src) {
+				return nil, fmt.Errorf("%w: truncated copy token", ErrCorrupt)
+			}
+			dist := int(binary.BigEndian.Uint16(src[p:])) + 1
+			length := int(binary.BigEndian.Uint16(src[p+2:])) + 1
+			p += 4
+			if dist > len(out) {
+				return nil, fmt.Errorf("%w: copy distance %d beyond output %d", ErrCorrupt, dist, len(out))
+			}
+			// Byte-at-a-time copy handles overlapping (RLE-style) matches.
+			start := len(out) - dist
+			for j := 0; j < length; j++ {
+				out = append(out, out[start+j])
+			}
+		default:
+			return nil, fmt.Errorf("%w: unknown token 0x%02x", ErrCorrupt, tok)
+		}
+	}
+	if len(out) != decodedLen {
+		return nil, fmt.Errorf("%w: decoded %d bytes, header says %d", ErrCorrupt, len(out), decodedLen)
+	}
+	return out, nil
+}

@@ -1,0 +1,166 @@
+// Package filter provides the data transformations sentinel programs apply
+// to bytes entering and leaving an active file — the paper's §3 "input and
+// output filtering" action. Two kinds are provided:
+//
+//   - ByteFilter: stateless positional transforms (case mapping, XOR
+//     ciphers). These commute with random access, so a filtering sentinel can
+//     apply them per-operation at any offset.
+//   - Codec (codec.go): whole-buffer transformations whose output length
+//     differs from the input (the compression use); a sentinel decodes on
+//     open and re-encodes on flush.
+package filter
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ByteFilter is an invertible byte-for-byte transform. Apply mutates p in
+// place, where p holds the bytes at file offset off; Invert reverses it.
+// Implementations must satisfy Invert(Apply(p)) == p at every offset.
+type ByteFilter interface {
+	// Name identifies the filter in manifests.
+	Name() string
+	// Apply transforms application bytes into stored bytes, in place.
+	Apply(p []byte, off int64)
+	// Invert transforms stored bytes back into application bytes, in place.
+	Invert(p []byte, off int64)
+}
+
+// ErrUnknownFilter reports an unregistered filter name.
+var ErrUnknownFilter = errors.New("filter: unknown filter")
+
+// New returns the named ByteFilter. Recognized names: "null", "upper",
+// "lower", "rot13", and "xor:<key>" where key is a non-empty byte string.
+func New(name string) (ByteFilter, error) {
+	switch {
+	case name == "" || name == "null":
+		return Null{}, nil
+	case name == "upper":
+		return Upper{}, nil
+	case name == "lower":
+		return Lower{}, nil
+	case name == "rot13":
+		return Rot13{}, nil
+	case len(name) > 4 && name[:4] == "xor:":
+		return NewXOR([]byte(name[4:]))
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownFilter, name)
+	}
+}
+
+// Null passes data through unchanged; an active file with a null filter has
+// the semantics of a passive file (§2.2).
+type Null struct{}
+
+var _ ByteFilter = Null{}
+
+// Name implements ByteFilter.
+func (Null) Name() string { return "null" }
+
+// Apply implements ByteFilter.
+func (Null) Apply([]byte, int64) {}
+
+// Invert implements ByteFilter.
+func (Null) Invert([]byte, int64) {}
+
+// Upper stores ASCII text upper-cased and returns it lower-cased, a visible
+// (and easily testable) content filter.
+type Upper struct{}
+
+var _ ByteFilter = Upper{}
+
+// Name implements ByteFilter.
+func (Upper) Name() string { return "upper" }
+
+// Apply implements ByteFilter.
+func (Upper) Apply(p []byte, _ int64) {
+	for i, b := range p {
+		if 'a' <= b && b <= 'z' {
+			p[i] = b - 'a' + 'A'
+		}
+	}
+}
+
+// Invert implements ByteFilter.
+func (Upper) Invert(p []byte, _ int64) {
+	for i, b := range p {
+		if 'A' <= b && b <= 'Z' {
+			p[i] = b - 'A' + 'a'
+		}
+	}
+}
+
+// Lower is the mirror image of Upper.
+type Lower struct{}
+
+var _ ByteFilter = Lower{}
+
+// Name implements ByteFilter.
+func (Lower) Name() string { return "lower" }
+
+// Apply implements ByteFilter.
+func (Lower) Apply(p []byte, off int64) { Upper{}.Invert(p, off) }
+
+// Invert implements ByteFilter.
+func (Lower) Invert(p []byte, off int64) { Upper{}.Apply(p, off) }
+
+// Rot13 rotates ASCII letters by 13, its own inverse.
+type Rot13 struct{}
+
+var _ ByteFilter = Rot13{}
+
+// Name implements ByteFilter.
+func (Rot13) Name() string { return "rot13" }
+
+func rot13(p []byte) {
+	for i, b := range p {
+		switch {
+		case 'a' <= b && b <= 'z':
+			p[i] = 'a' + (b-'a'+13)%26
+		case 'A' <= b && b <= 'Z':
+			p[i] = 'A' + (b-'A'+13)%26
+		}
+	}
+}
+
+// Apply implements ByteFilter.
+func (Rot13) Apply(p []byte, _ int64) { rot13(p) }
+
+// Invert implements ByteFilter.
+func (Rot13) Invert(p []byte, _ int64) { rot13(p) }
+
+// XOR is a positional XOR stream cipher keyed by a repeating byte key. The
+// key position depends on the file offset, so random-access operations
+// encrypt and decrypt consistently.
+type XOR struct {
+	key []byte
+}
+
+var _ ByteFilter = (*XOR)(nil)
+
+// NewXOR returns an XOR filter over a copy of key.
+func NewXOR(key []byte) (*XOR, error) {
+	if len(key) == 0 {
+		return nil, errors.New("filter: empty xor key")
+	}
+	k := make([]byte, len(key))
+	copy(k, key)
+	return &XOR{key: k}, nil
+}
+
+// Name implements ByteFilter.
+func (x *XOR) Name() string { return "xor:" + string(x.key) }
+
+func (x *XOR) xor(p []byte, off int64) {
+	k := int64(len(x.key))
+	for i := range p {
+		p[i] ^= x.key[(off+int64(i))%k]
+	}
+}
+
+// Apply implements ByteFilter.
+func (x *XOR) Apply(p []byte, off int64) { x.xor(p, off) }
+
+// Invert implements ByteFilter.
+func (x *XOR) Invert(p []byte, off int64) { x.xor(p, off) }

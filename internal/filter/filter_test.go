@@ -1,0 +1,308 @@
+package filter
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewByName(t *testing.T) {
+	tests := []struct {
+		give     string
+		wantName string
+		wantErr  bool
+	}{
+		{give: "", wantName: "null"},
+		{give: "null", wantName: "null"},
+		{give: "upper", wantName: "upper"},
+		{give: "lower", wantName: "lower"},
+		{give: "rot13", wantName: "rot13"},
+		{give: "xor:key", wantName: "xor:key"},
+		{give: "xor:", wantErr: true},
+		{give: "gzip", wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.give, func(t *testing.T) {
+			got, err := New(tt.give)
+			if tt.wantErr {
+				if err == nil {
+					t.Errorf("New(%q) succeeded", tt.give)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("New(%q): %v", tt.give, err)
+			}
+			if got.Name() != tt.wantName {
+				t.Errorf("Name = %q, want %q", got.Name(), tt.wantName)
+			}
+		})
+	}
+}
+
+func TestUpperApplyInvert(t *testing.T) {
+	p := []byte("Hello, World! 123")
+	Upper{}.Apply(p, 0)
+	if string(p) != "HELLO, WORLD! 123" {
+		t.Errorf("Apply = %q", p)
+	}
+	Upper{}.Invert(p, 0)
+	if string(p) != "hello, world! 123" {
+		t.Errorf("Invert = %q", p)
+	}
+}
+
+func TestLowerIsUpperMirror(t *testing.T) {
+	p := []byte("MiXeD")
+	Lower{}.Apply(p, 0)
+	if string(p) != "mixed" {
+		t.Errorf("Apply = %q", p)
+	}
+	Lower{}.Invert(p, 0)
+	if string(p) != "MIXED" {
+		t.Errorf("Invert = %q", p)
+	}
+}
+
+func TestRot13SelfInverse(t *testing.T) {
+	p := []byte("Attack at dawn")
+	Rot13{}.Apply(p, 0)
+	if string(p) != "Nggnpx ng qnja" {
+		t.Errorf("Apply = %q", p)
+	}
+	Rot13{}.Invert(p, 0)
+	if string(p) != "Attack at dawn" {
+		t.Errorf("Invert = %q", p)
+	}
+}
+
+func TestXORPositional(t *testing.T) {
+	x, err := NewXOR([]byte{0xAA, 0x55})
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole := []byte{1, 2, 3, 4, 5, 6}
+	enc := append([]byte(nil), whole...)
+	x.Apply(enc, 0)
+
+	// Encrypting a middle slice at its own offset must match the slice of
+	// the whole-buffer encryption: the positional property random access
+	// depends on.
+	part := append([]byte(nil), whole[2:5]...)
+	x.Apply(part, 2)
+	if !bytes.Equal(part, enc[2:5]) {
+		t.Errorf("positional encrypt mismatch: %v vs %v", part, enc[2:5])
+	}
+	x.Invert(enc, 0)
+	if !bytes.Equal(enc, whole) {
+		t.Errorf("Invert = %v, want %v", enc, whole)
+	}
+}
+
+func TestByteFilterRoundTripProperty(t *testing.T) {
+	filters := []ByteFilter{Null{}, Upper{}, Lower{}, Rot13{}}
+	if x, err := NewXOR([]byte("secret")); err == nil {
+		filters = append(filters, x)
+	}
+	f := func(idx uint8, data []byte, off int64) bool {
+		flt := filters[int(idx)%len(filters)]
+		if off < 0 {
+			off = -off
+		}
+		work := append([]byte(nil), data...)
+		flt.Apply(work, off)
+		flt.Invert(work, off)
+		switch flt.(type) {
+		case Upper, Lower:
+			// Case mappers are only invertible up to letter case; check
+			// case-insensitive equality.
+			return bytes.EqualFold(work, data)
+		default:
+			return bytes.Equal(work, data)
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewCodec(t *testing.T) {
+	tests := []struct {
+		give     string
+		wantName string
+		wantErr  bool
+	}{
+		{give: "", wantName: "identity"},
+		{give: "identity", wantName: "identity"},
+		{give: "lz", wantName: "lz"},
+		{give: "zstd", wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.give, func(t *testing.T) {
+			got, err := NewCodec(tt.give)
+			if tt.wantErr {
+				if err == nil {
+					t.Errorf("NewCodec(%q) succeeded", tt.give)
+				}
+				return
+			}
+			if err != nil || got.Name() != tt.wantName {
+				t.Errorf("NewCodec(%q) = (%v, %v)", tt.give, got, err)
+			}
+		})
+	}
+}
+
+func TestIdentityCodec(t *testing.T) {
+	enc, err := Identity{}.Encode([]byte("same"))
+	if err != nil || string(enc) != "same" {
+		t.Errorf("Encode = (%q, %v)", enc, err)
+	}
+	dec, err := Identity{}.Decode(enc)
+	if err != nil || string(dec) != "same" {
+		t.Errorf("Decode = (%q, %v)", dec, err)
+	}
+	// The copies are independent of the input.
+	enc[0] = 'X'
+	if string(dec) != "same" {
+		t.Error("Decode shares storage with Encode output")
+	}
+}
+
+func TestLZRoundTripCases(t *testing.T) {
+	tests := []struct {
+		name string
+		give []byte
+	}{
+		{name: "empty", give: nil},
+		{name: "single byte", give: []byte("a")},
+		{name: "short", give: []byte("abc")},
+		{name: "text", give: []byte("the quick brown fox jumps over the lazy dog, the quick brown fox again")},
+		{name: "runs", give: bytes.Repeat([]byte("a"), 10_000)},
+		{name: "alternating", give: bytes.Repeat([]byte("ab"), 5_000)},
+		{name: "binary", give: []byte{0, 1, 2, 3, 0, 0, 0, 0, 255, 254, 0, 0, 0, 0}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			enc, err := LZ{}.Encode(tt.give)
+			if err != nil {
+				t.Fatalf("Encode: %v", err)
+			}
+			dec, err := LZ{}.Decode(enc)
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if !bytes.Equal(dec, tt.give) {
+				t.Errorf("round trip mismatch: got %d bytes, want %d", len(dec), len(tt.give))
+			}
+		})
+	}
+}
+
+func TestLZCompressesRepetitiveInput(t *testing.T) {
+	src := bytes.Repeat([]byte("hello world "), 1000)
+	enc, err := LZ{}.Encode(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) >= len(src)/4 {
+		t.Errorf("compressed %d -> %d; expected at least 4x on repetitive input", len(src), len(enc))
+	}
+}
+
+func TestLZRoundTripProperty(t *testing.T) {
+	f := func(seed int64, sizeHint uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(sizeHint) % 8192
+		src := make([]byte, n)
+		// Mix random and repetitive regions to exercise both token types.
+		for i := 0; i < n; {
+			if rng.Intn(2) == 0 {
+				run := rng.Intn(64) + 1
+				b := byte(rng.Intn(256))
+				for j := 0; j < run && i < n; j++ {
+					src[i] = b
+					i++
+				}
+			} else {
+				src[i] = byte(rng.Intn(256))
+				i++
+			}
+		}
+		enc, err := LZ{}.Encode(src)
+		if err != nil {
+			return false
+		}
+		dec, err := LZ{}.Decode(enc)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(dec, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLZDecodeRejectsCorrupt(t *testing.T) {
+	valid, err := LZ{}.Encode([]byte("some reasonable content with content repetition"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name string
+		give []byte
+	}{
+		{name: "empty", give: nil},
+		{name: "bad magic", give: []byte("NOPE\x00\x00\x00\x04abcd")},
+		{name: "truncated header", give: []byte("AFL")},
+		{name: "truncated body", give: valid[:len(valid)-3]},
+		{name: "length mismatch", give: append(append([]byte("AFLZ"), 0, 0, 0, 99), valid[8:]...)},
+		{name: "bad token", give: append(append([]byte(nil), valid[:8]...), 0x77)},
+		{name: "copy before start", give: append(append([]byte(nil), valid[:8]...), 0x01, 0x00, 0x10, 0x00, 0x01)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := (LZ{}).Decode(tt.give); !errors.Is(err, ErrCorrupt) {
+				t.Errorf("Decode err = %v, want ErrCorrupt", err)
+			}
+		})
+	}
+}
+
+func TestLZDecodeDoesNotMutateInput(t *testing.T) {
+	src := bytes.Repeat([]byte("xyz"), 100)
+	enc, err := LZ{}.Encode(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := append([]byte(nil), enc...)
+	if _, err := (LZ{}).Decode(enc); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, snapshot) {
+		t.Error("Decode mutated its input")
+	}
+}
+
+func TestLZDecodeNeverPanics(t *testing.T) {
+	// Corrupt stored forms must be rejected, never crash the sentinel.
+	f := func(data []byte) bool {
+		(LZ{}).Decode(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	// Also with a valid magic prefix and garbage after it.
+	g := func(data []byte) bool {
+		framed := append([]byte("AFLZ\x00\x00\x01\x00"), data...)
+		(LZ{}).Decode(framed)
+		return true
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

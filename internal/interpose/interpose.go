@@ -1,0 +1,170 @@
+// Package interpose is the legacy-application-facing file layer — the Go
+// analogue of the paper's binary interception of Win32 file API calls
+// (Appendix A). An application written against FS uses one set of file
+// operations for everything; each Open checks whether the path names an
+// active file ("by checking the extension") and either passes straight
+// through to the operating system or diverts to a sentinel session. The
+// application cannot tell which happened: that transparency is the paper's
+// central claim.
+package interpose
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/vfs"
+)
+
+// File is the operation set legacy applications program against, mirroring
+// the intercepted Win32 calls: ReadFile, WriteFile, SetFilePointer,
+// GetFileSize, SetEndOfFile, FlushFileBuffers, CloseHandle, and the
+// positioned variants.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.ReaderAt
+	io.WriterAt
+	io.Closer
+	// Size returns the file length (GetFileSize).
+	Size() (int64, error)
+	// Truncate sets the file length (SetEndOfFile).
+	Truncate(n int64) error
+	// Sync flushes buffered state (FlushFileBuffers).
+	Sync() error
+}
+
+// FS opens files with active-file interposition. The zero value is not
+// usable; construct with New.
+type FS struct {
+	strategy core.Strategy // 0 = per-manifest default
+	registry *core.Registry
+}
+
+// Option configures an FS.
+type Option interface {
+	apply(*FS)
+}
+
+type strategyOption core.Strategy
+
+func (o strategyOption) apply(fs *FS) { fs.strategy = core.Strategy(o) }
+
+// WithStrategy forces every active open to use the given implementation
+// strategy instead of each manifest's default.
+func WithStrategy(s core.Strategy) Option {
+	return strategyOption(s)
+}
+
+type registryOption struct{ reg *core.Registry }
+
+func (o registryOption) apply(fs *FS) { fs.registry = o.reg }
+
+// WithRegistry resolves sentinel programs from reg instead of the default
+// registry.
+func WithRegistry(reg *core.Registry) Option {
+	return registryOption{reg: reg}
+}
+
+// New returns an interposing file system.
+func New(opts ...Option) *FS {
+	fs := &FS{}
+	for _, o := range opts {
+		o.apply(fs)
+	}
+	return fs
+}
+
+// Open opens the file at path for reading and writing. Active paths divert
+// to a sentinel; passive paths go to the operating system.
+func (fs *FS) Open(path string) (File, error) {
+	if vfs.IsActive(path) {
+		h, err := core.Open(path, core.Options{Strategy: fs.strategy, Registry: fs.registry})
+		if err != nil {
+			return nil, fmt.Errorf("open active file %q: %w", path, err)
+		}
+		return h, nil
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &passiveFile{f: f}, nil
+}
+
+// Create opens path, creating a passive file if it does not exist. Creating
+// a new *active* file requires a manifest and goes through vfs.Create; Open
+// is then used to start a session.
+func (fs *FS) Create(path string) (File, error) {
+	if vfs.IsActive(path) {
+		return fs.Open(path)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &passiveFile{f: f}, nil
+}
+
+// Remove deletes the file at path; for active files, both components go
+// (§2.1 directory operations).
+func (fs *FS) Remove(path string) error {
+	if vfs.IsActive(path) {
+		return vfs.Remove(path)
+	}
+	return os.Remove(path)
+}
+
+// Copy duplicates src to dst. Copying an active file duplicates manifest and
+// data part; both paths must then be active. Passive copies are plain byte
+// copies.
+func (fs *FS) Copy(src, dst string) error {
+	if vfs.IsActive(src) || vfs.IsActive(dst) {
+		return vfs.Copy(src, dst)
+	}
+	data, err := os.ReadFile(src)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(dst, data, 0o644)
+}
+
+// Rename moves src to dst, carrying an active file's data part along.
+func (fs *FS) Rename(src, dst string) error {
+	if vfs.IsActive(src) || vfs.IsActive(dst) {
+		return vfs.Rename(src, dst)
+	}
+	return os.Rename(src, dst)
+}
+
+// passiveFile adapts *os.File to the File interface.
+type passiveFile struct {
+	f *os.File
+}
+
+var _ File = (*passiveFile)(nil)
+
+func (p *passiveFile) Read(b []byte) (int, error)  { return p.f.Read(b) }
+func (p *passiveFile) Write(b []byte) (int, error) { return p.f.Write(b) }
+func (p *passiveFile) Seek(off int64, whence int) (int64, error) {
+	return p.f.Seek(off, whence)
+}
+func (p *passiveFile) ReadAt(b []byte, off int64) (int, error)  { return p.f.ReadAt(b, off) }
+func (p *passiveFile) WriteAt(b []byte, off int64) (int, error) { return p.f.WriteAt(b, off) }
+func (p *passiveFile) Close() error                             { return p.f.Close() }
+func (p *passiveFile) Truncate(n int64) error                   { return p.f.Truncate(n) }
+func (p *passiveFile) Sync() error                              { return p.f.Sync() }
+
+func (p *passiveFile) Size() (int64, error) {
+	info, err := p.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}
+
+// Compile-time check: an active handle satisfies the legacy File interface,
+// the property that makes the diversion invisible.
+var _ File = (*core.Handle)(nil)

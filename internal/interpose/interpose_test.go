@@ -1,0 +1,255 @@
+package interpose_test
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interpose"
+	"repro/internal/program"
+	"repro/internal/vfs"
+)
+
+func TestMain(m *testing.M) {
+	program.RegisterAll()
+	core.RunChildIfRequested()
+	os.Exit(m.Run())
+}
+
+// legacyApp is code written purely against the File interface, with no
+// knowledge of active files: it writes, seeks, reads back, and reports.
+func legacyApp(f interpose.File, payload string) (string, error) {
+	if _, err := f.Write([]byte(payload)); err != nil {
+		return "", err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return "", err
+	}
+	out := make([]byte, len(payload))
+	if _, err := io.ReadFull(f, out); err != nil {
+		return "", err
+	}
+	if size, err := f.Size(); err != nil || size != int64(len(payload)) {
+		return "", errors.Join(err, errors.New("size mismatch"))
+	}
+	return string(out), nil
+}
+
+func TestLegacyAppCannotTellActiveFromPassive(t *testing.T) {
+	dir := t.TempDir()
+	fs := interpose.New()
+
+	passivePath := filepath.Join(dir, "plain.txt")
+	passive, err := fs.Create(passivePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer passive.Close()
+
+	activePath := filepath.Join(dir, "active.af")
+	if err := vfs.Create(activePath, vfs.Manifest{
+		Program: vfs.ProgramSpec{Name: "passthrough"},
+		Cache:   "disk",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	active, err := fs.Open(activePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer active.Close()
+
+	const payload = "identical behaviour either way"
+	gotPassive, err := legacyApp(passive, payload)
+	if err != nil {
+		t.Fatalf("legacy app on passive file: %v", err)
+	}
+	gotActive, err := legacyApp(active, payload)
+	if err != nil {
+		t.Fatalf("legacy app on active file: %v", err)
+	}
+	if gotPassive != payload || gotActive != payload {
+		t.Errorf("views = %q / %q, want %q", gotPassive, gotActive, payload)
+	}
+}
+
+func TestOpenMissingPassive(t *testing.T) {
+	fs := interpose.New()
+	if _, err := fs.Open(filepath.Join(t.TempDir(), "nope.txt")); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("err = %v, want os.ErrNotExist", err)
+	}
+}
+
+func TestOpenMissingActive(t *testing.T) {
+	fs := interpose.New()
+	if _, err := fs.Open(filepath.Join(t.TempDir(), "nope.af")); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("err = %v, want os.ErrNotExist", err)
+	}
+}
+
+func TestWithStrategyOverride(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.af")
+	if err := vfs.Create(path, vfs.Manifest{
+		Program:  vfs.ProgramSpec{Name: "passthrough"},
+		Strategy: "thread",
+		Cache:    "memory",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	fs := interpose.New(interpose.WithStrategy(core.StrategyDirect))
+	f, err := fs.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	h, ok := f.(*core.Handle)
+	if !ok {
+		t.Fatalf("active open returned %T", f)
+	}
+	if h.Strategy() != core.StrategyDirect {
+		t.Errorf("Strategy = %v, want direct override", h.Strategy())
+	}
+}
+
+func TestWithRegistry(t *testing.T) {
+	reg := core.NewRegistry()
+	reg.Register(program.Passthrough{})
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.af")
+	if err := vfs.Create(path, vfs.Manifest{
+		Program: vfs.ProgramSpec{Name: "passthrough"},
+		Cache:   "memory",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	fs := interpose.New(interpose.WithRegistry(reg), interpose.WithStrategy(core.StrategyDirect))
+	f, err := fs.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+}
+
+func TestRemoveDispatch(t *testing.T) {
+	dir := t.TempDir()
+	fs := interpose.New()
+
+	passive := filepath.Join(dir, "p.txt")
+	os.WriteFile(passive, []byte("x"), 0o644)
+	if err := fs.Remove(passive); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(passive); !errors.Is(err, os.ErrNotExist) {
+		t.Error("passive file survived Remove")
+	}
+
+	active := filepath.Join(dir, "a.af")
+	vfs.Create(active, vfs.Manifest{Program: vfs.ProgramSpec{Name: "passthrough"}})
+	if err := fs.Remove(active); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(vfs.DataPath(active)); !errors.Is(err, os.ErrNotExist) {
+		t.Error("active data part survived Remove")
+	}
+}
+
+func TestCopyDispatch(t *testing.T) {
+	dir := t.TempDir()
+	fs := interpose.New()
+
+	src := filepath.Join(dir, "src.af")
+	vfs.Create(src, vfs.Manifest{Program: vfs.ProgramSpec{Name: "passthrough"}, Cache: "disk"})
+	os.WriteFile(vfs.DataPath(src), []byte("cargo"), 0o644)
+	dst := filepath.Join(dir, "dst.af")
+	if err := fs.Copy(src, dst); err != nil {
+		t.Fatal(err)
+	}
+
+	// The copy is a fully functional, independent active file.
+	f, err := fs.Open(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := io.ReadAll(f)
+	if err != nil || string(got) != "cargo" {
+		t.Errorf("copied contents = (%q, %v)", got, err)
+	}
+
+	// Passive copy path.
+	p1 := filepath.Join(dir, "one.txt")
+	os.WriteFile(p1, []byte("passive"), 0o644)
+	p2 := filepath.Join(dir, "two.txt")
+	if err := fs.Copy(p1, p2); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(p2)
+	if string(data) != "passive" {
+		t.Errorf("passive copy = %q", data)
+	}
+}
+
+func TestRenameDispatch(t *testing.T) {
+	dir := t.TempDir()
+	fs := interpose.New()
+	src := filepath.Join(dir, "old.af")
+	vfs.Create(src, vfs.Manifest{Program: vfs.ProgramSpec{Name: "passthrough"}})
+	dst := filepath.Join(dir, "new.af")
+	if err := fs.Rename(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dst); err != nil {
+		t.Errorf("renamed manifest missing: %v", err)
+	}
+
+	p1 := filepath.Join(dir, "a.txt")
+	os.WriteFile(p1, []byte("x"), 0o644)
+	p2 := filepath.Join(dir, "b.txt")
+	if err := fs.Rename(p1, p2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(p2); err != nil {
+		t.Errorf("renamed passive missing: %v", err)
+	}
+}
+
+func TestPassiveFileFullInterface(t *testing.T) {
+	dir := t.TempDir()
+	fs := interpose.New()
+	f, err := fs.Create(filepath.Join(dir, "full.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	if _, err := f.Write([]byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := f.ReadAt(buf, 3); err != nil || string(buf) != "3456" {
+		t.Errorf("ReadAt = (%q, %v)", buf, err)
+	}
+	if _, err := f.WriteAt([]byte("XY"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(5); err != nil {
+		t.Fatal(err)
+	}
+	if size, err := f.Size(); err != nil || size != 5 {
+		t.Errorf("Size = (%d, %v)", size, err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Errorf("Sync: %v", err)
+	}
+	if pos, err := f.Seek(0, io.SeekStart); pos != 0 || err != nil {
+		t.Errorf("Seek = (%d, %v)", pos, err)
+	}
+	got := make([]byte, 5)
+	if _, err := io.ReadFull(f, got); err != nil || string(got) != "0XY34" {
+		t.Errorf("final read = (%q, %v)", got, err)
+	}
+}

@@ -1,0 +1,201 @@
+package interpose
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// Handle is a fictitious file handle, the opaque token the paper's stubs
+// return from an instrumented OpenFile: "a dummy handle is acquired and
+// supplied as the return file handle to the process ... an association is
+// also made between the dummy handle and the two or three pipe handles"
+// (Appendix A.2).
+type Handle uint32
+
+// InvalidHandle is returned by failed opens.
+const InvalidHandle Handle = 0
+
+// ErrBadHandle reports an operation on a handle the table never issued or
+// has already closed.
+var ErrBadHandle = errors.New("interpose: invalid file handle")
+
+// HandleTable is the association between fictitious handles and their open
+// files. Together with FS it completes the Appendix A picture: a legacy
+// application holds only integer handles and calls the Win32-shaped methods
+// below; whether a sentinel sits underneath is invisible.
+type HandleTable struct {
+	fs   *FS
+	mu   sync.Mutex
+	next Handle
+	open map[Handle]File
+}
+
+// NewHandleTable returns a table opening files through fs (nil means a
+// default FS).
+func NewHandleTable(fs *FS) *HandleTable {
+	if fs == nil {
+		fs = New()
+	}
+	return &HandleTable{fs: fs, open: make(map[Handle]File)}
+}
+
+// insert registers f and returns its new handle.
+func (t *HandleTable) insert(f File) Handle {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.next++
+	h := t.next
+	t.open[h] = f
+	return h
+}
+
+// lookup resolves h.
+func (t *HandleTable) lookup(h Handle) (File, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f, ok := t.open[h]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrBadHandle, h)
+	}
+	return f, nil
+}
+
+// OpenFile opens path (passive or active) and returns its handle.
+func (t *HandleTable) OpenFile(path string) (Handle, error) {
+	f, err := t.fs.Open(path)
+	if err != nil {
+		return InvalidHandle, err
+	}
+	return t.insert(f), nil
+}
+
+// CreateFile opens path, creating a passive file if absent.
+func (t *HandleTable) CreateFile(path string) (Handle, error) {
+	f, err := t.fs.Create(path)
+	if err != nil {
+		return InvalidHandle, err
+	}
+	return t.insert(f), nil
+}
+
+// ReadFile reads from the handle's current position.
+func (t *HandleTable) ReadFile(h Handle, p []byte) (int, error) {
+	f, err := t.lookup(h)
+	if err != nil {
+		return 0, err
+	}
+	return f.Read(p)
+}
+
+// WriteFile writes at the handle's current position.
+func (t *HandleTable) WriteFile(h Handle, p []byte) (int, error) {
+	f, err := t.lookup(h)
+	if err != nil {
+		return 0, err
+	}
+	return f.Write(p)
+}
+
+// SetFilePointer repositions the handle (whence as in io.Seek*).
+func (t *HandleTable) SetFilePointer(h Handle, off int64, whence int) (int64, error) {
+	f, err := t.lookup(h)
+	if err != nil {
+		return 0, err
+	}
+	return f.Seek(off, whence)
+}
+
+// GetFileSize returns the file length.
+func (t *HandleTable) GetFileSize(h Handle) (int64, error) {
+	f, err := t.lookup(h)
+	if err != nil {
+		return 0, err
+	}
+	return f.Size()
+}
+
+// SetEndOfFile truncates or extends the file to n bytes.
+func (t *HandleTable) SetEndOfFile(h Handle, n int64) error {
+	f, err := t.lookup(h)
+	if err != nil {
+		return err
+	}
+	return f.Truncate(n)
+}
+
+// FlushFileBuffers flushes buffered state.
+func (t *HandleTable) FlushFileBuffers(h Handle) error {
+	f, err := t.lookup(h)
+	if err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// LockFile acquires a byte-range lock; only active files with a locking
+// program support it.
+func (t *HandleTable) LockFile(h Handle, off, n int64) error {
+	f, err := t.lookup(h)
+	if err != nil {
+		return err
+	}
+	if ch, ok := f.(*core.Handle); ok {
+		return ch.Lock(off, n)
+	}
+	return wire.ErrUnsupported
+}
+
+// UnlockFile releases a byte-range lock.
+func (t *HandleTable) UnlockFile(h Handle, off, n int64) error {
+	f, err := t.lookup(h)
+	if err != nil {
+		return err
+	}
+	if ch, ok := f.(*core.Handle); ok {
+		return ch.Unlock(off, n)
+	}
+	return wire.ErrUnsupported
+}
+
+// CloseHandle closes the file and retires the handle.
+func (t *HandleTable) CloseHandle(h Handle) error {
+	t.mu.Lock()
+	f, ok := t.open[h]
+	if ok {
+		delete(t.open, h)
+	}
+	t.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrBadHandle, h)
+	}
+	return f.Close()
+}
+
+// OpenCount returns the number of live handles (leak checking in tests).
+func (t *HandleTable) OpenCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.open)
+}
+
+// CloseAll closes every open handle, returning the first error.
+func (t *HandleTable) CloseAll() error {
+	t.mu.Lock()
+	files := make([]File, 0, len(t.open))
+	for h, f := range t.open {
+		files = append(files, f)
+		delete(t.open, h)
+	}
+	t.mu.Unlock()
+	var first error
+	for _, f := range files {
+		if err := f.Close(); first == nil {
+			first = err
+		}
+	}
+	return first
+}

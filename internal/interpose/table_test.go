@@ -1,0 +1,177 @@
+package interpose_test
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/interpose"
+	"repro/internal/vfs"
+	"repro/internal/wire"
+)
+
+// win32App is legacy code written purely against integer handles — the
+// programming model of the paper's instrumented Win32 applications.
+func win32App(t *interpose.HandleTable, path string) (string, error) {
+	h, err := t.OpenFile(path)
+	if err != nil {
+		return "", err
+	}
+	defer t.CloseHandle(h)
+
+	if _, err := t.WriteFile(h, []byte("handle-based i/o")); err != nil {
+		return "", err
+	}
+	if _, err := t.SetFilePointer(h, 0, io.SeekStart); err != nil {
+		return "", err
+	}
+	size, err := t.GetFileSize(h)
+	if err != nil {
+		return "", err
+	}
+	buf := make([]byte, size)
+	if _, err := t.ReadFile(h, buf); err != nil {
+		return "", err
+	}
+	if err := t.FlushFileBuffers(h); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func TestHandleTableTransparency(t *testing.T) {
+	dir := t.TempDir()
+	table := interpose.NewHandleTable(nil)
+
+	passive := filepath.Join(dir, "p.txt")
+	if err := os.WriteFile(passive, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	active := filepath.Join(dir, "a.af")
+	if err := vfs.Create(active, vfs.Manifest{
+		Program: vfs.ProgramSpec{Name: "passthrough"},
+		Cache:   "disk",
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	gotPassive, err := win32App(table, passive)
+	if err != nil {
+		t.Fatalf("handle app on passive: %v", err)
+	}
+	gotActive, err := win32App(table, active)
+	if err != nil {
+		t.Fatalf("handle app on active: %v", err)
+	}
+	if gotPassive != "handle-based i/o" || gotActive != gotPassive {
+		t.Errorf("views: passive %q, active %q", gotPassive, gotActive)
+	}
+	if n := table.OpenCount(); n != 0 {
+		t.Errorf("OpenCount = %d after closes", n)
+	}
+}
+
+func TestHandleTableBadHandle(t *testing.T) {
+	table := interpose.NewHandleTable(nil)
+	buf := make([]byte, 1)
+	if _, err := table.ReadFile(42, buf); !errors.Is(err, interpose.ErrBadHandle) {
+		t.Errorf("ReadFile err = %v, want ErrBadHandle", err)
+	}
+	if _, err := table.WriteFile(42, buf); !errors.Is(err, interpose.ErrBadHandle) {
+		t.Errorf("WriteFile err = %v, want ErrBadHandle", err)
+	}
+	if err := table.CloseHandle(42); !errors.Is(err, interpose.ErrBadHandle) {
+		t.Errorf("CloseHandle err = %v, want ErrBadHandle", err)
+	}
+	if _, err := table.GetFileSize(42); !errors.Is(err, interpose.ErrBadHandle) {
+		t.Errorf("GetFileSize err = %v, want ErrBadHandle", err)
+	}
+}
+
+func TestHandleTableDoubleCloseFails(t *testing.T) {
+	dir := t.TempDir()
+	table := interpose.NewHandleTable(nil)
+	h, err := table.CreateFile(filepath.Join(dir, "x.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := table.CloseHandle(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := table.CloseHandle(h); !errors.Is(err, interpose.ErrBadHandle) {
+		t.Errorf("double close err = %v, want ErrBadHandle", err)
+	}
+}
+
+func TestHandleTableDistinctHandles(t *testing.T) {
+	dir := t.TempDir()
+	table := interpose.NewHandleTable(nil)
+	h1, err := table.CreateFile(filepath.Join(dir, "a.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := table.CreateFile(filepath.Join(dir, "b.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 == h2 || h1 == interpose.InvalidHandle {
+		t.Errorf("handles = %d, %d", h1, h2)
+	}
+	// Independent positions and contents.
+	table.WriteFile(h1, []byte("one"))
+	table.WriteFile(h2, []byte("two"))
+	table.SetFilePointer(h1, 0, io.SeekStart)
+	buf := make([]byte, 3)
+	table.ReadFile(h1, buf)
+	if string(buf) != "one" {
+		t.Errorf("h1 = %q", buf)
+	}
+	table.CloseAll()
+	if table.OpenCount() != 0 {
+		t.Error("CloseAll left handles open")
+	}
+}
+
+func TestHandleTableLocking(t *testing.T) {
+	dir := t.TempDir()
+	active := filepath.Join(dir, "l.af")
+	if err := vfs.Create(active, vfs.Manifest{
+		Program: vfs.ProgramSpec{Name: "locking"},
+		Cache:   "memory",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	table := interpose.NewHandleTable(nil)
+	h1, err := table.OpenFile(active)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := table.OpenFile(active)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer table.CloseAll()
+
+	if err := table.LockFile(h1, 0, 10); err != nil {
+		t.Fatalf("LockFile: %v", err)
+	}
+	if err := table.LockFile(h2, 5, 10); err == nil {
+		t.Error("overlapping LockFile on second handle succeeded")
+	}
+	if err := table.UnlockFile(h1, 0, 10); err != nil {
+		t.Errorf("UnlockFile: %v", err)
+	}
+
+	// Passive files report unsupported, like the real stub would.
+	passive := filepath.Join(dir, "p.txt")
+	os.WriteFile(passive, nil, 0o644)
+	hp, err := table.OpenFile(passive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := table.LockFile(hp, 0, 1); !errors.Is(err, wire.ErrUnsupported) {
+		t.Errorf("passive LockFile err = %v, want ErrUnsupported", err)
+	}
+}

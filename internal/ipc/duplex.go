@@ -1,0 +1,39 @@
+package ipc
+
+import "io"
+
+// End is one side of a duplex connection. Reads come from the peer's writes
+// and vice versa.
+type End struct {
+	in  *Pipe // peer writes here, we read
+	out *Pipe // we write here, peer reads
+}
+
+var _ io.ReadWriteCloser = (*End)(nil)
+
+// Read reads bytes written by the peer end.
+func (e *End) Read(p []byte) (int, error) { return e.in.Read(p) }
+
+// Write makes bytes available to the peer end.
+func (e *End) Write(p []byte) (int, error) { return e.out.Write(p) }
+
+// Close shuts down both directions of this end: the peer's reads drain and
+// then see io.EOF, and the peer's writes fail.
+func (e *End) Close() error {
+	e.out.CloseWrite()
+	e.in.CloseRead()
+	return nil
+}
+
+// CloseWrite half-closes the outgoing direction only (peer reads drain to
+// io.EOF); this end can still read.
+func (e *End) CloseWrite() error { return e.out.CloseWrite() }
+
+// NewDuplex returns two connected ends, each buffering up to capacity bytes
+// per direction. It models a pair of anonymous pipes cross-connected between
+// the application stubs and the sentinel.
+func NewDuplex(capacity int) (*End, *End) {
+	ab := NewPipe(capacity)
+	ba := NewPipe(capacity)
+	return &End{in: ba, out: ab}, &End{in: ab, out: ba}
+}

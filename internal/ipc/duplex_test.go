@@ -1,0 +1,185 @@
+package ipc
+
+import (
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestDuplexBothDirections(t *testing.T) {
+	a, b := NewDuplex(32)
+	if _, err := a.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(b, buf); err != nil || string(buf) != "ping" {
+		t.Fatalf("b read = (%q, %v)", buf, err)
+	}
+	if _, err := b.Write([]byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(a, buf); err != nil || string(buf) != "pong" {
+		t.Fatalf("a read = (%q, %v)", buf, err)
+	}
+}
+
+func TestDuplexCloseSignalsPeer(t *testing.T) {
+	a, b := NewDuplex(32)
+	a.Write([]byte("last"))
+	a.Close()
+
+	// Peer drains remaining bytes, then sees EOF.
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(b, buf); err != nil || string(buf) != "last" {
+		t.Fatalf("drain = (%q, %v)", buf, err)
+	}
+	if _, err := b.Read(buf); !errors.Is(err, io.EOF) {
+		t.Errorf("peer read after close err = %v, want io.EOF", err)
+	}
+	// Peer writes fail because the closed end no longer reads.
+	if _, err := b.Write([]byte("x")); !errors.Is(err, ErrClosedPipe) {
+		t.Errorf("peer write after close err = %v, want ErrClosedPipe", err)
+	}
+}
+
+func TestDuplexCloseWriteHalfClose(t *testing.T) {
+	a, b := NewDuplex(32)
+	a.Write([]byte("fin"))
+	a.CloseWrite()
+
+	buf := make([]byte, 3)
+	if _, err := io.ReadFull(b, buf); err != nil || string(buf) != "fin" {
+		t.Fatalf("drain = (%q, %v)", buf, err)
+	}
+	if _, err := b.Read(buf); !errors.Is(err, io.EOF) {
+		t.Errorf("read err = %v, want io.EOF", err)
+	}
+	// The reverse direction still works after the half close.
+	if _, err := b.Write([]byte("ack")); err != nil {
+		t.Fatalf("reverse write: %v", err)
+	}
+	if _, err := io.ReadFull(a, buf); err != nil || string(buf) != "ack" {
+		t.Fatalf("reverse read = (%q, %v)", buf, err)
+	}
+}
+
+func TestRendezvousCallAndServe(t *testing.T) {
+	r := NewRendezvous[int, int]()
+	go func() {
+		for {
+			req, reply, err := r.Next()
+			if err != nil {
+				return
+			}
+			reply(req * 2)
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		got, err := r.Call(i)
+		if err != nil {
+			t.Fatalf("Call(%d): %v", i, err)
+		}
+		if got != i*2 {
+			t.Fatalf("Call(%d) = %d, want %d", i, got, i*2)
+		}
+	}
+	r.Close()
+}
+
+func TestRendezvousCloseUnblocksCaller(t *testing.T) {
+	r := NewRendezvous[int, int]()
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Call(1) // no server; must unblock on Close
+		done <- err
+	}()
+	r.Close()
+	if err := <-done; !errors.Is(err, ErrRendezvousClosed) {
+		t.Errorf("Call err = %v, want ErrRendezvousClosed", err)
+	}
+}
+
+func TestRendezvousCloseUnblocksServer(t *testing.T) {
+	r := NewRendezvous[int, int]()
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := r.Next()
+		done <- err
+	}()
+	r.Close()
+	if err := <-done; !errors.Is(err, ErrRendezvousClosed) {
+		t.Errorf("Next err = %v, want ErrRendezvousClosed", err)
+	}
+}
+
+func TestRendezvousCloseIdempotent(t *testing.T) {
+	r := NewRendezvous[int, int]()
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChannelFilesWithControl(t *testing.T) {
+	cf, err := NewChannelFiles(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	if cf.CtrlToChild == nil || cf.ChildCtrl == nil {
+		t.Fatal("control pipe missing")
+	}
+	if got := len(cf.ChildFiles()); got != 3 {
+		t.Fatalf("ChildFiles count = %d, want 3", got)
+	}
+
+	// Data flows parent -> child and child -> parent through real OS pipes.
+	if _, err := cf.ToChild.Write([]byte("down")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(cf.ChildRead, buf); err != nil || string(buf) != "down" {
+		t.Fatalf("child read = (%q, %v)", buf, err)
+	}
+	if _, err := cf.ChildWrite.Write([]byte("up!!")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(cf.FromChild, buf); err != nil || string(buf) != "up!!" {
+		t.Fatalf("parent read = (%q, %v)", buf, err)
+	}
+}
+
+func TestChannelFilesWithoutControl(t *testing.T) {
+	cf, err := NewChannelFiles(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	if cf.CtrlToChild != nil || cf.ChildCtrl != nil {
+		t.Error("unexpected control pipe")
+	}
+	if got := len(cf.ChildFiles()); got != 2 {
+		t.Errorf("ChildFiles count = %d, want 2", got)
+	}
+}
+
+func TestChannelFilesCloseChildEnds(t *testing.T) {
+	cf, err := NewChannelFiles(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	cf.CloseChildEnds()
+	if cf.ChildRead != nil || cf.ChildWrite != nil || cf.ChildCtrl != nil {
+		t.Error("child ends not cleared")
+	}
+	// Parent ends must still be open: write end of ToChild reports EPIPE-like
+	// errors only on write, so verify FromChild read sees EOF (child write end
+	// closed), proving it was still open to observe that.
+	buf := make([]byte, 1)
+	if _, err := cf.FromChild.Read(buf); !errors.Is(err, io.EOF) {
+		t.Errorf("FromChild read err = %v, want io.EOF", err)
+	}
+}

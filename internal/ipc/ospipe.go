@@ -1,0 +1,84 @@
+package ipc
+
+import (
+	"fmt"
+	"os"
+)
+
+// ChannelFiles is the set of OS pipe file descriptors wired between the
+// application process and a sentinel subprocess. The parent keeps one end of
+// each pipe; the child inherits the other three as extra files (fds 3, 4, 5
+// in order: its stdin-equivalent read pipe, stdout-equivalent write pipe,
+// and the control pipe for the process-plus-control strategy).
+type ChannelFiles struct {
+	// Parent-side ends.
+	ToChild     *os.File // parent writes application data destined for the sentinel
+	FromChild   *os.File // parent reads data the sentinel produced
+	CtrlToChild *os.File // parent writes control frames (nil without control channel)
+
+	// Child-side ends, passed via exec.Cmd.ExtraFiles and closed in the
+	// parent after spawning.
+	ChildRead  *os.File
+	ChildWrite *os.File
+	ChildCtrl  *os.File // nil without control channel
+}
+
+// NewChannelFiles creates the OS pipes for a sentinel subprocess. withControl
+// adds the third (control) pipe used by the process-plus-control strategy.
+func NewChannelFiles(withControl bool) (*ChannelFiles, error) {
+	cf := &ChannelFiles{}
+	var err error
+	cf.ChildRead, cf.ToChild, err = os.Pipe()
+	if err != nil {
+		return nil, fmt.Errorf("data pipe to sentinel: %w", err)
+	}
+	cf.FromChild, cf.ChildWrite, err = os.Pipe()
+	if err != nil {
+		cf.Close()
+		return nil, fmt.Errorf("data pipe from sentinel: %w", err)
+	}
+	if withControl {
+		cf.ChildCtrl, cf.CtrlToChild, err = os.Pipe()
+		if err != nil {
+			cf.Close()
+			return nil, fmt.Errorf("control pipe: %w", err)
+		}
+	}
+	return cf, nil
+}
+
+// ChildFiles returns the child-side files in the fd order the sentinel
+// expects (3: read, 4: write, 5: control if present).
+func (cf *ChannelFiles) ChildFiles() []*os.File {
+	files := []*os.File{cf.ChildRead, cf.ChildWrite}
+	if cf.ChildCtrl != nil {
+		files = append(files, cf.ChildCtrl)
+	}
+	return files
+}
+
+// CloseChildEnds closes the child-side ends in the parent once the subprocess
+// has inherited them.
+func (cf *ChannelFiles) CloseChildEnds() {
+	for _, f := range []*os.File{cf.ChildRead, cf.ChildWrite, cf.ChildCtrl} {
+		if f != nil {
+			f.Close()
+		}
+	}
+	cf.ChildRead, cf.ChildWrite, cf.ChildCtrl = nil, nil, nil
+}
+
+// Close closes every file that is still open. It is safe to call repeatedly.
+func (cf *ChannelFiles) Close() error {
+	for _, f := range []*os.File{
+		cf.ToChild, cf.FromChild, cf.CtrlToChild,
+		cf.ChildRead, cf.ChildWrite, cf.ChildCtrl,
+	} {
+		if f != nil {
+			f.Close()
+		}
+	}
+	cf.ToChild, cf.FromChild, cf.CtrlToChild = nil, nil, nil
+	cf.ChildRead, cf.ChildWrite, cf.ChildCtrl = nil, nil, nil
+	return nil
+}

@@ -1,0 +1,151 @@
+// Package ipc provides the interprocess and intraprocess plumbing the
+// active-file strategies are built on: blocking in-memory byte pipes (the
+// user-level analogue of the anonymous pipes the paper's process strategies
+// create), duplex connections, a synchronous rendezvous (the analogue of the
+// thread strategy's shared-memory buffer plus event signalling), and helpers
+// for handing OS pipes to sentinel subprocesses.
+package ipc
+
+import (
+	"errors"
+	"io"
+	"sync"
+)
+
+// ErrClosedPipe is returned for writes to a pipe whose read end is gone and
+// for operations on fully closed pipes.
+var ErrClosedPipe = errors.New("ipc: read/write on closed pipe")
+
+// DefaultCapacity is the pipe buffer size used when none is specified. It
+// matches the 64 KiB default of NT anonymous pipes.
+const DefaultCapacity = 64 * 1024
+
+// Pipe is a unidirectional, blocking, fixed-capacity byte stream. A Write
+// blocks while the buffer is full; a Read blocks while it is empty. Closing
+// the write end drains remaining bytes to readers and then yields io.EOF;
+// closing the read end makes writes fail with ErrClosedPipe.
+//
+// Pipe is safe for concurrent use by one reader and one writer (and tolerates
+// multiple of each; bytes are then interleaved at call granularity).
+type Pipe struct {
+	mu          sync.Mutex
+	cond        sync.Cond
+	buf         []byte
+	start, size int
+	readClosed  bool
+	writeClosed bool
+}
+
+// NewPipe returns a pipe buffering up to capacity bytes; a non-positive
+// capacity selects DefaultCapacity.
+func NewPipe(capacity int) *Pipe {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	p := &Pipe{buf: make([]byte, capacity)}
+	p.cond.L = &p.mu
+	return p
+}
+
+// Read fills p with buffered bytes, blocking until at least one byte is
+// available or the write end closes.
+func (pp *Pipe) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	for pp.size == 0 {
+		if pp.readClosed {
+			return 0, ErrClosedPipe
+		}
+		if pp.writeClosed {
+			return 0, io.EOF
+		}
+		pp.cond.Wait()
+	}
+	if pp.readClosed {
+		return 0, ErrClosedPipe
+	}
+	n := len(p)
+	if n > pp.size {
+		n = pp.size
+	}
+	for i := 0; i < n; i++ {
+		p[i] = pp.buf[(pp.start+i)%len(pp.buf)]
+	}
+	pp.start = (pp.start + n) % len(pp.buf)
+	pp.size -= n
+	pp.cond.Broadcast()
+	return n, nil
+}
+
+// Write copies p into the pipe, blocking while the buffer is full. It returns
+// the number of bytes written and ErrClosedPipe if the read end closes before
+// all of p is accepted.
+func (pp *Pipe) Write(p []byte) (int, error) {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	written := 0
+	for written < len(p) {
+		if pp.readClosed || pp.writeClosed {
+			return written, ErrClosedPipe
+		}
+		free := len(pp.buf) - pp.size
+		if free == 0 {
+			pp.cond.Wait()
+			continue
+		}
+		n := len(p) - written
+		if n > free {
+			n = free
+		}
+		end := (pp.start + pp.size) % len(pp.buf)
+		for i := 0; i < n; i++ {
+			pp.buf[(end+i)%len(pp.buf)] = p[written+i]
+		}
+		pp.size += n
+		written += n
+		pp.cond.Broadcast()
+	}
+	return written, nil
+}
+
+// CloseWrite closes the write end: pending data remains readable, after which
+// readers see io.EOF. It is idempotent.
+func (pp *Pipe) CloseWrite() error {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	pp.writeClosed = true
+	pp.cond.Broadcast()
+	return nil
+}
+
+// CloseRead closes the read end: buffered data is discarded and writers fail
+// with ErrClosedPipe. It is idempotent.
+func (pp *Pipe) CloseRead() error {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	pp.readClosed = true
+	pp.size = 0
+	pp.cond.Broadcast()
+	return nil
+}
+
+// Close closes both ends.
+func (pp *Pipe) Close() error {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	pp.readClosed = true
+	pp.writeClosed = true
+	pp.size = 0
+	pp.cond.Broadcast()
+	return nil
+}
+
+// Buffered returns the number of bytes currently queued in the pipe.
+func (pp *Pipe) Buffered() int {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	return pp.size
+}

@@ -1,0 +1,270 @@
+package ipc
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPipeBasicReadWrite(t *testing.T) {
+	p := NewPipe(16)
+	if n, err := p.Write([]byte("hello")); n != 5 || err != nil {
+		t.Fatalf("Write = (%d, %v), want (5, nil)", n, err)
+	}
+	buf := make([]byte, 10)
+	n, err := p.Read(buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got := string(buf[:n]); got != "hello" {
+		t.Errorf("Read = %q, want %q", got, "hello")
+	}
+}
+
+func TestPipeZeroLengthRead(t *testing.T) {
+	p := NewPipe(4)
+	if n, err := p.Read(nil); n != 0 || err != nil {
+		t.Errorf("Read(nil) = (%d, %v), want (0, nil)", n, err)
+	}
+}
+
+func TestPipeWrapAround(t *testing.T) {
+	p := NewPipe(8)
+	buf := make([]byte, 8)
+	for i := 0; i < 10; i++ {
+		msg := []byte{byte(i), byte(i + 1), byte(i + 2), byte(i + 3), byte(i + 4)}
+		if _, err := p.Write(msg); err != nil {
+			t.Fatalf("Write %d: %v", i, err)
+		}
+		n, err := p.Read(buf)
+		if err != nil {
+			t.Fatalf("Read %d: %v", i, err)
+		}
+		if !bytes.Equal(buf[:n], msg) {
+			t.Fatalf("iteration %d: read %v, want %v", i, buf[:n], msg)
+		}
+	}
+}
+
+func TestPipeBlockingWriteUnblockedByRead(t *testing.T) {
+	p := NewPipe(4)
+	if _, err := p.Write([]byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.Write([]byte("efgh")) // must block until reader drains
+		done <- err
+	}()
+	select {
+	case <-done:
+		t.Fatal("Write completed before reader drained a full pipe")
+	case <-time.After(20 * time.Millisecond):
+	}
+	got := make([]byte, 8)
+	if _, err := io.ReadFull(p, got); err != nil {
+		t.Fatalf("ReadFull: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("blocked Write: %v", err)
+	}
+	if string(got) != "abcdefgh" {
+		t.Errorf("read %q, want %q", got, "abcdefgh")
+	}
+}
+
+func TestPipeBlockingReadUnblockedByWrite(t *testing.T) {
+	p := NewPipe(4)
+	got := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 4)
+		n, err := p.Read(buf)
+		if err != nil {
+			got <- "err:" + err.Error()
+			return
+		}
+		got <- string(buf[:n])
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if _, err := p.Write([]byte("xy")); err != nil {
+		t.Fatal(err)
+	}
+	if g := <-got; g != "xy" {
+		t.Errorf("blocked Read got %q, want %q", g, "xy")
+	}
+}
+
+func TestPipeCloseWriteDrainsThenEOF(t *testing.T) {
+	p := NewPipe(16)
+	if _, err := p.Write([]byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	p.CloseWrite()
+	buf := make([]byte, 16)
+	n, err := p.Read(buf)
+	if err != nil || string(buf[:n]) != "tail" {
+		t.Fatalf("Read after CloseWrite = (%q, %v), want (\"tail\", nil)", buf[:n], err)
+	}
+	if _, err := p.Read(buf); !errors.Is(err, io.EOF) {
+		t.Errorf("Read on drained closed pipe err = %v, want io.EOF", err)
+	}
+	if _, err := p.Write([]byte("x")); !errors.Is(err, ErrClosedPipe) {
+		t.Errorf("Write after CloseWrite err = %v, want ErrClosedPipe", err)
+	}
+}
+
+func TestPipeCloseReadFailsWriters(t *testing.T) {
+	p := NewPipe(4)
+	p.CloseRead()
+	if _, err := p.Write([]byte("x")); !errors.Is(err, ErrClosedPipe) {
+		t.Errorf("Write after CloseRead err = %v, want ErrClosedPipe", err)
+	}
+	if _, err := p.Read(make([]byte, 1)); !errors.Is(err, ErrClosedPipe) {
+		t.Errorf("Read after CloseRead err = %v, want ErrClosedPipe", err)
+	}
+}
+
+func TestPipeCloseReadUnblocksWriter(t *testing.T) {
+	p := NewPipe(2)
+	if _, err := p.Write([]byte("ab")); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.Write([]byte("cd"))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	p.CloseRead()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosedPipe) {
+			t.Errorf("blocked Write err = %v, want ErrClosedPipe", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Write still blocked after CloseRead")
+	}
+}
+
+func TestPipeCloseUnblocksReader(t *testing.T) {
+	p := NewPipe(4)
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.Read(make([]byte, 1))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	p.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("blocked Read returned nil error after Close")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Read still blocked after Close")
+	}
+}
+
+func TestPipeBuffered(t *testing.T) {
+	p := NewPipe(8)
+	if got := p.Buffered(); got != 0 {
+		t.Errorf("Buffered empty = %d, want 0", got)
+	}
+	p.Write([]byte("abc"))
+	if got := p.Buffered(); got != 3 {
+		t.Errorf("Buffered = %d, want 3", got)
+	}
+}
+
+func TestPipeDefaultCapacity(t *testing.T) {
+	p := NewPipe(0)
+	if len(p.buf) != DefaultCapacity {
+		t.Errorf("capacity = %d, want %d", len(p.buf), DefaultCapacity)
+	}
+}
+
+func TestPipeStreamIntegrityProperty(t *testing.T) {
+	// Whatever byte sequence goes in one end comes out the other, across any
+	// segmentation of writes, for a variety of pipe capacities.
+	f := func(seed int64, capacity uint16) bool {
+		cap := int(capacity)%200 + 1
+		p := NewPipe(cap)
+		rng := rand.New(rand.NewSource(seed))
+		want := make([]byte, 4096)
+		rng.Read(want)
+
+		go func() {
+			rest := want
+			for len(rest) > 0 {
+				n := rng.Intn(300) + 1
+				if n > len(rest) {
+					n = len(rest)
+				}
+				if _, err := p.Write(rest[:n]); err != nil {
+					return
+				}
+				rest = rest[n:]
+			}
+			p.CloseWrite()
+		}()
+
+		var got bytes.Buffer
+		if _, err := io.Copy(&got, p); err != nil {
+			return false
+		}
+		return bytes.Equal(got.Bytes(), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPipeConcurrentWriters(t *testing.T) {
+	p := NewPipe(64)
+	const writers = 4
+	const perWriter = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			payload := []byte{byte('A' + w)}
+			for i := 0; i < perWriter; i++ {
+				if _, err := p.Write(payload); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		p.CloseWrite()
+	}()
+
+	counts := make(map[byte]int)
+	buf := make([]byte, 128)
+	for {
+		n, err := p.Read(buf)
+		for _, b := range buf[:n] {
+			counts[b]++
+		}
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+	}
+	for w := 0; w < writers; w++ {
+		if got := counts[byte('A'+w)]; got != perWriter {
+			t.Errorf("writer %d delivered %d bytes, want %d", w, got, perWriter)
+		}
+	}
+}

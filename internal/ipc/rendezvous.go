@@ -1,0 +1,79 @@
+package ipc
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrRendezvousClosed is returned once either side of a Rendezvous shuts
+// down.
+var ErrRendezvousClosed = errors.New("ipc: rendezvous closed")
+
+// Rendezvous is a synchronous request/response channel between exactly one
+// caller goroutine at a time and one server goroutine. It is the in-process
+// analogue of the paper's DLL-with-thread mechanism, where "messages are
+// implemented using events and shared memory": Call hands a request to the
+// sentinel thread and blocks until the reply event fires, costing one
+// goroutine handoff and no kernel crossing.
+type Rendezvous[Req any, Resp any] struct {
+	calls chan rendezvousCall[Req, Resp]
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{}
+}
+
+type rendezvousCall[Req any, Resp any] struct {
+	req   Req
+	reply chan Resp
+}
+
+// NewRendezvous returns an open rendezvous.
+func NewRendezvous[Req any, Resp any]() *Rendezvous[Req, Resp] {
+	return &Rendezvous[Req, Resp]{
+		calls: make(chan rendezvousCall[Req, Resp]),
+		done:  make(chan struct{}),
+	}
+}
+
+// Call delivers req to the server and blocks until the reply arrives or the
+// rendezvous closes.
+func (r *Rendezvous[Req, Resp]) Call(req Req) (Resp, error) {
+	var zero Resp
+	c := rendezvousCall[Req, Resp]{req: req, reply: make(chan Resp, 1)}
+	select {
+	case r.calls <- c:
+	case <-r.done:
+		return zero, ErrRendezvousClosed
+	}
+	select {
+	case resp := <-c.reply:
+		return resp, nil
+	case <-r.done:
+		return zero, ErrRendezvousClosed
+	}
+}
+
+// Next blocks until a caller arrives, returning the request and a reply
+// function the server must invoke exactly once.
+func (r *Rendezvous[Req, Resp]) Next() (Req, func(Resp), error) {
+	var zero Req
+	select {
+	case c := <-r.calls:
+		return c.req, func(resp Resp) { c.reply <- resp }, nil
+	case <-r.done:
+		return zero, nil, ErrRendezvousClosed
+	}
+}
+
+// Close releases both sides; blocked Call and Next invocations return
+// ErrRendezvousClosed. Close is idempotent.
+func (r *Rendezvous[Req, Resp]) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.closed {
+		r.closed = true
+		close(r.done)
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+// Package loglock implements the concurrent, intelligent logging manager of
+// §3: "several processes log events using the same log file. As the sentinel
+// process receives each log record, it locks the file, writes the record and
+// unlocks the file. The processes generating the logs do not need to know
+// about log file locking." A lock file provides mutual exclusion between
+// sentinels in different processes; an in-process mutex covers goroutine
+// sentinels sharing this manager.
+package loglock
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// Lock acquisition tuning.
+const (
+	lockRetryDelay = 500 * time.Microsecond
+	lockStaleAfter = 30 * time.Second
+	lockTimeout    = 10 * time.Second
+)
+
+// ErrLockTimeout reports failure to acquire the log lock in time.
+var ErrLockTimeout = errors.New("loglock: timed out waiting for log lock")
+
+// Manager serializes appends to one log file across processes.
+type Manager struct {
+	path     string
+	lockPath string
+	mu       sync.Mutex
+}
+
+// New returns a manager for the log at path. The lock file lives beside it.
+func New(path string) *Manager {
+	return &Manager{path: path, lockPath: path + ".lock"}
+}
+
+// acquire takes the cross-process lock by exclusively creating the lock
+// file, breaking locks older than lockStaleAfter (a crashed holder).
+func (m *Manager) acquire() error {
+	deadline := time.Now().Add(lockTimeout)
+	for {
+		f, err := os.OpenFile(m.lockPath, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			f.Close()
+			return nil
+		}
+		if !errors.Is(err, os.ErrExist) {
+			return fmt.Errorf("create lock file: %w", err)
+		}
+		if info, serr := os.Stat(m.lockPath); serr == nil &&
+			time.Since(info.ModTime()) > lockStaleAfter {
+			os.Remove(m.lockPath) // break a stale lock; next loop retries
+			continue
+		}
+		if time.Now().After(deadline) {
+			return ErrLockTimeout
+		}
+		time.Sleep(lockRetryDelay)
+	}
+}
+
+// release drops the cross-process lock.
+func (m *Manager) release() {
+	os.Remove(m.lockPath)
+}
+
+// Append adds one record to the log under the lock, ensuring it ends with a
+// newline so records never interleave mid-line.
+func (m *Manager) Append(record []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.acquire(); err != nil {
+		return err
+	}
+	defer m.release()
+
+	f, err := os.OpenFile(m.path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("open log: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Write(record); err != nil {
+		return fmt.Errorf("append record: %w", err)
+	}
+	if len(record) == 0 || record[len(record)-1] != '\n' {
+		if _, err := f.Write([]byte{'\n'}); err != nil {
+			return fmt.Errorf("terminate record: %w", err)
+		}
+	}
+	return nil
+}
+
+// Contents returns the current log bytes.
+func (m *Manager) Contents() ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, err := os.ReadFile(m.path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	return data, err
+}
+
+// Compact is the sentinel's background cleanup: under the lock, it rewrites
+// the log keeping only the most recent keep records.
+func (m *Manager) Compact(keep int) error {
+	if keep < 0 {
+		return fmt.Errorf("loglock: negative keep %d", keep)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.acquire(); err != nil {
+		return err
+	}
+	defer m.release()
+
+	data, err := os.ReadFile(m.path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("read log: %w", err)
+	}
+	lines := splitRecords(data)
+	if len(lines) <= keep {
+		return nil
+	}
+	var out bytes.Buffer
+	for _, line := range lines[len(lines)-keep:] {
+		out.Write(line)
+		out.WriteByte('\n')
+	}
+	tmp := m.path + ".tmp"
+	if err := os.WriteFile(tmp, out.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("write compacted log: %w", err)
+	}
+	if err := os.Rename(tmp, m.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("commit compacted log: %w", err)
+	}
+	return nil
+}
+
+// Records returns the individual log records.
+func (m *Manager) Records() ([][]byte, error) {
+	data, err := m.Contents()
+	if err != nil {
+		return nil, err
+	}
+	return splitRecords(data), nil
+}
+
+func splitRecords(data []byte) [][]byte {
+	data = bytes.TrimSuffix(data, []byte("\n"))
+	if len(data) == 0 {
+		return nil
+	}
+	return bytes.Split(data, []byte("\n"))
+}

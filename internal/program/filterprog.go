@@ -1,0 +1,77 @@
+package program
+
+import (
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/filter"
+)
+
+// Filter is the input/output filtering sentinel (§3): every byte written by
+// the application passes through a ByteFilter before reaching storage, and
+// every byte read is inverse-filtered on the way out. The filter is chosen
+// by FilterName, or by the manifest's "filter" parameter when FilterName is
+// empty (the program then registers as "filter").
+type Filter struct {
+	// FilterName fixes the filter; empty defers to the manifest parameter.
+	FilterName string
+}
+
+var _ core.Program = Filter{}
+
+// Name implements core.Program.
+func (f Filter) Name() string {
+	if f.FilterName == "" {
+		return "filter"
+	}
+	return "filter:" + f.FilterName
+}
+
+// Open implements core.Program.
+func (f Filter) Open(env *core.Env) (core.Handler, error) {
+	name := f.FilterName
+	if name == "" {
+		name = env.Param("filter", "null")
+	}
+	flt, err := filter.New(name)
+	if err != nil {
+		return nil, err
+	}
+	backend, err := env.OpenBackend()
+	if err != nil {
+		return nil, err
+	}
+	return &filterHandler{backend: backend, filter: flt}, nil
+}
+
+type filterHandler struct {
+	backend cache.Backend
+	filter  filter.ByteFilter
+	scratch []byte
+}
+
+var _ core.Handler = (*filterHandler)(nil)
+
+func (h *filterHandler) ReadAt(p []byte, off int64) (int, error) {
+	n, err := h.backend.ReadAt(p, off)
+	h.filter.Invert(p[:n], off)
+	return n, err
+}
+
+func (h *filterHandler) WriteAt(p []byte, off int64) (int, error) {
+	// Filter into a scratch buffer so the caller's bytes are untouched.
+	if cap(h.scratch) < len(p) {
+		h.scratch = make([]byte, len(p))
+	}
+	buf := h.scratch[:len(p)]
+	copy(buf, p)
+	h.filter.Apply(buf, off)
+	return h.backend.WriteAt(buf, off)
+}
+
+func (h *filterHandler) Size() (int64, error) { return h.backend.Size() }
+
+func (h *filterHandler) Truncate(n int64) error { return h.backend.Truncate(n) }
+
+func (h *filterHandler) Sync() error { return h.backend.Sync() }
+
+func (h *filterHandler) Close() error { return h.backend.Close() }

@@ -1,0 +1,92 @@
+package program
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// Generate is the data-generation sentinel (§3): the active file has no real
+// data part — "the sentinel process just creates the illusion of its
+// existence". It presents a deterministic pseudo-random byte stream, the
+// paper's example of "a data file that contains an infinite stream of random
+// numbers", bounded here by the manifest's "size" parameter so positioned
+// strategies can answer Size (parameter "size" in bytes, default 64 KiB;
+// "seed" selects the stream).
+type Generate struct{}
+
+var _ core.Program = Generate{}
+
+// Name implements core.Program.
+func (Generate) Name() string { return "generate" }
+
+// Open implements core.Program.
+func (Generate) Open(env *core.Env) (core.Handler, error) {
+	size, err := strconv.ParseInt(env.Param("size", "65536"), 10, 64)
+	if err != nil || size < 0 {
+		return nil, fmt.Errorf("generate: bad size parameter: %q", env.Param("size", ""))
+	}
+	seed, err := strconv.ParseUint(env.Param("seed", "1"), 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("generate: bad seed parameter: %q", env.Param("seed", ""))
+	}
+	return &generateHandler{size: size, seed: seed}, nil
+}
+
+type generateHandler struct {
+	size int64
+	seed uint64
+}
+
+var _ core.Handler = (*generateHandler)(nil)
+
+// splitmix64 is a small, well-distributed mixer; byte i of the stream is a
+// pure function of (seed, i/8), so any offset can be generated independently
+// — random access over synthesized content.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (h *generateHandler) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("generate: negative offset")
+	}
+	if off >= h.size {
+		return 0, io.EOF
+	}
+	n := len(p)
+	if int64(n) > h.size-off {
+		n = int(h.size - off)
+	}
+	var word [8]byte
+	for i := 0; i < n; {
+		pos := off + int64(i)
+		block := uint64(pos) / 8
+		binary.LittleEndian.PutUint64(word[:], splitmix64(h.seed^block*0x2545f4914f6cdd1d))
+		start := int(uint64(pos) % 8)
+		i += copy(p[i:n], word[start:])
+	}
+	if int64(n) == h.size-off {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (h *generateHandler) WriteAt([]byte, int64) (int, error) {
+	return 0, wire.ErrUnsupported // the stream is synthesized, not stored
+}
+
+func (h *generateHandler) Size() (int64, error) { return h.size, nil }
+
+func (h *generateHandler) Truncate(int64) error { return wire.ErrUnsupported }
+
+func (h *generateHandler) Sync() error { return nil }
+
+func (h *generateHandler) Close() error { return nil }

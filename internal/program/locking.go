@@ -1,0 +1,73 @@
+package program
+
+import (
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/rangelock"
+)
+
+// Locking is a passthrough sentinel with byte-range locking: sessions of
+// the same active file synchronize through a shared lock table, realizing
+// §2.2 ("multiple sentinels ... synchronize amongst themselves") with
+// resource-centric control — the lock policy belongs to the file, not to
+// the applications. Locks an application never releases are dropped when
+// its session closes.
+//
+// The table is shared per process: sessions opened with the thread and
+// direct strategies coordinate; sentinel subprocesses each have their own
+// table. Cross-process coordination is what the logger program's lock-file
+// protocol (internal/loglock) provides.
+type Locking struct{}
+
+var _ core.Program = Locking{}
+
+// Name implements core.Program.
+func (Locking) Name() string { return "locking" }
+
+// Open implements core.Program.
+func (Locking) Open(env *core.Env) (core.Handler, error) {
+	backend, err := env.OpenBackend()
+	if err != nil {
+		return nil, err
+	}
+	table := rangelock.Shared(env.Path)
+	return &lockingHandler{
+		backend: backend,
+		session: table.NewSession(),
+	}, nil
+}
+
+type lockingHandler struct {
+	backend cache.Backend
+	session *rangelock.Session
+}
+
+var (
+	_ core.Handler = (*lockingHandler)(nil)
+	_ core.Locker  = (*lockingHandler)(nil)
+)
+
+func (h *lockingHandler) ReadAt(p []byte, off int64) (int, error) {
+	return h.backend.ReadAt(p, off)
+}
+
+func (h *lockingHandler) WriteAt(p []byte, off int64) (int, error) {
+	return h.backend.WriteAt(p, off)
+}
+
+func (h *lockingHandler) Size() (int64, error) { return h.backend.Size() }
+
+func (h *lockingHandler) Truncate(n int64) error { return h.backend.Truncate(n) }
+
+func (h *lockingHandler) Sync() error { return h.backend.Sync() }
+
+// Lock implements core.Locker.
+func (h *lockingHandler) Lock(off, n int64) error { return h.session.Lock(off, n) }
+
+// Unlock implements core.Locker.
+func (h *lockingHandler) Unlock(off, n int64) error { return h.session.Unlock(off, n) }
+
+func (h *lockingHandler) Close() error {
+	h.session.ReleaseAll()
+	return h.backend.Close()
+}

@@ -1,0 +1,93 @@
+package program
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/loglock"
+	"repro/internal/vfs"
+	"repro/internal/wire"
+)
+
+// Logger is the concurrent intelligent-logging sentinel of §3: many
+// processes append records to the same log file through their own sentinels;
+// each record is written under a lock the applications never see, and the
+// sentinel "can perform a variety of functions in the background such as
+// cleaning up the logs" — here, compaction to the most recent "keep" records
+// on close (0 disables it).
+type Logger struct{}
+
+var _ core.Program = Logger{}
+
+// Name implements core.Program.
+func (Logger) Name() string { return "logger" }
+
+// Open implements core.Program.
+func (Logger) Open(env *core.Env) (core.Handler, error) {
+	keep, err := strconv.Atoi(env.Param("keep", "0"))
+	if err != nil || keep < 0 {
+		return nil, fmt.Errorf("logger: bad keep parameter %q", env.Param("keep", ""))
+	}
+	if env.Manifest.NoData {
+		return nil, fmt.Errorf("logger: active file needs a data part for the log")
+	}
+	return &loggerHandler{
+		manager: loglock.New(vfs.DataPath(env.Path)),
+		keep:    keep,
+	}, nil
+}
+
+type loggerHandler struct {
+	manager *loglock.Manager
+	keep    int
+}
+
+var _ core.Handler = (*loggerHandler)(nil)
+
+// ReadAt serves the live log contents, so readers always see records from
+// every writer.
+func (h *loggerHandler) ReadAt(p []byte, off int64) (int, error) {
+	data, err := h.manager.Contents()
+	if err != nil {
+		return 0, err
+	}
+	if off < 0 || off >= int64(len(data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// WriteAt appends p as one record; the offset is ignored because a shared
+// log is append-only from every client's perspective.
+func (h *loggerHandler) WriteAt(p []byte, _ int64) (int, error) {
+	if err := h.manager.Append(p); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+func (h *loggerHandler) Size() (int64, error) {
+	data, err := h.manager.Contents()
+	if err != nil {
+		return 0, err
+	}
+	return int64(len(data)), nil
+}
+
+func (h *loggerHandler) Truncate(int64) error { return wire.ErrUnsupported }
+
+func (h *loggerHandler) Sync() error { return nil }
+
+// Close runs the background cleanup if configured.
+func (h *loggerHandler) Close() error {
+	if h.keep > 0 {
+		return h.manager.Compact(h.keep)
+	}
+	return nil
+}

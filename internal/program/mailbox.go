@@ -1,0 +1,188 @@
+package program
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/distribute"
+	"repro/internal/remote"
+	"repro/internal/wire"
+)
+
+// Inbox is the mail-aggregation sentinel of §3: "an inbox file of an E-mail
+// program can be such that reading it causes new messages to be retrieved
+// possibly from multiple remote POP servers". The manifest's "servers"
+// parameter lists addr/mailbox pairs ("127.0.0.1:1234/alice"), comma
+// separated; "take=true" removes retrieved messages from the servers. The
+// messages are concatenated, separated by mbox-style "From " delimiters.
+type Inbox struct{}
+
+var _ core.Program = Inbox{}
+
+// Name implements core.Program.
+func (Inbox) Name() string { return "inbox" }
+
+// Open implements core.Program.
+func (Inbox) Open(env *core.Env) (core.Handler, error) {
+	specs := splitList(env.Param("servers", ""))
+	if len(specs) == 0 {
+		return nil, errors.New("inbox: no mail servers configured (set the servers parameter)")
+	}
+	take, err := strconv.ParseBool(env.Param("take", "false"))
+	if err != nil {
+		return nil, fmt.Errorf("inbox: bad take parameter: %w", err)
+	}
+	h := &inboxHandler{specs: specs, take: take, snapshot: cache.NewMemStore()}
+	if err := h.fetch(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+type inboxHandler struct {
+	specs    []string
+	take     bool
+	snapshot *cache.MemStore
+}
+
+var (
+	_ core.Handler    = (*inboxHandler)(nil)
+	_ core.Controller = (*inboxHandler)(nil)
+)
+
+func (h *inboxHandler) fetch() error {
+	var buf bytes.Buffer
+	for _, spec := range h.specs {
+		addr, mailbox, ok := strings.Cut(spec, "/")
+		if !ok {
+			return fmt.Errorf("inbox: malformed server spec %q (want addr/mailbox)", spec)
+		}
+		msgs, err := remote.FetchMail(addr, mailbox, h.take)
+		if err != nil {
+			return fmt.Errorf("inbox %s: %w", spec, err)
+		}
+		for _, msg := range msgs {
+			fmt.Fprintf(&buf, "From %s\n", mailbox)
+			buf.Write(msg)
+			if len(msg) == 0 || msg[len(msg)-1] != '\n' {
+				buf.WriteByte('\n')
+			}
+		}
+	}
+	if err := h.snapshot.Truncate(int64(buf.Len())); err != nil {
+		return err
+	}
+	_, err := h.snapshot.WriteAt(buf.Bytes(), 0)
+	return err
+}
+
+func (h *inboxHandler) ReadAt(p []byte, off int64) (int, error) {
+	return h.snapshot.ReadAt(p, off)
+}
+
+func (h *inboxHandler) WriteAt([]byte, int64) (int, error) {
+	return 0, wire.ErrUnsupported
+}
+
+func (h *inboxHandler) Size() (int64, error) { return h.snapshot.Size() }
+
+func (h *inboxHandler) Truncate(int64) error { return wire.ErrUnsupported }
+
+func (h *inboxHandler) Sync() error { return nil }
+
+// Control accepts "fetch" to re-poll every server.
+func (h *inboxHandler) Control(req []byte) ([]byte, error) {
+	if !bytes.Equal(req, []byte("fetch")) {
+		return nil, fmt.Errorf("inbox: unknown control %q", req)
+	}
+	if err := h.fetch(); err != nil {
+		return nil, err
+	}
+	size, _ := h.snapshot.Size()
+	return []byte(fmt.Sprintf("fetched %d bytes", size)), nil
+}
+
+func (h *inboxHandler) Close() error { return nil }
+
+// Outbox is the distribution sentinel of §3: "the outbox-file can be
+// programmed to send email ... the sentinel process parses the data written
+// to the file to extract the 'To' addresses and send the data to each
+// recipient". Written bytes accumulate in a session buffer; on sync or close
+// the buffer is parsed and delivered through the mail server named by the
+// "server" parameter, using each recipient address as the mailbox.
+type Outbox struct{}
+
+var _ core.Program = Outbox{}
+
+// Name implements core.Program.
+func (Outbox) Name() string { return "outbox" }
+
+// Open implements core.Program.
+func (Outbox) Open(env *core.Env) (core.Handler, error) {
+	addr := env.Param("server", "")
+	if addr == "" {
+		return nil, errors.New("outbox: no mail server configured (set the server parameter)")
+	}
+	sink := distribute.SinkFunc(func(recipient string, payload []byte) error {
+		return remote.DeliverMail(addr, recipient, payload)
+	})
+	return &outboxHandler{
+		outbox: distribute.NewOutbox(sink),
+		buf:    cache.NewMemStore(),
+	}, nil
+}
+
+type outboxHandler struct {
+	outbox *distribute.Outbox
+	buf    *cache.MemStore
+	dirty  bool
+}
+
+var _ core.Handler = (*outboxHandler)(nil)
+
+func (h *outboxHandler) ReadAt(p []byte, off int64) (int, error) {
+	return h.buf.ReadAt(p, off) // the pending draft remains readable
+}
+
+func (h *outboxHandler) WriteAt(p []byte, off int64) (int, error) {
+	n, err := h.buf.WriteAt(p, off)
+	if n > 0 {
+		h.dirty = true
+	}
+	return n, err
+}
+
+func (h *outboxHandler) Size() (int64, error) { return h.buf.Size() }
+
+func (h *outboxHandler) Truncate(n int64) error { return h.buf.Truncate(n) }
+
+// Sync sends the accumulated message — the write-triggered side effect.
+func (h *outboxHandler) Sync() error {
+	if !h.dirty {
+		return nil
+	}
+	size, err := h.buf.Size()
+	if err != nil {
+		return err
+	}
+	if size == 0 {
+		h.dirty = false
+		return nil
+	}
+	raw := make([]byte, size)
+	if _, err := readFull(h.buf, raw); err != nil {
+		return err
+	}
+	if err := h.outbox.Send(raw); err != nil {
+		return fmt.Errorf("outbox: %w", err)
+	}
+	h.dirty = false
+	return h.buf.Truncate(0) // sent mail leaves the outbox
+}
+
+func (h *outboxHandler) Close() error { return h.Sync() }

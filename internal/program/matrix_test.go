@@ -1,0 +1,253 @@
+package program_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/remote"
+	"repro/internal/vfs"
+)
+
+// TestProgramStrategyMatrix exercises every built-in program under every
+// strategy that supports its operation profile. Programs must behave
+// identically regardless of whether their sentinel is a goroutine, a direct
+// call, or a subprocess — the engine owns the transport, the program the
+// semantics.
+func TestProgramStrategyMatrix(t *testing.T) {
+	// Shared services for the network-bound programs.
+	fileSrv := remote.NewFileServer()
+	fileAddr, err := fileSrv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fileSrv.Close()
+	quoteSrv := remote.NewQuoteServer([]remote.Quote{{Symbol: "MX", Cents: 1234}})
+	quoteAddr, err := quoteSrv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer quoteSrv.Close()
+	mailSrv := remote.NewMailServer()
+	mailAddr, err := mailSrv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mailSrv.Close()
+
+	positioned := []core.Strategy{core.StrategyProcCtl, core.StrategyThread, core.StrategyDirect}
+
+	type entry struct {
+		name       string
+		manifest   vfs.Manifest
+		strategies []core.Strategy
+		// seed prepares per-case external state.
+		seed func(t *testing.T)
+		// exercise drives the open handle and verifies behaviour.
+		exercise func(t *testing.T, h *core.Handle)
+	}
+
+	writeRead := func(payload string) func(t *testing.T, h *core.Handle) {
+		return func(t *testing.T, h *core.Handle) {
+			t.Helper()
+			if _, err := h.Write([]byte(payload)); err != nil {
+				t.Fatalf("Write: %v", err)
+			}
+			buf := make([]byte, len(payload))
+			if _, err := h.ReadAt(buf, 0); err != nil {
+				t.Fatalf("ReadAt: %v", err)
+			}
+			if string(buf) != payload {
+				t.Errorf("view = %q, want %q", buf, payload)
+			}
+		}
+	}
+	readOnly := func(want string) func(t *testing.T, h *core.Handle) {
+		return func(t *testing.T, h *core.Handle) {
+			t.Helper()
+			got, err := io.ReadAll(h)
+			if err != nil {
+				t.Fatalf("ReadAll: %v", err)
+			}
+			if !bytes.Contains(got, []byte(want)) {
+				t.Errorf("content %q lacks %q", got, want)
+			}
+		}
+	}
+
+	entries := []entry{
+		{
+			name:       "passthrough-disk",
+			manifest:   vfs.Manifest{Program: vfs.ProgramSpec{Name: "passthrough"}, Cache: "disk"},
+			strategies: positioned,
+			exercise:   writeRead("matrix passthrough"),
+		},
+		{
+			name:       "filter-upper",
+			manifest:   vfs.Manifest{Program: vfs.ProgramSpec{Name: "filter:upper"}, Cache: "disk"},
+			strategies: positioned,
+			// Lower-case payload: the upper filter's round trip is identity
+			// only up to letter case.
+			exercise: writeRead("filtered payload"),
+		},
+		{
+			name:       "compress",
+			manifest:   vfs.Manifest{Program: vfs.ProgramSpec{Name: "compress"}},
+			strategies: positioned,
+			exercise:   writeRead("compress me compress me compress me"),
+		},
+		{
+			name: "generate",
+			manifest: vfs.Manifest{
+				Program: vfs.ProgramSpec{Name: "generate"},
+				NoData:  true,
+				Params:  map[string]string{"size": "128", "seed": "5"},
+			},
+			strategies: append(positioned, core.StrategyProcess),
+			exercise: func(t *testing.T, h *core.Handle) {
+				t.Helper()
+				got, err := io.ReadAll(h)
+				if err != nil || len(got) != 128 {
+					t.Fatalf("ReadAll = (%d bytes, %v), want 128", len(got), err)
+				}
+			},
+		},
+		{
+			name: "quotes",
+			manifest: vfs.Manifest{
+				Program: vfs.ProgramSpec{Name: "quotes"},
+				NoData:  true,
+				Params:  map[string]string{"addrs": quoteAddr},
+			},
+			strategies: append(positioned, core.StrategyProcess),
+			exercise:   readOnly("MX\t12.34"),
+		},
+		{
+			name: "inbox",
+			manifest: vfs.Manifest{
+				Program: vfs.ProgramSpec{Name: "inbox"},
+				NoData:  true,
+				Params:  map[string]string{"servers": mailAddr + "/matrix"},
+			},
+			strategies: append(positioned, core.StrategyProcess),
+			seed: func(t *testing.T) {
+				mailSrv.Deposit("matrix", []byte("To: m@x\n\nmatrix message\n"))
+			},
+			exercise: readOnly("matrix message"),
+		},
+		{
+			name: "logger",
+			manifest: vfs.Manifest{
+				Program: vfs.ProgramSpec{Name: "logger"},
+			},
+			strategies: positioned,
+			exercise: func(t *testing.T, h *core.Handle) {
+				t.Helper()
+				if _, err := h.Write([]byte("matrix record")); err != nil {
+					t.Fatalf("Write: %v", err)
+				}
+				buf := make([]byte, 14)
+				if _, err := h.ReadAt(buf, 0); err != nil && err != io.EOF {
+					t.Fatalf("ReadAt: %v", err)
+				}
+				if string(buf) != "matrix record\n" {
+					t.Errorf("log = %q", buf)
+				}
+			},
+		},
+		{
+			name: "registryfile",
+			manifest: vfs.Manifest{
+				Program: vfs.ProgramSpec{Name: "registryfile"},
+			},
+			strategies: positioned,
+			exercise: func(t *testing.T, h *core.Handle) {
+				t.Helper()
+				if _, err := h.Write([]byte("[matrix]\nk = 7\n")); err != nil {
+					t.Fatalf("Write: %v", err)
+				}
+				if err := h.Sync(); err != nil {
+					t.Fatalf("Sync: %v", err)
+				}
+				buf := make([]byte, 64)
+				n, err := h.ReadAt(buf, 0)
+				if err != nil && err != io.EOF {
+					t.Fatalf("ReadAt: %v", err)
+				}
+				if !bytes.Contains(buf[:n], []byte("[matrix]")) {
+					t.Errorf("rendered = %q", buf[:n])
+				}
+			},
+		},
+		{
+			name: "cached",
+			manifest: vfs.Manifest{
+				Program: vfs.ProgramSpec{Name: "cached"},
+				NoData:  true,
+				Source:  vfs.SourceSpec{Kind: "tcp", Addr: fileAddr, Path: "matrix-obj"},
+			},
+			strategies: positioned,
+			seed: func(t *testing.T) {
+				fileSrv.Put("matrix-obj", []byte("cached matrix content"))
+			},
+			exercise: func(t *testing.T, h *core.Handle) {
+				t.Helper()
+				buf := make([]byte, 21)
+				for i := 0; i < 3; i++ {
+					if _, err := h.ReadAt(buf, 0); err != nil {
+						t.Fatalf("ReadAt: %v", err)
+					}
+				}
+				if string(buf) != "cached matrix content" {
+					t.Errorf("view = %q", buf)
+				}
+			},
+		},
+		{
+			name: "accesslog",
+			manifest: vfs.Manifest{
+				Program: vfs.ProgramSpec{Name: "accesslog"},
+				Cache:   "memory",
+			},
+			strategies: positioned,
+			exercise:   writeRead("audited bytes"),
+		},
+		{
+			name: "locking",
+			manifest: vfs.Manifest{
+				Program: vfs.ProgramSpec{Name: "locking"},
+				Cache:   "memory",
+			},
+			strategies: positioned,
+			exercise: func(t *testing.T, h *core.Handle) {
+				t.Helper()
+				if err := h.Lock(0, 10); err != nil {
+					t.Fatalf("Lock: %v", err)
+				}
+				if err := h.Unlock(0, 10); err != nil {
+					t.Fatalf("Unlock: %v", err)
+				}
+			},
+		},
+	}
+
+	for _, e := range entries {
+		for _, strategy := range e.strategies {
+			name := fmt.Sprintf("%s/%s", e.name, strategy)
+			t.Run(name, func(t *testing.T) {
+				if e.seed != nil {
+					e.seed(t)
+				}
+				path := createAF(t, e.manifest)
+				h, err := core.Open(path, core.Options{Strategy: strategy})
+				if err != nil {
+					t.Fatalf("Open: %v", err)
+				}
+				defer h.Close()
+				e.exercise(t, h)
+			})
+		}
+	}
+}

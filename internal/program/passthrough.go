@@ -1,0 +1,34 @@
+package program
+
+import (
+	"repro/internal/cache"
+	"repro/internal/core"
+)
+
+// Passthrough is the null-filter sentinel (§2.2): it relays operations to
+// the storage backend unchanged, so the active file behaves exactly like a
+// passive file — while still taking whichever Figure 5 critical path the
+// manifest's cache mode selects. It is the program the evaluation drives.
+type Passthrough struct{}
+
+var _ core.Program = Passthrough{}
+
+// Name implements core.Program.
+func (Passthrough) Name() string { return "passthrough" }
+
+// Open implements core.Program.
+func (Passthrough) Open(env *core.Env) (core.Handler, error) {
+	backend, err := env.OpenBackend()
+	if err != nil {
+		return nil, err
+	}
+	return backendHandler{backend}, nil
+}
+
+// backendHandler adapts a cache.Backend to core.Handler; the method sets
+// coincide, so this is a pure naming bridge.
+type backendHandler struct {
+	cache.Backend
+}
+
+var _ core.Handler = backendHandler{}

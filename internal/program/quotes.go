@@ -1,0 +1,107 @@
+package program
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/remote"
+	"repro/internal/wire"
+)
+
+// Quotes is the stock-ticker aggregation sentinel of §3: "an active file
+// that reflects the latest stock quotes (downloaded by the sentinel from a
+// server) every time the file is opened". The manifest's "addrs" parameter
+// lists one or more quote servers (comma separated); quotes from all of them
+// are merged into one sorted listing. The file is read-only; a "refresh"
+// control command re-fetches mid-session.
+type Quotes struct{}
+
+var _ core.Program = Quotes{}
+
+// Name implements core.Program.
+func (Quotes) Name() string { return "quotes" }
+
+// Open implements core.Program.
+func (Quotes) Open(env *core.Env) (core.Handler, error) {
+	addrs := splitList(env.Param("addrs", env.Param("addr", "")))
+	if len(addrs) == 0 {
+		return nil, errors.New("quotes: no quote servers configured (set the addrs parameter)")
+	}
+	h := &quotesHandler{addrs: addrs, snapshot: cache.NewMemStore()}
+	if err := h.refresh(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+type quotesHandler struct {
+	addrs    []string
+	snapshot *cache.MemStore
+}
+
+var (
+	_ core.Handler    = (*quotesHandler)(nil)
+	_ core.Controller = (*quotesHandler)(nil)
+)
+
+// refresh downloads from every server and rebuilds the file image.
+func (h *quotesHandler) refresh() error {
+	var all []remote.Quote
+	for _, addr := range h.addrs {
+		quotes, err := remote.FetchQuotes(addr)
+		if err != nil {
+			return fmt.Errorf("quotes from %s: %w", addr, err)
+		}
+		all = append(all, quotes...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Symbol < all[j].Symbol })
+	text := remote.FormatQuotes(all)
+	if err := h.snapshot.Truncate(int64(len(text))); err != nil {
+		return err
+	}
+	_, err := h.snapshot.WriteAt(text, 0)
+	return err
+}
+
+func (h *quotesHandler) ReadAt(p []byte, off int64) (int, error) {
+	return h.snapshot.ReadAt(p, off)
+}
+
+func (h *quotesHandler) WriteAt([]byte, int64) (int, error) {
+	return 0, wire.ErrUnsupported // the ticker is read-only
+}
+
+func (h *quotesHandler) Size() (int64, error) { return h.snapshot.Size() }
+
+func (h *quotesHandler) Truncate(int64) error { return wire.ErrUnsupported }
+
+func (h *quotesHandler) Sync() error { return nil }
+
+// Control accepts "refresh" to re-download the listing.
+func (h *quotesHandler) Control(req []byte) ([]byte, error) {
+	if !bytes.Equal(req, []byte("refresh")) {
+		return nil, fmt.Errorf("quotes: unknown control %q", req)
+	}
+	if err := h.refresh(); err != nil {
+		return nil, err
+	}
+	size, _ := h.snapshot.Size()
+	return []byte(fmt.Sprintf("refreshed %d bytes", size)), nil
+}
+
+func (h *quotesHandler) Close() error { return nil }

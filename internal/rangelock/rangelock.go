@@ -1,0 +1,172 @@
+// Package rangelock implements shared byte-range locking for active files.
+// The paper requires it twice: §2.2 — "if multiple user processes open the
+// same active file, multiple sentinels are created, which synchronize
+// amongst themselves" — and §3's log file "that accepts log entries from many
+// processes [and] may want to enforce some form of locking". Each open
+// session holds its own sentinel; the sentinels of one active file
+// synchronize through a lock table shared per manifest path.
+package rangelock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Locking errors.
+var (
+	// ErrConflict reports an overlap with a range held by another session.
+	ErrConflict = errors.New("rangelock: range locked by another session")
+	// ErrNotHeld reports an unlock of a range the session does not hold.
+	ErrNotHeld = errors.New("rangelock: range not held")
+	// ErrBadRange reports a non-positive length or negative offset.
+	ErrBadRange = errors.New("rangelock: invalid range")
+)
+
+type span struct {
+	off, n int64
+	owner  *Session
+}
+
+func (s span) end() int64 { return s.off + s.n }
+
+func (s span) overlaps(off, n int64) bool {
+	return off < s.end() && s.off < off+n
+}
+
+// Table is the lock state of one active file, shared by all of its
+// sentinels.
+type Table struct {
+	mu    sync.Mutex
+	spans []span
+}
+
+// NewTable returns an empty lock table.
+func NewTable() *Table {
+	return &Table{}
+}
+
+// Session identifies one lock holder (one open sentinel session).
+type Session struct {
+	table *Table
+}
+
+// NewSession returns a session against t.
+func (t *Table) NewSession() *Session {
+	return &Session{table: t}
+}
+
+// Lock acquires [off, off+n) for the session. Ranges a session already
+// holds may be re-locked (the request is idempotent per exact range);
+// overlap with another session fails with ErrConflict — callers decide
+// whether to retry.
+func (s *Session) Lock(off, n int64) error {
+	if off < 0 || n <= 0 {
+		return fmt.Errorf("%w: off=%d n=%d", ErrBadRange, off, n)
+	}
+	t := s.table
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, sp := range t.spans {
+		if !sp.overlaps(off, n) {
+			continue
+		}
+		if sp.owner == s && sp.off == off && sp.n == n {
+			return nil // exact re-lock is idempotent
+		}
+		if sp.owner != s {
+			return fmt.Errorf("%w: [%d,%d) overlaps held [%d,%d)",
+				ErrConflict, off, off+n, sp.off, sp.end())
+		}
+		// Overlapping (but not identical) self-lock: treat as conflict to
+		// keep accounting unambiguous.
+		return fmt.Errorf("%w: [%d,%d) overlaps own [%d,%d)",
+			ErrConflict, off, off+n, sp.off, sp.end())
+	}
+	t.spans = append(t.spans, span{off: off, n: n, owner: s})
+	return nil
+}
+
+// Unlock releases exactly the range [off, off+n) previously locked by the
+// session.
+func (s *Session) Unlock(off, n int64) error {
+	if off < 0 || n <= 0 {
+		return fmt.Errorf("%w: off=%d n=%d", ErrBadRange, off, n)
+	}
+	t := s.table
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, sp := range t.spans {
+		if sp.owner == s && sp.off == off && sp.n == n {
+			t.spans = append(t.spans[:i], t.spans[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: [%d,%d)", ErrNotHeld, off, off+n)
+}
+
+// ReleaseAll drops every range the session holds (session close).
+func (s *Session) ReleaseAll() {
+	t := s.table
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	kept := t.spans[:0]
+	for _, sp := range t.spans {
+		if sp.owner != s {
+			kept = append(kept, sp)
+		}
+	}
+	t.spans = kept
+}
+
+// Holds reports whether the session holds a lock covering [off, off+n).
+func (s *Session) Holds(off, n int64) bool {
+	t := s.table
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, sp := range t.spans {
+		if sp.owner == s && sp.off <= off && off+n <= sp.end() {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of held ranges across all sessions.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Registry hands out the shared Table of each active file, keyed by its
+// manifest path, so every sentinel of one file meets the same table.
+type Registry struct {
+	mu     sync.Mutex
+	tables map[string]*Table
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{tables: make(map[string]*Table)}
+}
+
+// Table returns (creating on first use) the lock table for key.
+func (r *Registry) Table(key string) *Table {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.tables[key]
+	if !ok {
+		t = NewTable()
+		r.tables[key] = t
+	}
+	return t
+}
+
+// defaultRegistry backs Shared.
+var defaultRegistry = NewRegistry()
+
+// Shared returns the process-wide lock table for key.
+func Shared(key string) *Table {
+	return defaultRegistry.Table(key)
+}

@@ -1,0 +1,398 @@
+// Package registry implements a hierarchical key/typed-value configuration
+// store modeled on the Windows system registry, together with a plain-text
+// rendering of it. It backs the paper's §3 filtering use: a sentinel can
+// "provide a file-based interface to the Windows system registry,
+// considerably simplifying system configuration" — reads of the active file
+// render the registry as text, and writes are parsed back into registry
+// modifications.
+package registry
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ValueType discriminates registry value payloads.
+type ValueType int
+
+// Value types, mirroring REG_SZ, REG_DWORD/QWORD, and REG_BINARY.
+const (
+	TypeString ValueType = iota + 1
+	TypeInt
+	TypeBytes
+)
+
+// Value is one typed registry value.
+type Value struct {
+	Type  ValueType
+	Str   string
+	Int   int64
+	Bytes []byte
+}
+
+// StringValue returns a TypeString value.
+func StringValue(s string) Value { return Value{Type: TypeString, Str: s} }
+
+// IntValue returns a TypeInt value.
+func IntValue(n int64) Value { return Value{Type: TypeInt, Int: n} }
+
+// BytesValue returns a TypeBytes value over a copy of b.
+func BytesValue(b []byte) Value {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return Value{Type: TypeBytes, Bytes: out}
+}
+
+// Equal reports whether two values have the same type and payload.
+func (v Value) Equal(o Value) bool {
+	if v.Type != o.Type {
+		return false
+	}
+	switch v.Type {
+	case TypeString:
+		return v.Str == o.Str
+	case TypeInt:
+		return v.Int == o.Int
+	case TypeBytes:
+		return string(v.Bytes) == string(o.Bytes)
+	default:
+		return false
+	}
+}
+
+// Registry errors.
+var (
+	ErrNoKey    = errors.New("registry: key not found")
+	ErrNoValue  = errors.New("registry: value not found")
+	ErrBadPath  = errors.New("registry: malformed key path")
+	ErrBadText  = errors.New("registry: malformed text form")
+	ErrBadValue = errors.New("registry: malformed value")
+)
+
+type node struct {
+	children map[string]*node
+	values   map[string]Value
+}
+
+func newNode() *node {
+	return &node{children: make(map[string]*node), values: make(map[string]Value)}
+}
+
+// Registry is a thread-safe hierarchical key/value store. Key paths are
+// slash-separated, e.g. "system/network/dns".
+type Registry struct {
+	mu   sync.RWMutex
+	root *node
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{root: newNode()}
+}
+
+func splitPath(path string) ([]string, error) {
+	if path == "" {
+		return nil, nil
+	}
+	parts := strings.Split(path, "/")
+	for _, p := range parts {
+		if p == "" {
+			return nil, fmt.Errorf("%w: %q", ErrBadPath, path)
+		}
+	}
+	return parts, nil
+}
+
+// lookup returns the node at path; with create, missing intermediate keys
+// are made. Callers hold the appropriate lock.
+func (r *Registry) lookup(path string, create bool) (*node, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	cur := r.root
+	for _, p := range parts {
+		next, ok := cur.children[p]
+		if !ok {
+			if !create {
+				return nil, fmt.Errorf("%w: %q", ErrNoKey, path)
+			}
+			next = newNode()
+			cur.children[p] = next
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// CreateKey ensures the key at path exists.
+func (r *Registry) CreateKey(path string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, err := r.lookup(path, true)
+	return err
+}
+
+// Set stores value under the key at path, creating the key as needed.
+func (r *Registry) Set(path, name string, v Value) error {
+	if name == "" {
+		return fmt.Errorf("%w: empty value name", ErrBadValue)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n, err := r.lookup(path, true)
+	if err != nil {
+		return err
+	}
+	if v.Type == TypeBytes {
+		v = BytesValue(v.Bytes) // defensive copy
+	}
+	n.values[name] = v
+	return nil
+}
+
+// Get returns the named value of the key at path.
+func (r *Registry) Get(path, name string) (Value, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n, err := r.lookup(path, false)
+	if err != nil {
+		return Value{}, err
+	}
+	v, ok := n.values[name]
+	if !ok {
+		return Value{}, fmt.Errorf("%w: %q under %q", ErrNoValue, name, path)
+	}
+	if v.Type == TypeBytes {
+		v = BytesValue(v.Bytes)
+	}
+	return v, nil
+}
+
+// DeleteValue removes the named value of the key at path.
+func (r *Registry) DeleteValue(path, name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n, err := r.lookup(path, false)
+	if err != nil {
+		return err
+	}
+	if _, ok := n.values[name]; !ok {
+		return fmt.Errorf("%w: %q under %q", ErrNoValue, name, path)
+	}
+	delete(n.values, name)
+	return nil
+}
+
+// DeleteKey removes the key at path and its entire subtree. Deleting the
+// root ("" path) is rejected.
+func (r *Registry) DeleteKey(path string) error {
+	parts, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	if len(parts) == 0 {
+		return fmt.Errorf("%w: cannot delete root", ErrBadPath)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	parent := r.root
+	for _, p := range parts[:len(parts)-1] {
+		next, ok := parent.children[p]
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrNoKey, path)
+		}
+		parent = next
+	}
+	leaf := parts[len(parts)-1]
+	if _, ok := parent.children[leaf]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoKey, path)
+	}
+	delete(parent.children, leaf)
+	return nil
+}
+
+// Keys returns the sorted child key names of the key at path.
+func (r *Registry) Keys(path string) ([]string, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n, err := r.lookup(path, false)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(n.children))
+	for name := range n.children {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Values returns the sorted value names of the key at path.
+func (r *Registry) Values(path string) ([]string, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n, err := r.lookup(path, false)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(n.values))
+	for name := range n.values {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Render serializes the whole registry as deterministic text, the simplified
+// file view a registry sentinel presents. The format is INI-like:
+//
+//	[system/network]
+//	dns = "10.0.0.1"
+//	mtu = 1500
+//	mac = hex:0a1b2c
+func (r *Registry) Render() []byte {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var b strings.Builder
+	renderNode(&b, "", r.root)
+	return []byte(b.String())
+}
+
+func renderNode(b *strings.Builder, path string, n *node) {
+	if len(n.values) > 0 || path != "" {
+		fmt.Fprintf(b, "[%s]\n", path)
+		names := make([]string, 0, len(n.values))
+		for name := range n.values {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			v := n.values[name]
+			switch v.Type {
+			case TypeString:
+				fmt.Fprintf(b, "%s = %s\n", name, strconv.Quote(v.Str))
+			case TypeInt:
+				fmt.Fprintf(b, "%s = %d\n", name, v.Int)
+			case TypeBytes:
+				fmt.Fprintf(b, "%s = hex:%s\n", name, hex.EncodeToString(v.Bytes))
+			}
+		}
+		b.WriteString("\n")
+	}
+	children := make([]string, 0, len(n.children))
+	for name := range n.children {
+		children = append(children, name)
+	}
+	sort.Strings(children)
+	for _, name := range children {
+		child := path + "/" + name
+		if path == "" {
+			child = name
+		}
+		renderNode(b, child, n.children[name])
+	}
+}
+
+// Parse builds a registry from the text form produced by Render (or edited
+// by an application through the active file).
+func Parse(text []byte) (*Registry, error) {
+	r := New()
+	var cur *node
+	curLine := 0
+	for _, line := range strings.Split(string(text), "\n") {
+		curLine++
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.HasPrefix(line, "[") {
+			if !strings.HasSuffix(line, "]") {
+				return nil, fmt.Errorf("%w: line %d: unterminated section", ErrBadText, curLine)
+			}
+			path := line[1 : len(line)-1]
+			n, err := r.lookup(path, true)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrBadText, curLine, err)
+			}
+			cur = n
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("%w: line %d: value outside any section", ErrBadText, curLine)
+		}
+		name, raw, ok := strings.Cut(line, "=")
+		if !ok {
+			return nil, fmt.Errorf("%w: line %d: missing '='", ErrBadText, curLine)
+		}
+		name = strings.TrimSpace(name)
+		raw = strings.TrimSpace(raw)
+		if name == "" {
+			return nil, fmt.Errorf("%w: line %d: empty value name", ErrBadText, curLine)
+		}
+		v, err := parseValue(raw)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrBadText, curLine, err)
+		}
+		cur.values[name] = v
+	}
+	return r, nil
+}
+
+func parseValue(raw string) (Value, error) {
+	switch {
+	case strings.HasPrefix(raw, `"`):
+		s, err := strconv.Unquote(raw)
+		if err != nil {
+			return Value{}, fmt.Errorf("%w: %q", ErrBadValue, raw)
+		}
+		return StringValue(s), nil
+	case strings.HasPrefix(raw, "hex:"):
+		b, err := hex.DecodeString(raw[4:])
+		if err != nil {
+			return Value{}, fmt.Errorf("%w: %q", ErrBadValue, raw)
+		}
+		return Value{Type: TypeBytes, Bytes: b}, nil
+	default:
+		n, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("%w: %q", ErrBadValue, raw)
+		}
+		return IntValue(n), nil
+	}
+}
+
+// ReplaceWith atomically swaps r's contents for other's, the registry
+// sentinel's commit step after parsing an application write.
+func (r *Registry) ReplaceWith(other *Registry) {
+	other.mu.RLock()
+	clone := cloneNode(other.root)
+	other.mu.RUnlock()
+	r.mu.Lock()
+	r.root = clone
+	r.mu.Unlock()
+}
+
+func cloneNode(n *node) *node {
+	out := newNode()
+	for name, v := range n.values {
+		if v.Type == TypeBytes {
+			v = BytesValue(v.Bytes)
+		}
+		out.values[name] = v
+	}
+	for name, child := range n.children {
+		out.children[name] = cloneNode(child)
+	}
+	return out
+}
+
+// Equal reports whether two registries hold identical trees.
+func (r *Registry) Equal(o *Registry) bool {
+	return string(r.Render()) == string(o.Render())
+}

@@ -1,0 +1,291 @@
+package registry
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGetValues(t *testing.T) {
+	r := New()
+	if err := r.Set("system/network", "dns", StringValue("10.0.0.1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Set("system/network", "mtu", IntValue(1500)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Set("system/network", "mac", BytesValue([]byte{0x0a, 0x1b})); err != nil {
+		t.Fatal(err)
+	}
+
+	tests := []struct {
+		name string
+		want Value
+	}{
+		{name: "dns", want: StringValue("10.0.0.1")},
+		{name: "mtu", want: IntValue(1500)},
+		{name: "mac", want: BytesValue([]byte{0x0a, 0x1b})},
+	}
+	for _, tt := range tests {
+		got, err := r.Get("system/network", tt.name)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", tt.name, err)
+		}
+		if !got.Equal(tt.want) {
+			t.Errorf("Get(%q) = %+v, want %+v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestGetErrors(t *testing.T) {
+	r := New()
+	r.Set("a/b", "v", IntValue(1))
+	if _, err := r.Get("a/missing", "v"); !errors.Is(err, ErrNoKey) {
+		t.Errorf("missing key err = %v, want ErrNoKey", err)
+	}
+	if _, err := r.Get("a/b", "missing"); !errors.Is(err, ErrNoValue) {
+		t.Errorf("missing value err = %v, want ErrNoValue", err)
+	}
+	if _, err := r.Get("a//b", "v"); !errors.Is(err, ErrBadPath) {
+		t.Errorf("bad path err = %v, want ErrBadPath", err)
+	}
+}
+
+func TestSetRejectsEmptyName(t *testing.T) {
+	if err := New().Set("a", "", IntValue(1)); !errors.Is(err, ErrBadValue) {
+		t.Errorf("Set empty name err = %v, want ErrBadValue", err)
+	}
+}
+
+func TestDeleteValue(t *testing.T) {
+	r := New()
+	r.Set("k", "v", IntValue(1))
+	if err := r.DeleteValue("k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get("k", "v"); !errors.Is(err, ErrNoValue) {
+		t.Errorf("after delete err = %v, want ErrNoValue", err)
+	}
+	if err := r.DeleteValue("k", "v"); !errors.Is(err, ErrNoValue) {
+		t.Errorf("double delete err = %v, want ErrNoValue", err)
+	}
+}
+
+func TestDeleteKeySubtree(t *testing.T) {
+	r := New()
+	r.Set("app/cache/l1", "size", IntValue(64))
+	r.Set("app/cache/l2", "size", IntValue(512))
+	r.Set("app", "name", StringValue("af"))
+	if err := r.DeleteKey("app/cache"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get("app/cache/l1", "size"); !errors.Is(err, ErrNoKey) {
+		t.Error("subtree survived DeleteKey")
+	}
+	if _, err := r.Get("app", "name"); err != nil {
+		t.Errorf("sibling value lost: %v", err)
+	}
+	if err := r.DeleteKey("app/cache"); !errors.Is(err, ErrNoKey) {
+		t.Errorf("double DeleteKey err = %v, want ErrNoKey", err)
+	}
+	if err := r.DeleteKey(""); !errors.Is(err, ErrBadPath) {
+		t.Errorf("DeleteKey root err = %v, want ErrBadPath", err)
+	}
+}
+
+func TestKeysAndValuesSorted(t *testing.T) {
+	r := New()
+	r.CreateKey("z/b")
+	r.CreateKey("z/a")
+	r.Set("z", "beta", IntValue(2))
+	r.Set("z", "alpha", IntValue(1))
+	keys, err := r.Keys("z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(keys, ",") != "a,b" {
+		t.Errorf("Keys = %v", keys)
+	}
+	vals, err := r.Values("z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(vals, ",") != "alpha,beta" {
+		t.Errorf("Values = %v", vals)
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	r := New()
+	r.Set("b", "y", IntValue(2))
+	r.Set("a", "x", StringValue("s"))
+	r.Set("a/sub", "blob", BytesValue([]byte{1, 2, 3}))
+	first := r.Render()
+	second := r.Render()
+	if !bytes.Equal(first, second) {
+		t.Error("Render is not deterministic")
+	}
+	text := string(first)
+	if !strings.Contains(text, "[a]") || !strings.Contains(text, "[a/sub]") || !strings.Contains(text, "[b]") {
+		t.Errorf("Render missing sections:\n%s", text)
+	}
+	if !strings.Contains(text, `x = "s"`) || !strings.Contains(text, "y = 2") || !strings.Contains(text, "blob = hex:010203") {
+		t.Errorf("Render missing values:\n%s", text)
+	}
+	if idx := strings.Index(text, "[a]"); idx > strings.Index(text, "[b]") {
+		t.Error("sections not sorted")
+	}
+}
+
+func TestParseRenderRoundTrip(t *testing.T) {
+	r := New()
+	r.Set("system/boot", "timeout", IntValue(30))
+	r.Set("system/boot", "kernel", StringValue("vmlinuz \"quoted\"\n"))
+	r.Set("system", "id", BytesValue([]byte{0xde, 0xad}))
+	r.CreateKey("empty/leaf")
+
+	parsed, err := Parse(r.Render())
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !parsed.Equal(r) {
+		t.Errorf("round trip mismatch:\n--- original\n%s\n--- parsed\n%s", r.Render(), parsed.Render())
+	}
+}
+
+func TestParseIgnoresCommentsAndBlanks(t *testing.T) {
+	text := `
+# top comment
+[app]
+name = "af"
+
+# trailing
+`
+	r, err := Parse([]byte(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Get("app", "name")
+	if err != nil || got.Str != "af" {
+		t.Errorf("Get = (%+v, %v)", got, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		give string
+	}{
+		{name: "unterminated section", give: "[app\nx = 1"},
+		{name: "value before section", give: "x = 1"},
+		{name: "missing equals", give: "[a]\njust words"},
+		{name: "empty name", give: "[a]\n = 1"},
+		{name: "bad int", give: "[a]\nx = 12abc"},
+		{name: "bad quote", give: "[a]\nx = \"unterminated"},
+		{name: "bad hex", give: "[a]\nx = hex:zz"},
+		{name: "bad path", give: "[a//b]\nx = 1"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Parse([]byte(tt.give)); !errors.Is(err, ErrBadText) {
+				t.Errorf("Parse err = %v, want ErrBadText", err)
+			}
+		})
+	}
+}
+
+func TestReplaceWith(t *testing.T) {
+	dst := New()
+	dst.Set("old", "v", IntValue(1))
+	src := New()
+	src.Set("new", "v", IntValue(2))
+
+	dst.ReplaceWith(src)
+	if _, err := dst.Get("old", "v"); !errors.Is(err, ErrNoKey) {
+		t.Error("old contents survived ReplaceWith")
+	}
+	got, err := dst.Get("new", "v")
+	if err != nil || got.Int != 2 {
+		t.Errorf("new contents = (%+v, %v)", got, err)
+	}
+	// The replacement is a deep copy: mutating src later must not leak.
+	src.Set("new", "v", IntValue(99))
+	got, _ = dst.Get("new", "v")
+	if got.Int != 2 {
+		t.Error("ReplaceWith aliased the source tree")
+	}
+}
+
+func TestBytesValueDefensiveCopies(t *testing.T) {
+	raw := []byte{1, 2, 3}
+	r := New()
+	r.Set("k", "b", Value{Type: TypeBytes, Bytes: raw})
+	raw[0] = 99
+	got, err := r.Get("k", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Bytes[0] != 1 {
+		t.Error("stored bytes alias caller slice")
+	}
+	got.Bytes[1] = 98
+	again, _ := r.Get("k", "b")
+	if again.Bytes[1] != 2 {
+		t.Error("returned bytes alias stored slice")
+	}
+}
+
+func TestParseRenderPropertyRandomTrees(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := New()
+		segs := []string{"sys", "app", "net", "cfg", "hw"}
+		for i := 0; i < 30; i++ {
+			depth := rng.Intn(3) + 1
+			parts := make([]string, depth)
+			for d := range parts {
+				parts[d] = segs[rng.Intn(len(segs))]
+			}
+			path := strings.Join(parts, "/")
+			name := string(rune('a' + rng.Intn(26)))
+			switch rng.Intn(3) {
+			case 0:
+				r.Set(path, name, IntValue(rng.Int63n(1000)))
+			case 1:
+				r.Set(path, name, StringValue(segs[rng.Intn(len(segs))]))
+			default:
+				b := make([]byte, rng.Intn(8))
+				rng.Read(b)
+				r.Set(path, name, BytesValue(b))
+			}
+		}
+		parsed, err := Parse(r.Render())
+		if err != nil {
+			return false
+		}
+		return parsed.Equal(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseNeverPanics(t *testing.T) {
+	// The registry sentinel parses whatever an application writes; hostile
+	// or garbled text must fail cleanly, never crash the sentinel.
+	f := func(text []byte) bool {
+		r, err := Parse(text)
+		if err != nil {
+			return true
+		}
+		// Anything that parses must survive a render/parse round trip.
+		again, err := Parse(r.Render())
+		return err == nil && again.Equal(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,137 @@
+package remote
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// Client is a Source backed by one object on a FileServer, reached over TCP.
+// It is safe for concurrent use; requests are serialized on the connection.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	r      *wire.Reader
+	w      *wire.Writer
+	seq    uint32
+	closed bool
+}
+
+var _ Source = (*Client)(nil)
+
+// Dial connects to the file server at addr and opens the named object.
+func Dial(addr, name string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dial file server %s: %w", addr, err)
+	}
+	c := &Client{
+		conn: conn,
+		r:    wire.NewReader(conn),
+		w:    wire.NewWriter(conn),
+	}
+	if _, _, err := c.call(&wire.Request{Op: wire.OpOpen, Data: []byte(name)}, nil); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("open remote object %q: %w", name, err)
+	}
+	return c, nil
+}
+
+// call performs one request/response exchange. Any response payload is
+// copied into dst (which may be nil) before the client lock is released —
+// the response data in the read buffer is invalid once another caller's
+// exchange begins.
+func (c *Client) call(req *wire.Request, dst []byte) (n int64, copied int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, 0, ErrSourceClosed
+	}
+	c.seq++
+	req.Seq = c.seq
+	if err := c.w.WriteRequest(req); err != nil {
+		return 0, 0, fmt.Errorf("send %s: %w", req.Op, err)
+	}
+	resp, err := c.r.ReadResponse()
+	if err != nil {
+		return 0, 0, fmt.Errorf("receive %s reply: %w", req.Op, err)
+	}
+	if resp.Seq != req.Seq {
+		return 0, 0, fmt.Errorf("reply sequence %d for request %d", resp.Seq, req.Seq)
+	}
+	copied = copy(dst, resp.Data)
+	if werr := wire.ToError(req.Op, resp.Status, resp.Msg); werr != nil {
+		return resp.N, copied, werr
+	}
+	return resp.N, copied, nil
+}
+
+// ReadAt implements Source.
+func (c *Client) ReadAt(p []byte, off int64) (int, error) {
+	total := 0
+	for total < len(p) {
+		chunk := len(p) - total
+		if chunk > wire.MaxPayload {
+			chunk = wire.MaxPayload
+		}
+		_, copied, err := c.call(&wire.Request{Op: wire.OpRead, Off: off + int64(total), N: int64(chunk)}, p[total:total+chunk])
+		total += copied
+		if err != nil {
+			return total, err
+		}
+		if copied == 0 {
+			break
+		}
+	}
+	return total, nil
+}
+
+// WriteAt implements Source.
+func (c *Client) WriteAt(p []byte, off int64) (int, error) {
+	total := 0
+	for total < len(p) {
+		chunk := len(p) - total
+		if chunk > wire.MaxPayload {
+			chunk = wire.MaxPayload
+		}
+		n, _, err := c.call(&wire.Request{Op: wire.OpWrite, Off: off + int64(total), Data: p[total : total+chunk]}, nil)
+		total += int(n)
+		if err != nil {
+			return total, err
+		}
+		if n == 0 {
+			return total, fmt.Errorf("remote write stalled at %d bytes", total)
+		}
+	}
+	return total, nil
+}
+
+// Size implements Source.
+func (c *Client) Size() (int64, error) {
+	n, _, err := c.call(&wire.Request{Op: wire.OpSize}, nil)
+	return n, err
+}
+
+// Truncate implements Source.
+func (c *Client) Truncate(n int64) error {
+	_, _, err := c.call(&wire.Request{Op: wire.OpTruncate, Off: n}, nil)
+	return err
+}
+
+// Close implements Source, notifying the server and dropping the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+
+	// Best effort goodbye; the transport close is what matters.
+	c.seq++
+	c.w.WriteRequest(&wire.Request{Op: wire.OpClose, Seq: c.seq})
+	return c.conn.Close()
+}

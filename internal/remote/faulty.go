@@ -1,0 +1,111 @@
+package remote
+
+import (
+	"sync"
+	"time"
+)
+
+// SlowSource wraps a Source, delaying every operation by a fixed latency.
+// It models a distant source without needing a real WAN.
+type SlowSource struct {
+	inner Source
+	delay time.Duration
+}
+
+var _ Source = (*SlowSource)(nil)
+
+// NewSlowSource wraps inner with a per-operation delay.
+func NewSlowSource(inner Source, delay time.Duration) *SlowSource {
+	return &SlowSource{inner: inner, delay: delay}
+}
+
+// ReadAt implements Source.
+func (s *SlowSource) ReadAt(p []byte, off int64) (int, error) {
+	time.Sleep(s.delay)
+	return s.inner.ReadAt(p, off)
+}
+
+// WriteAt implements Source.
+func (s *SlowSource) WriteAt(p []byte, off int64) (int, error) {
+	time.Sleep(s.delay)
+	return s.inner.WriteAt(p, off)
+}
+
+// Size implements Source.
+func (s *SlowSource) Size() (int64, error) {
+	time.Sleep(s.delay)
+	return s.inner.Size()
+}
+
+// Truncate implements Source.
+func (s *SlowSource) Truncate(n int64) error {
+	time.Sleep(s.delay)
+	return s.inner.Truncate(n)
+}
+
+// Close implements Source.
+func (s *SlowSource) Close() error { return s.inner.Close() }
+
+// FlakySource wraps a Source and fails every operation while tripped. It
+// models a source that becomes unreachable mid-session.
+type FlakySource struct {
+	inner Source
+
+	mu      sync.Mutex
+	tripped error
+}
+
+var _ Source = (*FlakySource)(nil)
+
+// NewFlakySource wraps inner; it behaves transparently until Trip is called.
+func NewFlakySource(inner Source) *FlakySource {
+	return &FlakySource{inner: inner}
+}
+
+// Trip makes all subsequent operations fail with err; Trip(nil) heals it.
+func (s *FlakySource) Trip(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tripped = err
+}
+
+func (s *FlakySource) fault() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tripped
+}
+
+// ReadAt implements Source.
+func (s *FlakySource) ReadAt(p []byte, off int64) (int, error) {
+	if err := s.fault(); err != nil {
+		return 0, err
+	}
+	return s.inner.ReadAt(p, off)
+}
+
+// WriteAt implements Source.
+func (s *FlakySource) WriteAt(p []byte, off int64) (int, error) {
+	if err := s.fault(); err != nil {
+		return 0, err
+	}
+	return s.inner.WriteAt(p, off)
+}
+
+// Size implements Source.
+func (s *FlakySource) Size() (int64, error) {
+	if err := s.fault(); err != nil {
+		return 0, err
+	}
+	return s.inner.Size()
+}
+
+// Truncate implements Source.
+func (s *FlakySource) Truncate(n int64) error {
+	if err := s.fault(); err != nil {
+		return err
+	}
+	return s.inner.Truncate(n)
+}
+
+// Close implements Source.
+func (s *FlakySource) Close() error { return s.inner.Close() }

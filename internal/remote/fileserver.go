@@ -1,0 +1,260 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// FileServer is a TCP block-file service holding named byte objects. Clients
+// speak the same framed protocol as the active-file control channel: an
+// OpOpen naming the object, then OpRead/OpWrite/OpSize/OpTruncate, and
+// OpClose. One connection accesses one object.
+//
+// The server supports fault and latency injection so sentinel code paths for
+// slow and failing sources can be exercised.
+type FileServer struct {
+	mu      sync.Mutex
+	objects map[string]*MemSource
+	ln      net.Listener
+	conns   map[net.Conn]struct{}
+	wg      sync.WaitGroup
+	closed  bool
+
+	latency  time.Duration
+	failNext error
+}
+
+// NewFileServer returns a server with an empty object store.
+func NewFileServer() *FileServer {
+	return &FileServer{
+		objects: make(map[string]*MemSource),
+		conns:   make(map[net.Conn]struct{}),
+	}
+}
+
+// Put creates or replaces the named object.
+func (s *FileServer) Put(name string, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.objects[name] = NewMemSource(data)
+}
+
+// Get returns a copy of the named object's contents.
+func (s *FileServer) Get(name string) ([]byte, bool) {
+	s.mu.Lock()
+	obj, ok := s.objects[name]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return obj.Bytes(), true
+}
+
+// SetLatency injects a fixed per-operation delay, simulating a distant or
+// loaded source.
+func (s *FileServer) SetLatency(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.latency = d
+}
+
+// FailNext makes the next object operation fail with err (once).
+func (s *FileServer) FailNext(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failNext = err
+}
+
+// Start begins listening on addr (use "127.0.0.1:0" for an ephemeral port)
+// and serving connections in the background. It returns the bound address.
+func (s *FileServer) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("file server listen: %w", err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *FileServer) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops the listener and tears down every active connection.
+func (s *FileServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// injectedDelayAndFault applies configured latency and returns any one-shot
+// injected fault.
+func (s *FileServer) injectedDelayAndFault() error {
+	s.mu.Lock()
+	d := s.latency
+	err := s.failNext
+	s.failNext = nil
+	s.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+	return err
+}
+
+func (s *FileServer) serveConn(conn net.Conn) {
+	defer conn.Close()
+	r := wire.NewReader(conn)
+	w := wire.NewWriter(conn)
+
+	// The connection binds a NAME; the object is resolved per operation so
+	// that replacements (Put) and other sessions' writes stay visible.
+	var objName string
+	opened := false
+	lookup := func() *MemSource {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		o, ok := s.objects[objName]
+		if !ok {
+			o = NewMemSource(nil)
+			s.objects[objName] = o
+		}
+		return o
+	}
+	buf := make([]byte, 0, 4096)
+	for {
+		req, err := r.ReadRequest()
+		if err != nil {
+			return // connection gone or garbage; nothing to answer
+		}
+		resp := wire.Response{Seq: req.Seq, Status: wire.StatusOK}
+		if ierr := s.injectedDelayAndFault(); ierr != nil {
+			resp.Status, resp.Msg = wire.FromError(ierr)
+			if resp.Status == wire.StatusOK {
+				resp.Status = wire.StatusError
+			}
+			if err := w.WriteResponse(&resp); err != nil {
+				return
+			}
+			continue
+		}
+
+		switch req.Op {
+		case wire.OpOpen:
+			// Opening a missing object creates it, matching a writable
+			// store; an explicit stat can distinguish.
+			objName = string(req.Data)
+			opened = true
+			lookup()
+
+		case wire.OpRead:
+			if !opened {
+				resp.Status, resp.Msg = wire.StatusError, "no object opened"
+				break
+			}
+			n := int(req.N)
+			if n < 0 || n > wire.MaxPayload {
+				resp.Status, resp.Msg = wire.StatusError, "bad read size"
+				break
+			}
+			if cap(buf) < n {
+				buf = make([]byte, n)
+			}
+			rn, rerr := lookup().ReadAt(buf[:n], req.Off)
+			resp.N = int64(rn)
+			resp.Data = buf[:rn]
+			if rerr != nil && !(errors.Is(rerr, io.EOF) && rn > 0) {
+				resp.Status, resp.Msg = wire.FromError(rerr)
+			}
+
+		case wire.OpWrite:
+			if !opened {
+				resp.Status, resp.Msg = wire.StatusError, "no object opened"
+				break
+			}
+			wn, werr := lookup().WriteAt(req.Data, req.Off)
+			resp.N = int64(wn)
+			if werr != nil {
+				resp.Status, resp.Msg = wire.FromError(werr)
+			}
+
+		case wire.OpSize:
+			if !opened {
+				resp.Status, resp.Msg = wire.StatusError, "no object opened"
+				break
+			}
+			size, serr := lookup().Size()
+			resp.N = size
+			if serr != nil {
+				resp.Status, resp.Msg = wire.FromError(serr)
+			}
+
+		case wire.OpTruncate:
+			if !opened {
+				resp.Status, resp.Msg = wire.StatusError, "no object opened"
+				break
+			}
+			if terr := lookup().Truncate(req.Off); terr != nil {
+				resp.Status, resp.Msg = wire.FromError(terr)
+			}
+
+		case wire.OpSync:
+			// Objects are in memory; sync is a no-op acknowledgement.
+
+		case wire.OpClose:
+			w.WriteResponse(&resp)
+			return
+
+		default:
+			resp.Status = wire.StatusUnsupported
+		}
+
+		if err := w.WriteResponse(&resp); err != nil {
+			return
+		}
+	}
+}

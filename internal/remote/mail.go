@@ -1,0 +1,266 @@
+package remote
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// MailServer is a TCP message drop with POP-flavoured retrieval and
+// SMTP-flavoured delivery, serving the paper's §3 mail examples: "an inbox
+// file ... such that reading it causes new messages to be retrieved possibly
+// from multiple remote POP servers" and an outbox sentinel that sends each
+// written message to its recipients.
+//
+// Protocol (line-oriented, lengths in bytes):
+//
+//	SEND <mailbox> <len>\n<len raw bytes>  -> +OK
+//	RETR <mailbox>                         -> +OK <n>, then per message
+//	                                          <len>\n<bytes>, finally .
+//	TAKE <mailbox>                         -> like RETR but removes messages
+//	STAT <mailbox>                         -> +OK <n>
+type MailServer struct {
+	mu     sync.Mutex
+	boxes  map[string][][]byte
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// maxMailMessage bounds a single message.
+const maxMailMessage = 1 << 20
+
+// NewMailServer returns an empty message drop.
+func NewMailServer() *MailServer {
+	return &MailServer{
+		boxes: make(map[string][][]byte),
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// Deposit places a message directly into a mailbox (test/seed helper).
+func (s *MailServer) Deposit(mailbox string, msg []byte) {
+	copied := make([]byte, len(msg))
+	copy(copied, msg)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.boxes[mailbox] = append(s.boxes[mailbox], copied)
+}
+
+// Count returns the number of messages waiting in mailbox.
+func (s *MailServer) Count(mailbox string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.boxes[mailbox])
+}
+
+// Messages returns copies of the messages in mailbox.
+func (s *MailServer) Messages(mailbox string) [][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([][]byte, len(s.boxes[mailbox]))
+	for i, m := range s.boxes[mailbox] {
+		out[i] = append([]byte(nil), m...)
+	}
+	return out
+}
+
+// Start begins serving on addr and returns the bound address.
+func (s *MailServer) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("mail server listen: %w", err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				conn.Close()
+				return
+			}
+			s.conns[conn] = struct{}{}
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.serveConn(conn)
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the server and all connections.
+func (s *MailServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *MailServer) serveConn(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		fields := strings.Fields(strings.TrimSpace(line))
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "SEND":
+			if len(fields) != 3 {
+				fmt.Fprintln(w, "-ERR usage: SEND <mailbox> <len>")
+				break
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 0 || n > maxMailMessage {
+				fmt.Fprintln(w, "-ERR bad length")
+				break
+			}
+			msg := make([]byte, n)
+			if _, err := io.ReadFull(r, msg); err != nil {
+				return
+			}
+			s.mu.Lock()
+			s.boxes[fields[1]] = append(s.boxes[fields[1]], msg)
+			s.mu.Unlock()
+			fmt.Fprintln(w, "+OK")
+
+		case "RETR", "TAKE":
+			if len(fields) != 2 {
+				fmt.Fprintln(w, "-ERR usage: RETR <mailbox>")
+				break
+			}
+			s.mu.Lock()
+			msgs := s.boxes[fields[1]]
+			if fields[0] == "TAKE" {
+				delete(s.boxes, fields[1])
+			}
+			s.mu.Unlock()
+			fmt.Fprintf(w, "+OK %d\n", len(msgs))
+			for _, m := range msgs {
+				fmt.Fprintf(w, "%d\n", len(m))
+				w.Write(m)
+			}
+			fmt.Fprintln(w, ".")
+
+		case "STAT":
+			if len(fields) != 2 {
+				fmt.Fprintln(w, "-ERR usage: STAT <mailbox>")
+				break
+			}
+			s.mu.Lock()
+			n := len(s.boxes[fields[1]])
+			s.mu.Unlock()
+			fmt.Fprintf(w, "+OK %d\n", n)
+
+		default:
+			fmt.Fprintln(w, "-ERR unknown command")
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// FetchMail retrieves every message from mailbox at addr; with take, the
+// messages are removed from the server (POP retrieve-and-delete).
+func FetchMail(addr, mailbox string, take bool) ([][]byte, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dial mail server %s: %w", addr, err)
+	}
+	defer conn.Close()
+	verb := "RETR"
+	if take {
+		verb = "TAKE"
+	}
+	if _, err := fmt.Fprintf(conn, "%s %s\n", verb, mailbox); err != nil {
+		return nil, fmt.Errorf("send %s: %w", verb, err)
+	}
+	r := bufio.NewReader(conn)
+	status, err := r.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("mail status: %w", err)
+	}
+	var count int
+	if _, err := fmt.Sscanf(status, "+OK %d", &count); err != nil {
+		return nil, fmt.Errorf("mail server error: %s", strings.TrimSpace(status))
+	}
+	msgs := make([][]byte, 0, count)
+	for i := 0; i < count; i++ {
+		lenLine, err := r.ReadString('\n')
+		if err != nil {
+			return nil, fmt.Errorf("message %d header: %w", i, err)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(lenLine))
+		if err != nil || n < 0 || n > maxMailMessage {
+			return nil, fmt.Errorf("message %d: bad length %q", i, strings.TrimSpace(lenLine))
+		}
+		msg := make([]byte, n)
+		if _, err := io.ReadFull(r, msg); err != nil {
+			return nil, fmt.Errorf("message %d body: %w", i, err)
+		}
+		msgs = append(msgs, msg)
+	}
+	return msgs, nil
+}
+
+// DeliverMail sends one message into mailbox at addr, the outbox sentinel's
+// transmission step.
+func DeliverMail(addr, mailbox string, msg []byte) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("dial mail server %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "SEND %s %d\n", mailbox, len(msg)); err != nil {
+		return fmt.Errorf("send header: %w", err)
+	}
+	if _, err := conn.Write(msg); err != nil {
+		return fmt.Errorf("send body: %w", err)
+	}
+	status, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return fmt.Errorf("delivery status: %w", err)
+	}
+	if !strings.HasPrefix(status, "+OK") {
+		return fmt.Errorf("mail server rejected delivery: %s", strings.TrimSpace(status))
+	}
+	return nil
+}

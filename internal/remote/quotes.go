@@ -1,0 +1,223 @@
+package remote
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Quote is one instrument's latest price, in cents to avoid float drift.
+type Quote struct {
+	Symbol string
+	Cents  int64
+}
+
+// QuoteServer is a TCP stock-quote feed, the remote half of the paper's §3
+// example of "an active file that reflects the latest stock quotes
+// (downloaded by the sentinel from a server) every time the file is opened".
+// The protocol is line-oriented: a client sends "LIST", the server answers
+// one "SYMBOL CENTS" line per instrument followed by ".".
+type QuoteServer struct {
+	mu     sync.Mutex
+	quotes map[string]int64
+	rng    uint64
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewQuoteServer returns a feed seeded with the given quotes.
+func NewQuoteServer(initial []Quote) *QuoteServer {
+	s := &QuoteServer{
+		quotes: make(map[string]int64, len(initial)),
+		rng:    0x9e3779b97f4a7c15,
+		conns:  make(map[net.Conn]struct{}),
+	}
+	for _, q := range initial {
+		s.quotes[q.Symbol] = q.Cents
+	}
+	return s
+}
+
+// SetQuote updates one instrument.
+func (s *QuoteServer) SetQuote(symbol string, cents int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.quotes[symbol] = cents
+}
+
+// Tick applies a deterministic pseudo-random walk to every price, simulating
+// the dynamically changing source the paper motivates.
+func (s *QuoteServer) Tick() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	symbols := make([]string, 0, len(s.quotes))
+	for sym := range s.quotes {
+		symbols = append(symbols, sym)
+	}
+	sort.Strings(symbols)
+	for _, sym := range symbols {
+		s.rng ^= s.rng << 13
+		s.rng ^= s.rng >> 7
+		s.rng ^= s.rng << 17
+		delta := int64(s.rng%201) - 100 // -100..+100 cents
+		next := s.quotes[sym] + delta
+		if next < 1 {
+			next = 1
+		}
+		s.quotes[sym] = next
+	}
+}
+
+// Snapshot returns the current quotes sorted by symbol.
+func (s *QuoteServer) Snapshot() []Quote {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Quote, 0, len(s.quotes))
+	for sym, cents := range s.quotes {
+		out = append(out, Quote{Symbol: sym, Cents: cents})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Symbol < out[j].Symbol })
+	return out
+}
+
+// Start begins serving on addr and returns the bound address.
+func (s *QuoteServer) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("quote server listen: %w", err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				conn.Close()
+				return
+			}
+			s.conns[conn] = struct{}{}
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.serveConn(conn)
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the server and all connections.
+func (s *QuoteServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *QuoteServer) serveConn(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		cmd := strings.TrimSpace(sc.Text())
+		switch {
+		case cmd == "LIST":
+			for _, q := range s.Snapshot() {
+				fmt.Fprintf(w, "%s %d\n", q.Symbol, q.Cents)
+			}
+			fmt.Fprintln(w, ".")
+		case cmd == "TICK":
+			s.Tick()
+			fmt.Fprintln(w, "+OK")
+		case strings.HasPrefix(cmd, "GET "):
+			sym := strings.TrimSpace(cmd[4:])
+			s.mu.Lock()
+			cents, ok := s.quotes[sym]
+			s.mu.Unlock()
+			if !ok {
+				fmt.Fprintln(w, "-ERR unknown symbol")
+			} else {
+				fmt.Fprintf(w, "%s %d\n", sym, cents)
+			}
+		default:
+			fmt.Fprintln(w, "-ERR unknown command")
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// FetchQuotes connects to a quote server and retrieves the full list.
+func FetchQuotes(addr string) ([]Quote, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dial quote server %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintln(conn, "LIST"); err != nil {
+		return nil, fmt.Errorf("send LIST: %w", err)
+	}
+	sc := bufio.NewScanner(conn)
+	var out []Quote
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "." {
+			return out, nil
+		}
+		sym, centsStr, ok := strings.Cut(line, " ")
+		if !ok {
+			return nil, fmt.Errorf("quote server: bad line %q", line)
+		}
+		cents, err := strconv.ParseInt(centsStr, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("quote server: bad price in %q", line)
+		}
+		out = append(out, Quote{Symbol: sym, Cents: cents})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("quote stream: %w", err)
+	}
+	return nil, errors.New("quote server: stream ended before terminator")
+}
+
+// FormatQuotes renders quotes as the text the stock-ticker active file
+// presents: one "SYMBOL<tab>DOLLARS.CENTS" line each.
+func FormatQuotes(quotes []Quote) []byte {
+	var b strings.Builder
+	for _, q := range quotes {
+		fmt.Fprintf(&b, "%s\t%d.%02d\n", q.Symbol, q.Cents/100, q.Cents%100)
+	}
+	return []byte(b.String())
+}

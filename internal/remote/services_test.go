@@ -1,0 +1,197 @@
+package remote
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func startQuotes(t *testing.T, initial []Quote) (*QuoteServer, string) {
+	t.Helper()
+	srv := NewQuoteServer(initial)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("quote server start: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr
+}
+
+func TestFetchQuotes(t *testing.T) {
+	_, addr := startQuotes(t, []Quote{
+		{Symbol: "MSFT", Cents: 11550},
+		{Symbol: "AAPL", Cents: 9825},
+	})
+	got, err := FetchQuotes(addr)
+	if err != nil {
+		t.Fatalf("FetchQuotes: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d quotes, want 2", len(got))
+	}
+	// The listing is sorted by symbol.
+	if got[0].Symbol != "AAPL" || got[0].Cents != 9825 {
+		t.Errorf("quote[0] = %+v", got[0])
+	}
+	if got[1].Symbol != "MSFT" || got[1].Cents != 11550 {
+		t.Errorf("quote[1] = %+v", got[1])
+	}
+}
+
+func TestFetchQuotesEmpty(t *testing.T) {
+	_, addr := startQuotes(t, nil)
+	got, err := FetchQuotes(addr)
+	if err != nil || len(got) != 0 {
+		t.Errorf("FetchQuotes = (%v, %v), want empty", got, err)
+	}
+}
+
+func TestQuoteTickChangesPrices(t *testing.T) {
+	srv, addr := startQuotes(t, []Quote{{Symbol: "X", Cents: 10000}})
+	before, err := FetchQuotes(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := false
+	for i := 0; i < 10 && !changed; i++ {
+		srv.Tick()
+		after, err := FetchQuotes(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		changed = after[0].Cents != before[0].Cents
+	}
+	if !changed {
+		t.Error("10 ticks never moved the price")
+	}
+	// Prices stay positive under any walk.
+	for i := 0; i < 200; i++ {
+		srv.Tick()
+	}
+	final := srv.Snapshot()
+	if final[0].Cents < 1 {
+		t.Errorf("price fell to %d", final[0].Cents)
+	}
+}
+
+func TestFormatQuotes(t *testing.T) {
+	got := FormatQuotes([]Quote{
+		{Symbol: "AAPL", Cents: 9825},
+		{Symbol: "MSFT", Cents: 11501},
+	})
+	want := "AAPL\t98.25\nMSFT\t115.01\n"
+	if string(got) != want {
+		t.Errorf("FormatQuotes = %q, want %q", got, want)
+	}
+}
+
+func TestQuoteServerSetQuoteVisible(t *testing.T) {
+	srv, addr := startQuotes(t, nil)
+	srv.SetQuote("NEW", 777)
+	got, err := FetchQuotes(addr)
+	if err != nil || len(got) != 1 || got[0].Cents != 777 {
+		t.Errorf("FetchQuotes = (%v, %v)", got, err)
+	}
+}
+
+func startMail(t *testing.T) (*MailServer, string) {
+	t.Helper()
+	srv := NewMailServer()
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("mail server start: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr
+}
+
+func TestMailDeliverAndFetch(t *testing.T) {
+	srv, addr := startMail(t)
+	msg1 := []byte("To: u@x\n\nfirst message\n")
+	msg2 := []byte("To: u@x\n\nsecond\nmessage with\nlines\n")
+	if err := DeliverMail(addr, "u", msg1); err != nil {
+		t.Fatalf("DeliverMail: %v", err)
+	}
+	if err := DeliverMail(addr, "u", msg2); err != nil {
+		t.Fatalf("DeliverMail: %v", err)
+	}
+	if n := srv.Count("u"); n != 2 {
+		t.Fatalf("Count = %d, want 2", n)
+	}
+
+	got, err := FetchMail(addr, "u", false /* take */)
+	if err != nil {
+		t.Fatalf("FetchMail: %v", err)
+	}
+	if len(got) != 2 || !bytes.Equal(got[0], msg1) || !bytes.Equal(got[1], msg2) {
+		t.Errorf("FetchMail = %q", got)
+	}
+	// RETR leaves messages in place.
+	if n := srv.Count("u"); n != 2 {
+		t.Errorf("Count after RETR = %d, want 2", n)
+	}
+}
+
+func TestMailTakeDrainsMailbox(t *testing.T) {
+	srv, addr := startMail(t)
+	srv.Deposit("inbox", []byte("hello"))
+	got, err := FetchMail(addr, "inbox", true /* take */)
+	if err != nil || len(got) != 1 || string(got[0]) != "hello" {
+		t.Fatalf("FetchMail = (%q, %v)", got, err)
+	}
+	if n := srv.Count("inbox"); n != 0 {
+		t.Errorf("Count after TAKE = %d, want 0", n)
+	}
+	// Taking from an empty mailbox is fine.
+	got, err = FetchMail(addr, "inbox", true)
+	if err != nil || len(got) != 0 {
+		t.Errorf("second TAKE = (%q, %v)", got, err)
+	}
+}
+
+func TestMailSeparateMailboxes(t *testing.T) {
+	srv, addr := startMail(t)
+	srv.Deposit("alice", []byte("for alice"))
+	srv.Deposit("bob", []byte("for bob"))
+	got, err := FetchMail(addr, "alice", false)
+	if err != nil || len(got) != 1 || string(got[0]) != "for alice" {
+		t.Errorf("alice = (%q, %v)", got, err)
+	}
+	if srv.Count("bob") != 1 {
+		t.Error("bob's mailbox disturbed")
+	}
+}
+
+func TestMailBinaryMessageSurvives(t *testing.T) {
+	srv, addr := startMail(t)
+	msg := []byte{0, 1, '\n', 2, '\r', '\n', 255, 254}
+	srv.Deposit("bin", msg)
+	got, err := FetchMail(addr, "bin", false)
+	if err != nil || len(got) != 1 || !bytes.Equal(got[0], msg) {
+		t.Errorf("binary round trip = (%v, %v)", got, err)
+	}
+}
+
+func TestMailDepositCopies(t *testing.T) {
+	srv, _ := startMail(t)
+	raw := []byte("mutable")
+	srv.Deposit("m", raw)
+	raw[0] = 'X'
+	msgs := srv.Messages("m")
+	if string(msgs[0]) != "mutable" {
+		t.Error("Deposit aliased caller bytes")
+	}
+}
+
+func TestMailServerRejectsBadCommands(t *testing.T) {
+	_, addr := startMail(t)
+	// FetchMail against a bogus mailbox command path: craft via DeliverMail
+	// of an oversized length is awkward; instead check the error surface of
+	// FetchMail when the server replies -ERR (unknown command is easiest to
+	// trigger through a raw dial, but the client only sends valid verbs), so
+	// assert a name with spaces fails cleanly.
+	if err := DeliverMail(addr, "bad box", []byte("x")); err == nil ||
+		!strings.Contains(err.Error(), "rejected") {
+		t.Errorf("DeliverMail to malformed mailbox err = %v", err)
+	}
+}

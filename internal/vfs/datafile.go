@@ -1,0 +1,75 @@
+package vfs
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// DataFile wraps the data part of an active file with the random-access
+// operations sentinels need when the data part acts as a local cache
+// (Figure 5, path 2). It serializes access so several sentinel goroutines of
+// the same process can share one descriptor.
+type DataFile struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenData opens (creating if necessary) the data part of the active file at
+// manifestPath.
+func OpenData(manifestPath string) (*DataFile, error) {
+	if !IsActive(manifestPath) {
+		return nil, fmt.Errorf("%w: %q", ErrNotActive, manifestPath)
+	}
+	f, err := os.OpenFile(DataPath(manifestPath), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("open data part: %w", err)
+	}
+	return &DataFile{f: f}, nil
+}
+
+// ReadAt reads len(p) bytes at offset off.
+func (d *DataFile) ReadAt(p []byte, off int64) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.f.ReadAt(p, off)
+}
+
+// WriteAt writes p at offset off, extending the file as needed.
+func (d *DataFile) WriteAt(p []byte, off int64) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.f.WriteAt(p, off)
+}
+
+// Size returns the current length of the data part.
+func (d *DataFile) Size() (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	info, err := d.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}
+
+// Truncate sets the data part's length to n.
+func (d *DataFile) Truncate(n int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.f.Truncate(n)
+}
+
+// Sync flushes the data part to stable storage.
+func (d *DataFile) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.f.Sync()
+}
+
+// Close releases the underlying descriptor.
+func (d *DataFile) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.f.Close()
+}

@@ -1,0 +1,75 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Sentinel errors corresponding to protocol statuses. The interpose stubs
+// translate these into the errors the application sees, so a legacy program
+// observing an active file cannot distinguish it from a passive one: EOF is
+// io.EOF, unsupported operations surface ErrUnsupported (the paper's
+// "dropped with an appropriate return code"), and so on.
+var (
+	ErrUnsupported = errors.New("operation not supported by this active file implementation")
+	ErrClosed      = errors.New("active file session is closed")
+	ErrNotFound    = errors.New("object not found")
+	ErrBusy        = errors.New("resource busy")
+)
+
+// RemoteError is a failure reported by the sentinel with a textual detail.
+type RemoteError struct {
+	Op  Op
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("sentinel %s: %s", e.Op, e.Msg)
+}
+
+// ToError converts a response status (plus its originating op and
+// message) into a Go error; StatusOK maps to nil.
+func ToError(op Op, st Status, msg string) error {
+	switch st {
+	case StatusOK:
+		return nil
+	case StatusEOF:
+		return io.EOF
+	case StatusUnsupported:
+		return ErrUnsupported
+	case StatusClosed:
+		return ErrClosed
+	case StatusNotFound:
+		return ErrNotFound
+	case StatusBusy:
+		return ErrBusy
+	default:
+		if msg == "" {
+			msg = "unspecified error"
+		}
+		return &RemoteError{Op: op, Msg: msg}
+	}
+}
+
+// FromError converts an error produced by a sentinel program into the
+// status (and detail message) to send back; nil maps to StatusOK.
+func FromError(err error) (Status, string) {
+	switch {
+	case err == nil:
+		return StatusOK, ""
+	case errors.Is(err, io.EOF):
+		return StatusEOF, ""
+	case errors.Is(err, ErrUnsupported):
+		return StatusUnsupported, ""
+	case errors.Is(err, ErrClosed):
+		return StatusClosed, ""
+	case errors.Is(err, ErrNotFound):
+		return StatusNotFound, ""
+	case errors.Is(err, ErrBusy):
+		return StatusBusy, ""
+	default:
+		return StatusError, err.Error()
+	}
+}

@@ -1,0 +1,323 @@
+// Package wire implements the framed binary protocol spoken between the
+// active-file stubs in the application and the sentinel on the other side of
+// the control channel. It corresponds to the command set the paper's
+// process-plus-control implementation carries over its third pipe ("read 50",
+// "write 30", and every other file operation as a command with arguments).
+//
+// A request frame is laid out as:
+//
+//	[4B frame length][1B op][4B seq][8B off][8B n][payload]
+//
+// and a response frame as:
+//
+//	[4B frame length][1B status][4B seq][8B n][4B msg length][msg][payload]
+//
+// All integers are big-endian. The frame length counts everything after the
+// length field itself.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Op identifies a file operation forwarded to the sentinel. The set mirrors
+// the Win32 file API calls the paper's stubs intercept.
+type Op uint8
+
+// Operations carried on the control channel.
+const (
+	OpOpen     Op = iota + 1 // session establishment
+	OpRead                   // read N bytes at Off
+	OpWrite                  // write payload at Off
+	OpSeek                   // seek to Off relative to whence N
+	OpSize                   // GetFileSize
+	OpTruncate               // set end of file to Off
+	OpSync                   // flush buffers
+	OpLock                   // lock byte range [Off, Off+N)
+	OpUnlock                 // unlock byte range [Off, Off+N)
+	OpStat                   // extended attributes
+	OpClose                  // session teardown
+	OpControl                // program-specific out-of-band command
+)
+
+var opNames = map[Op]string{
+	OpOpen:     "open",
+	OpRead:     "read",
+	OpWrite:    "write",
+	OpSeek:     "seek",
+	OpSize:     "size",
+	OpTruncate: "truncate",
+	OpSync:     "sync",
+	OpLock:     "lock",
+	OpUnlock:   "unlock",
+	OpStat:     "stat",
+	OpClose:    "close",
+	OpControl:  "control",
+}
+
+// String returns the lower-case operation name.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o names a known operation.
+func (o Op) Valid() bool {
+	_, ok := opNames[o]
+	return ok
+}
+
+// Status is the result category carried in a response frame.
+type Status uint8
+
+// Response statuses.
+const (
+	StatusOK          Status = iota + 1 // success
+	StatusError                         // generic failure; Msg has detail
+	StatusUnsupported                   // operation not supported by strategy/program
+	StatusEOF                           // end of file reached
+	StatusClosed                        // session already closed
+	StatusNotFound                      // named object missing
+	StatusBusy                          // resource locked by another session
+)
+
+var statusNames = map[Status]string{
+	StatusOK:          "ok",
+	StatusError:       "error",
+	StatusUnsupported: "unsupported",
+	StatusEOF:         "eof",
+	StatusClosed:      "closed",
+	StatusNotFound:    "not found",
+	StatusBusy:        "busy",
+}
+
+// String returns the lower-case status name.
+func (s Status) String() string {
+	if n, ok := statusNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("status(%d)", uint8(s))
+}
+
+// Valid reports whether s names a known status.
+func (s Status) Valid() bool {
+	_, ok := statusNames[s]
+	return ok
+}
+
+// Request is one operation sent from the application stubs to the sentinel.
+type Request struct {
+	Op   Op
+	Seq  uint32 // matches the response; assigned by the client
+	Off  int64  // offset, seek target, lock start, or truncate length
+	N    int64  // count, seek whence, or lock length
+	Data []byte // write payload or control argument
+}
+
+// Response answers exactly one Request, matched by Seq.
+type Response struct {
+	Status Status
+	Seq    uint32
+	N      int64  // bytes moved, new offset, or size
+	Msg    string // human-readable detail when Status is not OK
+	Data   []byte // read payload or control result
+}
+
+// Frame size limits. MaxPayload bounds a single read or write carried on the
+// control channel; larger transfers must be chunked by the caller.
+const (
+	MaxPayload   = 1 << 22 // 4 MiB
+	maxFrame     = MaxPayload + 64
+	reqHeaderLen = 1 + 4 + 8 + 8
+	rspHeaderLen = 1 + 4 + 8 + 4
+)
+
+// Protocol errors.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+	ErrShortFrame    = errors.New("wire: frame shorter than header")
+	ErrBadOp         = errors.New("wire: unknown operation")
+	ErrBadStatus     = errors.New("wire: unknown status")
+)
+
+// AppendRequest encodes r onto dst and returns the extended slice.
+func AppendRequest(dst []byte, r *Request) ([]byte, error) {
+	if len(r.Data) > MaxPayload {
+		return dst, ErrFrameTooLarge
+	}
+	if !r.Op.Valid() {
+		return dst, ErrBadOp
+	}
+	frameLen := reqHeaderLen + len(r.Data)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(frameLen))
+	dst = append(dst, byte(r.Op))
+	dst = binary.BigEndian.AppendUint32(dst, r.Seq)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(r.Off))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(r.N))
+	dst = append(dst, r.Data...)
+	return dst, nil
+}
+
+// AppendResponse encodes r onto dst and returns the extended slice.
+func AppendResponse(dst []byte, r *Response) ([]byte, error) {
+	if len(r.Data) > MaxPayload || len(r.Msg) > MaxPayload {
+		return dst, ErrFrameTooLarge
+	}
+	if !r.Status.Valid() {
+		return dst, ErrBadStatus
+	}
+	frameLen := rspHeaderLen + len(r.Msg) + len(r.Data)
+	if frameLen > maxFrame {
+		return dst, ErrFrameTooLarge
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(frameLen))
+	dst = append(dst, byte(r.Status))
+	dst = binary.BigEndian.AppendUint32(dst, r.Seq)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(r.N))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(r.Msg)))
+	dst = append(dst, r.Msg...)
+	dst = append(dst, r.Data...)
+	return dst, nil
+}
+
+// DecodeRequest parses a request from frame (the bytes after the length
+// prefix). The returned Request's Data aliases frame.
+func DecodeRequest(frame []byte) (Request, error) {
+	if len(frame) < reqHeaderLen {
+		return Request{}, ErrShortFrame
+	}
+	r := Request{
+		Op:  Op(frame[0]),
+		Seq: binary.BigEndian.Uint32(frame[1:5]),
+		Off: int64(binary.BigEndian.Uint64(frame[5:13])),
+		N:   int64(binary.BigEndian.Uint64(frame[13:21])),
+	}
+	if !r.Op.Valid() {
+		return Request{}, ErrBadOp
+	}
+	if len(frame) > reqHeaderLen {
+		r.Data = frame[reqHeaderLen:]
+	}
+	return r, nil
+}
+
+// DecodeResponse parses a response from frame (the bytes after the length
+// prefix). The returned Response's Data aliases frame.
+func DecodeResponse(frame []byte) (Response, error) {
+	if len(frame) < rspHeaderLen {
+		return Response{}, ErrShortFrame
+	}
+	r := Response{
+		Status: Status(frame[0]),
+		Seq:    binary.BigEndian.Uint32(frame[1:5]),
+		N:      int64(binary.BigEndian.Uint64(frame[5:13])),
+	}
+	if !r.Status.Valid() {
+		return Response{}, ErrBadStatus
+	}
+	msgLen := int(binary.BigEndian.Uint32(frame[13:17]))
+	if msgLen < 0 || rspHeaderLen+msgLen > len(frame) {
+		return Response{}, ErrShortFrame
+	}
+	r.Msg = string(frame[rspHeaderLen : rspHeaderLen+msgLen])
+	if rest := frame[rspHeaderLen+msgLen:]; len(rest) > 0 {
+		r.Data = rest
+	}
+	return r, nil
+}
+
+// readFrame reads one length-prefixed frame into buf (growing it as needed)
+// and returns the frame body.
+func readFrame(r io.Reader, buf []byte) ([]byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, buf, err
+	}
+	n := int(binary.BigEndian.Uint32(hdr[:]))
+	if n > maxFrame {
+		return nil, buf, ErrFrameTooLarge
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	body := buf[:n]
+	if _, err := io.ReadFull(r, body); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, buf, err
+	}
+	return body, buf, nil
+}
+
+// Writer serializes frames onto an io.Writer, reusing an internal buffer.
+// It is not safe for concurrent use.
+type Writer struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewWriter returns a frame writer over w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w}
+}
+
+// WriteRequest encodes and writes one request frame.
+func (fw *Writer) WriteRequest(r *Request) error {
+	b, err := AppendRequest(fw.buf[:0], r)
+	if err != nil {
+		return err
+	}
+	fw.buf = b
+	_, err = fw.w.Write(b)
+	return err
+}
+
+// WriteResponse encodes and writes one response frame.
+func (fw *Writer) WriteResponse(r *Response) error {
+	b, err := AppendResponse(fw.buf[:0], r)
+	if err != nil {
+		return err
+	}
+	fw.buf = b
+	_, err = fw.w.Write(b)
+	return err
+}
+
+// Reader deserializes frames from an io.Reader, reusing an internal buffer.
+// Decoded payloads alias that buffer and are only valid until the next read.
+// It is not safe for concurrent use.
+type Reader struct {
+	r   io.Reader
+	buf []byte
+}
+
+// NewReader returns a frame reader over r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: r}
+}
+
+// ReadRequest reads and decodes one request frame.
+func (fr *Reader) ReadRequest() (Request, error) {
+	body, buf, err := readFrame(fr.r, fr.buf)
+	fr.buf = buf
+	if err != nil {
+		return Request{}, err
+	}
+	return DecodeRequest(body)
+}
+
+// ReadResponse reads and decodes one response frame.
+func (fr *Reader) ReadResponse() (Response, error) {
+	body, buf, err := readFrame(fr.r, fr.buf)
+	fr.buf = buf
+	if err != nil {
+		return Response{}, err
+	}
+	return DecodeResponse(body)
+}
