@@ -1,0 +1,20 @@
+# Test tiers. tier1 is the gate every change must keep green; race adds the
+# vet + race-detector sweep covering the concurrent session core; bench-smoke
+# compiles and single-shots the parallel benchmarks so they cannot bit-rot.
+
+GO ?= go
+
+.PHONY: all tier1 race bench-smoke
+
+all: tier1 race bench-smoke
+
+tier1:
+	$(GO) build ./...
+	$(GO) test ./...
+
+race:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench-smoke:
+	$(GO) test -run NONE -bench BenchmarkParallel -benchtime 1x ./internal/bench

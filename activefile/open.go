@@ -133,16 +133,19 @@ func (h *Handle) Strategy() Strategy { return strategyFromCore(h.inner.Strategy(
 
 // Stats counts a session's activity: operations issued and bytes moved
 // through the sentinel, plus how many operations returned errors (EOF
-// included).
+// included). InFlight is a gauge of operations executing at the moment of the
+// snapshot — handles accept concurrent calls, so it can exceed 1 under load.
 type Stats struct {
 	Reads        uint64
 	Writes       uint64
 	BytesRead    uint64
 	BytesWritten uint64
 	Errors       uint64
+	InFlight     int64
 }
 
-// Stats returns a snapshot of the session's activity counters.
+// Stats returns a snapshot of the session's activity counters. It is safe to
+// call concurrently with operations on the same handle.
 func (h *Handle) Stats() Stats {
 	s := h.inner.Stats()
 	return Stats{
@@ -151,6 +154,7 @@ func (h *Handle) Stats() Stats {
 		BytesRead:    s.BytesRead,
 		BytesWritten: s.BytesWritten,
 		Errors:       s.Errors,
+		InFlight:     s.InFlight,
 	}
 }
 

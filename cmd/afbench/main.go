@@ -6,6 +6,11 @@
 //	afbench                  # all six panels, 1000 ops per point
 //	afbench -panel a -op read
 //	afbench -ops 200 -process -baseline
+//
+// With -parallel it instead sweeps concurrent clients over one shared handle
+// per strategy, reporting aggregate throughput and speedup:
+//
+//	afbench -parallel 1,4,16 -op read
 package main
 
 import (
@@ -36,6 +41,8 @@ func run(args []string) error {
 		blocks   = flags.String("blocks", "", "comma-separated block sizes (default 8,32,128,512,2048)")
 		process  = flags.Bool("process", false, "include the plain process strategy (no control channel)")
 		baseline = flags.Bool("baseline", true, "include the no-sentinel baseline series")
+		parallel = flags.String("parallel", "", "comma-separated concurrent-client counts (e.g. 1,4,16); sweeps parallel throughput instead of Figure 6")
+		latency  = flags.Duration("latency", 0, "injected remote-service latency per operation (e.g. 200us), simulating a distant source")
 	)
 	if err := flags.Parse(args); err != nil {
 		return err
@@ -76,6 +83,17 @@ func run(args []string) error {
 		}
 	}
 
+	var degrees []int
+	if *parallel != "" {
+		for _, part := range strings.Split(*parallel, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				return fmt.Errorf("bad parallel degree %q", part)
+			}
+			degrees = append(degrees, n)
+		}
+	}
+
 	dir, err := os.MkdirTemp("", "afbench")
 	if err != nil {
 		return err
@@ -87,6 +105,35 @@ func run(args []string) error {
 		return err
 	}
 	defer runner.Close()
+
+	if *latency > 0 {
+		runner.SetRemoteLatency(*latency)
+	}
+
+	if degrees != nil {
+		popts := bench.ParallelOptions{
+			Ops:       *ops,
+			Degrees:   degrees,
+			OpsFilter: opts.OpsFilter,
+		}
+		if len(opts.Blocks) > 0 {
+			popts.BlockSize = opts.Blocks[0]
+		}
+		if len(opts.Paths) == 1 {
+			popts.Path = opts.Paths[0]
+		}
+		fmt.Printf("active files — parallel clients (%d ops per point)\n\n", *ops)
+		panels, err := runner.RunParallel(popts)
+		if err != nil {
+			return err
+		}
+		for _, p := range panels {
+			if err := p.WriteTable(os.Stdout); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 
 	fmt.Printf("active files — Figure 6 reproduction (%d ops per point)\n\n", *ops)
 	panels, err := runner.RunFigure6(opts)

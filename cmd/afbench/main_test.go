@@ -57,6 +57,23 @@ func TestRunSmallPanel(t *testing.T) {
 	}
 }
 
+func TestRunParallelSweep(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-parallel", "1,2", "-op", "read", "-ops", "32", "-blocks", "64"})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"parallel clients", "x1", "x2", "speedup@2", "procctl", "thread", "direct"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "Figure 6") {
+		t.Errorf("-parallel still produced Figure 6 panels:\n%s", out)
+	}
+}
+
 func TestRunFlagErrors(t *testing.T) {
 	tests := []struct {
 		name string
@@ -66,6 +83,8 @@ func TestRunFlagErrors(t *testing.T) {
 		{name: "bad op", args: []string{"-op", "fsync"}},
 		{name: "bad blocks", args: []string{"-blocks", "8,oops"}},
 		{name: "negative block", args: []string{"-blocks", "-4"}},
+		{name: "bad parallel", args: []string{"-parallel", "1,zero"}},
+		{name: "negative parallel", args: []string{"-parallel", "-2"}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

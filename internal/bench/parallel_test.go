@@ -1,0 +1,113 @@
+package bench_test
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+func TestMeasureParallelDegrees(t *testing.T) {
+	r := newRunner(t)
+	for _, strategy := range []core.Strategy{core.StrategyProcCtl, core.StrategyThread, core.StrategyDirect} {
+		for _, degree := range []int{1, 4, 16} {
+			cfg := bench.Config{
+				Strategy:  strategy,
+				Path:      bench.PathMemory,
+				Op:        bench.OpRead,
+				BlockSize: 64,
+				Ops:       64,
+			}
+			res, err := r.MeasureParallel(cfg, degree)
+			if err != nil {
+				t.Fatalf("MeasureParallel(%v, %d): %v", strategy, degree, err)
+			}
+			if res.Parallel != degree || res.Total <= 0 || res.MicrosPerOp() <= 0 {
+				t.Errorf("MeasureParallel(%v, %d) = %+v", strategy, degree, res)
+			}
+		}
+	}
+}
+
+func TestMeasureParallelRejectsBadCells(t *testing.T) {
+	r := newRunner(t)
+	cfg := bench.Config{Strategy: core.StrategyThread, Path: bench.PathMemory, Op: bench.OpRead, BlockSize: 8, Ops: 4}
+	if _, err := r.MeasureParallel(cfg, 0); err == nil {
+		t.Error("degree 0 accepted")
+	}
+	cfg.Strategy = core.StrategyProcess
+	if _, err := r.MeasureParallel(cfg, 2); err == nil {
+		t.Error("stream strategy accepted for parallel measurement")
+	}
+}
+
+func TestRunParallelTable(t *testing.T) {
+	r := newRunner(t)
+	panels, err := r.RunParallel(bench.ParallelOptions{
+		Ops:       32,
+		BlockSize: 64,
+		Degrees:   []int{1, 2},
+		OpsFilter: bench.OpRead,
+	})
+	if err != nil {
+		t.Fatalf("RunParallel: %v", err)
+	}
+	if len(panels) != 1 {
+		t.Fatalf("panels = %d, want 1", len(panels))
+	}
+	p := panels[0]
+	for _, strategy := range []string{"procctl", "thread", "direct"} {
+		if _, ok := p.Speedup(strategy, 2); !ok {
+			t.Errorf("no speedup for %s: %+v", strategy, p.Micros[strategy])
+		}
+	}
+	var buf bytes.Buffer
+	if err := p.WriteTable(&buf); err != nil {
+		t.Fatalf("WriteTable: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"parallel clients", "x1", "x2", "speedup@2", "procctl", "thread", "direct"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// BenchmarkParallelReadAt measures aggregate throughput of concurrent
+// positioned reads on one shared handle per strategy — the tentpole's
+// headline number. It uses the remote-source path with a realistic injected
+// service latency, so each operation blocks on a genuine wait: exactly what
+// Seq-correlated pipelining overlaps. Compare p1 to p16 within a strategy
+// for the gain.
+func BenchmarkParallelReadAt(b *testing.B) {
+	for _, strategy := range []core.Strategy{core.StrategyProcCtl, core.StrategyThread, core.StrategyDirect} {
+		for _, degree := range []int{1, 4, 16} {
+			b.Run(strategy.String()+"/p"+strconv.Itoa(degree), func(b *testing.B) {
+				r, err := bench.NewRunner(b.TempDir())
+				if err != nil {
+					b.Fatalf("NewRunner: %v", err)
+				}
+				defer r.Close()
+				r.SetRemoteLatency(200 * time.Microsecond)
+				for i := 0; i < b.N; i++ {
+					res, err := r.MeasureParallel(bench.Config{
+						Strategy:  strategy,
+						Path:      bench.PathRemote,
+						Op:        bench.OpRead,
+						BlockSize: 512,
+						Ops:       512,
+					}, degree)
+					if err != nil {
+						b.Fatalf("MeasureParallel: %v", err)
+					}
+					b.ReportMetric(res.MicrosPerOp(), "µs/op-agg")
+				}
+			})
+		}
+	}
+}
+

@@ -85,8 +85,12 @@ func runChild() error {
 // Figure 2 null filter: one thread streams session content to the
 // application, another consumes the application's write stream. Read and
 // write positions advance independently from zero; there is no control
-// channel to reposition either.
+// channel to reposition either. Each stream is strictly ordered — the
+// strategy's contract — so the two goroutines stay sequential; they go
+// through the dispatcher only so the reader and writer serialize against
+// each other at the handler boundary.
 func serveStream(handler Handler, in io.ReadCloser, out io.WriteCloser) error {
+	d := newDispatcher(handler)
 	var wg sync.WaitGroup
 	errCh := make(chan error, 2)
 
@@ -97,7 +101,7 @@ func serveStream(handler Handler, in io.ReadCloser, out io.WriteCloser) error {
 		buf := make([]byte, 32*1024)
 		var off int64
 		for {
-			n, rerr := handler.ReadAt(buf, off)
+			n, rerr := d.readAt(buf, off)
 			if n > 0 {
 				if _, werr := out.Write(buf[:n]); werr != nil {
 					return // application stopped reading
@@ -124,7 +128,7 @@ func serveStream(handler Handler, in io.ReadCloser, out io.WriteCloser) error {
 		for {
 			n, rerr := in.Read(buf)
 			if n > 0 {
-				if _, werr := handler.WriteAt(buf[:n], off); werr != nil {
+				if _, werr := d.writeAt(buf[:n], off); werr != nil {
 					errCh <- fmt.Errorf("stream write: %w", werr)
 					return
 				}
@@ -144,17 +148,85 @@ func serveStream(handler Handler, in io.ReadCloser, out io.WriteCloser) error {
 			first = err
 		}
 	}
-	if cerr := handler.Close(); first == nil {
+	if cerr := d.closeHandler(); first == nil {
 		first = cerr
 	}
 	return first
 }
 
-// serveControl is the process-plus-control sentinel loop: a single dispatch
-// thread blocks on the control channel, pulls write payloads off the data-in
-// pipe, and ships responses (with any read data) back on the data-out pipe.
-// Writes are not acknowledged; their failures are carried to the next
-// sync/close response.
+// controlWorkers is the size of the procctl sentinel's serving pool. Queued
+// operations (reads and metadata) execute on the workers, so framing, pipe
+// writes, and prefetch fills for one request overlap the handler call of the
+// next — the server half of the client's Seq-pipelined mux.
+const controlWorkers = 8
+
+// ctrlServer is the shared state of one serveControl session.
+type ctrlServer struct {
+	d        *dispatcher
+	prefetch *prefetchState
+
+	outMu sync.Mutex // serializes response frames onto the data-out pipe
+	resps *wire.Writer
+
+	failMu  sync.Mutex
+	failErr error // first response-channel failure, reported by any worker
+}
+
+// writeResp frames one response onto the shared data-out pipe. A transport
+// failure is recorded so the intake loop stops; only the first one counts.
+func (s *ctrlServer) writeResp(resp *wire.Response) {
+	s.outMu.Lock()
+	err := s.resps.WriteResponse(resp)
+	s.outMu.Unlock()
+	if err != nil {
+		s.failMu.Lock()
+		if s.failErr == nil {
+			s.failErr = fmt.Errorf("response channel: %w", err)
+		}
+		s.failMu.Unlock()
+	}
+}
+
+// failed reports the first recorded response-channel failure, if any.
+func (s *ctrlServer) failed() error {
+	s.failMu.Lock()
+	defer s.failMu.Unlock()
+	return s.failErr
+}
+
+// serve handles one queued (non-write, non-barrier) operation on a worker.
+func (s *ctrlServer) serve(req *wire.Request) {
+	var resp wire.Response
+	release := releaseNone
+	if req.Op == wire.OpRead && s.prefetch.serve(req, &resp) {
+		// Served entirely from the prefetched block.
+	} else {
+		resp, release = s.d.dispatch(req)
+		if req.Op == wire.OpTruncate {
+			s.prefetch.invalidate()
+		}
+	}
+	served := len(resp.Data)
+	s.writeResp(&resp)
+	release()
+	if req.Op == wire.OpRead {
+		// Anticipate the next sequential read while the application is busy
+		// consuming this one.
+		s.prefetch.fill(s.d, req.Off+int64(served), int(req.N))
+	}
+}
+
+// serveControl is the process-plus-control sentinel loop: an intake thread
+// blocks on the control channel, pulls write payloads off the
+// data-in pipe, and fans every other command out to a small worker pool that
+// ships responses (with any read data) back on the data-out pipe — out of
+// order when operations overlap, correlated by Seq. Writes are not
+// acknowledged; they execute on the intake thread before the next command is
+// read, so a client that writes then reads observes its write, and write
+// failures are carried to the next sync/close response. Sync and close are
+// barriers: the intake thread drains the pool before dispatching them, so
+// every earlier operation's effects — and any deferred write error — are
+// settled in the response.
 //
 // With readAhead, the sentinel anticipates sequential reads (§4.2: "the
 // sentinel process might choose to eagerly inject data into the read pipe
@@ -163,28 +235,53 @@ func serveStream(handler Handler, in io.ReadCloser, out io.WriteCloser) error {
 // handler on the critical path.
 func serveControl(handler Handler, in io.Reader, out io.Writer, ctrl io.Reader, readAhead bool) error {
 	reqs := wire.NewReader(ctrl)
-	resps := wire.NewWriter(out)
-	d := newDispatcher(handler)
-
-	var pendingWriteErr error
-	payload := make([]byte, 0, 64*1024)
-	var prefetch *prefetchState
+	s := &ctrlServer{d: newDispatcher(handler), resps: wire.NewWriter(out)}
 	if readAhead {
-		prefetch = &prefetchState{}
+		s.prefetch = &prefetchState{}
 	}
 
+	work := make(chan *wire.Request, controlWorkers)
+	var workers sync.WaitGroup
+	var inflight sync.WaitGroup // operations queued but not yet answered
+	workers.Add(controlWorkers)
+	for i := 0; i < controlWorkers; i++ {
+		go func() {
+			defer workers.Done()
+			for req := range work {
+				s.serve(req)
+				inflight.Done()
+			}
+		}()
+	}
+	shutdown := func() {
+		close(work)
+		workers.Wait()
+		s.d.closeHandler()
+	}
+
+	// pendingWriteErr is intake-thread-local: writes, sync, and close all
+	// dispatch on this thread, so no lock guards it.
+	var pendingWriteErr error
+	payload := make([]byte, 0, 64*1024)
+
 	for {
+		if err := s.failed(); err != nil {
+			// A worker lost the response channel: application vanished.
+			shutdown()
+			return err
+		}
 		req, err := reqs.ReadRequest()
 		if err != nil {
 			// Control channel gone: application vanished without OpClose.
-			handler.Close()
+			shutdown()
 			if errors.Is(err, io.EOF) {
 				return nil
 			}
 			return fmt.Errorf("control channel: %w", err)
 		}
 
-		if req.Op == wire.OpWrite {
+		switch req.Op {
+		case wire.OpWrite:
 			n := int(req.N)
 			if n < 0 || n > wire.MaxPayload {
 				pendingWriteErr = fmt.Errorf("bad write size %d", n)
@@ -194,45 +291,46 @@ func serveControl(handler Handler, in io.Reader, out io.Writer, ctrl io.Reader, 
 				payload = make([]byte, n)
 			}
 			if _, err := io.ReadFull(in, payload[:n]); err != nil {
-				handler.Close()
+				shutdown()
 				return fmt.Errorf("write payload: %w", err)
 			}
 			wreq := req
 			wreq.Data = payload[:n]
-			resp := d.dispatch(&wreq)
+			resp, release := s.d.dispatch(&wreq)
+			release()
 			if werr := wire.ToError(wire.OpWrite, resp.Status, resp.Msg); werr != nil && pendingWriteErr == nil {
 				pendingWriteErr = werr
 			}
-			prefetch.invalidate() // written content may overlap the prefetch
-			continue              // deliberately unacknowledged
-		}
+			s.prefetch.invalidate() // written content may overlap the prefetch
+			continue                // deliberately unacknowledged
 
-		var resp wire.Response
-		if req.Op == wire.OpRead && prefetch.serve(&req, &resp) {
-			// Served entirely from the prefetched block.
-		} else {
-			resp = d.dispatch(&req)
-			if req.Op == wire.OpTruncate {
-				prefetch.invalidate()
+		case wire.OpSync, wire.OpClose:
+			inflight.Wait() // barrier: settle every outstanding operation
+			resp, release := s.d.dispatch(&req)
+			// Deferred write failures surface on the synchronous barrier.
+			if resp.Status == wire.StatusOK && pendingWriteErr != nil {
+				resp.Status, resp.Msg = wire.FromError(pendingWriteErr)
+				pendingWriteErr = nil
 			}
-		}
-		// Deferred write failures surface on the next synchronous barrier.
-		if (req.Op == wire.OpSync || req.Op == wire.OpClose) &&
-			resp.Status == wire.StatusOK && pendingWriteErr != nil {
-			resp.Status, resp.Msg = wire.FromError(pendingWriteErr)
-			pendingWriteErr = nil
-		}
-		if err := resps.WriteResponse(&resp); err != nil {
-			handler.Close()
-			return fmt.Errorf("response channel: %w", err)
-		}
-		if req.Op == wire.OpClose {
-			return nil
-		}
-		if req.Op == wire.OpRead {
-			// Anticipate the next sequential read while the application is
-			// busy consuming this one.
-			prefetch.fill(handler, req.Off+int64(len(resp.Data)), int(req.N))
+			s.writeResp(&resp)
+			release()
+			if req.Op == wire.OpClose {
+				shutdown()
+				return nil
+			}
+
+		default:
+			// Queue for the pool. The frame reader's buffer is reused by the
+			// next ReadRequest, so any payload must be copied out first. A
+			// full pool exerts backpressure on intake — writes behind it in
+			// the control stream stay correctly ordered anyway, since they
+			// would dispatch on this thread.
+			qreq := req
+			if len(req.Data) > 0 {
+				qreq.Data = append([]byte(nil), req.Data...)
+			}
+			inflight.Add(1)
+			work <- &qreq
 		}
 	}
 }

@@ -1,55 +1,40 @@
 package core
 
-import "repro/internal/wire"
-
 // directTransport implements the DLL-only strategy (§4.4): file operations
 // are routed straight into the sentinel program's routines — no pipe, no
 // goroutine switch, no extra copy. This is the paper's most efficient
 // implementation, "incurring the same costs as if the application were
-// directly accessing the information sources".
+// directly accessing the information sources". Calls go through the
+// dispatcher's zero-copy accessors so concurrent handle operations stay
+// serialized at the handler boundary, same as every other strategy.
 type directTransport struct {
-	handler Handler
+	d *dispatcher
 }
 
 var _ transport = (*directTransport)(nil)
 
 func newDirectTransport(h Handler) *directTransport {
-	return &directTransport{handler: h}
+	return &directTransport{d: newDispatcher(h)}
 }
 
 func (t *directTransport) readAt(p []byte, off int64) (int, error) {
-	return t.handler.ReadAt(p, off)
+	return t.d.readAt(p, off)
 }
 
 func (t *directTransport) writeAt(p []byte, off int64) (int, error) {
-	return t.handler.WriteAt(p, off)
+	return t.d.writeAt(p, off)
 }
 
-func (t *directTransport) size() (int64, error) { return t.handler.Size() }
+func (t *directTransport) size() (int64, error) { return t.d.size() }
 
-func (t *directTransport) truncate(n int64) error { return t.handler.Truncate(n) }
+func (t *directTransport) truncate(n int64) error { return t.d.truncate(n) }
 
-func (t *directTransport) sync() error { return t.handler.Sync() }
+func (t *directTransport) sync() error { return t.d.sync() }
 
-func (t *directTransport) lock(off, n int64) error {
-	if l, ok := t.handler.(Locker); ok {
-		return l.Lock(off, n)
-	}
-	return wire.ErrUnsupported
-}
+func (t *directTransport) lock(off, n int64) error { return t.d.lock(off, n) }
 
-func (t *directTransport) unlock(off, n int64) error {
-	if l, ok := t.handler.(Locker); ok {
-		return l.Unlock(off, n)
-	}
-	return wire.ErrUnsupported
-}
+func (t *directTransport) unlock(off, n int64) error { return t.d.unlock(off, n) }
 
-func (t *directTransport) control(req []byte) ([]byte, error) {
-	if c, ok := t.handler.(Controller); ok {
-		return c.Control(req)
-	}
-	return nil, wire.ErrUnsupported
-}
+func (t *directTransport) control(req []byte) ([]byte, error) { return t.d.control(req) }
 
-func (t *directTransport) close() error { return t.handler.Close() }
+func (t *directTransport) close() error { return t.d.closeHandler() }

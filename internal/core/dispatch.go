@@ -1,64 +1,114 @@
 package core
 
-import "repro/internal/wire"
+import (
+	"sync"
+	"sync/atomic"
 
-// dispatcher executes decoded requests against a Handler, producing the
-// response each transport ships back. It owns a reusable read buffer, so a
-// dispatcher serves exactly one session loop at a time.
+	"repro/internal/wire"
+)
+
+// releaseNone is the no-op release shared by every dispatch that holds no
+// pooled buffer.
+func releaseNone() {}
+
+// dispatcher executes operations against a Handler. It is the one code path
+// every strategy's parallelism goes through: the thread sentinel workers,
+// the procctl serving loop, the direct transport, and the stream sentinel
+// all funnel handler access here. The dispatcher is safe for concurrent use
+// — it serializes Handler calls (the Handler contract leaves programs
+// unsynchronized) while letting callers overlap everything around them:
+// framing, pipe I/O, buffer copies, and waiting.
 type dispatcher struct {
 	handler Handler
-	buf     []byte
+	// mu guards handler calls. For ordinary handlers every call takes the
+	// write side, restoring strict serialization; handlers declaring
+	// ConcurrentSafe take the read side, so their calls overlap and only
+	// closeHandler (write side) excludes them.
+	mu     sync.RWMutex
+	serial bool        // serialize every handler call
+	closed atomic.Bool // set once the handler has been closed
 }
 
 func newDispatcher(h Handler) *dispatcher {
-	return &dispatcher{handler: h}
+	serial := true
+	if ch, ok := h.(ConcurrentHandler); ok && ch.ConcurrentSafe() {
+		serial = false
+	}
+	return &dispatcher{handler: h, serial: serial}
 }
 
-// dispatch runs one operation. The returned response's Data may alias the
-// dispatcher's internal buffer; transports must ship or copy it before the
-// next call.
-func (d *dispatcher) dispatch(req *wire.Request) wire.Response {
+// enter acquires the handler-call lock appropriate to the handler's
+// concurrency contract and returns the matching release.
+func (d *dispatcher) enter() func() {
+	if d.serial {
+		d.mu.Lock()
+		return d.mu.Unlock
+	}
+	d.mu.RLock()
+	return d.mu.RUnlock
+}
+
+// dispatch runs one operation, concurrency-safe. For OpRead the response's
+// Data is backed by a pooled buffer: the caller must invoke release exactly
+// once, after shipping or copying the data. For every other operation
+// release is a no-op (but still safe to call).
+func (d *dispatcher) dispatch(req *wire.Request) (wire.Response, func()) {
 	resp := wire.Response{Seq: req.Seq, Status: wire.StatusOK}
+	if d.closed.Load() && req.Op != wire.OpClose {
+		resp.Status = wire.StatusClosed
+		return resp, releaseNone
+	}
 	switch req.Op {
 	case wire.OpRead:
 		n := int(req.N)
 		if n < 0 || n > wire.MaxPayload {
 			resp.Status, resp.Msg = wire.StatusError, "bad read size"
-			return resp
+			return resp, releaseNone
 		}
-		if cap(d.buf) < n {
-			d.buf = make([]byte, n)
-		}
-		rn, err := d.handler.ReadAt(d.buf[:n], req.Off)
+		buf, release := getReadBuf(n)
+		unlock := d.enter()
+		rn, err := d.handler.ReadAt(buf, req.Off)
+		unlock()
 		resp.N = int64(rn)
-		resp.Data = d.buf[:rn]
+		resp.Data = buf[:rn]
 		if err != nil {
 			// A short read at end of file keeps its data AND reports EOF,
 			// matching os.File.ReadAt semantics end to end.
 			resp.Status, resp.Msg = wire.FromError(err)
 		}
+		return resp, release
 
 	case wire.OpWrite:
+		unlock := d.enter()
 		wn, err := d.handler.WriteAt(req.Data, req.Off)
+		unlock()
 		resp.N = int64(wn)
 		if err != nil {
 			resp.Status, resp.Msg = wire.FromError(err)
 		}
 
 	case wire.OpSize:
+		unlock := d.enter()
 		size, err := d.handler.Size()
+		unlock()
 		resp.N = size
 		if err != nil {
 			resp.Status, resp.Msg = wire.FromError(err)
 		}
 
 	case wire.OpTruncate:
-		if err := d.handler.Truncate(req.Off); err != nil {
+		unlock := d.enter()
+		err := d.handler.Truncate(req.Off)
+		unlock()
+		if err != nil {
 			resp.Status, resp.Msg = wire.FromError(err)
 		}
 
 	case wire.OpSync:
-		if err := d.handler.Sync(); err != nil {
+		unlock := d.enter()
+		err := d.handler.Sync()
+		unlock()
+		if err != nil {
 			resp.Status, resp.Msg = wire.FromError(err)
 		}
 
@@ -66,9 +116,12 @@ func (d *dispatcher) dispatch(req *wire.Request) wire.Response {
 		locker, ok := d.handler.(Locker)
 		if !ok {
 			resp.Status = wire.StatusUnsupported
-			return resp
+			return resp, releaseNone
 		}
-		if err := locker.Lock(req.Off, req.N); err != nil {
+		unlock := d.enter()
+		err := locker.Lock(req.Off, req.N)
+		unlock()
+		if err != nil {
 			resp.Status, resp.Msg = wire.FromError(err)
 		}
 
@@ -76,9 +129,12 @@ func (d *dispatcher) dispatch(req *wire.Request) wire.Response {
 		locker, ok := d.handler.(Locker)
 		if !ok {
 			resp.Status = wire.StatusUnsupported
-			return resp
+			return resp, releaseNone
 		}
-		if err := locker.Unlock(req.Off, req.N); err != nil {
+		unlock := d.enter()
+		err := locker.Unlock(req.Off, req.N)
+		unlock()
+		if err != nil {
 			resp.Status, resp.Msg = wire.FromError(err)
 		}
 
@@ -86,9 +142,11 @@ func (d *dispatcher) dispatch(req *wire.Request) wire.Response {
 		ctl, ok := d.handler.(Controller)
 		if !ok {
 			resp.Status = wire.StatusUnsupported
-			return resp
+			return resp, releaseNone
 		}
+		unlock := d.enter()
 		out, err := ctl.Control(req.Data)
+		unlock()
 		resp.Data = out
 		resp.N = int64(len(out))
 		if err != nil {
@@ -96,12 +154,108 @@ func (d *dispatcher) dispatch(req *wire.Request) wire.Response {
 		}
 
 	case wire.OpClose:
-		if err := d.handler.Close(); err != nil {
+		if err := d.closeHandler(); err != nil {
 			resp.Status, resp.Msg = wire.FromError(err)
 		}
 
 	default:
 		resp.Status = wire.StatusUnsupported
 	}
-	return resp
+	return resp, releaseNone
+}
+
+// The direct transport (and the prefetcher, and the stream sentinel) bypass
+// wire framing entirely and use these serialized accessors — the zero-copy
+// fast path into the same handler-synchronization discipline dispatch uses.
+
+// readAt fills p from the handler at off, serialized with all other handler
+// calls. Zero-copy: the handler writes straight into p.
+func (d *dispatcher) readAt(p []byte, off int64) (int, error) {
+	if d.closed.Load() {
+		return 0, wire.ErrClosed
+	}
+	defer d.enter()()
+	return d.handler.ReadAt(p, off)
+}
+
+// writeAt stores p at off, serialized with all other handler calls.
+func (d *dispatcher) writeAt(p []byte, off int64) (int, error) {
+	if d.closed.Load() {
+		return 0, wire.ErrClosed
+	}
+	defer d.enter()()
+	return d.handler.WriteAt(p, off)
+}
+
+func (d *dispatcher) size() (int64, error) {
+	if d.closed.Load() {
+		return 0, wire.ErrClosed
+	}
+	defer d.enter()()
+	return d.handler.Size()
+}
+
+func (d *dispatcher) truncate(n int64) error {
+	if d.closed.Load() {
+		return wire.ErrClosed
+	}
+	defer d.enter()()
+	return d.handler.Truncate(n)
+}
+
+func (d *dispatcher) sync() error {
+	if d.closed.Load() {
+		return wire.ErrClosed
+	}
+	defer d.enter()()
+	return d.handler.Sync()
+}
+
+func (d *dispatcher) lock(off, n int64) error {
+	locker, ok := d.handler.(Locker)
+	if !ok {
+		return wire.ErrUnsupported
+	}
+	if d.closed.Load() {
+		return wire.ErrClosed
+	}
+	defer d.enter()()
+	return locker.Lock(off, n)
+}
+
+func (d *dispatcher) unlock(off, n int64) error {
+	locker, ok := d.handler.(Locker)
+	if !ok {
+		return wire.ErrUnsupported
+	}
+	if d.closed.Load() {
+		return wire.ErrClosed
+	}
+	defer d.enter()()
+	return locker.Unlock(off, n)
+}
+
+func (d *dispatcher) control(req []byte) ([]byte, error) {
+	ctl, ok := d.handler.(Controller)
+	if !ok {
+		return nil, wire.ErrUnsupported
+	}
+	if d.closed.Load() {
+		return nil, wire.ErrClosed
+	}
+	defer d.enter()()
+	return ctl.Control(req)
+}
+
+// closeHandler closes the handler exactly once; later calls (and dispatches)
+// are no-ops reporting success or StatusClosed respectively. Every shutdown
+// path — explicit OpClose, abandoned transport, failed channel — funnels
+// here, so a session can never double-close its program.
+func (d *dispatcher) closeHandler() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	return d.handler.Close()
 }

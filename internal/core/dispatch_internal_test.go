@@ -8,6 +8,18 @@ import (
 	"repro/internal/wire"
 )
 
+// dispatchT runs one dispatch and settles it for test inspection: the
+// response payload is copied out of the pooled buffer before release, the way
+// a transport ships or copies it before recycling.
+func dispatchT(d *dispatcher, req *wire.Request) wire.Response {
+	resp, release := d.dispatch(req)
+	if len(resp.Data) > 0 {
+		resp.Data = append([]byte(nil), resp.Data...)
+	}
+	release()
+	return resp
+}
+
 // fakeHandler records calls and returns scripted results.
 type fakeHandler struct {
 	data      []byte
@@ -86,19 +98,19 @@ func TestDispatchRead(t *testing.T) {
 	h := &fakeHandler{data: []byte("0123456789")}
 	d := newDispatcher(h)
 
-	resp := d.dispatch(&wire.Request{Op: wire.OpRead, Seq: 3, Off: 2, N: 4})
+	resp := dispatchT(d, &wire.Request{Op: wire.OpRead, Seq: 3, Off: 2, N: 4})
 	if resp.Status != wire.StatusOK || resp.Seq != 3 || string(resp.Data) != "2345" || resp.N != 4 {
 		t.Errorf("read resp = %+v", resp)
 	}
 
 	// Short read at EOF keeps its data and reports EOF.
-	resp = d.dispatch(&wire.Request{Op: wire.OpRead, Off: 8, N: 4})
+	resp = dispatchT(d, &wire.Request{Op: wire.OpRead, Off: 8, N: 4})
 	if resp.Status != wire.StatusEOF || string(resp.Data) != "89" || resp.N != 2 {
 		t.Errorf("eof read resp = %+v", resp)
 	}
 
 	// Past-end read is a clean EOF.
-	resp = d.dispatch(&wire.Request{Op: wire.OpRead, Off: 100, N: 4})
+	resp = dispatchT(d, &wire.Request{Op: wire.OpRead, Off: 100, N: 4})
 	if resp.Status != wire.StatusEOF || resp.N != 0 {
 		t.Errorf("past-end resp = %+v", resp)
 	}
@@ -107,7 +119,7 @@ func TestDispatchRead(t *testing.T) {
 func TestDispatchReadBadSize(t *testing.T) {
 	d := newDispatcher(&fakeHandler{})
 	for _, n := range []int64{-1, wire.MaxPayload + 1} {
-		resp := d.dispatch(&wire.Request{Op: wire.OpRead, N: n})
+		resp := dispatchT(d, &wire.Request{Op: wire.OpRead, N: n})
 		if resp.Status != wire.StatusError {
 			t.Errorf("read N=%d status = %v, want error", n, resp.Status)
 		}
@@ -118,24 +130,24 @@ func TestDispatchWriteSizeTruncateSync(t *testing.T) {
 	h := &fakeHandler{}
 	d := newDispatcher(h)
 
-	resp := d.dispatch(&wire.Request{Op: wire.OpWrite, Off: 0, Data: []byte("abc")})
+	resp := dispatchT(d, &wire.Request{Op: wire.OpWrite, Off: 0, Data: []byte("abc")})
 	if resp.Status != wire.StatusOK || resp.N != 3 {
 		t.Errorf("write resp = %+v", resp)
 	}
-	resp = d.dispatch(&wire.Request{Op: wire.OpSize})
+	resp = dispatchT(d, &wire.Request{Op: wire.OpSize})
 	if resp.Status != wire.StatusOK || resp.N != 3 {
 		t.Errorf("size resp = %+v", resp)
 	}
-	resp = d.dispatch(&wire.Request{Op: wire.OpTruncate, Off: 1})
+	resp = dispatchT(d, &wire.Request{Op: wire.OpTruncate, Off: 1})
 	if resp.Status != wire.StatusOK || h.truncated != 1 {
 		t.Errorf("truncate resp = %+v, handler saw %d", resp, h.truncated)
 	}
-	resp = d.dispatch(&wire.Request{Op: wire.OpSync})
+	resp = dispatchT(d, &wire.Request{Op: wire.OpSync})
 	if resp.Status != wire.StatusOK {
 		t.Errorf("sync resp = %+v", resp)
 	}
 	h.syncErr = errors.New("flush failed")
-	resp = d.dispatch(&wire.Request{Op: wire.OpSync})
+	resp = dispatchT(d, &wire.Request{Op: wire.OpSync})
 	if resp.Status != wire.StatusError || resp.Msg != "flush failed" {
 		t.Errorf("failed sync resp = %+v", resp)
 	}
@@ -144,7 +156,7 @@ func TestDispatchWriteSizeTruncateSync(t *testing.T) {
 func TestDispatchLockAndControlOptionalInterfaces(t *testing.T) {
 	plain := newDispatcher(&fakeHandler{})
 	for _, op := range []wire.Op{wire.OpLock, wire.OpUnlock, wire.OpControl} {
-		resp := plain.dispatch(&wire.Request{Op: op})
+		resp := dispatchT(plain, &wire.Request{Op: op})
 		if resp.Status != wire.StatusUnsupported {
 			t.Errorf("%v on plain handler status = %v, want unsupported", op, resp.Status)
 		}
@@ -152,19 +164,19 @@ func TestDispatchLockAndControlOptionalInterfaces(t *testing.T) {
 
 	lf := &lockingFake{}
 	rich := newDispatcher(lf)
-	resp := rich.dispatch(&wire.Request{Op: wire.OpLock, Off: 4, N: 8})
+	resp := dispatchT(rich, &wire.Request{Op: wire.OpLock, Off: 4, N: 8})
 	if resp.Status != wire.StatusOK || len(lf.locked) != 1 {
 		t.Errorf("lock resp = %+v, locked = %v", resp, lf.locked)
 	}
-	resp = rich.dispatch(&wire.Request{Op: wire.OpUnlock, Off: 4, N: 8})
+	resp = dispatchT(rich, &wire.Request{Op: wire.OpUnlock, Off: 4, N: 8})
 	if resp.Status != wire.StatusOK || len(lf.locked) != 0 {
 		t.Errorf("unlock resp = %+v", resp)
 	}
-	resp = rich.dispatch(&wire.Request{Op: wire.OpUnlock, Off: 9, N: 9})
+	resp = dispatchT(rich, &wire.Request{Op: wire.OpUnlock, Off: 9, N: 9})
 	if resp.Status != wire.StatusError {
 		t.Errorf("unheld unlock status = %v", resp.Status)
 	}
-	resp = rich.dispatch(&wire.Request{Op: wire.OpControl, Data: []byte("cmd")})
+	resp = dispatchT(rich, &wire.Request{Op: wire.OpControl, Data: []byte("cmd")})
 	if resp.Status != wire.StatusOK || string(resp.Data) != "ack" || string(lf.ctrlSeen) != "cmd" {
 		t.Errorf("control resp = %+v", resp)
 	}
@@ -173,45 +185,76 @@ func TestDispatchLockAndControlOptionalInterfaces(t *testing.T) {
 func TestDispatchClose(t *testing.T) {
 	h := &fakeHandler{}
 	d := newDispatcher(h)
-	resp := d.dispatch(&wire.Request{Op: wire.OpClose, Seq: 9})
+	resp := dispatchT(d, &wire.Request{Op: wire.OpClose, Seq: 9})
 	if resp.Status != wire.StatusOK || resp.Seq != 9 || !h.closed {
 		t.Errorf("close resp = %+v, closed = %v", resp, h.closed)
+	}
+	// After close, operations report the session closed; a second close stays
+	// a success and never reaches the handler twice.
+	resp = dispatchT(d, &wire.Request{Op: wire.OpRead, N: 4})
+	if resp.Status != wire.StatusClosed {
+		t.Errorf("post-close read status = %v, want closed", resp.Status)
+	}
+	resp = dispatchT(d, &wire.Request{Op: wire.OpClose})
+	if resp.Status != wire.StatusOK {
+		t.Errorf("second close status = %v", resp.Status)
 	}
 }
 
 func TestDispatchUnknownOp(t *testing.T) {
 	d := newDispatcher(&fakeHandler{})
-	resp := d.dispatch(&wire.Request{Op: wire.OpStat})
+	resp := dispatchT(d, &wire.Request{Op: wire.OpStat})
 	if resp.Status != wire.StatusUnsupported {
 		t.Errorf("stat status = %v, want unsupported", resp.Status)
 	}
-	resp = d.dispatch(&wire.Request{Op: wire.Op(99)})
+	resp = dispatchT(d, &wire.Request{Op: wire.Op(99)})
 	if resp.Status != wire.StatusUnsupported {
 		t.Errorf("bogus op status = %v, want unsupported", resp.Status)
 	}
 }
 
-func TestDispatchBufferReuse(t *testing.T) {
-	// The dispatcher reuses its read buffer across calls (the footnote-1
-	// buffer-reuse optimization); its responses alias that buffer, so each
-	// must be consumed before the next dispatch.
+func TestDispatchReadBuffersIndependent(t *testing.T) {
+	// Read responses draw from the buffer pool: two dispatches whose releases
+	// are still pending own distinct buffers, so concurrent responses never
+	// scribble on each other (the old single reused buffer required lockstep
+	// consumption).
 	h := &fakeHandler{data: []byte("abcdef")}
 	d := newDispatcher(h)
-	first := d.dispatch(&wire.Request{Op: wire.OpRead, Off: 0, N: 3})
-	saved := string(first.Data)
-	second := d.dispatch(&wire.Request{Op: wire.OpRead, Off: 3, N: 3})
-	if saved != "abc" || string(second.Data) != "def" {
-		t.Errorf("reads = %q, %q", saved, second.Data)
+	first, rel1 := d.dispatch(&wire.Request{Op: wire.OpRead, Off: 0, N: 3})
+	second, rel2 := d.dispatch(&wire.Request{Op: wire.OpRead, Off: 3, N: 3})
+	if string(first.Data) != "abc" || string(second.Data) != "def" {
+		t.Errorf("reads = %q, %q", first.Data, second.Data)
 	}
-	if &first.Data[0] != &second.Data[0] {
-		t.Error("buffer not reused across dispatches")
+	if &first.Data[0] == &second.Data[0] {
+		t.Error("in-flight read responses share a buffer")
 	}
+	rel1()
+	rel2()
+}
+
+func TestReadBufPoolBounds(t *testing.T) {
+	// Requests beyond the pooled size get a one-shot allocation.
+	big, release := getReadBuf(pooledBufSize + 1)
+	if len(big) != pooledBufSize+1 {
+		t.Fatalf("oversized get length = %d", len(big))
+	}
+	release()
+
+	// A buffer that somehow grew past the payload bound is dropped, not
+	// parked; the pool never hands out more than wire.MaxPayload capacity.
+	huge := make([]byte, wire.MaxPayload+1)
+	putReadBuf(&huge)
+	b, rel := getReadBuf(8)
+	if len(b) != 8 || cap(b) > wire.MaxPayload {
+		t.Errorf("pooled get len = %d cap = %d", len(b), cap(b))
+	}
+	rel()
 }
 
 func TestPrefetchStateNilSafe(t *testing.T) {
 	var p *prefetchState
 	p.invalidate()
-	p.fill(&fakeHandler{}, 0, 16)
+	p.fill(newDispatcher(&fakeHandler{}), 0, 16)
 	var resp wire.Response
 	if p.serve(&wire.Request{Op: wire.OpRead}, &resp) {
 		t.Error("nil prefetch served a request")
@@ -219,7 +262,7 @@ func TestPrefetchStateNilSafe(t *testing.T) {
 }
 
 func TestPrefetchStateLifecycle(t *testing.T) {
-	h := &fakeHandler{data: []byte("0123456789")}
+	h := newDispatcher(&fakeHandler{data: []byte("0123456789")})
 	p := &prefetchState{}
 
 	p.fill(h, 4, 4)

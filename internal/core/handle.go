@@ -3,14 +3,21 @@ package core
 import (
 	"errors"
 	"io"
+	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/wire"
 )
 
 // transport is the client half of a strategy: it carries one session's
-// operations from the application stubs to the sentinel. Implementations are
-// not required to be concurrency safe; Handle serializes access.
+// operations from the application stubs to the sentinel. Implementations
+// must be safe for concurrent use — the Handle no longer serializes
+// independent operations, only those sharing the seek offset. The one
+// exception is the plain process strategy's stream transport, whose
+// readAt/writeAt are only ever reached through Read/Write and therefore
+// arrive pre-serialized under the Handle's offset lock, preserving stream
+// ordering.
 type transport interface {
 	// readAt fills p from offset off. Stream transports ignore off and
 	// deliver the next bytes of the sentinel's output stream.
@@ -33,13 +40,28 @@ type transport interface {
 // interactions with ordinary (passive) files". The strategy underneath
 // determines only cost and (for the plain process strategy) which operations
 // are supported.
+//
+// A Handle is safe for concurrent use, and independent operations proceed in
+// parallel: only Read, Write, and Seek — the operations sharing the implicit
+// seek offset — serialize against each other. Positioned operations
+// (ReadAt, WriteAt), Size, Truncate, Sync, locks, and Control go straight to
+// the transport concurrently, pipelined over the session channel.
 type Handle struct {
-	mu       sync.Mutex
 	strategy Strategy
 	tr       transport
-	offset   int64
-	closed   bool
-	stats    Stats
+
+	// closeMu gates every operation (read side) against Close (write side),
+	// so Close observes a quiesced session and ops never race a closing
+	// transport.
+	closeMu sync.RWMutex
+	closed  bool
+
+	// offMu guards only the seek offset — the streaming-op lock. Positioned
+	// operations never take it.
+	offMu  sync.Mutex
+	offset int64
+
+	stats handleStats
 }
 
 // Stats counts a session's activity — what the sentinel mediated on the
@@ -50,6 +72,21 @@ type Stats struct {
 	BytesRead    uint64
 	BytesWritten uint64
 	Errors       uint64
+	// InFlight is the number of operations currently executing against the
+	// session — a gauge, not a counter; nonzero only while snapshotting
+	// concurrently with active operations.
+	InFlight int64
+}
+
+// handleStats holds the live counters as atomics so Stats() snapshots never
+// contend with the data path.
+type handleStats struct {
+	reads        atomic.Uint64
+	writes       atomic.Uint64
+	bytesRead    atomic.Uint64
+	bytesWritten atomic.Uint64
+	errors       atomic.Uint64
+	inFlight     atomic.Int64
 }
 
 var (
@@ -66,51 +103,79 @@ func newHandle(strategy Strategy, tr transport) *Handle {
 // Strategy returns the implementation strategy serving this handle.
 func (h *Handle) Strategy() Strategy { return h.strategy }
 
-// Stats returns a snapshot of the session's activity counters.
+// Stats returns a snapshot of the session's activity counters. It never
+// blocks behind in-flight operations.
 func (h *Handle) Stats() Stats {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.stats
-}
-
-// countRead updates the read counters. Called with h.mu held.
-func (h *Handle) countRead(n int, err error) {
-	h.stats.Reads++
-	h.stats.BytesRead += uint64(n)
-	if err != nil {
-		h.stats.Errors++
+	return Stats{
+		Reads:        h.stats.reads.Load(),
+		Writes:       h.stats.writes.Load(),
+		BytesRead:    h.stats.bytesRead.Load(),
+		BytesWritten: h.stats.bytesWritten.Load(),
+		Errors:       h.stats.errors.Load(),
+		InFlight:     h.stats.inFlight.Load(),
 	}
 }
 
-// countWrite updates the write counters. Called with h.mu held.
-func (h *Handle) countWrite(n int, err error) {
-	h.stats.Writes++
-	h.stats.BytesWritten += uint64(n)
-	if err != nil {
-		h.stats.Errors++
-	}
-}
-
-// Read reads from the current offset, advancing it.
-func (h *Handle) Read(p []byte) (int, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+// begin admits one operation: it takes the close gate and bumps the
+// in-flight gauge. Every successful begin must be paired with end.
+func (h *Handle) begin() error {
+	h.closeMu.RLock()
 	if h.closed {
-		return 0, wire.ErrClosed
+		h.closeMu.RUnlock()
+		return wire.ErrClosed
 	}
+	h.stats.inFlight.Add(1)
+	return nil
+}
+
+// end retires an operation admitted by begin.
+func (h *Handle) end() {
+	h.stats.inFlight.Add(-1)
+	h.closeMu.RUnlock()
+}
+
+// countRead updates the read counters.
+func (h *Handle) countRead(n int, err error) {
+	h.stats.reads.Add(1)
+	h.stats.bytesRead.Add(uint64(n))
+	if err != nil {
+		h.stats.errors.Add(1)
+	}
+}
+
+// countWrite updates the write counters.
+func (h *Handle) countWrite(n int, err error) {
+	h.stats.writes.Add(1)
+	h.stats.bytesWritten.Add(uint64(n))
+	if err != nil {
+		h.stats.errors.Add(1)
+	}
+}
+
+// Read reads from the current offset, advancing it. Reads serialize against
+// Write and Seek (they share the offset) but not against positioned ops.
+func (h *Handle) Read(p []byte) (int, error) {
+	if err := h.begin(); err != nil {
+		return 0, err
+	}
+	defer h.end()
+	h.offMu.Lock()
+	defer h.offMu.Unlock()
 	n, err := h.tr.readAt(p, h.offset)
 	h.offset += int64(n)
 	h.countRead(n, err)
 	return n, err
 }
 
-// Write writes at the current offset, advancing it.
+// Write writes at the current offset, advancing it. Writes serialize against
+// Read and Seek (they share the offset) but not against positioned ops.
 func (h *Handle) Write(p []byte) (int, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.closed {
-		return 0, wire.ErrClosed
+	if err := h.begin(); err != nil {
+		return 0, err
 	}
+	defer h.end()
+	h.offMu.Lock()
+	defer h.offMu.Unlock()
 	n, err := h.tr.writeAt(p, h.offset)
 	h.offset += int64(n)
 	h.countWrite(n, err)
@@ -118,13 +183,13 @@ func (h *Handle) Write(p []byte) (int, error) {
 }
 
 // ReadAt reads at an absolute offset without moving the handle's offset.
-// Unsupported on the plain process strategy.
+// Concurrent ReadAt calls proceed in parallel. Unsupported on the plain
+// process strategy.
 func (h *Handle) ReadAt(p []byte, off int64) (int, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.closed {
-		return 0, wire.ErrClosed
+	if err := h.begin(); err != nil {
+		return 0, err
 	}
+	defer h.end()
 	if !h.strategy.SupportsPositioning() {
 		return 0, wire.ErrUnsupported
 	}
@@ -134,13 +199,13 @@ func (h *Handle) ReadAt(p []byte, off int64) (int, error) {
 }
 
 // WriteAt writes at an absolute offset without moving the handle's offset.
-// Unsupported on the plain process strategy.
+// Concurrent WriteAt calls proceed in parallel. Unsupported on the plain
+// process strategy.
 func (h *Handle) WriteAt(p []byte, off int64) (int, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.closed {
-		return 0, wire.ErrClosed
+	if err := h.begin(); err != nil {
+		return 0, err
 	}
+	defer h.end()
 	if !h.strategy.SupportsPositioning() {
 		return 0, wire.ErrUnsupported
 	}
@@ -152,14 +217,15 @@ func (h *Handle) WriteAt(p []byte, off int64) (int, error) {
 // Seek repositions the handle offset. On the plain process strategy it is
 // dropped with wire.ErrUnsupported, matching §4.1.
 func (h *Handle) Seek(offset int64, whence int) (int64, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.closed {
-		return 0, wire.ErrClosed
+	if err := h.begin(); err != nil {
+		return 0, err
 	}
+	defer h.end()
 	if !h.strategy.SupportsPositioning() {
 		return 0, wire.ErrUnsupported
 	}
+	h.offMu.Lock()
+	defer h.offMu.Unlock()
 	var base int64
 	switch whence {
 	case io.SeekStart:
@@ -175,6 +241,9 @@ func (h *Handle) Seek(offset int64, whence int) (int64, error) {
 	default:
 		return 0, errors.New("core: invalid seek whence")
 	}
+	if offset > 0 && base > math.MaxInt64-offset {
+		return 0, errors.New("core: seek position overflows int64")
+	}
 	target := base + offset
 	if target < 0 {
 		return 0, errors.New("core: negative seek position")
@@ -186,11 +255,10 @@ func (h *Handle) Seek(offset int64, whence int) (int64, error) {
 // Size returns the session content length (GetFileSize). Unsupported on the
 // plain process strategy.
 func (h *Handle) Size() (int64, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.closed {
-		return 0, wire.ErrClosed
+	if err := h.begin(); err != nil {
+		return 0, err
 	}
+	defer h.end()
 	if !h.strategy.SupportsPositioning() {
 		return 0, wire.ErrUnsupported
 	}
@@ -200,11 +268,10 @@ func (h *Handle) Size() (int64, error) {
 // Truncate sets the content length. Unsupported on the plain process
 // strategy.
 func (h *Handle) Truncate(n int64) error {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.closed {
-		return wire.ErrClosed
+	if err := h.begin(); err != nil {
+		return err
 	}
+	defer h.end()
 	if !h.strategy.SupportsPositioning() {
 		return wire.ErrUnsupported
 	}
@@ -213,11 +280,10 @@ func (h *Handle) Truncate(n int64) error {
 
 // Sync flushes sentinel state (caches, deferred writes, remote propagation).
 func (h *Handle) Sync() error {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.closed {
-		return wire.ErrClosed
+	if err := h.begin(); err != nil {
+		return err
 	}
+	defer h.end()
 	if !h.strategy.SupportsPositioning() {
 		return wire.ErrUnsupported
 	}
@@ -226,11 +292,10 @@ func (h *Handle) Sync() error {
 
 // Lock acquires a byte-range lock [off, off+n) if the program supports it.
 func (h *Handle) Lock(off, n int64) error {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.closed {
-		return wire.ErrClosed
+	if err := h.begin(); err != nil {
+		return err
 	}
+	defer h.end()
 	if !h.strategy.SupportsPositioning() {
 		return wire.ErrUnsupported
 	}
@@ -239,11 +304,10 @@ func (h *Handle) Lock(off, n int64) error {
 
 // Unlock releases a byte-range lock.
 func (h *Handle) Unlock(off, n int64) error {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.closed {
-		return wire.ErrClosed
+	if err := h.begin(); err != nil {
+		return err
 	}
+	defer h.end()
 	if !h.strategy.SupportsPositioning() {
 		return wire.ErrUnsupported
 	}
@@ -252,11 +316,10 @@ func (h *Handle) Unlock(off, n int64) error {
 
 // Control sends a program-specific out-of-band command.
 func (h *Handle) Control(req []byte) ([]byte, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.closed {
-		return nil, wire.ErrClosed
+	if err := h.begin(); err != nil {
+		return nil, err
 	}
+	defer h.end()
 	if !h.strategy.SupportsPositioning() {
 		return nil, wire.ErrUnsupported
 	}
@@ -265,10 +328,11 @@ func (h *Handle) Control(req []byte) ([]byte, error) {
 
 // Close ends the session, terminating the sentinel ("the sentinel process is
 // ... terminated when a user process ... closes the active file", §2.2).
+// Close waits for in-flight operations to retire, then closes the transport.
 // Close is idempotent.
 func (h *Handle) Close() error {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.closeMu.Lock()
+	defer h.closeMu.Unlock()
 	if h.closed {
 		return nil
 	}

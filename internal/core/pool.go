@@ -1,0 +1,45 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// pooledBufSize is the size of recycled read buffers. One pooled buffer
+// serves any read up to 64 KiB — far beyond the paper's 2 KiB top block
+// size — while keeping an idle session's footprint bounded, unlike the old
+// grow-only dispatcher buffer that crept up to the largest read ever seen.
+const pooledBufSize = 64 * 1024
+
+// readBufPool recycles read buffers across concurrent dispatches and
+// sessions. Pointers avoid an allocation per Put.
+var readBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, pooledBufSize)
+		return &b
+	},
+}
+
+// getReadBuf returns a zeroable buffer of length n (n ≤ wire.MaxPayload) and
+// the release function that recycles it. Requests beyond the pooled size are
+// served by a one-shot allocation whose release is a no-op, so pooled
+// buffers never exceed pooledBufSize (and, a fortiori, wire.MaxPayload):
+// oversized buffers are dropped on return instead of parked in the pool.
+func getReadBuf(n int) ([]byte, func()) {
+	if n <= pooledBufSize {
+		bp := readBufPool.Get().(*[]byte)
+		return (*bp)[:n], func() { putReadBuf(bp) }
+	}
+	return make([]byte, n), func() {}
+}
+
+// putReadBuf recycles a pooled buffer, dropping any that grew past the
+// payload bound (defensive — getReadBuf never hands those out).
+func putReadBuf(bp *[]byte) {
+	if cap(*bp) > wire.MaxPayload {
+		return
+	}
+	*bp = (*bp)[:cap(*bp)]
+	readBufPool.Put(bp)
+}

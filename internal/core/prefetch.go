@@ -3,14 +3,19 @@ package core
 import (
 	"errors"
 	"io"
+	"sync"
 
 	"repro/internal/wire"
 )
 
 // prefetchState is the procctl sentinel's one-block read-ahead buffer. A nil
 // *prefetchState disables read-ahead: every method is a safe no-op, so the
-// serving loop needs no conditionals.
+// serving loop needs no conditionals. The state is safe for concurrent use
+// by the serving workers; serve transfers ownership of the prefetched block
+// to the caller, so a concurrent fill can never scribble over a block that
+// is being shipped.
 type prefetchState struct {
+	mu    sync.Mutex
 	off   int64
 	data  []byte
 	eof   bool
@@ -19,9 +24,14 @@ type prefetchState struct {
 
 // serve answers req from the prefetched block when it covers the request
 // exactly (the sequential pattern read-ahead targets). It reports whether
-// resp was filled.
+// resp was filled; on a hit, resp.Data owns the block outright.
 func (p *prefetchState) serve(req *wire.Request, resp *wire.Response) bool {
-	if p == nil || !p.valid || req.Off != p.off || int(req.N) < len(p.data) {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.valid || req.Off != p.off || int(req.N) < len(p.data) {
 		return false
 	}
 	// Either a full block, or the short block at EOF.
@@ -35,32 +45,39 @@ func (p *prefetchState) serve(req *wire.Request, resp *wire.Response) bool {
 	if p.eof {
 		resp.Status = wire.StatusEOF
 	}
-	p.valid = false // single use; fill replenishes it
+	// Ownership moves to the response; the next fill allocates afresh.
+	p.data = nil
+	p.valid = false
 	return true
 }
 
-// fill prefetches n bytes at off for the anticipated next read.
-func (p *prefetchState) fill(handler Handler, off int64, n int) {
+// fill prefetches n bytes at off for the anticipated next read, reading
+// through the dispatcher so it never races the handler's other callers.
+func (p *prefetchState) fill(d *dispatcher, off int64, n int) {
 	if p == nil || n <= 0 || n > wire.MaxPayload {
 		return
 	}
-	if cap(p.data) < n {
-		p.data = make([]byte, n)
-	}
-	rn, err := handler.ReadAt(p.data[:n], off)
+	buf := make([]byte, n)
+	rn, err := d.readAt(buf, off)
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if err != nil && !errors.Is(err, io.EOF) {
 		p.valid = false
 		return
 	}
 	p.off = off
-	p.data = p.data[:rn]
+	p.data = buf[:rn]
 	p.eof = errors.Is(err, io.EOF)
 	p.valid = true
 }
 
 // invalidate discards the prefetched block (after writes or truncation).
 func (p *prefetchState) invalidate() {
-	if p != nil {
-		p.valid = false
+	if p == nil {
+		return
 	}
+	p.mu.Lock()
+	p.data = nil
+	p.valid = false
+	p.mu.Unlock()
 }

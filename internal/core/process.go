@@ -129,13 +129,14 @@ func (t *processTransport) close() error {
 // (§4.2): requests travel as commands on the control pipe; read results
 // return as frames on the read pipe; write payloads stream down the write
 // pipe without waiting for completion, exactly the asymmetry Figure 6
-// measures ("writes are issued without waiting for their completion").
+// measures ("writes are issued without waiting for their completion"). The
+// pipe pair is driven through an ipc.Mux, so any number of goroutines keep
+// exchanges in flight concurrently, correlated by Seq rather than lockstep
+// ordering.
 type procCtlTransport struct {
-	cmd  *exec.Cmd
-	cf   *ipc.ChannelFiles
-	ctrl *wire.Writer
-	resp *wire.Reader
-	seq  uint32
+	cmd *exec.Cmd
+	cf  *ipc.ChannelFiles
+	mux *ipc.Mux
 }
 
 var _ transport = (*procCtlTransport)(nil)
@@ -146,28 +147,10 @@ func newProcCtlTransport(manifestPath string, m vfs.Manifest) (*procCtlTransport
 		return nil, err
 	}
 	return &procCtlTransport{
-		cmd:  cmd,
-		cf:   cf,
-		ctrl: wire.NewWriter(cf.CtrlToChild),
-		resp: wire.NewReader(cf.FromChild),
+		cmd: cmd,
+		cf:  cf,
+		mux: ipc.NewMux(cf.CtrlToChild, cf.FromChild, cf.ToChild),
 	}, nil
-}
-
-// roundTrip sends a command and waits for its response frame.
-func (t *procCtlTransport) roundTrip(req *wire.Request) (wire.Response, error) {
-	t.seq++
-	req.Seq = t.seq
-	if err := t.ctrl.WriteRequest(req); err != nil {
-		return wire.Response{}, fmt.Errorf("send %s command: %w", req.Op, err)
-	}
-	resp, err := t.resp.ReadResponse()
-	if err != nil {
-		return wire.Response{}, fmt.Errorf("read %s response: %w", req.Op, err)
-	}
-	if resp.Seq != req.Seq {
-		return wire.Response{}, fmt.Errorf("response sequence %d for command %d", resp.Seq, req.Seq)
-	}
-	return resp, nil
 }
 
 func (t *procCtlTransport) readAt(p []byte, off int64) (int, error) {
@@ -177,11 +160,15 @@ func (t *procCtlTransport) readAt(p []byte, off int64) (int, error) {
 		if chunk > wire.MaxPayload {
 			chunk = wire.MaxPayload
 		}
-		resp, err := t.roundTrip(&wire.Request{Op: wire.OpRead, Off: off + int64(total), N: int64(chunk)})
+		// The response payload lands straight in the caller's slice.
+		resp, err := t.mux.RoundTrip(
+			&wire.Request{Op: wire.OpRead, Off: off + int64(total), N: int64(chunk)},
+			p[total:total+chunk],
+		)
 		if err != nil {
 			return total, err
 		}
-		n := copy(p[total:], resp.Data)
+		n := len(resp.Data)
 		total += n
 		if werr := wire.ToError(wire.OpRead, resp.Status, resp.Msg); werr != nil {
 			return total, werr
@@ -201,14 +188,11 @@ func (t *procCtlTransport) writeAt(p []byte, off int64) (int, error) {
 			chunk = wire.MaxPayload
 		}
 		// "write N" on the control channel, then N bytes on the write pipe;
-		// no acknowledgement — failures surface on the next sync/close.
-		t.seq++
-		req := wire.Request{Op: wire.OpWrite, Seq: t.seq, Off: off + int64(total), N: int64(chunk)}
-		if err := t.ctrl.WriteRequest(&req); err != nil {
-			return total, fmt.Errorf("send write command: %w", err)
-		}
-		if _, err := t.cf.ToChild.Write(p[total : total+chunk]); err != nil {
-			return total, fmt.Errorf("stream write payload: %w", err)
+		// no acknowledgement — failures surface on the next sync/close. The
+		// mux keeps command and payload order aligned across goroutines.
+		req := wire.Request{Op: wire.OpWrite, Off: off + int64(total), N: int64(chunk)}
+		if err := t.mux.Post(&req, p[total:total+chunk]); err != nil {
+			return total, err
 		}
 		total += chunk
 	}
@@ -216,7 +200,7 @@ func (t *procCtlTransport) writeAt(p []byte, off int64) (int, error) {
 }
 
 func (t *procCtlTransport) size() (int64, error) {
-	resp, err := t.roundTrip(&wire.Request{Op: wire.OpSize})
+	resp, err := t.mux.RoundTrip(&wire.Request{Op: wire.OpSize}, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -224,7 +208,7 @@ func (t *procCtlTransport) size() (int64, error) {
 }
 
 func (t *procCtlTransport) truncate(n int64) error {
-	resp, err := t.roundTrip(&wire.Request{Op: wire.OpTruncate, Off: n})
+	resp, err := t.mux.RoundTrip(&wire.Request{Op: wire.OpTruncate, Off: n}, nil)
 	if err != nil {
 		return err
 	}
@@ -232,7 +216,7 @@ func (t *procCtlTransport) truncate(n int64) error {
 }
 
 func (t *procCtlTransport) sync() error {
-	resp, err := t.roundTrip(&wire.Request{Op: wire.OpSync})
+	resp, err := t.mux.RoundTrip(&wire.Request{Op: wire.OpSync}, nil)
 	if err != nil {
 		return err
 	}
@@ -240,7 +224,7 @@ func (t *procCtlTransport) sync() error {
 }
 
 func (t *procCtlTransport) lock(off, n int64) error {
-	resp, err := t.roundTrip(&wire.Request{Op: wire.OpLock, Off: off, N: n})
+	resp, err := t.mux.RoundTrip(&wire.Request{Op: wire.OpLock, Off: off, N: n}, nil)
 	if err != nil {
 		return err
 	}
@@ -248,7 +232,7 @@ func (t *procCtlTransport) lock(off, n int64) error {
 }
 
 func (t *procCtlTransport) unlock(off, n int64) error {
-	resp, err := t.roundTrip(&wire.Request{Op: wire.OpUnlock, Off: off, N: n})
+	resp, err := t.mux.RoundTrip(&wire.Request{Op: wire.OpUnlock, Off: off, N: n}, nil)
 	if err != nil {
 		return err
 	}
@@ -256,7 +240,7 @@ func (t *procCtlTransport) unlock(off, n int64) error {
 }
 
 func (t *procCtlTransport) control(req []byte) ([]byte, error) {
-	resp, err := t.roundTrip(&wire.Request{Op: wire.OpControl, Data: req})
+	resp, err := t.mux.RoundTrip(&wire.Request{Op: wire.OpControl, Data: req}, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -266,7 +250,8 @@ func (t *procCtlTransport) control(req []byte) ([]byte, error) {
 }
 
 func (t *procCtlTransport) close() error {
-	resp, rtErr := t.roundTrip(&wire.Request{Op: wire.OpClose})
+	resp, rtErr := t.mux.RoundTrip(&wire.Request{Op: wire.OpClose}, nil)
+	t.mux.Close()
 	t.cf.Close()
 	waitErr := waitChild(t.cmd)
 	switch {

@@ -17,8 +17,11 @@ import (
 // sentinel process", abstracted away from how operations reach it (pipes,
 // rendezvous, or direct calls — the engine supplies the transport).
 //
-// Handlers are invoked from a single dispatching goroutine per session and
-// need not be internally synchronized against their own methods.
+// By default handler calls are serialized by the engine, so handlers need
+// not be internally synchronized against their own methods. A handler whose
+// methods ARE safe for concurrent invocation can say so by implementing
+// ConcurrentHandler; the engine then lets independent session operations
+// reach it in parallel.
 type Handler interface {
 	// ReadAt fills p with session content at offset off.
 	ReadAt(p []byte, off int64) (int, error)
@@ -45,6 +48,18 @@ type Locker interface {
 // program-specific out-of-band commands.
 type Controller interface {
 	Control(req []byte) ([]byte, error)
+}
+
+// ConcurrentHandler is optionally implemented by handlers whose methods are
+// safe for concurrent invocation (internally synchronized, or delegating to
+// stores that are). Declaring it lifts the engine's per-session
+// serialization, so operations that block — a remote source round trip, a
+// disk read — overlap instead of queueing. Close is still exclusive: the
+// engine quiesces in-flight calls before closing the handler.
+type ConcurrentHandler interface {
+	// ConcurrentSafe reports whether this handler instance tolerates
+	// concurrent method calls. It is consulted once, when the session opens.
+	ConcurrentSafe() bool
 }
 
 // Program is a sentinel program — the active part of an active file. One

@@ -2,66 +2,97 @@ package core
 
 import (
 	"errors"
+	"sync"
 
 	"repro/internal/ipc"
 	"repro/internal/wire"
 )
 
+// threadWorkers is the size of the sentinel worker pool serving one
+// DLL-with-thread session. Handler calls serialize inside the dispatcher
+// regardless, so workers buy pipelining — while one operation executes, the
+// rendezvous handoffs, reply delivery, and result copies of the others
+// overlap — not unsynchronized program access.
+const threadWorkers = 8
+
+// threadReply carries a dispatch result back across the rendezvous: the
+// response plus the release that returns its pooled read buffer. The caller
+// must invoke release after consuming resp.Data.
+type threadReply struct {
+	resp    wire.Response
+	release func()
+}
+
 // threadTransport implements the DLL-with-thread strategy (§4.3): the
-// sentinel runs as a goroutine inside the application process and each file
-// operation is a synchronous rendezvous with it — the analogue of the
-// paper's shared-memory buffers with event signalling ("the application
+// sentinel runs as goroutines inside the application process and each file
+// operation is a synchronous rendezvous with one of them — the analogue of
+// the paper's shared-memory buffers with event signalling ("the application
 // simply switches over to the sentinel thread ... without requiring costly
-// interactions across process boundaries").
+// interactions across process boundaries"). Unlike the original
+// one-goroutine loop, a small worker pool drains the rendezvous, so
+// independent operations pipeline: any number of application goroutines may
+// rendezvous concurrently, correlated by Seq.
 type threadTransport struct {
-	rv   *ipc.Rendezvous[*wire.Request, wire.Response]
-	seq  uint32
-	done chan struct{} // closed when the sentinel goroutine exits
+	rv  *ipc.Rendezvous[*wire.Request, threadReply]
+	d   *dispatcher
+	seq wire.SeqCounter
+	wg  sync.WaitGroup // sentinel workers
 }
 
 var _ transport = (*threadTransport)(nil)
 
-// newThreadTransport starts the sentinel goroutine over handler and returns
-// the connected transport. The goroutine exits when the transport closes.
+// newThreadTransport starts the sentinel worker pool over handler and
+// returns the connected transport. The workers exit when the transport
+// closes.
 func newThreadTransport(handler Handler) *threadTransport {
 	t := &threadTransport{
-		rv:   ipc.NewRendezvous[*wire.Request, wire.Response](),
-		done: make(chan struct{}),
+		rv: ipc.NewRendezvous[*wire.Request, threadReply](),
+		d:  newDispatcher(handler),
 	}
-	go t.sentinelMain(handler)
+	t.wg.Add(threadWorkers)
+	for i := 0; i < threadWorkers; i++ {
+		go t.sentinelMain()
+	}
+	go t.reap()
 	return t
 }
 
-// sentinelMain is the SentinelThrdMain dispatch loop: block on the
-// rendezvous for control messages, perform the operation, reply.
-func (t *threadTransport) sentinelMain(handler Handler) {
-	defer close(t.done)
-	d := newDispatcher(handler)
+// sentinelMain is the SentinelThrdMain dispatch loop, now one of several:
+// block on the rendezvous for control messages, perform the operation
+// through the shared concurrency-safe dispatcher, reply.
+func (t *threadTransport) sentinelMain() {
+	defer t.wg.Done()
 	for {
 		req, reply, err := t.rv.Next()
 		if err != nil {
-			// Transport closed without an explicit OpClose (application
-			// abandoned the handle); release program resources.
-			handler.Close()
 			return
 		}
-		resp := d.dispatch(req)
-		reply(resp)
+		resp, release := t.d.dispatch(req)
+		reply(threadReply{resp: resp, release: release})
 		if req.Op == wire.OpClose {
+			t.rv.Close() // wake the remaining workers
 			return
 		}
 	}
 }
 
-// call performs one synchronous exchange with the sentinel goroutine.
-func (t *threadTransport) call(req *wire.Request) (wire.Response, error) {
-	t.seq++
-	req.Seq = t.seq
-	resp, err := t.rv.Call(req)
+// reap joins the worker pool and releases program resources if the session
+// was abandoned (transport closed without an explicit OpClose). The
+// dispatcher's once-guard makes this a no-op after a served OpClose.
+func (t *threadTransport) reap() {
+	t.wg.Wait()
+	t.d.closeHandler()
+}
+
+// call performs one synchronous exchange with a sentinel worker. The
+// returned release must be invoked after resp.Data has been consumed.
+func (t *threadTransport) call(req *wire.Request) (wire.Response, func(), error) {
+	req.Seq = t.seq.Next()
+	r, err := t.rv.Call(req)
 	if err != nil {
-		return wire.Response{}, wire.ErrClosed
+		return wire.Response{}, nil, wire.ErrClosed
 	}
-	return resp, nil
+	return r.resp, r.release, nil
 }
 
 func (t *threadTransport) readAt(p []byte, off int64) (int, error) {
@@ -71,11 +102,12 @@ func (t *threadTransport) readAt(p []byte, off int64) (int, error) {
 		if chunk > wire.MaxPayload {
 			chunk = wire.MaxPayload
 		}
-		resp, err := t.call(&wire.Request{Op: wire.OpRead, Off: off + int64(total), N: int64(chunk)})
+		resp, release, err := t.call(&wire.Request{Op: wire.OpRead, Off: off + int64(total), N: int64(chunk)})
 		if err != nil {
 			return total, err
 		}
 		n := copy(p[total:], resp.Data)
+		release()
 		total += n
 		if werr := wire.ToError(wire.OpRead, resp.Status, resp.Msg); werr != nil {
 			return total, werr
@@ -94,10 +126,11 @@ func (t *threadTransport) writeAt(p []byte, off int64) (int, error) {
 		if chunk > wire.MaxPayload {
 			chunk = wire.MaxPayload
 		}
-		resp, err := t.call(&wire.Request{Op: wire.OpWrite, Off: off + int64(total), Data: p[total : total+chunk]})
+		resp, release, err := t.call(&wire.Request{Op: wire.OpWrite, Off: off + int64(total), Data: p[total : total+chunk]})
 		if err != nil {
 			return total, err
 		}
+		release()
 		total += int(resp.N)
 		if werr := wire.ToError(wire.OpWrite, resp.Status, resp.Msg); werr != nil {
 			return total, werr
@@ -110,64 +143,71 @@ func (t *threadTransport) writeAt(p []byte, off int64) (int, error) {
 }
 
 func (t *threadTransport) size() (int64, error) {
-	resp, err := t.call(&wire.Request{Op: wire.OpSize})
+	resp, release, err := t.call(&wire.Request{Op: wire.OpSize})
 	if err != nil {
 		return 0, err
 	}
+	release()
 	return resp.N, wire.ToError(wire.OpSize, resp.Status, resp.Msg)
 }
 
 func (t *threadTransport) truncate(n int64) error {
-	resp, err := t.call(&wire.Request{Op: wire.OpTruncate, Off: n})
+	resp, release, err := t.call(&wire.Request{Op: wire.OpTruncate, Off: n})
 	if err != nil {
 		return err
 	}
+	release()
 	return wire.ToError(wire.OpTruncate, resp.Status, resp.Msg)
 }
 
 func (t *threadTransport) sync() error {
-	resp, err := t.call(&wire.Request{Op: wire.OpSync})
+	resp, release, err := t.call(&wire.Request{Op: wire.OpSync})
 	if err != nil {
 		return err
 	}
+	release()
 	return wire.ToError(wire.OpSync, resp.Status, resp.Msg)
 }
 
 func (t *threadTransport) lock(off, n int64) error {
-	resp, err := t.call(&wire.Request{Op: wire.OpLock, Off: off, N: n})
+	resp, release, err := t.call(&wire.Request{Op: wire.OpLock, Off: off, N: n})
 	if err != nil {
 		return err
 	}
+	release()
 	return wire.ToError(wire.OpLock, resp.Status, resp.Msg)
 }
 
 func (t *threadTransport) unlock(off, n int64) error {
-	resp, err := t.call(&wire.Request{Op: wire.OpUnlock, Off: off, N: n})
+	resp, release, err := t.call(&wire.Request{Op: wire.OpUnlock, Off: off, N: n})
 	if err != nil {
 		return err
 	}
+	release()
 	return wire.ToError(wire.OpUnlock, resp.Status, resp.Msg)
 }
 
 func (t *threadTransport) control(req []byte) ([]byte, error) {
-	resp, err := t.call(&wire.Request{Op: wire.OpControl, Data: req})
+	resp, release, err := t.call(&wire.Request{Op: wire.OpControl, Data: req})
 	if err != nil {
 		return nil, err
 	}
 	out := make([]byte, len(resp.Data))
 	copy(out, resp.Data)
+	release()
 	return out, wire.ToError(wire.OpControl, resp.Status, resp.Msg)
 }
 
 func (t *threadTransport) close() error {
-	resp, callErr := t.call(&wire.Request{Op: wire.OpClose})
+	resp, release, callErr := t.call(&wire.Request{Op: wire.OpClose})
 	t.rv.Close()
-	<-t.done // wait for the sentinel goroutine to exit
+	t.wg.Wait() // join every sentinel worker before returning
 	if callErr != nil {
 		if errors.Is(callErr, wire.ErrClosed) {
 			return nil // already shut down
 		}
 		return callErr
 	}
+	release()
 	return wire.ToError(wire.OpClose, resp.Status, resp.Msg)
 }

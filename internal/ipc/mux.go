@@ -1,0 +1,180 @@
+package ipc
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// ErrMuxClosed reports an exchange attempted on (or interrupted by) a closed
+// Mux.
+var ErrMuxClosed = errors.New("ipc: mux closed")
+
+// muxResult is what a waiter receives: the matched response or the terminal
+// channel error.
+type muxResult struct {
+	resp wire.Response
+	err  error
+}
+
+// muxPending is one in-flight exchange, keyed by its request's Seq.
+type muxPending struct {
+	dst []byte // optional destination for the response payload
+	ch  chan muxResult
+}
+
+// Mux multiplexes concurrent request/response exchanges over one ordered
+// command channel and one ordered response channel — the procctl pipe pair.
+// Any number of goroutines may have exchanges in flight at once; each
+// request is tagged with a fresh Seq, and a single receive loop routes every
+// response (in whatever order the peer produced it) to the matching waiter.
+// This replaces strict request/response lockstep: the channel pair carries a
+// pipeline, and wire.Request.Seq is the correlation key.
+type Mux struct {
+	sendMu sync.Mutex // serializes command frames (and Post payloads) onto the channel
+	ctrl   *wire.Writer
+	data   io.Writer // side channel for Post payloads; may be nil
+
+	seq wire.SeqCounter
+
+	mu      sync.Mutex
+	pending map[uint32]muxPending
+	err     error // terminal failure; set once, fails all current and future exchanges
+}
+
+// NewMux returns a mux sending command frames on ctrl, matching response
+// frames read from resp, and (optionally, for Post) streaming payloads on
+// data. The receive loop runs until resp errors or the mux is closed.
+func NewMux(ctrl io.Writer, resp io.Reader, data io.Writer) *Mux {
+	m := &Mux{
+		ctrl:    wire.NewWriter(ctrl),
+		data:    data,
+		pending: make(map[uint32]muxPending),
+	}
+	go m.receive(wire.NewReader(resp))
+	return m
+}
+
+// receive routes response frames to waiters by Seq until the channel fails.
+func (m *Mux) receive(r *wire.Reader) {
+	for {
+		resp, err := r.ReadResponse()
+		if err != nil {
+			m.fail(err)
+			return
+		}
+		m.mu.Lock()
+		p, ok := m.pending[resp.Seq]
+		delete(m.pending, resp.Seq)
+		m.mu.Unlock()
+		if !ok {
+			// Response for an abandoned exchange; drop it.
+			continue
+		}
+		// The reader's buffer is reused for the next frame, so the payload
+		// must move out before delivery: into the waiter's destination when
+		// it fits, else into a fresh allocation.
+		if len(resp.Data) > 0 {
+			if p.dst != nil && len(p.dst) >= len(resp.Data) {
+				n := copy(p.dst, resp.Data)
+				resp.Data = p.dst[:n]
+			} else {
+				resp.Data = append([]byte(nil), resp.Data...)
+			}
+		} else {
+			resp.Data = nil
+		}
+		p.ch <- muxResult{resp: resp}
+	}
+}
+
+// fail records the first terminal error and releases every waiter with it.
+func (m *Mux) fail(err error) {
+	m.mu.Lock()
+	if m.err == nil {
+		m.err = err
+	}
+	err = m.err
+	for seq, p := range m.pending {
+		delete(m.pending, seq)
+		p.ch <- muxResult{err: err}
+	}
+	m.mu.Unlock()
+}
+
+// RoundTrip assigns req a fresh Seq, sends it, and blocks until the matching
+// response arrives — however many other exchanges are in flight and in
+// whatever order the peer answers. When dst is non-nil and large enough, the
+// response payload lands in dst (the returned Response's Data aliases it);
+// otherwise a fresh buffer is allocated.
+func (m *Mux) RoundTrip(req *wire.Request, dst []byte) (wire.Response, error) {
+	req.Seq = m.seq.Next()
+	p := muxPending{dst: dst, ch: make(chan muxResult, 1)}
+
+	m.mu.Lock()
+	if m.err != nil {
+		m.mu.Unlock()
+		return wire.Response{}, fmt.Errorf("%s exchange: %w", req.Op, m.err)
+	}
+	m.pending[req.Seq] = p
+	m.mu.Unlock()
+
+	m.sendMu.Lock()
+	err := m.ctrl.WriteRequest(req)
+	m.sendMu.Unlock()
+	if err != nil {
+		m.mu.Lock()
+		delete(m.pending, req.Seq)
+		m.mu.Unlock()
+		return wire.Response{}, fmt.Errorf("send %s command: %w", req.Op, err)
+	}
+
+	res := <-p.ch
+	if res.err != nil {
+		return wire.Response{}, fmt.Errorf("read %s response: %w", req.Op, res.err)
+	}
+	return res.resp, nil
+}
+
+// Post sends req without waiting for any response — the procctl write path,
+// where "writes are issued without waiting for their completion". When
+// payload is non-empty it is streamed on the data channel atomically with
+// the command frame, so the payload order on the data channel always matches
+// the command order on the control channel, no matter how many goroutines
+// post concurrently.
+func (m *Mux) Post(req *wire.Request, payload []byte) error {
+	req.Seq = m.seq.Next()
+
+	m.mu.Lock()
+	err := m.err
+	m.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("%s exchange: %w", req.Op, err)
+	}
+
+	m.sendMu.Lock()
+	defer m.sendMu.Unlock()
+	if err := m.ctrl.WriteRequest(req); err != nil {
+		return fmt.Errorf("send %s command: %w", req.Op, err)
+	}
+	if len(payload) > 0 {
+		if m.data == nil {
+			return fmt.Errorf("send %s payload: no data channel", req.Op)
+		}
+		if _, err := m.data.Write(payload); err != nil {
+			return fmt.Errorf("stream %s payload: %w", req.Op, err)
+		}
+	}
+	return nil
+}
+
+// Close fails every pending and future exchange with ErrMuxClosed. It does
+// not close the underlying channels — their owner does, which also unblocks
+// the receive loop. Close is idempotent; an earlier terminal error wins.
+func (m *Mux) Close() error {
+	m.fail(ErrMuxClosed)
+	return nil
+}

@@ -1,0 +1,283 @@
+package ipc
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// muxHarness wires a Mux to an in-process server over Pipes, mirroring the
+// procctl layout: ctrl carries commands, resp carries responses, data
+// carries unacknowledged write payloads.
+type muxHarness struct {
+	mux *Mux
+
+	ctrl *Pipe // client writes commands, server reads
+	resp *Pipe // server writes responses, client (mux) reads
+	data *Pipe // client streams payloads, server reads
+}
+
+func newMuxHarness() *muxHarness {
+	h := &muxHarness{
+		ctrl: NewPipe(1 << 16),
+		resp: NewPipe(1 << 16),
+		data: NewPipe(1 << 16),
+	}
+	h.mux = NewMux(h.ctrl, h.resp, h.data)
+	return h
+}
+
+func (h *muxHarness) close() {
+	h.ctrl.CloseWrite()
+	h.resp.CloseWrite()
+	h.data.CloseWrite()
+}
+
+func TestMuxMatchesOutOfOrderResponses(t *testing.T) {
+	h := newMuxHarness()
+	defer h.close()
+
+	// Server: read two requests, answer them in reverse order, echoing the
+	// request offset so each waiter can verify it got its own response.
+	serverDone := make(chan error, 1)
+	go func() {
+		reqs := wire.NewReader(h.ctrl)
+		resps := wire.NewWriter(h.resp)
+		var got []wire.Request
+		for i := 0; i < 2; i++ {
+			r, err := reqs.ReadRequest()
+			if err != nil {
+				serverDone <- err
+				return
+			}
+			got = append(got, r)
+		}
+		for i := len(got) - 1; i >= 0; i-- {
+			r := got[i]
+			if err := resps.WriteResponse(&wire.Response{
+				Status: wire.StatusOK, Seq: r.Seq, N: r.Off,
+			}); err != nil {
+				serverDone <- err
+				return
+			}
+		}
+		serverDone <- nil
+	}()
+
+	var wg sync.WaitGroup
+	results := make([]wire.Response, 2)
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = h.mux.RoundTrip(&wire.Request{
+				Op: wire.OpRead, Off: int64(100 + i), N: 1,
+			}, nil)
+		}()
+	}
+	wg.Wait()
+	if err := <-serverDone; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if errs[i] != nil {
+			t.Fatalf("round trip %d: %v", i, errs[i])
+		}
+		if results[i].N != int64(100+i) {
+			t.Errorf("round trip %d got response N=%d, want %d (misrouted)", i, results[i].N, 100+i)
+		}
+	}
+}
+
+// echoServer answers every read request with its offset encoded into the
+// payload, exercising payload routing under heavy interleaving.
+func echoServer(t *testing.T, ctrl io.Reader, resp io.Writer, ops int) chan error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() {
+		reqs := wire.NewReader(ctrl)
+		resps := wire.NewWriter(resp)
+		for i := 0; i < ops; i++ {
+			r, err := reqs.ReadRequest()
+			if err != nil {
+				done <- err
+				return
+			}
+			payload := make([]byte, 8)
+			binary.BigEndian.PutUint64(payload, uint64(r.Off))
+			if err := resps.WriteResponse(&wire.Response{
+				Status: wire.StatusOK, Seq: r.Seq, N: 8, Data: payload,
+			}); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	return done
+}
+
+func TestMuxConcurrentRoundTrips(t *testing.T) {
+	const (
+		goroutines = 16
+		perG       = 50
+	)
+	h := newMuxHarness()
+	defer h.close()
+	serverDone := echoServer(t, h.ctrl, h.resp, goroutines*perG)
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dst := make([]byte, 8)
+			for i := 0; i < perG; i++ {
+				off := int64(g*perG + i)
+				resp, err := h.mux.RoundTrip(&wire.Request{Op: wire.OpRead, Off: off, N: 8}, dst)
+				if err != nil {
+					t.Errorf("round trip: %v", err)
+					return
+				}
+				if len(resp.Data) != 8 {
+					t.Errorf("payload %d bytes, want 8", len(resp.Data))
+					return
+				}
+				if &resp.Data[0] != &dst[0] {
+					t.Error("payload not delivered into caller's destination buffer")
+					return
+				}
+				if got := int64(binary.BigEndian.Uint64(resp.Data)); got != off {
+					t.Errorf("payload says offset %d, want %d (cross-delivered)", got, off)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := <-serverDone; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+}
+
+func TestMuxPostKeepsPayloadOrder(t *testing.T) {
+	const posts = 64
+	h := newMuxHarness()
+	defer h.close()
+
+	// Concurrent posters: each command's N encodes its payload byte, so the
+	// server can verify that the k-th payload on the data channel belongs to
+	// the k-th command on the control channel.
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < posts/8; i++ {
+				b := byte(g*8 + i)
+				err := h.mux.Post(&wire.Request{Op: wire.OpWrite, N: 1, Off: int64(b)}, []byte{b})
+				if err != nil {
+					t.Errorf("post: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	reqs := wire.NewReader(h.ctrl)
+	one := make([]byte, 1)
+	for i := 0; i < posts; i++ {
+		r, err := reqs.ReadRequest()
+		if err != nil {
+			t.Fatalf("read command %d: %v", i, err)
+		}
+		if _, err := io.ReadFull(h.data, one); err != nil {
+			t.Fatalf("read payload %d: %v", i, err)
+		}
+		if int64(one[0]) != r.Off {
+			t.Fatalf("payload %d carries %d, command says %d: order broken", i, one[0], r.Off)
+		}
+	}
+}
+
+func TestMuxChannelFailureReleasesWaiters(t *testing.T) {
+	h := newMuxHarness()
+
+	started := make(chan struct{})
+	errCh := make(chan error, 1)
+	go func() {
+		close(started)
+		_, err := h.mux.RoundTrip(&wire.Request{Op: wire.OpSize}, nil)
+		errCh <- err
+	}()
+	<-started
+	// Drain the command so the exchange is truly in flight, then kill the
+	// response channel.
+	if _, err := wire.NewReader(h.ctrl).ReadRequest(); err != nil {
+		t.Fatal(err)
+	}
+	h.resp.CloseWrite()
+
+	if err := <-errCh; err == nil || !errors.Is(err, io.EOF) {
+		t.Errorf("waiter error = %v, want io.EOF", err)
+	}
+	// Future exchanges fail fast with the recorded error.
+	if _, err := h.mux.RoundTrip(&wire.Request{Op: wire.OpSize}, nil); err == nil {
+		t.Error("round trip after channel failure succeeded")
+	}
+	if err := h.mux.Post(&wire.Request{Op: wire.OpWrite}, nil); err == nil {
+		t.Error("post after channel failure succeeded")
+	}
+}
+
+func TestMuxCloseReleasesWaiters(t *testing.T) {
+	h := newMuxHarness()
+	defer h.close()
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := h.mux.RoundTrip(&wire.Request{Op: wire.OpSync}, nil)
+		errCh <- err
+	}()
+	// Wait until the exchange is registered and sent.
+	if _, err := wire.NewReader(h.ctrl).ReadRequest(); err != nil {
+		t.Fatal(err)
+	}
+	h.mux.Close()
+	if err := <-errCh; !errors.Is(err, ErrMuxClosed) {
+		t.Errorf("waiter error = %v, want ErrMuxClosed", err)
+	}
+	if _, err := h.mux.RoundTrip(&wire.Request{Op: wire.OpSync}, nil); !errors.Is(err, ErrMuxClosed) {
+		t.Errorf("post-close round trip error = %v, want ErrMuxClosed", err)
+	}
+}
+
+func TestMuxAllocatesWhenDestinationTooSmall(t *testing.T) {
+	h := newMuxHarness()
+	defer h.close()
+	serverDone := echoServer(t, h.ctrl, h.resp, 1)
+
+	dst := make([]byte, 4) // smaller than the 8-byte payload
+	resp, err := h.mux.RoundTrip(&wire.Request{Op: wire.OpRead, Off: 7, N: 8}, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Data) != 8 {
+		t.Fatalf("payload %d bytes, want 8", len(resp.Data))
+	}
+	if got := binary.BigEndian.Uint64(resp.Data); got != 7 {
+		t.Errorf("payload = %d, want 7", got)
+	}
+	if err := <-serverDone; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+}

@@ -32,3 +32,11 @@ type backendHandler struct {
 }
 
 var _ core.Handler = backendHandler{}
+var _ core.ConcurrentHandler = backendHandler{}
+
+// ConcurrentSafe implements core.ConcurrentHandler: every cache.Backend
+// (passthrough, local/disk, memory) synchronizes internally, as do the
+// remote sources beneath them, so the engine may overlap this handler's
+// calls — which is what lets concurrent session operations overlap remote
+// round trips instead of queueing on one.
+func (backendHandler) ConcurrentSafe() bool { return true }

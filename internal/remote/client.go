@@ -3,20 +3,21 @@ package remote
 import (
 	"fmt"
 	"net"
-	"sync"
+	"sync/atomic"
 
+	"repro/internal/ipc"
 	"repro/internal/wire"
 )
 
 // Client is a Source backed by one object on a FileServer, reached over TCP.
-// It is safe for concurrent use; requests are serialized on the connection.
+// It is safe for concurrent use, and concurrent requests PIPELINE on the
+// connection: each is tagged with a fresh Seq by an ipc.Mux and responses are
+// matched as they arrive, so many exchanges share one round trip's wire time
+// instead of queueing for a serialized connection.
 type Client struct {
-	mu     sync.Mutex
 	conn   net.Conn
-	r      *wire.Reader
-	w      *wire.Writer
-	seq    uint32
-	closed bool
+	mux    *ipc.Mux
+	closed atomic.Bool
 }
 
 var _ Source = (*Client)(nil)
@@ -29,39 +30,32 @@ func Dial(addr, name string) (*Client, error) {
 	}
 	c := &Client{
 		conn: conn,
-		r:    wire.NewReader(conn),
-		w:    wire.NewWriter(conn),
+		mux:  ipc.NewMux(conn, conn, nil),
 	}
 	if _, _, err := c.call(&wire.Request{Op: wire.OpOpen, Data: []byte(name)}, nil); err != nil {
+		c.mux.Close()
 		conn.Close()
 		return nil, fmt.Errorf("open remote object %q: %w", name, err)
 	}
 	return c, nil
 }
 
-// call performs one request/response exchange. Any response payload is
-// copied into dst (which may be nil) before the client lock is released —
-// the response data in the read buffer is invalid once another caller's
-// exchange begins.
+// call performs one request/response exchange through the mux. Any response
+// payload lands in dst (which may be nil); copied reports how much.
 func (c *Client) call(req *wire.Request, dst []byte) (n int64, copied int, err error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
+	if c.closed.Load() {
 		return 0, 0, ErrSourceClosed
 	}
-	c.seq++
-	req.Seq = c.seq
-	if err := c.w.WriteRequest(req); err != nil {
-		return 0, 0, fmt.Errorf("send %s: %w", req.Op, err)
-	}
-	resp, err := c.r.ReadResponse()
+	resp, err := c.mux.RoundTrip(req, dst)
 	if err != nil {
-		return 0, 0, fmt.Errorf("receive %s reply: %w", req.Op, err)
+		if c.closed.Load() {
+			return 0, 0, ErrSourceClosed
+		}
+		return 0, 0, err
 	}
-	if resp.Seq != req.Seq {
-		return 0, 0, fmt.Errorf("reply sequence %d for request %d", resp.Seq, req.Seq)
+	if dst != nil {
+		copied = len(resp.Data)
 	}
-	copied = copy(dst, resp.Data)
 	if werr := wire.ToError(req.Op, resp.Status, resp.Msg); werr != nil {
 		return resp.N, copied, werr
 	}
@@ -122,16 +116,12 @@ func (c *Client) Truncate(n int64) error {
 
 // Close implements Source, notifying the server and dropping the connection.
 func (c *Client) Close() error {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+	if !c.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	c.closed = true
-	c.mu.Unlock()
-
-	// Best effort goodbye; the transport close is what matters.
-	c.seq++
-	c.w.WriteRequest(&wire.Request{Op: wire.OpClose, Seq: c.seq})
+	// Best effort goodbye; the transport close is what matters. Closing the
+	// connection also stops the mux's receive loop and fails any stragglers.
+	c.mux.Post(&wire.Request{Op: wire.OpClose}, nil)
+	c.mux.Close()
 	return c.conn.Close()
 }

@@ -146,13 +146,29 @@ func (s *FileServer) injectedDelayAndFault() error {
 	return err
 }
 
+// serveConn answers one connection's framed requests. Object operations are
+// handled CONCURRENTLY — each runs on its own goroutine and replies carry the
+// request's Seq, so a pipelining client (ipc.Mux) overlaps many round trips,
+// including any injected latency, on one connection. Responses share the
+// connection under a mutex and may arrive out of order; Seq correlates them.
+// OpOpen and OpClose change connection state, so the intake loop drains every
+// in-flight operation before handling those inline.
 func (s *FileServer) serveConn(conn net.Conn) {
 	defer conn.Close()
 	r := wire.NewReader(conn)
 	w := wire.NewWriter(conn)
 
+	var outMu sync.Mutex
+	respond := func(resp *wire.Response) {
+		outMu.Lock()
+		w.WriteResponse(resp) // a dead connection surfaces on the next read
+		outMu.Unlock()
+	}
+
 	// The connection binds a NAME; the object is resolved per operation so
 	// that replacements (Put) and other sessions' writes stay visible.
+	// objName/opened are written only by the intake loop, behind an
+	// inflight.Wait() barrier, so workers read them race-free.
 	var objName string
 	opened := false
 	lookup := func() *MemSource {
@@ -165,32 +181,18 @@ func (s *FileServer) serveConn(conn net.Conn) {
 		}
 		return o
 	}
-	buf := make([]byte, 0, 4096)
-	for {
-		req, err := r.ReadRequest()
-		if err != nil {
-			return // connection gone or garbage; nothing to answer
-		}
+
+	handle := func(req *wire.Request) {
 		resp := wire.Response{Seq: req.Seq, Status: wire.StatusOK}
 		if ierr := s.injectedDelayAndFault(); ierr != nil {
 			resp.Status, resp.Msg = wire.FromError(ierr)
 			if resp.Status == wire.StatusOK {
 				resp.Status = wire.StatusError
 			}
-			if err := w.WriteResponse(&resp); err != nil {
-				return
-			}
-			continue
+			respond(&resp)
+			return
 		}
-
 		switch req.Op {
-		case wire.OpOpen:
-			// Opening a missing object creates it, matching a writable
-			// store; an explicit stat can distinguish.
-			objName = string(req.Data)
-			opened = true
-			lookup()
-
 		case wire.OpRead:
 			if !opened {
 				resp.Status, resp.Msg = wire.StatusError, "no object opened"
@@ -201,10 +203,8 @@ func (s *FileServer) serveConn(conn net.Conn) {
 				resp.Status, resp.Msg = wire.StatusError, "bad read size"
 				break
 			}
-			if cap(buf) < n {
-				buf = make([]byte, n)
-			}
-			rn, rerr := lookup().ReadAt(buf[:n], req.Off)
+			buf := make([]byte, n)
+			rn, rerr := lookup().ReadAt(buf, req.Off)
 			resp.N = int64(rn)
 			resp.Data = buf[:rn]
 			if rerr != nil && !(errors.Is(rerr, io.EOF) && rn > 0) {
@@ -245,16 +245,56 @@ func (s *FileServer) serveConn(conn net.Conn) {
 		case wire.OpSync:
 			// Objects are in memory; sync is a no-op acknowledgement.
 
-		case wire.OpClose:
-			w.WriteResponse(&resp)
-			return
-
 		default:
 			resp.Status = wire.StatusUnsupported
 		}
+		respond(&resp)
+	}
 
-		if err := w.WriteResponse(&resp); err != nil {
+	var inflight sync.WaitGroup
+	defer inflight.Wait()
+	for {
+		req, err := r.ReadRequest()
+		if err != nil {
+			return // connection gone or garbage; nothing to answer
+		}
+
+		switch req.Op {
+		case wire.OpOpen:
+			inflight.Wait() // settle workers before changing connection state
+			resp := wire.Response{Seq: req.Seq, Status: wire.StatusOK}
+			if ierr := s.injectedDelayAndFault(); ierr != nil {
+				resp.Status, resp.Msg = wire.FromError(ierr)
+				if resp.Status == wire.StatusOK {
+					resp.Status = wire.StatusError
+				}
+				respond(&resp)
+				continue
+			}
+			// Opening a missing object creates it, matching a writable
+			// store; an explicit stat can distinguish.
+			objName = string(req.Data)
+			opened = true
+			lookup()
+			respond(&resp)
+
+		case wire.OpClose:
+			inflight.Wait() // every outstanding reply precedes the goodbye
+			respond(&wire.Response{Seq: req.Seq, Status: wire.StatusOK})
 			return
+
+		default:
+			// The frame reader reuses its buffer on the next ReadRequest, so
+			// a queued request's payload must be copied out first.
+			qreq := req
+			if len(req.Data) > 0 {
+				qreq.Data = append([]byte(nil), req.Data...)
+			}
+			inflight.Add(1)
+			go func() {
+				defer inflight.Done()
+				handle(&qreq)
+			}()
 		}
 	}
 }

@@ -1,0 +1,51 @@
+package wire
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSeqCounterSequential(t *testing.T) {
+	var c SeqCounter
+	for want := uint32(1); want <= 5; want++ {
+		if got := c.Next(); got != want {
+			t.Fatalf("Next() = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestSeqCounterConcurrentUnique(t *testing.T) {
+	const (
+		goroutines = 16
+		perG       = 500
+	)
+	var c SeqCounter
+	var mu sync.Mutex
+	seen := make(map[uint32]bool, goroutines*perG)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]uint32, 0, perG)
+			for i := 0; i < perG; i++ {
+				local = append(local, c.Next())
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, s := range local {
+				if seen[s] {
+					t.Errorf("sequence %d allocated twice", s)
+				}
+				seen[s] = true
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != goroutines*perG {
+		t.Errorf("allocated %d unique sequences, want %d", len(seen), goroutines*perG)
+	}
+	if seen[0] {
+		t.Error("sequence 0 was allocated; it must stay reserved")
+	}
+}

@@ -14,6 +14,16 @@
 //
 // All integers are big-endian. The frame length counts everything after the
 // length field itself.
+//
+// # Correlation and pipelining
+//
+// The Seq field is the correlation key of the protocol: a client may keep
+// any number of requests in flight on one channel, and a server may answer
+// them in any order — each response carries the Seq of the request it
+// answers, and nothing else ties the two together. Clients allocate sequence
+// numbers from a SeqCounter (concurrency-safe) and match responses by Seq;
+// ipc.Mux implements that matching over a pipe pair. Strict request/response
+// lockstep is merely the degenerate single-in-flight case.
 package wire
 
 import (
@@ -21,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 )
 
 // Op identifies a file operation forwarded to the sentinel. The set mirrors
@@ -109,6 +120,16 @@ func (s Status) Valid() bool {
 	_, ok := statusNames[s]
 	return ok
 }
+
+// SeqCounter allocates correlation sequence numbers for pipelined
+// exchanges. It is safe for concurrent use; the zero value is ready. The
+// first allocated value is 1, so Seq 0 never names an in-flight request.
+type SeqCounter struct {
+	n atomic.Uint32
+}
+
+// Next returns the next sequence number.
+func (c *SeqCounter) Next() uint32 { return c.n.Add(1) }
 
 // Request is one operation sent from the application stubs to the sentinel.
 type Request struct {
