@@ -1,10 +1,12 @@
 # Test tiers. tier1 is the gate every change must keep green; race adds the
 # vet + race-detector sweep covering the concurrent session core; bench-smoke
-# compiles and single-shots the parallel benchmarks so they cannot bit-rot.
+# compiles and single-shots the parallel and allocation benchmarks so they
+# cannot bit-rot; bench-json regenerates the committed Figure 6 JSON report.
 
 GO ?= go
+BENCH_JSON ?= BENCH_2.json
 
-.PHONY: all tier1 race bench-smoke
+.PHONY: all tier1 race bench-smoke bench-json
 
 all: tier1 race bench-smoke
 
@@ -16,5 +18,16 @@ race:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
+# Smoke-run the benchmark panels: the parallel sweep plus the wire
+# allocation benchmarks (which assert the zero-copy framing stays
+# allocation-free) and the small-block sequential panel.
 bench-smoke:
+	$(GO) vet ./...
 	$(GO) test -run NONE -bench BenchmarkParallel -benchtime 1x ./internal/bench
+	$(GO) test -run NONE -bench 'BenchmarkWriteRequest|BenchmarkReadResponse' -benchtime 100x ./internal/wire
+	$(GO) test -run NONE -bench BenchmarkSmallBlockSequential -benchtime 10x ./internal/bench
+
+# Regenerate the machine-readable Figure 6 report committed alongside
+# EXPERIMENTS.md. Override BENCH_JSON to write elsewhere.
+bench-json:
+	$(GO) run ./cmd/afbench -json $(BENCH_JSON)

@@ -35,23 +35,38 @@ func main() {
 func run(args []string) error {
 	flags := flag.NewFlagSet("afbench", flag.ContinueOnError)
 	var (
-		panel    = flags.String("panel", "all", `panel to run: "a" (remote), "b" (disk), "c" (memory), or "all"`)
-		op       = flags.String("op", "both", `operation: "read", "write", or "both"`)
-		ops      = flags.Int("ops", bench.DefaultOps, "operations per data point")
-		blocks   = flags.String("blocks", "", "comma-separated block sizes (default 8,32,128,512,2048)")
-		process  = flags.Bool("process", false, "include the plain process strategy (no control channel)")
-		baseline = flags.Bool("baseline", true, "include the no-sentinel baseline series")
-		parallel = flags.String("parallel", "", "comma-separated concurrent-client counts (e.g. 1,4,16); sweeps parallel throughput instead of Figure 6")
-		latency  = flags.Duration("latency", 0, "injected remote-service latency per operation (e.g. 200us), simulating a distant source")
+		panel       = flags.String("panel", "all", `panel to run: "a" (remote), "b" (disk), "c" (memory), or "all"`)
+		op          = flags.String("op", "both", `operation: "read", "write", or "both"`)
+		ops         = flags.Int("ops", bench.DefaultOps, "operations per data point")
+		blocks      = flags.String("blocks", "", "comma-separated block sizes (default 8,32,128,512,2048)")
+		process     = flags.Bool("process", false, "include the plain process strategy (no control channel)")
+		baseline    = flags.Bool("baseline", true, "include the no-sentinel baseline series")
+		parallel    = flags.String("parallel", "", "comma-separated concurrent-client counts (e.g. 1,4,16); sweeps parallel throughput instead of Figure 6")
+		latency     = flags.Duration("latency", 0, "injected remote-service latency per operation (e.g. 200us), simulating a distant source")
+		jsonPath    = flags.String("json", "", "also write the Figure 6 results as a machine-readable JSON report to this file")
+		readAhead   = flags.Bool("readahead", true, "enable adaptive read-ahead in the sentinel strategies (ablation switch)")
+		writeBehind = flags.Bool("writebehind", false, "enable write coalescing in the sentinel strategies")
 	)
 	if err := flags.Parse(args); err != nil {
 		return err
+	}
+
+	params := map[string]string{}
+	if !*readAhead {
+		params["readahead"] = "false"
+	}
+	if *writeBehind {
+		params["writebehind"] = "true"
+	}
+	if len(params) == 0 {
+		params = nil
 	}
 
 	opts := bench.FigureOptions{
 		Ops:             *ops,
 		IncludeProcess:  *process,
 		IncludeBaseline: *baseline,
+		Params:          params,
 	}
 	switch *panel {
 	case "all":
@@ -115,6 +130,7 @@ func run(args []string) error {
 			Ops:       *ops,
 			Degrees:   degrees,
 			OpsFilter: opts.OpsFilter,
+			Params:    params,
 		}
 		if len(opts.Blocks) > 0 {
 			popts.BlockSize = opts.Blocks[0]
@@ -144,6 +160,13 @@ func run(args []string) error {
 		if err := p.WriteTable(os.Stdout); err != nil {
 			return err
 		}
+	}
+	if *jsonPath != "" {
+		rep := bench.BuildReport(panels, *ops, params)
+		if err := rep.WriteJSONFile(*jsonPath); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 	return nil
 }

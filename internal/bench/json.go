@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+)
+
+// JSON report schema identifier; bump when the layout changes.
+const ReportSchema = "afbench/v1"
+
+// Report is the machine-readable form of a Figure 6 run, written by
+// afbench -json so successive PRs can diff per-cell numbers instead of
+// eyeballing text tables.
+type Report struct {
+	Schema string            `json:"schema"`
+	Ops    int               `json:"opsPerPoint"`
+	Params map[string]string `json:"params,omitempty"`
+	Panels []ReportPanel     `json:"panels"`
+}
+
+// ReportPanel is one Figure 6 graph in the report.
+type ReportPanel struct {
+	Path  string       `json:"path"` // "remote" | "disk" | "memory"
+	Op    string       `json:"op"`   // "read" | "write"
+	Cells []ReportCell `json:"cells"`
+}
+
+// ReportCell is one (strategy, blockSize) data point.
+type ReportCell struct {
+	Strategy    string  `json:"strategy"`
+	Block       int     `json:"block"`
+	MicrosPerOp float64 `json:"microsPerOp"`
+}
+
+// BuildReport converts measured panels into the serializable report form.
+// Cells are emitted in deterministic (strategy legend, block) order so the
+// output diffs cleanly between runs.
+func BuildReport(panels []*Panel, ops int, params map[string]string) *Report {
+	if ops == 0 {
+		ops = DefaultOps
+	}
+	rep := &Report{Schema: ReportSchema, Ops: ops, Params: params}
+	for _, p := range panels {
+		rp := ReportPanel{Path: p.Path.String(), Op: p.Op.String()}
+		for _, s := range p.strategies() {
+			blocks := p.blocks()
+			sort.Ints(blocks)
+			for _, b := range blocks {
+				if v, ok := p.Value(s, b); ok {
+					rp.Cells = append(rp.Cells, ReportCell{
+						Strategy: s, Block: b, MicrosPerOp: v,
+					})
+				}
+			}
+		}
+		rep.Panels = append(rep.Panels, rp)
+	}
+	return rep
+}
+
+// WriteJSON serializes the report, indented, to w.
+func (rep *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// WriteJSONFile writes the report to the named file, creating or truncating
+// it.
+func (rep *Report) WriteJSONFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

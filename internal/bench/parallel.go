@@ -122,6 +122,10 @@ type ParallelOptions struct {
 	Path CachePath
 	// OpsFilter limits to one operation; 0 means both.
 	OpsFilter Op
+	// Params are extra program parameters applied to every cell (e.g.
+	// readahead/writebehind toggles), so the sweep can isolate transport
+	// pipelining from data-path coalescing.
+	Params map[string]string
 }
 
 // ParallelPanel is one concurrency sweep: a series per strategy, a column per
@@ -244,6 +248,7 @@ func (r *Runner) RunParallel(opts ParallelOptions) ([]*ParallelPanel, error) {
 					Op:        op,
 					BlockSize: block,
 					Ops:       opts.Ops,
+					Params:    opts.Params,
 				}, degree)
 				if err != nil {
 					return nil, err

@@ -110,4 +110,3 @@ func BenchmarkParallelReadAt(b *testing.B) {
 		}
 	}
 }
-

@@ -1,0 +1,87 @@
+package bench_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+// BenchmarkSmallBlockSequential is the zero-copy data path's headline panel:
+// sequential reads of the paper's small block sizes (where per-operation
+// overhead dominates) through the switched strategies, with the adaptive
+// read-ahead toggled per sub-benchmark. The readahead=on/off pairs isolate
+// the window's contribution: with it on, a streak of small sequential reads
+// collapses into a few multi-block control-channel round trips.
+func BenchmarkSmallBlockSequential(b *testing.B) {
+	for _, strategy := range []core.Strategy{core.StrategyProcCtl, core.StrategyThread} {
+		for _, block := range []int{8, 32, 128} {
+			for _, readahead := range []bool{true, false} {
+				name := fmt.Sprintf("%s/%dB/readahead=%v", strategy, block, readahead)
+				b.Run(name, func(b *testing.B) {
+					r, err := bench.NewRunner(b.TempDir())
+					if err != nil {
+						b.Fatalf("NewRunner: %v", err)
+					}
+					defer r.Close()
+					cfg := bench.Config{
+						Strategy:  strategy,
+						Path:      bench.PathMemory,
+						Op:        bench.OpRead,
+						BlockSize: block,
+						Ops:       512,
+					}
+					if !readahead {
+						cfg.Params = map[string]string{"readahead": "false"}
+					}
+					for i := 0; i < b.N; i++ {
+						res, err := r.Measure(cfg)
+						if err != nil {
+							b.Fatalf("Measure: %v", err)
+						}
+						b.ReportMetric(res.MicrosPerOp(), "µs/op")
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkSmallBlockSequentialWrite is the write-side companion: sequential
+// small writes with and without the coalescing buffer. With writebehind=true
+// a run of adjacent small writes is merged into one backing WriteAt per
+// 64 KiB, so the per-operation cost approaches an in-memory append.
+func BenchmarkSmallBlockSequentialWrite(b *testing.B) {
+	for _, strategy := range []core.Strategy{core.StrategyThread, core.StrategyDirect} {
+		for _, block := range []int{8, 128} {
+			for _, writebehind := range []bool{false, true} {
+				name := fmt.Sprintf("%s/%dB/writebehind=%v", strategy, block, writebehind)
+				b.Run(name, func(b *testing.B) {
+					r, err := bench.NewRunner(b.TempDir())
+					if err != nil {
+						b.Fatalf("NewRunner: %v", err)
+					}
+					defer r.Close()
+					cfg := bench.Config{
+						Strategy:  strategy,
+						Path:      bench.PathMemory,
+						Op:        bench.OpWrite,
+						BlockSize: block,
+						Ops:       512,
+					}
+					if writebehind {
+						cfg.Params = map[string]string{"writebehind": "true"}
+					}
+					for i := 0; i < b.N; i++ {
+						res, err := r.Measure(cfg)
+						if err != nil {
+							b.Fatalf("Measure: %v", err)
+						}
+						b.ReportMetric(res.MicrosPerOp(), "µs/op")
+					}
+				})
+			}
+		}
+	}
+}

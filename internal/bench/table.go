@@ -147,6 +147,10 @@ type FigureOptions struct {
 	Paths []CachePath
 	// OpsFilter limits to one operation; 0 means both.
 	OpsFilter Op
+	// Params are extra sentinel program parameters applied to every
+	// strategy cell (not the baseline), e.g. disabling read-ahead or
+	// enabling write-behind for ablation runs.
+	Params map[string]string
 }
 
 // RunFigure6 measures every requested panel and returns them in the paper's
@@ -182,6 +186,7 @@ func (r *Runner) RunFigure6(opts FigureOptions) ([]*Panel, error) {
 						Op:        op,
 						BlockSize: block,
 						Ops:       opts.Ops,
+						Params:    opts.Params,
 					})
 					if err != nil {
 						return nil, err

@@ -34,8 +34,20 @@ type BlockCache struct {
 
 type cachedBlock struct {
 	index int64
-	data  []byte // exactly blockSize, zero padded past EOF
+	data  []byte // exactly blockSize, zero padded past EOF; nil until filled
 	valid int    // bytes of data that are real (≤ blockSize)
+
+	// Singleflight fill state. A block is inserted as a placeholder before
+	// its backing read runs, so concurrent readers of the same block share
+	// one fault-in while readers of other blocks proceed. ready is closed
+	// when the fill settles; filled/err/stale (guarded by the cache mutex)
+	// say how: filled means data is usable, err carries a failed backing
+	// read, stale means a write or invalidation raced the fill and the
+	// reader must refetch.
+	ready  chan struct{}
+	filled bool
+	err    error
+	stale  bool
 }
 
 var _ RandomAccess = (*BlockCache)(nil)
@@ -68,27 +80,82 @@ func (c *BlockCache) Stats() Stats {
 	return c.stats
 }
 
-// getBlock returns the cached block at index, faulting it in on a miss.
-// Called with c.mu held.
-func (c *BlockCache) getBlock(index int64) (*cachedBlock, error) {
-	if el, ok := c.blocks[index]; ok {
-		c.stats.Hits++
-		c.lru.MoveToFront(el)
-		blk, ok := el.Value.(*cachedBlock)
-		if !ok {
-			return nil, errors.New("cache: corrupt lru entry")
+// block returns the ready cached block at index, faulting it in on a miss.
+// The backing read runs with c.mu RELEASED: a slow remote miss no longer
+// blocks every other reader — hits on cached blocks proceed, and concurrent
+// misses of the same block wait on one shared fill instead of issuing their
+// own.
+func (c *BlockCache) block(index int64) (*cachedBlock, error) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.blocks[index]; ok {
+			blk, bok := el.Value.(*cachedBlock)
+			if !bok {
+				c.mu.Unlock()
+				return nil, errors.New("cache: corrupt lru entry")
+			}
+			c.stats.Hits++
+			c.lru.MoveToFront(el)
+			if !blk.filled {
+				c.mu.Unlock()
+				<-blk.ready // a fill is in flight; join it
+				c.mu.Lock()
+				if blk.err != nil || blk.stale {
+					err := blk.err
+					c.mu.Unlock()
+					if err != nil {
+						return nil, err
+					}
+					continue // the fill lost a race with a write; refetch
+				}
+			}
+			c.mu.Unlock()
+			return blk, nil
+		}
+
+		c.stats.Misses++
+		blk := &cachedBlock{index: index, ready: make(chan struct{})}
+		c.insert(blk)
+		c.mu.Unlock()
+
+		data := make([]byte, c.blockSize)
+		n, err := c.backing.ReadAt(data, index*int64(c.blockSize))
+
+		c.mu.Lock()
+		if err != nil && !errors.Is(err, io.EOF) {
+			blk.err = err
+			c.removeLocked(blk) // future readers retry the backing store
+		} else {
+			blk.data = data
+			blk.valid = n
+			blk.filled = true
+			if blk.stale {
+				// A write or invalidation landed while the fill was reading;
+				// the data may predate it. Drop the entry so everyone
+				// refetches.
+				c.removeLocked(blk)
+			}
+		}
+		stale, ferr := blk.stale, blk.err
+		close(blk.ready)
+		c.mu.Unlock()
+		if ferr != nil {
+			return nil, ferr
+		}
+		if stale {
+			continue
 		}
 		return blk, nil
 	}
-	c.stats.Misses++
-	blk := &cachedBlock{index: index, data: make([]byte, c.blockSize)}
-	n, err := c.backing.ReadAt(blk.data, index*int64(c.blockSize))
-	if err != nil && !errors.Is(err, io.EOF) {
-		return nil, err
+}
+
+// removeLocked drops blk's map/lru entry if it is still the mapped one.
+// Called with c.mu held; idempotent.
+func (c *BlockCache) removeLocked(blk *cachedBlock) {
+	if el, ok := c.blocks[blk.index]; ok && el.Value == any(blk) {
+		c.lru.Remove(el)
+		delete(c.blocks, blk.index)
 	}
-	blk.valid = n
-	c.insert(blk)
-	return blk, nil
 }
 
 // insert adds blk to the cache, evicting the least recently used block if at
@@ -110,30 +177,32 @@ func (c *BlockCache) insert(blk *cachedBlock) {
 }
 
 // ReadAt implements RandomAccess, serving from cached blocks where possible.
+// The cache lock is held only for lookups and copies, never across a backing
+// fault-in.
 func (c *BlockCache) ReadAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, errors.New("cache: negative offset")
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	total := 0
 	for total < len(p) {
 		pos := off + int64(total)
 		index := pos / int64(c.blockSize)
 		inBlock := int(pos % int64(c.blockSize))
-		blk, err := c.getBlock(index)
+		blk, err := c.block(index)
 		if err != nil {
 			return total, err
 		}
+		// Copy under the lock: writes patch filled blocks in place.
+		c.mu.Lock()
 		if inBlock >= blk.valid {
-			if total == 0 {
-				return 0, io.EOF
-			}
+			c.mu.Unlock()
 			return total, io.EOF
 		}
 		n := copy(p[total:], blk.data[inBlock:blk.valid])
+		short := blk.valid < c.blockSize
+		c.mu.Unlock()
 		total += n
-		if blk.valid < c.blockSize {
+		if short {
 			// Short block: end of the backing object.
 			if total < len(p) {
 				return total, io.EOF
@@ -173,9 +242,18 @@ func (c *BlockCache) patchLocked(p []byte, off int64) {
 		}
 		if el, ok := c.blocks[index]; ok {
 			if blk, ok := el.Value.(*cachedBlock); ok {
-				copy(blk.data[inBlock:inBlock+span], p[done:done+span])
-				if end := inBlock + span; end > blk.valid {
-					blk.valid = end
+				if !blk.filled {
+					// The block's fill is mid-flight and may have read the
+					// backing store before this write landed; make everyone
+					// refetch instead of patching data that isn't there yet.
+					blk.stale = true
+					c.lru.Remove(el)
+					delete(c.blocks, index)
+				} else {
+					copy(blk.data[inBlock:inBlock+span], p[done:done+span])
+					if end := inBlock + span; end > blk.valid {
+						blk.valid = end
+					}
 				}
 			}
 		}
@@ -208,6 +286,9 @@ func (c *BlockCache) Invalidate(off, length int64) {
 	last := (off + length - 1) / int64(c.blockSize)
 	for i := first; i <= last; i++ {
 		if el, ok := c.blocks[i]; ok {
+			if blk, bok := el.Value.(*cachedBlock); bok && !blk.filled {
+				blk.stale = true // in-flight fill must not serve stale bytes
+			}
 			c.lru.Remove(el)
 			delete(c.blocks, i)
 			c.stats.Invalidations++
@@ -220,6 +301,11 @@ func (c *BlockCache) InvalidateAll() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.stats.Invalidations += int64(c.lru.Len())
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		if blk, ok := el.Value.(*cachedBlock); ok && !blk.filled {
+			blk.stale = true
+		}
+	}
 	c.lru.Init()
 	c.blocks = make(map[int64]*list.Element, c.capacity)
 }

@@ -5,8 +5,11 @@ import (
 	"errors"
 	"io"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestParseMode(t *testing.T) {
@@ -514,5 +517,129 @@ func TestPassthroughCloseClosesStore(t *testing.T) {
 	}
 	if !*store.closed {
 		t.Error("underlying store not closed")
+	}
+}
+
+// gatedStore blocks ReadAt on selected blocks until released, to exercise
+// the singleflight fill path.
+type gatedStore struct {
+	RandomAccess
+	mu       sync.Mutex
+	gate     chan struct{} // non-nil: reads of gatedOff block until closed
+	gatedOff int64
+	started  chan struct{} // receives one token per gated read that began
+	reads    int32
+}
+
+func (g *gatedStore) ReadAt(p []byte, off int64) (int, error) {
+	atomic.AddInt32(&g.reads, 1)
+	g.mu.Lock()
+	gate := g.gate
+	gated := gate != nil && off == g.gatedOff
+	g.mu.Unlock()
+	if gated {
+		g.started <- struct{}{}
+		<-gate
+	}
+	return g.RandomAccess.ReadAt(p, off)
+}
+
+func TestBlockCacheHitsProceedDuringSlowMiss(t *testing.T) {
+	mem := NewMemStore()
+	mem.WriteAt(bytes.Repeat([]byte("x"), 256), 0)
+	store := &gatedStore{
+		RandomAccess: mem,
+		gate:         make(chan struct{}),
+		gatedOff:     64, // block index 1
+		started:      make(chan struct{}, 1),
+	}
+	c, err := NewBlockCache(store, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm block 0, then start a miss of block 1 that hangs in the backing
+	// store.
+	buf := make([]byte, 64)
+	if _, err := c.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	missDone := make(chan error, 1)
+	go func() {
+		_, err := c.ReadAt(make([]byte, 64), 64)
+		missDone <- err
+	}()
+	<-store.started // the miss is inside the backing ReadAt
+
+	// The regression this guards: a hit on block 0 must complete while the
+	// miss still holds the backing store.
+	hitDone := make(chan error, 1)
+	go func() {
+		_, err := c.ReadAt(make([]byte, 64), 0)
+		hitDone <- err
+	}()
+	select {
+	case err := <-hitDone:
+		if err != nil {
+			t.Fatalf("hit during miss: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("hit on a cached block stalled behind a slow miss")
+	}
+
+	// A second miss of the SAME block joins the in-flight fill instead of
+	// issuing its own backing read.
+	joinDone := make(chan error, 1)
+	go func() {
+		_, err := c.ReadAt(make([]byte, 64), 64)
+		joinDone <- err
+	}()
+	close(store.gate)
+	for _, ch := range []chan error{missDone, joinDone} {
+		if err := <-ch; err != nil {
+			t.Fatalf("gated read: %v", err)
+		}
+	}
+	if n := atomic.LoadInt32(&store.reads); n != 2 { // block 0 + one shared fill of block 1
+		t.Errorf("backing reads = %d, want 2 (concurrent misses must share one fill)", n)
+	}
+}
+
+func TestBlockCacheWriteRacingFillStaysConsistent(t *testing.T) {
+	mem := NewMemStore()
+	mem.WriteAt(bytes.Repeat([]byte("a"), 64), 0)
+	store := &gatedStore{
+		RandomAccess: mem,
+		gate:         make(chan struct{}),
+		gatedOff:     0,
+		started:      make(chan struct{}, 1),
+	}
+	c, err := NewBlockCache(store, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readDone := make(chan error, 1)
+	go func() {
+		_, err := c.ReadAt(make([]byte, 64), 0)
+		readDone <- err
+	}()
+	<-store.started
+
+	// While the fill is reading, a write lands. Ungate it from another
+	// goroutine is not needed: the write path does not touch the gated read.
+	if _, err := c.WriteAt(bytes.Repeat([]byte("b"), 64), 0); err != nil {
+		t.Fatal(err)
+	}
+	close(store.gate)
+	if err := <-readDone; err != nil {
+		t.Fatal(err)
+	}
+	// Whatever the racing reader saw, a read AFTER the write must see the
+	// written bytes, not a cached pre-write fill.
+	buf := make([]byte, 64)
+	if _, err := c.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, bytes.Repeat([]byte("b"), 64)) {
+		t.Errorf("post-write read = %q..., want all 'b'", buf[:8])
 	}
 }

@@ -73,8 +73,11 @@ func runChild() error {
 			handler.Close()
 			return errors.New("sentinel control pipe not inherited")
 		}
-		readAhead := m.Params["readahead"] == "true"
-		return serveControl(handler, in, out, ctrl, readAhead)
+		opts := ctrlOptions{
+			readAhead:   m.Params["readahead"] != "false",
+			writeBehind: m.Params["writebehind"] == "true",
+		}
+		return serveControl(handler, in, out, ctrl, opts)
 	default:
 		handler.Close()
 		return fmt.Errorf("strategy %v cannot run as a subprocess", strategy)
@@ -160,10 +163,18 @@ func serveStream(handler Handler, in io.ReadCloser, out io.WriteCloser) error {
 // next — the server half of the client's Seq-pipelined mux.
 const controlWorkers = 8
 
+// ctrlOptions selects the procctl sentinel's data-path optimizations.
+// Read-ahead defaults on (manifest param "readahead"="false" opts out);
+// write coalescing defaults off (param "writebehind"="true" opts in).
+type ctrlOptions struct {
+	readAhead   bool
+	writeBehind bool
+}
+
 // ctrlServer is the shared state of one serveControl session.
 type ctrlServer struct {
 	d        *dispatcher
-	prefetch *prefetchState
+	prefetch *prefetcher
 
 	outMu sync.Mutex // serializes response frames onto the data-out pipe
 	resps *wire.Writer
@@ -198,21 +209,28 @@ func (s *ctrlServer) failed() error {
 func (s *ctrlServer) serve(req *wire.Request) {
 	var resp wire.Response
 	release := releaseNone
-	if req.Op == wire.OpRead && s.prefetch.serve(req, &resp) {
-		// Served entirely from the prefetched block.
-	} else {
+	fromWindow := false
+	if req.Op == wire.OpRead {
+		if r, ok := s.prefetch.serve(req, &resp); ok {
+			// Served from the read-ahead window without touching the handler.
+			release, fromWindow = r, true
+		}
+	}
+	if !fromWindow {
 		resp, release = s.d.dispatch(req)
 		if req.Op == wire.OpTruncate {
 			s.prefetch.invalidate()
 		}
 	}
 	served := len(resp.Data)
+	eof := resp.Status == wire.StatusEOF
 	s.writeResp(&resp)
 	release()
 	if req.Op == wire.OpRead {
-		// Anticipate the next sequential read while the application is busy
-		// consuming this one.
-		s.prefetch.fill(s.d, req.Off+int64(served), int(req.N))
+		// Record the access and extend the window while the application is
+		// busy consuming this block; the fill runs on this worker, off the
+		// reply's critical path.
+		s.prefetch.afterRead(req.Off, served, int(req.N), eof)
 	}
 }
 
@@ -228,27 +246,41 @@ func (s *ctrlServer) serve(req *wire.Request) {
 // every earlier operation's effects — and any deferred write error — are
 // settled in the response.
 //
-// With readAhead, the sentinel anticipates sequential reads (§4.2: "the
-// sentinel process might choose to eagerly inject data into the read pipe
-// (anticipating read requests)"): after each read it prefetches the next
-// same-sized block, serving a following sequential read without touching the
-// handler on the critical path.
-func serveControl(handler Handler, in io.Reader, out io.Writer, ctrl io.Reader, readAhead bool) error {
+// With readAhead (the default), the sentinel anticipates sequential reads
+// (§4.2: "the sentinel process might choose to eagerly inject data into the
+// read pipe (anticipating read requests)"): an adaptive window grows from
+// one block to prefetchMaxBlocks on confirmed sequential access, serving
+// following reads without touching the handler on the critical path. With
+// writeBehind, adjacent small writes coalesce into one backing WriteAt,
+// flushed on sync/close barriers and overlapping reads.
+func serveControl(handler Handler, in io.Reader, out io.Writer, ctrl io.Reader, opts ctrlOptions) error {
 	reqs := wire.NewReader(ctrl)
 	s := &ctrlServer{d: newDispatcher(handler), resps: wire.NewWriter(out)}
-	if readAhead {
-		s.prefetch = &prefetchState{}
+	if opts.writeBehind {
+		s.d.enableWriteBehind()
+	}
+	if opts.readAhead {
+		// Fills read through the dispatcher, so they serialize with the
+		// handler's other callers and observe coalesced writes.
+		s.prefetch = newPrefetcher(s.d.readAt, false)
 	}
 
-	work := make(chan *wire.Request, controlWorkers)
+	// queued is one pooled operation: the request plus the release of the
+	// pooled buffer holding its payload, invoked once the worker is done.
+	type queued struct {
+		req     wire.Request
+		release func()
+	}
+	work := make(chan *queued, controlWorkers)
 	var workers sync.WaitGroup
 	var inflight sync.WaitGroup // operations queued but not yet answered
 	workers.Add(controlWorkers)
 	for i := 0; i < controlWorkers; i++ {
 		go func() {
 			defer workers.Done()
-			for req := range work {
-				s.serve(req)
+			for q := range work {
+				s.serve(&q.req)
+				q.release()
 				inflight.Done()
 			}
 		}()
@@ -270,7 +302,7 @@ func serveControl(handler Handler, in io.Reader, out io.Writer, ctrl io.Reader, 
 			shutdown()
 			return err
 		}
-		req, err := reqs.ReadRequest()
+		req, payloadLen, err := reqs.ReadRequestHeader()
 		if err != nil {
 			// Control channel gone: application vanished without OpClose.
 			shutdown()
@@ -287,6 +319,8 @@ func serveControl(handler Handler, in io.Reader, out io.Writer, ctrl io.Reader, 
 				pendingWriteErr = fmt.Errorf("bad write size %d", n)
 				continue
 			}
+			// Write payloads travel on the data-in pipe, not the control
+			// frame, and land in an intake-local scratch.
 			if cap(payload) < n {
 				payload = make([]byte, n)
 			}
@@ -301,10 +335,14 @@ func serveControl(handler Handler, in io.Reader, out io.Writer, ctrl io.Reader, 
 			if werr := wire.ToError(wire.OpWrite, resp.Status, resp.Msg); werr != nil && pendingWriteErr == nil {
 				pendingWriteErr = werr
 			}
-			s.prefetch.invalidate() // written content may overlap the prefetch
+			s.prefetch.invalidate() // written content may overlap the window
 			continue                // deliberately unacknowledged
 
 		case wire.OpSync, wire.OpClose:
+			if err := reqs.DiscardPayload(); err != nil {
+				shutdown()
+				return fmt.Errorf("control channel: %w", err)
+			}
 			inflight.Wait() // barrier: settle every outstanding operation
 			resp, release := s.d.dispatch(&req)
 			// Deferred write failures surface on the synchronous barrier.
@@ -320,17 +358,24 @@ func serveControl(handler Handler, in io.Reader, out io.Writer, ctrl io.Reader, 
 			}
 
 		default:
-			// Queue for the pool. The frame reader's buffer is reused by the
-			// next ReadRequest, so any payload must be copied out first. A
-			// full pool exerts backpressure on intake — writes behind it in
-			// the control stream stay correctly ordered anyway, since they
+			// Queue for the pool, landing any control payload straight in a
+			// pooled buffer the worker releases after serving. A full pool
+			// exerts backpressure on intake — writes behind it in the
+			// control stream stay correctly ordered anyway, since they
 			// would dispatch on this thread.
 			qreq := req
-			if len(req.Data) > 0 {
-				qreq.Data = append([]byte(nil), req.Data...)
+			release := releaseNone
+			if payloadLen > 0 {
+				buf, rel := wire.GetBuf(payloadLen)
+				if err := reqs.ReadPayload(buf); err != nil {
+					rel()
+					shutdown()
+					return fmt.Errorf("control channel: %w", err)
+				}
+				qreq.Data, release = buf, rel
 			}
 			inflight.Add(1)
-			work <- &qreq
+			work <- &queued{req: qreq, release: release}
 		}
 	}
 }

@@ -1,0 +1,178 @@
+package core_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/vfs"
+)
+
+// TestReadAheadConcurrentReadersRace drives the shared adaptive prefetcher
+// from several goroutines at once — each streaming its own region
+// sequentially while occasionally writing it (which invalidates the window
+// mid-fill). Under -race this exercises the window state machine: fills
+// racing reads, generation bumps racing publications, and streak tracking
+// fed from interleaved offsets. Every read must still return exactly the
+// bytes its owner last wrote.
+func TestReadAheadConcurrentReadersRace(t *testing.T) {
+	const (
+		workers = 4
+		region  = 4096
+		chunk   = 64
+	)
+	path := createAF(t, vfs.Manifest{
+		Program: vfs.ProgramSpec{Name: "passthrough"},
+		Cache:   "disk",
+	})
+	seed := make([]byte, workers*region)
+	for i := range seed {
+		seed[i] = byte(i % 251)
+	}
+	seedData(t, path, seed)
+
+	h, err := core.Open(path, core.Options{Strategy: core.StrategyThread})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer h.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := int64(w) * region
+			want := make([]byte, region)
+			copy(want, seed[base:base+region])
+			buf := make([]byte, chunk)
+			for pass := 0; pass < 3; pass++ {
+				// Stream the region sequentially: this is the access pattern
+				// that arms the prefetch window.
+				for off := 0; off < region; off += chunk {
+					if _, err := h.ReadAt(buf, base+int64(off)); err != nil {
+						errs <- fmt.Errorf("worker %d read at %d: %w", w, off, err)
+						return
+					}
+					if !bytes.Equal(buf, want[off:off+chunk]) {
+						errs <- fmt.Errorf("worker %d pass %d off %d: stale bytes", w, pass, off)
+						return
+					}
+				}
+				// Rewrite part of the region so the next pass races the
+				// prefetcher's invalidation with other workers' fills.
+				for i := range want[:chunk] {
+					want[i] = byte(int(want[i]) + 1)
+				}
+				if _, err := h.WriteAt(want[:chunk], base); err != nil {
+					errs <- fmt.Errorf("worker %d write: %w", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestWriteBehindConcurrentFlushOrderingRace hammers the write-coalescing
+// buffer from concurrent writers — adjacent small writes within per-worker
+// regions, interleaved with reads of the same region (read-your-writes must
+// flush overlaps) and Syncs (which settle the buffer). Under -race this
+// checks the wb.mu → dispatcher lock ordering and flush/settle paths; after
+// close, a fresh handle must observe every worker's final bytes.
+func TestWriteBehindConcurrentFlushOrderingRace(t *testing.T) {
+	for _, strategy := range []core.Strategy{core.StrategyThread, core.StrategyDirect} {
+		strategy := strategy
+		t.Run(strategy.String(), func(t *testing.T) {
+			const (
+				workers = 4
+				region  = 2048
+				chunk   = 32
+			)
+			path := createAF(t, vfs.Manifest{
+				Program: vfs.ProgramSpec{Name: "passthrough"},
+				Cache:   "disk",
+				Params:  map[string]string{"writebehind": "true"},
+			})
+			seedData(t, path, make([]byte, workers*region))
+
+			h, err := core.Open(path, core.Options{Strategy: strategy})
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+
+			var wg sync.WaitGroup
+			errs := make(chan error, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					base := int64(w) * region
+					fill := byte('A' + w)
+					buf := make([]byte, chunk)
+					for i := range buf {
+						buf[i] = fill
+					}
+					got := make([]byte, chunk)
+					for off := 0; off < region; off += chunk {
+						if _, err := h.WriteAt(buf, base+int64(off)); err != nil {
+							errs <- fmt.Errorf("worker %d write at %d: %w", w, off, err)
+							return
+						}
+						// Read-your-writes: the overlap must be flushed and
+						// the freshly written bytes visible immediately.
+						if _, err := h.ReadAt(got, base+int64(off)); err != nil {
+							errs <- fmt.Errorf("worker %d readback at %d: %w", w, off, err)
+							return
+						}
+						if !bytes.Equal(got, buf) {
+							errs <- fmt.Errorf("worker %d off %d: readback %q, want %q", w, off, got[:4], buf[:4])
+							return
+						}
+						if off%(chunk*16) == 0 {
+							if err := h.Sync(); err != nil {
+								errs <- fmt.Errorf("worker %d sync: %w", w, err)
+								return
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+			if err := h.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+
+			// Close settles the buffer; a fresh handle sees every byte.
+			h2, err := core.Open(path, core.Options{Strategy: core.StrategyDirect})
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			defer h2.Close()
+			got := make([]byte, workers*region)
+			if _, err := h2.ReadAt(got, 0); err != nil {
+				t.Fatalf("final read: %v", err)
+			}
+			for w := 0; w < workers; w++ {
+				fill := byte('A' + w)
+				regionBytes := got[w*region : (w+1)*region]
+				for i, b := range regionBytes {
+					if b != fill {
+						t.Fatalf("worker %d byte %d = %q, want %q", w, i, b, fill)
+					}
+				}
+			}
+		})
+	}
+}

@@ -13,8 +13,12 @@ type directTransport struct {
 
 var _ transport = (*directTransport)(nil)
 
-func newDirectTransport(h Handler) *directTransport {
-	return &directTransport{d: newDispatcher(h)}
+func newDirectTransport(h Handler, writeBehind bool) *directTransport {
+	t := &directTransport{d: newDispatcher(h)}
+	if writeBehind {
+		t.d.enableWriteBehind()
+	}
+	return t
 }
 
 func (t *directTransport) readAt(p []byte, off int64) (int, error) {

@@ -25,8 +25,9 @@ type dispatcher struct {
 	// ConcurrentSafe take the read side, so their calls overlap and only
 	// closeHandler (write side) excludes them.
 	mu     sync.RWMutex
-	serial bool        // serialize every handler call
-	closed atomic.Bool // set once the handler has been closed
+	serial bool         // serialize every handler call
+	closed atomic.Bool  // set once the handler has been closed
+	wb     *writeBehind // opt-in write coalescer; nil when disabled
 }
 
 func newDispatcher(h Handler) *dispatcher {
@@ -35,6 +36,12 @@ func newDispatcher(h Handler) *dispatcher {
 		serial = false
 	}
 	return &dispatcher{handler: h, serial: serial}
+}
+
+// enableWriteBehind turns on write coalescing. Call before the dispatcher
+// serves traffic.
+func (d *dispatcher) enableWriteBehind() {
+	d.wb = &writeBehind{d: d}
 }
 
 // enter acquires the handler-call lock appropriate to the handler's
@@ -65,7 +72,8 @@ func (d *dispatcher) dispatch(req *wire.Request) (wire.Response, func()) {
 			resp.Status, resp.Msg = wire.StatusError, "bad read size"
 			return resp, releaseNone
 		}
-		buf, release := getReadBuf(n)
+		d.wb.flushOverlap(req.Off, n)
+		buf, release := wire.GetBuf(n)
 		unlock := d.enter()
 		rn, err := d.handler.ReadAt(buf, req.Off)
 		unlock()
@@ -79,15 +87,22 @@ func (d *dispatcher) dispatch(req *wire.Request) (wire.Response, func()) {
 		return resp, release
 
 	case wire.OpWrite:
-		unlock := d.enter()
-		wn, err := d.handler.WriteAt(req.Data, req.Off)
-		unlock()
+		var wn int
+		var err error
+		if d.wb != nil {
+			wn, err = d.wb.write(req.Data, req.Off)
+		} else {
+			unlock := d.enter()
+			wn, err = d.handler.WriteAt(req.Data, req.Off)
+			unlock()
+		}
 		resp.N = int64(wn)
 		if err != nil {
 			resp.Status, resp.Msg = wire.FromError(err)
 		}
 
 	case wire.OpSize:
+		d.wb.flush() // buffered writes may extend the file
 		unlock := d.enter()
 		size, err := d.handler.Size()
 		unlock()
@@ -97,6 +112,7 @@ func (d *dispatcher) dispatch(req *wire.Request) (wire.Response, func()) {
 		}
 
 	case wire.OpTruncate:
+		d.wb.flush() // buffered writes happened before the truncate
 		unlock := d.enter()
 		err := d.handler.Truncate(req.Off)
 		unlock()
@@ -105,9 +121,14 @@ func (d *dispatcher) dispatch(req *wire.Request) (wire.Response, func()) {
 		}
 
 	case wire.OpSync:
+		werr := d.wb.settle()
 		unlock := d.enter()
 		err := d.handler.Sync()
 		unlock()
+		if werr != nil {
+			// The deferred write failure is the older event; it wins.
+			err = werr
+		}
 		if err != nil {
 			resp.Status, resp.Msg = wire.FromError(err)
 		}
@@ -144,6 +165,7 @@ func (d *dispatcher) dispatch(req *wire.Request) (wire.Response, func()) {
 			resp.Status = wire.StatusUnsupported
 			return resp, releaseNone
 		}
+		d.wb.flush() // the program may inspect file state out of band
 		unlock := d.enter()
 		out, err := ctl.Control(req.Data)
 		unlock()
@@ -174,14 +196,26 @@ func (d *dispatcher) readAt(p []byte, off int64) (int, error) {
 	if d.closed.Load() {
 		return 0, wire.ErrClosed
 	}
+	d.wb.flushOverlap(off, len(p))
 	defer d.enter()()
 	return d.handler.ReadAt(p, off)
 }
 
-// writeAt stores p at off, serialized with all other handler calls.
+// handlerWriteAt is the raw backing write: straight to the handler under its
+// lock, bypassing the coalescer. It is the write-behind flush path.
+func (d *dispatcher) handlerWriteAt(p []byte, off int64) (int, error) {
+	defer d.enter()()
+	return d.handler.WriteAt(p, off)
+}
+
+// writeAt stores p at off, serialized with all other handler calls (or
+// buffered, when write-behind is on).
 func (d *dispatcher) writeAt(p []byte, off int64) (int, error) {
 	if d.closed.Load() {
 		return 0, wire.ErrClosed
+	}
+	if d.wb != nil {
+		return d.wb.write(p, off)
 	}
 	defer d.enter()()
 	return d.handler.WriteAt(p, off)
@@ -191,6 +225,7 @@ func (d *dispatcher) size() (int64, error) {
 	if d.closed.Load() {
 		return 0, wire.ErrClosed
 	}
+	d.wb.flush()
 	defer d.enter()()
 	return d.handler.Size()
 }
@@ -199,6 +234,7 @@ func (d *dispatcher) truncate(n int64) error {
 	if d.closed.Load() {
 		return wire.ErrClosed
 	}
+	d.wb.flush()
 	defer d.enter()()
 	return d.handler.Truncate(n)
 }
@@ -207,8 +243,12 @@ func (d *dispatcher) sync() error {
 	if d.closed.Load() {
 		return wire.ErrClosed
 	}
+	werr := d.wb.settle()
 	defer d.enter()()
-	return d.handler.Sync()
+	if err := d.handler.Sync(); werr == nil {
+		return err
+	}
+	return werr
 }
 
 func (d *dispatcher) lock(off, n int64) error {
@@ -243,6 +283,7 @@ func (d *dispatcher) control(req []byte) ([]byte, error) {
 	if d.closed.Load() {
 		return nil, wire.ErrClosed
 	}
+	d.wb.flush()
 	defer d.enter()()
 	return ctl.Control(req)
 }
@@ -250,12 +291,22 @@ func (d *dispatcher) control(req []byte) ([]byte, error) {
 // closeHandler closes the handler exactly once; later calls (and dispatches)
 // are no-ops reporting success or StatusClosed respectively. Every shutdown
 // path — explicit OpClose, abandoned transport, failed channel — funnels
-// here, so a session can never double-close its program.
+// here, so a session can never double-close its program. Buffered writes
+// settle before the handler lock is taken (wb.mu orders before d.mu), and a
+// deferred write failure outranks a clean close.
 func (d *dispatcher) closeHandler() error {
+	var werr error
+	if !d.closed.Load() {
+		werr = d.wb.settle()
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if !d.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	return d.handler.Close()
+	err := d.handler.Close()
+	if werr != nil {
+		return werr
+	}
+	return err
 }

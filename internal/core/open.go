@@ -63,10 +63,17 @@ func Open(path string, opts Options) (*Handle, error) {
 		if err != nil {
 			return nil, fmt.Errorf("open program %q: %w", m.Program.Name, err)
 		}
+		writeBehind := m.Params["writebehind"] == "true"
 		if strategy == StrategyThread {
-			return newHandle(strategy, newThreadTransport(handler)), nil
+			topts := threadOptions{
+				readAhead:   m.Params["readahead"] != "false",
+				writeBehind: writeBehind,
+			}
+			return newHandle(strategy, newThreadTransport(handler, topts)), nil
 		}
-		return newHandle(strategy, newDirectTransport(handler)), nil
+		// Direct calls have no switch cost to hide, so read-ahead buys
+		// nothing; write coalescing still batches handler round trips.
+		return newHandle(strategy, newDirectTransport(handler, writeBehind)), nil
 
 	default:
 		return nil, fmt.Errorf("core: unhandled strategy %v", strategy)

@@ -137,6 +137,7 @@ type procCtlTransport struct {
 	cmd *exec.Cmd
 	cf  *ipc.ChannelFiles
 	mux *ipc.Mux
+	pf  *prefetcher // client-side read-ahead; nil when opted out
 }
 
 var _ transport = (*procCtlTransport)(nil)
@@ -146,14 +147,35 @@ func newProcCtlTransport(manifestPath string, m vfs.Manifest) (*procCtlTransport
 	if err != nil {
 		return nil, err
 	}
-	return &procCtlTransport{
+	t := &procCtlTransport{
 		cmd: cmd,
 		cf:  cf,
 		mux: ipc.NewMux(cf.CtrlToChild, cf.FromChild, cf.ToChild),
-	}, nil
+	}
+	if m.Params["readahead"] != "false" {
+		// Client-side window: sequential reads are answered by a memcpy out
+		// of the window while an async fill — pipelined on the mux — keeps
+		// it ahead of the application. This is where the pipe round trip
+		// leaves the per-read critical path entirely.
+		t.pf = newPrefetcher(t.muxReadAt, true)
+	}
+	return t, nil
 }
 
 func (t *procCtlTransport) readAt(p []byte, off int64) (int, error) {
+	if n, err, ok := t.pf.readAt(p, off); ok {
+		return n, err
+	}
+	n, err := t.muxReadAt(p, off)
+	if err == nil || errors.Is(err, io.EOF) {
+		t.pf.afterRead(off, n, len(p), errors.Is(err, io.EOF))
+	}
+	return n, err
+}
+
+// muxReadAt reads through the control channel, chunked to the frame payload
+// bound — the window-miss path, and the prefetcher's fill source.
+func (t *procCtlTransport) muxReadAt(p []byte, off int64) (int, error) {
 	total := 0
 	for total < len(p) {
 		chunk := len(p) - total
@@ -181,6 +203,7 @@ func (t *procCtlTransport) readAt(p []byte, off int64) (int, error) {
 }
 
 func (t *procCtlTransport) writeAt(p []byte, off int64) (int, error) {
+	defer t.pf.invalidate() // written content may overlap the window
 	total := 0
 	for total < len(p) {
 		chunk := len(p) - total
@@ -208,6 +231,7 @@ func (t *procCtlTransport) size() (int64, error) {
 }
 
 func (t *procCtlTransport) truncate(n int64) error {
+	defer t.pf.invalidate()
 	resp, err := t.mux.RoundTrip(&wire.Request{Op: wire.OpTruncate, Off: n}, nil)
 	if err != nil {
 		return err
@@ -240,6 +264,7 @@ func (t *procCtlTransport) unlock(off, n int64) error {
 }
 
 func (t *procCtlTransport) control(req []byte) ([]byte, error) {
+	defer t.pf.invalidate() // the program may mutate content out of band
 	resp, err := t.mux.RoundTrip(&wire.Request{Op: wire.OpControl, Data: req}, nil)
 	if err != nil {
 		return nil, err

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"io"
 	"sync"
 
 	"repro/internal/ipc"
@@ -37,17 +38,34 @@ type threadTransport struct {
 	d   *dispatcher
 	seq wire.SeqCounter
 	wg  sync.WaitGroup // sentinel workers
+	pf  *prefetcher    // client-side read-ahead; nil when opted out
 }
 
 var _ transport = (*threadTransport)(nil)
 
+// threadOptions selects the thread strategy's data-path optimizations,
+// mirroring the procctl sentinel's ctrlOptions.
+type threadOptions struct {
+	readAhead   bool
+	writeBehind bool
+}
+
 // newThreadTransport starts the sentinel worker pool over handler and
 // returns the connected transport. The workers exit when the transport
 // closes.
-func newThreadTransport(handler Handler) *threadTransport {
+func newThreadTransport(handler Handler, opts threadOptions) *threadTransport {
 	t := &threadTransport{
 		rv: ipc.NewRendezvous[*wire.Request, threadReply](),
 		d:  newDispatcher(handler),
+	}
+	if opts.writeBehind {
+		t.d.enableWriteBehind()
+	}
+	if opts.readAhead {
+		// Sequential reads are answered from the window by a memcpy; the
+		// async fill rendezvouses with a sentinel worker in the background,
+		// off the application's critical path.
+		t.pf = newPrefetcher(t.callReadAt, true)
 	}
 	t.wg.Add(threadWorkers)
 	for i := 0; i < threadWorkers; i++ {
@@ -96,6 +114,19 @@ func (t *threadTransport) call(req *wire.Request) (wire.Response, func(), error)
 }
 
 func (t *threadTransport) readAt(p []byte, off int64) (int, error) {
+	if n, err, ok := t.pf.readAt(p, off); ok {
+		return n, err
+	}
+	n, err := t.callReadAt(p, off)
+	if err == nil || errors.Is(err, io.EOF) {
+		t.pf.afterRead(off, n, len(p), errors.Is(err, io.EOF))
+	}
+	return n, err
+}
+
+// callReadAt reads through the sentinel rendezvous, chunked to the frame
+// payload bound — the window-miss path, and the prefetcher's fill source.
+func (t *threadTransport) callReadAt(p []byte, off int64) (int, error) {
 	total := 0
 	for total < len(p) {
 		chunk := len(p) - total
@@ -120,6 +151,7 @@ func (t *threadTransport) readAt(p []byte, off int64) (int, error) {
 }
 
 func (t *threadTransport) writeAt(p []byte, off int64) (int, error) {
+	defer t.pf.invalidate() // written content may overlap the window
 	total := 0
 	for total < len(p) {
 		chunk := len(p) - total
@@ -152,6 +184,7 @@ func (t *threadTransport) size() (int64, error) {
 }
 
 func (t *threadTransport) truncate(n int64) error {
+	defer t.pf.invalidate()
 	resp, release, err := t.call(&wire.Request{Op: wire.OpTruncate, Off: n})
 	if err != nil {
 		return err
@@ -188,6 +221,7 @@ func (t *threadTransport) unlock(off, n int64) error {
 }
 
 func (t *threadTransport) control(req []byte) ([]byte, error) {
+	defer t.pf.invalidate() // the program may mutate content out of band
 	resp, release, err := t.call(&wire.Request{Op: wire.OpControl, Data: req})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"io"
+	"sync"
+)
+
+// writeBehindMax is the coalescing threshold: the buffer flushes once it
+// holds this much, and any single write at least this large bypasses the
+// buffer entirely.
+const writeBehindMax = 64 * 1024
+
+// writeBehind is the dispatcher's opt-in write coalescer. Adjacent small
+// writes — the sequential append pattern Figure 6's write sweep produces —
+// accumulate in one buffer and reach the handler as a single WriteAt,
+// turning N handler round trips into one. Semantics match the procctl write
+// contract the paper describes ("writes are issued without waiting for their
+// completion"): buffered writes succeed immediately, and any backing failure
+// is deferred to the next sync, close, or barrier, where settle surfaces it.
+//
+// Read-your-writes holds because every dispatcher read path flushes the
+// buffer first when the ranges overlap, and size/truncate/control flush
+// unconditionally. A nil *writeBehind disables coalescing; every method is a
+// safe no-op.
+//
+// Lock order: wb.mu is always taken before the dispatcher's handler lock
+// (flushLocked calls handlerWriteAt), never the reverse.
+type writeBehind struct {
+	d *dispatcher
+
+	mu  sync.Mutex
+	off int64  // file offset of buf[0]
+	buf []byte // pending contiguous run
+	err error  // first deferred flush error, cleared by settle
+}
+
+// write buffers p at off, flushing as needed to keep the buffer one
+// contiguous run. Buffered writes report success immediately; errors from
+// the eventual backing write are deferred to settle. Writes at or above the
+// coalescing threshold flush the run and go straight to the handler,
+// reporting their result synchronously.
+func (w *writeBehind) write(p []byte, off int64) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(p) >= writeBehindMax {
+		w.flushLocked()
+		return w.d.handlerWriteAt(p, off)
+	}
+	if len(w.buf) > 0 && off != w.off+int64(len(w.buf)) {
+		w.flushLocked()
+	}
+	if len(w.buf) == 0 {
+		w.off = off
+	}
+	w.buf = append(w.buf, p...)
+	if len(w.buf) >= writeBehindMax {
+		w.flushLocked()
+	}
+	return len(p), nil
+}
+
+// flushLocked ships the pending run to the handler, recording the first
+// failure for settle. Callers hold w.mu.
+func (w *writeBehind) flushLocked() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	n, err := w.d.handlerWriteAt(w.buf, w.off)
+	if err == nil && n < len(w.buf) {
+		err = io.ErrShortWrite
+	}
+	w.buf = w.buf[:0]
+	if err != nil && w.err == nil {
+		w.err = err
+	}
+	return err
+}
+
+// flushOverlap flushes the pending run only when it intersects [off, off+n)
+// — the read-your-writes hook, cheap for reads that don't touch buffered
+// data.
+func (w *writeBehind) flushOverlap(off int64, n int) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	if len(w.buf) > 0 && off < w.off+int64(len(w.buf)) && off+int64(n) > w.off {
+		w.flushLocked()
+	}
+	w.mu.Unlock()
+}
+
+// flush ships any pending run, keeping deferred errors for settle.
+func (w *writeBehind) flush() {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	w.flushLocked()
+	w.mu.Unlock()
+}
+
+// settle flushes and returns-and-clears the deferred error — the sync/close
+// barrier, where "the completion status of the writes" is finally reported.
+func (w *writeBehind) settle() error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.flushLocked()
+	err := w.err
+	w.err = nil
+	return err
+}

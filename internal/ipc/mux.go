@@ -59,9 +59,12 @@ func NewMux(ctrl io.Writer, resp io.Reader, data io.Writer) *Mux {
 }
 
 // receive routes response frames to waiters by Seq until the channel fails.
+// Payloads are read off the stream directly into the waiter's destination
+// buffer — the split header/payload decode means the channel-to-caller copy
+// is the only one on the read path.
 func (m *Mux) receive(r *wire.Reader) {
 	for {
-		resp, err := r.ReadResponse()
+		resp, payloadLen, err := r.ReadResponseHeader()
 		if err != nil {
 			m.fail(err)
 			return
@@ -71,21 +74,27 @@ func (m *Mux) receive(r *wire.Reader) {
 		delete(m.pending, resp.Seq)
 		m.mu.Unlock()
 		if !ok {
-			// Response for an abandoned exchange; drop it.
+			// Response for an abandoned exchange; drop its payload too.
+			if err := r.DiscardPayload(); err != nil {
+				m.fail(err)
+				return
+			}
 			continue
 		}
-		// The reader's buffer is reused for the next frame, so the payload
-		// must move out before delivery: into the waiter's destination when
-		// it fits, else into a fresh allocation.
-		if len(resp.Data) > 0 {
-			if p.dst != nil && len(p.dst) >= len(resp.Data) {
-				n := copy(p.dst, resp.Data)
-				resp.Data = p.dst[:n]
+		if payloadLen > 0 {
+			dst := p.dst
+			if len(dst) >= payloadLen {
+				dst = dst[:payloadLen]
 			} else {
-				resp.Data = append([]byte(nil), resp.Data...)
+				// Destination missing or too small — rare cold path.
+				dst = make([]byte, payloadLen)
 			}
-		} else {
-			resp.Data = nil
+			if err := r.ReadPayload(dst); err != nil {
+				p.ch <- muxResult{err: err}
+				m.fail(err)
+				return
+			}
+			resp.Data = dst
 		}
 		p.ch <- muxResult{resp: resp}
 	}

@@ -184,6 +184,7 @@ func (s *FileServer) serveConn(conn net.Conn) {
 
 	handle := func(req *wire.Request) {
 		resp := wire.Response{Seq: req.Seq, Status: wire.StatusOK}
+		release := func() {}
 		if ierr := s.injectedDelayAndFault(); ierr != nil {
 			resp.Status, resp.Msg = wire.FromError(ierr)
 			if resp.Status == wire.StatusOK {
@@ -203,7 +204,10 @@ func (s *FileServer) serveConn(conn net.Conn) {
 				resp.Status, resp.Msg = wire.StatusError, "bad read size"
 				break
 			}
-			buf := make([]byte, n)
+			// Pooled response buffer, recycled once the frame has shipped:
+			// concurrent reads cost no per-op allocation.
+			buf, rel := wire.GetBuf(n)
+			release = rel
 			rn, rerr := lookup().ReadAt(buf, req.Off)
 			resp.N = int64(rn)
 			resp.Data = buf[:rn]
@@ -249,18 +253,23 @@ func (s *FileServer) serveConn(conn net.Conn) {
 			resp.Status = wire.StatusUnsupported
 		}
 		respond(&resp)
+		release()
 	}
 
 	var inflight sync.WaitGroup
 	defer inflight.Wait()
 	for {
-		req, err := r.ReadRequest()
+		req, payloadLen, err := r.ReadRequestHeader()
 		if err != nil {
 			return // connection gone or garbage; nothing to answer
 		}
 
 		switch req.Op {
 		case wire.OpOpen:
+			name := make([]byte, payloadLen)
+			if err := r.ReadPayload(name); err != nil {
+				return
+			}
 			inflight.Wait() // settle workers before changing connection state
 			resp := wire.Response{Seq: req.Seq, Status: wire.StatusOK}
 			if ierr := s.injectedDelayAndFault(); ierr != nil {
@@ -273,27 +282,37 @@ func (s *FileServer) serveConn(conn net.Conn) {
 			}
 			// Opening a missing object creates it, matching a writable
 			// store; an explicit stat can distinguish.
-			objName = string(req.Data)
+			objName = string(name)
 			opened = true
 			lookup()
 			respond(&resp)
 
 		case wire.OpClose:
+			if err := r.DiscardPayload(); err != nil {
+				return
+			}
 			inflight.Wait() // every outstanding reply precedes the goodbye
 			respond(&wire.Response{Seq: req.Seq, Status: wire.StatusOK})
 			return
 
 		default:
-			// The frame reader reuses its buffer on the next ReadRequest, so
-			// a queued request's payload must be copied out first.
+			// A queued request's payload lands straight in a pooled buffer
+			// the worker releases after replying — no intake-side copy.
 			qreq := req
-			if len(req.Data) > 0 {
-				qreq.Data = append([]byte(nil), req.Data...)
+			release := func() {}
+			if payloadLen > 0 {
+				buf, rel := wire.GetBuf(payloadLen)
+				if err := r.ReadPayload(buf); err != nil {
+					rel()
+					return
+				}
+				qreq.Data, release = buf, rel
 			}
 			inflight.Add(1)
 			go func() {
 				defer inflight.Done()
 				handle(&qreq)
+				release()
 			}()
 		}
 	}

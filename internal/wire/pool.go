@@ -1,0 +1,43 @@
+package wire
+
+import "sync"
+
+// PooledBufSize is the capacity of recycled payload buffers. One pooled
+// buffer serves any payload up to 64 KiB — far beyond the paper's 2 KiB top
+// block size — while keeping an idle session's footprint bounded. Larger
+// requests fall back to one-shot allocations that are never parked in the
+// pool.
+const PooledBufSize = 64 * 1024
+
+// payloadPool recycles payload buffers across concurrent dispatches,
+// sessions, and connections. Pointers avoid an allocation per Put.
+var payloadPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, PooledBufSize)
+		return &b
+	},
+}
+
+// GetBuf returns a zeroable buffer of length n and the release function that
+// recycles it. The caller must invoke release exactly once, after the buffer
+// contents have been shipped or copied; the buffer must not be used after
+// release. Requests beyond the pooled size are served by a one-shot
+// allocation whose release is a no-op, so pooled buffers never exceed
+// PooledBufSize: oversized buffers are dropped on return instead of parked.
+func GetBuf(n int) ([]byte, func()) {
+	if n <= PooledBufSize {
+		bp := payloadPool.Get().(*[]byte)
+		return (*bp)[:n], func() { putBuf(bp) }
+	}
+	return make([]byte, n), func() {}
+}
+
+// putBuf recycles a pooled buffer, dropping any that grew past the payload
+// bound (defensive — GetBuf never hands those out).
+func putBuf(bp *[]byte) {
+	if cap(*bp) > MaxPayload {
+		return
+	}
+	*bp = (*bp)[:cap(*bp)]
+	payloadPool.Put(bp)
+}

@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"sync/atomic"
 )
 
@@ -252,35 +253,36 @@ func DecodeResponse(frame []byte) (Response, error) {
 	return r, nil
 }
 
-// readFrame reads one length-prefixed frame into buf (growing it as needed)
-// and returns the frame body.
-func readFrame(r io.Reader, buf []byte) ([]byte, []byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, buf, err
-	}
-	n := int(binary.BigEndian.Uint32(hdr[:]))
-	if n > maxFrame {
-		return nil, buf, ErrFrameTooLarge
-	}
-	if cap(buf) < n {
-		buf = make([]byte, n)
-	}
-	body := buf[:n]
-	if _, err := io.ReadFull(r, body); err != nil {
-		if errors.Is(err, io.EOF) {
-			err = io.ErrUnexpectedEOF
-		}
-		return nil, buf, err
-	}
-	return body, buf, nil
-}
+// Scratch-buffer tuning for the streaming Writer and Reader.
+const (
+	// inlinePayload is the largest payload copied into the frame scratch
+	// and emitted as a single Write. Larger payloads are emitted vectored
+	// (header and payload as separate slices), so they are never memcpy'd
+	// into a frame buffer; the threshold keeps small frames — the paper's
+	// block sizes — at one write syscall each.
+	inlinePayload = 2048
+	// scratchCap bounds the scratch a Writer or Reader retains between
+	// frames. A frame that forces the scratch past this cap (an oversized
+	// error message, a legacy whole-frame read) is served by a one-shot
+	// allocation dropped afterwards, so one large frame can no longer pin
+	// megabytes for the life of the session.
+	scratchCap = 4096
+)
 
-// Writer serializes frames onto an io.Writer, reusing an internal buffer.
-// It is not safe for concurrent use.
+// Writer serializes frames onto an io.Writer, reusing a small internal
+// scratch for headers and inline payloads. Payloads above inlinePayload are
+// written vectored via net.Buffers — on a net.Conn that is one writev, and
+// on any other writer two sequential Writes — so the payload bytes are never
+// copied into an intermediate frame buffer. It is not safe for concurrent
+// use.
 type Writer struct {
 	w   io.Writer
 	buf []byte
+	vec [2][]byte
+	// bufs is the reusable net.Buffers header for vectored writes. WriteTo
+	// takes a pointer receiver, so a per-call local would escape and cost
+	// one allocation per large frame; a field does not.
+	bufs net.Buffers
 }
 
 // NewWriter returns a frame writer over w.
@@ -288,34 +290,84 @@ func NewWriter(w io.Writer) *Writer {
 	return &Writer{w: w}
 }
 
+// flush emits the encoded envelope in fw.buf plus payload, vectored when the
+// payload is large, then shrinks any oversized scratch.
+func (fw *Writer) flush(payload []byte) error {
+	var err error
+	if len(payload) > inlinePayload {
+		fw.vec[0], fw.vec[1] = fw.buf, payload
+		fw.bufs = fw.vec[:]
+		_, err = fw.bufs.WriteTo(fw.w)
+		fw.bufs = nil
+		fw.vec[0], fw.vec[1] = nil, nil
+	} else {
+		fw.buf = append(fw.buf, payload...)
+		_, err = fw.w.Write(fw.buf)
+	}
+	if cap(fw.buf) > scratchCap {
+		fw.buf = nil
+	}
+	return err
+}
+
 // WriteRequest encodes and writes one request frame.
 func (fw *Writer) WriteRequest(r *Request) error {
-	b, err := AppendRequest(fw.buf[:0], r)
-	if err != nil {
-		return err
+	if len(r.Data) > MaxPayload {
+		return ErrFrameTooLarge
 	}
+	if !r.Op.Valid() {
+		return ErrBadOp
+	}
+	frameLen := reqHeaderLen + len(r.Data)
+	b := fw.buf[:0]
+	b = binary.BigEndian.AppendUint32(b, uint32(frameLen))
+	b = append(b, byte(r.Op))
+	b = binary.BigEndian.AppendUint32(b, r.Seq)
+	b = binary.BigEndian.AppendUint64(b, uint64(r.Off))
+	b = binary.BigEndian.AppendUint64(b, uint64(r.N))
 	fw.buf = b
-	_, err = fw.w.Write(b)
-	return err
+	return fw.flush(r.Data)
 }
 
 // WriteResponse encodes and writes one response frame.
 func (fw *Writer) WriteResponse(r *Response) error {
-	b, err := AppendResponse(fw.buf[:0], r)
-	if err != nil {
-		return err
+	if len(r.Data) > MaxPayload || len(r.Msg) > MaxPayload {
+		return ErrFrameTooLarge
 	}
+	if !r.Status.Valid() {
+		return ErrBadStatus
+	}
+	frameLen := rspHeaderLen + len(r.Msg) + len(r.Data)
+	if frameLen > maxFrame {
+		return ErrFrameTooLarge
+	}
+	b := fw.buf[:0]
+	b = binary.BigEndian.AppendUint32(b, uint32(frameLen))
+	b = append(b, byte(r.Status))
+	b = binary.BigEndian.AppendUint32(b, r.Seq)
+	b = binary.BigEndian.AppendUint64(b, uint64(r.N))
+	b = binary.BigEndian.AppendUint32(b, uint32(len(r.Msg)))
+	b = append(b, r.Msg...)
 	fw.buf = b
-	_, err = fw.w.Write(b)
-	return err
+	return fw.flush(r.Data)
 }
 
-// Reader deserializes frames from an io.Reader, reusing an internal buffer.
-// Decoded payloads alias that buffer and are only valid until the next read.
-// It is not safe for concurrent use.
+// Reader deserializes frames from an io.Reader.
+//
+// Two decode styles are offered. The whole-frame ReadRequest/ReadResponse
+// return payloads aliasing an internal scratch, valid only until the next
+// read. The split ReadRequestHeader/ReadResponseHeader read just the
+// envelope and leave the payload on the stream, so the caller can land it
+// directly in its own (or a pooled) buffer via ReadPayload — the zero-copy
+// path ipc.Mux and the file server use. After a header read, the caller must
+// consume exactly the reported payload length with ReadPayload (or drop it
+// with DiscardPayload) before the next header read.
+//
+// A Reader is not safe for concurrent use.
 type Reader struct {
-	r   io.Reader
-	buf []byte
+	r       io.Reader
+	buf     []byte
+	pending int // unread payload bytes of the current frame
 }
 
 // NewReader returns a frame reader over r.
@@ -323,22 +375,175 @@ func NewReader(r io.Reader) *Reader {
 	return &Reader{r: r}
 }
 
-// ReadRequest reads and decodes one request frame.
+// scratch returns the retained scratch grown to length n.
+func (fr *Reader) scratch(n int) []byte {
+	if cap(fr.buf) < n {
+		fr.buf = make([]byte, n)
+	}
+	return fr.buf[:n]
+}
+
+// shrink drops scratch that outgrew the retention cap; any payload aliasing
+// it stays valid (the reference moves to the caller), and the next frame
+// starts from a small allocation.
+func (fr *Reader) shrink() {
+	if cap(fr.buf) > scratchCap {
+		fr.buf = nil
+	}
+}
+
+// checkHeaderRead validates the combined length-prefix-plus-header read.
+// Headers are fixed-size and always present, so both are fetched in one
+// ReadFull; a frame-length problem is still diagnosed first — even on a
+// truncated stream — as long as the four length bytes arrived.
+func checkHeaderRead(hdr []byte, n int, err error, headerLen int) error {
+	if n >= 4 {
+		frameLen := int(binary.BigEndian.Uint32(hdr[:4]))
+		if frameLen > maxFrame {
+			return ErrFrameTooLarge
+		}
+		if frameLen < headerLen {
+			return ErrShortFrame
+		}
+	}
+	return err
+}
+
+// fill reads exactly len(b) bytes, mapping a mid-frame EOF to
+// io.ErrUnexpectedEOF.
+func (fr *Reader) fill(b []byte) error {
+	if _, err := io.ReadFull(fr.r, b); err != nil {
+		if errors.Is(err, io.EOF) {
+			return io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	return nil
+}
+
+// ReadRequestHeader reads one request frame's envelope — op, seq, off, n —
+// and returns it along with the payload length still on the stream. A clean
+// EOF at a frame boundary returns io.EOF.
+func (fr *Reader) ReadRequestHeader() (Request, int, error) {
+	if err := fr.DiscardPayload(); err != nil {
+		return Request{}, 0, err
+	}
+	fr.shrink()
+	hdr := fr.scratch(4 + reqHeaderLen)
+	n, err := io.ReadFull(fr.r, hdr)
+	if err := checkHeaderRead(hdr, n, err, reqHeaderLen); err != nil {
+		return Request{}, 0, err
+	}
+	frameLen := int(binary.BigEndian.Uint32(hdr[:4]))
+	r := Request{
+		Op:  Op(hdr[4]),
+		Seq: binary.BigEndian.Uint32(hdr[5:9]),
+		Off: int64(binary.BigEndian.Uint64(hdr[9:17])),
+		N:   int64(binary.BigEndian.Uint64(hdr[17:25])),
+	}
+	if !r.Op.Valid() {
+		return Request{}, 0, ErrBadOp
+	}
+	fr.pending = frameLen - reqHeaderLen
+	return r, fr.pending, nil
+}
+
+// ReadResponseHeader reads one response frame's envelope — status, seq, n,
+// msg — and returns it along with the payload length still on the stream.
+func (fr *Reader) ReadResponseHeader() (Response, int, error) {
+	if err := fr.DiscardPayload(); err != nil {
+		return Response{}, 0, err
+	}
+	fr.shrink()
+	hdr := fr.scratch(4 + rspHeaderLen)
+	n, err := io.ReadFull(fr.r, hdr)
+	if err := checkHeaderRead(hdr, n, err, rspHeaderLen); err != nil {
+		return Response{}, 0, err
+	}
+	frameLen := int(binary.BigEndian.Uint32(hdr[:4]))
+	r := Response{
+		Status: Status(hdr[4]),
+		Seq:    binary.BigEndian.Uint32(hdr[5:9]),
+		N:      int64(binary.BigEndian.Uint64(hdr[9:17])),
+	}
+	if !r.Status.Valid() {
+		return Response{}, 0, ErrBadStatus
+	}
+	msgLen := int(binary.BigEndian.Uint32(hdr[17:21]))
+	if msgLen < 0 || rspHeaderLen+msgLen > frameLen {
+		return Response{}, 0, ErrShortFrame
+	}
+	if msgLen > 0 {
+		m := fr.scratch(msgLen)
+		if err := fr.fill(m); err != nil {
+			return Response{}, 0, err
+		}
+		r.Msg = string(m)
+	}
+	fr.pending = frameLen - rspHeaderLen - msgLen
+	return r, fr.pending, nil
+}
+
+// ReadPayload fills dst with the next len(dst) payload bytes of the current
+// frame. len(dst) must not exceed the pending payload length reported by the
+// preceding header read.
+func (fr *Reader) ReadPayload(dst []byte) error {
+	if len(dst) > fr.pending {
+		return ErrShortFrame
+	}
+	if err := fr.fill(dst); err != nil {
+		return err
+	}
+	fr.pending -= len(dst)
+	return nil
+}
+
+// DiscardPayload drains whatever remains of the current frame's payload, so
+// the next header read starts at a frame boundary.
+func (fr *Reader) DiscardPayload() error {
+	for fr.pending > 0 {
+		chunk := fr.pending
+		if chunk > scratchCap {
+			chunk = scratchCap
+		}
+		if err := fr.fill(fr.scratch(chunk)); err != nil {
+			return err
+		}
+		fr.pending -= chunk
+	}
+	return nil
+}
+
+// ReadRequest reads and decodes one request frame. The returned Request's
+// Data aliases an internal scratch and is only valid until the next read.
 func (fr *Reader) ReadRequest() (Request, error) {
-	body, buf, err := readFrame(fr.r, fr.buf)
-	fr.buf = buf
+	req, n, err := fr.ReadRequestHeader()
 	if err != nil {
 		return Request{}, err
 	}
-	return DecodeRequest(body)
+	if n > 0 {
+		data := fr.scratch(n)
+		if err := fr.ReadPayload(data); err != nil {
+			return Request{}, err
+		}
+		req.Data = data
+	}
+	return req, nil
 }
 
-// ReadResponse reads and decodes one response frame.
+// ReadResponse reads and decodes one response frame. The returned Response's
+// Data aliases an internal scratch and is only valid until the next read.
 func (fr *Reader) ReadResponse() (Response, error) {
-	body, buf, err := readFrame(fr.r, fr.buf)
-	fr.buf = buf
+	resp, n, err := fr.ReadResponseHeader()
 	if err != nil {
 		return Response{}, err
 	}
-	return DecodeResponse(body)
+	if n > 0 {
+		data := fr.scratch(n)
+		if err := fr.ReadPayload(data); err != nil {
+			return Response{}, err
+		}
+		resp.Data = data
+	}
+	return resp, nil
 }
