@@ -1,7 +1,11 @@
-# Test tiers. tier1 is the gate every change must keep green; race adds the
-# vet + race-detector sweep covering the concurrent session core; bench-smoke
-# compiles and single-shots the parallel and allocation benchmarks so they
-# cannot bit-rot; bench-json regenerates the committed Figure 6 JSON report.
+# Test tiers. tier1 is the gate every change must keep green (build + vet +
+# tests); race adds the race-detector sweep covering the concurrent session
+# core, then re-runs the chaos/fault suites under -race explicitly so the
+# failure paths (sentinel death, connection drops, deadlines, torn frames)
+# are exercised with the detector on even if the default sweep is filtered;
+# bench-smoke compiles and single-shots the parallel and allocation
+# benchmarks so they cannot bit-rot; bench-json regenerates the committed
+# Figure 6 JSON report.
 
 GO ?= go
 BENCH_JSON ?= BENCH_2.json
@@ -12,11 +16,14 @@ all: tier1 race bench-smoke
 
 tier1:
 	$(GO) build ./...
+	$(GO) vet ./...
 	$(GO) test ./...
 
 race:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -race -count=1 -run 'Chaos|Fault|Proxy|Partial|Torn|SentinelDeath|StalledSentinel|Mux|Client' \
+		./internal/ipc ./internal/core ./internal/remote ./internal/faultinject ./internal/bench
 
 # Smoke-run the benchmark panels: the parallel sweep plus the wire
 # allocation benchmarks (which assert the zero-copy framing stays

@@ -11,6 +11,11 @@
 // per strategy, reporting aggregate throughput and speedup:
 //
 //	afbench -parallel 1,4,16 -op read
+//
+// With -chaos it sweeps connection-drop rates over the remote path through a
+// fault-injecting proxy, reporting recovery latency and surviving throughput:
+//
+//	afbench -chaos 0,0.01,0.05,0.1 -ops 500
 package main
 
 import (
@@ -42,6 +47,8 @@ func run(args []string) error {
 		process     = flags.Bool("process", false, "include the plain process strategy (no control channel)")
 		baseline    = flags.Bool("baseline", true, "include the no-sentinel baseline series")
 		parallel    = flags.String("parallel", "", "comma-separated concurrent-client counts (e.g. 1,4,16); sweeps parallel throughput instead of Figure 6")
+		chaos       = flags.String("chaos", "", "comma-separated connection-drop rates (e.g. 0,0.01,0.1); sweeps fault recovery instead of Figure 6")
+		chaosSeed   = flags.Int64("chaos-seed", 1, "seed for the chaos fault schedule")
 		latency     = flags.Duration("latency", 0, "injected remote-service latency per operation (e.g. 200us), simulating a distant source")
 		jsonPath    = flags.String("json", "", "also write the Figure 6 results as a machine-readable JSON report to this file")
 		readAhead   = flags.Bool("readahead", true, "enable adaptive read-ahead in the sentinel strategies (ablation switch)")
@@ -98,6 +105,17 @@ func run(args []string) error {
 		}
 	}
 
+	var rates []float64
+	if *chaos != "" {
+		for _, part := range strings.Split(*chaos, ",") {
+			f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil || f < 0 || f > 1 {
+				return fmt.Errorf("bad chaos rate %q", part)
+			}
+			rates = append(rates, f)
+		}
+	}
+
 	var degrees []int
 	if *parallel != "" {
 		for _, part := range strings.Split(*parallel, ",") {
@@ -123,6 +141,19 @@ func run(args []string) error {
 
 	if *latency > 0 {
 		runner.SetRemoteLatency(*latency)
+	}
+
+	if rates != nil {
+		copts := bench.ChaosOptions{Rates: rates, Ops: *ops, Seed: *chaosSeed}
+		if len(opts.Blocks) > 0 {
+			copts.BlockSize = opts.Blocks[0]
+		}
+		fmt.Printf("active files — chaos sweep, remote path (%d ops per point)\n\n", *ops)
+		points, err := runner.RunChaos(copts)
+		if err != nil {
+			return err
+		}
+		return bench.WriteChaosTable(os.Stdout, points)
 	}
 
 	if degrees != nil {

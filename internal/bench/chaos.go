@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/remote"
+)
+
+// ChaosOptions configures a fault-injection sweep over the remote path: a
+// client reads through a fault-injecting proxy while connections are severed
+// at a configured per-operation probability, and the sweep reports how fast
+// the fault-tolerant client recovers.
+type ChaosOptions struct {
+	// Rates are the per-operation connection-drop probabilities to sweep.
+	Rates []float64
+	// Ops per rate point (DefaultOps when zero).
+	Ops int
+	// BlockSize per read (512 when zero).
+	BlockSize int
+	// OpTimeout is the client's per-exchange deadline (1s when zero).
+	OpTimeout time.Duration
+	// Seed makes the fault schedule reproducible.
+	Seed int64
+}
+
+// ChaosPoint is one rate's outcome.
+type ChaosPoint struct {
+	Rate       float64
+	Ops        int
+	Drops      uint64 // connections severed under the client
+	Errors     int    // operations that still failed (retries exhausted)
+	Reconnects uint64 // sessions the client redialed
+	// Recovery latency: time from severing the connection to the next
+	// successful operation, i.e. what a caller actually waits through a
+	// fault (backoff + redial + reopen + replay).
+	Recoveries   int
+	MeanRecovery time.Duration
+	MaxRecovery  time.Duration
+	Elapsed      time.Duration
+}
+
+// OpsPerSec is the achieved throughput including fault handling.
+func (p ChaosPoint) OpsPerSec() float64 {
+	if p.Elapsed <= 0 {
+		return 0
+	}
+	return float64(p.Ops) / p.Elapsed.Seconds()
+}
+
+// RunChaos sweeps drop rates over the remote read path. Each point dials a
+// fresh fault-tolerant client through a fresh proxy, so rates don't
+// contaminate each other.
+func (r *Runner) RunChaos(opts ChaosOptions) ([]ChaosPoint, error) {
+	if opts.Ops == 0 {
+		opts.Ops = DefaultOps
+	}
+	if opts.BlockSize == 0 {
+		opts.BlockSize = 512
+	}
+	if opts.OpTimeout == 0 {
+		opts.OpTimeout = time.Second
+	}
+	if len(opts.Rates) == 0 {
+		opts.Rates = []float64{0, 0.01, 0.05, 0.10}
+	}
+
+	r.nextID++
+	objName := fmt.Sprintf("chaos-%d", r.nextID)
+	size := int64(opts.BlockSize) * int64(opts.Ops)
+	content := make([]byte, size)
+	for i := range content {
+		content[i] = byte(i)
+	}
+	r.server.Put(objName, content)
+
+	points := make([]ChaosPoint, 0, len(opts.Rates))
+	for i, rate := range opts.Rates {
+		pt, err := r.chaosPoint(objName, size, rate, opts, opts.Seed+int64(i))
+		if err != nil {
+			return points, err
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+func (r *Runner) chaosPoint(objName string, size int64, rate float64, opts ChaosOptions, seed int64) (ChaosPoint, error) {
+	proxy := faultinject.NewProxy(r.addr)
+	paddr, err := proxy.Start()
+	if err != nil {
+		return ChaosPoint{}, err
+	}
+	defer proxy.Close()
+
+	client, err := remote.DialWith(paddr, objName, remote.DialOptions{OpTimeout: opts.OpTimeout})
+	if err != nil {
+		return ChaosPoint{}, fmt.Errorf("chaos dial (rate %.2f): %w", rate, err)
+	}
+	defer client.Close()
+
+	rng := rand.New(rand.NewSource(seed))
+	pt := ChaosPoint{Rate: rate, Ops: opts.Ops}
+	buf := make([]byte, opts.BlockSize)
+
+	var totalRecovery time.Duration
+	var dropAt time.Time
+	recovering := false
+
+	start := time.Now()
+	for i := 0; i < opts.Ops; i++ {
+		if rate > 0 && rng.Float64() < rate {
+			proxy.DropActive()
+			if !recovering {
+				dropAt = time.Now()
+				recovering = true
+			}
+		}
+		off := (int64(i) * int64(opts.BlockSize)) % size
+		if _, rerr := client.ReadAt(buf, off); rerr != nil {
+			pt.Errors++
+			continue
+		}
+		if recovering {
+			rec := time.Since(dropAt)
+			totalRecovery += rec
+			if rec > pt.MaxRecovery {
+				pt.MaxRecovery = rec
+			}
+			pt.Recoveries++
+			recovering = false
+		}
+	}
+	pt.Elapsed = time.Since(start)
+	pt.Drops = proxy.Drops()
+	pt.Reconnects = client.Reconnects()
+	if pt.Recoveries > 0 {
+		pt.MeanRecovery = totalRecovery / time.Duration(pt.Recoveries)
+	}
+	return pt, nil
+}
+
+// WriteChaosTable renders the sweep as the EXPERIMENTS.md-style table:
+// recovery latency and surviving throughput against fault rate.
+func WriteChaosTable(w io.Writer, points []ChaosPoint) error {
+	if _, err := fmt.Fprintf(w, "%-10s %6s %6s %10s %7s %14s %14s %12s\n",
+		"drop-rate", "ops", "drops", "reconnects", "errors", "mean-recovery", "max-recovery", "ops/sec"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		mean, max := "-", "-"
+		if p.Recoveries > 0 {
+			mean = p.MeanRecovery.Round(10 * time.Microsecond).String()
+			max = p.MaxRecovery.Round(10 * time.Microsecond).String()
+		}
+		if _, err := fmt.Fprintf(w, "%-10.2f %6d %6d %10d %7d %14s %14s %12.0f\n",
+			p.Rate, p.Ops, p.Drops, p.Reconnects, p.Errors, mean, max, p.OpsPerSec()); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

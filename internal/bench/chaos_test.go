@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestRunChaosSmoke runs a small sweep end to end: with faults injected the
+// client must still complete the run (recovering via reconnect), and the
+// table must render.
+func TestRunChaosSmoke(t *testing.T) {
+	r, err := NewRunner(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	points, err := r.RunChaos(ChaosOptions{
+		Rates:     []float64{0, 0.05},
+		Ops:       120,
+		BlockSize: 64,
+		OpTimeout: 2 * time.Second,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points", len(points))
+	}
+
+	clean, faulty := points[0], points[1]
+	if clean.Errors != 0 || clean.Drops != 0 {
+		t.Errorf("clean point saw faults: %+v", clean)
+	}
+	if faulty.Drops == 0 {
+		t.Errorf("faulty point injected nothing: %+v", faulty)
+	}
+	if faulty.Reconnects == 0 {
+		t.Errorf("faults without reconnects: %+v", faulty)
+	}
+	if faulty.Errors > faulty.Ops/10 {
+		t.Errorf("too many unrecovered ops: %d of %d", faulty.Errors, faulty.Ops)
+	}
+	if faulty.Recoveries > 0 && faulty.MeanRecovery <= 0 {
+		t.Errorf("recoveries recorded without latency: %+v", faulty)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteChaosTable(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("empty chaos table")
+	}
+}

@@ -316,8 +316,11 @@ func serveControl(handler Handler, in io.Reader, out io.Writer, ctrl io.Reader, 
 		case wire.OpWrite:
 			n := int(req.N)
 			if n < 0 || n > wire.MaxPayload {
-				pendingWriteErr = fmt.Errorf("bad write size %d", n)
-				continue
+				// The announced payload can't be consumed, so the data pipe
+				// is desynchronized from here on: every later payload would
+				// be misattributed. Terminal, not a deferred write error.
+				shutdown()
+				return fmt.Errorf("write command announced bad payload size %d: data channel desynchronized", n)
 			}
 			// Write payloads travel on the data-in pipe, not the control
 			// frame, and land in an intake-local scratch.

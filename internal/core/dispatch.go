@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -55,6 +56,23 @@ func (d *dispatcher) enter() func() {
 	return d.mu.RUnlock
 }
 
+// guarded runs one handler call under the dispatch lock, converting a panic
+// in the program into an error instead of letting it unwind the sentinel:
+// an unwound sentinel tears the channel mid-frame and the application sees
+// only a dead pipe, while an error response keeps the session answering.
+// The lock is released before the panic is swallowed, so a poisoned call
+// can never wedge every later operation.
+func (d *dispatcher) guarded(f func() error) (err error) {
+	unlock := d.enter()
+	defer func() {
+		unlock()
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sentinel program panicked: %v", r)
+		}
+	}()
+	return f()
+}
+
 // dispatch runs one operation, concurrency-safe. For OpRead the response's
 // Data is backed by a pooled buffer: the caller must invoke release exactly
 // once, after shipping or copying the data. For every other operation
@@ -74,9 +92,8 @@ func (d *dispatcher) dispatch(req *wire.Request) (wire.Response, func()) {
 		}
 		d.wb.flushOverlap(req.Off, n)
 		buf, release := wire.GetBuf(n)
-		unlock := d.enter()
-		rn, err := d.handler.ReadAt(buf, req.Off)
-		unlock()
+		var rn int
+		err := d.guarded(func() (e error) { rn, e = d.handler.ReadAt(buf, req.Off); return })
 		resp.N = int64(rn)
 		resp.Data = buf[:rn]
 		if err != nil {
@@ -92,9 +109,7 @@ func (d *dispatcher) dispatch(req *wire.Request) (wire.Response, func()) {
 		if d.wb != nil {
 			wn, err = d.wb.write(req.Data, req.Off)
 		} else {
-			unlock := d.enter()
-			wn, err = d.handler.WriteAt(req.Data, req.Off)
-			unlock()
+			err = d.guarded(func() (e error) { wn, e = d.handler.WriteAt(req.Data, req.Off); return })
 		}
 		resp.N = int64(wn)
 		if err != nil {
@@ -103,9 +118,8 @@ func (d *dispatcher) dispatch(req *wire.Request) (wire.Response, func()) {
 
 	case wire.OpSize:
 		d.wb.flush() // buffered writes may extend the file
-		unlock := d.enter()
-		size, err := d.handler.Size()
-		unlock()
+		var size int64
+		err := d.guarded(func() (e error) { size, e = d.handler.Size(); return })
 		resp.N = size
 		if err != nil {
 			resp.Status, resp.Msg = wire.FromError(err)
@@ -113,18 +127,13 @@ func (d *dispatcher) dispatch(req *wire.Request) (wire.Response, func()) {
 
 	case wire.OpTruncate:
 		d.wb.flush() // buffered writes happened before the truncate
-		unlock := d.enter()
-		err := d.handler.Truncate(req.Off)
-		unlock()
-		if err != nil {
+		if err := d.guarded(func() error { return d.handler.Truncate(req.Off) }); err != nil {
 			resp.Status, resp.Msg = wire.FromError(err)
 		}
 
 	case wire.OpSync:
 		werr := d.wb.settle()
-		unlock := d.enter()
-		err := d.handler.Sync()
-		unlock()
+		err := d.guarded(func() error { return d.handler.Sync() })
 		if werr != nil {
 			// The deferred write failure is the older event; it wins.
 			err = werr
@@ -139,9 +148,7 @@ func (d *dispatcher) dispatch(req *wire.Request) (wire.Response, func()) {
 			resp.Status = wire.StatusUnsupported
 			return resp, releaseNone
 		}
-		unlock := d.enter()
-		err := locker.Lock(req.Off, req.N)
-		unlock()
+		err := d.guarded(func() error { return locker.Lock(req.Off, req.N) })
 		if err != nil {
 			resp.Status, resp.Msg = wire.FromError(err)
 		}
@@ -152,9 +159,7 @@ func (d *dispatcher) dispatch(req *wire.Request) (wire.Response, func()) {
 			resp.Status = wire.StatusUnsupported
 			return resp, releaseNone
 		}
-		unlock := d.enter()
-		err := locker.Unlock(req.Off, req.N)
-		unlock()
+		err := d.guarded(func() error { return locker.Unlock(req.Off, req.N) })
 		if err != nil {
 			resp.Status, resp.Msg = wire.FromError(err)
 		}
@@ -166,9 +171,8 @@ func (d *dispatcher) dispatch(req *wire.Request) (wire.Response, func()) {
 			return resp, releaseNone
 		}
 		d.wb.flush() // the program may inspect file state out of band
-		unlock := d.enter()
-		out, err := ctl.Control(req.Data)
-		unlock()
+		var out []byte
+		err := d.guarded(func() (e error) { out, e = ctl.Control(req.Data); return })
 		resp.Data = out
 		resp.N = int64(len(out))
 		if err != nil {

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"os"
 	"os/exec"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ipc"
@@ -25,6 +27,12 @@ const (
 // childWaitTimeout bounds how long Close waits for a sentinel subprocess to
 // exit before killing it.
 const childWaitTimeout = 5 * time.Second
+
+// ErrSentinelDied reports that the sentinel subprocess backing a session
+// exited while the session was still open — the EIO-class verdict for a
+// crashed or killed sentinel, surfaced promptly instead of as a hang or a
+// counterfeit clean EOF.
+var ErrSentinelDied = errors.New("core: sentinel process died")
 
 // spawnSentinel starts the sentinel subprocess for manifestPath with the
 // pipe layout of the given strategy. When the manifest names an external
@@ -62,17 +70,73 @@ func spawnSentinel(manifestPath string, m vfs.Manifest, strategy Strategy) (*exe
 	return cmd, cf, nil
 }
 
-// waitChild reaps the subprocess, killing it if it outlives the timeout.
-func waitChild(cmd *exec.Cmd) error {
-	done := make(chan error, 1)
-	go func() { done <- cmd.Wait() }()
-	select {
-	case err := <-done:
-		return err
-	case <-time.After(childWaitTimeout):
-		cmd.Process.Kill()
-		return <-done
+// childMonitor owns the one allowed cmd.Wait call for a sentinel subprocess
+// and publishes its outcome: transports learn about sentinel death the
+// moment it happens (the onDeath hook) instead of discovering it as a
+// mid-operation hang, and Close reaps through the same channel.
+type childMonitor struct {
+	cmd  *exec.Cmd
+	done chan struct{}
+	err  error // cmd.Wait result; valid once exited is true
+	dead atomic.Bool
+}
+
+// watchChild begins supervising cmd. onDeath (optional) runs on the
+// monitor's goroutine as soon as the child exits, with the wait error.
+func watchChild(cmd *exec.Cmd, onDeath func(error)) *childMonitor {
+	mon := &childMonitor{cmd: cmd, done: make(chan struct{})}
+	go func() {
+		mon.err = cmd.Wait()
+		mon.dead.Store(true) // publishes err: Store orders after the write
+		close(mon.done)
+		if onDeath != nil {
+			onDeath(mon.err)
+		}
+	}()
+	return mon
+}
+
+// exited reports, without blocking, whether the child has exited and with
+// what wait error.
+func (mon *childMonitor) exited() (error, bool) {
+	if !mon.dead.Load() {
+		return nil, false
 	}
+	return mon.err, true
+}
+
+// reap waits for the child to exit, killing it if it outlives the timeout.
+func (mon *childMonitor) reap() error {
+	select {
+	case <-mon.done:
+		return mon.err
+	case <-time.After(childWaitTimeout):
+		mon.cmd.Process.Kill()
+		<-mon.done
+		return mon.err
+	}
+}
+
+// sentinelDeath wraps a wait outcome as the EIO-class session error.
+func sentinelDeath(waitErr error) error {
+	if waitErr == nil {
+		return fmt.Errorf("%w: exited before session close", ErrSentinelDied)
+	}
+	return fmt.Errorf("%w: %v", ErrSentinelDied, waitErr)
+}
+
+// opTimeoutParam parses the manifest's per-operation deadline for control
+// exchanges ("optimeout", a Go duration; empty or absent disables it).
+func opTimeoutParam(m vfs.Manifest) (time.Duration, error) {
+	v := m.Params["optimeout"]
+	if v == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil || d < 0 {
+		return 0, fmt.Errorf("core: bad optimeout param %q", v)
+	}
+	return d, nil
 }
 
 // processTransport is the client side of the plain process strategy (§4.1):
@@ -82,6 +146,7 @@ func waitChild(cmd *exec.Cmd) error {
 type processTransport struct {
 	cmd *exec.Cmd
 	cf  *ipc.ChannelFiles
+	mon *childMonitor
 }
 
 var _ transport = (*processTransport)(nil)
@@ -91,15 +156,32 @@ func newProcessTransport(manifestPath string, m vfs.Manifest) (*processTransport
 	if err != nil {
 		return nil, err
 	}
-	return &processTransport{cmd: cmd, cf: cf}, nil
+	t := &processTransport{cmd: cmd, cf: cf}
+	t.mon = watchChild(cmd, nil)
+	return t, nil
 }
 
 func (t *processTransport) readAt(p []byte, _ int64) (int, error) {
-	return t.cf.FromChild.Read(p)
+	n, err := t.cf.FromChild.Read(p)
+	if err != nil && errors.Is(err, io.EOF) {
+		// Pipe EOF is how both a finished stream AND a crashed sentinel
+		// look. Distinguish them: a child that already failed turns the
+		// counterfeit clean EOF into the honest EIO-class error.
+		if waitErr, dead := t.mon.exited(); dead && waitErr != nil {
+			return n, sentinelDeath(waitErr)
+		}
+	}
+	return n, err
 }
 
 func (t *processTransport) writeAt(p []byte, _ int64) (int, error) {
-	return t.cf.ToChild.Write(p)
+	n, err := t.cf.ToChild.Write(p)
+	if err != nil {
+		if waitErr, dead := t.mon.exited(); dead {
+			return n, sentinelDeath(waitErr)
+		}
+	}
+	return n, err
 }
 
 func (t *processTransport) size() (int64, error)    { return 0, wire.ErrUnsupported }
@@ -115,7 +197,7 @@ func (t *processTransport) close() error {
 	// Closing our pipe ends delivers EOF to the sentinel's writer loop and
 	// EPIPE to its reader loop; it then flushes and exits.
 	t.cf.Close()
-	if err := waitChild(t.cmd); err != nil {
+	if err := t.mon.reap(); err != nil {
 		var exitErr *exec.ExitError
 		if errors.As(err, &exitErr) {
 			return fmt.Errorf("sentinel process: %w", err)
@@ -133,25 +215,50 @@ func (t *processTransport) close() error {
 // pipe pair is driven through an ipc.Mux, so any number of goroutines keep
 // exchanges in flight concurrently, correlated by Seq rather than lockstep
 // ordering.
+//
+// Failure handling: a childMonitor poisons the mux the instant the sentinel
+// subprocess exits, so every in-flight and future exchange reports
+// ErrSentinelDied promptly instead of blocking on a pipe no one will ever
+// answer. An optional per-operation deadline (manifest param "optimeout")
+// additionally bounds every waiting exchange even while the child is alive
+// but unresponsive.
 type procCtlTransport struct {
-	cmd *exec.Cmd
-	cf  *ipc.ChannelFiles
-	mux *ipc.Mux
-	pf  *prefetcher // client-side read-ahead; nil when opted out
+	cmd       *exec.Cmd
+	cf        *ipc.ChannelFiles
+	mux       *ipc.Mux
+	pf        *prefetcher // client-side read-ahead; nil when opted out
+	mon       *childMonitor
+	closing   atomic.Bool // set by close(); suppresses the death hook
+	opTimeout time.Duration
 }
 
 var _ transport = (*procCtlTransport)(nil)
 
 func newProcCtlTransport(manifestPath string, m vfs.Manifest) (*procCtlTransport, error) {
+	opTimeout, err := opTimeoutParam(m)
+	if err != nil {
+		return nil, err
+	}
 	cmd, cf, err := spawnSentinel(manifestPath, m, StrategyProcCtl)
 	if err != nil {
 		return nil, err
 	}
 	t := &procCtlTransport{
-		cmd: cmd,
-		cf:  cf,
-		mux: ipc.NewMux(cf.CtrlToChild, cf.FromChild, cf.ToChild),
+		cmd:       cmd,
+		cf:        cf,
+		mux:       ipc.NewMux(cf.CtrlToChild, cf.FromChild, cf.ToChild),
+		opTimeout: opTimeout,
 	}
+	t.mon = watchChild(cmd, func(waitErr error) {
+		if t.closing.Load() {
+			return
+		}
+		// Sentinel death detection: waitpid fired while the session was
+		// open. Fail every blocked and future exchange right now — the
+		// pipes may deliver EOF only much later (or never, for the write
+		// pipe), and nothing should wait to find out.
+		t.mux.Fail(sentinelDeath(waitErr))
+	})
 	if m.Params["readahead"] != "false" {
 		// Client-side window: sequential reads are answered by a memcpy out
 		// of the window while an async fill — pipelined on the mux — keeps
@@ -160,6 +267,37 @@ func newProcCtlTransport(manifestPath string, m vfs.Manifest) (*procCtlTransport
 		t.pf = newPrefetcher(t.muxReadAt, true)
 	}
 	return t, nil
+}
+
+// roundTrip performs one control exchange, bounded by the configured
+// per-operation deadline when one is set.
+func (t *procCtlTransport) roundTrip(req *wire.Request, dst []byte) (wire.Response, error) {
+	if t.opTimeout <= 0 {
+		resp, err := t.mux.RoundTrip(req, dst)
+		return resp, t.deathVerdict(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), t.opTimeout)
+	defer cancel()
+	resp, err := t.mux.RoundTripContext(ctx, req, dst)
+	return resp, t.deathVerdict(err)
+}
+
+// deathVerdict upgrades a transport error to ErrSentinelDied once the
+// monitor confirms the child exited. The upgrade is needed because pipe EOF
+// can win the race against waitpid: the receive loop poisons the mux with
+// the EOF first, the first poison sticks, and without this check the session
+// would keep reporting a bare EOF for a crash. Deadline expiry is left
+// alone — it is the caller's deadline verdict, not a death report.
+func (t *procCtlTransport) deathVerdict(err error) error {
+	if err == nil || t.closing.Load() ||
+		errors.Is(err, ErrSentinelDied) ||
+		errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return err
+	}
+	if waitErr, dead := t.mon.exited(); dead {
+		return sentinelDeath(waitErr)
+	}
+	return err
 }
 
 func (t *procCtlTransport) readAt(p []byte, off int64) (int, error) {
@@ -183,7 +321,7 @@ func (t *procCtlTransport) muxReadAt(p []byte, off int64) (int, error) {
 			chunk = wire.MaxPayload
 		}
 		// The response payload lands straight in the caller's slice.
-		resp, err := t.mux.RoundTrip(
+		resp, err := t.roundTrip(
 			&wire.Request{Op: wire.OpRead, Off: off + int64(total), N: int64(chunk)},
 			p[total:total+chunk],
 		)
@@ -215,7 +353,7 @@ func (t *procCtlTransport) writeAt(p []byte, off int64) (int, error) {
 		// mux keeps command and payload order aligned across goroutines.
 		req := wire.Request{Op: wire.OpWrite, Off: off + int64(total), N: int64(chunk)}
 		if err := t.mux.Post(&req, p[total:total+chunk]); err != nil {
-			return total, err
+			return total, t.deathVerdict(err)
 		}
 		total += chunk
 	}
@@ -223,7 +361,7 @@ func (t *procCtlTransport) writeAt(p []byte, off int64) (int, error) {
 }
 
 func (t *procCtlTransport) size() (int64, error) {
-	resp, err := t.mux.RoundTrip(&wire.Request{Op: wire.OpSize}, nil)
+	resp, err := t.roundTrip(&wire.Request{Op: wire.OpSize}, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -232,7 +370,7 @@ func (t *procCtlTransport) size() (int64, error) {
 
 func (t *procCtlTransport) truncate(n int64) error {
 	defer t.pf.invalidate()
-	resp, err := t.mux.RoundTrip(&wire.Request{Op: wire.OpTruncate, Off: n}, nil)
+	resp, err := t.roundTrip(&wire.Request{Op: wire.OpTruncate, Off: n}, nil)
 	if err != nil {
 		return err
 	}
@@ -240,7 +378,7 @@ func (t *procCtlTransport) truncate(n int64) error {
 }
 
 func (t *procCtlTransport) sync() error {
-	resp, err := t.mux.RoundTrip(&wire.Request{Op: wire.OpSync}, nil)
+	resp, err := t.roundTrip(&wire.Request{Op: wire.OpSync}, nil)
 	if err != nil {
 		return err
 	}
@@ -248,7 +386,7 @@ func (t *procCtlTransport) sync() error {
 }
 
 func (t *procCtlTransport) lock(off, n int64) error {
-	resp, err := t.mux.RoundTrip(&wire.Request{Op: wire.OpLock, Off: off, N: n}, nil)
+	resp, err := t.roundTrip(&wire.Request{Op: wire.OpLock, Off: off, N: n}, nil)
 	if err != nil {
 		return err
 	}
@@ -256,7 +394,7 @@ func (t *procCtlTransport) lock(off, n int64) error {
 }
 
 func (t *procCtlTransport) unlock(off, n int64) error {
-	resp, err := t.mux.RoundTrip(&wire.Request{Op: wire.OpUnlock, Off: off, N: n}, nil)
+	resp, err := t.roundTrip(&wire.Request{Op: wire.OpUnlock, Off: off, N: n}, nil)
 	if err != nil {
 		return err
 	}
@@ -265,7 +403,7 @@ func (t *procCtlTransport) unlock(off, n int64) error {
 
 func (t *procCtlTransport) control(req []byte) ([]byte, error) {
 	defer t.pf.invalidate() // the program may mutate content out of band
-	resp, err := t.mux.RoundTrip(&wire.Request{Op: wire.OpControl, Data: req}, nil)
+	resp, err := t.roundTrip(&wire.Request{Op: wire.OpControl, Data: req}, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -275,12 +413,13 @@ func (t *procCtlTransport) control(req []byte) ([]byte, error) {
 }
 
 func (t *procCtlTransport) close() error {
-	resp, rtErr := t.mux.RoundTrip(&wire.Request{Op: wire.OpClose}, nil)
+	t.closing.Store(true)
+	resp, rtErr := t.roundTrip(&wire.Request{Op: wire.OpClose}, nil)
 	t.mux.Close()
 	t.cf.Close()
-	waitErr := waitChild(t.cmd)
+	waitErr := t.mon.reap()
 	switch {
-	case rtErr != nil && errors.Is(rtErr, io.EOF):
+	case rtErr != nil && (errors.Is(rtErr, io.EOF) || errors.Is(rtErr, ErrSentinelDied)):
 		// Child already exited; its wait status is the verdict.
 		return waitErr
 	case rtErr != nil:

@@ -43,7 +43,14 @@ func (w *writeBehind) write(p []byte, off int64) (int, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if len(p) >= writeBehindMax {
-		w.flushLocked()
+		if ferr := w.flushLocked(); ferr != nil {
+			// The preceding buffered run was lost. This pass-through write
+			// reports synchronously, so it must carry the broken barrier to
+			// the caller NOW — succeeding here would let the bypass write
+			// land after a silently dropped run. (flushLocked also recorded
+			// the error for settle, so the sync/close barrier still fails.)
+			return 0, ferr
+		}
 		return w.d.handlerWriteAt(p, off)
 	}
 	if len(w.buf) > 0 && off != w.off+int64(len(w.buf)) {

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"errors"
+	"io"
+	"testing"
+)
+
+// faultyWriteHandler is an in-memory handler whose WriteAt fails while
+// tripped — the backing store going away mid-session.
+type faultyWriteHandler struct {
+	data     []byte
+	wErr     error // returned by WriteAt while non-nil
+	failNext error // returned by the next WriteAt only (one-shot)
+	wrote    int   // successful WriteAt calls
+	attempt  int   // total WriteAt calls
+}
+
+func (h *faultyWriteHandler) ReadAt(p []byte, off int64) (int, error) {
+	if off >= int64(len(h.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (h *faultyWriteHandler) WriteAt(p []byte, off int64) (int, error) {
+	h.attempt++
+	if h.failNext != nil {
+		err := h.failNext
+		h.failNext = nil
+		return 0, err
+	}
+	if h.wErr != nil {
+		return 0, h.wErr
+	}
+	h.wrote++
+	if end := off + int64(len(p)); end > int64(len(h.data)) {
+		grown := make([]byte, end)
+		copy(grown, h.data)
+		h.data = grown
+	}
+	copy(h.data[off:], p)
+	return len(p), nil
+}
+
+func (h *faultyWriteHandler) Size() (int64, error) { return int64(len(h.data)), nil }
+func (h *faultyWriteHandler) Truncate(n int64) error {
+	h.data = h.data[:n]
+	return nil
+}
+func (h *faultyWriteHandler) Sync() error  { return nil }
+func (h *faultyWriteHandler) Close() error { return nil }
+
+// TestWriteBehindBypassSurfacesFlushFailure is the regression for the
+// large-write bypass dropping the preceding flush result: when the buffered
+// run fails to flush, the synchronous pass-through write must report the
+// broken barrier instead of succeeding on top of a lost run.
+func TestWriteBehindBypassSurfacesFlushFailure(t *testing.T) {
+	boom := errors.New("backing store detached")
+	h := &faultyWriteHandler{}
+	d := newDispatcher(h)
+	d.enableWriteBehind()
+
+	// A small write parks in the coalescing buffer, reporting success.
+	if n, err := d.writeAt([]byte("buffered run"), 0); n != 12 || err != nil {
+		t.Fatalf("buffered write = (%d, %v)", n, err)
+	}
+
+	// The store breaks ONLY for the flush (one-shot); the bypass write
+	// itself would succeed — which is exactly how the pre-fix code lost
+	// the barrier: it reported the big write's success over the dropped run.
+	h.failNext = boom
+	big := make([]byte, writeBehindMax)
+	n, err := d.writeAt(big, 4096)
+	if !errors.Is(err, boom) {
+		t.Fatalf("bypass write after failed flush = (%d, %v), want flush error %v", n, err, boom)
+	}
+	if h.wrote != 0 {
+		t.Errorf("bypass write landed despite the lost run (%d successful writes)", h.wrote)
+	}
+
+	// The deferred-barrier semantics hold too: sync still reports the loss.
+	if err := d.sync(); !errors.Is(err, boom) {
+		t.Errorf("sync after failed flush = %v, want %v", err, boom)
+	}
+	// And the error is consumed: the next barrier is clean.
+	if err := d.sync(); err != nil {
+		t.Errorf("second sync = %v, want nil", err)
+	}
+}
+
+// TestWriteBehindDeferredErrorStillSettles pins the unchanged path: buffered
+// writes whose flush fails at the barrier report it at sync, once.
+func TestWriteBehindDeferredErrorStillSettles(t *testing.T) {
+	boom := errors.New("flush refused")
+	h := &faultyWriteHandler{}
+	d := newDispatcher(h)
+	d.enableWriteBehind()
+
+	if _, err := d.writeAt([]byte("abc"), 0); err != nil {
+		t.Fatal(err)
+	}
+	h.wErr = boom
+	if err := d.sync(); !errors.Is(err, boom) {
+		t.Errorf("sync = %v, want %v", err, boom)
+	}
+	h.wErr = nil
+	if err := d.sync(); err != nil {
+		t.Errorf("sync after settle = %v, want nil", err)
+	}
+}

@@ -1,6 +1,7 @@
 package ipc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -12,6 +13,17 @@ import (
 // ErrMuxClosed reports an exchange attempted on (or interrupted by) a closed
 // Mux.
 var ErrMuxClosed = errors.New("ipc: mux closed")
+
+// ErrSeqExhausted reports that no free correlation key could be found for a
+// new exchange: every retag attempt collided with an in-flight Seq. It can
+// only occur when ~2^32 exchanges are pending, i.e. never in practice — it
+// exists so a wrapped counter degrades into an error instead of silently
+// orphaning the waiter that held the colliding key.
+var ErrSeqExhausted = errors.New("ipc: no free sequence number for exchange")
+
+// seqRetagLimit bounds how many fresh Seqs RoundTrip tries before giving up
+// with ErrSeqExhausted.
+const seqRetagLimit = 64
 
 // muxResult is what a waiter receives: the matched response or the terminal
 // channel error.
@@ -33,6 +45,14 @@ type muxPending struct {
 // response (in whatever order the peer produced it) to the matching waiter.
 // This replaces strict request/response lockstep: the channel pair carries a
 // pipeline, and wire.Request.Seq is the correlation key.
+//
+// Failure discipline: the framed streams carry no resynchronization points,
+// so any error that may have left a partial frame on a channel — a short
+// command write, a truncated payload — poisons the whole mux via Fail, and
+// every current and future exchange reports the terminal error promptly.
+// Waits are cancellable (RoundTripContext): an abandoned waiter's response
+// is read and discarded when it eventually arrives, keeping the response
+// stream in sync for every other exchange.
 type Mux struct {
 	sendMu sync.Mutex // serializes command frames (and Post payloads) onto the channel
 	ctrl   *wire.Writer
@@ -66,7 +86,7 @@ func (m *Mux) receive(r *wire.Reader) {
 	for {
 		resp, payloadLen, err := r.ReadResponseHeader()
 		if err != nil {
-			m.fail(err)
+			m.Fail(err)
 			return
 		}
 		m.mu.Lock()
@@ -76,7 +96,7 @@ func (m *Mux) receive(r *wire.Reader) {
 		if !ok {
 			// Response for an abandoned exchange; drop its payload too.
 			if err := r.DiscardPayload(); err != nil {
-				m.fail(err)
+				m.Fail(err)
 				return
 			}
 			continue
@@ -91,7 +111,7 @@ func (m *Mux) receive(r *wire.Reader) {
 			}
 			if err := r.ReadPayload(dst); err != nil {
 				p.ch <- muxResult{err: err}
-				m.fail(err)
+				m.Fail(err)
 				return
 			}
 			resp.Data = dst
@@ -100,8 +120,12 @@ func (m *Mux) receive(r *wire.Reader) {
 	}
 }
 
-// fail records the first terminal error and releases every waiter with it.
-func (m *Mux) fail(err error) {
+// Fail records err as the mux's terminal error (first failure wins) and
+// releases every waiter with it. It is how external supervisors — a sentinel
+// child watcher noticing the subprocess died, a connection owner tearing
+// down — convert a dead peer into prompt errors instead of indefinite
+// blocks. Safe to call any number of times from any goroutine.
+func (m *Mux) Fail(err error) {
 	m.mu.Lock()
 	if m.err == nil {
 		m.err = err
@@ -114,12 +138,37 @@ func (m *Mux) fail(err error) {
 	m.mu.Unlock()
 }
 
+// Err returns the mux's terminal error, or nil while it is healthy.
+func (m *Mux) Err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.err
+}
+
+// sendValidationErr reports whether err is a pure encode-time validation
+// failure, raised before any bytes reach the channel. Every other send error
+// may have left a partial frame on the stream and must poison the mux.
+func sendValidationErr(err error) bool {
+	return errors.Is(err, wire.ErrFrameTooLarge) || errors.Is(err, wire.ErrBadOp)
+}
+
 // RoundTrip assigns req a fresh Seq, sends it, and blocks until the matching
 // response arrives — however many other exchanges are in flight and in
 // whatever order the peer answers. When dst is non-nil and large enough, the
 // response payload lands in dst (the returned Response's Data aliases it);
 // otherwise a fresh buffer is allocated.
 func (m *Mux) RoundTrip(req *wire.Request, dst []byte) (wire.Response, error) {
+	return m.RoundTripContext(context.Background(), req, dst)
+}
+
+// RoundTripContext is RoundTrip with a cancellation point: when ctx expires
+// before the response arrives, the exchange is abandoned and ctx's error
+// returned. Abandonment keeps the stream in sync — the request stays on the
+// wire, and the receive loop discards the late response (header and payload)
+// when the peer eventually produces it. The mux itself stays healthy; only
+// this waiter gives up. If the response raced the cancellation, it is
+// delivered normally.
+func (m *Mux) RoundTripContext(ctx context.Context, req *wire.Request, dst []byte) (wire.Response, error) {
 	req.Seq = m.seq.Next()
 	p := muxPending{dst: dst, ch: make(chan muxResult, 1)}
 
@@ -127,6 +176,20 @@ func (m *Mux) RoundTrip(req *wire.Request, dst []byte) (wire.Response, error) {
 	if m.err != nil {
 		m.mu.Unlock()
 		return wire.Response{}, fmt.Errorf("%s exchange: %w", req.Op, m.err)
+	}
+	// A wrapped Seq counter could hand out a key some slow exchange still
+	// holds; registering the new waiter under it would orphan the old one
+	// (its response would be routed here and its goroutine blocked forever).
+	// Retag until the key is free.
+	for retags := 0; ; retags++ {
+		if _, dup := m.pending[req.Seq]; !dup {
+			break
+		}
+		if retags == seqRetagLimit {
+			m.mu.Unlock()
+			return wire.Response{}, fmt.Errorf("%s exchange: %w", req.Op, ErrSeqExhausted)
+		}
+		req.Seq = m.seq.Next()
 	}
 	m.pending[req.Seq] = p
 	m.mu.Unlock()
@@ -138,12 +201,38 @@ func (m *Mux) RoundTrip(req *wire.Request, dst []byte) (wire.Response, error) {
 		m.mu.Lock()
 		delete(m.pending, req.Seq)
 		m.mu.Unlock()
+		if !sendValidationErr(err) {
+			// The command frame may be partially written: the control stream
+			// can no longer be trusted to carry aligned frames.
+			m.Fail(fmt.Errorf("ipc: command channel desynchronized: %w", err))
+		}
 		return wire.Response{}, fmt.Errorf("send %s command: %w", req.Op, err)
 	}
 
-	res := <-p.ch
+	select {
+	case res := <-p.ch:
+		return finishRoundTrip(req.Op, res)
+	case <-ctx.Done():
+	}
+
+	// Cancelled. If the waiter is still registered, abandon it: the receive
+	// loop will discard the late response. If it is gone, the response (or a
+	// terminal error) is already in flight to p.ch — possibly mid-copy into
+	// dst — so it must be awaited, not abandoned.
+	m.mu.Lock()
+	if _, still := m.pending[req.Seq]; still {
+		delete(m.pending, req.Seq)
+		m.mu.Unlock()
+		return wire.Response{}, fmt.Errorf("%s exchange: %w", req.Op, ctx.Err())
+	}
+	m.mu.Unlock()
+	return finishRoundTrip(req.Op, <-p.ch)
+}
+
+// finishRoundTrip unwraps a waiter's result into RoundTrip's return shape.
+func finishRoundTrip(op wire.Op, res muxResult) (wire.Response, error) {
 	if res.err != nil {
-		return wire.Response{}, fmt.Errorf("read %s response: %w", req.Op, res.err)
+		return wire.Response{}, fmt.Errorf("read %s response: %w", op, res.err)
 	}
 	return res.resp, nil
 }
@@ -154,6 +243,11 @@ func (m *Mux) RoundTrip(req *wire.Request, dst []byte) (wire.Response, error) {
 // the command frame, so the payload order on the data channel always matches
 // the command order on the control channel, no matter how many goroutines
 // post concurrently.
+//
+// A failed or partial payload write desynchronizes the data stream — the
+// peer would misattribute every later payload byte — so it poisons the mux:
+// all subsequent exchanges fail with the recorded error instead of silently
+// corrupting offsets.
 func (m *Mux) Post(req *wire.Request, payload []byte) error {
 	req.Seq = m.seq.Next()
 
@@ -163,17 +257,24 @@ func (m *Mux) Post(req *wire.Request, payload []byte) error {
 	if err != nil {
 		return fmt.Errorf("%s exchange: %w", req.Op, err)
 	}
+	if len(payload) > 0 && m.data == nil {
+		// Validated before the command frame ships: announcing a payload the
+		// data channel cannot carry would wedge the peer waiting for bytes
+		// that never come.
+		return fmt.Errorf("send %s payload: no data channel", req.Op)
+	}
 
 	m.sendMu.Lock()
 	defer m.sendMu.Unlock()
 	if err := m.ctrl.WriteRequest(req); err != nil {
+		if !sendValidationErr(err) {
+			m.Fail(fmt.Errorf("ipc: command channel desynchronized: %w", err))
+		}
 		return fmt.Errorf("send %s command: %w", req.Op, err)
 	}
 	if len(payload) > 0 {
-		if m.data == nil {
-			return fmt.Errorf("send %s payload: no data channel", req.Op)
-		}
-		if _, err := m.data.Write(payload); err != nil {
+		if n, err := m.data.Write(payload); err != nil {
+			m.Fail(fmt.Errorf("ipc: data channel desynchronized after %d/%d payload bytes: %w", n, len(payload), err))
 			return fmt.Errorf("stream %s payload: %w", req.Op, err)
 		}
 	}
@@ -184,6 +285,6 @@ func (m *Mux) Post(req *wire.Request, payload []byte) error {
 // not close the underlying channels — their owner does, which also unblocks
 // the receive loop. Close is idempotent; an earlier terminal error wins.
 func (m *Mux) Close() error {
-	m.fail(ErrMuxClosed)
+	m.Fail(ErrMuxClosed)
 	return nil
 }

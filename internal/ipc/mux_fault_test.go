@@ -1,0 +1,249 @@
+package ipc
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// TestMuxSeqWraparoundCollision stages the Seq-counter wraparound: a slow
+// exchange holds Seq 1 when the counter comes back around and would hand 1
+// out again. The second exchange must be retagged onto a free key — before
+// the fix, it silently overwrote the pending entry, orphaning the first
+// waiter forever and cross-delivering its response.
+func TestMuxSeqWraparoundCollision(t *testing.T) {
+	h := newMuxHarness()
+	defer h.close()
+
+	reqs := wire.NewReader(h.ctrl)
+	resps := wire.NewWriter(h.resp)
+
+	// Exchange A takes Seq 1 and stays in flight.
+	aDone := make(chan muxResult, 1)
+	go func() {
+		resp, err := h.mux.RoundTrip(&wire.Request{Op: wire.OpRead, Off: 100, N: 1}, nil)
+		aDone <- muxResult{resp: resp, err: err}
+	}()
+	reqA, err := reqs.ReadRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reqA.Seq != 1 {
+		t.Fatalf("first exchange Seq = %d, want 1", reqA.Seq)
+	}
+
+	// Wrap the counter: the next allocation collides with in-flight Seq 1.
+	h.mux.seq.Set(0)
+
+	bDone := make(chan muxResult, 1)
+	go func() {
+		resp, err := h.mux.RoundTrip(&wire.Request{Op: wire.OpRead, Off: 200, N: 1}, nil)
+		bDone <- muxResult{resp: resp, err: err}
+	}()
+	reqB, err := reqs.ReadRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reqB.Seq == reqA.Seq {
+		t.Fatalf("colliding exchange reused in-flight Seq %d", reqB.Seq)
+	}
+
+	// Answer both; each waiter must get its own response (N echoes Off).
+	for _, r := range []wire.Request{reqA, reqB} {
+		if err := resps.WriteResponse(&wire.Response{Status: wire.StatusOK, Seq: r.Seq, N: r.Off}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, ch := range map[string]chan muxResult{"A": aDone, "B": bDone} {
+		select {
+		case res := <-ch:
+			if res.err != nil {
+				t.Errorf("exchange %s: %v", name, res.err)
+			}
+			want := int64(100)
+			if name == "B" {
+				want = 200
+			}
+			if res.resp.N != want {
+				t.Errorf("exchange %s got N=%d, want %d (cross-delivered)", name, res.resp.N, want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("exchange %s never completed: waiter orphaned by Seq collision", name)
+		}
+	}
+}
+
+// failAfterWriter writes through until limit total bytes, then fails —
+// a partial write, the half-written-frame chaos case.
+type failAfterWriter struct {
+	mu      sync.Mutex
+	limit   int
+	written int
+	err     error
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	room := w.limit - w.written
+	if room >= len(p) {
+		w.written += len(p)
+		return len(p), nil
+	}
+	if room < 0 {
+		room = 0
+	}
+	w.written += room
+	return room, w.err
+}
+
+// TestMuxPostPayloadDesyncFailsMux pins the data-channel discipline: a
+// partial payload write leaves the stream desynchronized, so the mux must
+// refuse every later exchange instead of carrying on with corrupt offsets.
+func TestMuxPostPayloadDesyncFailsMux(t *testing.T) {
+	boom := errors.New("pipe shrank")
+	ctrl := NewPipe(1 << 16)
+	resp := NewPipe(1 << 16)
+	defer ctrl.CloseWrite()
+	defer resp.CloseWrite()
+	data := &failAfterWriter{limit: 2, err: boom}
+	m := NewMux(ctrl, resp, data)
+
+	err := m.Post(&wire.Request{Op: wire.OpWrite, N: 8}, []byte("12345678"))
+	if !errors.Is(err, boom) {
+		t.Fatalf("Post with partial payload err = %v, want %v", err, boom)
+	}
+
+	// The mux is poisoned: later posts and round trips fail fast.
+	if err := m.Post(&wire.Request{Op: wire.OpWrite, N: 1}, []byte("x")); err == nil {
+		t.Error("Post after payload desync succeeded; data stream would be corrupt")
+	} else if !strings.Contains(err.Error(), "desynchronized") {
+		t.Errorf("Post after desync err = %v, want desynchronization error", err)
+	}
+	if _, err := m.RoundTrip(&wire.Request{Op: wire.OpSize}, nil); err == nil {
+		t.Error("RoundTrip after payload desync succeeded")
+	}
+}
+
+// TestMuxCommandWriteFailurePoisons: a failed command-frame write may leave
+// a partial frame on the control channel; the mux must become terminal.
+func TestMuxCommandWriteFailurePoisons(t *testing.T) {
+	boom := errors.New("ctrl torn")
+	ctrl := &failAfterWriter{limit: 3, err: boom}
+	resp := NewPipe(1 << 16)
+	defer resp.CloseWrite()
+	m := NewMux(ctrl, resp, nil)
+
+	if _, err := m.RoundTrip(&wire.Request{Op: wire.OpSize}, nil); !errors.Is(err, boom) {
+		t.Fatalf("RoundTrip over torn channel err = %v, want %v", err, boom)
+	}
+	if err := m.Post(&wire.Request{Op: wire.OpSync}, nil); err == nil {
+		t.Error("Post after command-channel desync succeeded")
+	}
+}
+
+// TestMuxValidationErrorsDoNotPoison: encode-time rejections happen before
+// any bytes ship, so the mux stays healthy.
+func TestMuxValidationErrorsDoNotPoison(t *testing.T) {
+	h := newMuxHarness()
+	defer h.close()
+
+	if _, err := h.mux.RoundTrip(&wire.Request{Op: wire.Op(200)}, nil); !errors.Is(err, wire.ErrBadOp) {
+		t.Fatalf("bad-op round trip err = %v, want ErrBadOp", err)
+	}
+
+	serverDone := echoServer(t, h.ctrl, h.resp, 1)
+	if _, err := h.mux.RoundTrip(&wire.Request{Op: wire.OpRead, Off: 1, N: 8}, make([]byte, 8)); err != nil {
+		t.Errorf("round trip after validation error: %v", err)
+	}
+	if err := <-serverDone; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+}
+
+// TestMuxRoundTripContextDeadline: a waiter abandons at its deadline while
+// the request stays on the wire; the late response is discarded and the mux
+// keeps serving later exchanges in sync.
+func TestMuxRoundTripContextDeadline(t *testing.T) {
+	h := newMuxHarness()
+	defer h.close()
+
+	reqs := wire.NewReader(h.ctrl)
+	resps := wire.NewWriter(h.resp)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := h.mux.RoundTripContext(ctx, &wire.Request{Op: wire.OpRead, Off: 7, N: 4}, make([]byte, 4))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline round trip err = %v, want DeadlineExceeded", err)
+	}
+	if waited := time.Since(start); waited > 3*time.Second {
+		t.Fatalf("deadline fired after %v; wait was unbounded", waited)
+	}
+
+	// The peer eventually answers the abandoned exchange — with a payload —
+	// then answers a fresh one. The stale frame must be skipped cleanly.
+	stale, err := reqs.ReadRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resps.WriteResponse(&wire.Response{
+		Status: wire.StatusOK, Seq: stale.Seq, N: 4, Data: []byte("late"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := make(chan muxResult, 1)
+	go func() {
+		resp, err := h.mux.RoundTrip(&wire.Request{Op: wire.OpRead, Off: 9, N: 4}, make([]byte, 4))
+		fresh <- muxResult{resp: resp, err: err}
+	}()
+	req2, err := reqs.ReadRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resps.WriteResponse(&wire.Response{
+		Status: wire.StatusOK, Seq: req2.Seq, N: 4, Data: []byte("good"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case res := <-fresh:
+		if res.err != nil {
+			t.Fatalf("round trip after abandoned exchange: %v", res.err)
+		}
+		if string(res.resp.Data) != "good" {
+			t.Errorf("payload = %q, want %q (stale response misrouted)", res.resp.Data, "good")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("exchange after abandonment never completed: stream out of sync")
+	}
+}
+
+// TestMuxRoundTripContextCancelRace: when the response and the cancellation
+// race, the delivered response wins — no spurious error, and the payload
+// lands in the caller's buffer, never written after return.
+func TestMuxRoundTripContextCancelRace(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		h := newMuxHarness()
+		serverDone := echoServer(t, h.ctrl, h.resp, 1)
+		ctx, cancel := context.WithCancel(context.Background())
+		go cancel() // race the reply
+		resp, err := h.mux.RoundTripContext(ctx, &wire.Request{Op: wire.OpRead, Off: 3, N: 8}, make([]byte, 8))
+		if err != nil {
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("round %d: err = %v", i, err)
+			}
+		} else if len(resp.Data) != 8 {
+			t.Fatalf("round %d: short payload %d", i, len(resp.Data))
+		}
+		<-serverDone
+		h.close()
+	}
+}

@@ -34,7 +34,11 @@ func TestCachedProgramServesHitsLocally(t *testing.T) {
 		Program: vfs.ProgramSpec{Name: "cached"},
 		NoData:  true,
 		Source:  vfs.SourceSpec{Kind: "tcp", Addr: addr, Path: "obj"},
-		Params:  map[string]string{"blocksize": "256", "blocks": "8"},
+		// Transport read-ahead is off so the hit/miss counts below measure
+		// ONLY the program's LRU cache: the thread transport's async window
+		// fills would otherwise reach the cache on racy schedules (reliably
+		// so under -race, where they land before the stats snapshot).
+		Params: map[string]string{"blocksize": "256", "blocks": "8", "readahead": "false"},
 	})
 	h, err := core.Open(path, core.Options{Strategy: core.StrategyThread})
 	if err != nil {

@@ -1,65 +1,255 @@
 package remote
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 	"net"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/ipc"
 	"repro/internal/wire"
 )
+
+// DialOptions tunes the client's fault-tolerance envelope. The zero value
+// selects the defaults below.
+type DialOptions struct {
+	// OpTimeout bounds each request/response exchange. Zero means no
+	// per-operation deadline (an exchange can wait forever on a hung server).
+	OpTimeout time.Duration
+	// MaxRetries is how many times an idempotent operation re-dials and
+	// replays after a transport failure. Zero selects the default (2);
+	// negative disables retries entirely.
+	MaxRetries int
+	// BackoffBase and BackoffMax shape the exponential backoff between
+	// reconnect attempts (equal jitter: each sleep is uniform in
+	// [d/2, d], d doubling from Base up to Max).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// DialTimeout bounds each TCP connect. Zero selects the default (2s).
+	DialTimeout time.Duration
+}
+
+const (
+	defaultMaxRetries  = 2
+	defaultBackoffBase = 5 * time.Millisecond
+	defaultBackoffMax  = 250 * time.Millisecond
+	defaultDialTimeout = 2 * time.Second
+)
+
+func (o DialOptions) withDefaults() DialOptions {
+	if o.MaxRetries == 0 {
+		o.MaxRetries = defaultMaxRetries
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = defaultBackoffBase
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = defaultBackoffMax
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = defaultDialTimeout
+	}
+	return o
+}
+
+// session is one live connection epoch: a TCP conn plus the mux pipelining
+// exchanges over it. Sessions are replaced wholesale on transport failure;
+// pointer identity tells dropSession whether the failure it is reporting is
+// stale (another caller already replaced the session).
+type session struct {
+	conn net.Conn
+	mux  *ipc.Mux
+}
+
+func (s *session) teardown() {
+	s.mux.Close()
+	s.conn.Close()
+}
 
 // Client is a Source backed by one object on a FileServer, reached over TCP.
 // It is safe for concurrent use, and concurrent requests PIPELINE on the
 // connection: each is tagged with a fresh Seq by an ipc.Mux and responses are
 // matched as they arrive, so many exchanges share one round trip's wire time
 // instead of queueing for a serialized connection.
+//
+// The client is fault tolerant: when the connection drops it redials with
+// exponential backoff and replays IDEMPOTENT operations (reads, size) up to
+// MaxRetries times. Writes and truncates are never replayed after the request
+// may have reached the server — the server could have applied the first copy —
+// so they fail fast on transport errors; the NEXT operation heals the
+// connection. Application-level errors (the server answered with a status)
+// are never retried.
 type Client struct {
-	conn   net.Conn
-	mux    *ipc.Mux
+	addr string
+	name string
+	opts DialOptions
+
 	closed atomic.Bool
+
+	mu   sync.Mutex // guards sess and dialing
+	sess *session
+
+	reconnects atomic.Uint64
 }
 
 var _ Source = (*Client)(nil)
 
-// Dial connects to the file server at addr and opens the named object.
+// Dial connects to the file server at addr and opens the named object, with
+// default fault-tolerance options.
 func Dial(addr, name string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialWith(addr, name, DialOptions{})
+}
+
+// DialWith is Dial with explicit DialOptions.
+func DialWith(addr, name string, opts DialOptions) (*Client, error) {
+	c := &Client{addr: addr, name: name, opts: opts.withDefaults()}
+	c.mu.Lock()
+	_, err := c.sessionLocked()
+	c.mu.Unlock()
 	if err != nil {
-		return nil, fmt.Errorf("dial file server %s: %w", addr, err)
-	}
-	c := &Client{
-		conn: conn,
-		mux:  ipc.NewMux(conn, conn, nil),
-	}
-	if _, _, err := c.call(&wire.Request{Op: wire.OpOpen, Data: []byte(name)}, nil); err != nil {
-		c.mux.Close()
-		conn.Close()
 		return nil, fmt.Errorf("open remote object %q: %w", name, err)
 	}
 	return c, nil
 }
 
-// call performs one request/response exchange through the mux. Any response
-// payload lands in dst (which may be nil); copied reports how much.
-func (c *Client) call(req *wire.Request, dst []byte) (n int64, copied int, err error) {
-	if c.closed.Load() {
-		return 0, 0, ErrSourceClosed
-	}
-	resp, err := c.mux.RoundTrip(req, dst)
+// connect establishes one fresh session: TCP dial plus the OpOpen handshake
+// re-binding the object, both under the configured deadlines.
+func (c *Client) connect() (*session, error) {
+	conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
 	if err != nil {
+		return nil, fmt.Errorf("dial file server %s: %w", c.addr, err)
+	}
+	s := &session{conn: conn, mux: ipc.NewMux(conn, conn, nil)}
+	ctx, cancel := c.opCtx()
+	resp, err := s.mux.RoundTripContext(ctx, &wire.Request{Op: wire.OpOpen, Data: []byte(c.name)}, nil)
+	cancel()
+	if err == nil {
+		err = wire.ToError(wire.OpOpen, resp.Status, resp.Msg)
+	}
+	if err != nil {
+		s.teardown()
+		return nil, fmt.Errorf("reopen %q: %w", c.name, err)
+	}
+	return s, nil
+}
+
+func (c *Client) opCtx() (context.Context, context.CancelFunc) {
+	if c.opts.OpTimeout <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), c.opts.OpTimeout)
+}
+
+// sessionLocked returns the live session, dialing a fresh one if none exists.
+// Callers hold c.mu.
+func (c *Client) sessionLocked() (*session, error) {
+	if c.closed.Load() {
+		return nil, ErrSourceClosed
+	}
+	if c.sess != nil {
+		return c.sess, nil
+	}
+	s, err := c.connect()
+	if err != nil {
+		return nil, err
+	}
+	c.sess = s
+	return s, nil
+}
+
+// getSession returns the current session, establishing one when needed. Only
+// the dial is serialized; exchanges pipeline outside the lock.
+func (c *Client) getSession() (*session, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sessionLocked()
+}
+
+// dropSession retires s after a transport failure. Stale reports (another
+// caller already replaced the session) are ignored, so one failure epoch
+// costs one reconnect, not one per in-flight exchange.
+func (c *Client) dropSession(s *session) {
+	c.mu.Lock()
+	if c.sess == s {
+		c.sess = nil
+		c.reconnects.Add(1)
+	} else {
+		s = nil // someone else already tore it down
+	}
+	c.mu.Unlock()
+	if s != nil {
+		s.teardown()
+	}
+}
+
+// Reconnects reports how many sessions have been retired after transport
+// failures — observability for chaos harnesses and tests.
+func (c *Client) Reconnects() uint64 { return c.reconnects.Load() }
+
+// backoff sleeps the attempt-th reconnect delay: exponential growth from
+// BackoffBase capped at BackoffMax, with equal jitter so a fleet of waiters
+// doesn't thunder back in lockstep.
+func (c *Client) backoff(attempt int) {
+	d := c.opts.BackoffBase << attempt
+	if d > c.opts.BackoffMax || d <= 0 {
+		d = c.opts.BackoffMax
+	}
+	half := d / 2
+	time.Sleep(half + time.Duration(rand.Int63n(int64(half)+1)))
+}
+
+// call performs one request/response exchange, transparently redialing and —
+// for idempotent operations — replaying across transport failures. Any
+// response payload lands in dst (which may be nil); copied reports how much.
+func (c *Client) call(req *wire.Request, dst []byte, idempotent bool) (n int64, copied int, err error) {
+	for attempt := 0; ; attempt++ {
+		s, serr := c.getSession()
+		if serr != nil {
+			// The operation was never sent, so retrying a failed dial is
+			// safe for every op, idempotent or not.
+			if serr == ErrSourceClosed || attempt >= c.opts.MaxRetries {
+				return 0, 0, serr
+			}
+			c.backoff(attempt)
+			continue
+		}
+
+		ctx, cancel := c.opCtx()
+		resp, rerr := s.mux.RoundTripContext(ctx, req, dst)
+		cancel()
+		if rerr == nil {
+			if dst != nil {
+				copied = len(resp.Data)
+			}
+			// The server answered: any error here is the application's,
+			// deterministic on replay — never retried.
+			if werr := wire.ToError(req.Op, resp.Status, resp.Msg); werr != nil {
+				return resp.N, copied, werr
+			}
+			return resp.N, copied, nil
+		}
+
+		// Transport failure (connection lost, mux poisoned, or deadline
+		// expired on a hung exchange). The session is unusable or suspect:
+		// retire it so the next attempt — ours or a later call's — redials.
+		c.dropSession(s)
 		if c.closed.Load() {
 			return 0, 0, ErrSourceClosed
 		}
-		return 0, 0, err
+		if !idempotent {
+			return 0, 0, fmt.Errorf("remote %s not replayed (connection failed mid-exchange, may have applied): %w", req.Op, rerr)
+		}
+		if attempt >= c.opts.MaxRetries {
+			return 0, 0, fmt.Errorf("remote %s failed after %d attempts: %w", req.Op, attempt+1, rerr)
+		}
+		c.backoff(attempt)
 	}
-	if dst != nil {
-		copied = len(resp.Data)
-	}
-	if werr := wire.ToError(req.Op, resp.Status, resp.Msg); werr != nil {
-		return resp.N, copied, werr
-	}
-	return resp.N, copied, nil
 }
 
 // ReadAt implements Source.
@@ -70,7 +260,7 @@ func (c *Client) ReadAt(p []byte, off int64) (int, error) {
 		if chunk > wire.MaxPayload {
 			chunk = wire.MaxPayload
 		}
-		_, copied, err := c.call(&wire.Request{Op: wire.OpRead, Off: off + int64(total), N: int64(chunk)}, p[total:total+chunk])
+		_, copied, err := c.call(&wire.Request{Op: wire.OpRead, Off: off + int64(total), N: int64(chunk)}, p[total:total+chunk], true)
 		total += copied
 		if err != nil {
 			return total, err
@@ -90,7 +280,7 @@ func (c *Client) WriteAt(p []byte, off int64) (int, error) {
 		if chunk > wire.MaxPayload {
 			chunk = wire.MaxPayload
 		}
-		n, _, err := c.call(&wire.Request{Op: wire.OpWrite, Off: off + int64(total), Data: p[total : total+chunk]}, nil)
+		n, _, err := c.call(&wire.Request{Op: wire.OpWrite, Off: off + int64(total), Data: p[total : total+chunk]}, nil, false)
 		total += int(n)
 		if err != nil {
 			return total, err
@@ -104,24 +294,32 @@ func (c *Client) WriteAt(p []byte, off int64) (int, error) {
 
 // Size implements Source.
 func (c *Client) Size() (int64, error) {
-	n, _, err := c.call(&wire.Request{Op: wire.OpSize}, nil)
+	n, _, err := c.call(&wire.Request{Op: wire.OpSize}, nil, true)
 	return n, err
 }
 
 // Truncate implements Source.
 func (c *Client) Truncate(n int64) error {
-	_, _, err := c.call(&wire.Request{Op: wire.OpTruncate, Off: n}, nil)
+	_, _, err := c.call(&wire.Request{Op: wire.OpTruncate, Off: n}, nil, false)
 	return err
 }
 
 // Close implements Source, notifying the server and dropping the connection.
+// In-flight exchanges are released with ErrSourceClosed; none may replay.
 func (c *Client) Close() error {
 	if !c.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	c.mu.Lock()
+	s := c.sess
+	c.sess = nil
+	c.mu.Unlock()
+	if s == nil {
+		return nil
+	}
 	// Best effort goodbye; the transport close is what matters. Closing the
 	// connection also stops the mux's receive loop and fails any stragglers.
-	c.mux.Post(&wire.Request{Op: wire.OpClose}, nil)
-	c.mux.Close()
-	return c.conn.Close()
+	s.mux.Post(&wire.Request{Op: wire.OpClose}, nil)
+	s.teardown()
+	return nil
 }

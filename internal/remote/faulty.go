@@ -1,7 +1,9 @@
 package remote
 
 import (
+	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -109,3 +111,86 @@ func (s *FlakySource) Truncate(n int64) error {
 
 // Close implements Source.
 func (s *FlakySource) Close() error { return s.inner.Close() }
+
+// ChaosSource wraps a Source, failing each operation independently with a
+// configured probability — a steady drizzle of faults rather than
+// FlakySource's hard outage. Its randomness is seeded, so a chaos run is
+// reproducible.
+type ChaosSource struct {
+	inner Source
+	fault error
+
+	mu   sync.Mutex
+	rate float64
+	rng  *rand.Rand
+
+	injected atomic.Uint64
+}
+
+var _ Source = (*ChaosSource)(nil)
+
+// NewChaosSource wraps inner; each operation fails with probability rate
+// (clamped to [0,1]) returning fault. Same seed, same fault schedule.
+func NewChaosSource(inner Source, rate float64, fault error, seed int64) *ChaosSource {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	return &ChaosSource{
+		inner: inner,
+		fault: fault,
+		rate:  rate,
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Injected reports how many operations have been failed so far.
+func (s *ChaosSource) Injected() uint64 { return s.injected.Load() }
+
+func (s *ChaosSource) roll() error {
+	s.mu.Lock()
+	hit := s.rng.Float64() < s.rate
+	s.mu.Unlock()
+	if hit {
+		s.injected.Add(1)
+		return s.fault
+	}
+	return nil
+}
+
+// ReadAt implements Source.
+func (s *ChaosSource) ReadAt(p []byte, off int64) (int, error) {
+	if err := s.roll(); err != nil {
+		return 0, err
+	}
+	return s.inner.ReadAt(p, off)
+}
+
+// WriteAt implements Source.
+func (s *ChaosSource) WriteAt(p []byte, off int64) (int, error) {
+	if err := s.roll(); err != nil {
+		return 0, err
+	}
+	return s.inner.WriteAt(p, off)
+}
+
+// Size implements Source.
+func (s *ChaosSource) Size() (int64, error) {
+	if err := s.roll(); err != nil {
+		return 0, err
+	}
+	return s.inner.Size()
+}
+
+// Truncate implements Source.
+func (s *ChaosSource) Truncate(n int64) error {
+	if err := s.roll(); err != nil {
+		return err
+	}
+	return s.inner.Truncate(n)
+}
+
+// Close implements Source.
+func (s *ChaosSource) Close() error { return s.inner.Close() }

@@ -26,8 +26,9 @@ type FileServer struct {
 	wg      sync.WaitGroup
 	closed  bool
 
-	latency  time.Duration
-	failNext error
+	latency   time.Duration
+	failNext  error
+	stallNext time.Duration
 }
 
 // NewFileServer returns a server with an empty object store.
@@ -69,6 +70,16 @@ func (s *FileServer) FailNext(err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.failNext = err
+}
+
+// StallNext makes the next object operation hang for d before answering
+// (once) — a server that is alive but unresponsive, for exercising client
+// deadlines. Keep d short in tests: Close waits for in-flight operations,
+// including a stalled one.
+func (s *FileServer) StallNext(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stallNext = d
 }
 
 // Start begins listening on addr (use "127.0.0.1:0" for an ephemeral port)
@@ -137,9 +148,14 @@ func (s *FileServer) Close() error {
 func (s *FileServer) injectedDelayAndFault() error {
 	s.mu.Lock()
 	d := s.latency
+	stall := s.stallNext
+	s.stallNext = 0
 	err := s.failNext
 	s.failNext = nil
 	s.mu.Unlock()
+	if stall > 0 {
+		time.Sleep(stall)
+	}
 	if d > 0 {
 		time.Sleep(d)
 	}

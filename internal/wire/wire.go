@@ -132,6 +132,10 @@ type SeqCounter struct {
 // Next returns the next sequence number.
 func (c *SeqCounter) Next() uint32 { return c.n.Add(1) }
 
+// Set rewinds (or advances) the counter so the next Next returns v+1. It
+// exists to stage wraparound in fault tests; production code never needs it.
+func (c *SeqCounter) Set(v uint32) { c.n.Store(v) }
+
 // Request is one operation sent from the application stubs to the sentinel.
 type Request struct {
 	Op   Op
