@@ -8,9 +8,10 @@
 # Figure 6 JSON report.
 
 GO ?= go
-BENCH_JSON ?= BENCH_2.json
+BENCH_JSON ?= BENCH_3.json
+BENCH_BASE ?= BENCH_2.json
 
-.PHONY: all tier1 race bench-smoke bench-json
+.PHONY: all tier1 race bench-smoke bench-json bench-compare
 
 all: tier1 race bench-smoke
 
@@ -33,8 +34,18 @@ bench-smoke:
 	$(GO) test -run NONE -bench BenchmarkParallel -benchtime 1x ./internal/bench
 	$(GO) test -run NONE -bench 'BenchmarkWriteRequest|BenchmarkReadResponse' -benchtime 100x ./internal/wire
 	$(GO) test -run NONE -bench BenchmarkSmallBlockSequential -benchtime 10x ./internal/bench
+	$(GO) test -run NONE -bench BenchmarkOpenClose -benchtime 3x ./internal/bench
+	$(GO) test -run NONE -bench BenchmarkShardedCacheParallelHits -benchtime 100x ./internal/cache
 
-# Regenerate the machine-readable Figure 6 report committed alongside
-# EXPERIMENTS.md. Override BENCH_JSON to write elsewhere.
+# Regenerate the machine-readable benchmark report committed alongside
+# EXPERIMENTS.md: the Figure 6 panels plus the concurrency sweeps (with
+# frame-batching amortization) and the open/close churn sweep. Override
+# BENCH_JSON to write elsewhere.
 bench-json:
-	$(GO) run ./cmd/afbench -json $(BENCH_JSON)
+	$(GO) run ./cmd/afbench -full -json $(BENCH_JSON)
+
+# Diff the current report against the previous PR's committed baseline as a
+# per-cell percentage table. Override BENCH_BASE/BENCH_JSON to compare other
+# pairs (v1 reports compare on their Figure 6 cells only).
+bench-compare:
+	$(GO) run ./cmd/afbench -compare $(BENCH_BASE),$(BENCH_JSON)

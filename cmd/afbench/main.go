@@ -16,12 +16,27 @@
 // fault-injecting proxy, reporting recovery latency and surviving throughput:
 //
 //	afbench -chaos 0,0.01,0.05,0.1 -ops 500
+//
+// With -churn it sweeps open/close cycles — cold procctl versus the warm
+// sentinel pool versus the in-process strategies:
+//
+//	afbench -churn 100 -pool 4
+//
+// With -full it runs the Figure 6 panels, a remote-path concurrency sweep,
+// and the churn sweep, merging everything into one JSON report:
+//
+//	afbench -full -json BENCH_3.json
+//
+// -compare diffs two such reports; -cpuprofile/-memprofile capture pprof
+// profiles of whichever mode runs.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -53,9 +68,52 @@ func run(args []string) error {
 		jsonPath    = flags.String("json", "", "also write the Figure 6 results as a machine-readable JSON report to this file")
 		readAhead   = flags.Bool("readahead", true, "enable adaptive read-ahead in the sentinel strategies (ablation switch)")
 		writeBehind = flags.Bool("writebehind", false, "enable write coalescing in the sentinel strategies")
+		churn       = flags.Int("churn", 0, "sweep open/close churn with this many opens per cell instead of Figure 6")
+		pool        = flags.Int("pool", bench.DefaultChurnPool, "warm sentinel pool size for the churn sweep's pooled cell")
+		full        = flags.Bool("full", false, "run Figure 6 + a remote concurrency sweep + the churn sweep, merged into one JSON report")
+		compare     = flags.String("compare", "", `diff two JSON reports ("old.json,new.json") and exit`)
+		cpuprofile  = flags.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprofile  = flags.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	if err := flags.Parse(args); err != nil {
 		return err
+	}
+
+	if *compare != "" {
+		parts := strings.Split(*compare, ",")
+		if len(parts) != 2 {
+			return fmt.Errorf(`-compare wants "old.json,new.json", got %q`, *compare)
+		}
+		return bench.CompareFiles(os.Stdout, strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1]))
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "afbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // profile live heap, not garbage awaiting collection
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "afbench: memprofile:", err)
+			}
+		}()
 	}
 
 	params := map[string]string{}
@@ -143,6 +201,19 @@ func run(args []string) error {
 		runner.SetRemoteLatency(*latency)
 	}
 
+	if *full {
+		return runFull(runner, opts, *ops, *churn, *pool, params, *jsonPath)
+	}
+
+	if *churn > 0 {
+		fmt.Printf("active files — open/close churn (%d opens per cell)\n\n", *churn)
+		results, err := runner.RunChurn(bench.ChurnOptions{Opens: *churn, Pool: *pool, Params: params})
+		if err != nil {
+			return err
+		}
+		return bench.WriteChurnTable(os.Stdout, results)
+	}
+
 	if rates != nil {
 		copts := bench.ChaosOptions{Rates: rates, Ops: *ops, Seed: *chaosSeed}
 		if len(opts.Blocks) > 0 {
@@ -198,6 +269,71 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	return nil
+}
+
+// runFull runs the whole battery — Figure 6, a remote-path concurrency sweep
+// per small block size (where command-channel batching shows), and the
+// open/close churn sweep — and merges everything into one JSON report.
+func runFull(runner *bench.Runner, opts bench.FigureOptions, ops, churnOpens, pool int, params map[string]string, jsonPath string) error {
+	fmt.Printf("active files — full battery (%d ops per point)\n\n", ops)
+	panels, err := runner.RunFigure6(opts)
+	if err != nil {
+		return err
+	}
+	for _, p := range panels {
+		if err := p.WriteTable(os.Stdout); err != nil {
+			return err
+		}
+	}
+	rep := bench.BuildReport(panels, ops, params)
+
+	// The concurrency sweeps disable read-ahead: the prefetcher absorbs
+	// sequential parallel reads before they reach the mux, which would hide
+	// exactly the command-channel batching these sweeps exist to measure.
+	parallelParams := map[string]string{}
+	for k, v := range params {
+		parallelParams[k] = v
+	}
+	parallelParams["readahead"] = "false"
+	for _, block := range []int{8, 32, 128} {
+		pPanels, err := runner.RunParallel(bench.ParallelOptions{
+			Ops:       ops,
+			BlockSize: block,
+			Degrees:   []int{1, 4, 16},
+			Path:      bench.PathRemote,
+			OpsFilter: bench.OpRead,
+			Params:    parallelParams,
+		})
+		if err != nil {
+			return err
+		}
+		for _, p := range pPanels {
+			if err := p.WriteTable(os.Stdout); err != nil {
+				return err
+			}
+		}
+		rep.AddParallel(pPanels)
+	}
+
+	if churnOpens <= 0 {
+		churnOpens = bench.DefaultChurnOpens
+	}
+	churnResults, err := runner.RunChurn(bench.ChurnOptions{Opens: churnOpens, Pool: pool, Params: params})
+	if err != nil {
+		return err
+	}
+	if err := bench.WriteChurnTable(os.Stdout, churnResults); err != nil {
+		return err
+	}
+	rep.AddChurn(churnResults)
+
+	if jsonPath != "" {
+		if err := rep.WriteJSONFile(jsonPath); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
 	}
 	return nil
 }

@@ -115,6 +115,9 @@ type Runner struct {
 	server *remote.FileServer
 	addr   string
 	nextID int
+	// lastPath is the manifest path of the most recent Setup, for cells that
+	// reopen the same active file repeatedly (churn).
+	lastPath string
 }
 
 // NewRunner starts the remote service and returns a ready runner. Close it
@@ -128,8 +131,12 @@ func NewRunner(dir string) (*Runner, error) {
 	return &Runner{dir: dir, server: server, addr: addr}, nil
 }
 
-// Close stops the remote service.
-func (r *Runner) Close() error { return r.server.Close() }
+// Close stops the remote service and retires any warm sentinels the churn
+// cells left parked, so a finished run leaks no subprocesses.
+func (r *Runner) Close() error {
+	core.DrainSentinelPool()
+	return r.server.Close()
+}
 
 // SetRemoteLatency injects a fixed delay into every remote-service
 // operation, simulating a distant source for crossover ablations.
@@ -167,6 +174,7 @@ func (r *Runner) Setup(cfg Config) (*core.Handle, int64, func(), error) {
 	if err := vfs.Create(path, m); err != nil {
 		return nil, 0, nil, err
 	}
+	r.lastPath = path
 
 	h, err := core.Open(path, core.Options{Strategy: cfg.Strategy})
 	if err != nil {

@@ -1,0 +1,208 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+)
+
+// The churn sweep measures open/close cost — the overhead the paper's
+// sentinel-per-file design pays on every first touch. A procctl open is a
+// fork+exec+handshake; with a warm sentinel pool (manifest param "pool") it
+// collapses to a pipe round trip, and this sweep quantifies exactly that gap
+// against the in-process strategies.
+
+// DefaultChurnOpens is the open/close cycle count per churn cell.
+const DefaultChurnOpens = 100
+
+// DefaultChurnPool is the warm-pool size used by the pooled churn cell.
+const DefaultChurnPool = 4
+
+// poolRecoverTimeout caps the untimed wait for pool replenishment between
+// warm churn cycles.
+const poolRecoverTimeout = 2 * time.Second
+
+// waitForIdle polls until at least want warm sentinels are parked for path,
+// giving up after timeout (the next open then simply measures whatever state
+// the pool is in).
+func waitForIdle(path string, want int, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for core.IdleSentinels(path) < want && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// ChurnResult is one churn cell: Opens open/touch/close cycles against one
+// active file, Total summing the Open plus first-read pairs — close is
+// outside the timed region. Timing open-to-first-byte (not Open alone) keeps
+// the cells comparable: a cold procctl Open returns as soon as fork+exec
+// does, deferring child boot to the first operation, while a warm open's
+// rebind round trip only completes on a booted child. MicrosPerOpen is
+// therefore time-to-first-byte latency.
+type ChurnResult struct {
+	Strategy string // e.g. "procctl-cold", "procctl-warm", "thread"
+	Opens    int
+	Total    time.Duration
+}
+
+// MicrosPerOpen returns the average open latency in microseconds.
+func (r ChurnResult) MicrosPerOpen() float64 {
+	if r.Opens == 0 {
+		return 0
+	}
+	return float64(r.Total.Nanoseconds()) / float64(r.Opens) / 1e3
+}
+
+// ChurnOptions adjust a churn sweep.
+type ChurnOptions struct {
+	// Opens per cell; 0 means DefaultChurnOpens.
+	Opens int
+	// Pool is the warm-pool size for the pooled procctl cell; 0 means
+	// DefaultChurnPool.
+	Pool int
+	// Params are extra manifest parameters applied to every cell.
+	Params map[string]string
+}
+
+// MeasureChurn times opens opens of one active file under strategy,
+// performing a one-block read after each open (proving the session is live)
+// and closing before the next cycle. label names the resulting cell.
+// prewarm > 0 adds a "pool" manifest param and synchronously fills the warm
+// sentinel pool before the first timed open.
+func (r *Runner) MeasureChurn(label string, strategy core.Strategy, opens, prewarm int, params map[string]string) (ChurnResult, error) {
+	if opens <= 0 {
+		opens = DefaultChurnOpens
+	}
+	cellParams := map[string]string{}
+	for k, v := range params {
+		cellParams[k] = v
+	}
+	if prewarm > 0 {
+		cellParams["pool"] = fmt.Sprint(prewarm)
+	}
+
+	// One active file reused across all cycles; Setup opens it once, which we
+	// use only to provision the manifest — that handle closes immediately.
+	h, _, cleanup, err := r.Setup(Config{
+		Strategy:  strategy,
+		Path:      PathDisk,
+		Op:        OpRead,
+		BlockSize: 8,
+		Ops:       1,
+		Params:    cellParams,
+	})
+	if err != nil {
+		return ChurnResult{}, err
+	}
+	path := r.lastPath
+	h.Close()
+	defer cleanup()
+
+	if prewarm > 0 {
+		// Drain before cleanup removes the active file (defers run LIFO), so
+		// in-flight background replenishes never race the file's removal.
+		defer core.DrainSentinelPool()
+		if _, err := core.PrewarmSentinels(path); err != nil {
+			return ChurnResult{}, fmt.Errorf("prewarm %s: %w", label, err)
+		}
+	}
+
+	buf := make([]byte, 8)
+	var total time.Duration
+	for i := 0; i < opens; i++ {
+		start := time.Now()
+		h, err := core.Open(path, core.Options{Strategy: strategy})
+		if err != nil {
+			return ChurnResult{}, fmt.Errorf("churn %s open %d: %w", label, i, err)
+		}
+		_, rerr := h.ReadAt(buf, 0)
+		total += time.Since(start)
+		if rerr != nil {
+			h.Close()
+			return ChurnResult{}, fmt.Errorf("churn %s touch %d: %w", label, i, rerr)
+		}
+		if err := h.Close(); err != nil {
+			return ChurnResult{}, fmt.Errorf("churn %s close %d: %w", label, i, err)
+		}
+		if prewarm > 0 {
+			// Untimed think time: let the background replenish catch up, so
+			// every timed open measures the steady-state warm path. Without
+			// this, a zero-think-time loop churns faster than fork+exec can
+			// refill any finite pool and the tail of the sweep silently
+			// measures cold fallbacks instead of the pool.
+			waitForIdle(path, prewarm, poolRecoverTimeout)
+		}
+	}
+	return ChurnResult{Strategy: label, Opens: opens, Total: total}, nil
+}
+
+// RunChurn sweeps open/close churn across the cells that matter for the warm
+// pool story: cold procctl (fork+exec per open), warm procctl (pool rebind
+// per open), and the in-process thread and direct strategies as floors.
+func (r *Runner) RunChurn(opts ChurnOptions) ([]ChurnResult, error) {
+	opens := opts.Opens
+	if opens <= 0 {
+		opens = DefaultChurnOpens
+	}
+	pool := opts.Pool
+	if pool <= 0 {
+		pool = DefaultChurnPool
+	}
+	cells := []struct {
+		label    string
+		strategy core.Strategy
+		prewarm  int
+	}{
+		{"procctl-cold", core.StrategyProcCtl, 0},
+		{"procctl-warm", core.StrategyProcCtl, pool},
+		{"thread", core.StrategyThread, 0},
+		{"direct", core.StrategyDirect, 0},
+	}
+	var results []ChurnResult
+	for _, cell := range cells {
+		res, err := r.MeasureChurn(cell.label, cell.strategy, opens, cell.prewarm, opts.Params)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+	}
+	core.DrainSentinelPool()
+	return results, nil
+}
+
+// WriteChurnTable renders churn results as an aligned table, with each row's
+// speedup relative to the cold procctl anchor.
+func WriteChurnTable(w io.Writer, results []ChurnResult) error {
+	if len(results) == 0 {
+		return nil
+	}
+	var cold float64
+	for _, res := range results {
+		if res.Strategy == "procctl-cold" {
+			cold = res.MicrosPerOpen()
+		}
+	}
+	if _, err := fmt.Fprintf(w, "open/close churn — disk cache (%d opens per cell, open-to-first-byte latency)\n", results[0].Opens); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-14s%12s%14s\n", "strategy", "µs/open", "vs cold"); err != nil {
+		return err
+	}
+	for _, res := range results {
+		if _, err := fmt.Fprintf(w, "%-14s%12.1f", res.Strategy, res.MicrosPerOpen()); err != nil {
+			return err
+		}
+		if cold > 0 && res.MicrosPerOpen() > 0 {
+			if _, err := fmt.Fprintf(w, "%13.2fx", cold/res.MicrosPerOpen()); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

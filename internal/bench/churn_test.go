@@ -1,0 +1,78 @@
+package bench_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+func TestRunChurnSweepsAllCells(t *testing.T) {
+	r := newRunner(t)
+	results, err := r.RunChurn(bench.ChurnOptions{Opens: 3, Pool: 1})
+	if err != nil {
+		t.Fatalf("RunChurn: %v", err)
+	}
+	want := []string{"procctl-cold", "procctl-warm", "thread", "direct"}
+	if len(results) != len(want) {
+		t.Fatalf("got %d cells, want %d", len(results), len(want))
+	}
+	for i, res := range results {
+		if res.Strategy != want[i] {
+			t.Errorf("cell %d = %q, want %q", i, res.Strategy, want[i])
+		}
+		if res.Opens != 3 || res.Total <= 0 {
+			t.Errorf("cell %s: opens=%d total=%v", res.Strategy, res.Opens, res.Total)
+		}
+		if res.MicrosPerOpen() <= 0 {
+			t.Errorf("cell %s: non-positive µs/open", res.Strategy)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := bench.WriteChurnTable(&buf, results); err != nil {
+		t.Fatalf("WriteChurnTable: %v", err)
+	}
+	out := buf.String()
+	for _, label := range want {
+		if !strings.Contains(out, label) {
+			t.Errorf("table missing %q:\n%s", label, out)
+		}
+	}
+	if !strings.Contains(out, "vs cold") {
+		t.Errorf("table missing speedup column:\n%s", out)
+	}
+}
+
+// BenchmarkOpenClose measures the open/close cycle per strategy — the number
+// the warm sentinel pool exists to shrink. The warm variant prewarms the
+// pool, so its steady state is one OpOpen rebind per open instead of
+// fork+exec.
+func BenchmarkOpenClose(b *testing.B) {
+	cells := []struct {
+		name     string
+		strategy core.Strategy
+		prewarm  int
+	}{
+		{"procctl-cold", core.StrategyProcCtl, 0},
+		{"procctl-warm", core.StrategyProcCtl, 4},
+		{"thread", core.StrategyThread, 0},
+		{"direct", core.StrategyDirect, 0},
+	}
+	for _, cell := range cells {
+		b.Run(cell.name, func(b *testing.B) {
+			r, err := bench.NewRunner(b.TempDir())
+			if err != nil {
+				b.Fatalf("NewRunner: %v", err)
+			}
+			defer r.Close()
+			res, err := r.MeasureChurn(cell.name, cell.strategy, b.N, cell.prewarm, nil)
+			if err != nil {
+				b.Fatalf("MeasureChurn: %v", err)
+			}
+			b.ReportMetric(res.MicrosPerOpen()*1e3, "ns/open")
+		})
+	}
+}

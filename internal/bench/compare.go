@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Report comparison: load two afbench JSON reports (v1 or v2) and render the
+// per-cell deltas as a table, so a PR's perf claim is a `make bench-compare`
+// away instead of a manual diff of two JSON files.
+
+// LoadReport reads an afbench JSON report from path. Both the current v2
+// schema and the older v1 (Figure 6 panels only) are accepted; sections a v1
+// report lacks stay empty.
+func LoadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("parse report %s: %w", path, err)
+	}
+	switch rep.Schema {
+	case "afbench/v1", "afbench/v2":
+		return &rep, nil
+	default:
+		return nil, fmt.Errorf("report %s: unknown schema %q", path, rep.Schema)
+	}
+}
+
+// deltaPct returns the relative change from old to new in percent; negative
+// is an improvement for latency-style metrics.
+func deltaPct(before, after float64) float64 {
+	if before == 0 {
+		return 0
+	}
+	return (after - before) / before * 100
+}
+
+// WriteCompareTable renders every cell present in BOTH reports with its
+// old/new value and percentage delta. Cells only one report has are counted
+// and summarized, never silently dropped.
+func WriteCompareTable(w io.Writer, oldRep, newRep *Report) error {
+	var unmatched int
+
+	// Figure 6 panels: index old cells by (path, op, strategy, block).
+	oldCells := map[string]float64{}
+	for _, p := range oldRep.Panels {
+		for _, c := range p.Cells {
+			oldCells[fmt.Sprintf("%s/%s/%s/%d", p.Path, p.Op, c.Strategy, c.Block)] = c.MicrosPerOp
+		}
+	}
+	if _, err := fmt.Fprintf(w, "figure 6 panels (µs/op)\n%-34s%10s%10s%9s\n", "cell", "old", "new", "delta"); err != nil {
+		return err
+	}
+	matched := map[string]bool{}
+	for _, p := range newRep.Panels {
+		for _, c := range p.Cells {
+			key := fmt.Sprintf("%s/%s/%s/%d", p.Path, p.Op, c.Strategy, c.Block)
+			old, ok := oldCells[key]
+			if !ok {
+				unmatched++
+				continue
+			}
+			matched[key] = true
+			if _, err := fmt.Fprintf(w, "%-34s%10.1f%10.1f%+8.1f%%\n",
+				key, old, c.MicrosPerOp, deltaPct(old, c.MicrosPerOp)); err != nil {
+				return err
+			}
+		}
+	}
+	for key := range oldCells {
+		if !matched[key] {
+			unmatched++
+		}
+	}
+
+	// Parallel sweeps, when both reports carry them (v1 has none).
+	if len(oldRep.Parallel) > 0 && len(newRep.Parallel) > 0 {
+		oldPar := map[string]ParallelReportCell{}
+		for _, p := range oldRep.Parallel {
+			for _, c := range p.Cells {
+				oldPar[fmt.Sprintf("%s/%s/%d/%s/x%d", p.Path, p.Op, p.Block, c.Strategy, c.Degree)] = c
+			}
+		}
+		if _, err := fmt.Fprintf(w, "\nparallel sweeps (aggregate µs/op)\n%-34s%10s%10s%9s\n", "cell", "old", "new", "delta"); err != nil {
+			return err
+		}
+		for _, p := range newRep.Parallel {
+			for _, c := range p.Cells {
+				key := fmt.Sprintf("%s/%s/%d/%s/x%d", p.Path, p.Op, p.Block, c.Strategy, c.Degree)
+				old, ok := oldPar[key]
+				if !ok {
+					unmatched++
+					continue
+				}
+				if _, err := fmt.Fprintf(w, "%-34s%10.1f%10.1f%+8.1f%%\n",
+					key, old.MicrosPerOp, c.MicrosPerOp, deltaPct(old.MicrosPerOp, c.MicrosPerOp)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	// Churn, same deal.
+	if len(oldRep.Churn) > 0 && len(newRep.Churn) > 0 {
+		oldChurn := map[string]float64{}
+		for _, row := range oldRep.Churn {
+			oldChurn[row.Strategy] = row.MicrosPerOpen
+		}
+		if _, err := fmt.Fprintf(w, "\nopen/close churn (µs/open)\n%-34s%10s%10s%9s\n", "cell", "old", "new", "delta"); err != nil {
+			return err
+		}
+		for _, row := range newRep.Churn {
+			old, ok := oldChurn[row.Strategy]
+			if !ok {
+				unmatched++
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%-34s%10.1f%10.1f%+8.1f%%\n",
+				row.Strategy, old, row.MicrosPerOpen, deltaPct(old, row.MicrosPerOpen)); err != nil {
+				return err
+			}
+		}
+	}
+
+	if unmatched > 0 {
+		if _, err := fmt.Fprintf(w, "\n(%d cells present in only one report were skipped)\n", unmatched); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CompareFiles loads two report files and writes their comparison table,
+// the engine behind afbench -compare and `make bench-compare`.
+func CompareFiles(w io.Writer, oldPath, newPath string) error {
+	oldRep, err := LoadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := LoadReport(newPath)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "benchmark comparison: %s -> %s\n\n",
+		strings.TrimSpace(oldPath), strings.TrimSpace(newPath)); err != nil {
+		return err
+	}
+	return WriteCompareTable(w, oldRep, newRep)
+}

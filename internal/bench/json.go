@@ -7,10 +7,12 @@ import (
 	"sort"
 )
 
-// JSON report schema identifier; bump when the layout changes.
-const ReportSchema = "afbench/v1"
+// JSON report schema identifier; bump when the layout changes. v2 added the
+// optional parallel (with frames-per-flush batching amortization) and churn
+// (open latency) sections; v1 reports remain loadable for comparison.
+const ReportSchema = "afbench/v2"
 
-// Report is the machine-readable form of a Figure 6 run, written by
+// Report is the machine-readable form of a benchmark run, written by
 // afbench -json so successive PRs can diff per-cell numbers instead of
 // eyeballing text tables.
 type Report struct {
@@ -18,6 +20,35 @@ type Report struct {
 	Ops    int               `json:"opsPerPoint"`
 	Params map[string]string `json:"params,omitempty"`
 	Panels []ReportPanel     `json:"panels"`
+	// Parallel holds the concurrency sweeps (afbench -full / -parallel).
+	Parallel []ParallelReportPanel `json:"parallel,omitempty"`
+	// Churn holds the open/close sweep (afbench -full / -churn).
+	Churn []ChurnReportRow `json:"churn,omitempty"`
+}
+
+// ParallelReportPanel is one concurrency sweep in the report.
+type ParallelReportPanel struct {
+	Path  string               `json:"path"`
+	Op    string               `json:"op"`
+	Block int                  `json:"block"`
+	Cells []ParallelReportCell `json:"cells"`
+}
+
+// ParallelReportCell is one (strategy, degree) point. FramesPerFlush is the
+// command-channel batching amortization — mean frames per write syscall —
+// present only for strategies that batch (procctl).
+type ParallelReportCell struct {
+	Strategy       string  `json:"strategy"`
+	Degree         int     `json:"degree"`
+	MicrosPerOp    float64 `json:"microsPerOp"`
+	FramesPerFlush float64 `json:"framesPerFlush,omitempty"`
+}
+
+// ChurnReportRow is one open/close churn cell.
+type ChurnReportRow struct {
+	Strategy      string  `json:"strategy"`
+	Opens         int     `json:"opens"`
+	MicrosPerOpen float64 `json:"microsPerOpen"`
 }
 
 // ReportPanel is one Figure 6 graph in the report.
@@ -58,6 +89,43 @@ func BuildReport(panels []*Panel, ops int, params map[string]string) *Report {
 		rep.Panels = append(rep.Panels, rp)
 	}
 	return rep
+}
+
+// AddParallel appends concurrency sweeps to the report in deterministic
+// (strategy legend, degree) order.
+func (rep *Report) AddParallel(panels []*ParallelPanel) {
+	for _, p := range panels {
+		rp := ParallelReportPanel{Path: p.Path.String(), Op: p.Op.String(), Block: p.Block}
+		for _, s := range []string{"procctl", "thread", "direct"} {
+			series, ok := p.Micros[s]
+			if !ok {
+				continue
+			}
+			for _, d := range p.Degrees {
+				v, ok := series[d]
+				if !ok {
+					continue
+				}
+				cell := ParallelReportCell{Strategy: s, Degree: d, MicrosPerOp: v}
+				if fpf, ok := p.FramesPerFlush[s][d]; ok {
+					cell.FramesPerFlush = fpf
+				}
+				rp.Cells = append(rp.Cells, cell)
+			}
+		}
+		rep.Parallel = append(rep.Parallel, rp)
+	}
+}
+
+// AddChurn appends the open/close sweep to the report.
+func (rep *Report) AddChurn(results []ChurnResult) {
+	for _, res := range results {
+		rep.Churn = append(rep.Churn, ChurnReportRow{
+			Strategy:      res.Strategy,
+			Opens:         res.Opens,
+			MicrosPerOpen: res.MicrosPerOpen(),
+		})
+	}
 }
 
 // WriteJSON serializes the report, indented, to w.

@@ -22,6 +22,22 @@ type ParallelResult struct {
 	Config
 	Parallel int
 	Total    time.Duration
+	// BatchFrames/BatchFlushes snapshot the command channel's vectored-write
+	// amortization over the run, for strategies that batch (procctl): frames
+	// submitted versus write syscalls issued. Zero when the strategy has no
+	// batched command channel.
+	BatchFrames  uint64
+	BatchFlushes uint64
+}
+
+// FramesPerFlush reports how many command frames each flush syscall carried
+// on average — 1.0 means no coalescing, N means a 1/N syscall-per-op rate.
+// ok is false when the cell's transport does not batch.
+func (r ParallelResult) FramesPerFlush() (float64, bool) {
+	if r.BatchFlushes == 0 {
+		return 0, false
+	}
+	return float64(r.BatchFrames) / float64(r.BatchFlushes), true
 }
 
 // MicrosPerOp returns the aggregate wall-clock cost per operation in
@@ -100,7 +116,11 @@ func (r *Runner) MeasureParallel(cfg Config, parallel int) (ParallelResult, erro
 	if err := <-errs; err != nil {
 		return ParallelResult{}, err
 	}
-	return ParallelResult{Config: cfg, Parallel: parallel, Total: total}, nil
+	res := ParallelResult{Config: cfg, Parallel: parallel, Total: total}
+	if bs, ok := h.BatchStats(); ok {
+		res.BatchFrames, res.BatchFlushes = bs.Frames, bs.Flushes
+	}
+	return res, nil
 }
 
 // ParallelOptions adjust a concurrency sweep.
@@ -137,6 +157,9 @@ type ParallelPanel struct {
 	Degrees []int
 	// Micros[strategy][degree] is the aggregate µs/op.
 	Micros map[string]map[int]float64
+	// FramesPerFlush[strategy][degree] is the command-channel batching
+	// amortization, present only for strategies that batch (procctl).
+	FramesPerFlush map[string]map[int]float64
 }
 
 // Speedup returns strategy's throughput gain at degree relative to its
@@ -171,7 +194,8 @@ func (p *ParallelPanel) WriteTable(w io.Writer) error {
 			return err
 		}
 	}
-	if _, err := fmt.Fprintf(w, "%12s\n", fmt.Sprintf("speedup@%d", maxDeg)); err != nil {
+	if _, err := fmt.Fprintf(w, "%12s%14s\n",
+		fmt.Sprintf("speedup@%d", maxDeg), fmt.Sprintf("frames/wr@%d", maxDeg)); err != nil {
 		return err
 	}
 	for _, strategy := range []string{"procctl", "thread", "direct"} {
@@ -193,6 +217,11 @@ func (p *ParallelPanel) WriteTable(w io.Writer) error {
 		}
 		if s, ok := p.Speedup(strategy, maxDeg); ok {
 			if _, err := fmt.Fprintf(w, "%11.2fx", s); err != nil {
+				return err
+			}
+		}
+		if fpf, ok := p.FramesPerFlush[strategy][maxDeg]; ok {
+			if _, err := fmt.Fprintf(w, "%14.1f", fpf); err != nil {
 				return err
 			}
 		}
@@ -233,14 +262,16 @@ func (r *Runner) RunParallel(opts ParallelOptions) ([]*ParallelPanel, error) {
 	var panels []*ParallelPanel
 	for _, op := range operations {
 		panel := &ParallelPanel{
-			Path:    path,
-			Op:      op,
-			Block:   block,
-			Degrees: degrees,
-			Micros:  make(map[string]map[int]float64),
+			Path:           path,
+			Op:             op,
+			Block:          block,
+			Degrees:        degrees,
+			Micros:         make(map[string]map[int]float64),
+			FramesPerFlush: make(map[string]map[int]float64),
 		}
 		for _, strategy := range strategies {
 			series := make(map[int]float64)
+			amort := make(map[int]float64)
 			for _, degree := range degrees {
 				res, err := r.MeasureParallel(Config{
 					Strategy:  strategy,
@@ -254,8 +285,14 @@ func (r *Runner) RunParallel(opts ParallelOptions) ([]*ParallelPanel, error) {
 					return nil, err
 				}
 				series[degree] = res.MicrosPerOp()
+				if fpf, ok := res.FramesPerFlush(); ok {
+					amort[degree] = fpf
+				}
 			}
 			panel.Micros[strategy.String()] = series
+			if len(amort) > 0 {
+				panel.FramesPerFlush[strategy.String()] = amort
+			}
 		}
 		panels = append(panels, panel)
 	}

@@ -16,15 +16,51 @@ type Stats struct {
 	Invalidations int64
 }
 
+// add accumulates o into s.
+func (s *Stats) add(o Stats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.Invalidations += o.Invalidations
+}
+
+// Shard sizing heuristics. Sharding only pays when each shard still holds a
+// useful working set, so small caches stay at one shard — preserving exact
+// global LRU order — and larger ones split until shards would drop below
+// minBlocksPerShard blocks or reach maxShards.
+const (
+	minBlocksPerShard = 8
+	maxShards         = 16
+)
+
 // BlockCache layers an LRU cache of fixed-size blocks over a slower
 // RandomAccess (typically a remote source). Reads of hot blocks are served
 // locally; writes go through to the backing store and update the cached
 // copy. Invalidate discards blocks when a remote update notification
 // arrives, keeping the cache consistent with the source.
+//
+// The cache is split into power-of-two SHARDS, each with its own lock, LRU
+// list, and counters; a block's shard is its index masked by shards-1, so
+// sequential blocks round-robin across shards and concurrent clients touching
+// different blocks rarely contend on the same lock. Each shard keeps the
+// singleflight fill discipline: concurrent misses of one block share one
+// backing read, and hits on other blocks in the same shard proceed while a
+// fill is in flight. Eviction is per shard (capacity is divided among
+// shards), so LRU order is approximate across the whole cache but exact
+// within a shard; a single-shard cache — the default for small capacities —
+// keeps the exact global LRU of the unsharded design.
 type BlockCache struct {
 	backing   RandomAccess
 	blockSize int
 	capacity  int
+
+	shards []*blockShard
+	mask   int64 // len(shards)-1; shard key = block index & mask
+}
+
+// blockShard is one independently locked slice of the cache.
+type blockShard struct {
+	capacity int
 
 	mu     sync.Mutex
 	blocks map[int64]*list.Element // block index -> lru element
@@ -40,7 +76,7 @@ type cachedBlock struct {
 	// Singleflight fill state. A block is inserted as a placeholder before
 	// its backing read runs, so concurrent readers of the same block share
 	// one fault-in while readers of other blocks proceed. ready is closed
-	// when the fill settles; filled/err/stale (guarded by the cache mutex)
+	// when the fill settles; filled/err/stale (guarded by the shard mutex)
 	// say how: filled means data is usable, err carries a failed backing
 	// read, stale means a write or invalidation raced the fill and the
 	// reader must refetch.
@@ -52,9 +88,31 @@ type cachedBlock struct {
 
 var _ RandomAccess = (*BlockCache)(nil)
 
+// defaultShardCount picks the shard count for a capacity: split while every
+// shard keeps at least minBlocksPerShard blocks, up to maxShards.
+func defaultShardCount(capacity int) int {
+	n := 1
+	for n < maxShards && capacity/(n*2) >= minBlocksPerShard {
+		n *= 2
+	}
+	return n
+}
+
 // NewBlockCache returns a cache of up to capacity blocks of blockSize bytes
-// over backing.
+// over backing, sharded according to capacity (small caches get one shard
+// and exact global LRU).
 func NewBlockCache(backing RandomAccess, blockSize, capacity int) (*BlockCache, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("cache: capacity %d must be positive", capacity)
+	}
+	return NewBlockCacheSharded(backing, blockSize, capacity, defaultShardCount(capacity))
+}
+
+// NewBlockCacheSharded is NewBlockCache with an explicit shard count, which
+// must be a power of two no larger than capacity. Capacity divides across
+// shards (remainder to the first shards), so the total never exceeds the
+// requested capacity.
+func NewBlockCacheSharded(backing RandomAccess, blockSize, capacity, shards int) (*BlockCache, error) {
 	if backing == nil {
 		return nil, errNoStore
 	}
@@ -64,67 +122,112 @@ func NewBlockCache(backing RandomAccess, blockSize, capacity int) (*BlockCache, 
 	if capacity <= 0 {
 		return nil, fmt.Errorf("cache: capacity %d must be positive", capacity)
 	}
-	return &BlockCache{
+	if shards <= 0 || shards&(shards-1) != 0 {
+		return nil, fmt.Errorf("cache: shard count %d must be a power of two", shards)
+	}
+	if shards > capacity {
+		return nil, fmt.Errorf("cache: shard count %d exceeds capacity %d", shards, capacity)
+	}
+	c := &BlockCache{
 		backing:   backing,
 		blockSize: blockSize,
 		capacity:  capacity,
-		blocks:    make(map[int64]*list.Element, capacity),
-		lru:       list.New(),
-	}, nil
+		shards:    make([]*blockShard, shards),
+		mask:      int64(shards - 1),
+	}
+	base, extra := capacity/shards, capacity%shards
+	for i := range c.shards {
+		cap := base
+		if i < extra {
+			cap++
+		}
+		c.shards[i] = &blockShard{
+			capacity: cap,
+			blocks:   make(map[int64]*list.Element, cap),
+			lru:      list.New(),
+		}
+	}
+	return c, nil
 }
 
-// Stats returns a snapshot of the hit/miss/eviction counters.
+// shard returns the shard owning the given block index.
+func (c *BlockCache) shard(index int64) *blockShard {
+	return c.shards[index&c.mask]
+}
+
+// ShardCount reports how many independently locked shards the cache uses.
+func (c *BlockCache) ShardCount() int { return len(c.shards) }
+
+// Stats returns a snapshot of the hit/miss/eviction counters summed across
+// shards.
 func (c *BlockCache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	var total Stats
+	for _, s := range c.shards {
+		s.mu.Lock()
+		total.add(s.stats)
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// ShardStats returns each shard's counters, in shard order — the observable
+// evidence that load spreads across locks.
+func (c *BlockCache) ShardStats() []Stats {
+	out := make([]Stats, len(c.shards))
+	for i, s := range c.shards {
+		s.mu.Lock()
+		out[i] = s.stats
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // block returns the ready cached block at index, faulting it in on a miss.
-// The backing read runs with c.mu RELEASED: a slow remote miss no longer
-// blocks every other reader — hits on cached blocks proceed, and concurrent
+// The backing read runs with the shard mutex RELEASED: a slow remote miss no
+// longer blocks other readers — hits on cached blocks proceed, and concurrent
 // misses of the same block wait on one shared fill instead of issuing their
 // own.
 func (c *BlockCache) block(index int64) (*cachedBlock, error) {
+	s := c.shard(index)
 	for {
-		c.mu.Lock()
-		if el, ok := c.blocks[index]; ok {
+		s.mu.Lock()
+		if el, ok := s.blocks[index]; ok {
 			blk, bok := el.Value.(*cachedBlock)
 			if !bok {
-				c.mu.Unlock()
+				s.mu.Unlock()
 				return nil, errors.New("cache: corrupt lru entry")
 			}
-			c.stats.Hits++
-			c.lru.MoveToFront(el)
+			s.stats.Hits++
+			s.lru.MoveToFront(el)
 			if !blk.filled {
-				c.mu.Unlock()
+				s.mu.Unlock()
 				<-blk.ready // a fill is in flight; join it
-				c.mu.Lock()
+				s.mu.Lock()
 				if blk.err != nil || blk.stale {
 					err := blk.err
-					c.mu.Unlock()
+					s.mu.Unlock()
 					if err != nil {
 						return nil, err
 					}
 					continue // the fill lost a race with a write; refetch
 				}
 			}
-			c.mu.Unlock()
+			s.mu.Unlock()
 			return blk, nil
 		}
 
-		c.stats.Misses++
+		s.stats.Misses++
 		blk := &cachedBlock{index: index, ready: make(chan struct{})}
-		c.insert(blk)
-		c.mu.Unlock()
+		s.insert(blk)
+		s.mu.Unlock()
 
 		data := make([]byte, c.blockSize)
 		n, err := c.backing.ReadAt(data, index*int64(c.blockSize))
 
-		c.mu.Lock()
+		s.mu.Lock()
 		if err != nil && !errors.Is(err, io.EOF) {
 			blk.err = err
-			c.removeLocked(blk) // future readers retry the backing store
+			s.removeLocked(blk) // future readers retry the backing store
 		} else {
 			blk.data = data
 			blk.valid = n
@@ -133,12 +236,12 @@ func (c *BlockCache) block(index int64) (*cachedBlock, error) {
 				// A write or invalidation landed while the fill was reading;
 				// the data may predate it. Drop the entry so everyone
 				// refetches.
-				c.removeLocked(blk)
+				s.removeLocked(blk)
 			}
 		}
 		stale, ferr := blk.stale, blk.err
 		close(blk.ready)
-		c.mu.Unlock()
+		s.mu.Unlock()
 		if ferr != nil {
 			return nil, ferr
 		}
@@ -150,34 +253,34 @@ func (c *BlockCache) block(index int64) (*cachedBlock, error) {
 }
 
 // removeLocked drops blk's map/lru entry if it is still the mapped one.
-// Called with c.mu held; idempotent.
-func (c *BlockCache) removeLocked(blk *cachedBlock) {
-	if el, ok := c.blocks[blk.index]; ok && el.Value == any(blk) {
-		c.lru.Remove(el)
-		delete(c.blocks, blk.index)
+// Called with s.mu held; idempotent.
+func (s *blockShard) removeLocked(blk *cachedBlock) {
+	if el, ok := s.blocks[blk.index]; ok && el.Value == any(blk) {
+		s.lru.Remove(el)
+		delete(s.blocks, blk.index)
 	}
 }
 
-// insert adds blk to the cache, evicting the least recently used block if at
-// capacity. Called with c.mu held.
-func (c *BlockCache) insert(blk *cachedBlock) {
-	for c.lru.Len() >= c.capacity {
-		oldest := c.lru.Back()
+// insert adds blk to the shard, evicting its least recently used block if at
+// capacity. Called with s.mu held.
+func (s *blockShard) insert(blk *cachedBlock) {
+	for s.lru.Len() >= s.capacity {
+		oldest := s.lru.Back()
 		if oldest == nil {
 			break
 		}
 		old, ok := oldest.Value.(*cachedBlock)
 		if ok {
-			delete(c.blocks, old.index)
+			delete(s.blocks, old.index)
 		}
-		c.lru.Remove(oldest)
-		c.stats.Evictions++
+		s.lru.Remove(oldest)
+		s.stats.Evictions++
 	}
-	c.blocks[blk.index] = c.lru.PushFront(blk)
+	s.blocks[blk.index] = s.lru.PushFront(blk)
 }
 
 // ReadAt implements RandomAccess, serving from cached blocks where possible.
-// The cache lock is held only for lookups and copies, never across a backing
+// A shard lock is held only for lookups and copies, never across a backing
 // fault-in.
 func (c *BlockCache) ReadAt(p []byte, off int64) (int, error) {
 	if off < 0 {
@@ -192,15 +295,16 @@ func (c *BlockCache) ReadAt(p []byte, off int64) (int, error) {
 		if err != nil {
 			return total, err
 		}
-		// Copy under the lock: writes patch filled blocks in place.
-		c.mu.Lock()
+		// Copy under the shard lock: writes patch filled blocks in place.
+		s := c.shard(index)
+		s.mu.Lock()
 		if inBlock >= blk.valid {
-			c.mu.Unlock()
+			s.mu.Unlock()
 			return total, io.EOF
 		}
 		n := copy(p[total:], blk.data[inBlock:blk.valid])
 		short := blk.valid < c.blockSize
-		c.mu.Unlock()
+		s.mu.Unlock()
 		total += n
 		if short {
 			// Short block: end of the backing object.
@@ -220,17 +324,13 @@ func (c *BlockCache) WriteAt(p []byte, off int64) (int, error) {
 		return 0, errors.New("cache: negative offset")
 	}
 	n, err := c.backing.WriteAt(p, off)
-	if n > 0 {
-		c.mu.Lock()
-		c.patchLocked(p[:n], off)
-		c.mu.Unlock()
-	}
+	c.patch(p[:n], off)
 	return n, err
 }
 
-// patchLocked overlays written bytes onto cached blocks. Called with c.mu
-// held.
-func (c *BlockCache) patchLocked(p []byte, off int64) {
+// patch overlays written bytes onto cached blocks, locking each spanned
+// block's shard in turn.
+func (c *BlockCache) patch(p []byte, off int64) {
 	done := 0
 	for done < len(p) {
 		pos := off + int64(done)
@@ -240,15 +340,17 @@ func (c *BlockCache) patchLocked(p []byte, off int64) {
 		if span > len(p)-done {
 			span = len(p) - done
 		}
-		if el, ok := c.blocks[index]; ok {
+		s := c.shard(index)
+		s.mu.Lock()
+		if el, ok := s.blocks[index]; ok {
 			if blk, ok := el.Value.(*cachedBlock); ok {
 				if !blk.filled {
 					// The block's fill is mid-flight and may have read the
 					// backing store before this write landed; make everyone
 					// refetch instead of patching data that isn't there yet.
 					blk.stale = true
-					c.lru.Remove(el)
-					delete(c.blocks, index)
+					s.lru.Remove(el)
+					delete(s.blocks, index)
 				} else {
 					copy(blk.data[inBlock:inBlock+span], p[done:done+span])
 					if end := inBlock + span; end > blk.valid {
@@ -257,6 +359,7 @@ func (c *BlockCache) patchLocked(p []byte, off int64) {
 				}
 			}
 		}
+		s.mu.Unlock()
 		done += span
 	}
 }
@@ -280,39 +383,46 @@ func (c *BlockCache) Invalidate(off, length int64) {
 	if length <= 0 {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	first := off / int64(c.blockSize)
 	last := (off + length - 1) / int64(c.blockSize)
 	for i := first; i <= last; i++ {
-		if el, ok := c.blocks[i]; ok {
+		s := c.shard(i)
+		s.mu.Lock()
+		if el, ok := s.blocks[i]; ok {
 			if blk, bok := el.Value.(*cachedBlock); bok && !blk.filled {
 				blk.stale = true // in-flight fill must not serve stale bytes
 			}
-			c.lru.Remove(el)
-			delete(c.blocks, i)
-			c.stats.Invalidations++
+			s.lru.Remove(el)
+			delete(s.blocks, i)
+			s.stats.Invalidations++
 		}
+		s.mu.Unlock()
 	}
 }
 
 // InvalidateAll discards every cached block.
 func (c *BlockCache) InvalidateAll() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.stats.Invalidations += int64(c.lru.Len())
-	for el := c.lru.Front(); el != nil; el = el.Next() {
-		if blk, ok := el.Value.(*cachedBlock); ok && !blk.filled {
-			blk.stale = true
+	for _, s := range c.shards {
+		s.mu.Lock()
+		s.stats.Invalidations += int64(s.lru.Len())
+		for el := s.lru.Front(); el != nil; el = el.Next() {
+			if blk, ok := el.Value.(*cachedBlock); ok && !blk.filled {
+				blk.stale = true
+			}
 		}
+		s.lru.Init()
+		s.blocks = make(map[int64]*list.Element, s.capacity)
+		s.mu.Unlock()
 	}
-	c.lru.Init()
-	c.blocks = make(map[int64]*list.Element, c.capacity)
 }
 
-// Len returns the number of blocks currently cached.
+// Len returns the number of blocks currently cached across all shards.
 func (c *BlockCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.lru.Len()
+	total := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		total += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return total
 }

@@ -270,9 +270,11 @@ func (b *Local) Close() error {
 }
 
 // MemStore is a plain in-memory RandomAccess used as the Mode Memory local
-// store.
+// store. Reads share an RLock, so a fan-out of parallel readers — the
+// sharded BlockCache's fill path, concurrent sentinel workers — does not
+// serialize on the store.
 type MemStore struct {
-	mu   sync.Mutex
+	mu   sync.RWMutex
 	data []byte
 }
 
@@ -283,8 +285,8 @@ func NewMemStore() *MemStore { return &MemStore{} }
 
 // ReadAt implements RandomAccess.
 func (m *MemStore) ReadAt(p []byte, off int64) (int, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	if off < 0 {
 		return 0, errors.New("cache: negative offset")
 	}
@@ -317,8 +319,8 @@ func (m *MemStore) WriteAt(p []byte, off int64) (int, error) {
 
 // Size implements RandomAccess.
 func (m *MemStore) Size() (int64, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return int64(len(m.data)), nil
 }
 

@@ -52,36 +52,101 @@ func runChild() error {
 	if err != nil {
 		return err
 	}
-	handler, err := program.Open(&Env{Path: manifestPath, Manifest: m})
-	if err != nil {
-		return fmt.Errorf("open program %q: %w", m.Program.Name, err)
+	openProgram := func() (Handler, error) {
+		h, oerr := program.Open(&Env{Path: manifestPath, Manifest: m})
+		if oerr != nil {
+			return nil, fmt.Errorf("open program %q: %w", m.Program.Name, oerr)
+		}
+		return h, nil
 	}
 
 	in := os.NewFile(childFDRead, "af-data-in")
 	out := os.NewFile(childFDWrite, "af-data-out")
 	if in == nil || out == nil {
-		handler.Close()
 		return errors.New("sentinel data pipes not inherited")
 	}
 
 	switch strategy {
 	case StrategyProcess:
+		handler, err := openProgram()
+		if err != nil {
+			return err
+		}
 		return serveStream(handler, in, out)
 	case StrategyProcCtl:
 		ctrl := os.NewFile(childFDCtrl, "af-ctrl")
 		if ctrl == nil {
-			handler.Close()
 			return errors.New("sentinel control pipe not inherited")
 		}
 		opts := ctrlOptions{
 			readAhead:   m.Params["readahead"] != "false",
 			writeBehind: m.Params["writebehind"] == "true",
 		}
+		var handler Handler
+		if os.Getenv(envPooled) != "" {
+			// Warm-pool child: the program opens only when a parent adopts
+			// this sentinel, announced by an OpOpen rebind on the control
+			// channel. A clean EOF instead means the pool drained us unused.
+			handler, err = awaitPoolHandshake(ctrl, out, openProgram)
+			if err != nil || handler == nil {
+				return err
+			}
+		} else {
+			if handler, err = openProgram(); err != nil {
+				return err
+			}
+		}
 		return serveControl(handler, in, out, ctrl, opts)
 	default:
-		handler.Close()
 		return fmt.Errorf("strategy %v cannot run as a subprocess", strategy)
 	}
+}
+
+// awaitPoolHandshake parks a warm-pool sentinel until the adopting parent
+// sends its OpOpen rebind, then opens the program and answers with the
+// outcome. It returns (nil, nil) when the control channel reaches EOF first —
+// the pool retired this sentinel unused, a clean exit.
+func awaitPoolHandshake(ctrl io.Reader, out io.Writer, open func() (Handler, error)) (Handler, error) {
+	// Ready beacon (Seq 0): tells the pool this child has booted and is
+	// parked on the control channel. The pool consumes it before parking the
+	// entry, so an adoption's handshake latency is a pipe round trip, never
+	// the tail of exec+runtime-init.
+	resps := wire.NewWriter(out)
+	if err := resps.WriteResponse(&wire.Response{Status: wire.StatusOK}); err != nil {
+		return nil, fmt.Errorf("pool ready beacon: %w", err)
+	}
+	// A fresh frame reader is safe here: wire.Reader never reads ahead of the
+	// current frame, so serveControl's own reader picks up at the next frame
+	// boundary after the handshake.
+	reqs := wire.NewReader(ctrl)
+	req, _, err := reqs.ReadRequestHeader()
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("pool handshake: %w", err)
+	}
+	if err := reqs.DiscardPayload(); err != nil {
+		return nil, fmt.Errorf("pool handshake: %w", err)
+	}
+	if req.Op != wire.OpOpen {
+		return nil, fmt.Errorf("pool handshake: unexpected %s before open", req.Op)
+	}
+	handler, oerr := open()
+	resp := wire.Response{Seq: req.Seq, Status: wire.StatusOK}
+	if oerr != nil {
+		resp.Status, resp.Msg = wire.FromError(oerr)
+		if resp.Status == wire.StatusOK {
+			resp.Status = wire.StatusError
+		}
+	}
+	if werr := resps.WriteResponse(&resp); werr != nil {
+		if handler != nil {
+			handler.Close()
+		}
+		return nil, fmt.Errorf("pool handshake reply: %w", werr)
+	}
+	return handler, oerr
 }
 
 // serveStream is the plain-process sentinel loop, the shape of the paper's
@@ -176,8 +241,11 @@ type ctrlServer struct {
 	d        *dispatcher
 	prefetch *prefetcher
 
-	outMu sync.Mutex // serializes response frames onto the data-out pipe
-	resps *wire.Writer
+	// resps group-commits response frames onto the data-out pipe: workers
+	// finishing concurrently share one vectored write instead of queueing on
+	// a mutex for one syscall each. WriteResponse returns only after the
+	// flush carrying the frame, so pooled payload buffers release safely.
+	resps *wire.BatchWriter
 
 	failMu  sync.Mutex
 	failErr error // first response-channel failure, reported by any worker
@@ -186,10 +254,7 @@ type ctrlServer struct {
 // writeResp frames one response onto the shared data-out pipe. A transport
 // failure is recorded so the intake loop stops; only the first one counts.
 func (s *ctrlServer) writeResp(resp *wire.Response) {
-	s.outMu.Lock()
-	err := s.resps.WriteResponse(resp)
-	s.outMu.Unlock()
-	if err != nil {
+	if err := s.resps.WriteResponse(resp); err != nil {
 		s.failMu.Lock()
 		if s.failErr == nil {
 			s.failErr = fmt.Errorf("response channel: %w", err)
@@ -255,7 +320,7 @@ func (s *ctrlServer) serve(req *wire.Request) {
 // flushed on sync/close barriers and overlapping reads.
 func serveControl(handler Handler, in io.Reader, out io.Writer, ctrl io.Reader, opts ctrlOptions) error {
 	reqs := wire.NewReader(ctrl)
-	s := &ctrlServer{d: newDispatcher(handler), resps: wire.NewWriter(out)}
+	s := &ctrlServer{d: newDispatcher(handler), resps: wire.NewBatchWriter(out, nil)}
 	if opts.writeBehind {
 		s.d.enableWriteBehind()
 	}

@@ -103,6 +103,17 @@ func newHandle(strategy Strategy, tr transport) *Handle {
 // Strategy returns the implementation strategy serving this handle.
 func (h *Handle) Strategy() Strategy { return h.strategy }
 
+// BatchStats reports command-channel flush amortization — frames sent versus
+// vectored writes issued — for strategies whose transport batches (procctl).
+// ok is false when the strategy has no batched command channel.
+func (h *Handle) BatchStats() (wire.BatchStats, bool) {
+	bs, ok := h.tr.(interface{ batchStats() wire.BatchStats })
+	if !ok {
+		return wire.BatchStats{}, false
+	}
+	return bs.batchStats(), true
+}
+
 // Stats returns a snapshot of the session's activity counters. It never
 // blocks behind in-flight operations.
 func (h *Handle) Stats() Stats {

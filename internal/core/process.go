@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -22,6 +23,10 @@ const (
 	envChildMarker = "AF_SENTINEL_CHILD"
 	envManifest    = "AF_MANIFEST"
 	envStrategy    = "AF_STRATEGY"
+	// envPooled marks a pre-spawned warm-pool sentinel: the child defers
+	// opening its program until an OpOpen handshake arrives on the control
+	// channel (or exits cleanly on EOF if the pool drains it unused).
+	envPooled = "AF_SENTINEL_POOLED"
 )
 
 // childWaitTimeout bounds how long Close waits for a sentinel subprocess to
@@ -38,7 +43,8 @@ var ErrSentinelDied = errors.New("core: sentinel process died")
 // pipe layout of the given strategy. When the manifest names an external
 // executable it is run directly; otherwise the current binary is re-executed
 // in child mode (the offline substitute for a separate sentinel image).
-func spawnSentinel(manifestPath string, m vfs.Manifest, strategy Strategy) (*exec.Cmd, *ipc.ChannelFiles, error) {
+// extraEnv entries ("KEY=VALUE") are appended to the child environment.
+func spawnSentinel(manifestPath string, m vfs.Manifest, strategy Strategy, extraEnv ...string) (*exec.Cmd, *ipc.ChannelFiles, error) {
 	cf, err := ipc.NewChannelFiles(strategy == StrategyProcCtl)
 	if err != nil {
 		return nil, nil, err
@@ -60,6 +66,7 @@ func spawnSentinel(manifestPath string, m vfs.Manifest, strategy Strategy) (*exe
 		envManifest+"="+manifestPath,
 		envStrategy+"="+strategy.String(),
 	)
+	cmd.Env = append(cmd.Env, extraEnv...)
 	cmd.ExtraFiles = cf.ChildFiles()
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
@@ -79,21 +86,47 @@ type childMonitor struct {
 	done chan struct{}
 	err  error // cmd.Wait result; valid once exited is true
 	dead atomic.Bool
+
+	hookMu sync.Mutex
+	hook   func(error) // current death callback; swappable via setOnDeath
+	fired  bool        // the callback slot has been consumed
 }
 
 // watchChild begins supervising cmd. onDeath (optional) runs on the
 // monitor's goroutine as soon as the child exits, with the wait error.
 func watchChild(cmd *exec.Cmd, onDeath func(error)) *childMonitor {
-	mon := &childMonitor{cmd: cmd, done: make(chan struct{})}
+	mon := &childMonitor{cmd: cmd, done: make(chan struct{}), hook: onDeath}
 	go func() {
 		mon.err = cmd.Wait()
 		mon.dead.Store(true) // publishes err: Store orders after the write
 		close(mon.done)
-		if onDeath != nil {
-			onDeath(mon.err)
+		mon.hookMu.Lock()
+		cb := mon.hook
+		mon.fired = true
+		mon.hookMu.Unlock()
+		if cb != nil {
+			cb(mon.err)
 		}
 	}()
 	return mon
+}
+
+// setOnDeath replaces the monitor's death callback — how a warm-pool
+// sentinel's supervision is handed from the pool (evict the idle entry) to
+// the transport that adopted it (poison the mux). If the child already died,
+// cb is invoked immediately on the caller's goroutine, so a handoff can
+// never miss the death notification.
+func (mon *childMonitor) setOnDeath(cb func(error)) {
+	mon.hookMu.Lock()
+	if mon.fired {
+		mon.hookMu.Unlock()
+		if cb != nil {
+			cb(mon.err)
+		}
+		return
+	}
+	mon.hook = cb
+	mon.hookMu.Unlock()
 }
 
 // exited reports, without blocking, whether the child has exited and with
@@ -230,6 +263,14 @@ type procCtlTransport struct {
 	mon       *childMonitor
 	closing   atomic.Bool // set by close(); suppresses the death hook
 	opTimeout time.Duration
+
+	// Warm-pool replenishment, armed for pooled manifests: close() tops the
+	// pool back up, so the replacement's fork+exec overlaps the NEXT
+	// session's application work instead of contending with the latency-
+	// sensitive open+first-ops window that follows an adoption.
+	poolPath string
+	poolM    vfs.Manifest
+	poolN    int
 }
 
 var _ transport = (*procCtlTransport)(nil)
@@ -238,6 +279,19 @@ func newProcCtlTransport(manifestPath string, m vfs.Manifest) (*procCtlTransport
 	opTimeout, err := opTimeoutParam(m)
 	if err != nil {
 		return nil, err
+	}
+	poolN, err := poolParam(m)
+	if err != nil {
+		return nil, err
+	}
+	if poolN > 0 {
+		// Warm path: adopt a pre-spawned sentinel and rebind it with one
+		// pipe handshake instead of fork+exec. The pool is topped back up
+		// when this session closes, not here — see close().
+		if t, ok := acquireWarmTransport(manifestPath, m, opTimeout); ok {
+			t.poolPath, t.poolM, t.poolN = manifestPath, m, poolN
+			return t, nil
+		}
 	}
 	cmd, cf, err := spawnSentinel(manifestPath, m, StrategyProcCtl)
 	if err != nil {
@@ -248,6 +302,9 @@ func newProcCtlTransport(manifestPath string, m vfs.Manifest) (*procCtlTransport
 		cf:        cf,
 		mux:       ipc.NewMux(cf.CtrlToChild, cf.FromChild, cf.ToChild),
 		opTimeout: opTimeout,
+		poolPath:  manifestPath,
+		poolM:     m,
+		poolN:     poolN,
 	}
 	t.mon = watchChild(cmd, func(waitErr error) {
 		if t.closing.Load() {
@@ -271,6 +328,10 @@ func newProcCtlTransport(manifestPath string, m vfs.Manifest) (*procCtlTransport
 
 // roundTrip performs one control exchange, bounded by the configured
 // per-operation deadline when one is set.
+// batchStats exposes the mux's command-channel flush amortization to
+// Handle.BatchStats.
+func (t *procCtlTransport) batchStats() wire.BatchStats { return t.mux.BatchStats() }
+
 func (t *procCtlTransport) roundTrip(req *wire.Request, dst []byte) (wire.Response, error) {
 	if t.opTimeout <= 0 {
 		resp, err := t.mux.RoundTrip(req, dst)
@@ -418,6 +479,11 @@ func (t *procCtlTransport) close() error {
 	t.mux.Close()
 	t.cf.Close()
 	waitErr := t.mon.reap()
+	if t.poolN > 0 {
+		// Recycle point: replace whatever this session consumed from the
+		// warm pool (or prime it after a cold first open), off the open path.
+		procPool.ensure(t.poolPath, t.poolM, t.poolN)
+	}
 	switch {
 	case rtErr != nil && (errors.Is(rtErr, io.EOF) || errors.Is(rtErr, ErrSentinelDied)):
 		// Child already exited; its wait status is the verdict.

@@ -165,20 +165,19 @@ func (s *FileServer) injectedDelayAndFault() error {
 // serveConn answers one connection's framed requests. Object operations are
 // handled CONCURRENTLY — each runs on its own goroutine and replies carry the
 // request's Seq, so a pipelining client (ipc.Mux) overlaps many round trips,
-// including any injected latency, on one connection. Responses share the
-// connection under a mutex and may arrive out of order; Seq correlates them.
-// OpOpen and OpClose change connection state, so the intake loop drains every
-// in-flight operation before handling those inline.
+// including any injected latency, on one connection. Responses may complete
+// out of order; Seq correlates them, and a group-committing BatchWriter
+// coalesces replies finishing together into one vectored write on the
+// connection instead of one syscall each. OpOpen and OpClose change
+// connection state, so the intake loop drains every in-flight operation
+// before handling those inline.
 func (s *FileServer) serveConn(conn net.Conn) {
 	defer conn.Close()
 	r := wire.NewReader(conn)
-	w := wire.NewWriter(conn)
+	w := wire.NewBatchWriter(conn, nil)
 
-	var outMu sync.Mutex
 	respond := func(resp *wire.Response) {
-		outMu.Lock()
 		w.WriteResponse(resp) // a dead connection surfaces on the next read
-		outMu.Unlock()
 	}
 
 	// The connection binds a NAME; the object is resolved per operation so

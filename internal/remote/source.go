@@ -30,9 +30,11 @@ var ErrSourceClosed = errors.New("remote: source closed")
 
 // MemSource is an in-process Source backed by a byte slice. It stands in for
 // a remote object in unit tests and implements the sentinel's in-memory
-// cache (Figure 5, path 3) when used as scratch storage.
+// cache (Figure 5, path 3) when used as scratch storage. Reads share an
+// RLock so concurrent FileServer workers serving one hot object do not
+// serialize on the store.
 type MemSource struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	data   []byte
 	closed bool
 }
@@ -48,8 +50,8 @@ func NewMemSource(data []byte) *MemSource {
 
 // ReadAt implements Source.
 func (m *MemSource) ReadAt(p []byte, off int64) (int, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	if m.closed {
 		return 0, ErrSourceClosed
 	}
@@ -88,8 +90,8 @@ func (m *MemSource) WriteAt(p []byte, off int64) (int, error) {
 
 // Size implements Source.
 func (m *MemSource) Size() (int64, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	if m.closed {
 		return 0, ErrSourceClosed
 	}
@@ -126,8 +128,8 @@ func (m *MemSource) Close() error {
 
 // Bytes returns a copy of the current contents.
 func (m *MemSource) Bytes() []byte {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	out := make([]byte, len(m.data))
 	copy(out, m.data)
 	return out

@@ -2,6 +2,8 @@ package wire
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -50,6 +52,89 @@ func TestReaderNeverPanicsOnGarbageStream(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBatchedStreamTornBoundaries covers the decode side of frame batching:
+// a BatchWriter-built multi-frame stream truncated at an arbitrary byte —
+// mid-batch, mid-frame, mid-payload — must yield every complete frame intact
+// and then fail cleanly (io.EOF on a frame boundary, io.ErrUnexpectedEOF
+// inside one), never panic or deliver a torn frame as data.
+func TestBatchedStreamTornBoundaries(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+
+		// Batch 3..10 request frames with payload sizes straddling the
+		// by-value/by-reference threshold, so cuts land in both splice paths.
+		nFrames := 3 + rng.Intn(8)
+		reqs := make([]Request, nFrames)
+		var stream bytes.Buffer
+		bw := NewBatchWriter(&stream, nil)
+		var ends []int // stream offset after each frame
+		for i := range reqs {
+			size := rng.Intn(2 * inlinePayload)
+			payload := make([]byte, size)
+			rng.Read(payload)
+			reqs[i] = Request{
+				Op:   OpWrite,
+				Seq:  uint32(i + 1),
+				Off:  rng.Int63(),
+				N:    int64(size),
+				Data: payload,
+			}
+			if err := bw.WriteRequest(&reqs[i]); err != nil {
+				t.Fatalf("WriteRequest: %v", err)
+			}
+			ends = append(ends, stream.Len())
+		}
+		full := stream.Bytes()
+
+		// Sample cut points, always including every frame boundary.
+		cuts := append([]int{0, len(full)}, ends...)
+		for i := 0; i < 16; i++ {
+			cuts = append(cuts, rng.Intn(len(full)+1))
+		}
+		for _, cut := range cuts {
+			r := NewReader(bytes.NewReader(full[:cut]))
+			wantComplete := 0
+			for _, end := range ends {
+				if end <= cut {
+					wantComplete++
+				}
+			}
+			var decoded int
+			var err error
+			for {
+				var req Request
+				req, err = r.ReadRequest()
+				if err != nil {
+					break
+				}
+				if decoded >= len(reqs) {
+					t.Fatalf("cut %d: decoded more frames than were written", cut)
+				}
+				want := reqs[decoded]
+				if req.Op != want.Op || req.Seq != want.Seq || req.Off != want.Off || !bytes.Equal(req.Data, want.Data) {
+					t.Fatalf("cut %d: frame %d decoded torn/corrupt", cut, decoded)
+				}
+				decoded++
+			}
+			if decoded != wantComplete {
+				t.Fatalf("cut %d: decoded %d complete frames, want %d (err %v)", cut, decoded, wantComplete, err)
+			}
+			onBoundary := cut == 0 || wantComplete > 0 && ends[wantComplete-1] == cut
+			if onBoundary {
+				if !errors.Is(err, io.EOF) {
+					t.Fatalf("cut %d on frame boundary: err = %v, want io.EOF", cut, err)
+				}
+			} else if !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("cut %d mid-frame: err = %v, want io.ErrUnexpectedEOF", cut, err)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)
 	}
 }
