@@ -8,8 +8,8 @@
 # Figure 6 JSON report.
 
 GO ?= go
-BENCH_JSON ?= BENCH_3.json
-BENCH_BASE ?= BENCH_2.json
+BENCH_JSON ?= BENCH_4.json
+BENCH_BASE ?= BENCH_3.json
 
 .PHONY: all tier1 race bench-smoke bench-json bench-compare
 

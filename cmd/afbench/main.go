@@ -66,6 +66,7 @@ func run(args []string) error {
 		chaosSeed   = flags.Int64("chaos-seed", 1, "seed for the chaos fault schedule")
 		latency     = flags.Duration("latency", 0, "injected remote-service latency per operation (e.g. 200us), simulating a distant source")
 		jsonPath    = flags.String("json", "", "also write the Figure 6 results as a machine-readable JSON report to this file")
+		transport   = flags.String("transport", "", `control-channel carrier for the procctl strategies: "pipe", "shm", or "sweep" to run the pipe-vs-shm comparison instead of Figure 6`)
 		readAhead   = flags.Bool("readahead", true, "enable adaptive read-ahead in the sentinel strategies (ablation switch)")
 		writeBehind = flags.Bool("writebehind", false, "enable write coalescing in the sentinel strategies")
 		churn       = flags.Int("churn", 0, "sweep open/close churn with this many opens per cell instead of Figure 6")
@@ -122,6 +123,16 @@ func run(args []string) error {
 	}
 	if *writeBehind {
 		params["writebehind"] = "true"
+	}
+	transportSweep := false
+	switch *transport {
+	case "":
+	case "pipe", "shm":
+		params["transport"] = *transport
+	case "sweep":
+		transportSweep = true
+	default:
+		return fmt.Errorf(`unknown transport %q (want "pipe", "shm", or "sweep")`, *transport)
 	}
 	if len(params) == 0 {
 		params = nil
@@ -203,6 +214,18 @@ func run(args []string) error {
 
 	if *full {
 		return runFull(runner, opts, *ops, *churn, *pool, params, *jsonPath)
+	}
+
+	if transportSweep {
+		topts := bench.TransportOptions{Ops: *ops, Blocks: opts.Blocks, Params: params}
+		if len(opts.Paths) == 1 {
+			topts.Path = opts.Paths[0]
+		}
+		results, err := runner.RunTransports(topts)
+		if err != nil {
+			return err
+		}
+		return bench.WriteTransportTable(os.Stdout, topts.Path, *ops, results)
 	}
 
 	if *churn > 0 {
@@ -316,6 +339,18 @@ func runFull(runner *bench.Runner, opts bench.FigureOptions, ops, churnOpens, po
 		}
 		rep.AddParallel(pPanels)
 	}
+
+	// Carrier sweep: the same procctl cells over pipes and shm rings. Like
+	// the concurrency sweeps, read-ahead is off inside RunTransports so the
+	// carrier's round trip is on the measured path.
+	tResults, err := runner.RunTransports(bench.TransportOptions{Ops: ops, Params: params})
+	if err != nil {
+		return err
+	}
+	if err := bench.WriteTransportTable(os.Stdout, bench.PathMemory, ops, tResults); err != nil {
+		return err
+	}
+	rep.AddTransports(bench.PathMemory, tResults)
 
 	if churnOpens <= 0 {
 		churnOpens = bench.DefaultChurnOpens

@@ -8,13 +8,13 @@ import (
 	"strings"
 )
 
-// Report comparison: load two afbench JSON reports (v1 or v2) and render the
+// Report comparison: load two afbench JSON reports (v1–v3) and render the
 // per-cell deltas as a table, so a PR's perf claim is a `make bench-compare`
 // away instead of a manual diff of two JSON files.
 
-// LoadReport reads an afbench JSON report from path. Both the current v2
-// schema and the older v1 (Figure 6 panels only) are accepted; sections a v1
-// report lacks stay empty.
+// LoadReport reads an afbench JSON report from path. The current v3 schema
+// and the older v1/v2 layouts are all accepted; sections an older report
+// lacks stay empty.
 func LoadReport(path string) (*Report, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -25,7 +25,7 @@ func LoadReport(path string) (*Report, error) {
 		return nil, fmt.Errorf("parse report %s: %w", path, err)
 	}
 	switch rep.Schema {
-	case "afbench/v1", "afbench/v2":
+	case "afbench/v1", "afbench/v2", "afbench/v3":
 		return &rep, nil
 	default:
 		return nil, fmt.Errorf("report %s: unknown schema %q", path, rep.Schema)
@@ -124,6 +124,40 @@ func WriteCompareTable(w io.Writer, oldRep, newRep *Report) error {
 			if _, err := fmt.Fprintf(w, "%-34s%10.1f%10.1f%+8.1f%%\n",
 				row.Strategy, old, row.MicrosPerOpen, deltaPct(old, row.MicrosPerOpen)); err != nil {
 				return err
+			}
+		}
+	}
+
+	// Transport carrier sweep, when both reports carry it (pre-v3 have none).
+	if len(oldRep.Transport) > 0 && len(newRep.Transport) > 0 {
+		oldTr := map[string]TransportReportRow{}
+		for _, row := range oldRep.Transport {
+			oldTr[fmt.Sprintf("%s/%d", row.Path, row.Block)] = row
+		}
+		if _, err := fmt.Fprintf(w, "\ntransport sweep (µs/op, sequential procctl reads)\n%-34s%10s%10s%9s\n", "cell", "old", "new", "delta"); err != nil {
+			return err
+		}
+		for _, row := range newRep.Transport {
+			old, ok := oldTr[fmt.Sprintf("%s/%d", row.Path, row.Block)]
+			if !ok {
+				unmatched++
+				continue
+			}
+			for _, col := range []struct {
+				carrier  string
+				old, new float64
+			}{
+				{"pipe", old.PipeMicros, row.PipeMicros},
+				{"shm", old.ShmMicros, row.ShmMicros},
+			} {
+				if col.old == 0 || col.new == 0 {
+					continue // carrier absent in one report (platform fallback)
+				}
+				key := fmt.Sprintf("%s/%d/%s", row.Path, row.Block, col.carrier)
+				if _, err := fmt.Fprintf(w, "%-34s%10.1f%10.1f%+8.1f%%\n",
+					key, col.old, col.new, deltaPct(col.old, col.new)); err != nil {
+					return err
+				}
 			}
 		}
 	}

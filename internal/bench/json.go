@@ -9,8 +9,9 @@ import (
 
 // JSON report schema identifier; bump when the layout changes. v2 added the
 // optional parallel (with frames-per-flush batching amortization) and churn
-// (open latency) sections; v1 reports remain loadable for comparison.
-const ReportSchema = "afbench/v2"
+// (open latency) sections; v3 added the transport (pipe-vs-shm carrier)
+// sweep. Older reports remain loadable for comparison.
+const ReportSchema = "afbench/v3"
 
 // Report is the machine-readable form of a benchmark run, written by
 // afbench -json so successive PRs can diff per-cell numbers instead of
@@ -24,6 +25,19 @@ type Report struct {
 	Parallel []ParallelReportPanel `json:"parallel,omitempty"`
 	// Churn holds the open/close sweep (afbench -full / -churn).
 	Churn []ChurnReportRow `json:"churn,omitempty"`
+	// Transport holds the control-channel carrier sweep (afbench -full /
+	// -transport sweep): pipe vs shm rings, per block size.
+	Transport []TransportReportRow `json:"transport,omitempty"`
+}
+
+// TransportReportRow is one block-size row of the carrier sweep. Speedup is
+// pipe/shm; shm columns are zero on platforms without ring support.
+type TransportReportRow struct {
+	Path       string  `json:"path"`
+	Block      int     `json:"block"`
+	PipeMicros float64 `json:"pipeMicrosPerOp"`
+	ShmMicros  float64 `json:"shmMicrosPerOp,omitempty"`
+	ShmSpeedup float64 `json:"shmSpeedup,omitempty"`
 }
 
 // ParallelReportPanel is one concurrency sweep in the report.
@@ -114,6 +128,22 @@ func (rep *Report) AddParallel(panels []*ParallelPanel) {
 			}
 		}
 		rep.Parallel = append(rep.Parallel, rp)
+	}
+}
+
+// AddTransports appends the carrier sweep to the report.
+func (rep *Report) AddTransports(path CachePath, results []TransportResult) {
+	if path == 0 {
+		path = PathMemory
+	}
+	for _, row := range results {
+		rep.Transport = append(rep.Transport, TransportReportRow{
+			Path:       path.String(),
+			Block:      row.Block,
+			PipeMicros: row.PipeMicros,
+			ShmMicros:  row.ShmMicros,
+			ShmSpeedup: row.Speedup(),
+		})
 	}
 }
 

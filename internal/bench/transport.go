@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/shm"
+)
+
+// The transport sweep isolates the control-channel carrier cost: the same
+// procctl sentinel, the same sequential small-block reads, once over the
+// pipe pair and once over the shared-memory rings. Read-ahead is disabled in
+// both cells — the prefetch window hides the round trip for either carrier,
+// and this sweep exists to measure exactly the cost the window hides (the
+// same reasoning the parallel sweeps use). Small blocks keep the memcpy
+// negligible, so the number is almost purely per-op carrier overhead.
+
+// TransportBlocks are the sweep's default block sizes: the small-block
+// regime where the per-frame syscall pair dominates the pipe path.
+var TransportBlocks = []int{8, 32, 128}
+
+// TransportResult is one block-size row of the carrier sweep.
+type TransportResult struct {
+	Block      int
+	PipeMicros float64 // µs/op over the pipe carrier
+	ShmMicros  float64 // µs/op over the shm ring carrier; 0 if unsupported
+}
+
+// Speedup returns pipe/shm — how many times faster the ring carrier is.
+func (t TransportResult) Speedup() float64 {
+	if t.ShmMicros == 0 {
+		return 0
+	}
+	return t.PipeMicros / t.ShmMicros
+}
+
+// TransportOptions configures the carrier sweep.
+type TransportOptions struct {
+	Ops    int
+	Blocks []int     // default TransportBlocks
+	Path   CachePath // default PathMemory (the carrier-bound panel)
+	Params map[string]string
+}
+
+// RunTransports measures sequential procctl reads per block size over both
+// carriers. On platforms without shm support the ShmMicros column is zero.
+func (r *Runner) RunTransports(opts TransportOptions) ([]TransportResult, error) {
+	ops := opts.Ops
+	if ops == 0 {
+		ops = DefaultOps
+	}
+	blocks := opts.Blocks
+	if len(blocks) == 0 {
+		blocks = TransportBlocks
+	}
+	path := opts.Path
+	if path == 0 {
+		path = PathMemory
+	}
+
+	cell := func(block int, carrier string) (float64, error) {
+		params := map[string]string{"transport": carrier, "readahead": "false"}
+		for k, v := range opts.Params {
+			if k != "transport" && k != "readahead" {
+				params[k] = v
+			}
+		}
+		res, err := r.Measure(Config{
+			Strategy:  core.StrategyProcCtl,
+			Path:      path,
+			Op:        OpRead,
+			BlockSize: block,
+			Ops:       ops,
+			Params:    params,
+		})
+		if err != nil {
+			return 0, fmt.Errorf("transport sweep %s/%d: %w", carrier, block, err)
+		}
+		return res.MicrosPerOp(), nil
+	}
+
+	var results []TransportResult
+	for _, block := range blocks {
+		row := TransportResult{Block: block}
+		var err error
+		if row.PipeMicros, err = cell(block, "pipe"); err != nil {
+			return nil, err
+		}
+		if shm.Supported() {
+			if row.ShmMicros, err = cell(block, "shm"); err != nil {
+				return nil, err
+			}
+		}
+		results = append(results, row)
+	}
+	return results, nil
+}
+
+// WriteTransportTable renders the carrier sweep with its speedup column.
+func WriteTransportTable(w io.Writer, path CachePath, ops int, results []TransportResult) error {
+	if len(results) == 0 {
+		return nil
+	}
+	if path == 0 {
+		path = PathMemory
+	}
+	if _, err := fmt.Fprintf(w,
+		"transport sweep — procctl sequential reads, %s path, read-ahead off (%d ops per point)\n",
+		path, ops); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-10s%12s%12s%12s\n", "block", "pipe µs/op", "shm µs/op", "speedup"); err != nil {
+		return err
+	}
+	for _, row := range results {
+		if _, err := fmt.Fprintf(w, "%-10d%12.2f", row.Block, row.PipeMicros); err != nil {
+			return err
+		}
+		if row.ShmMicros > 0 {
+			if _, err := fmt.Fprintf(w, "%12.2f%11.2fx\n", row.ShmMicros, row.Speedup()); err != nil {
+				return err
+			}
+		} else {
+			if _, err := fmt.Fprintf(w, "%12s%12s\n", "n/a", "n/a"); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

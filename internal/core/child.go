@@ -82,12 +82,30 @@ func runChild() error {
 			readAhead:   m.Params["readahead"] != "false",
 			writeBehind: m.Params["writebehind"] == "true",
 		}
+		// Frame carriers. On the pipe transport, commands arrive on the
+		// control pipe and responses leave on the data-out pipe. When the
+		// parent announces a shared-memory segment, both streams move to the
+		// rings; the control pipe goes quiet and is repurposed as a parent
+		// liveness watchdog, and the data pipes keep carrying write payloads
+		// (in) and the warm-pool ready beacon (out).
+		cmds := io.Reader(ctrl)
+		resps := io.Writer(out)
+		if os.Getenv(envShm) != "" {
+			seg, err := attachChildSegment()
+			if err != nil {
+				return err
+			}
+			defer seg.Close()
+			cmds = seg.Cmd()
+			resps = seg.Reply()
+			watchParentViaCtrl(ctrl, seg)
+		}
 		var handler Handler
 		if os.Getenv(envPooled) != "" {
 			// Warm-pool child: the program opens only when a parent adopts
-			// this sentinel, announced by an OpOpen rebind on the control
-			// channel. A clean EOF instead means the pool drained us unused.
-			handler, err = awaitPoolHandshake(ctrl, out, openProgram)
+			// this sentinel, announced by an OpOpen rebind on the command
+			// stream. A clean EOF instead means the pool drained us unused.
+			handler, err = awaitPoolHandshake(cmds, out, resps, openProgram)
 			if err != nil || handler == nil {
 				return err
 			}
@@ -96,25 +114,29 @@ func runChild() error {
 				return err
 			}
 		}
-		return serveControl(handler, in, out, ctrl, opts)
+		return serveControl(handler, in, resps, cmds, opts)
 	default:
 		return fmt.Errorf("strategy %v cannot run as a subprocess", strategy)
 	}
 }
 
 // awaitPoolHandshake parks a warm-pool sentinel until the adopting parent
-// sends its OpOpen rebind, then opens the program and answers with the
-// outcome. It returns (nil, nil) when the control channel reaches EOF first —
-// the pool retired this sentinel unused, a clean exit.
-func awaitPoolHandshake(ctrl io.Reader, out io.Writer, open func() (Handler, error)) (Handler, error) {
+// sends its OpOpen rebind on the command stream, then opens the program and
+// answers on the response stream with the outcome. It returns (nil, nil)
+// when the command stream reaches EOF first — the pool retired this
+// sentinel unused, a clean exit. beacon is where the ready announcement
+// goes: always the data-out pipe, even when the session frames ride shm
+// rings, because the pool's readiness wait uses a pipe read deadline to
+// bound a child that never boots.
+func awaitPoolHandshake(ctrl io.Reader, beacon, out io.Writer, open func() (Handler, error)) (Handler, error) {
 	// Ready beacon (Seq 0): tells the pool this child has booted and is
 	// parked on the control channel. The pool consumes it before parking the
 	// entry, so an adoption's handshake latency is a pipe round trip, never
 	// the tail of exec+runtime-init.
-	resps := wire.NewWriter(out)
-	if err := resps.WriteResponse(&wire.Response{Status: wire.StatusOK}); err != nil {
+	if err := wire.NewWriter(beacon).WriteResponse(&wire.Response{Status: wire.StatusOK}); err != nil {
 		return nil, fmt.Errorf("pool ready beacon: %w", err)
 	}
+	resps := wire.NewWriter(out)
 	// A fresh frame reader is safe here: wire.Reader never reads ahead of the
 	// current frame, so serveControl's own reader picks up at the next frame
 	// boundary after the handshake.

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/ipc"
+	"repro/internal/shm"
 	"repro/internal/vfs"
 	"repro/internal/wire"
 )
@@ -40,19 +41,34 @@ func poolParam(m vfs.Manifest) (int, error) {
 	return n, nil
 }
 
-// pooledSentinel is one idle pre-spawned procctl child: started, pipes
-// connected, program NOT yet opened — it is blocked reading the control
-// channel for the OpOpen handshake (or EOF).
+// pooledSentinel is one idle pre-spawned procctl child: started, conduits
+// connected (pipes, plus a mapped shm segment when the manifest selects the
+// ring carrier), program NOT yet opened — it is blocked reading the command
+// stream for the OpOpen handshake (or EOF). Adoption hands the whole
+// conduit set to the transport, so the rebind rides the same rings the
+// session will.
 type pooledSentinel struct {
 	cmd *exec.Cmd
 	cf  *ipc.ChannelFiles
+	seg *shm.Segment // nil on the pipe carrier
 	mon *childMonitor
 }
 
-// shutdown retires an idle sentinel: closing the parent pipe ends delivers
-// control-channel EOF, on which a pooled child exits cleanly.
-func (ps *pooledSentinel) shutdown() {
+// closeConduits releases the parent-side pipes and, for a ring-carrier
+// entry, the segment. Closing the pipes first matters: a shm child parks on
+// its command ring, and it is the control pipe's EOF — its parent-liveness
+// watchdog — that tells it to close its own segment view and exit.
+func (ps *pooledSentinel) closeConduits() {
 	ps.cf.Close()
+	if ps.seg != nil {
+		ps.seg.Close()
+	}
+}
+
+// shutdown retires an idle sentinel: closing the parent conduit ends
+// delivers EOF, on which a pooled child exits cleanly.
+func (ps *pooledSentinel) shutdown() {
+	ps.closeConduits()
 	ps.mon.reap()
 }
 
@@ -104,7 +120,7 @@ func (p *sentinelPool) acquire(path string) *pooledSentinel {
 		q = q[:len(q)-1]
 		p.idle[path] = q
 		if _, dead := ps.mon.exited(); dead {
-			ps.cf.Close() // dead while parked; release pipes, already reaped by monitor
+			ps.closeConduits() // dead while parked; already reaped by monitor
 			continue
 		}
 		return ps
@@ -167,7 +183,7 @@ func (p *sentinelPool) evict(path string, ps *pooledSentinel) {
 		if cand == ps {
 			p.idle[path] = append(q[:i], q[i+1:]...)
 			p.mu.Unlock()
-			ps.cf.Close()
+			ps.closeConduits()
 			return
 		}
 	}
@@ -206,11 +222,11 @@ func (p *sentinelPool) drain() {
 // announces readiness, and parks on the control channel awaiting its OpOpen
 // rebind.
 func spawnPooled(path string, m vfs.Manifest) (*pooledSentinel, error) {
-	cmd, cf, err := spawnSentinel(path, m, StrategyProcCtl, envPooled+"=1")
+	cmd, cf, seg, err := spawnSentinel(path, m, StrategyProcCtl, envPooled+"=1")
 	if err != nil {
 		return nil, err
 	}
-	ps := &pooledSentinel{cmd: cmd, cf: cf}
+	ps := &pooledSentinel{cmd: cmd, cf: cf, seg: seg}
 	ps.mon = watchChild(cmd, nil)
 	if err := ps.awaitReady(); err != nil {
 		ps.cmd.Process.Kill()
@@ -231,18 +247,25 @@ func acquireWarmTransport(manifestPath string, m vfs.Manifest, opTimeout time.Du
 	t := &procCtlTransport{
 		cmd:       ps.cmd,
 		cf:        ps.cf,
-		mux:       ipc.NewMux(ps.cf.CtrlToChild, ps.cf.FromChild, ps.cf.ToChild),
+		seg:       ps.seg,
+		conn:      sessionConn(ps.cf, ps.seg),
 		mon:       ps.mon,
 		opTimeout: opTimeout,
 	}
+	t.mux = ipc.NewMuxConn(t.conn)
 	// Hand supervision from the pool to this transport. If the child died in
 	// the instant between acquire and here, the hook fires immediately and
 	// the handshake below fails fast instead of waiting out its timeout.
+	// The adopted segment (if any) travels with the transport, so death
+	// cleanup matches the cold-spawn path: poison, wake, unmap.
 	ps.mon.setOnDeath(func(waitErr error) {
 		if t.closing.Load() {
 			return
 		}
 		t.mux.Fail(sentinelDeath(waitErr))
+		if t.seg != nil {
+			t.seg.Close()
+		}
 	})
 
 	// Rebind: one pipe round trip replaces fork+exec+program-open. The child
@@ -258,7 +281,7 @@ func acquireWarmTransport(manifestPath string, m vfs.Manifest, opTimeout time.Du
 		// also surface any deterministic program-open error properly.
 		t.closing.Store(true)
 		t.mux.Close()
-		t.cf.Close()
+		t.conn.Close()
 		t.cmd.Process.Kill()
 		t.mon.reap()
 		return nil, false

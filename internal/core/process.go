@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/ipc"
+	"repro/internal/shm"
 	"repro/internal/vfs"
 	"repro/internal/wire"
 )
@@ -40,14 +41,34 @@ const childWaitTimeout = 5 * time.Second
 var ErrSentinelDied = errors.New("core: sentinel process died")
 
 // spawnSentinel starts the sentinel subprocess for manifestPath with the
-// pipe layout of the given strategy. When the manifest names an external
-// executable it is run directly; otherwise the current binary is re-executed
-// in child mode (the offline substitute for a separate sentinel image).
-// extraEnv entries ("KEY=VALUE") are appended to the child environment.
-func spawnSentinel(manifestPath string, m vfs.Manifest, strategy Strategy, extraEnv ...string) (*exec.Cmd, *ipc.ChannelFiles, error) {
+// pipe layout of the given strategy, plus — when the manifest selects the
+// shm transport and this platform supports it — a shared-memory segment
+// whose files the child inherits after the pipes. The returned segment is
+// nil whenever the session runs on pipes (by default, by platform fallback,
+// or because segment allocation failed); the child learns the outcome via
+// the envShm marker, never by guessing from the manifest. When the manifest
+// names an external executable it is run directly; otherwise the current
+// binary is re-executed in child mode (the offline substitute for a
+// separate sentinel image). extraEnv entries ("KEY=VALUE") are appended to
+// the child environment.
+func spawnSentinel(manifestPath string, m vfs.Manifest, strategy Strategy, extraEnv ...string) (*exec.Cmd, *ipc.ChannelFiles, *shm.Segment, error) {
+	seg, err := newSessionSegment(m, strategy)
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	cf, err := ipc.NewChannelFiles(strategy == StrategyProcCtl)
 	if err != nil {
-		return nil, nil, err
+		if seg != nil {
+			seg.Close()
+		}
+		return nil, nil, nil, err
+	}
+	fail := func(err error) (*exec.Cmd, *ipc.ChannelFiles, *shm.Segment, error) {
+		cf.Close()
+		if seg != nil {
+			seg.Close()
+		}
+		return nil, nil, nil, err
 	}
 
 	var cmd *exec.Cmd
@@ -56,8 +77,7 @@ func spawnSentinel(manifestPath string, m vfs.Manifest, strategy Strategy, extra
 	} else {
 		self, err := os.Executable()
 		if err != nil {
-			cf.Close()
-			return nil, nil, fmt.Errorf("locate own executable: %w", err)
+			return fail(fmt.Errorf("locate own executable: %w", err))
 		}
 		cmd = exec.Command(self)
 	}
@@ -68,13 +88,18 @@ func spawnSentinel(manifestPath string, m vfs.Manifest, strategy Strategy, extra
 	)
 	cmd.Env = append(cmd.Env, extraEnv...)
 	cmd.ExtraFiles = cf.ChildFiles()
+	if seg != nil {
+		cmd.Env = append(cmd.Env, envShm+"=1")
+		// Segment files follow the pipes; unlike pipe ends they are shared,
+		// not paired, so the parent keeps every one of them open.
+		cmd.ExtraFiles = append(cmd.ExtraFiles, seg.ChildFiles()...)
+	}
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
-		cf.Close()
-		return nil, nil, fmt.Errorf("start sentinel process: %w", err)
+		return fail(fmt.Errorf("start sentinel process: %w", err))
 	}
 	cf.CloseChildEnds()
-	return cmd, cf, nil
+	return cmd, cf, seg, nil
 }
 
 // childMonitor owns the one allowed cmd.Wait call for a sentinel subprocess
@@ -185,7 +210,7 @@ type processTransport struct {
 var _ transport = (*processTransport)(nil)
 
 func newProcessTransport(manifestPath string, m vfs.Manifest) (*processTransport, error) {
-	cmd, cf, err := spawnSentinel(manifestPath, m, StrategyProcess)
+	cmd, cf, _, err := spawnSentinel(manifestPath, m, StrategyProcess)
 	if err != nil {
 		return nil, err
 	}
@@ -258,6 +283,8 @@ func (t *processTransport) close() error {
 type procCtlTransport struct {
 	cmd       *exec.Cmd
 	cf        *ipc.ChannelFiles
+	seg       *shm.Segment  // shared-memory segment; nil on the pipe carrier
+	conn      ipc.FrameConn // the session conduit the mux runs over
 	mux       *ipc.Mux
 	pf        *prefetcher // client-side read-ahead; nil when opted out
 	mon       *childMonitor
@@ -293,19 +320,21 @@ func newProcCtlTransport(manifestPath string, m vfs.Manifest) (*procCtlTransport
 			return t, nil
 		}
 	}
-	cmd, cf, err := spawnSentinel(manifestPath, m, StrategyProcCtl)
+	cmd, cf, seg, err := spawnSentinel(manifestPath, m, StrategyProcCtl)
 	if err != nil {
 		return nil, err
 	}
 	t := &procCtlTransport{
 		cmd:       cmd,
 		cf:        cf,
-		mux:       ipc.NewMux(cf.CtrlToChild, cf.FromChild, cf.ToChild),
+		seg:       seg,
+		conn:      sessionConn(cf, seg),
 		opTimeout: opTimeout,
 		poolPath:  manifestPath,
 		poolM:     m,
 		poolN:     poolN,
 	}
+	t.mux = ipc.NewMuxConn(t.conn)
 	t.mon = watchChild(cmd, func(waitErr error) {
 		if t.closing.Load() {
 			return
@@ -313,8 +342,14 @@ func newProcCtlTransport(manifestPath string, m vfs.Manifest) (*procCtlTransport
 		// Sentinel death detection: waitpid fired while the session was
 		// open. Fail every blocked and future exchange right now — the
 		// pipes may deliver EOF only much later (or never, for the write
-		// pipe), and nothing should wait to find out.
+		// pipe), and nothing should wait to find out. A dead peer also
+		// never rings a doorbell again, so the segment is closed here too:
+		// that wakes the receive loop off its parked ring and unmaps the
+		// memory instead of leaving it pinned for the session's remainder.
 		t.mux.Fail(sentinelDeath(waitErr))
+		if t.seg != nil {
+			t.seg.Close()
+		}
 	})
 	if m.Params["readahead"] != "false" {
 		// Client-side window: sequential reads are answered by a memcpy out
@@ -477,7 +512,7 @@ func (t *procCtlTransport) close() error {
 	t.closing.Store(true)
 	resp, rtErr := t.roundTrip(&wire.Request{Op: wire.OpClose}, nil)
 	t.mux.Close()
-	t.cf.Close()
+	t.conn.Close()
 	waitErr := t.mon.reap()
 	if t.poolN > 0 {
 		// Recycle point: replace whatever this session consumed from the

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/ipc"
+	"repro/internal/shm"
+	"repro/internal/vfs"
+)
+
+// envShm marks a sentinel child whose parent successfully created a shared-
+// memory segment: the child must attach it from the inherited descriptors
+// and serve control frames over the rings. The marker — not the manifest —
+// is authoritative, because the parent falls back to pipes silently when the
+// platform or the segment allocation lets it down; both sides must agree on
+// the carrier and only the parent knows the outcome.
+const envShm = "AF_SENTINEL_SHM"
+
+// Child-side descriptor numbers of the inherited segment files, after the
+// three pipes (fds 3, 4, 5): the mapped segment, then the four doorbells in
+// shm.ChildFiles order.
+const (
+	childFDShmSeg   = 6
+	childFDShmBells = 7 // four bells: fds 7, 8, 9, 10
+)
+
+// transportParam parses the manifest's carrier selection for the procctl
+// control channel (param "transport"): "pipe" (the default) or "shm".
+func transportParam(m vfs.Manifest) (string, error) {
+	switch v := m.Params["transport"]; v {
+	case "", "pipe":
+		return "pipe", nil
+	case "shm":
+		return "shm", nil
+	default:
+		return "", fmt.Errorf("core: bad transport param %q (want pipe or shm)", v)
+	}
+}
+
+// shmConn is the parent's shared-memory conduit: command frames ride the
+// cmd ring, responses the reply ring, while bulk write payloads stay on the
+// to-child data pipe — the batch writer flushes a batch's command frames and
+// payloads as two separate spans, so giving payloads their own carrier keeps
+// the child's "command frame, then payload bytes" pairing intact without
+// re-interleaving the streams.
+type shmConn struct {
+	seg *shm.Segment
+	cf  *ipc.ChannelFiles
+}
+
+var _ ipc.FrameConn = (*shmConn)(nil)
+
+func (c *shmConn) Ctrl() io.Writer { return c.seg.Cmd() }
+func (c *shmConn) Resp() io.Reader { return c.seg.Reply() }
+func (c *shmConn) Data() io.Writer { return c.cf.ToChild }
+
+// Close tears down both carriers: the segment first (waking anything parked
+// on a ring, then unmapping), then the pipes.
+func (c *shmConn) Close() error {
+	c.seg.Close()
+	return c.cf.Close()
+}
+
+// sessionConn picks the conduit a spawned session actually got: rings plus
+// the data pipe when a segment was created, the plain pipe trio otherwise.
+func sessionConn(cf *ipc.ChannelFiles, seg *shm.Segment) ipc.FrameConn {
+	if seg != nil {
+		return &shmConn{seg: seg, cf: cf}
+	}
+	return ipc.PipeConn{CF: cf}
+}
+
+// newSessionSegment creates the shared segment for a procctl spawn when the
+// manifest asks for the shm transport and the platform can host it. A nil
+// segment (with nil error) means "use pipes" — either by choice or by
+// fallback; segment allocation failure is deliberately not fatal, since the
+// pipe path serves every session the ring path serves.
+func newSessionSegment(m vfs.Manifest, strategy Strategy) (*shm.Segment, error) {
+	if strategy != StrategyProcCtl {
+		return nil, nil
+	}
+	carrier, err := transportParam(m)
+	if err != nil {
+		return nil, err
+	}
+	if carrier != "shm" || !shm.Supported() {
+		return nil, nil
+	}
+	seg, err := shm.New(0, 0)
+	if err != nil {
+		return nil, nil // fall back to pipes
+	}
+	return seg, nil
+}
+
+// attachChildSegment maps the segment a parent advertised via envShm from
+// the inherited descriptors. Unlike the parent, the child cannot fall back:
+// the parent is already serving this session over the rings.
+func attachChildSegment() (*shm.Segment, error) {
+	segFile := os.NewFile(childFDShmSeg, "af-shm-seg")
+	if segFile == nil {
+		return nil, fmt.Errorf("core: shm segment fd not inherited")
+	}
+	bells := make([]*os.File, 4)
+	for i := range bells {
+		bells[i] = os.NewFile(uintptr(childFDShmBells+i), "af-shm-doorbell")
+	}
+	seg, err := shm.Attach(segFile, bells)
+	if err != nil {
+		return nil, fmt.Errorf("core: attach shm segment: %w", err)
+	}
+	return seg, nil
+}
+
+// watchParentViaCtrl supervises the parent from a shm child: the control
+// pipe carries no frames in ring mode, so any read return — EOF when the
+// parent closes or dies, an error otherwise — means the parent is gone.
+// Closing the segment then wakes the serving loop off its parked ring with
+// EOF, the same terminal the pipe path gets from kernel EOF, so an orphaned
+// sentinel exits instead of parking forever on rings no one will ring.
+func watchParentViaCtrl(ctrl io.Reader, seg *shm.Segment) {
+	go func() {
+		var buf [1]byte
+		ctrl.Read(buf[:])
+		seg.Close()
+	}()
+}

@@ -1,0 +1,5 @@
+//go:build linux && amd64
+
+package shm
+
+const memfdTrap = 319 // SYS_MEMFD_CREATE

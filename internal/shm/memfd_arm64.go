@@ -1,0 +1,5 @@
+//go:build linux && arm64
+
+package shm
+
+const memfdTrap = 279 // SYS_MEMFD_CREATE

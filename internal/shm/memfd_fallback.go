@@ -1,0 +1,5 @@
+//go:build linux && !amd64 && !arm64
+
+package shm
+
+const memfdTrap = 0 // unknown arch: skip memfd, back the segment with a temp file

@@ -1,0 +1,569 @@
+//go:build linux
+
+package shm
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"syscall"
+	"time"
+	"unsafe"
+)
+
+// Segment layout, all offsets cache-line aligned:
+//
+//	[0, 4096)                      segment header (magic, version, capacities)
+//	[4096, 4096+ringHdrBytes)      command-ring header
+//	[..., ... + cmdCap)            command-ring data
+//	[..., ... + ringHdrBytes)      reply-ring header
+//	[..., ... + replyCap)          reply-ring data
+//
+// Capacities are powers of two so cursor positions reduce with a mask, and
+// the cursors themselves are free-running uint64 byte counts (head = bytes
+// produced, tail = bytes consumed) — the empty/full ambiguity of wrapped
+// indices never arises and 2^64 bytes outlives any session.
+const (
+	segMagic     = 0x41465348 // "AFSH" — active-file shared memory
+	segVersion   = 1
+	segHdrBytes  = 4096
+	ringHdrBytes = 512
+	minRingBytes = 4096
+)
+
+// Spin calibration. On a shared core the peer cannot make progress while we
+// burn it, so every spin iteration yields the CPU with sched_yield — that is
+// what turns the spin from a pure waste into "run the peer, then re-check".
+// Every goschedEvery-th iteration yields to the Go scheduler instead, so
+// same-process goroutines (mux callers, child workers) are not starved of
+// the P under GOMAXPROCS=1; it is kept rare because an idle-runqueue Gosched
+// costs a netpoll probe. After spinBudget fruitless iterations the waiter
+// parks on its doorbell and burns nothing.
+const (
+	spinBudget   = 96
+	goschedEvery = 8
+)
+
+// Raw syscall numbers, named for the call sites. memfd_create postdates the
+// frozen syscall package, so its number is spelled per-arch in
+// memfd_*.go; zero means "no memfd, use a temp file".
+const eventfdTrap = syscall.SYS_EVENTFD2
+
+type segHdr struct {
+	magic    uint32
+	version  uint32
+	cmdCap   uint64
+	replyCap uint64
+}
+
+// ringHdr is the shared control block of one ring, laid out so every
+// mutable word owns a cache line: head is written only by the producer,
+// tail only by the consumer, and sharing a line would make each side's
+// cursor store invalidate the other's hot loop.
+type ringHdr struct {
+	head    atomic.Uint64 // bytes produced; written by producer only
+	_       [56]byte
+	tail    atomic.Uint64 // bytes consumed; written by consumer only
+	_       [56]byte
+	rparked atomic.Uint32 // consumer is (about to be) parked on the data bell
+	_       [60]byte
+	wparked atomic.Uint32 // producer is (about to be) parked on the space bell
+	_       [60]byte
+	closed  atomic.Uint32 // either side closed; set once, never cleared
+	_       [60]byte
+}
+
+// Ring is one direction of the shared segment: an SPSC byte stream over
+// mapped memory. Exactly one process writes it and exactly one reads it;
+// within a process the usual io.Reader/io.Writer discipline applies (one
+// reader goroutine, one writer goroutine at a time).
+//
+// Two doorbells serve the two wait directions: the producer rings dataBell
+// to wake a consumer parked for bytes, the consumer rings spaceBell to wake
+// a producer parked for room. They must be distinct — with a single shared
+// bell, a parking reader could swallow the token meant for a space-starved
+// writer and strand both sides.
+type Ring struct {
+	name string
+	hdr  *ringHdr
+	data []byte
+	mask uint64
+
+	dataBell  *os.File // producer → consumer: "bytes available"
+	spaceBell *os.File // consumer → producer: "space available"
+
+	localClosed atomic.Bool
+	inflight    atomic.Int64 // ring ops in this process, gating munmap
+
+	parks atomic.Uint64
+	bells atomic.Uint64
+	spins atomic.Uint64
+}
+
+// Segment is one process's view of the shared mapping and its doorbells.
+// The parent creates it (New) and passes its files to the child, which
+// attaches (Attach); both ends hold equal views afterwards.
+type Segment struct {
+	mem    []byte
+	file   *os.File
+	cmd    *Ring
+	reply  *Ring
+	closed atomic.Bool
+}
+
+// Supported reports whether this platform can host the transport.
+func Supported() bool { return true }
+
+// New creates a fresh anonymous shared segment with the given ring
+// capacities (0 means the defaults) and its four doorbell eventfds. The
+// backing file is a memfd when the kernel has one, else an unlinked temp
+// file; either way nothing persists past the processes holding it.
+func New(cmdBytes, replyBytes int) (*Segment, error) {
+	if cmdBytes <= 0 {
+		cmdBytes = DefaultCmdBytes
+	}
+	if replyBytes <= 0 {
+		replyBytes = DefaultReplyBytes
+	}
+	cmdCap := ceilPow2(cmdBytes)
+	replyCap := ceilPow2(replyBytes)
+
+	f, err := newSegmentFile()
+	if err != nil {
+		return nil, err
+	}
+	total := segHdrBytes + ringHdrBytes + cmdCap + ringHdrBytes + replyCap
+	if err := f.Truncate(int64(total)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("shm: size segment: %w", err)
+	}
+	mem, err := syscall.Mmap(int(f.Fd()), 0, total, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("shm: map segment: %w", err)
+	}
+	hdr := (*segHdr)(unsafe.Pointer(&mem[0]))
+	hdr.magic = segMagic
+	hdr.version = segVersion
+	hdr.cmdCap = uint64(cmdCap)
+	hdr.replyCap = uint64(replyCap)
+
+	var bells [4]*os.File
+	for i := range bells {
+		b, err := newEventFD()
+		if err != nil {
+			for _, open := range bells[:i] {
+				open.Close()
+			}
+			syscall.Munmap(mem)
+			f.Close()
+			return nil, err
+		}
+		bells[i] = b
+	}
+	return assemble(f, mem, cmdCap, replyCap, bells), nil
+}
+
+// Attach builds the child's view from the inherited files: the segment file
+// plus the four doorbells, in ChildFiles order. It takes ownership of the
+// files on success and on failure.
+func Attach(seg *os.File, bells []*os.File) (*Segment, error) {
+	closeAll := func() {
+		seg.Close()
+		for _, b := range bells {
+			if b != nil {
+				b.Close()
+			}
+		}
+	}
+	if len(bells) != 4 {
+		closeAll()
+		return nil, fmt.Errorf("shm: attach wants 4 doorbells, got %d", len(bells))
+	}
+	st, err := seg.Stat()
+	if err != nil {
+		closeAll()
+		return nil, fmt.Errorf("shm: stat segment: %w", err)
+	}
+	total := int(st.Size())
+	if total < segHdrBytes+2*ringHdrBytes+2*minRingBytes {
+		closeAll()
+		return nil, fmt.Errorf("shm: segment too small (%d bytes)", total)
+	}
+	mem, err := syscall.Mmap(int(seg.Fd()), 0, total, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		closeAll()
+		return nil, fmt.Errorf("shm: map segment: %w", err)
+	}
+	hdr := (*segHdr)(unsafe.Pointer(&mem[0]))
+	cmdCap, replyCap := int(hdr.cmdCap), int(hdr.replyCap)
+	switch {
+	case hdr.magic != segMagic:
+		err = fmt.Errorf("shm: bad segment magic %#x", hdr.magic)
+	case hdr.version != segVersion:
+		err = fmt.Errorf("shm: segment version %d, want %d", hdr.version, segVersion)
+	case cmdCap < minRingBytes || replyCap < minRingBytes ||
+		cmdCap&(cmdCap-1) != 0 || replyCap&(replyCap-1) != 0 ||
+		segHdrBytes+2*ringHdrBytes+cmdCap+replyCap != total:
+		err = fmt.Errorf("shm: segment geometry %d+%d does not fit %d bytes", cmdCap, replyCap, total)
+	}
+	if err != nil {
+		syscall.Munmap(mem)
+		closeAll()
+		return nil, err
+	}
+	var arr [4]*os.File
+	copy(arr[:], bells)
+	return assemble(seg, mem, cmdCap, replyCap, arr), nil
+}
+
+// assemble carves the mapping into the two rings. Doorbell order is
+// [cmd data, cmd space, reply data, reply space] — the contract between
+// ChildFiles and Attach.
+func assemble(f *os.File, mem []byte, cmdCap, replyCap int, bells [4]*os.File) *Segment {
+	cmdOff := segHdrBytes
+	replyOff := cmdOff + ringHdrBytes + cmdCap
+	s := &Segment{
+		mem:  mem,
+		file: f,
+		cmd: &Ring{
+			name:      "cmd",
+			hdr:       (*ringHdr)(unsafe.Pointer(&mem[cmdOff])),
+			data:      mem[cmdOff+ringHdrBytes : cmdOff+ringHdrBytes+cmdCap],
+			mask:      uint64(cmdCap - 1),
+			dataBell:  bells[0],
+			spaceBell: bells[1],
+		},
+		reply: &Ring{
+			name:      "reply",
+			hdr:       (*ringHdr)(unsafe.Pointer(&mem[replyOff])),
+			data:      mem[replyOff+ringHdrBytes : replyOff+ringHdrBytes+replyCap],
+			mask:      uint64(replyCap - 1),
+			dataBell:  bells[2],
+			spaceBell: bells[3],
+		},
+	}
+	return s
+}
+
+// Cmd returns the parent→child command ring.
+func (s *Segment) Cmd() *Ring { return s.cmd }
+
+// Reply returns the child→parent reply ring.
+func (s *Segment) Reply() *Ring { return s.reply }
+
+// ChildFiles returns the files the child must inherit, in the order Attach
+// expects them back: segment file first, then the four doorbells.
+func (s *Segment) ChildFiles() []*os.File {
+	return []*os.File{
+		s.file,
+		s.cmd.dataBell, s.cmd.spaceBell,
+		s.reply.dataBell, s.reply.spaceBell,
+	}
+}
+
+// Close shuts both rings (waking any parked peer in either process), waits
+// for this process's in-flight ring operations to drain, and unmaps the
+// segment. If an operation refuses to drain — a wedged caller still inside
+// Read — the mapping is leaked rather than unmapped under it, since a stale
+// load through an unmapped page is a process-killing SIGSEGV, not an error.
+// Idempotent.
+func (s *Segment) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	s.cmd.Close()
+	s.reply.Close()
+
+	unmap := true
+	deadline := time.Now().Add(2 * time.Second)
+	for s.cmd.inflight.Load() != 0 || s.reply.inflight.Load() != 0 {
+		if time.Now().After(deadline) {
+			unmap = false
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if unmap {
+		syscall.Munmap(s.mem)
+	}
+	s.mem = nil
+	err := s.file.Close()
+	for _, b := range []*os.File{s.cmd.dataBell, s.cmd.spaceBell, s.reply.dataBell, s.reply.spaceBell} {
+		b.Close()
+	}
+	return err
+}
+
+// Close marks the ring closed for both processes and rings both doorbells
+// so any parked side — ours or the peer's — wakes and observes it. The
+// shared flag is never cleared: a closed ring stays closed.
+func (r *Ring) Close() error {
+	if !r.localClosed.CompareAndSwap(false, true) {
+		return nil
+	}
+	r.hdr.closed.Store(1)
+	ringBell(r.dataBell)
+	ringBell(r.spaceBell)
+	return nil
+}
+
+// isClosed reports whether either side closed the ring.
+func (r *Ring) isClosed() bool {
+	return r.hdr.closed.Load() != 0 || r.localClosed.Load()
+}
+
+// Stats snapshots the ring's wait counters.
+func (r *Ring) Stats() Stats {
+	return Stats{
+		Parks:     r.parks.Load(),
+		Doorbells: r.bells.Load(),
+		Spins:     r.spins.Load(),
+	}
+}
+
+// Read copies up to len(p) currently-published bytes out of the ring,
+// waiting (spin, then park on the data doorbell) while it is empty. When
+// the ring is closed and fully drained it returns io.EOF — the same
+// terminal shape a pipe gives its reader, which is what lets wire.Reader's
+// torn-frame discipline (mid-frame EOF → ErrUnexpectedEOF → mux poisoning)
+// apply unchanged.
+func (r *Ring) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	r.inflight.Add(1)
+	defer r.inflight.Add(-1)
+
+	spins := 0
+	for {
+		t := r.hdr.tail.Load()
+		h := r.hdr.head.Load()
+		if h != t {
+			avail := h - t
+			pos := t & r.mask
+			n := uint64(len(p))
+			if n > avail {
+				n = avail
+			}
+			if contig := uint64(len(r.data)) - pos; n > contig {
+				n = contig
+			}
+			copy(p, r.data[pos:pos+n])
+			r.hdr.tail.Store(t + n)
+			r.wakeWriter()
+			return int(n), nil
+		}
+		if r.isClosed() {
+			// Re-check emptiness after observing the flag: the peer may have
+			// published bytes and then closed; drain them first.
+			if r.hdr.head.Load() == t {
+				return 0, io.EOF
+			}
+			continue
+		}
+		if spins < spinBudget {
+			r.relax(spins)
+			spins++
+			continue
+		}
+		r.park(&r.hdr.rparked, r.dataBell, func() bool { return r.hdr.head.Load() != t })
+		spins = 0
+	}
+}
+
+// Discard consumes exactly n published bytes without copying them out — the
+// ring-aware fast path under wire.Reader.DiscardPayload. It blocks like
+// Read and returns how many bytes it dropped with io.EOF if the ring closed
+// short.
+func (r *Ring) Discard(n int) (int, error) {
+	if n <= 0 {
+		return 0, nil
+	}
+	r.inflight.Add(1)
+	defer r.inflight.Add(-1)
+
+	dropped := 0
+	spins := 0
+	for dropped < n {
+		t := r.hdr.tail.Load()
+		h := r.hdr.head.Load()
+		if h != t {
+			take := h - t
+			if rem := uint64(n - dropped); take > rem {
+				take = rem
+			}
+			r.hdr.tail.Store(t + take)
+			r.wakeWriter()
+			dropped += int(take)
+			spins = 0
+			continue
+		}
+		if r.isClosed() {
+			if r.hdr.head.Load() == t {
+				return dropped, io.EOF
+			}
+			continue
+		}
+		if spins < spinBudget {
+			r.relax(spins)
+			spins++
+			continue
+		}
+		r.park(&r.hdr.rparked, r.dataBell, func() bool { return r.hdr.head.Load() != t })
+		spins = 0
+	}
+	return dropped, nil
+}
+
+// Write copies all of p into the ring, waiting (spin, then park on the
+// space doorbell) whenever it is full; frames larger than the ring go in
+// chunks while the consumer drains concurrently. A closed ring fails the
+// write with ErrClosed — the shared-memory analogue of EPIPE.
+func (r *Ring) Write(p []byte) (int, error) {
+	r.inflight.Add(1)
+	defer r.inflight.Add(-1)
+
+	written := 0
+	spins := 0
+	for written < len(p) {
+		if r.isClosed() {
+			return written, ErrClosed
+		}
+		h := r.hdr.head.Load()
+		t := r.hdr.tail.Load()
+		free := uint64(len(r.data)) - (h - t)
+		if free == 0 {
+			if spins < spinBudget {
+				r.relax(spins)
+				spins++
+				continue
+			}
+			r.park(&r.hdr.wparked, r.spaceBell, func() bool { return r.hdr.tail.Load() != t })
+			spins = 0
+			continue
+		}
+		pos := h & r.mask
+		n := free
+		if rem := uint64(len(p) - written); n > rem {
+			n = rem
+		}
+		if contig := uint64(len(r.data)) - pos; n > contig {
+			n = contig
+		}
+		copy(r.data[pos:pos+n], p[written:written+int(n)])
+		r.hdr.head.Store(h + n)
+		r.wakeReader()
+		written += int(n)
+		spins = 0
+	}
+	return written, nil
+}
+
+// wakeReader rings the data doorbell iff the consumer is parked (or mid-
+// park). The flag check keeps the hot path syscall-free: an actively
+// spinning or busy consumer never costs the producer a bell.
+func (r *Ring) wakeReader() {
+	if r.hdr.rparked.Load() != 0 {
+		r.bells.Add(1)
+		ringBell(r.dataBell)
+	}
+}
+
+// wakeWriter rings the space doorbell iff the producer is parked.
+func (r *Ring) wakeWriter() {
+	if r.hdr.wparked.Load() != 0 {
+		r.bells.Add(1)
+		ringBell(r.spaceBell)
+	}
+}
+
+// relax burns one bounded-spin iteration: sched_yield so the peer process
+// can run on a shared core, with a periodic Gosched so same-process
+// goroutines get the P too.
+func (r *Ring) relax(spin int) {
+	r.spins.Add(1)
+	if spin%goschedEvery == goschedEvery-1 {
+		runtime.Gosched()
+	} else {
+		syscall.Syscall(syscall.SYS_SCHED_YIELD, 0, 0, 0)
+	}
+}
+
+// park blocks on bell until the peer rings it, the ring closes, or ready
+// reports the wait is already over. The flag-then-recheck order pairs with
+// the peer's publish-then-check-flag order (see the package comment);
+// together they guarantee the bell cannot be missed. A bell read may also
+// return a stale token from an earlier wake — callers loop and re-check, so
+// spurious wakeups are harmless.
+func (r *Ring) park(flag *atomic.Uint32, bell *os.File, ready func() bool) {
+	flag.Store(1)
+	defer flag.Store(0)
+	if ready() || r.isClosed() {
+		return
+	}
+	r.parks.Add(1)
+	var buf [8]byte
+	// The eventfd is in blocking mode (exec inheritance forces it there), so
+	// this occupies an OS thread, not the netpoller; the runtime hands the P
+	// off. Errors need no handling: a closed bell during teardown surfaces
+	// as an error here, and the caller's loop then observes the closed ring.
+	bell.Read(buf[:])
+}
+
+// ringBell posts one token to an eventfd. Failures are ignored: the only
+// ways a bell write fails are teardown races, where the waiter is being
+// released by the closed flag anyway.
+func ringBell(bell *os.File) {
+	var one = [8]byte{0: 1}
+	bell.Write(one[:])
+}
+
+// newEventFD opens a fresh eventfd doorbell. Blocking mode is deliberate:
+// os/exec flips inherited descriptors to blocking when spawning the child,
+// and the flag lives on the shared open file description, so nonblocking
+// semantics could not survive anyway. A parked waiter simply occupies one
+// OS thread until rung.
+func newEventFD() (*os.File, error) {
+	const efdCloexec = 0x80000 // EFD_CLOEXEC; cleared per-fd by ExtraFiles inheritance
+	fd, _, errno := syscall.Syscall(eventfdTrap, 0, efdCloexec, 0)
+	if errno != 0 {
+		return nil, fmt.Errorf("shm: eventfd: %w", errno)
+	}
+	return os.NewFile(fd, "shm-doorbell"), nil
+}
+
+// newSegmentFile returns an anonymous file to back the mapping: a memfd
+// when available, else an unlinked temp file (page-cache backed, so the
+// data path is the same; only the name lifecycle differs).
+func newSegmentFile() (*os.File, error) {
+	if memfdTrap != 0 {
+		name, err := syscall.BytePtrFromString("af-shm")
+		if err == nil {
+			const mfdCloexec = 1 // MFD_CLOEXEC
+			fd, _, errno := syscall.Syscall(memfdTrap, uintptr(unsafe.Pointer(name)), mfdCloexec, 0)
+			if errno == 0 {
+				return os.NewFile(fd, "af-shm"), nil
+			}
+		}
+	}
+	f, err := os.CreateTemp("", "af-shm-*")
+	if err != nil {
+		return nil, fmt.Errorf("shm: create segment file: %w", err)
+	}
+	os.Remove(f.Name())
+	return f, nil
+}
+
+func ceilPow2(n int) int {
+	if n < minRingBytes {
+		n = minRingBytes
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

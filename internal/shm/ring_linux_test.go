@@ -1,0 +1,331 @@
+//go:build linux
+
+package shm
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+func newTestSegment(t *testing.T, cmdBytes, replyBytes int) *Segment {
+	t.Helper()
+	s, err := New(cmdBytes, replyBytes)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestRingRoundTrip(t *testing.T) {
+	s := newTestSegment(t, 0, 0)
+	r := s.Cmd()
+
+	msg := []byte("hello, ring")
+	if n, err := r.Write(msg); err != nil || n != len(msg) {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(r, got); err != nil {
+		t.Fatalf("ReadFull: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("read %q, want %q", got, msg)
+	}
+}
+
+// TestRingWraparound pushes a stream across the ring boundary many times
+// with mismatched read/write chunk sizes, checking byte-exact delivery.
+func TestRingWraparound(t *testing.T) {
+	s := newTestSegment(t, minRingBytes, minRingBytes)
+	r := s.Reply()
+
+	const total = 10 * minRingBytes
+	src := make([]byte, total)
+	rng := rand.New(rand.NewSource(1))
+	rng.Read(src)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sent := 0
+		for sent < total {
+			n := 1 + rng.Intn(3000)
+			if sent+n > total {
+				n = total - sent
+			}
+			if _, err := r.Write(src[sent : sent+n]); err != nil {
+				t.Errorf("Write: %v", err)
+				return
+			}
+			sent += n
+		}
+	}()
+
+	got := make([]byte, 0, total)
+	buf := make([]byte, 2731) // deliberately co-prime with the ring size
+	for len(got) < total {
+		n, err := r.Read(buf)
+		if err != nil {
+			t.Fatalf("Read after %d bytes: %v", len(got), err)
+		}
+		got = append(got, buf[:n]...)
+	}
+	wg.Wait()
+	if !bytes.Equal(got, src) {
+		t.Fatal("byte stream corrupted across wraparound")
+	}
+}
+
+// TestRingLargeWrite checks that a single write far larger than the ring
+// capacity lands intact while a concurrent reader drains.
+func TestRingLargeWrite(t *testing.T) {
+	s := newTestSegment(t, minRingBytes, minRingBytes)
+	r := s.Cmd()
+
+	src := make([]byte, 64*minRingBytes)
+	rand.New(rand.NewSource(2)).Read(src)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Write(src)
+		done <- err
+	}()
+
+	got := make([]byte, len(src))
+	if _, err := io.ReadFull(r, got); err != nil {
+		t.Fatalf("ReadFull: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatal("large write corrupted")
+	}
+}
+
+func TestRingDiscard(t *testing.T) {
+	s := newTestSegment(t, 0, 0)
+	r := s.Cmd()
+
+	payload := make([]byte, 3*minRingBytes)
+	rand.New(rand.NewSource(3)).Read(payload)
+	marker := []byte("after")
+
+	go func() {
+		r.Write(payload)
+		r.Write(marker)
+	}()
+
+	if n, err := r.Discard(len(payload)); err != nil || n != len(payload) {
+		t.Fatalf("Discard = %d, %v; want %d, nil", n, err, len(payload))
+	}
+	got := make([]byte, len(marker))
+	if _, err := io.ReadFull(r, got); err != nil {
+		t.Fatalf("ReadFull after discard: %v", err)
+	}
+	if !bytes.Equal(got, marker) {
+		t.Fatalf("read %q after discard, want %q", got, marker)
+	}
+}
+
+// TestRingCloseSemantics: a reader drains published bytes then sees io.EOF;
+// a writer on a closed ring fails with ErrClosed.
+func TestRingCloseSemantics(t *testing.T) {
+	s := newTestSegment(t, 0, 0)
+	r := s.Cmd()
+
+	if _, err := r.Write([]byte("tail")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	r.Close()
+
+	got := make([]byte, 16)
+	n, err := r.Read(got)
+	if err != nil || string(got[:n]) != "tail" {
+		t.Fatalf("Read drained %q, %v; want \"tail\", nil", got[:n], err)
+	}
+	if _, err := r.Read(got); err != io.EOF {
+		t.Fatalf("Read after drain = %v, want io.EOF", err)
+	}
+	if _, err := r.Write([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Write after close = %v, want ErrClosed", err)
+	}
+}
+
+// TestRingCloseUnblocksWaiters: Close must release a reader parked on an
+// empty ring and a writer parked on a full one, without goroutine leaks.
+func TestRingCloseUnblocksWaiters(t *testing.T) {
+	faultinject.LeakCheck(t)
+	s := newTestSegment(t, minRingBytes, minRingBytes)
+
+	readerDone := make(chan error, 1)
+	go func() {
+		_, err := s.Reply().Read(make([]byte, 8))
+		readerDone <- err
+	}()
+
+	writerDone := make(chan error, 1)
+	go func() {
+		// Overfill the command ring so the writer must park for space.
+		_, err := s.Cmd().Write(make([]byte, 2*minRingBytes))
+		writerDone <- err
+	}()
+
+	// Let both goroutines reach their parks (parks counter flips when they
+	// commit to the doorbell wait).
+	waitFor(t, func() bool {
+		return s.Reply().Stats().Parks >= 1 && s.Cmd().Stats().Parks >= 1
+	})
+
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := <-readerDone; err != io.EOF {
+		t.Fatalf("parked reader woke with %v, want io.EOF", err)
+	}
+	if err := <-writerDone; !errors.Is(err, ErrClosed) {
+		t.Fatalf("parked writer woke with %v, want ErrClosed", err)
+	}
+}
+
+// TestParkedRingBurnsNoCPU pins the spin-then-park contract: once a reader
+// with no traffic has parked, it must stop spinning entirely (the spin
+// counter freezes) and wake only when the producer rings the doorbell.
+func TestParkedRingBurnsNoCPU(t *testing.T) {
+	faultinject.LeakCheck(t)
+	s := newTestSegment(t, 0, 0)
+	r := s.Cmd()
+
+	got := make(chan byte, 1)
+	go func() {
+		var buf [1]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			t.Errorf("parked read: %v", err)
+			close(got)
+			return
+		}
+		got <- buf[0]
+	}()
+
+	waitFor(t, func() bool { return r.Stats().Parks >= 1 })
+
+	// Parked now. Any further spinning during this idle window is a busy
+	// loop — exactly the CPU burn the doorbell exists to prevent.
+	idleStart := r.Stats()
+	time.Sleep(100 * time.Millisecond)
+	idleEnd := r.Stats()
+	if idleEnd.Spins != idleStart.Spins {
+		t.Fatalf("parked ring kept spinning: %d yield iterations during idle window",
+			idleEnd.Spins-idleStart.Spins)
+	}
+	if idleEnd.Parks != idleStart.Parks {
+		t.Fatalf("parked ring re-parked %d times while idle (spurious wakeups)",
+			idleEnd.Parks-idleStart.Parks)
+	}
+
+	// One byte wakes it via the doorbell.
+	if _, err := r.Write([]byte{0x42}); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	select {
+	case b := <-got:
+		if b != 0x42 {
+			t.Fatalf("woke with byte %#x, want 0x42", b)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("doorbell did not wake the parked reader")
+	}
+	if bells := r.Stats().Doorbells; bells == 0 {
+		t.Fatal("wakeup happened with no doorbell recorded")
+	}
+}
+
+// TestRingConcurrentStress runs both rings hard in both directions under
+// the race detector: one echo pair per ring with randomized chunk sizes.
+func TestRingConcurrentStress(t *testing.T) {
+	faultinject.LeakCheck(t)
+	s := newTestSegment(t, minRingBytes, minRingBytes)
+
+	const total = 256 * 1024
+	stream := func(r *Ring, seed int64, done chan<- error) {
+		src := make([]byte, total)
+		rand.New(rand.NewSource(seed)).Read(src)
+		go func() {
+			sent := 0
+			rng := rand.New(rand.NewSource(seed + 1))
+			for sent < total {
+				n := 1 + rng.Intn(8192)
+				if sent+n > total {
+					n = total - sent
+				}
+				if _, err := r.Write(src[sent : sent+n]); err != nil {
+					done <- err
+					return
+				}
+				sent += n
+			}
+			done <- nil
+		}()
+		go func() {
+			got := make([]byte, 0, total)
+			buf := make([]byte, 4096)
+			for len(got) < total {
+				n, err := r.Read(buf)
+				if err != nil {
+					done <- err
+					return
+				}
+				got = append(got, buf[:n]...)
+			}
+			if !bytes.Equal(got, src) {
+				done <- errors.New("stream corrupted")
+				return
+			}
+			done <- nil
+		}()
+	}
+
+	cmdDone := make(chan error, 2)
+	replyDone := make(chan error, 2)
+	stream(s.Cmd(), 100, cmdDone)
+	stream(s.Reply(), 200, replyDone)
+	for i := 0; i < 2; i++ {
+		if err := <-cmdDone; err != nil {
+			t.Fatalf("cmd ring: %v", err)
+		}
+		if err := <-replyDone; err != nil {
+			t.Fatalf("reply ring: %v", err)
+		}
+	}
+}
+
+// TestSegmentCloseIdempotent double-closes with live-but-quiescent rings.
+func TestSegmentCloseIdempotent(t *testing.T) {
+	s := newTestSegment(t, 0, 0)
+	if err := s.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

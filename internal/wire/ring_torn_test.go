@@ -1,0 +1,130 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/shm"
+)
+
+// TestRingStreamTornBoundaries is the shared-memory counterpart of
+// TestBatchedStreamTornBoundaries: a batched frame stream pushed through a
+// real shm ring and cut off at an arbitrary byte — the producer closing the
+// ring mid-stream, exactly what a dying parent's segment teardown looks
+// like — must yield every complete frame intact and then fail with the same
+// terminal shapes as a torn pipe: io.EOF on a frame boundary,
+// io.ErrUnexpectedEOF inside a frame. The mux poisoning discipline keys on
+// those two shapes, so this is what makes crash handling carrier-agnostic.
+// Frames are consumed through both payload paths — copied out with
+// ReadPayload and skipped with DiscardPayload, the latter exercising the
+// ring's copy-free Discarder fast path.
+func TestRingStreamTornBoundaries(t *testing.T) {
+	if !shm.Supported() {
+		t.Skip("shm rings unsupported on this platform")
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+
+		// Batch 3..10 request frames with payload sizes straddling the
+		// by-value/by-reference threshold and the ring capacity, so cuts land
+		// in both splice paths and streams wrap the ring several times.
+		nFrames := 3 + rng.Intn(8)
+		reqs := make([]Request, nFrames)
+		var stream bytes.Buffer
+		bw := NewBatchWriter(&stream, nil)
+		var ends []int
+		for i := range reqs {
+			size := rng.Intn(2 * inlinePayload)
+			payload := make([]byte, size)
+			rng.Read(payload)
+			reqs[i] = Request{
+				Op:   OpWrite,
+				Seq:  uint32(i + 1),
+				Off:  rng.Int63(),
+				N:    int64(size),
+				Data: payload,
+			}
+			if err := bw.WriteRequest(&reqs[i]); err != nil {
+				t.Fatalf("WriteRequest: %v", err)
+			}
+			ends = append(ends, stream.Len())
+		}
+		full := stream.Bytes()
+
+		cuts := append([]int{0, len(full)}, ends...)
+		for i := 0; i < 6; i++ {
+			cuts = append(cuts, rng.Intn(len(full)+1))
+		}
+		for _, cut := range cuts {
+			seg, err := shm.New(4096, 4096)
+			if err != nil {
+				t.Fatalf("shm.New: %v", err)
+			}
+			ring := seg.Cmd()
+			// The producer: ship the stream's first cut bytes, then tear the
+			// ring down — the crash point.
+			go func(prefix []byte) {
+				ring.Write(prefix)
+				ring.Close()
+			}(full[:cut])
+
+			wantComplete := 0
+			for _, end := range ends {
+				if end <= cut {
+					wantComplete++
+				}
+			}
+			r := NewReader(ring)
+			var decoded int
+			for {
+				var req Request
+				var plen int
+				req, plen, err = r.ReadRequestHeader()
+				if err != nil {
+					break
+				}
+				if decoded >= len(reqs) {
+					t.Fatalf("cut %d: decoded more frames than were written", cut)
+				}
+				want := reqs[decoded]
+				if req.Op != want.Op || req.Seq != want.Seq || req.Off != want.Off || plen != len(want.Data) {
+					t.Fatalf("cut %d: frame %d header decoded torn/corrupt", cut, decoded)
+				}
+				if rng.Intn(2) == 0 {
+					if err = r.DiscardPayload(); err != nil {
+						break
+					}
+				} else {
+					payload := make([]byte, plen)
+					if err = r.ReadPayload(payload); err != nil {
+						break
+					}
+					if !bytes.Equal(payload, want.Data) {
+						t.Fatalf("cut %d: frame %d payload corrupt off the ring", cut, decoded)
+					}
+				}
+				decoded++
+			}
+			if decoded != wantComplete {
+				t.Fatalf("cut %d: decoded %d complete frames, want %d (err %v)", cut, decoded, wantComplete, err)
+			}
+			onBoundary := cut == 0 || wantComplete > 0 && ends[wantComplete-1] == cut
+			if onBoundary {
+				if !errors.Is(err, io.EOF) {
+					t.Fatalf("cut %d on frame boundary: err = %v, want io.EOF", cut, err)
+				}
+			} else if !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("cut %d mid-frame: err = %v, want io.ErrUnexpectedEOF", cut, err)
+			}
+			seg.Close()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -502,9 +502,29 @@ func (fr *Reader) ReadPayload(dst []byte) error {
 	return nil
 }
 
+// Discarder is implemented by sources that can drop pending bytes in place —
+// bufio.Reader and the shared-memory ring. DiscardPayload prefers it so a
+// skipped payload advances a cursor instead of being copied through scratch.
+type Discarder interface {
+	Discard(n int) (int, error)
+}
+
 // DiscardPayload drains whatever remains of the current frame's payload, so
 // the next header read starts at a frame boundary.
 func (fr *Reader) DiscardPayload() error {
+	if d, ok := fr.r.(Discarder); ok {
+		for fr.pending > 0 {
+			n, err := d.Discard(fr.pending)
+			fr.pending -= n
+			if err != nil {
+				if errors.Is(err, io.EOF) {
+					return io.ErrUnexpectedEOF
+				}
+				return err
+			}
+		}
+		return nil
+	}
 	for fr.pending > 0 {
 		chunk := fr.pending
 		if chunk > scratchCap {
