@@ -3,15 +3,16 @@
 # core, then re-runs the chaos/fault suites under -race explicitly so the
 # failure paths (sentinel death, connection drops, deadlines, torn frames)
 # are exercised with the detector on even if the default sweep is filtered;
-# bench-smoke compiles and single-shots the parallel and allocation
-# benchmarks so they cannot bit-rot; bench-json regenerates the committed
-# Figure 6 JSON report.
+# conformance runs the backend contract suite — every backend directly and
+# through every strategy — under -race; bench-smoke compiles and single-shots
+# the parallel and allocation benchmarks so they cannot bit-rot; bench-json
+# regenerates the committed Figure 6 JSON report.
 
 GO ?= go
-BENCH_JSON ?= BENCH_4.json
-BENCH_BASE ?= BENCH_3.json
+BENCH_JSON ?= BENCH_5.json
+BENCH_BASE ?= BENCH_4.json
 
-.PHONY: all tier1 race bench-smoke bench-json bench-compare
+.PHONY: all tier1 race conformance bench-smoke bench-json bench-compare
 
 all: tier1 race bench-smoke
 
@@ -25,6 +26,13 @@ race:
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 -run 'Chaos|Fault|Proxy|Partial|Torn|SentinelDeath|StalledSentinel|Mux|Client' \
 		./internal/ipc ./internal/core ./internal/remote ./internal/faultinject ./internal/bench
+
+# The backend contract suite: conformance profiles over every backend kind
+# directly (package backend) and end-to-end through each strategy via the
+# manifest backend= param (package core), with the race detector on.
+conformance:
+	$(GO) test -race -count=1 -run 'Conformance|TestBackend' \
+		./internal/backend/... ./internal/core ./internal/remote
 
 # Smoke-run the benchmark panels: the parallel sweep plus the wire
 # allocation benchmarks (which assert the zero-copy framing stays

@@ -22,6 +22,12 @@
 //
 //	afbench -churn 100 -pool 4
 //
+// With -backend it sweeps storage backends behind the same thread-strategy
+// sentinel (the manifest backend= parameter), isolating the seam's cost:
+//
+//	afbench -backend sweep
+//	afbench -backend mem,remote -ops 500
+//
 // With -full it runs the Figure 6 panels, a remote-path concurrency sweep,
 // and the churn sweep, merging everything into one JSON report:
 //
@@ -67,6 +73,7 @@ func run(args []string) error {
 		latency     = flags.Duration("latency", 0, "injected remote-service latency per operation (e.g. 200us), simulating a distant source")
 		jsonPath    = flags.String("json", "", "also write the Figure 6 results as a machine-readable JSON report to this file")
 		transport   = flags.String("transport", "", `control-channel carrier for the procctl strategies: "pipe", "shm", or "sweep" to run the pipe-vs-shm comparison instead of Figure 6`)
+		backends    = flags.String("backend", "", `sweep per-backend cost instead of Figure 6: comma-separated backend kinds (mem,nativefs,rofs,errorfs,remote) or "sweep" for all`)
 		readAhead   = flags.Bool("readahead", true, "enable adaptive read-ahead in the sentinel strategies (ablation switch)")
 		writeBehind = flags.Bool("writebehind", false, "enable write coalescing in the sentinel strategies")
 		churn       = flags.Int("churn", 0, "sweep open/close churn with this many opens per cell instead of Figure 6")
@@ -216,6 +223,31 @@ func run(args []string) error {
 		return runFull(runner, opts, *ops, *churn, *pool, params, *jsonPath)
 	}
 
+	if *backends != "" {
+		bopts := bench.BackendOptions{Ops: *ops, Blocks: opts.Blocks}
+		if *backends != "sweep" && *backends != "all" {
+			for _, part := range strings.Split(*backends, ",") {
+				bopts.Names = append(bopts.Names, strings.TrimSpace(part))
+			}
+		}
+		results, err := runner.RunBackends(bopts)
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteBackendTable(os.Stdout, bopts.Strategy, *ops, results); err != nil {
+			return err
+		}
+		if *jsonPath != "" {
+			rep := bench.BuildReport(nil, *ops, params)
+			rep.AddBackends(bopts.Strategy, results)
+			if err := rep.WriteJSONFile(*jsonPath); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonPath)
+		}
+		return nil
+	}
+
 	if transportSweep {
 		topts := bench.TransportOptions{Ops: *ops, Blocks: opts.Blocks, Params: params}
 		if len(opts.Paths) == 1 {
@@ -351,6 +383,17 @@ func runFull(runner *bench.Runner, opts bench.FigureOptions, ops, churnOpens, po
 		return err
 	}
 	rep.AddTransports(bench.PathMemory, tResults)
+
+	// Backend sweep: the same thread-strategy sentinel over every backend
+	// kind, isolating what the storage seam itself costs.
+	beResults, err := runner.RunBackends(bench.BackendOptions{Ops: ops})
+	if err != nil {
+		return err
+	}
+	if err := bench.WriteBackendTable(os.Stdout, 0, ops, beResults); err != nil {
+		return err
+	}
+	rep.AddBackends(0, beResults)
 
 	if churnOpens <= 0 {
 		churnOpens = bench.DefaultChurnOpens

@@ -14,7 +14,12 @@ import (
 	"os"
 	"os/signal"
 
+	"repro/internal/backend"
 	"repro/internal/remote"
+
+	// Make the network-crossing backend kinds available to -backend specs,
+	// so one afd can re-export another's file service.
+	_ "repro/internal/backend/remotefs"
 )
 
 func main() {
@@ -35,6 +40,7 @@ type config struct {
 	fileAddr  string
 	quoteAddr string
 	mailAddr  string
+	backend   string
 	seed      bool
 }
 
@@ -44,6 +50,8 @@ func parseFlags(args []string) (config, error) {
 	flags.StringVar(&cfg.fileAddr, "file", "127.0.0.1:0", "block file service address (empty to disable)")
 	flags.StringVar(&cfg.quoteAddr, "quotes", "127.0.0.1:0", "stock quote service address (empty to disable)")
 	flags.StringVar(&cfg.mailAddr, "mail", "127.0.0.1:0", "mail service address (empty to disable)")
+	flags.StringVar(&cfg.backend, "backend", "mem",
+		"backend spec the file service exports (e.g. mem, nativefs:/srv/data, rofs:nativefs:/srv/ro, errorfs(rate=0.01):mem)")
 	flags.BoolVar(&cfg.seed, "seed", true, "seed demonstration data")
 	if err := flags.Parse(args); err != nil {
 		return config{}, err
@@ -77,15 +85,24 @@ func startServices(cfg config) (*services, error) {
 	}()
 
 	if cfg.fileAddr != "" {
-		srv := remote.NewFileServer()
-		if cfg.seed {
+		spec := cfg.backend
+		if spec == "" {
+			spec = "mem"
+		}
+		store, err := backend.Open(spec)
+		if err != nil {
+			return nil, fmt.Errorf("backend %q: %w", spec, err)
+		}
+		srv := remote.NewFileServerWith(store)
+		if cfg.seed && store.Caps().Has(backend.CapWrite) {
 			srv.Put("hello", []byte("hello from the block file service\n"))
 		}
 		addr, err := srv.Start(cfg.fileAddr)
 		if err != nil {
+			store.Close()
 			return nil, err
 		}
-		svc.stops = append(svc.stops, srv.Close)
+		svc.stops = append(svc.stops, srv.Close, store.Close)
 		svc.FileAddr = addr
 	}
 	if cfg.quoteAddr != "" {

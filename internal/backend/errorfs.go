@@ -1,0 +1,147 @@
+package backend
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// ErrorFS wraps any backend with deterministic, seedable fault and latency
+// injection — the errorfs of VFS test stacks, built on the same
+// faultinject.Injector the chaos harness uses, so operation-level fault
+// injection has exactly one implementation. With rate=0 it is a pure
+// (optionally latency-adding) pass-through, which is how the conformance
+// suite proves the wrapper itself is semantics-preserving.
+type ErrorFS struct {
+	inner Backend
+	inj   *faultinject.Injector
+}
+
+var _ Backend = (*ErrorFS)(nil)
+var _ Stater = (*ErrorFS)(nil)
+var _ Lister = (*ErrorFS)(nil)
+
+// NewErrorFS wraps inner, rolling every operation (Open, Stat, List, and all
+// object operations) against inj.
+func NewErrorFS(inner Backend, inj *faultinject.Injector) *ErrorFS {
+	return &ErrorFS{inner: inner, inj: inj}
+}
+
+// NewErrorFSFromOpts builds an ErrorFS from spec options: rate (0..1,
+// default 0), seed (int, default 1), latency (Go duration, default 0).
+func NewErrorFSFromOpts(inner Backend, opts map[string]string) (*ErrorFS, error) {
+	var (
+		rate    float64
+		seed    int64 = 1
+		latency time.Duration
+		err     error
+	)
+	for k, v := range opts {
+		switch k {
+		case "rate":
+			if rate, err = strconv.ParseFloat(v, 64); err != nil || rate < 0 || rate > 1 {
+				return nil, fmt.Errorf("%w: errorfs rate %q", ErrBadSpec, v)
+			}
+		case "seed":
+			if seed, err = strconv.ParseInt(v, 10, 64); err != nil {
+				return nil, fmt.Errorf("%w: errorfs seed %q", ErrBadSpec, v)
+			}
+		case "latency":
+			if latency, err = time.ParseDuration(v); err != nil || latency < 0 {
+				return nil, fmt.Errorf("%w: errorfs latency %q", ErrBadSpec, v)
+			}
+		default:
+			return nil, fmt.Errorf("%w: errorfs option %q", ErrBadSpec, k)
+		}
+	}
+	return NewErrorFS(inner, faultinject.NewInjector(rate, nil, seed, latency)), nil
+}
+
+// Injector exposes the injector for counters and tests.
+func (e *ErrorFS) Injector() *faultinject.Injector { return e.inj }
+
+// Kind implements Backend.
+func (e *ErrorFS) Kind() string { return "errorfs" }
+
+// Caps implements Backend: faults don't change what the inner backend can do.
+func (e *ErrorFS) Caps() Caps { return e.inner.Caps() }
+
+// Open implements Backend.
+func (e *ErrorFS) Open(name string) (Object, error) {
+	if err := e.inj.Roll(); err != nil {
+		return nil, err
+	}
+	obj, err := e.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &errObject{inner: obj, inj: e.inj}, nil
+}
+
+// Stat implements Stater.
+func (e *ErrorFS) Stat(name string) (Info, error) {
+	st, ok := e.inner.(Stater)
+	if !ok {
+		return Info{}, fmt.Errorf("errorfs: inner %q cannot stat", e.inner.Kind())
+	}
+	if err := e.inj.Roll(); err != nil {
+		return Info{}, err
+	}
+	return st.Stat(name)
+}
+
+// List implements Lister.
+func (e *ErrorFS) List() ([]Info, error) {
+	ls, ok := e.inner.(Lister)
+	if !ok {
+		return nil, fmt.Errorf("errorfs: inner %q cannot list", e.inner.Kind())
+	}
+	if err := e.inj.Roll(); err != nil {
+		return nil, err
+	}
+	return ls.List()
+}
+
+// Close implements Backend; teardown is never fault-injected.
+func (e *ErrorFS) Close() error { return e.inner.Close() }
+
+// errObject rolls every data operation against the shared injector.
+type errObject struct {
+	inner Object
+	inj   *faultinject.Injector
+}
+
+var _ Object = (*errObject)(nil)
+
+func (o *errObject) ReadAt(p []byte, off int64) (int, error) {
+	if err := o.inj.Roll(); err != nil {
+		return 0, err
+	}
+	return o.inner.ReadAt(p, off)
+}
+
+func (o *errObject) WriteAt(p []byte, off int64) (int, error) {
+	if err := o.inj.Roll(); err != nil {
+		return 0, err
+	}
+	return o.inner.WriteAt(p, off)
+}
+
+func (o *errObject) Size() (int64, error) {
+	if err := o.inj.Roll(); err != nil {
+		return 0, err
+	}
+	return o.inner.Size()
+}
+
+func (o *errObject) Truncate(n int64) error {
+	if err := o.inj.Roll(); err != nil {
+		return err
+	}
+	return o.inner.Truncate(n)
+}
+
+// Close is never fault-injected: a session must always be able to let go.
+func (o *errObject) Close() error { return o.inner.Close() }

@@ -1,0 +1,100 @@
+// Package remotefs provides the network-crossing backends: "remote" dials a
+// FileServer (so backends compose across the network — a FileServer can
+// itself be serving any backend), and "http" binds objects on any HTTP
+// server honouring Range requests. Importing this package registers both
+// kinds with the backend registry.
+package remotefs
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/backend"
+	"repro/internal/remote"
+)
+
+func init() {
+	backend.Register("remote", func(opts map[string]string, config string) (backend.Backend, error) {
+		if config == "" {
+			return nil, fmt.Errorf("%w: remote wants a FileServer address (remote:host:port)", backend.ErrBadSpec)
+		}
+		if len(opts) > 0 {
+			return nil, fmt.Errorf("%w: remote takes no options", backend.ErrBadSpec)
+		}
+		return &RemoteFS{addr: config}, nil
+	})
+	backend.Register("http", func(opts map[string]string, config string) (backend.Backend, error) {
+		if config == "" {
+			return nil, fmt.Errorf("%w: http wants a base URL (http:host:port[/prefix])", backend.ErrBadSpec)
+		}
+		if len(opts) > 0 {
+			return nil, fmt.Errorf("%w: http takes no options", backend.ErrBadSpec)
+		}
+		return NewHTTPFS(config), nil
+	})
+}
+
+// RemoteFS reaches objects on a remote.FileServer: each Open dials a
+// connection and binds one object, with the client's full fault-tolerance
+// envelope (pipelining, reconnect, idempotent replay) underneath.
+type RemoteFS struct {
+	addr string
+}
+
+var _ backend.Backend = (*RemoteFS)(nil)
+
+// NewRemoteFS returns a backend dialing the FileServer at addr.
+func NewRemoteFS(addr string) *RemoteFS { return &RemoteFS{addr: addr} }
+
+// Kind implements backend.Backend.
+func (r *RemoteFS) Kind() string { return "remote" }
+
+// Caps implements backend.Backend: the wire protocol carries reads and
+// writes but has no stat/list verbs.
+func (r *RemoteFS) Caps() backend.Caps { return backend.CapWrite }
+
+// Open implements backend.Backend. remote.Client's method set is exactly the
+// Object contract, so the connection is the object.
+func (r *RemoteFS) Open(name string) (backend.Object, error) {
+	return remote.Dial(r.addr, name)
+}
+
+// Close implements backend.Backend; connections belong to their objects.
+func (r *RemoteFS) Close() error { return nil }
+
+// HTTPFS reaches objects over plain HTTP: object "name" lives at
+// "<base>/<name>". Writes use read-modify-write PUT (remote.HTTPSource), so
+// against a server without PUT the backend degrades to read-only errors from
+// the server rather than ErrReadOnly — wrap it in rofs to enforce the policy
+// client-side.
+type HTTPFS struct {
+	base string
+}
+
+var _ backend.Backend = (*HTTPFS)(nil)
+
+// NewHTTPFS returns a backend for objects under base (scheme optional,
+// "http://" assumed).
+func NewHTTPFS(base string) *HTTPFS {
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		base = "http://" + base
+	}
+	return &HTTPFS{base: strings.TrimSuffix(base, "/")}
+}
+
+// Kind implements backend.Backend.
+func (h *HTTPFS) Kind() string { return "http" }
+
+// Caps implements backend.Backend.
+func (h *HTTPFS) Caps() backend.Caps { return backend.CapWrite }
+
+// Open implements backend.Backend.
+func (h *HTTPFS) Open(name string) (backend.Object, error) {
+	if name == "" || strings.Contains(name, "..") {
+		return nil, fmt.Errorf("http: bad object name %q", name)
+	}
+	return remote.NewHTTPSource(h.base+"/"+name, nil), nil
+}
+
+// Close implements backend.Backend.
+func (h *HTTPFS) Close() error { return nil }

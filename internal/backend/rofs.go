@@ -1,0 +1,75 @@
+package backend
+
+import "fmt"
+
+// ROFS is a read-only view of another backend: reads, stats, and lists pass
+// through; opens never create, and every mutation fails with the typed
+// ErrReadOnly so callers (and the wire layer) can distinguish policy from
+// failure.
+type ROFS struct {
+	inner Backend
+}
+
+var _ Backend = (*ROFS)(nil)
+var _ Stater = (*ROFS)(nil)
+var _ Lister = (*ROFS)(nil)
+
+// NewROFS wraps inner in a read-only view.
+func NewROFS(inner Backend) *ROFS { return &ROFS{inner: inner} }
+
+// Kind implements Backend.
+func (r *ROFS) Kind() string { return "rofs" }
+
+// Caps implements Backend: the inner capabilities minus CapWrite.
+func (r *ROFS) Caps() Caps { return r.inner.Caps() &^ CapWrite }
+
+// Open implements Backend. Because a writable inner backend's Open creates
+// missing objects, ROFS refuses to open names the inner backend cannot
+// already describe — a read-only view must not create.
+func (r *ROFS) Open(name string) (Object, error) {
+	if st, ok := r.inner.(Stater); ok {
+		if _, err := st.Stat(name); err != nil {
+			return nil, fmt.Errorf("rofs: %w", err)
+		}
+	}
+	obj, err := r.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return roObject{obj}, nil
+}
+
+// Stat implements Stater.
+func (r *ROFS) Stat(name string) (Info, error) {
+	st, ok := r.inner.(Stater)
+	if !ok {
+		return Info{}, fmt.Errorf("rofs: inner %q cannot stat", r.inner.Kind())
+	}
+	return st.Stat(name)
+}
+
+// List implements Lister.
+func (r *ROFS) List() ([]Info, error) {
+	ls, ok := r.inner.(Lister)
+	if !ok {
+		return nil, fmt.Errorf("rofs: inner %q cannot list", r.inner.Kind())
+	}
+	return ls.List()
+}
+
+// Close implements Backend.
+func (r *ROFS) Close() error { return r.inner.Close() }
+
+// roObject passes reads through and rejects mutations.
+type roObject struct {
+	inner Object
+}
+
+var _ Object = roObject{}
+
+func (o roObject) ReadAt(p []byte, off int64) (int, error) { return o.inner.ReadAt(p, off) }
+func (o roObject) Size() (int64, error)                    { return o.inner.Size() }
+func (o roObject) Close() error                            { return o.inner.Close() }
+
+func (o roObject) WriteAt(p []byte, off int64) (int, error) { return 0, ErrReadOnly }
+func (o roObject) Truncate(n int64) error                   { return ErrReadOnly }

@@ -1,0 +1,212 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/vfs"
+)
+
+// The backend sweep drives the same passthrough sentinel over each backend
+// kind via the manifest's backend= parameter, so a new backend is a new
+// workload for free: the cell differs only in what sits behind the seam —
+// the sentinel's own memory (mem), a local file (nativefs), a read-only
+// view (rofs), a quiet fault wrapper (errorfs, rate 0, measuring the
+// wrapper's own overhead), or a FileServer round trip (remote). The default
+// strategy is thread: in-process, so sentinel-private backends are seedable
+// through the handle, and the numbers isolate backend cost from process
+// transport cost (the Figure 6 panels already cover the latter).
+
+// BackendNames are the sweep's columns, in display order.
+var BackendNames = []string{"mem", "nativefs", "rofs", "errorfs", "remote"}
+
+// BackendBlocks are the default block sizes: one syscall-dominated small
+// block and one memcpy-visible large block.
+var BackendBlocks = []int{32, 512}
+
+// BackendResult is one (backend, block) cell of the sweep.
+type BackendResult struct {
+	Backend     string
+	Block       int
+	ReadMicros  float64
+	WriteMicros float64 // 0 when the backend is read-only
+	ReadOnly    bool
+}
+
+// BackendOptions configures the backend sweep.
+type BackendOptions struct {
+	Ops      int
+	Blocks   []int         // default BackendBlocks
+	Names    []string      // default BackendNames
+	Strategy core.Strategy // default thread
+}
+
+// RunBackends measures per-op read (and, where writable, write) cost across
+// backend kinds.
+func (r *Runner) RunBackends(opts BackendOptions) ([]BackendResult, error) {
+	ops := opts.Ops
+	if ops == 0 {
+		ops = DefaultOps
+	}
+	blocks := opts.Blocks
+	if len(blocks) == 0 {
+		blocks = BackendBlocks
+	}
+	names := opts.Names
+	if len(names) == 0 {
+		names = BackendNames
+	}
+	strategy := opts.Strategy
+	if strategy == 0 {
+		strategy = core.StrategyThread
+	}
+
+	var results []BackendResult
+	for _, name := range names {
+		for _, block := range blocks {
+			res, err := r.backendCell(strategy, name, block, ops)
+			if err != nil {
+				return nil, fmt.Errorf("backend sweep %s/%d: %w", name, block, err)
+			}
+			results = append(results, res)
+		}
+	}
+	return results, nil
+}
+
+// backendCell provisions one backend-bound active file, seeds it, and times
+// ops block reads (and writes, for writable backends) through the handle.
+func (r *Runner) backendCell(strategy core.Strategy, name string, block, ops int) (BackendResult, error) {
+	size := int64(block) * int64(ops)
+	if size == 0 {
+		size = int64(block)
+	}
+	content := make([]byte, size)
+	for i := range content {
+		content[i] = byte(i)
+	}
+
+	r.nextID++
+	obj := fmt.Sprintf("bench-be-%d", r.nextID)
+
+	seedFile := func(prefix string) (string, error) {
+		dir, err := os.MkdirTemp(r.dir, prefix)
+		if err != nil {
+			return "", err
+		}
+		return dir, os.WriteFile(filepath.Join(dir, obj), content, 0o644)
+	}
+
+	var (
+		spec          string
+		seedViaHandle bool
+		readOnly      bool
+	)
+	switch name {
+	case "mem":
+		spec, seedViaHandle = "mem", true
+	case "nativefs":
+		dir, err := seedFile("be-native")
+		if err != nil {
+			return BackendResult{}, err
+		}
+		spec = "nativefs:" + dir
+	case "rofs":
+		dir, err := seedFile("be-rofs")
+		if err != nil {
+			return BackendResult{}, err
+		}
+		spec, readOnly = "rofs:nativefs:"+dir, true
+	case "errorfs":
+		spec, seedViaHandle = "errorfs(rate=0,seed=1):mem", true
+	case "remote":
+		r.server.Put(obj, content)
+		spec = "remote:" + r.addr
+	default:
+		return BackendResult{}, fmt.Errorf("unknown backend %q (want one of %v)", name, BackendNames)
+	}
+
+	path := filepath.Join(r.dir, fmt.Sprintf("bench-be-%d.af", r.nextID))
+	if err := vfs.Create(path, vfs.Manifest{
+		Program: vfs.ProgramSpec{Name: "passthrough"},
+		Cache:   "none",
+		NoData:  true,
+		Params:  map[string]string{vfs.ParamBackend: spec, vfs.ParamObject: obj},
+	}); err != nil {
+		return BackendResult{}, err
+	}
+	defer vfs.Remove(path)
+
+	h, err := core.Open(path, core.Options{Strategy: strategy})
+	if err != nil {
+		return BackendResult{}, err
+	}
+	defer h.Close()
+	if seedViaHandle {
+		if _, err := h.WriteAt(content, 0); err != nil {
+			return BackendResult{}, fmt.Errorf("seed via handle: %w", err)
+		}
+	}
+
+	res := BackendResult{Backend: name, Block: block, ReadOnly: readOnly}
+	buf := make([]byte, block)
+
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		off := (int64(i) * int64(block)) % size
+		if _, err := h.ReadAt(buf, off); err != nil {
+			return BackendResult{}, fmt.Errorf("read op %d: %w", i, err)
+		}
+	}
+	res.ReadMicros = float64(time.Since(start).Nanoseconds()) / float64(ops) / 1e3
+
+	if !readOnly {
+		start = time.Now()
+		for i := 0; i < ops; i++ {
+			off := (int64(i) * int64(block)) % size
+			if _, err := h.WriteAt(buf, off); err != nil {
+				return BackendResult{}, fmt.Errorf("write op %d: %w", i, err)
+			}
+		}
+		res.WriteMicros = float64(time.Since(start).Nanoseconds()) / float64(ops) / 1e3
+	}
+	return res, nil
+}
+
+// WriteBackendTable renders the sweep, one row per (backend, block) cell.
+func WriteBackendTable(w io.Writer, strategy core.Strategy, ops int, results []BackendResult) error {
+	if len(results) == 0 {
+		return nil
+	}
+	if strategy == 0 {
+		strategy = core.StrategyThread
+	}
+	if _, err := fmt.Fprintf(w,
+		"backend sweep — %s strategy, passthrough sentinel (%d ops per point)\n",
+		strategy, ops); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-12s%-8s%14s%14s\n", "backend", "block", "read µs/op", "write µs/op"); err != nil {
+		return err
+	}
+	for _, row := range results {
+		if _, err := fmt.Fprintf(w, "%-12s%-8d%14.2f", row.Backend, row.Block, row.ReadMicros); err != nil {
+			return err
+		}
+		if row.ReadOnly {
+			if _, err := fmt.Fprintf(w, "%14s\n", "ro"); err != nil {
+				return err
+			}
+		} else {
+			if _, err := fmt.Fprintf(w, "%14.2f\n", row.WriteMicros); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

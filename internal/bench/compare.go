@@ -8,12 +8,12 @@ import (
 	"strings"
 )
 
-// Report comparison: load two afbench JSON reports (v1–v3) and render the
+// Report comparison: load two afbench JSON reports (v1–v4) and render the
 // per-cell deltas as a table, so a PR's perf claim is a `make bench-compare`
 // away instead of a manual diff of two JSON files.
 
-// LoadReport reads an afbench JSON report from path. The current v3 schema
-// and the older v1/v2 layouts are all accepted; sections an older report
+// LoadReport reads an afbench JSON report from path. The current v4 schema
+// and the older v1–v3 layouts are all accepted; sections an older report
 // lacks stay empty.
 func LoadReport(path string) (*Report, error) {
 	data, err := os.ReadFile(path)
@@ -25,7 +25,7 @@ func LoadReport(path string) (*Report, error) {
 		return nil, fmt.Errorf("parse report %s: %w", path, err)
 	}
 	switch rep.Schema {
-	case "afbench/v1", "afbench/v2", "afbench/v3":
+	case "afbench/v1", "afbench/v2", "afbench/v3", "afbench/v4":
 		return &rep, nil
 	default:
 		return nil, fmt.Errorf("report %s: unknown schema %q", path, rep.Schema)
@@ -154,6 +154,40 @@ func WriteCompareTable(w io.Writer, oldRep, newRep *Report) error {
 					continue // carrier absent in one report (platform fallback)
 				}
 				key := fmt.Sprintf("%s/%d/%s", row.Path, row.Block, col.carrier)
+				if _, err := fmt.Fprintf(w, "%-34s%10.1f%10.1f%+8.1f%%\n",
+					key, col.old, col.new, deltaPct(col.old, col.new)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	// Backend sweep, when both reports carry it (pre-v4 have none).
+	if len(oldRep.Backends) > 0 && len(newRep.Backends) > 0 {
+		oldBe := map[string]BackendReportRow{}
+		for _, row := range oldRep.Backends {
+			oldBe[fmt.Sprintf("%s/%s/%d", row.Strategy, row.Backend, row.Block)] = row
+		}
+		if _, err := fmt.Fprintf(w, "\nbackend sweep (µs/op)\n%-34s%10s%10s%9s\n", "cell", "old", "new", "delta"); err != nil {
+			return err
+		}
+		for _, row := range newRep.Backends {
+			old, ok := oldBe[fmt.Sprintf("%s/%s/%d", row.Strategy, row.Backend, row.Block)]
+			if !ok {
+				unmatched++
+				continue
+			}
+			for _, col := range []struct {
+				op       string
+				old, new float64
+			}{
+				{"read", old.ReadMicros, row.ReadMicros},
+				{"write", old.WriteMicros, row.WriteMicros},
+			} {
+				if col.old == 0 || col.new == 0 {
+					continue // read-only backends carry no write column
+				}
+				key := fmt.Sprintf("%s/%s/%d/%s", row.Strategy, row.Backend, row.Block, col.op)
 				if _, err := fmt.Fprintf(w, "%-34s%10.1f%10.1f%+8.1f%%\n",
 					key, col.old, col.new, deltaPct(col.old, col.new)); err != nil {
 					return err

@@ -5,13 +5,16 @@ import (
 	"io"
 	"os"
 	"sort"
+
+	"repro/internal/core"
 )
 
 // JSON report schema identifier; bump when the layout changes. v2 added the
 // optional parallel (with frames-per-flush batching amortization) and churn
 // (open latency) sections; v3 added the transport (pipe-vs-shm carrier)
-// sweep. Older reports remain loadable for comparison.
-const ReportSchema = "afbench/v3"
+// sweep; v4 added the per-backend sweep. Older reports remain loadable for
+// comparison.
+const ReportSchema = "afbench/v4"
 
 // Report is the machine-readable form of a benchmark run, written by
 // afbench -json so successive PRs can diff per-cell numbers instead of
@@ -28,6 +31,19 @@ type Report struct {
 	// Transport holds the control-channel carrier sweep (afbench -full /
 	// -transport sweep): pipe vs shm rings, per block size.
 	Transport []TransportReportRow `json:"transport,omitempty"`
+	// Backends holds the per-backend sweep (afbench -full / -backend):
+	// the same sentinel over each backend kind, per block size.
+	Backends []BackendReportRow `json:"backends,omitempty"`
+}
+
+// BackendReportRow is one (backend, block) cell of the backend sweep.
+// WriteMicros is absent for read-only backends.
+type BackendReportRow struct {
+	Strategy    string  `json:"strategy"`
+	Backend     string  `json:"backend"`
+	Block       int     `json:"block"`
+	ReadMicros  float64 `json:"readMicrosPerOp"`
+	WriteMicros float64 `json:"writeMicrosPerOp,omitempty"`
 }
 
 // TransportReportRow is one block-size row of the carrier sweep. Speedup is
@@ -143,6 +159,22 @@ func (rep *Report) AddTransports(path CachePath, results []TransportResult) {
 			PipeMicros: row.PipeMicros,
 			ShmMicros:  row.ShmMicros,
 			ShmSpeedup: row.Speedup(),
+		})
+	}
+}
+
+// AddBackends appends the backend sweep to the report.
+func (rep *Report) AddBackends(strategy core.Strategy, results []BackendResult) {
+	if strategy == 0 {
+		strategy = core.StrategyThread
+	}
+	for _, row := range results {
+		rep.Backends = append(rep.Backends, BackendReportRow{
+			Strategy:    strategy.String(),
+			Backend:     row.Backend,
+			Block:       row.Block,
+			ReadMicros:  row.ReadMicros,
+			WriteMicros: row.WriteMicros,
 		})
 	}
 }

@@ -290,6 +290,10 @@ func (m *MemStore) ReadAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, errors.New("cache: negative offset")
 	}
+	// Zero-length reads succeed at any offset, matching os.File.
+	if len(p) == 0 {
+		return 0, nil
+	}
 	if off >= int64(len(m.data)) {
 		return 0, io.EOF
 	}

@@ -7,9 +7,15 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/backend"
 	"repro/internal/cache"
 	"repro/internal/remote"
 	"repro/internal/vfs"
+
+	// Register the network-crossing backend kinds ("remote", "http") in every
+	// binary that links the core — including re-exec'd sentinel children, so a
+	// manifest's backend= param resolves identically on both sides of a fork.
+	_ "repro/internal/backend/remotefs"
 )
 
 // Handler serves the file operations of one open session of an active file.
@@ -94,7 +100,33 @@ func (e *Env) Param(key, def string) string {
 // the manifest binds no source. Two transports ship with the library: "tcp"
 // (the block file service) and "http" (any HTTP server honouring Range; the
 // URL is http://<Addr><Path>).
+//
+// A "backend" param takes precedence over the Source spec: the param is a
+// backend spec (see internal/backend), and the bound object is named by the
+// "object" param, falling back to Source.Path. Backends subsume the legacy
+// kinds — "remote:<addr>" is "tcp" and "http:<base>" is "http" — and add
+// local (mem, nativefs), policy (rofs), and fault-injection (errorfs)
+// stores, composable by nesting specs.
 func (e *Env) OpenSource() (remote.Source, error) {
+	if spec := e.Param(vfs.ParamBackend, ""); spec != "" {
+		name := e.Param(vfs.ParamObject, "")
+		if name == "" {
+			name = e.Manifest.Source.Path
+		}
+		if name == "" {
+			return nil, fmt.Errorf("core: backend %q binds no object (set object= or source.path)", spec)
+		}
+		b, err := backend.Open(spec)
+		if err != nil {
+			return nil, fmt.Errorf("core: backend %q: %w", spec, err)
+		}
+		obj, err := b.Open(name)
+		if err != nil {
+			b.Close()
+			return nil, fmt.Errorf("core: backend %q open %q: %w", spec, name, err)
+		}
+		return &backendSource{Object: obj, owner: b}, nil
+	}
 	src := e.Manifest.Source
 	switch src.Kind {
 	case "":
@@ -211,6 +243,24 @@ func closeSource(s remote.Source) {
 	if s != nil {
 		s.Close()
 	}
+}
+
+// backendSource adapts a backend object to the Source interface (their
+// method sets coincide) while tying the backend's lifetime to the session:
+// closing the source closes the object, then the backend it came from.
+type backendSource struct {
+	backend.Object
+	owner backend.Backend
+}
+
+var _ remote.Source = (*backendSource)(nil)
+
+func (s *backendSource) Close() error {
+	err := s.Object.Close()
+	if cerr := s.owner.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // ErrUnknownProgram reports a manifest naming an unregistered program.

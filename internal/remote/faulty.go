@@ -1,10 +1,10 @@
 package remote
 
 import (
-	"math/rand"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/faultinject"
 )
 
 // SlowSource wraps a Source, delaying every operation by a fixed latency.
@@ -115,50 +115,27 @@ func (s *FlakySource) Close() error { return s.inner.Close() }
 // ChaosSource wraps a Source, failing each operation independently with a
 // configured probability — a steady drizzle of faults rather than
 // FlakySource's hard outage. Its randomness is seeded, so a chaos run is
-// reproducible.
+// reproducible. The rolls come from faultinject.Injector, the same engine
+// behind the errorfs backend, so operation-level fault injection has one
+// implementation.
 type ChaosSource struct {
 	inner Source
-	fault error
-
-	mu   sync.Mutex
-	rate float64
-	rng  *rand.Rand
-
-	injected atomic.Uint64
+	inj   *faultinject.Injector
 }
 
 var _ Source = (*ChaosSource)(nil)
 
 // NewChaosSource wraps inner; each operation fails with probability rate
-// (clamped to [0,1]) returning fault. Same seed, same fault schedule.
+// (clamped to [0,1]) returning fault (faultinject.ErrInjected when nil).
+// Same seed, same fault schedule.
 func NewChaosSource(inner Source, rate float64, fault error, seed int64) *ChaosSource {
-	if rate < 0 {
-		rate = 0
-	}
-	if rate > 1 {
-		rate = 1
-	}
-	return &ChaosSource{
-		inner: inner,
-		fault: fault,
-		rate:  rate,
-		rng:   rand.New(rand.NewSource(seed)),
-	}
+	return &ChaosSource{inner: inner, inj: faultinject.NewInjector(rate, fault, seed, 0)}
 }
 
 // Injected reports how many operations have been failed so far.
-func (s *ChaosSource) Injected() uint64 { return s.injected.Load() }
+func (s *ChaosSource) Injected() uint64 { return s.inj.Injected() }
 
-func (s *ChaosSource) roll() error {
-	s.mu.Lock()
-	hit := s.rng.Float64() < s.rate
-	s.mu.Unlock()
-	if hit {
-		s.injected.Add(1)
-		return s.fault
-	}
-	return nil
-}
+func (s *ChaosSource) roll() error { return s.inj.Roll() }
 
 // ReadAt implements Source.
 func (s *ChaosSource) ReadAt(p []byte, off int64) (int, error) {

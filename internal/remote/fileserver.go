@@ -8,53 +8,99 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/wire"
 )
 
-// FileServer is a TCP block-file service holding named byte objects. Clients
-// speak the same framed protocol as the active-file control channel: an
-// OpOpen naming the object, then OpRead/OpWrite/OpSize/OpTruncate, and
-// OpClose. One connection accesses one object.
+// FileServer is a TCP block-file service serving the named objects of any
+// backend. Clients speak the same framed protocol as the active-file control
+// channel: an OpOpen naming the object, then OpRead/OpWrite/OpSize/
+// OpTruncate, and OpClose. One connection accesses one object.
+//
+// The default store is the in-memory backend; NewFileServerWith mounts any
+// other — a directory (nativefs), a read-only view, a fault-injecting
+// wrapper, even another FileServer (remotefs), so backends compose across
+// the network.
 //
 // The server supports fault and latency injection so sentinel code paths for
 // slow and failing sources can be exercised.
 type FileServer struct {
-	mu      sync.Mutex
-	objects map[string]*MemSource
-	ln      net.Listener
-	conns   map[net.Conn]struct{}
-	wg      sync.WaitGroup
-	closed  bool
+	store backend.Backend
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	closed bool
 
 	latency   time.Duration
 	failNext  error
 	stallNext time.Duration
 }
 
-// NewFileServer returns a server with an empty object store.
+// NewFileServer returns a server over an empty in-memory object store.
 func NewFileServer() *FileServer {
+	return NewFileServerWith(backend.NewMem())
+}
+
+// NewFileServerWith returns a server exporting store's objects.
+func NewFileServerWith(store backend.Backend) *FileServer {
 	return &FileServer{
-		objects: make(map[string]*MemSource),
-		conns:   make(map[net.Conn]struct{}),
+		store: store,
+		conns: make(map[net.Conn]struct{}),
 	}
 }
 
-// Put creates or replaces the named object.
+// Store returns the backend the server is exporting.
+func (s *FileServer) Store() backend.Backend { return s.store }
+
+// Put creates or replaces the named object's contents in place, so sessions
+// already bound to the name observe the new bytes. It is a best-effort
+// seeding helper: on a read-only store it is a no-op.
 func (s *FileServer) Put(name string, data []byte) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.objects[name] = NewMemSource(data)
+	if m, ok := s.store.(*backend.Mem); ok {
+		m.Put(name, data)
+		return
+	}
+	obj, err := s.store.Open(name)
+	if err != nil {
+		return
+	}
+	defer obj.Close()
+	if err := obj.Truncate(0); err != nil {
+		return
+	}
+	obj.WriteAt(data, 0)
 }
 
 // Get returns a copy of the named object's contents.
 func (s *FileServer) Get(name string) ([]byte, bool) {
-	s.mu.Lock()
-	obj, ok := s.objects[name]
-	s.mu.Unlock()
-	if !ok {
+	if m, ok := s.store.(*backend.Mem); ok {
+		return m.Get(name)
+	}
+	// Don't let a writable backend's open-creates semantics turn a probe
+	// into a creation.
+	if st, ok := s.store.(backend.Stater); ok {
+		if _, err := st.Stat(name); err != nil {
+			return nil, false
+		}
+	}
+	obj, err := s.store.Open(name)
+	if err != nil {
 		return nil, false
 	}
-	return obj.Bytes(), true
+	defer obj.Close()
+	size, err := obj.Size()
+	if err != nil {
+		return nil, false
+	}
+	data := make([]byte, size)
+	if size > 0 {
+		if _, err := obj.ReadAt(data, 0); err != nil && !errors.Is(err, io.EOF) {
+			return nil, false
+		}
+	}
+	return data, true
 }
 
 // SetLatency injects a fixed per-operation delay, simulating a distant or
@@ -180,22 +226,18 @@ func (s *FileServer) serveConn(conn net.Conn) {
 		w.WriteResponse(resp) // a dead connection surfaces on the next read
 	}
 
-	// The connection binds a NAME; the object is resolved per operation so
-	// that replacements (Put) and other sessions' writes stay visible.
-	// objName/opened are written only by the intake loop, behind an
+	// The connection binds one backend object at OpOpen. Backends hand out
+	// handles onto shared state (mem) or shared files (nativefs), so
+	// replacements (Put) and other sessions' writes stay visible through a
+	// held handle. obj/opened are written only by the intake loop, behind an
 	// inflight.Wait() barrier, so workers read them race-free.
-	var objName string
+	var obj backend.Object
 	opened := false
-	lookup := func() *MemSource {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		o, ok := s.objects[objName]
-		if !ok {
-			o = NewMemSource(nil)
-			s.objects[objName] = o
+	defer func() {
+		if obj != nil {
+			obj.Close()
 		}
-		return o
-	}
+	}()
 
 	handle := func(req *wire.Request) {
 		resp := wire.Response{Seq: req.Seq, Status: wire.StatusOK}
@@ -223,7 +265,7 @@ func (s *FileServer) serveConn(conn net.Conn) {
 			// concurrent reads cost no per-op allocation.
 			buf, rel := wire.GetBuf(n)
 			release = rel
-			rn, rerr := lookup().ReadAt(buf, req.Off)
+			rn, rerr := obj.ReadAt(buf, req.Off)
 			resp.N = int64(rn)
 			resp.Data = buf[:rn]
 			if rerr != nil && !(errors.Is(rerr, io.EOF) && rn > 0) {
@@ -235,7 +277,7 @@ func (s *FileServer) serveConn(conn net.Conn) {
 				resp.Status, resp.Msg = wire.StatusError, "no object opened"
 				break
 			}
-			wn, werr := lookup().WriteAt(req.Data, req.Off)
+			wn, werr := obj.WriteAt(req.Data, req.Off)
 			resp.N = int64(wn)
 			if werr != nil {
 				resp.Status, resp.Msg = wire.FromError(werr)
@@ -246,7 +288,7 @@ func (s *FileServer) serveConn(conn net.Conn) {
 				resp.Status, resp.Msg = wire.StatusError, "no object opened"
 				break
 			}
-			size, serr := lookup().Size()
+			size, serr := obj.Size()
 			resp.N = size
 			if serr != nil {
 				resp.Status, resp.Msg = wire.FromError(serr)
@@ -257,7 +299,7 @@ func (s *FileServer) serveConn(conn net.Conn) {
 				resp.Status, resp.Msg = wire.StatusError, "no object opened"
 				break
 			}
-			if terr := lookup().Truncate(req.Off); terr != nil {
+			if terr := obj.Truncate(req.Off); terr != nil {
 				resp.Status, resp.Msg = wire.FromError(terr)
 			}
 
@@ -295,11 +337,21 @@ func (s *FileServer) serveConn(conn net.Conn) {
 				respond(&resp)
 				continue
 			}
-			// Opening a missing object creates it, matching a writable
-			// store; an explicit stat can distinguish.
-			objName = string(name)
-			opened = true
-			lookup()
+			// Rebinding a connection closes the previous object first.
+			if obj != nil {
+				obj.Close()
+				obj, opened = nil, false
+			}
+			o, oerr := s.store.Open(string(name))
+			if oerr != nil {
+				resp.Status, resp.Msg = wire.FromError(oerr)
+				if resp.Status == wire.StatusOK {
+					resp.Status = wire.StatusError
+				}
+				respond(&resp)
+				continue
+			}
+			obj, opened = o, true
 			respond(&resp)
 
 		case wire.OpClose:
@@ -307,6 +359,10 @@ func (s *FileServer) serveConn(conn net.Conn) {
 				return
 			}
 			inflight.Wait() // every outstanding reply precedes the goodbye
+			if obj != nil {
+				obj.Close()
+				obj, opened = nil, false
+			}
 			respond(&wire.Response{Seq: req.Seq, Status: wire.StatusOK})
 			return
 

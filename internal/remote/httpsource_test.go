@@ -8,6 +8,8 @@ import (
 	"net/http/httptest"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/backend/conformance"
 )
 
 func startObjectServer(t *testing.T) (*ObjectServer, *httptest.Server) {
@@ -237,4 +239,15 @@ func TestObjectServerMethodNotAllowed(t *testing.T) {
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("status = %d", resp.StatusCode)
 	}
+}
+
+// TestHTTPSourceConformanceRO runs the shared read-only conformance profile
+// over HTTPSource: ranged-GET offset math, EOF mapping from 416 responses,
+// zero-length probes, and concurrent readers all match os.File semantics.
+func TestHTTPSourceConformanceRO(t *testing.T) {
+	conformance.RunRO(t, func(t *testing.T, content []byte) conformance.Object {
+		obj, srv := startObjectServer(t)
+		obj.Put("/obj", content)
+		return NewHTTPSource(srv.URL+"/obj", srv.Client())
+	})
 }

@@ -58,6 +58,11 @@ func (m *MemSource) ReadAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, errors.New("remote: negative offset")
 	}
+	// Zero-length reads succeed at any offset, matching os.File: a probe at
+	// EOF is not an EOF.
+	if len(p) == 0 {
+		return 0, nil
+	}
 	if off >= int64(len(m.data)) {
 		return 0, io.EOF
 	}

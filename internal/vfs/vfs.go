@@ -20,6 +20,8 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+
+	"repro/internal/backend"
 )
 
 // Extension marks a path as an active file.
@@ -33,6 +35,20 @@ var (
 	ErrNotActive   = errors.New("vfs: not an active file path")
 	ErrBadManifest = errors.New("vfs: malformed manifest")
 	ErrExists      = errors.New("vfs: active file already exists")
+)
+
+// Well-known manifest parameter names understood by the core layer (all
+// other params are program-specific).
+const (
+	// ParamBackend holds a backend spec ("mem", "nativefs:/dir",
+	// "errorfs(rate=0.1):mem", "remote:host:port", ...) selecting the storage
+	// backend the sentinel binds instead of a Source transport. The spec
+	// grammar is checked when the manifest loads; the kind is resolved at
+	// open time against the opener's backend registry.
+	ParamBackend = "backend"
+	// ParamObject names the object within the ParamBackend backend; when
+	// unset, Source.Path is used.
+	ParamObject = "object"
 )
 
 // manifestVersion is the current on-disk manifest format version.
@@ -101,6 +117,13 @@ func (m *Manifest) validate() error {
 	case "", "none", "disk", "memory":
 	default:
 		return fmt.Errorf("%w: unknown cache mode %q", ErrBadManifest, m.Cache)
+	}
+	if spec, ok := m.Params[ParamBackend]; ok {
+		// Grammar only: whether the kind exists is the opener's concern —
+		// kinds register by linkage, which this decoder cannot see.
+		if _, _, _, err := backend.ParseSpec(spec); err != nil {
+			return fmt.Errorf("%w: backend param: %v", ErrBadManifest, err)
+		}
 	}
 	return nil
 }
