@@ -9,8 +9,8 @@
 # regenerates the committed Figure 6 JSON report.
 
 GO ?= go
-BENCH_JSON ?= BENCH_5.json
-BENCH_BASE ?= BENCH_4.json
+BENCH_JSON ?= BENCH_6.json
+BENCH_BASE ?= BENCH_5.json
 
 .PHONY: all tier1 race conformance bench-smoke bench-json bench-compare
 
@@ -36,7 +36,8 @@ conformance:
 
 # Smoke-run the benchmark panels: the parallel sweep plus the wire
 # allocation benchmarks (which assert the zero-copy framing stays
-# allocation-free) and the small-block sequential panel.
+# allocation-free), the small-block sequential panel, and a short
+# pipe-vs-shm transport sweep so the syscall-economy cells cannot bit-rot.
 bench-smoke:
 	$(GO) vet ./...
 	$(GO) test -run NONE -bench BenchmarkParallel -benchtime 1x ./internal/bench
@@ -44,6 +45,7 @@ bench-smoke:
 	$(GO) test -run NONE -bench BenchmarkSmallBlockSequential -benchtime 10x ./internal/bench
 	$(GO) test -run NONE -bench BenchmarkOpenClose -benchtime 3x ./internal/bench
 	$(GO) test -run NONE -bench BenchmarkShardedCacheParallelHits -benchtime 100x ./internal/cache
+	$(GO) run ./cmd/afbench -transport sweep -panel c -op read -blocks 64 -ops 200
 
 # Regenerate the machine-readable benchmark report committed alongside
 # EXPERIMENTS.md: the Figure 6 panels plus the concurrency sweeps (with

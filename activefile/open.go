@@ -142,6 +142,14 @@ type Stats struct {
 	BytesWritten uint64
 	Errors       uint64
 	InFlight     int64
+
+	// Carrier names the control-channel conduit actually serving the
+	// session ("pipe" or "shm"); empty when the strategy has no session
+	// transport (thread, direct). CarrierFallback carries the reason a
+	// transport=shm request was demoted to pipes, empty when the request
+	// was honored or pipes were chosen.
+	Carrier         string
+	CarrierFallback string
 }
 
 // Stats returns a snapshot of the session's activity counters. It is safe to
@@ -149,13 +157,44 @@ type Stats struct {
 func (h *Handle) Stats() Stats {
 	s := h.inner.Stats()
 	return Stats{
-		Reads:        s.Reads,
-		Writes:       s.Writes,
-		BytesRead:    s.BytesRead,
-		BytesWritten: s.BytesWritten,
-		Errors:       s.Errors,
-		InFlight:     s.InFlight,
+		Reads:           s.Reads,
+		Writes:          s.Writes,
+		BytesRead:       s.BytesRead,
+		BytesWritten:    s.BytesWritten,
+		Errors:          s.Errors,
+		InFlight:        s.InFlight,
+		Carrier:         s.Carrier,
+		CarrierFallback: s.CarrierFallback,
 	}
+}
+
+// DataPlaneStats is the session's syscall-economy ledger: ring doorbells
+// rung versus suppressed by wakeup coalescing, and response frames decoded
+// versus receive wakeups paid for them.
+type DataPlaneStats struct {
+	Carrier         string
+	CarrierFallback string
+	Doorbells       uint64
+	Suppressed      uint64
+	RecvFrames      uint64
+	RecvWakeups     uint64
+}
+
+// DataPlaneStats reports the syscall-economy counters for strategies with a
+// session transport. ok is false when the strategy has none (thread, direct).
+func (h *Handle) DataPlaneStats() (DataPlaneStats, bool) {
+	ds, ok := h.inner.DataPlaneStats()
+	if !ok {
+		return DataPlaneStats{}, false
+	}
+	return DataPlaneStats{
+		Carrier:         ds.Carrier,
+		CarrierFallback: ds.CarrierFallback,
+		Doorbells:       ds.Doorbells,
+		Suppressed:      ds.Suppressed,
+		RecvFrames:      ds.RecvFrames,
+		RecvWakeups:     ds.RecvWakeups,
+	}, true
 }
 
 // FS opens files with active-file interposition under fixed options; use it

@@ -257,7 +257,26 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		return bench.WriteTransportTable(os.Stdout, topts.Path, *ops, results)
+		if err := bench.WriteTransportTable(os.Stdout, topts.Path, *ops, results); err != nil {
+			return err
+		}
+		econ, err := runner.RunTransportEconomy(topts)
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteTransportEconomyTable(os.Stdout, topts.Path, *ops, econ); err != nil {
+			return err
+		}
+		if *jsonPath != "" {
+			rep := bench.BuildReport(nil, *ops, params)
+			rep.AddTransports(topts.Path, results)
+			rep.AddTransportEconomy(topts.Path, econ)
+			if err := rep.WriteJSONFile(*jsonPath); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonPath)
+		}
+		return nil
 	}
 
 	if *churn > 0 {
@@ -383,6 +402,18 @@ func runFull(runner *bench.Runner, opts bench.FigureOptions, ops, churnOpens, po
 		return err
 	}
 	rep.AddTransports(bench.PathMemory, tResults)
+
+	// Syscall-economy cells: the carriers' wakeup counters under pipelined
+	// load — doorbells per frame on the rings, frames per read wakeup on the
+	// pipes.
+	econ, err := runner.RunTransportEconomy(bench.TransportOptions{Ops: ops, Params: params})
+	if err != nil {
+		return err
+	}
+	if err := bench.WriteTransportEconomyTable(os.Stdout, bench.PathMemory, ops, econ); err != nil {
+		return err
+	}
+	rep.AddTransportEconomy(bench.PathMemory, econ)
 
 	// Backend sweep: the same thread-strategy sentinel over every backend
 	// kind, isolating what the storage seam itself costs.

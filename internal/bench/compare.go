@@ -8,12 +8,12 @@ import (
 	"strings"
 )
 
-// Report comparison: load two afbench JSON reports (v1–v4) and render the
+// Report comparison: load two afbench JSON reports (v1–v5) and render the
 // per-cell deltas as a table, so a PR's perf claim is a `make bench-compare`
 // away instead of a manual diff of two JSON files.
 
-// LoadReport reads an afbench JSON report from path. The current v4 schema
-// and the older v1–v3 layouts are all accepted; sections an older report
+// LoadReport reads an afbench JSON report from path. The current v5 schema
+// and the older v1–v4 layouts are all accepted; sections an older report
 // lacks stay empty.
 func LoadReport(path string) (*Report, error) {
 	data, err := os.ReadFile(path)
@@ -25,7 +25,7 @@ func LoadReport(path string) (*Report, error) {
 		return nil, fmt.Errorf("parse report %s: %w", path, err)
 	}
 	switch rep.Schema {
-	case "afbench/v1", "afbench/v2", "afbench/v3", "afbench/v4":
+	case "afbench/v1", "afbench/v2", "afbench/v3", "afbench/v4", "afbench/v5":
 		return &rep, nil
 	default:
 		return nil, fmt.Errorf("report %s: unknown schema %q", path, rep.Schema)
@@ -158,6 +158,30 @@ func WriteCompareTable(w io.Writer, oldRep, newRep *Report) error {
 					key, col.old, col.new, deltaPct(col.old, col.new)); err != nil {
 					return err
 				}
+			}
+		}
+	}
+
+	// Syscall-economy cells, when both reports carry them (pre-v5 have none).
+	if len(oldRep.TransportEconomy) > 0 && len(newRep.TransportEconomy) > 0 {
+		oldEc := map[string]TransportEconomyRow{}
+		for _, row := range oldRep.TransportEconomy {
+			oldEc[fmt.Sprintf("%s/%s/x%d", row.Path, row.Carrier, row.Clients)] = row
+		}
+		if _, err := fmt.Fprintf(w, "\nsyscall economy (µs/op, %d pipelined clients)\n%-34s%10s%10s%9s\n",
+			TransportEconomyClients, "cell", "old", "new", "delta"); err != nil {
+			return err
+		}
+		for _, row := range newRep.TransportEconomy {
+			key := fmt.Sprintf("%s/%s/x%d", row.Path, row.Carrier, row.Clients)
+			old, ok := oldEc[key]
+			if !ok {
+				unmatched++
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%-34s%10.1f%10.1f%+8.1f%%\n",
+				key, old.MicrosPerOp, row.MicrosPerOp, deltaPct(old.MicrosPerOp, row.MicrosPerOp)); err != nil {
+				return err
 			}
 		}
 	}

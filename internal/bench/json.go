@@ -12,9 +12,10 @@ import (
 // JSON report schema identifier; bump when the layout changes. v2 added the
 // optional parallel (with frames-per-flush batching amortization) and churn
 // (open latency) sections; v3 added the transport (pipe-vs-shm carrier)
-// sweep; v4 added the per-backend sweep. Older reports remain loadable for
-// comparison.
-const ReportSchema = "afbench/v4"
+// sweep; v4 added the per-backend sweep; v5 added the syscall-economy cells
+// (doorbell and drain-mode wakeup counters) and the frames-per-wakeup column
+// in parallel cells. Older reports remain loadable for comparison.
+const ReportSchema = "afbench/v5"
 
 // Report is the machine-readable form of a benchmark run, written by
 // afbench -json so successive PRs can diff per-cell numbers instead of
@@ -31,6 +32,9 @@ type Report struct {
 	// Transport holds the control-channel carrier sweep (afbench -full /
 	// -transport sweep): pipe vs shm rings, per block size.
 	Transport []TransportReportRow `json:"transport,omitempty"`
+	// TransportEconomy holds the syscall-economy cells of the carrier sweep:
+	// wakeup counters under 16 pipelined clients, per carrier.
+	TransportEconomy []TransportEconomyRow `json:"transportEconomy,omitempty"`
 	// Backends holds the per-backend sweep (afbench -full / -backend):
 	// the same sentinel over each backend kind, per block size.
 	Backends []BackendReportRow `json:"backends,omitempty"`
@@ -56,6 +60,24 @@ type TransportReportRow struct {
 	ShmSpeedup float64 `json:"shmSpeedup,omitempty"`
 }
 
+// TransportEconomyRow is one carrier's syscall-economy cell: the wakeup
+// counters accumulated while 16 pipelined clients hammered the session.
+// DoorbellsPerFrame and FramesPerWakeup are the derived headline numbers;
+// each is present only where it is meaningful (shm and pipe respectively).
+type TransportEconomyRow struct {
+	Path              string  `json:"path"`
+	Carrier           string  `json:"carrier"`
+	Clients           int     `json:"clients"`
+	Block             int     `json:"block"`
+	MicrosPerOp       float64 `json:"microsPerOp"`
+	Doorbells         uint64  `json:"doorbells"`
+	Suppressed        uint64  `json:"suppressed"`
+	RecvFrames        uint64  `json:"recvFrames"`
+	RecvWakeups       uint64  `json:"recvWakeups"`
+	DoorbellsPerFrame float64 `json:"doorbellsPerFrame,omitempty"`
+	FramesPerWakeup   float64 `json:"framesPerWakeup,omitempty"`
+}
+
 // ParallelReportPanel is one concurrency sweep in the report.
 type ParallelReportPanel struct {
 	Path  string               `json:"path"`
@@ -72,6 +94,10 @@ type ParallelReportCell struct {
 	Degree         int     `json:"degree"`
 	MicrosPerOp    float64 `json:"microsPerOp"`
 	FramesPerFlush float64 `json:"framesPerFlush,omitempty"`
+	// FramesPerWakeup is the receive-side drain amortization — response
+	// frames per read syscall — present where the transport's receive path
+	// makes reads (procctl over pipes).
+	FramesPerWakeup float64 `json:"framesPerWakeup,omitempty"`
 }
 
 // ChurnReportRow is one open/close churn cell.
@@ -140,6 +166,9 @@ func (rep *Report) AddParallel(panels []*ParallelPanel) {
 				if fpf, ok := p.FramesPerFlush[s][d]; ok {
 					cell.FramesPerFlush = fpf
 				}
+				if fpw, ok := p.FramesPerWakeup[s][d]; ok {
+					cell.FramesPerWakeup = fpw
+				}
 				rp.Cells = append(rp.Cells, cell)
 			}
 		}
@@ -160,6 +189,33 @@ func (rep *Report) AddTransports(path CachePath, results []TransportResult) {
 			ShmMicros:  row.ShmMicros,
 			ShmSpeedup: row.Speedup(),
 		})
+	}
+}
+
+// AddTransportEconomy appends the syscall-economy cells to the report.
+func (rep *Report) AddTransportEconomy(path CachePath, cells []TransportEconomy) {
+	if path == 0 {
+		path = PathMemory
+	}
+	for _, c := range cells {
+		row := TransportEconomyRow{
+			Path:        path.String(),
+			Carrier:     c.Carrier,
+			Clients:     c.Clients,
+			Block:       c.Block,
+			MicrosPerOp: c.MicrosPerOp,
+			Doorbells:   c.Doorbells,
+			Suppressed:  c.Suppressed,
+			RecvFrames:  c.RecvFrames,
+			RecvWakeups: c.RecvWakeups,
+		}
+		if dpf, ok := c.DoorbellsPerFrame(); ok {
+			row.DoorbellsPerFrame = dpf
+		}
+		if fpw, ok := c.FramesPerWakeup(); ok {
+			row.FramesPerWakeup = fpw
+		}
+		rep.TransportEconomy = append(rep.TransportEconomy, row)
 	}
 }
 

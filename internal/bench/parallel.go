@@ -28,6 +28,16 @@ type ParallelResult struct {
 	// batched command channel.
 	BatchFrames  uint64
 	BatchFlushes uint64
+	// RecvFrames/RecvWakeups snapshot the receive path's drain amortization:
+	// response frames decoded versus read syscalls that delivered them.
+	// RecvWakeups is zero on the shm carrier, whose hot path makes no read
+	// syscalls at all.
+	RecvFrames  uint64
+	RecvWakeups uint64
+	// Doorbells/Suppressed snapshot the shm rings' wakeup economy (both
+	// directions, both processes); zero off the shm carrier.
+	Doorbells  uint64
+	Suppressed uint64
 }
 
 // FramesPerFlush reports how many command frames each flush syscall carried
@@ -38,6 +48,18 @@ func (r ParallelResult) FramesPerFlush() (float64, bool) {
 		return 0, false
 	}
 	return float64(r.BatchFrames) / float64(r.BatchFlushes), true
+}
+
+// FramesPerWakeup reports how many response frames each receive-side read
+// syscall delivered on average — the drain-mode mirror of FramesPerFlush.
+// ok is false when the cell's transport issued no receive reads (either it
+// has no framed channel, or it runs on shm rings where the receive path is
+// syscall-free).
+func (r ParallelResult) FramesPerWakeup() (float64, bool) {
+	if r.RecvWakeups == 0 {
+		return 0, false
+	}
+	return float64(r.RecvFrames) / float64(r.RecvWakeups), true
 }
 
 // MicrosPerOp returns the aggregate wall-clock cost per operation in
@@ -120,6 +142,10 @@ func (r *Runner) MeasureParallel(cfg Config, parallel int) (ParallelResult, erro
 	if bs, ok := h.BatchStats(); ok {
 		res.BatchFrames, res.BatchFlushes = bs.Frames, bs.Flushes
 	}
+	if ds, ok := h.DataPlaneStats(); ok {
+		res.RecvFrames, res.RecvWakeups = ds.RecvFrames, ds.RecvWakeups
+		res.Doorbells, res.Suppressed = ds.Doorbells, ds.Suppressed
+	}
 	return res, nil
 }
 
@@ -160,6 +186,11 @@ type ParallelPanel struct {
 	// FramesPerFlush[strategy][degree] is the command-channel batching
 	// amortization, present only for strategies that batch (procctl).
 	FramesPerFlush map[string]map[int]float64
+	// FramesPerWakeup[strategy][degree] is the receive-side drain
+	// amortization — response frames per read syscall — present only for
+	// strategies with a framed channel that makes receive reads (procctl
+	// over pipes).
+	FramesPerWakeup map[string]map[int]float64
 }
 
 // Speedup returns strategy's throughput gain at degree relative to its
@@ -194,8 +225,9 @@ func (p *ParallelPanel) WriteTable(w io.Writer) error {
 			return err
 		}
 	}
-	if _, err := fmt.Fprintf(w, "%12s%14s\n",
-		fmt.Sprintf("speedup@%d", maxDeg), fmt.Sprintf("frames/wr@%d", maxDeg)); err != nil {
+	if _, err := fmt.Fprintf(w, "%12s%14s%14s\n",
+		fmt.Sprintf("speedup@%d", maxDeg), fmt.Sprintf("frames/wr@%d", maxDeg),
+		fmt.Sprintf("frames/wk@%d", maxDeg)); err != nil {
 		return err
 	}
 	for _, strategy := range []string{"procctl", "thread", "direct"} {
@@ -222,6 +254,11 @@ func (p *ParallelPanel) WriteTable(w io.Writer) error {
 		}
 		if fpf, ok := p.FramesPerFlush[strategy][maxDeg]; ok {
 			if _, err := fmt.Fprintf(w, "%14.1f", fpf); err != nil {
+				return err
+			}
+		}
+		if fpw, ok := p.FramesPerWakeup[strategy][maxDeg]; ok {
+			if _, err := fmt.Fprintf(w, "%14.1f", fpw); err != nil {
 				return err
 			}
 		}
@@ -262,16 +299,18 @@ func (r *Runner) RunParallel(opts ParallelOptions) ([]*ParallelPanel, error) {
 	var panels []*ParallelPanel
 	for _, op := range operations {
 		panel := &ParallelPanel{
-			Path:           path,
-			Op:             op,
-			Block:          block,
-			Degrees:        degrees,
-			Micros:         make(map[string]map[int]float64),
-			FramesPerFlush: make(map[string]map[int]float64),
+			Path:            path,
+			Op:              op,
+			Block:           block,
+			Degrees:         degrees,
+			Micros:          make(map[string]map[int]float64),
+			FramesPerFlush:  make(map[string]map[int]float64),
+			FramesPerWakeup: make(map[string]map[int]float64),
 		}
 		for _, strategy := range strategies {
 			series := make(map[int]float64)
 			amort := make(map[int]float64)
+			drain := make(map[int]float64)
 			for _, degree := range degrees {
 				res, err := r.MeasureParallel(Config{
 					Strategy:  strategy,
@@ -288,10 +327,16 @@ func (r *Runner) RunParallel(opts ParallelOptions) ([]*ParallelPanel, error) {
 				if fpf, ok := res.FramesPerFlush(); ok {
 					amort[degree] = fpf
 				}
+				if fpw, ok := res.FramesPerWakeup(); ok {
+					drain[degree] = fpw
+				}
 			}
 			panel.Micros[strategy.String()] = series
 			if len(amort) > 0 {
 				panel.FramesPerFlush[strategy.String()] = amort
+			}
+			if len(drain) > 0 {
+				panel.FramesPerWakeup[strategy.String()] = drain
 			}
 		}
 		panels = append(panels, panel)

@@ -100,6 +100,12 @@ func runChild() error {
 			resps = seg.Reply()
 			watchParentViaCtrl(ctrl, seg)
 		}
+		// Drain-mode intake: one read syscall per wakeup pulls every command
+		// frame the channel has ready (rings pass through — they drain
+		// without syscalls). Wrapped exactly once, HERE, so the pool
+		// handshake below and serveControl decode from the same buffer; a
+		// second wrapper would strand buffered frames in the first.
+		cmds, _ = wire.WrapDrain(cmds)
 		var handler Handler
 		if os.Getenv(envPooled) != "" {
 			// Warm-pool child: the program opens only when a parent adopts

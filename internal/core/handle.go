@@ -76,6 +76,14 @@ type Stats struct {
 	// session — a gauge, not a counter; nonzero only while snapshotting
 	// concurrently with active operations.
 	InFlight int64
+	// Carrier names the conduit the session's control channel actually runs
+	// on ("pipe" or "shm") for strategies that have one; empty otherwise.
+	Carrier string
+	// CarrierFallback is non-empty exactly when the manifest requested the
+	// shm carrier but the session was demoted to pipes; it records the
+	// one-shot rejection reason (unsupported platform, segment allocation
+	// failure), so the fallback is observable instead of silent.
+	CarrierFallback string
 }
 
 // handleStats holds the live counters as atomics so Stats() snapshots never
@@ -114,10 +122,35 @@ func (h *Handle) BatchStats() (wire.BatchStats, bool) {
 	return bs.batchStats(), true
 }
 
+// DataPlaneStats counts the syscall economy of a session's control channel:
+// how many eventfd doorbells the rings actually rang versus suppressed
+// (coalesced or peer-running), and how many response frames each receive
+// wakeup delivered. Ring counters live in the shared segment, so they cover
+// both processes and both directions.
+type DataPlaneStats struct {
+	Carrier         string // "shm" or "pipe"
+	CarrierFallback string // shm→pipe demotion reason, when any
+	Doorbells       uint64 // eventfd doorbells rung, all rings, both sides
+	Suppressed      uint64 // wakeups avoided (peer running, or coalesced into a flush)
+	RecvFrames      uint64 // response frames the client receive loop decoded
+	RecvWakeups     uint64 // read syscalls that delivered them (0 on shm: no hot-path reads)
+}
+
+// DataPlaneStats reports the session's transport-level wakeup counters for
+// strategies with a framed control channel (procctl). ok is false for the
+// rest.
+func (h *Handle) DataPlaneStats() (DataPlaneStats, bool) {
+	ds, ok := h.tr.(interface{ dataPlaneStats() DataPlaneStats })
+	if !ok {
+		return DataPlaneStats{}, false
+	}
+	return ds.dataPlaneStats(), true
+}
+
 // Stats returns a snapshot of the session's activity counters. It never
 // blocks behind in-flight operations.
 func (h *Handle) Stats() Stats {
-	return Stats{
+	s := Stats{
 		Reads:        h.stats.reads.Load(),
 		Writes:       h.stats.writes.Load(),
 		BytesRead:    h.stats.bytesRead.Load(),
@@ -125,6 +158,10 @@ func (h *Handle) Stats() Stats {
 		Errors:       h.stats.errors.Load(),
 		InFlight:     h.stats.inFlight.Load(),
 	}
+	if ci, ok := h.tr.(interface{ carrierInfo() (string, string) }); ok {
+		s.Carrier, s.CarrierFallback = ci.carrierInfo()
+	}
+	return s
 }
 
 // begin admits one operation: it takes the close gate and bumps the

@@ -48,10 +48,11 @@ func poolParam(m vfs.Manifest) (int, error) {
 // conduit set to the transport, so the rebind rides the same rings the
 // session will.
 type pooledSentinel struct {
-	cmd *exec.Cmd
-	cf  *ipc.ChannelFiles
-	seg *shm.Segment // nil on the pipe carrier
-	mon *childMonitor
+	cmd      *exec.Cmd
+	cf       *ipc.ChannelFiles
+	seg      *shm.Segment // nil on the pipe carrier
+	fallback string       // shm→pipe demotion reason recorded at spawn
+	mon      *childMonitor
 }
 
 // closeConduits releases the parent-side pipes and, for a ring-carrier
@@ -222,11 +223,11 @@ func (p *sentinelPool) drain() {
 // announces readiness, and parks on the control channel awaiting its OpOpen
 // rebind.
 func spawnPooled(path string, m vfs.Manifest) (*pooledSentinel, error) {
-	cmd, cf, seg, err := spawnSentinel(path, m, StrategyProcCtl, envPooled+"=1")
+	cmd, cf, seg, fallback, err := spawnSentinel(path, m, StrategyProcCtl, envPooled+"=1")
 	if err != nil {
 		return nil, err
 	}
-	ps := &pooledSentinel{cmd: cmd, cf: cf, seg: seg}
+	ps := &pooledSentinel{cmd: cmd, cf: cf, seg: seg, fallback: fallback}
 	ps.mon = watchChild(cmd, nil)
 	if err := ps.awaitReady(); err != nil {
 		ps.cmd.Process.Kill()
@@ -248,9 +249,16 @@ func acquireWarmTransport(manifestPath string, m vfs.Manifest, opTimeout time.Du
 		cmd:       ps.cmd,
 		cf:        ps.cf,
 		seg:       ps.seg,
+		fallback:  ps.fallback,
 		conn:      sessionConn(ps.cf, ps.seg),
 		mon:       ps.mon,
 		opTimeout: opTimeout,
+	}
+	if t.seg != nil {
+		// New adoption generation: the segment's control-region epoch lets
+		// either side (and post-mortem tests) tell a rebound session from the
+		// pooled spawn it reuses.
+		t.seg.AdvanceEpoch()
 	}
 	t.mux = ipc.NewMuxConn(t.conn)
 	// Hand supervision from the pool to this transport. If the child died in

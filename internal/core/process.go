@@ -46,29 +46,31 @@ var ErrSentinelDied = errors.New("core: sentinel process died")
 // whose files the child inherits after the pipes. The returned segment is
 // nil whenever the session runs on pipes (by default, by platform fallback,
 // or because segment allocation failed); the child learns the outcome via
-// the envShm marker, never by guessing from the manifest. When the manifest
-// names an external executable it is run directly; otherwise the current
-// binary is re-executed in child mode (the offline substitute for a
-// separate sentinel image). extraEnv entries ("KEY=VALUE") are appended to
-// the child environment.
-func spawnSentinel(manifestPath string, m vfs.Manifest, strategy Strategy, extraEnv ...string) (*exec.Cmd, *ipc.ChannelFiles, *shm.Segment, error) {
-	seg, err := newSessionSegment(m, strategy)
+// the envShm marker, never by guessing from the manifest. The returned
+// fallback string is non-empty exactly when shm was requested but the
+// session was demoted to pipes, and says why. When the manifest names an
+// external executable it is run directly; otherwise the current binary is
+// re-executed in child mode (the offline substitute for a separate sentinel
+// image). extraEnv entries ("KEY=VALUE") are appended to the child
+// environment.
+func spawnSentinel(manifestPath string, m vfs.Manifest, strategy Strategy, extraEnv ...string) (*exec.Cmd, *ipc.ChannelFiles, *shm.Segment, string, error) {
+	seg, fallback, err := newSessionSegment(m, strategy)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, "", err
 	}
 	cf, err := ipc.NewChannelFiles(strategy == StrategyProcCtl)
 	if err != nil {
 		if seg != nil {
 			seg.Close()
 		}
-		return nil, nil, nil, err
+		return nil, nil, nil, "", err
 	}
-	fail := func(err error) (*exec.Cmd, *ipc.ChannelFiles, *shm.Segment, error) {
+	fail := func(err error) (*exec.Cmd, *ipc.ChannelFiles, *shm.Segment, string, error) {
 		cf.Close()
 		if seg != nil {
 			seg.Close()
 		}
-		return nil, nil, nil, err
+		return nil, nil, nil, "", err
 	}
 
 	var cmd *exec.Cmd
@@ -99,7 +101,7 @@ func spawnSentinel(manifestPath string, m vfs.Manifest, strategy Strategy, extra
 		return fail(fmt.Errorf("start sentinel process: %w", err))
 	}
 	cf.CloseChildEnds()
-	return cmd, cf, seg, nil
+	return cmd, cf, seg, fallback, nil
 }
 
 // childMonitor owns the one allowed cmd.Wait call for a sentinel subprocess
@@ -210,7 +212,7 @@ type processTransport struct {
 var _ transport = (*processTransport)(nil)
 
 func newProcessTransport(manifestPath string, m vfs.Manifest) (*processTransport, error) {
-	cmd, cf, _, err := spawnSentinel(manifestPath, m, StrategyProcess)
+	cmd, cf, _, _, err := spawnSentinel(manifestPath, m, StrategyProcess)
 	if err != nil {
 		return nil, err
 	}
@@ -284,6 +286,7 @@ type procCtlTransport struct {
 	cmd       *exec.Cmd
 	cf        *ipc.ChannelFiles
 	seg       *shm.Segment  // shared-memory segment; nil on the pipe carrier
+	fallback  string        // why a requested shm carrier was demoted to pipes ("" otherwise)
 	conn      ipc.FrameConn // the session conduit the mux runs over
 	mux       *ipc.Mux
 	pf        *prefetcher // client-side read-ahead; nil when opted out
@@ -320,7 +323,7 @@ func newProcCtlTransport(manifestPath string, m vfs.Manifest) (*procCtlTransport
 			return t, nil
 		}
 	}
-	cmd, cf, seg, err := spawnSentinel(manifestPath, m, StrategyProcCtl)
+	cmd, cf, seg, fallback, err := spawnSentinel(manifestPath, m, StrategyProcCtl)
 	if err != nil {
 		return nil, err
 	}
@@ -328,6 +331,7 @@ func newProcCtlTransport(manifestPath string, m vfs.Manifest) (*procCtlTransport
 		cmd:       cmd,
 		cf:        cf,
 		seg:       seg,
+		fallback:  fallback,
 		conn:      sessionConn(cf, seg),
 		opTimeout: opTimeout,
 		poolPath:  manifestPath,
@@ -361,11 +365,41 @@ func newProcCtlTransport(manifestPath string, m vfs.Manifest) (*procCtlTransport
 	return t, nil
 }
 
-// roundTrip performs one control exchange, bounded by the configured
-// per-operation deadline when one is set.
 // batchStats exposes the mux's command-channel flush amortization to
 // Handle.BatchStats.
 func (t *procCtlTransport) batchStats() wire.BatchStats { return t.mux.BatchStats() }
+
+// carrierInfo reports which conduit the session actually runs on and, when a
+// requested shm carrier was demoted, the one-shot rejection reason recorded
+// at spawn — surfaced through Handle.Stats so silent fallback is observable.
+func (t *procCtlTransport) carrierInfo() (carrier, fallback string) {
+	if t.seg != nil {
+		return "shm", ""
+	}
+	return "pipe", t.fallback
+}
+
+// dataPlaneStats exposes the session's syscall-economy counters to
+// Handle.DataPlaneStats: doorbells rung vs suppressed on the rings (both
+// directions, both processes — the counters live in the shared segment) and
+// response frames decoded per receive wakeup on the mux.
+func (t *procCtlTransport) dataPlaneStats() DataPlaneStats {
+	s := DataPlaneStats{CarrierFallback: t.fallback, Carrier: "pipe"}
+	if t.seg != nil {
+		s.Carrier = "shm"
+		for _, r := range t.seg.Rings() {
+			rs := r.Stats()
+			s.Doorbells += rs.Doorbells
+			s.Suppressed += rs.Suppressed
+		}
+	}
+	rs := t.mux.RecvStatsSnapshot()
+	s.RecvFrames, s.RecvWakeups = rs.Frames, rs.Wakeups
+	return s
+}
+
+// roundTrip performs one control exchange, bounded by the configured
+// per-operation deadline when one is set.
 
 func (t *procCtlTransport) roundTrip(req *wire.Request, dst []byte) (wire.Response, error) {
 	if t.opTimeout <= 0 {

@@ -76,23 +76,30 @@ func sessionConn(cf *ipc.ChannelFiles, seg *shm.Segment) ipc.FrameConn {
 // manifest asks for the shm transport and the platform can host it. A nil
 // segment (with nil error) means "use pipes" — either by choice or by
 // fallback; segment allocation failure is deliberately not fatal, since the
-// pipe path serves every session the ring path serves.
-func newSessionSegment(m vfs.Manifest, strategy Strategy) (*shm.Segment, error) {
+// pipe path serves every session the ring path serves. The fallback is no
+// longer silent, though: when shm was requested but pipes serve the
+// session, the returned reason says why, and the transport surfaces it
+// through Handle.Stats so an operator can tell a chosen pipe carrier from a
+// demoted one.
+func newSessionSegment(m vfs.Manifest, strategy Strategy) (*shm.Segment, string, error) {
 	if strategy != StrategyProcCtl {
-		return nil, nil
+		return nil, "", nil
 	}
 	carrier, err := transportParam(m)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
-	if carrier != "shm" || !shm.Supported() {
-		return nil, nil
+	if carrier != "shm" {
+		return nil, "", nil
+	}
+	if !shm.Supported() {
+		return nil, "platform does not support shared-memory rings", nil
 	}
 	seg, err := shm.New(0, 0)
 	if err != nil {
-		return nil, nil // fall back to pipes
+		return nil, fmt.Sprintf("segment allocation failed: %v", err), nil
 	}
-	return seg, nil
+	return seg, "", nil
 }
 
 // attachChildSegment maps the segment a parent advertised via envShm from

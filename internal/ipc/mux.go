@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/wire"
 )
@@ -58,10 +59,19 @@ type muxPending struct {
 // a wire.BatchWriter — the first sender flushes every frame accumulated while
 // it held the channel in one vectored write, so N pipelined exchanges cost
 // ~1 write syscall instead of N. A lone exchange still flushes immediately.
+//
+// Receive path: the response stream is read through a drain-mode buffer
+// (wire.DrainReader) — one read syscall pulls every byte the channel has
+// ready, and the loop then decodes frame after frame out of the buffer, so
+// N pipelined responses arriving together cost ~1 wakeup instead of N. A
+// self-buffered source (the shm ring) is decoded directly; it already
+// drains without syscalls.
 type Mux struct {
 	bw *wire.BatchWriter // batching command-frame writer (plus Post payload channel)
+	dr *wire.DrainReader // response drain buffer; nil over a self-buffered source
 
-	seq wire.SeqCounter
+	seq        wire.SeqCounter
+	recvFrames atomic.Uint64 // response frames routed by the receive loop
 
 	mu      sync.Mutex
 	pending map[uint32]muxPending
@@ -72,8 +82,10 @@ type Mux struct {
 // frames read from resp, and (optionally, for Post) streaming payloads on
 // data. The receive loop runs until resp errors or the mux is closed.
 func NewMux(ctrl io.Writer, resp io.Reader, data io.Writer) *Mux {
+	src, dr := wire.WrapDrain(resp)
 	m := &Mux{
 		bw:      wire.NewBatchWriter(ctrl, data),
+		dr:      dr,
 		pending: make(map[uint32]muxPending),
 	}
 	// The pending-reply count tells the batch writer how deep the pipeline
@@ -86,7 +98,7 @@ func NewMux(ctrl io.Writer, resp io.Reader, data io.Writer) *Mux {
 		m.mu.Unlock()
 		return n
 	})
-	go m.receive(wire.NewReader(resp))
+	go m.receive(wire.NewReader(src))
 	return m
 }
 
@@ -94,17 +106,41 @@ func NewMux(ctrl io.Writer, resp io.Reader, data io.Writer) *Mux {
 // each vectored write carried on average.
 func (m *Mux) BatchStats() wire.BatchStats { return m.bw.Stats() }
 
+// RecvStats snapshots the receive path's wakeup amortization: response
+// frames decoded versus read syscalls that delivered them. Wakeups is zero
+// over a self-buffered source (shm rings), where the receive path makes no
+// read syscalls at all on the hot path.
+type RecvStats struct {
+	Frames  uint64 // response frames routed to waiters (or discarded)
+	Wakeups uint64 // read syscalls the drain buffer issued to get them
+}
+
+// RecvStatsSnapshot reports the receive loop's drain amortization.
+func (m *Mux) RecvStatsSnapshot() RecvStats {
+	s := RecvStats{Frames: m.recvFrames.Load()}
+	if m.dr != nil {
+		s.Wakeups = m.dr.Stats().Fills
+	}
+	return s
+}
+
 // receive routes response frames to waiters by Seq until the channel fails.
 // Payloads are read off the stream directly into the waiter's destination
 // buffer — the split header/payload decode means the channel-to-caller copy
-// is the only one on the read path.
+// is the only one on the read path. Behind a DrainReader, every complete
+// frame a wakeup delivered is decoded before the loop can block again; the
+// pooled drain buffer is released when the loop exits.
 func (m *Mux) receive(r *wire.Reader) {
+	if m.dr != nil {
+		defer m.dr.Release()
+	}
 	for {
 		resp, payloadLen, err := r.ReadResponseHeader()
 		if err != nil {
 			m.Fail(err)
 			return
 		}
+		m.recvFrames.Add(1)
 		m.mu.Lock()
 		p, ok := m.pending[resp.Seq]
 		delete(m.pending, resp.Seq)

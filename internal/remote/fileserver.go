@@ -219,7 +219,13 @@ func (s *FileServer) injectedDelayAndFault() error {
 // before handling those inline.
 func (s *FileServer) serveConn(conn net.Conn) {
 	defer conn.Close()
-	r := wire.NewReader(conn)
+	// Drain-mode intake: a pipelining client's requests arrive in clumps,
+	// and one read syscall pulls the whole clump into a pooled buffer the
+	// frame reader then decodes without further syscalls — the receive-side
+	// mirror of the reply path's group commit.
+	src, dr := wire.WrapDrain(conn)
+	defer dr.Release()
+	r := wire.NewReader(src)
 	w := wire.NewBatchWriter(conn, nil)
 
 	respond := func(resp *wire.Response) {

@@ -15,22 +15,31 @@ import (
 
 // Segment layout, all offsets cache-line aligned:
 //
-//	[0, 4096)                      segment header (magic, version, capacities)
-//	[4096, 4096+ringHdrBytes)      command-ring header
-//	[..., ... + cmdCap)            command-ring data
-//	[..., ... + ringHdrBytes)      reply-ring header
-//	[..., ... + replyCap)          reply-ring data
+//	[0, 4096)                      control region (magic, version, epoch, ring directory)
+//	[4096, 4096+ringHdrBytes)      ring 0 header
+//	[..., ... + cap0)              ring 0 data
+//	[..., ... + ringHdrBytes)      ring 1 header
+//	[..., ... + cap1)              ring 1 data
+//	...
 //
-// Capacities are powers of two so cursor positions reduce with a mask, and
-// the cursors themselves are free-running uint64 byte counts (head = bytes
-// produced, tail = bytes consumed) — the empty/full ambiguity of wrapped
-// indices never arises and 2^64 bytes outlives any session.
+// Rings come in direction pairs — even indices carry commands toward the
+// serving side, odd indices carry replies back — and the directory in the
+// control region records every ring's header offset and capacity, so an
+// attaching process reconstructs the geometry from the mapping itself
+// rather than assuming a fixed two-ring shape. Capacities are powers of two
+// so cursor positions reduce with a mask, and the cursors themselves are
+// free-running uint64 byte counts (head = bytes produced, tail = bytes
+// consumed) — the empty/full ambiguity of wrapped indices never arises and
+// 2^64 bytes outlives any session.
 const (
 	segMagic     = 0x41465348 // "AFSH" — active-file shared memory
-	segVersion   = 1
+	segVersion   = 2          // v2: control region with epoch + ring directory, shared doorbell counters
 	segHdrBytes  = 4096
 	ringHdrBytes = 512
 	minRingBytes = 4096
+	// maxSegRings bounds the ring directory; 16 rings = 8 session pairs in
+	// one segment, room enough for the per-client pair layouts to come.
+	maxSegRings = 16
 )
 
 // Spin calibration. On a shared core the peer cannot make progress while we
@@ -51,17 +60,37 @@ const (
 // memfd_*.go; zero means "no memfd, use a temp file".
 const eventfdTrap = syscall.SYS_EVENTFD2
 
+// ringDir is one control-region directory entry: where a ring's header
+// lives and how much data it carries.
+type ringDir struct {
+	off uint64 // ring header offset from the segment start
+	cap uint64 // ring data capacity (power of two)
+}
+
+// segHdr is the segment's control region. Epoch is the adoption generation:
+// the parent bumps it when a warm-pool rebind hands the segment's rings to a
+// new session, so both processes (and post-mortem tests) can tell sessions
+// apart without remapping anything. Each mutable word gets its own cache
+// line, like the ring headers.
 type segHdr struct {
-	magic    uint32
-	version  uint32
-	cmdCap   uint64
-	replyCap uint64
+	magic   uint32
+	version uint32
+	_       [56]byte
+	epoch   atomic.Uint64 // session generation; bumped on warm-pool adoption
+	_       [56]byte
+	nrings  uint32 // directory length
+	_       [60]byte
+	dir     [maxSegRings]ringDir
 }
 
 // ringHdr is the shared control block of one ring, laid out so every
-// mutable word owns a cache line: head is written only by the producer,
-// tail only by the consumer, and sharing a line would make each side's
-// cursor store invalidate the other's hot loop.
+// mutable word (or same-owner word group) owns a cache line: head is written
+// only by the producer, tail only by the consumer, and sharing a line would
+// make each side's cursor store invalidate the other's hot loop. The
+// doorbell counters live here — not in process-local memory — because the
+// bells of one ring are rung by different processes per direction and the
+// benchmark observer (the parent) wants the whole economy; they share their
+// owner's infrequently-written lines.
 type ringHdr struct {
 	head    atomic.Uint64 // bytes produced; written by producer only
 	_       [56]byte
@@ -73,7 +102,20 @@ type ringHdr struct {
 	_       [60]byte
 	closed  atomic.Uint32 // either side closed; set once, never cleared
 	_       [60]byte
+	pbells  atomic.Uint64 // data doorbells rung by the producer
+	psupp   atomic.Uint64 // producer wakes suppressed (consumer running, or flush-coalesced)
+	_       [48]byte
+	cbells  atomic.Uint64 // space doorbells rung by the consumer
+	csupp   atomic.Uint64 // consumer wakes suppressed (producer running)
+	_       [48]byte
 }
+
+// Both shared structures must fit their reserved regions; a negative array
+// length here fails the build the moment either outgrows its slot.
+var (
+	_ [segHdrBytes - int(unsafe.Sizeof(segHdr{}))]byte
+	_ [ringHdrBytes - int(unsafe.Sizeof(ringHdr{}))]byte
+)
 
 // Ring is one direction of the shared segment: an SPSC byte stream over
 // mapped memory. Exactly one process writes it and exactly one reads it;
@@ -94,33 +136,64 @@ type Ring struct {
 	dataBell  *os.File // producer → consumer: "bytes available"
 	spaceBell *os.File // consumer → producer: "space available"
 
+	// Flush coalescing (wire.FlushCoalescer). Plain fields, written only on
+	// the producer side: single-writer discipline (and BatchWriter's
+	// leader mutex, for batched producers) serializes access, and the
+	// consumer never reads them.
+	deferWake   bool // inside a BeginFlush/EndFlush bracket
+	wakePending bool // a publish happened since BeginFlush; decide at EndFlush
+
 	localClosed atomic.Bool
 	inflight    atomic.Int64 // ring ops in this process, gating munmap
 
+	// detached is set (after snapshotting the shared counters below) when the
+	// segment starts tearing down, so Stats never chases hdr into an
+	// unmapped page.
+	detached   atomic.Bool
+	finalBells atomic.Uint64
+	finalSupp  atomic.Uint64
+
 	parks atomic.Uint64
-	bells atomic.Uint64
 	spins atomic.Uint64
 }
 
+// SelfBuffered marks the ring for wire.SelfBuffered: its Read already drains
+// every published byte per cursor check without a syscall, so drain-mode
+// buffering on top would only add a memcpy.
+func (r *Ring) SelfBuffered() {}
+
 // Segment is one process's view of the shared mapping and its doorbells.
-// The parent creates it (New) and passes its files to the child, which
-// attaches (Attach); both ends hold equal views afterwards.
+// The parent creates it (New/NewMulti) and passes its files to the child,
+// which attaches (Attach); both ends hold equal views afterwards.
 type Segment struct {
 	mem    []byte
 	file   *os.File
-	cmd    *Ring
-	reply  *Ring
+	hdr    *segHdr
+	rings  []*Ring
 	closed atomic.Bool
 }
 
 // Supported reports whether this platform can host the transport.
 func Supported() bool { return true }
 
-// New creates a fresh anonymous shared segment with the given ring
-// capacities (0 means the defaults) and its four doorbell eventfds. The
-// backing file is a memfd when the kernel has one, else an unlinked temp
-// file; either way nothing persists past the processes holding it.
+// New creates a fresh anonymous shared segment carrying one command/reply
+// ring pair with the given capacities (0 means the defaults) and its four
+// doorbell eventfds. The backing file is a memfd when the kernel has one,
+// else an unlinked temp file; either way nothing persists past the
+// processes holding it.
 func New(cmdBytes, replyBytes int) (*Segment, error) {
+	return NewMulti(1, cmdBytes, replyBytes)
+}
+
+// NewMulti creates a segment carrying pairs command/reply ring pairs — ring
+// 2i is pair i's command direction, ring 2i+1 its reply direction — each
+// with the given per-ring capacities (0 means the defaults), plus two
+// doorbell eventfds per ring. One mapping and one backing fd serve every
+// pair, which is what keeps per-client ring pairs from multiplying mmaps.
+func NewMulti(pairs, cmdBytes, replyBytes int) (*Segment, error) {
+	if pairs < 1 || 2*pairs > maxSegRings {
+		return nil, fmt.Errorf("shm: %d ring pairs (want 1..%d)", pairs, maxSegRings/2)
+	}
 	if cmdBytes <= 0 {
 		cmdBytes = DefaultCmdBytes
 	}
@@ -134,7 +207,7 @@ func New(cmdBytes, replyBytes int) (*Segment, error) {
 	if err != nil {
 		return nil, err
 	}
-	total := segHdrBytes + ringHdrBytes + cmdCap + ringHdrBytes + replyCap
+	total := segHdrBytes + pairs*(2*ringHdrBytes+cmdCap+replyCap)
 	if err := f.Truncate(int64(total)); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("shm: size segment: %w", err)
@@ -147,10 +220,18 @@ func New(cmdBytes, replyBytes int) (*Segment, error) {
 	hdr := (*segHdr)(unsafe.Pointer(&mem[0]))
 	hdr.magic = segMagic
 	hdr.version = segVersion
-	hdr.cmdCap = uint64(cmdCap)
-	hdr.replyCap = uint64(replyCap)
+	hdr.nrings = uint32(2 * pairs)
+	off := uint64(segHdrBytes)
+	for i := 0; i < 2*pairs; i++ {
+		c := uint64(cmdCap)
+		if i%2 == 1 {
+			c = uint64(replyCap)
+		}
+		hdr.dir[i] = ringDir{off: off, cap: c}
+		off += ringHdrBytes + c
+	}
 
-	var bells [4]*os.File
+	bells := make([]*os.File, 4*pairs)
 	for i := range bells {
 		b, err := newEventFD()
 		if err != nil {
@@ -163,12 +244,14 @@ func New(cmdBytes, replyBytes int) (*Segment, error) {
 		}
 		bells[i] = b
 	}
-	return assemble(f, mem, cmdCap, replyCap, bells), nil
+	return assemble(f, mem, hdr, bells), nil
 }
 
-// Attach builds the child's view from the inherited files: the segment file
-// plus the four doorbells, in ChildFiles order. It takes ownership of the
-// files on success and on failure.
+// Attach builds the attaching process's view from the inherited files: the
+// segment file plus two doorbells per directory ring, in ChildFiles order.
+// The geometry comes from the control region's ring directory, validated
+// against the mapping size. Attach takes ownership of the files on success
+// and on failure.
 func Attach(seg *os.File, bells []*os.File) (*Segment, error) {
 	closeAll := func() {
 		seg.Close()
@@ -178,17 +261,13 @@ func Attach(seg *os.File, bells []*os.File) (*Segment, error) {
 			}
 		}
 	}
-	if len(bells) != 4 {
-		closeAll()
-		return nil, fmt.Errorf("shm: attach wants 4 doorbells, got %d", len(bells))
-	}
 	st, err := seg.Stat()
 	if err != nil {
 		closeAll()
 		return nil, fmt.Errorf("shm: stat segment: %w", err)
 	}
 	total := int(st.Size())
-	if total < segHdrBytes+2*ringHdrBytes+2*minRingBytes {
+	if total < segHdrBytes+ringHdrBytes+minRingBytes {
 		closeAll()
 		return nil, fmt.Errorf("shm: segment too small (%d bytes)", total)
 	}
@@ -198,88 +277,123 @@ func Attach(seg *os.File, bells []*os.File) (*Segment, error) {
 		return nil, fmt.Errorf("shm: map segment: %w", err)
 	}
 	hdr := (*segHdr)(unsafe.Pointer(&mem[0]))
-	cmdCap, replyCap := int(hdr.cmdCap), int(hdr.replyCap)
+	nrings := int(hdr.nrings)
 	switch {
 	case hdr.magic != segMagic:
 		err = fmt.Errorf("shm: bad segment magic %#x", hdr.magic)
 	case hdr.version != segVersion:
 		err = fmt.Errorf("shm: segment version %d, want %d", hdr.version, segVersion)
-	case cmdCap < minRingBytes || replyCap < minRingBytes ||
-		cmdCap&(cmdCap-1) != 0 || replyCap&(replyCap-1) != 0 ||
-		segHdrBytes+2*ringHdrBytes+cmdCap+replyCap != total:
-		err = fmt.Errorf("shm: segment geometry %d+%d does not fit %d bytes", cmdCap, replyCap, total)
+	case nrings < 2 || nrings > maxSegRings || nrings%2 != 0:
+		err = fmt.Errorf("shm: segment directory holds %d rings", nrings)
+	case len(bells) != 2*nrings:
+		err = fmt.Errorf("shm: attach wants %d doorbells for %d rings, got %d", 2*nrings, nrings, len(bells))
+	default:
+		// Directory entries must tile the mapping exactly: ascending,
+		// non-overlapping, power-of-two capacities, ending at the mapping's
+		// end. Anything else is a corrupt or foreign segment.
+		expect := uint64(segHdrBytes)
+		for i := 0; i < nrings; i++ {
+			d := hdr.dir[i]
+			if d.off != expect || d.cap < minRingBytes || d.cap&(d.cap-1) != 0 ||
+				d.off+ringHdrBytes+d.cap > uint64(total) {
+				err = fmt.Errorf("shm: ring %d directory entry (off %d, cap %d) does not fit %d bytes", i, d.off, d.cap, total)
+				break
+			}
+			expect = d.off + ringHdrBytes + d.cap
+		}
+		if err == nil && expect != uint64(total) {
+			err = fmt.Errorf("shm: segment geometry ends at %d of %d bytes", expect, total)
+		}
 	}
 	if err != nil {
 		syscall.Munmap(mem)
 		closeAll()
 		return nil, err
 	}
-	var arr [4]*os.File
-	copy(arr[:], bells)
-	return assemble(seg, mem, cmdCap, replyCap, arr), nil
+	return assemble(seg, mem, hdr, bells), nil
 }
 
-// assemble carves the mapping into the two rings. Doorbell order is
-// [cmd data, cmd space, reply data, reply space] — the contract between
-// ChildFiles and Attach.
-func assemble(f *os.File, mem []byte, cmdCap, replyCap int, bells [4]*os.File) *Segment {
-	cmdOff := segHdrBytes
-	replyOff := cmdOff + ringHdrBytes + cmdCap
-	s := &Segment{
-		mem:  mem,
-		file: f,
-		cmd: &Ring{
-			name:      "cmd",
-			hdr:       (*ringHdr)(unsafe.Pointer(&mem[cmdOff])),
-			data:      mem[cmdOff+ringHdrBytes : cmdOff+ringHdrBytes+cmdCap],
-			mask:      uint64(cmdCap - 1),
-			dataBell:  bells[0],
-			spaceBell: bells[1],
-		},
-		reply: &Ring{
-			name:      "reply",
-			hdr:       (*ringHdr)(unsafe.Pointer(&mem[replyOff])),
-			data:      mem[replyOff+ringHdrBytes : replyOff+ringHdrBytes+replyCap],
-			mask:      uint64(replyCap - 1),
-			dataBell:  bells[2],
-			spaceBell: bells[3],
-		},
+// assemble carves the mapping into its directory rings. Doorbell order is
+// ring-major — [ring0 data, ring0 space, ring1 data, ring1 space, ...] —
+// the contract between ChildFiles and Attach; for the classic single pair
+// that is [cmd data, cmd space, reply data, reply space].
+func assemble(f *os.File, mem []byte, hdr *segHdr, bells []*os.File) *Segment {
+	s := &Segment{mem: mem, file: f, hdr: hdr}
+	for i := 0; i < int(hdr.nrings); i++ {
+		d := hdr.dir[i]
+		name := "cmd"
+		if i%2 == 1 {
+			name = "reply"
+		}
+		if i > 1 {
+			name = fmt.Sprintf("%s%d", name, i/2)
+		}
+		dataOff := d.off + ringHdrBytes
+		s.rings = append(s.rings, &Ring{
+			name:      name,
+			hdr:       (*ringHdr)(unsafe.Pointer(&mem[d.off])),
+			data:      mem[dataOff : dataOff+d.cap],
+			mask:      d.cap - 1,
+			dataBell:  bells[2*i],
+			spaceBell: bells[2*i+1],
+		})
 	}
 	return s
 }
 
-// Cmd returns the parent→child command ring.
-func (s *Segment) Cmd() *Ring { return s.cmd }
+// Cmd returns pair 0's command ring (toward the serving side).
+func (s *Segment) Cmd() *Ring { return s.rings[0] }
 
-// Reply returns the child→parent reply ring.
-func (s *Segment) Reply() *Ring { return s.reply }
+// Reply returns pair 0's reply ring (back from the serving side).
+func (s *Segment) Reply() *Ring { return s.rings[1] }
 
-// ChildFiles returns the files the child must inherit, in the order Attach
-// expects them back: segment file first, then the four doorbells.
+// Rings returns every ring in the segment, in directory order.
+func (s *Segment) Rings() []*Ring { return s.rings }
+
+// Epoch returns the control region's adoption generation. Valid only while
+// the segment is open.
+func (s *Segment) Epoch() uint64 { return s.hdr.epoch.Load() }
+
+// AdvanceEpoch bumps the adoption generation — called when a warm-pool
+// rebind hands this segment's rings to a new session — and returns the new
+// value. Both processes observe it through the shared control region.
+func (s *Segment) AdvanceEpoch() uint64 { return s.hdr.epoch.Add(1) }
+
+// Closed reports whether this process's view has been torn down.
+func (s *Segment) Closed() bool { return s.closed.Load() }
+
+// ChildFiles returns the files the attaching process must inherit, in the
+// order Attach expects them back: segment file first, then two doorbells per
+// ring in directory order.
 func (s *Segment) ChildFiles() []*os.File {
-	return []*os.File{
-		s.file,
-		s.cmd.dataBell, s.cmd.spaceBell,
-		s.reply.dataBell, s.reply.spaceBell,
+	files := []*os.File{s.file}
+	for _, r := range s.rings {
+		files = append(files, r.dataBell, r.spaceBell)
 	}
+	return files
 }
 
-// Close shuts both rings (waking any parked peer in either process), waits
-// for this process's in-flight ring operations to drain, and unmaps the
-// segment. If an operation refuses to drain — a wedged caller still inside
-// Read — the mapping is leaked rather than unmapped under it, since a stale
-// load through an unmapped page is a process-killing SIGSEGV, not an error.
-// Idempotent.
+// Close shuts every ring in the segment (waking any parked peer in either
+// process), waits for this process's in-flight ring operations to drain, and
+// unmaps the segment — the control region and all ring headers go with the
+// one mapping. If an operation refuses to drain — a wedged caller still
+// inside Read — the mapping is leaked rather than unmapped under it, since a
+// stale load through an unmapped page is a process-killing SIGSEGV, not an
+// error. Idempotent.
 func (s *Segment) Close() error {
 	if !s.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	s.cmd.Close()
-	s.reply.Close()
+	for _, r := range s.rings {
+		r.Close()
+	}
+	for _, r := range s.rings {
+		r.detach()
+	}
 
 	unmap := true
 	deadline := time.Now().Add(2 * time.Second)
-	for s.cmd.inflight.Load() != 0 || s.reply.inflight.Load() != 0 {
+	for !s.ringsIdle() {
 		if time.Now().After(deadline) {
 			unmap = false
 			break
@@ -291,10 +405,21 @@ func (s *Segment) Close() error {
 	}
 	s.mem = nil
 	err := s.file.Close()
-	for _, b := range []*os.File{s.cmd.dataBell, s.cmd.spaceBell, s.reply.dataBell, s.reply.spaceBell} {
-		b.Close()
+	for _, r := range s.rings {
+		r.dataBell.Close()
+		r.spaceBell.Close()
 	}
 	return err
+}
+
+// ringsIdle reports whether no ring operation is in flight in this process.
+func (s *Segment) ringsIdle() bool {
+	for _, r := range s.rings {
+		if r.inflight.Load() != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // Close marks the ring closed for both processes and rings both doorbells
@@ -310,18 +435,37 @@ func (r *Ring) Close() error {
 	return nil
 }
 
+// detach snapshots the shared doorbell counters and redirects Stats to the
+// snapshot, so a Stats call racing (or following) the segment unmap reads
+// process-local memory instead of a page that may be gone.
+func (r *Ring) detach() {
+	r.finalBells.Store(r.hdr.pbells.Load() + r.hdr.cbells.Load())
+	r.finalSupp.Store(r.hdr.psupp.Load() + r.hdr.csupp.Load())
+	r.detached.Store(true)
+}
+
 // isClosed reports whether either side closed the ring.
 func (r *Ring) isClosed() bool {
 	return r.hdr.closed.Load() != 0 || r.localClosed.Load()
 }
 
-// Stats snapshots the ring's wait counters.
+// Stats snapshots the ring's wait counters. Parks and Spins are this
+// process's; Doorbells and Suppressed come from the shared header and count
+// both sides. Safe to call after Close — the teardown path snapshots the
+// shared counters before the mapping can go away, and the inflight gate
+// keeps a concurrent unmap waiting for a live read of them.
 func (r *Ring) Stats() Stats {
-	return Stats{
-		Parks:     r.parks.Load(),
-		Doorbells: r.bells.Load(),
-		Spins:     r.spins.Load(),
+	s := Stats{Parks: r.parks.Load(), Spins: r.spins.Load()}
+	r.inflight.Add(1)
+	if r.detached.Load() {
+		s.Doorbells = r.finalBells.Load()
+		s.Suppressed = r.finalSupp.Load()
+	} else {
+		s.Doorbells = r.hdr.pbells.Load() + r.hdr.cbells.Load()
+		s.Suppressed = r.hdr.psupp.Load() + r.hdr.csupp.Load()
 	}
+	r.inflight.Add(-1)
+	return s
 }
 
 // Read copies up to len(p) currently-published bytes out of the ring,
@@ -336,6 +480,12 @@ func (r *Ring) Read(p []byte) (int, error) {
 	}
 	r.inflight.Add(1)
 	defer r.inflight.Add(-1)
+	if r.detached.Load() {
+		// The segment is (or is about to be) unmapped; the header may be a
+		// dead page. A detached ring was drained by teardown — EOF, like any
+		// other post-close read.
+		return 0, io.EOF
+	}
 
 	spins := 0
 	for {
@@ -384,6 +534,9 @@ func (r *Ring) Discard(n int) (int, error) {
 	}
 	r.inflight.Add(1)
 	defer r.inflight.Add(-1)
+	if r.detached.Load() {
+		return 0, io.EOF
+	}
 
 	dropped := 0
 	spins := 0
@@ -425,6 +578,9 @@ func (r *Ring) Discard(n int) (int, error) {
 func (r *Ring) Write(p []byte) (int, error) {
 	r.inflight.Add(1)
 	defer r.inflight.Add(-1)
+	if r.detached.Load() {
+		return 0, ErrClosed
+	}
 
 	written := 0
 	spins := 0
@@ -436,6 +592,10 @@ func (r *Ring) Write(p []byte) (int, error) {
 		t := r.hdr.tail.Load()
 		free := uint64(len(r.data)) - (h - t)
 		if free == 0 {
+			// The ring cannot drain while its reader sleeps: release any
+			// doorbell a flush bracket is holding back before waiting for
+			// space, or writer and reader would park facing each other.
+			r.flushWake()
 			if spins < spinBudget {
 				r.relax(spins)
 				spins++
@@ -462,21 +622,72 @@ func (r *Ring) Write(p []byte) (int, error) {
 	return written, nil
 }
 
-// wakeReader rings the data doorbell iff the consumer is parked (or mid-
-// park). The flag check keeps the hot path syscall-free: an actively
-// spinning or busy consumer never costs the producer a bell.
+// BeginFlush opens a doorbell-coalescing bracket (wire.FlushCoalescer): the
+// wake decisions of every Write until EndFlush collapse into one. Producer
+// side only; brackets do not nest.
+func (r *Ring) BeginFlush() { r.deferWake = true }
+
+// EndFlush closes the bracket and performs the single deferred wake
+// decision. Running the parked check here — after the bracket's final
+// cursor store — preserves the Dekker no-lost-wakeup property: a consumer
+// parking mid-bracket set rparked before re-checking emptiness, so either
+// it saw our bytes and returned, or we see its flag now and ring.
+func (r *Ring) EndFlush() {
+	r.deferWake = false
+	r.flushWake()
+}
+
+// flushWake issues a deferred wake decision, if one is pending. EndFlush
+// runs outside any Write's inflight window, so the parked-flag load must be
+// bracketed by its own inflight/detached guard against a concurrent unmap.
+func (r *Ring) flushWake() {
+	if !r.wakePending {
+		return
+	}
+	r.wakePending = false
+	r.inflight.Add(1)
+	if !r.detached.Load() {
+		r.ringDataBell()
+	}
+	r.inflight.Add(-1)
+}
+
+// wakeReader decides the post-publish wake: inside a flush bracket the
+// decision is deferred (and counted suppressed past the first), otherwise
+// the data doorbell rings iff the consumer is parked.
 func (r *Ring) wakeReader() {
+	if r.deferWake {
+		if r.wakePending {
+			// A previous publish in this bracket already holds the pending
+			// decision; this one's wake is coalesced away entirely.
+			r.hdr.psupp.Add(1)
+		}
+		r.wakePending = true
+		return
+	}
+	r.ringDataBell()
+}
+
+// ringDataBell rings the data doorbell iff the consumer is parked (or mid-
+// park). The flag check keeps the hot path syscall-free: an actively
+// spinning or busy consumer never costs the producer a bell — that skip is
+// what the suppressed counter records.
+func (r *Ring) ringDataBell() {
 	if r.hdr.rparked.Load() != 0 {
-		r.bells.Add(1)
+		r.hdr.pbells.Add(1)
 		ringBell(r.dataBell)
+	} else {
+		r.hdr.psupp.Add(1)
 	}
 }
 
 // wakeWriter rings the space doorbell iff the producer is parked.
 func (r *Ring) wakeWriter() {
 	if r.hdr.wparked.Load() != 0 {
-		r.bells.Add(1)
+		r.hdr.cbells.Add(1)
 		ringBell(r.spaceBell)
+	} else {
+		r.hdr.csupp.Add(1)
 	}
 }
 

@@ -38,7 +38,8 @@ import (
 type BatchWriter struct {
 	mu       sync.Mutex
 	w        io.Writer
-	data     io.Writer // optional side channel for posted payloads
+	data     io.Writer      // optional side channel for posted payloads
+	fc       FlushCoalescer // w's doorbell-deferral hook, when it has one (shm ring)
 	cur      *pendingBatch
 	flushing bool
 	err      error // sticky transport failure
@@ -121,9 +122,12 @@ type pendingBatch struct {
 }
 
 // NewBatchWriter returns a batching frame writer over w. When data is
-// non-nil, WritePost streams payloads on it in command order.
+// non-nil, WritePost streams payloads on it in command order. A w that
+// coalesces flushes (FlushCoalescer — the shm ring's doorbell deferral) is
+// detected here once and bracketed on every flush.
 func NewBatchWriter(w, data io.Writer) *BatchWriter {
-	return &BatchWriter{w: w, data: data}
+	fc, _ := w.(FlushCoalescer)
+	return &BatchWriter{w: w, data: data, fc: fc}
 }
 
 // HasData reports whether a payload side channel is configured.
@@ -333,8 +337,16 @@ func (b *BatchWriter) submit(add func(*pendingBatch) error) error {
 }
 
 // writeBatch emits one batch: control bytes first, then any posted payloads
-// on the data channel.
+// on the data channel. On a flush-coalescing channel the whole batch rides
+// one doorbell decision — the bracket defers the ring's per-publish wake to
+// EndFlush, so a group-committed flush rings at most once. Only one leader
+// runs at a time (successive leaders are ordered by b.mu), which is what
+// lets the coalescer keep plain state.
 func (b *BatchWriter) writeBatch(p *pendingBatch) error {
+	if b.fc != nil {
+		b.fc.BeginFlush()
+		defer b.fc.EndFlush()
+	}
 	if err := writeVectored(b.w, p.buf, p.refs); err != nil {
 		return err
 	}

@@ -1,0 +1,215 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+)
+
+// chunkySource hands out its backing bytes in large gulps — a pipe whose
+// writer got ahead — while counting how many Read calls it served, so tests
+// can check the drain buffer's one-syscall-per-wakeup discipline.
+type chunkySource struct {
+	data  []byte
+	reads int
+}
+
+func (c *chunkySource) Read(p []byte) (int, error) {
+	if len(c.data) == 0 {
+		return 0, io.EOF
+	}
+	c.reads++
+	n := copy(p, c.data)
+	c.data = c.data[n:]
+	return n, nil
+}
+
+// TestDrainReaderAmortizesReads: many small frame-sized reads off a source
+// with lots of bytes ready must cost one underlying read per buffer-full,
+// not one per call.
+func TestDrainReaderAmortizesReads(t *testing.T) {
+	payload := make([]byte, 8192)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	src := &chunkySource{data: append([]byte(nil), payload...)}
+	d := NewDrainReader(src)
+	defer d.Release()
+
+	var got []byte
+	buf := make([]byte, 17) // deliberately tiny, frame-header-ish
+	for len(got) < len(payload) {
+		n, err := d.Read(buf)
+		if err != nil {
+			t.Fatalf("Read after %d bytes: %v", len(got), err)
+		}
+		got = append(got, buf[:n]...)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("drained bytes corrupted")
+	}
+	if src.reads != 1 {
+		t.Fatalf("8KiB of 17-byte reads cost %d source reads, want 1", src.reads)
+	}
+	st := d.Stats()
+	if st.Fills != 1 || st.Bytes != uint64(len(payload)) {
+		t.Fatalf("Stats = %+v, want 1 fill of %d bytes", st, len(payload))
+	}
+}
+
+// TestDrainReaderDirectBypass: a destination at least one buffer large reads
+// straight from the source when the window is empty — bulk payloads keep
+// their zero-copy landing.
+func TestDrainReaderDirectBypass(t *testing.T) {
+	payload := make([]byte, PooledBufSize+4096)
+	src := &chunkySource{data: payload}
+	d := NewDrainReader(src)
+	defer d.Release()
+
+	big := make([]byte, PooledBufSize)
+	n, err := d.Read(big)
+	if err != nil || n == 0 {
+		t.Fatalf("direct read = %d, %v", n, err)
+	}
+	if d.Buffered() != 0 {
+		t.Fatalf("direct read staged %d bytes in the buffer", d.Buffered())
+	}
+}
+
+// TestDrainReaderDiscard covers all three Discard paths: buffered bytes
+// skipped in place, delegation to a source Discarder, and refill.
+func TestDrainReaderDiscard(t *testing.T) {
+	src := &chunkySource{data: []byte("0123456789abcdef")}
+	d := NewDrainReader(src)
+	defer d.Release()
+
+	head := make([]byte, 4)
+	if _, err := io.ReadFull(d, head); err != nil {
+		t.Fatal(err)
+	}
+	// The chunky source delivered everything on the first fill; discarding
+	// must consume from the buffered window without another source read.
+	if n, err := d.Discard(8); err != nil || n != 8 {
+		t.Fatalf("Discard = %d, %v", n, err)
+	}
+	rest := make([]byte, 4)
+	if _, err := io.ReadFull(d, rest); err != nil || string(rest) != "cdef" {
+		t.Fatalf("after discard read %q, %v; want \"cdef\"", rest, err)
+	}
+	if src.reads != 1 {
+		t.Fatalf("discard path cost %d source reads, want 1", src.reads)
+	}
+}
+
+// TestDrainReaderEmptyWindowDiscardRefills: with nothing buffered and a
+// source that is a plain Reader, Discard falls back to a refill.
+func TestDrainReaderEmptyWindowDiscardRefills(t *testing.T) {
+	src := &chunkySource{data: []byte("abcdef")}
+	d := NewDrainReader(src)
+	defer d.Release()
+	if n, err := d.Discard(4); err != nil || n != 4 {
+		t.Fatalf("Discard = %d, %v", n, err)
+	}
+	rest := make([]byte, 2)
+	if _, err := io.ReadFull(d, rest); err != nil || string(rest) != "ef" {
+		t.Fatalf("read %q, %v after empty-window discard", rest, err)
+	}
+}
+
+// selfBufferedSrc marks itself as already draining internally.
+type selfBufferedSrc struct{ io.Reader }
+
+func (selfBufferedSrc) SelfBuffered() {}
+
+// TestWrapDrainPassThrough: SelfBuffered sources come back unwrapped with a
+// nil DrainReader, and the nil DrainReader's Release is a safe no-op.
+func TestWrapDrainPassThrough(t *testing.T) {
+	src := selfBufferedSrc{bytes.NewReader([]byte("x"))}
+	wrapped, dr := WrapDrain(src)
+	if dr != nil {
+		t.Fatal("self-buffered source got a drain buffer")
+	}
+	if _, ok := wrapped.(selfBufferedSrc); !ok {
+		t.Fatal("self-buffered source did not pass through unwrapped")
+	}
+	dr.Release() // nil receiver must not panic
+
+	plain := bytes.NewReader([]byte("y"))
+	if _, dr := WrapDrain(plain); dr == nil {
+		t.Fatal("plain source was not wrapped")
+	} else {
+		dr.Release()
+	}
+}
+
+// TestDrainReaderReleaseIdempotent: double release must not double-pool the
+// buffer (which would hand the same backing array to two readers).
+func TestDrainReaderReleaseIdempotent(t *testing.T) {
+	d := NewDrainReader(bytes.NewReader(nil))
+	d.Release()
+	d.Release()
+	if d.bp != nil || d.buf != nil {
+		t.Fatal("release left the buffer attached")
+	}
+}
+
+// flushRecorder is an io.Writer implementing FlushCoalescer, recording the
+// bracket sequence around its writes.
+type flushRecorder struct {
+	mu     sync.Mutex
+	events []string
+}
+
+func (f *flushRecorder) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	f.events = append(f.events, "write")
+	f.mu.Unlock()
+	return len(p), nil
+}
+func (f *flushRecorder) BeginFlush() {
+	f.mu.Lock()
+	f.events = append(f.events, "begin")
+	f.mu.Unlock()
+}
+func (f *flushRecorder) EndFlush() {
+	f.mu.Lock()
+	f.events = append(f.events, "end")
+	f.mu.Unlock()
+}
+
+// TestBatchWriterBracketsFlushes: a coalescing control channel must see each
+// group-committed flush wrapped in exactly one BeginFlush/EndFlush pair,
+// with every write inside the bracket — that is what turns a batch of N
+// frames into at most one doorbell.
+func TestBatchWriterBracketsFlushes(t *testing.T) {
+	rec := &flushRecorder{}
+	bw := NewBatchWriter(rec, nil)
+	if err := bw.WriteRequest(&Request{Op: OpSize, Seq: 1}); err != nil {
+		t.Fatalf("WriteRequest: %v", err)
+	}
+
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if len(rec.events) < 3 || rec.events[0] != "begin" || rec.events[len(rec.events)-1] != "end" {
+		t.Fatalf("flush events = %v, want begin ... end", rec.events)
+	}
+	for _, ev := range rec.events[1 : len(rec.events)-1] {
+		if ev != "write" {
+			t.Fatalf("unexpected %q inside flush bracket: %v", ev, rec.events)
+		}
+	}
+}
+
+// TestBatchWriterNoCoalescerStillWorks: a plain writer (no FlushCoalescer)
+// takes the nil-hook path.
+func TestBatchWriterNoCoalescerStillWorks(t *testing.T) {
+	var sink bytes.Buffer
+	bw := NewBatchWriter(&sink, nil)
+	if err := bw.WriteRequest(&Request{Op: OpSize, Seq: 1}); err != nil {
+		t.Fatalf("WriteRequest: %v", err)
+	}
+	if sink.Len() == 0 {
+		t.Fatal("nothing written")
+	}
+}
