@@ -9,8 +9,8 @@
 # regenerates the committed Figure 6 JSON report.
 
 GO ?= go
-BENCH_JSON ?= BENCH_6.json
-BENCH_BASE ?= BENCH_5.json
+BENCH_JSON ?= BENCH_7.json
+BENCH_BASE ?= BENCH_6.json
 
 .PHONY: all tier1 race conformance bench-smoke bench-json bench-compare
 
@@ -26,6 +26,8 @@ race:
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 -run 'Chaos|Fault|Proxy|Partial|Torn|SentinelDeath|StalledSentinel|Mux|Client' \
 		./internal/ipc ./internal/core ./internal/remote ./internal/faultinject ./internal/bench
+	$(GO) test -race -count=1 -run 'Tenant|Drain|Daemon|Sigterm|Signal' \
+		./internal/daemon ./internal/remote ./cmd/afd
 
 # The backend contract suite: conformance profiles over every backend kind
 # directly (package backend) and end-to-end through each strategy via the
@@ -49,7 +51,8 @@ bench-smoke:
 
 # Regenerate the machine-readable benchmark report committed alongside
 # EXPERIMENTS.md: the Figure 6 panels plus the concurrency sweeps (with
-# frame-batching amortization) and the open/close churn sweep. Override
+# frame-batching amortization), the many-tenant session sweep (admission,
+# quota rejections, drain), and the open/close churn sweep. Override
 # BENCH_JSON to write elsewhere.
 bench-json:
 	$(GO) run ./cmd/afbench -full -json $(BENCH_JSON)

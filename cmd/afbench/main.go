@@ -28,8 +28,15 @@
 //	afbench -backend sweep
 //	afbench -backend mem,remote -ops 500
 //
+// With -tenants it sweeps concurrent sessions against the daemon's session
+// registry — admission, per-tenant quota rejections, and graceful-drain
+// latency at each concurrency target:
+//
+//	afbench -tenants 64,1024
+//
 // With -full it runs the Figure 6 panels, a remote-path concurrency sweep,
-// and the churn sweep, merging everything into one JSON report:
+// the many-tenant session sweep, and the churn sweep, merging everything
+// into one JSON report:
 //
 //	afbench -full -json BENCH_3.json
 //
@@ -76,6 +83,7 @@ func run(args []string) error {
 		backends    = flags.String("backend", "", `sweep per-backend cost instead of Figure 6: comma-separated backend kinds (mem,nativefs,rofs,errorfs,remote) or "sweep" for all`)
 		readAhead   = flags.Bool("readahead", true, "enable adaptive read-ahead in the sentinel strategies (ablation switch)")
 		writeBehind = flags.Bool("writebehind", false, "enable write coalescing in the sentinel strategies")
+		tenants     = flags.String("tenants", "", "comma-separated concurrent-session counts (e.g. 64,1024); sweeps the daemon's multi-tenant session layer instead of Figure 6")
 		churn       = flags.Int("churn", 0, "sweep open/close churn with this many opens per cell instead of Figure 6")
 		pool        = flags.Int("pool", bench.DefaultChurnPool, "warm sentinel pool size for the churn sweep's pooled cell")
 		full        = flags.Bool("full", false, "run Figure 6 + a remote concurrency sweep + the churn sweep, merged into one JSON report")
@@ -192,6 +200,17 @@ func run(args []string) error {
 		}
 	}
 
+	var tenantCells []int
+	if *tenants != "" {
+		for _, part := range strings.Split(*tenants, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				return fmt.Errorf("bad tenant session count %q", part)
+			}
+			tenantCells = append(tenantCells, n)
+		}
+	}
+
 	var degrees []int
 	if *parallel != "" {
 		for _, part := range strings.Split(*parallel, ",") {
@@ -220,7 +239,27 @@ func run(args []string) error {
 	}
 
 	if *full {
-		return runFull(runner, opts, *ops, *churn, *pool, params, *jsonPath)
+		return runFull(runner, opts, *ops, *churn, *pool, tenantCells, params, *jsonPath)
+	}
+
+	if tenantCells != nil {
+		topts := bench.TenantOptions{Sessions: tenantCells}
+		results, err := runner.RunTenants(topts)
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteTenantTable(os.Stdout, topts, results); err != nil {
+			return err
+		}
+		if *jsonPath != "" {
+			rep := bench.BuildReport(nil, *ops, params)
+			rep.AddTenants(results)
+			if err := rep.WriteJSONFile(*jsonPath); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonPath)
+		}
+		return nil
 	}
 
 	if *backends != "" {
@@ -348,9 +387,10 @@ func run(args []string) error {
 }
 
 // runFull runs the whole battery — Figure 6, a remote-path concurrency sweep
-// per small block size (where command-channel batching shows), and the
-// open/close churn sweep — and merges everything into one JSON report.
-func runFull(runner *bench.Runner, opts bench.FigureOptions, ops, churnOpens, pool int, params map[string]string, jsonPath string) error {
+// per small block size (where command-channel batching shows), the
+// many-tenant session sweep, and the open/close churn sweep — and merges
+// everything into one JSON report.
+func runFull(runner *bench.Runner, opts bench.FigureOptions, ops, churnOpens, pool int, tenantCells []int, params map[string]string, jsonPath string) error {
 	fmt.Printf("active files — full battery (%d ops per point)\n\n", ops)
 	panels, err := runner.RunFigure6(opts)
 	if err != nil {
@@ -425,6 +465,19 @@ func runFull(runner *bench.Runner, opts bench.FigureOptions, ops, churnOpens, po
 		return err
 	}
 	rep.AddBackends(0, beResults)
+
+	// Many-tenant sweep: the daemon's session registry under concurrent
+	// sessions — admission latency, quota rejections, drain. The top cell
+	// holds over a thousand sessions open at once.
+	tOpts := bench.TenantOptions{Sessions: tenantCells}
+	tenResults, err := runner.RunTenants(tOpts)
+	if err != nil {
+		return err
+	}
+	if err := bench.WriteTenantTable(os.Stdout, tOpts, tenResults); err != nil {
+		return err
+	}
+	rep.AddTenants(tenResults)
 
 	if churnOpens <= 0 {
 		churnOpens = bench.DefaultChurnOpens

@@ -10,18 +10,23 @@
 //	afctl mv copy.af moved.af
 //	afctl rm moved.af
 //	afctl ls .
+//	afctl stats 127.0.0.1:7070       # query a running afd's -stats endpoint
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"repro/activefile"
 	"repro/activefile/sentinel"
+	"repro/internal/daemon"
 )
 
 func main() {
@@ -34,7 +39,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return errors.New("usage: afctl <create|stat|cat|raw|write|ctl|cp|mv|rm|ls> ...")
+		return errors.New("usage: afctl <create|stat|cat|raw|write|ctl|cp|mv|rm|ls|stats> ...")
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
@@ -58,6 +63,8 @@ func run(args []string) error {
 		return oneArg(rest, "rm", activefile.Remove)
 	case "ls":
 		return runList(rest)
+	case "stats":
+		return runStats(rest)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
@@ -256,6 +263,71 @@ func runControl(args []string) error {
 		fmt.Println(string(reply))
 	}
 	return nil
+}
+
+// runStats queries a running afd's -stats endpoint and prints the
+// daemon-wide snapshot: per-tenant activity and quota rejections, per-op
+// latency, and the wire-level amortization totals.
+func runStats(args []string) error {
+	flags := flag.NewFlagSet("stats", flag.ContinueOnError)
+	rawJSON := flags.Bool("json", false, "print the raw JSON snapshot instead of tables")
+	if err := flags.Parse(args); err != nil {
+		return err
+	}
+	if flags.NArg() != 1 {
+		return errors.New("usage: afctl stats [-json] <host:port>")
+	}
+	addr := flags.Arg(0)
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + addr + "/stats")
+	if err != nil {
+		return fmt.Errorf("query afd stats at %s: %w", addr, err)
+	}
+	defer resp.Body.Close()
+	var st daemon.Stats
+	if *rawJSON {
+		_, err := io.Copy(os.Stdout, resp.Body)
+		return err
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return fmt.Errorf("decode stats from %s: %w", addr, err)
+	}
+	printStats(os.Stdout, st)
+	return nil
+}
+
+func printStats(w io.Writer, st daemon.Stats) {
+	state := "serving"
+	if st.Draining {
+		state = "draining"
+	}
+	fmt.Fprintf(w, "daemon:   %s, %d sessions, %d ops in flight\n", state, st.Sessions, st.InFlight)
+	if st.BatchFlushes > 0 {
+		fmt.Fprintf(w, "batching: %.2f frames/flush (%d frames, %d flushes)\n",
+			st.FramesPerFlush, st.BatchFrames, st.BatchFlushes)
+	}
+	if st.RecvFills > 0 {
+		fmt.Fprintf(w, "receive:  %d wakeups, %d bytes drained\n", st.RecvFills, st.RecvBytes)
+	}
+	if len(st.Tenants) > 0 {
+		fmt.Fprintf(w, "\n%-16s %8s %6s %8s %10s %8s %12s %12s %10s\n",
+			"tenant", "sessions", "peak", "inflight", "ops", "errors", "bytesRead", "bytesWritten", "rejected")
+		for _, row := range st.Tenants {
+			rejected := row.RejectedOverload + row.RejectedQuota + row.RejectedShutdown
+			fmt.Fprintf(w, "%-16s %8d %6d %8d %10d %8d %12d %12d %10d\n",
+				row.Name, row.Sessions, row.PeakSessions, row.InFlight,
+				row.Ops, row.Errors, row.BytesRead, row.BytesWritten, rejected)
+		}
+	}
+	if len(st.Ops) > 0 {
+		fmt.Fprintf(w, "\n%-10s %10s %12s %12s %12s %12s\n",
+			"op", "count", "mean µs", "p50 µs", "p99 µs", "max µs")
+		for _, op := range st.Ops {
+			fmt.Fprintf(w, "%-10s %10d %12.1f %12.0f %12.0f %12.0f\n",
+				op.Op, op.Count, op.MeanMicros, op.P50Micros, op.P99Micros, op.MaxMicros)
+		}
+	}
 }
 
 func runList(args []string) error {

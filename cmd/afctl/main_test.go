@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,6 +11,8 @@ import (
 
 	"repro/activefile/sentinel"
 	"repro/activefile/services"
+	"repro/internal/daemon"
+	"repro/internal/wire"
 )
 
 func TestMain(m *testing.M) {
@@ -206,5 +210,59 @@ func TestWriteViaProcessStrategy(t *testing.T) {
 	})
 	if err != nil || out != "through a subprocess" {
 		t.Errorf("raw = (%q, %v)", out, err)
+	}
+}
+
+// TestStatsCommand queries a live registry-backed stats endpoint the way a
+// daemon exports it and checks both table and raw-JSON rendering.
+func TestStatsCommand(t *testing.T) {
+	reg := daemon.NewRegistry(daemon.Quotas{MaxSessions: 1})
+	sess, err := reg.Admit("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := sess.Begin(wire.OpRead, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done(nil, 64)
+	if _, err := reg.Admit("acme"); err == nil {
+		t.Fatal("quota not enforced in fixture")
+	}
+	srv := httptest.NewServer(reg)
+	defer srv.Close()
+	addr := strings.TrimPrefix(srv.URL, "http://")
+
+	out, err := captureStdout(t, func() error {
+		return run([]string{"stats", addr})
+	})
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	for _, want := range []string{"serving", "acme", "read"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats output missing %q:\n%s", want, out)
+		}
+	}
+
+	raw, err := captureStdout(t, func() error {
+		return run([]string{"stats", "-json", addr})
+	})
+	if err != nil {
+		t.Fatalf("stats -json: %v", err)
+	}
+	var st daemon.Stats
+	if err := json.Unmarshal([]byte(raw), &st); err != nil {
+		t.Fatalf("stats -json not decodable: %v", err)
+	}
+	if len(st.Tenants) != 1 || st.Tenants[0].RejectedQuota != 1 {
+		t.Errorf("tenants = %+v", st.Tenants)
+	}
+
+	if err := run([]string{"stats"}); err == nil {
+		t.Error("stats with no address succeeded")
+	}
+	if err := run([]string{"stats", "127.0.0.1:1"}); err == nil {
+		t.Error("stats against a dead endpoint succeeded")
 	}
 }

@@ -1,20 +1,33 @@
-// Command afd runs the simulated remote information services active files
-// aggregate from and distribute to: the block file store, the stock-quote
-// feed, and the mail drop. It prints each bound address and serves until
-// interrupted.
+// Command afd runs the active-file daemon: the simulated remote information
+// services active files aggregate from and distribute to — the block file
+// store, the stock-quote feed, and the mail drop — plus the multi-tenant
+// session layer in front of the file service: per-tenant quotas, admission
+// control with typed backpressure, and a stats endpoint. It prints each
+// bound address and serves until interrupted or SIGTERMed, then drains:
+// in-flight operations finish, new work is refused with a typed shutdown
+// status, and connections close at frame boundaries. A second signal exits
+// immediately.
 //
 //	afd                          # all three services on ephemeral ports
 //	afd -file 127.0.0.1:7001 -quotes "" -mail ""
+//	afd -max-sessions 64 -max-inflight 128 -max-bytes 16777216
+//	afd -stats 127.0.0.1:7070    # then: afctl stats 127.0.0.1:7070
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/backend"
+	"repro/internal/daemon"
 	"repro/internal/remote"
 
 	// Make the network-crossing backend kinds available to -backend specs,
@@ -23,25 +36,57 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, waitForInterrupt); err != nil {
+	wait, _ := newSignalWaiter(os.Stderr, os.Exit)
+	if err := run(os.Args[1:], os.Stdout, wait); err != nil {
 		fmt.Fprintln(os.Stderr, "afd:", err)
 		os.Exit(1)
 	}
 }
 
-func waitForInterrupt() {
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
+// newSignalWaiter returns a wait function that blocks until the first
+// SIGINT or SIGTERM (what service managers send), announces the drain, and
+// arms an escape hatch: a second signal calls exit(1) immediately instead
+// of waiting out the drain. stop disarms the watcher (tests use it; main
+// exits before it matters).
+func newSignalWaiter(out io.Writer, exit func(int)) (wait func(), stop func()) {
+	sig := make(chan os.Signal, 2)
+	done := make(chan struct{})
+	// Notify at construction, not first wait: a signal landing between
+	// startup and the wait loop is then queued instead of fatal.
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	wait = func() {
+		s := <-sig
+		fmt.Fprintf(out, "afd: %v: draining (signal again to exit immediately)\n", s)
+		go func() {
+			select {
+			case s := <-sig:
+				fmt.Fprintf(out, "afd: %v: immediate exit\n", s)
+				exit(1)
+			case <-done:
+			}
+		}()
+	}
+	stop = func() {
+		signal.Stop(sig)
+		close(done)
+	}
+	return wait, stop
 }
 
-// config selects which services to start and where.
+// config selects which services to start and where, and how the
+// multi-tenant layer is bounded.
 type config struct {
 	fileAddr  string
 	quoteAddr string
 	mailAddr  string
+	statsAddr string
 	backend   string
 	seed      bool
+
+	maxSessions int
+	maxInFlight int
+	maxBytes    int64
+	drain       time.Duration
 }
 
 func parseFlags(args []string) (config, error) {
@@ -50,9 +95,14 @@ func parseFlags(args []string) (config, error) {
 	flags.StringVar(&cfg.fileAddr, "file", "127.0.0.1:0", "block file service address (empty to disable)")
 	flags.StringVar(&cfg.quoteAddr, "quotes", "127.0.0.1:0", "stock quote service address (empty to disable)")
 	flags.StringVar(&cfg.mailAddr, "mail", "127.0.0.1:0", "mail service address (empty to disable)")
+	flags.StringVar(&cfg.statsAddr, "stats", "127.0.0.1:0", "daemon stats HTTP address (empty to disable); query with afctl stats")
 	flags.StringVar(&cfg.backend, "backend", "mem",
 		"backend spec the file service exports (e.g. mem, nativefs:/srv/data, rofs:nativefs:/srv/ro, errorfs(rate=0.01):mem)")
 	flags.BoolVar(&cfg.seed, "seed", true, "seed demonstration data")
+	flags.IntVar(&cfg.maxSessions, "max-sessions", 0, "per-tenant cap on concurrently open sessions (0 = unlimited)")
+	flags.IntVar(&cfg.maxInFlight, "max-inflight", 0, "per-tenant cap on concurrently executing operations (0 = unlimited)")
+	flags.Int64Var(&cfg.maxBytes, "max-bytes", 0, "per-tenant cap on resident in-flight payload bytes (0 = unlimited)")
+	flags.DurationVar(&cfg.drain, "drain", 5*time.Second, "how long shutdown lets in-flight operations finish")
 	if err := flags.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -64,14 +114,23 @@ type services struct {
 	FileAddr  string
 	QuoteAddr string
 	MailAddr  string
+	StatsAddr string
+	Registry  *daemon.Registry
 	stops     []func() error
 }
 
-// Close stops every running service.
-func (s *services) Close() {
-	for _, stop := range s.stops {
-		stop()
+// Close stops every running service, in reverse start order, and returns
+// every stop failure joined — a failed teardown is a reportable fact, not
+// something to swallow.
+func (s *services) Close() error {
+	var errs []error
+	for i := len(s.stops) - 1; i >= 0; i-- {
+		if err := s.stops[i](); err != nil {
+			errs = append(errs, err)
+		}
 	}
+	s.stops = nil
+	return errors.Join(errs...)
 }
 
 // startServices launches the configured services.
@@ -84,6 +143,13 @@ func startServices(cfg config) (*services, error) {
 		}
 	}()
 
+	quotas := daemon.Quotas{
+		MaxSessions: cfg.maxSessions,
+		MaxInFlight: cfg.maxInFlight,
+		MaxBytes:    cfg.maxBytes,
+	}
+	svc.Registry = daemon.NewRegistry(quotas)
+
 	if cfg.fileAddr != "" {
 		spec := cfg.backend
 		if spec == "" {
@@ -94,6 +160,10 @@ func startServices(cfg config) (*services, error) {
 			return nil, fmt.Errorf("backend %q: %w", spec, err)
 		}
 		srv := remote.NewFileServerWith(store)
+		srv.SetRegistry(svc.Registry)
+		if cfg.drain > 0 {
+			srv.SetDrainTimeout(cfg.drain)
+		}
 		if cfg.seed && store.Caps().Has(backend.CapWrite) {
 			srv.Put("hello", []byte("hello from the block file service\n"))
 		}
@@ -134,6 +204,21 @@ func startServices(cfg config) (*services, error) {
 		svc.stops = append(svc.stops, srv.Close)
 		svc.MailAddr = addr
 	}
+	if cfg.statsAddr != "" {
+		ln, err := net.Listen("tcp", cfg.statsAddr)
+		if err != nil {
+			return nil, fmt.Errorf("stats listener: %w", err)
+		}
+		hs := &http.Server{Handler: svc.Registry}
+		go hs.Serve(ln)
+		svc.stops = append(svc.stops, func() error {
+			if err := hs.Close(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				return fmt.Errorf("stats server: %w", err)
+			}
+			return nil
+		})
+		svc.StatsAddr = ln.Addr().String()
+	}
 	ok = true
 	return svc, nil
 }
@@ -147,7 +232,6 @@ func run(args []string, out io.Writer, wait func()) error {
 	if err != nil {
 		return err
 	}
-	defer svc.Close()
 
 	if svc.FileAddr != "" {
 		fmt.Fprintln(out, "file service:  ", svc.FileAddr)
@@ -158,7 +242,13 @@ func run(args []string, out io.Writer, wait func()) error {
 	if svc.MailAddr != "" {
 		fmt.Fprintln(out, "mail service:  ", svc.MailAddr)
 	}
+	if svc.StatsAddr != "" {
+		fmt.Fprintln(out, "stats:         ", svc.StatsAddr)
+	}
 	fmt.Fprintln(out, "serving; interrupt to stop")
 	wait()
+	if err := svc.Close(); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
 	return nil
 }

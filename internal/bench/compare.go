@@ -25,7 +25,7 @@ func LoadReport(path string) (*Report, error) {
 		return nil, fmt.Errorf("parse report %s: %w", path, err)
 	}
 	switch rep.Schema {
-	case "afbench/v1", "afbench/v2", "afbench/v3", "afbench/v4", "afbench/v5":
+	case "afbench/v1", "afbench/v2", "afbench/v3", "afbench/v4", "afbench/v5", "afbench/v6":
 		return &rep, nil
 	default:
 		return nil, fmt.Errorf("report %s: unknown schema %q", path, rep.Schema)

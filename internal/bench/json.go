@@ -14,8 +14,10 @@ import (
 // (open latency) sections; v3 added the transport (pipe-vs-shm carrier)
 // sweep; v4 added the per-backend sweep; v5 added the syscall-economy cells
 // (doorbell and drain-mode wakeup counters) and the frames-per-wakeup column
-// in parallel cells. Older reports remain loadable for comparison.
-const ReportSchema = "afbench/v5"
+// in parallel cells; v6 added the many-tenant session sweep (concurrent
+// sessions, quota rejections, drain latency). Older reports remain loadable
+// for comparison.
+const ReportSchema = "afbench/v6"
 
 // Report is the machine-readable form of a benchmark run, written by
 // afbench -json so successive PRs can diff per-cell numbers instead of
@@ -38,6 +40,22 @@ type Report struct {
 	// Backends holds the per-backend sweep (afbench -full / -backend):
 	// the same sentinel over each backend kind, per block size.
 	Backends []BackendReportRow `json:"backends,omitempty"`
+	// Tenants holds the many-tenant session sweep (afbench -full /
+	// -tenants): concurrent sessions against the daemon's registry, with
+	// quota rejections and graceful-drain latency.
+	Tenants []TenantReportRow `json:"tenants,omitempty"`
+}
+
+// TenantReportRow is one concurrency cell of the many-tenant sweep.
+type TenantReportRow struct {
+	Sessions      int     `json:"sessions"`
+	Tenants       int     `json:"tenants"`
+	Admitted      int     `json:"admitted"`
+	RejectedQuota uint64  `json:"rejectedQuota"`
+	Ops           uint64  `json:"ops"`
+	MicrosPerOp   float64 `json:"microsPerOp"`
+	DrainMillis   float64 `json:"drainMillis"`
+	DrainClean    bool    `json:"drainClean"`
 }
 
 // BackendReportRow is one (backend, block) cell of the backend sweep.
@@ -231,6 +249,22 @@ func (rep *Report) AddBackends(strategy core.Strategy, results []BackendResult) 
 			Block:       row.Block,
 			ReadMicros:  row.ReadMicros,
 			WriteMicros: row.WriteMicros,
+		})
+	}
+}
+
+// AddTenants appends the many-tenant session sweep to the report.
+func (rep *Report) AddTenants(results []TenantResult) {
+	for _, res := range results {
+		rep.Tenants = append(rep.Tenants, TenantReportRow{
+			Sessions:      res.Sessions,
+			Tenants:       res.Tenants,
+			Admitted:      res.Admitted,
+			RejectedQuota: res.RejectedQuota,
+			Ops:           res.Ops,
+			MicrosPerOp:   res.MicrosPerOp(),
+			DrainMillis:   res.DrainMillis(),
+			DrainClean:    res.DrainClean,
 		})
 	}
 }

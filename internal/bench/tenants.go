@@ -1,0 +1,277 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/daemon"
+	"repro/internal/remote"
+	"repro/internal/wire"
+)
+
+// The many-tenant sweep measures the daemon layer itself: how the session
+// registry behaves when M clients multiplex one afd. Each cell spins a
+// registry-backed file server, admits a target number of concurrent
+// sessions spread across tenants (holding them all open at once, so the
+// concurrency is real rather than sequential), sends extra contenders past
+// the per-tenant session quota to count typed rejections, times the read
+// phase under full concurrency, and finally measures a graceful drain with
+// probes still reading. "Thousands of concurrent sessions" stops being a
+// claim and becomes the sessions column.
+
+const (
+	// DefaultTenantFanout is how many tenants the sessions spread across.
+	DefaultTenantFanout = 16
+	// DefaultTenantOps is the reads each admitted session performs.
+	DefaultTenantOps = 10
+	// DefaultTenantBlock is the read size in bytes.
+	DefaultTenantBlock = 64
+	// tenantDrainProbes caps the sessions kept reading through the drain.
+	tenantDrainProbes = 32
+	// tenantDrainLatency is injected before the drain so in-flight work
+	// spans it — otherwise loopback reads finish in microseconds and the
+	// drain measures nothing.
+	tenantDrainLatency = 2 * time.Millisecond
+)
+
+// TenantOptions adjust the many-tenant sweep.
+type TenantOptions struct {
+	// Sessions are the sweep cells: target concurrently-open sessions per
+	// cell. Each target is rounded up to a multiple of Tenants so the
+	// per-tenant quota divides evenly.
+	Sessions []int
+	// Tenants is the fanout; 0 means DefaultTenantFanout.
+	Tenants int
+	// Ops is the reads per admitted session; 0 means DefaultTenantOps.
+	Ops int
+	// Block is the read size; 0 means DefaultTenantBlock.
+	Block int
+}
+
+// TenantResult is one cell of the sweep.
+type TenantResult struct {
+	Sessions      int    // admitted concurrent sessions (quota × tenants)
+	Tenants       int    // tenant fanout
+	Admitted      int    // sessions actually admitted (should equal Sessions)
+	RejectedQuota uint64 // contenders refused with wire.ErrQuotaExceeded
+	Ops           uint64 // reads served during the timed phase
+	Total         time.Duration
+	DrainTime     time.Duration // Shutdown latency with probes in flight
+	DrainClean    bool          // drain quiesced within its deadline
+}
+
+// MicrosPerOp returns the mean read latency under full session concurrency.
+func (r TenantResult) MicrosPerOp() float64 {
+	if r.Ops == 0 {
+		return 0
+	}
+	return float64(r.Total.Nanoseconds()) / float64(r.Ops) / 1e3
+}
+
+// DrainMillis returns the drain latency in milliseconds.
+func (r TenantResult) DrainMillis() float64 {
+	return float64(r.DrainTime.Nanoseconds()) / 1e6
+}
+
+// RunTenants sweeps the daemon's session layer across the configured
+// concurrency targets. Each cell is self-contained: its own file server,
+// registry, and client fleet.
+func (r *Runner) RunTenants(opts TenantOptions) ([]TenantResult, error) {
+	tenants := opts.Tenants
+	if tenants <= 0 {
+		tenants = DefaultTenantFanout
+	}
+	ops := opts.Ops
+	if ops <= 0 {
+		ops = DefaultTenantOps
+	}
+	block := opts.Block
+	if block <= 0 {
+		block = DefaultTenantBlock
+	}
+	targets := opts.Sessions
+	if len(targets) == 0 {
+		targets = []int{64, 256, 1024}
+	}
+	var results []TenantResult
+	for _, target := range targets {
+		res, err := measureTenantCell(target, tenants, ops, block)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// measureTenantCell runs one (target sessions) cell.
+func measureTenantCell(target, tenants, ops, block int) (TenantResult, error) {
+	quota := (target + tenants - 1) / tenants // per-tenant; rounds target up
+	sessions := quota * tenants
+	// One extra contender per tenant keeps the quota engaged in every cell
+	// without flooding small cells with rejections.
+	extra := 1 + quota/8
+
+	srv := remote.NewFileServer()
+	srv.SetRegistry(daemon.NewRegistry(daemon.Quotas{MaxSessions: quota}))
+	size := 4096
+	if size < 2*block {
+		size = 2 * block
+	}
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte('a' + i%26)
+	}
+	for t := 0; t < tenants; t++ {
+		srv.Put(fmt.Sprintf("t%d/obj", t), payload)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return TenantResult{}, err
+	}
+	defer srv.Close()
+
+	var (
+		wg       sync.WaitGroup
+		admitted atomic.Uint64
+		rejected atomic.Uint64
+		served   atomic.Uint64
+		dialErr  atomic.Pointer[error]
+	)
+	opened := make(chan struct{}, sessions) // one tick per admitted session
+	hold := make(chan struct{})             // closed to start the timed phase
+	clients := make([]*remote.Client, 0, sessions)
+	var clientsMu sync.Mutex
+
+	for t := 0; t < tenants; t++ {
+		name := fmt.Sprintf("t%d/obj", t)
+		for c := 0; c < quota+extra; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// No retries: a quota rejection must surface typed, not be
+				// retried into admission once a rival closes.
+				cl, err := remote.DialWith(addr, name, remote.DialOptions{MaxRetries: -1})
+				if errors.Is(err, wire.ErrQuotaExceeded) {
+					rejected.Add(1)
+					opened <- struct{}{}
+					return
+				}
+				if err != nil {
+					dialErr.Store(&err)
+					opened <- struct{}{}
+					return
+				}
+				admitted.Add(1)
+				clientsMu.Lock()
+				clients = append(clients, cl)
+				clientsMu.Unlock()
+				opened <- struct{}{}
+				<-hold // every admitted session is open before anyone reads
+				buf := make([]byte, block)
+				for i := 0; i < ops; i++ {
+					if _, rerr := cl.ReadAt(buf, int64((i*block)%(len(payload)-block))); rerr != nil {
+						err := fmt.Errorf("tenant read: %w", rerr)
+						dialErr.Store(&err)
+						return
+					}
+					served.Add(1)
+				}
+			}()
+		}
+	}
+	for i := 0; i < tenants*(quota+extra); i++ {
+		<-opened
+	}
+
+	start := time.Now()
+	close(hold)
+	wg.Wait()
+	total := time.Since(start)
+	if errp := dialErr.Load(); errp != nil {
+		for _, cl := range clients {
+			cl.Close()
+		}
+		return TenantResult{}, *errp
+	}
+
+	// Drain phase: keep a handful of sessions reading, inject latency so
+	// their operations span the shutdown, and time the graceful drain.
+	probes := tenantDrainProbes
+	if probes > len(clients) {
+		probes = len(clients)
+	}
+	srv.SetLatency(tenantDrainLatency)
+	var probeWG sync.WaitGroup
+	for _, cl := range clients[:probes] {
+		probeWG.Add(1)
+		go func(cl *remote.Client) {
+			defer probeWG.Done()
+			buf := make([]byte, block)
+			for {
+				if _, rerr := cl.ReadAt(buf, 0); rerr != nil {
+					return // shutdown status or connection close ends the probe
+				}
+			}
+		}(cl)
+	}
+	time.Sleep(5 * time.Millisecond) // let the probes get in flight
+	drainStart := time.Now()
+	clean := srv.Shutdown(10 * time.Second)
+	drain := time.Since(drainStart)
+	probeWG.Wait()
+	for _, cl := range clients {
+		cl.Close()
+	}
+
+	return TenantResult{
+		Sessions:      sessions,
+		Tenants:       tenants,
+		Admitted:      int(admitted.Load()),
+		RejectedQuota: rejected.Load(),
+		Ops:           served.Load(),
+		Total:         total,
+		DrainTime:     drain,
+		DrainClean:    clean,
+	}, nil
+}
+
+// WriteTenantTable renders the many-tenant sweep as an aligned table.
+func WriteTenantTable(w io.Writer, opts TenantOptions, results []TenantResult) error {
+	if len(results) == 0 {
+		return nil
+	}
+	ops := opts.Ops
+	if ops <= 0 {
+		ops = DefaultTenantOps
+	}
+	block := opts.Block
+	if block <= 0 {
+		block = DefaultTenantBlock
+	}
+	if _, err := fmt.Fprintf(w, "many-tenant sessions — %d tenants, %d × %d B reads per session, per-tenant quota + drain\n",
+		results[0].Tenants, ops, block); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%10s%10s%10s%12s%12s%8s\n",
+		"sessions", "admitted", "rejected", "µs/op", "drain ms", "clean"); err != nil {
+		return err
+	}
+	for _, res := range results {
+		clean := "yes"
+		if !res.DrainClean {
+			clean = "NO"
+		}
+		if _, err := fmt.Fprintf(w, "%10d%10d%10d%12.1f%12.2f%8s\n",
+			res.Sessions, res.Admitted, res.RejectedQuota,
+			res.MicrosPerOp(), res.DrainMillis(), clean); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

@@ -1,0 +1,65 @@
+package bench_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func TestRunTenantsSweep(t *testing.T) {
+	r := newRunner(t)
+	opts := bench.TenantOptions{Sessions: []int{8, 16}, Tenants: 4, Ops: 3, Block: 16}
+	results, err := r.RunTenants(opts)
+	if err != nil {
+		t.Fatalf("RunTenants: %v", err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d cells, want 2", len(results))
+	}
+	for _, res := range results {
+		// Targets divide by the fanout, so admitted capacity is exact.
+		if res.Admitted != res.Sessions {
+			t.Errorf("cell %d: admitted %d of %d sessions", res.Sessions, res.Admitted, res.Sessions)
+		}
+		if res.RejectedQuota == 0 {
+			t.Errorf("cell %d: quota never engaged", res.Sessions)
+		}
+		if want := uint64(res.Admitted * 3); res.Ops != want {
+			t.Errorf("cell %d: ops = %d, want %d", res.Sessions, res.Ops, want)
+		}
+		if res.MicrosPerOp() <= 0 {
+			t.Errorf("cell %d: non-positive µs/op", res.Sessions)
+		}
+		if !res.DrainClean {
+			t.Errorf("cell %d: drain did not quiesce cleanly", res.Sessions)
+		}
+		if res.DrainTime <= 0 {
+			t.Errorf("cell %d: drain not measured", res.Sessions)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := bench.WriteTenantTable(&buf, opts, results); err != nil {
+		t.Fatalf("WriteTenantTable: %v", err)
+	}
+	out := buf.String()
+	for _, col := range []string{"sessions", "rejected", "drain ms", "clean"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("table missing %q column:\n%s", col, out)
+		}
+	}
+}
+
+func TestTenantRoundsTargetUpToFanout(t *testing.T) {
+	r := newRunner(t)
+	// 10 sessions over 4 tenants rounds up to a quota of 3 each = 12.
+	results, err := r.RunTenants(bench.TenantOptions{Sessions: []int{10}, Tenants: 4, Ops: 1})
+	if err != nil {
+		t.Fatalf("RunTenants: %v", err)
+	}
+	if results[0].Sessions != 12 || results[0].Admitted != 12 {
+		t.Errorf("cell = %+v, want 12 sessions admitted", results[0])
+	}
+}

@@ -1,0 +1,98 @@
+package daemon
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of latency buckets: bucket i counts
+// observations with latency < 2^i microseconds (bucket 0: sub-microsecond),
+// and the last bucket absorbs everything slower (≥ ~65ms). Power-of-two
+// bucketing makes Observe a CLZ plus one atomic add — cheap enough for
+// every operation on the daemon's hot path.
+const histBuckets = 18
+
+// Histogram is a lock-free log-scaled latency histogram. The zero value is
+// ready; Observe and Snapshot may race freely (snapshots are
+// monotonically consistent per bucket, which is all a stats endpoint
+// needs).
+type Histogram struct {
+	counts [histBuckets]atomic.Uint64
+	sum    atomic.Uint64 // microseconds
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	us := uint64(d / time.Microsecond)
+	b := bits.Len64(us) // 0 for <1µs, k for [2^(k-1), 2^k)
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.counts[b].Add(1)
+	h.sum.Add(us)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, serializable
+// and queryable for quantiles.
+type HistogramSnapshot struct {
+	// Counts[i] holds samples with latency < 2^i µs; the last bucket is
+	// the overflow.
+	Counts    []uint64 `json:"counts"`
+	Count     uint64   `json:"count"`
+	SumMicros uint64   `json:"sumMicros"`
+}
+
+// Snapshot copies the histogram's current counts.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Counts: make([]uint64, histBuckets)}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.SumMicros = h.sum.Load()
+	return s
+}
+
+// MeanMicros returns the mean sample latency in microseconds.
+func (s HistogramSnapshot) MeanMicros() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.SumMicros) / float64(s.Count)
+}
+
+// QuantileMicros returns an upper bound on the q-quantile latency in
+// microseconds: the top edge of the bucket where the cumulative count
+// crosses q. Resolution is a factor of two — coarse, but stable and free
+// of sampling.
+func (s HistogramSnapshot) QuantileMicros(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(s.Count))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= target {
+			if i == 0 {
+				return 1
+			}
+			return float64(uint64(1) << i)
+		}
+	}
+	return float64(uint64(1) << (len(s.Counts) - 1))
+}

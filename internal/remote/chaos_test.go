@@ -158,7 +158,7 @@ func TestClientServerKilledMidPipeline(t *testing.T) {
 	}
 
 	time.Sleep(30 * time.Millisecond) // let the pipeline fill
-	srv.Close()                       // kill the server under it
+	srv.Kill()                        // kill the server under it, mid-frame
 
 	waitDone := make(chan struct{})
 	go func() { wg.Wait(); close(waitDone) }()

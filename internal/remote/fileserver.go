@@ -6,9 +6,11 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/backend"
+	"repro/internal/daemon"
 	"repro/internal/wire"
 )
 
@@ -33,10 +35,28 @@ type FileServer struct {
 	wg     sync.WaitGroup
 	closed bool
 
+	// reg, when set, makes the server multi-tenant: every session is
+	// admitted against per-tenant quotas and every operation passes
+	// admission control, with activity accounted daemon-wide. Without a
+	// registry the server admits everything (the embedded/test
+	// configuration).
+	reg *daemon.Registry
+
+	// draining flips when shutdown begins: in-flight operations finish,
+	// new requests are refused with wire.ErrShuttingDown, and connections
+	// close only once quiet — at frame boundaries, never mid-reply.
+	draining     atomic.Bool
+	inflightOps  atomic.Int64 // ops between intake and reply flush
+	drainTimeout time.Duration
+
 	latency   time.Duration
 	failNext  error
 	stallNext time.Duration
 }
+
+// DefaultDrainTimeout bounds how long Close waits for in-flight
+// operations to finish before tearing connections down anyway.
+const DefaultDrainTimeout = 2 * time.Second
 
 // NewFileServer returns a server over an empty in-memory object store.
 func NewFileServer() *FileServer {
@@ -53,6 +73,19 @@ func NewFileServerWith(store backend.Backend) *FileServer {
 
 // Store returns the backend the server is exporting.
 func (s *FileServer) Store() backend.Backend { return s.store }
+
+// SetRegistry installs the multi-tenant session registry. Every
+// connection's OpOpen is then admitted against the named tenant's session
+// quota (daemon.TenantOf maps object names to tenants) and every
+// operation passes admission control. Set it before Start.
+func (s *FileServer) SetRegistry(reg *daemon.Registry) { s.reg = reg }
+
+// Registry returns the installed session registry, if any.
+func (s *FileServer) Registry() *daemon.Registry { return s.reg }
+
+// SetDrainTimeout overrides how long Close lets in-flight operations
+// finish before forcing connections down. Set it before Start.
+func (s *FileServer) SetDrainTimeout(d time.Duration) { s.drainTimeout = d }
 
 // Put creates or replaces the named object's contents in place, so sessions
 // already bound to the name observe the new bytes. It is a best-effort
@@ -169,14 +202,33 @@ func (s *FileServer) acceptLoop(ln net.Listener) {
 	}
 }
 
-// Close stops the listener and tears down every active connection.
+// Close gracefully shuts the server down: it stops accepting, lets
+// in-flight operations finish (bounded by the drain timeout), refuses new
+// requests with wire.ErrShuttingDown, and only then closes connections —
+// at frame boundaries, so clients see a typed rejection or a clean EOF
+// instead of a torn frame.
 func (s *FileServer) Close() error {
+	d := s.drainTimeout
+	if d <= 0 {
+		d = DefaultDrainTimeout
+	}
+	s.Shutdown(d)
+	return nil
+}
+
+// Kill tears the server down ABRUPTLY: the listener and every live
+// connection close immediately, mid-frame if one is in flight. It is the
+// crash simulation the chaos suites use; real shutdown goes through Close
+// or Shutdown, which drain first.
+func (s *FileServer) Kill() {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return nil
+		s.wg.Wait()
+		return
 	}
 	s.closed = true
+	s.draining.Store(true)
 	ln := s.ln
 	for c := range s.conns {
 		c.Close()
@@ -186,7 +238,53 @@ func (s *FileServer) Close() error {
 		ln.Close()
 	}
 	s.wg.Wait()
-	return nil
+}
+
+// Shutdown is Close with an explicit drain deadline. It reports whether
+// the server quiesced (every in-flight operation finished and its reply
+// flushed) before connections were torn down; false means the deadline
+// expired with work still running and the teardown was forced.
+func (s *FileServer) Shutdown(timeout time.Duration) bool {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return s.inflightOps.Load() == 0
+	}
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+
+	// Stop intake: no new connections, and every request read from here on
+	// is answered with the typed shutdown status instead of dispatched.
+	s.draining.Store(true)
+	if s.reg != nil {
+		s.reg.Drain(0) // flip the registry too; the wait happens below
+	}
+	if ln != nil {
+		ln.Close()
+	}
+
+	// Let in-flight operations settle — each is counted from intake until
+	// its reply has flushed, so reaching zero means every connection sits
+	// at a frame boundary.
+	clean := true
+	deadline := time.Now().Add(timeout)
+	for s.inflightOps.Load() > 0 {
+		if time.Now().After(deadline) {
+			clean = false
+			break
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return clean
 }
 
 // injectedDelayAndFault applies configured latency and returns any one-shot
@@ -232,6 +330,18 @@ func (s *FileServer) serveConn(conn net.Conn) {
 		w.WriteResponse(resp) // a dead connection surfaces on the next read
 	}
 
+	// sess is the connection's admitted tenant session (nil without a
+	// registry, or before OpOpen). When the connection ends its wire-level
+	// amortization counters fold into the daemon-wide aggregate.
+	var sess *daemon.Session
+	defer func() {
+		sess.Close()
+		if s.reg != nil {
+			s.reg.AddBatchStats(w.Stats())
+			s.reg.AddDrainStats(dr.Stats())
+		}
+	}()
+
 	// The connection binds one backend object at OpOpen. Backends hand out
 	// handles onto shared state (mem) or shared files (nativefs), so
 	// replacements (Put) and other sessions' writes stay visible through a
@@ -248,12 +358,46 @@ func (s *FileServer) serveConn(conn net.Conn) {
 	handle := func(req *wire.Request) {
 		resp := wire.Response{Seq: req.Seq, Status: wire.StatusOK}
 		release := func() {}
+		// Shutdown and admission checks come first: a refused operation is
+		// answered immediately with a typed status — it never queues.
+		if s.draining.Load() {
+			resp.Status, resp.Msg = wire.FromError(wire.ErrShuttingDown)
+			respond(&resp)
+			return
+		}
+		var done daemon.DoneFunc
+		if sess != nil {
+			var resident int64
+			switch req.Op {
+			case wire.OpRead:
+				resident = req.N // the response buffer the read reserves
+			case wire.OpWrite:
+				resident = int64(len(req.Data))
+			}
+			var aerr error
+			done, aerr = sess.Begin(req.Op, resident)
+			if aerr != nil {
+				resp.Status, resp.Msg = wire.FromError(aerr)
+				respond(&resp)
+				return
+			}
+		}
+		settle := func() {
+			if done != nil {
+				var opErr error
+				if resp.Status != wire.StatusOK && resp.Status != wire.StatusEOF {
+					opErr = wire.ToError(req.Op, resp.Status, resp.Msg)
+				}
+				done(opErr, resp.N)
+			}
+		}
 		if ierr := s.injectedDelayAndFault(); ierr != nil {
 			resp.Status, resp.Msg = wire.FromError(ierr)
 			if resp.Status == wire.StatusOK {
 				resp.Status = wire.StatusError
 			}
 			respond(&resp)
+			settle()
 			return
 		}
 		switch req.Op {
@@ -316,6 +460,7 @@ func (s *FileServer) serveConn(conn net.Conn) {
 			resp.Status = wire.StatusUnsupported
 		}
 		respond(&resp)
+		settle() // latency includes the reply flush
 		release()
 	}
 
@@ -334,13 +479,53 @@ func (s *FileServer) serveConn(conn net.Conn) {
 				return
 			}
 			inflight.Wait() // settle workers before changing connection state
+			s.inflightOps.Add(1)
 			resp := wire.Response{Seq: req.Seq, Status: wire.StatusOK}
+			if s.draining.Load() {
+				resp.Status, resp.Msg = wire.FromError(wire.ErrShuttingDown)
+				respond(&resp)
+				s.inflightOps.Add(-1)
+				continue
+			}
+			// Admission precedes backend work: a tenant at its session cap
+			// is refused with a typed status before anything opens.
+			// Rebinding re-admits under the new name's tenant.
+			var (
+				newSess *daemon.Session
+				done    daemon.DoneFunc
+			)
+			if s.reg != nil {
+				var aerr error
+				newSess, aerr = s.reg.Admit(daemon.TenantOf(string(name)))
+				if aerr == nil {
+					done, aerr = newSess.Begin(wire.OpOpen, 0)
+				}
+				if aerr != nil {
+					newSess.Close()
+					resp.Status, resp.Msg = wire.FromError(aerr)
+					respond(&resp)
+					s.inflightOps.Add(-1)
+					continue
+				}
+			}
+			settleOpen := func() {
+				if done != nil {
+					var opErr error
+					if resp.Status != wire.StatusOK {
+						opErr = wire.ToError(wire.OpOpen, resp.Status, resp.Msg)
+					}
+					done(opErr, 0)
+				}
+			}
 			if ierr := s.injectedDelayAndFault(); ierr != nil {
 				resp.Status, resp.Msg = wire.FromError(ierr)
 				if resp.Status == wire.StatusOK {
 					resp.Status = wire.StatusError
 				}
 				respond(&resp)
+				settleOpen()
+				newSess.Close()
+				s.inflightOps.Add(-1)
 				continue
 			}
 			// Rebinding a connection closes the previous object first.
@@ -355,21 +540,33 @@ func (s *FileServer) serveConn(conn net.Conn) {
 					resp.Status = wire.StatusError
 				}
 				respond(&resp)
+				settleOpen()
+				newSess.Close()
+				s.inflightOps.Add(-1)
 				continue
 			}
 			obj, opened = o, true
+			if s.reg != nil {
+				sess.Close() // release the previous binding's slot on rebind
+				sess = newSess
+			}
 			respond(&resp)
+			settleOpen()
+			s.inflightOps.Add(-1)
 
 		case wire.OpClose:
 			if err := r.DiscardPayload(); err != nil {
 				return
 			}
 			inflight.Wait() // every outstanding reply precedes the goodbye
+			s.inflightOps.Add(1)
 			if obj != nil {
 				obj.Close()
 				obj, opened = nil, false
 			}
+			sess.Close() // free the tenant's session slot promptly
 			respond(&wire.Response{Seq: req.Seq, Status: wire.StatusOK})
+			s.inflightOps.Add(-1)
 			return
 
 		default:
@@ -386,8 +583,10 @@ func (s *FileServer) serveConn(conn net.Conn) {
 				qreq.Data, release = buf, rel
 			}
 			inflight.Add(1)
+			s.inflightOps.Add(1)
 			go func() {
 				defer inflight.Done()
+				defer s.inflightOps.Add(-1)
 				handle(&qreq)
 				release()
 			}()

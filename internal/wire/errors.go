@@ -16,6 +16,17 @@ var (
 	ErrClosed      = errors.New("active file session is closed")
 	ErrNotFound    = errors.New("object not found")
 	ErrBusy        = errors.New("resource busy")
+
+	// Admission-control rejections, produced by a multi-tenant daemon that
+	// bounds its intake instead of queueing without limit. ErrOverloaded is
+	// transient — the tenant's in-flight bound is momentarily full and the
+	// same request can succeed a moment later. ErrQuotaExceeded is a standing
+	// limit (session count, byte budget) the tenant must release resources to
+	// get under. ErrShuttingDown means the server is draining: in-flight work
+	// finishes, new work is refused, and the connection closes cleanly.
+	ErrOverloaded    = errors.New("server overloaded: tenant in-flight bound reached")
+	ErrQuotaExceeded = errors.New("tenant quota exceeded")
+	ErrShuttingDown  = errors.New("server shutting down")
 )
 
 // RemoteError is a failure reported by the sentinel with a textual detail.
@@ -45,6 +56,12 @@ func ToError(op Op, st Status, msg string) error {
 		return ErrNotFound
 	case StatusBusy:
 		return ErrBusy
+	case StatusOverloaded:
+		return ErrOverloaded
+	case StatusQuota:
+		return ErrQuotaExceeded
+	case StatusShutdown:
+		return ErrShuttingDown
 	default:
 		if msg == "" {
 			msg = "unspecified error"
@@ -69,6 +86,12 @@ func FromError(err error) (Status, string) {
 		return StatusNotFound, ""
 	case errors.Is(err, ErrBusy):
 		return StatusBusy, ""
+	case errors.Is(err, ErrOverloaded):
+		return StatusOverloaded, ""
+	case errors.Is(err, ErrQuotaExceeded):
+		return StatusQuota, ""
+	case errors.Is(err, ErrShuttingDown):
+		return StatusShutdown, ""
 	default:
 		return StatusError, err.Error()
 	}

@@ -96,6 +96,9 @@ const (
 	StatusClosed                        // session already closed
 	StatusNotFound                      // named object missing
 	StatusBusy                          // resource locked by another session
+	StatusOverloaded                    // admission control: in-flight bound reached, retry later
+	StatusQuota                         // tenant quota exhausted (sessions, bytes)
+	StatusShutdown                      // server is draining; no new work accepted
 )
 
 var statusNames = map[Status]string{
@@ -106,6 +109,9 @@ var statusNames = map[Status]string{
 	StatusClosed:      "closed",
 	StatusNotFound:    "not found",
 	StatusBusy:        "busy",
+	StatusOverloaded:  "overloaded",
+	StatusQuota:       "quota exceeded",
+	StatusShutdown:    "shutting down",
 }
 
 // String returns the lower-case status name.
