@@ -9,8 +9,8 @@
 # regenerates the committed Figure 6 JSON report.
 
 GO ?= go
-BENCH_JSON ?= BENCH_7.json
-BENCH_BASE ?= BENCH_6.json
+BENCH_JSON ?= BENCH_8.json
+BENCH_BASE ?= BENCH_7.json
 
 .PHONY: all tier1 race conformance bench-smoke bench-json bench-compare
 
@@ -28,13 +28,15 @@ race:
 		./internal/ipc ./internal/core ./internal/remote ./internal/faultinject ./internal/bench
 	$(GO) test -race -count=1 -run 'Tenant|Drain|Daemon|Sigterm|Signal' \
 		./internal/daemon ./internal/remote ./cmd/afd
+	$(GO) test -race -count=1 -run 'Fleet|Lease|Refusal|Map' \
+		./internal/fleet ./internal/remote ./internal/cache
 
 # The backend contract suite: conformance profiles over every backend kind
 # directly (package backend) and end-to-end through each strategy via the
 # manifest backend= param (package core), with the race detector on.
 conformance:
 	$(GO) test -race -count=1 -run 'Conformance|TestBackend' \
-		./internal/backend/... ./internal/core ./internal/remote
+		./internal/backend/... ./internal/core ./internal/remote ./internal/fleet
 
 # Smoke-run the benchmark panels: the parallel sweep plus the wire
 # allocation benchmarks (which assert the zero-copy framing stays
@@ -48,6 +50,7 @@ bench-smoke:
 	$(GO) test -run NONE -bench BenchmarkOpenClose -benchtime 3x ./internal/bench
 	$(GO) test -run NONE -bench BenchmarkShardedCacheParallelHits -benchtime 100x ./internal/cache
 	$(GO) run ./cmd/afbench -transport sweep -panel c -op read -blocks 64 -ops 200
+	$(GO) run ./cmd/afbench -fleet 1,2 -ops 200
 
 # Regenerate the machine-readable benchmark report committed alongside
 # EXPERIMENTS.md: the Figure 6 panels plus the concurrency sweeps (with

@@ -34,9 +34,15 @@
 //
 //	afbench -tenants 64,1024
 //
+// With -fleet it sweeps sharded FileServer fleets — aggregate read
+// throughput of 16 clients against 1/2/4 bandwidth-capped shards, plus a
+// hot-file replication pair:
+//
+//	afbench -fleet 1,2,4
+//
 // With -full it runs the Figure 6 panels, a remote-path concurrency sweep,
-// the many-tenant session sweep, and the churn sweep, merging everything
-// into one JSON report:
+// the many-tenant session sweep, the fleet scaling sweep, and the churn
+// sweep, merging everything into one JSON report:
 //
 //	afbench -full -json BENCH_3.json
 //
@@ -84,6 +90,8 @@ func run(args []string) error {
 		readAhead   = flags.Bool("readahead", true, "enable adaptive read-ahead in the sentinel strategies (ablation switch)")
 		writeBehind = flags.Bool("writebehind", false, "enable write coalescing in the sentinel strategies")
 		tenants     = flags.String("tenants", "", "comma-separated concurrent-session counts (e.g. 64,1024); sweeps the daemon's multi-tenant session layer instead of Figure 6")
+		fleetCells  = flags.String("fleet", "", "comma-separated shard counts (e.g. 1,2,4); sweeps sharded-fleet scaling instead of Figure 6")
+		fleetBW     = flags.Int("fleet-bw", bench.DefaultFleetBandwidthMB, "per-shard bandwidth cap for the fleet sweep in MB/s (negative = uncapped)")
 		churn       = flags.Int("churn", 0, "sweep open/close churn with this many opens per cell instead of Figure 6")
 		pool        = flags.Int("pool", bench.DefaultChurnPool, "warm sentinel pool size for the churn sweep's pooled cell")
 		full        = flags.Bool("full", false, "run Figure 6 + a remote concurrency sweep + the churn sweep, merged into one JSON report")
@@ -211,6 +219,17 @@ func run(args []string) error {
 		}
 	}
 
+	var fleetShards []int
+	if *fleetCells != "" {
+		for _, part := range strings.Split(*fleetCells, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				return fmt.Errorf("bad fleet shard count %q", part)
+			}
+			fleetShards = append(fleetShards, n)
+		}
+	}
+
 	var degrees []int
 	if *parallel != "" {
 		for _, part := range strings.Split(*parallel, ",") {
@@ -239,7 +258,27 @@ func run(args []string) error {
 	}
 
 	if *full {
-		return runFull(runner, opts, *ops, *churn, *pool, tenantCells, params, *jsonPath)
+		return runFull(runner, opts, *ops, *churn, *pool, tenantCells, fleetShards, *fleetBW, params, *jsonPath)
+	}
+
+	if fleetShards != nil {
+		fopts := bench.FleetOptions{Shards: fleetShards, BandwidthMB: *fleetBW}
+		results, err := runner.RunFleet(fopts)
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteFleetTable(os.Stdout, fopts, results); err != nil {
+			return err
+		}
+		if *jsonPath != "" {
+			rep := bench.BuildReport(nil, *ops, params)
+			rep.AddFleet(fopts, results)
+			if err := rep.WriteJSONFile(*jsonPath); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonPath)
+		}
+		return nil
 	}
 
 	if tenantCells != nil {
@@ -390,7 +429,7 @@ func run(args []string) error {
 // per small block size (where command-channel batching shows), the
 // many-tenant session sweep, and the open/close churn sweep — and merges
 // everything into one JSON report.
-func runFull(runner *bench.Runner, opts bench.FigureOptions, ops, churnOpens, pool int, tenantCells []int, params map[string]string, jsonPath string) error {
+func runFull(runner *bench.Runner, opts bench.FigureOptions, ops, churnOpens, pool int, tenantCells, fleetShards []int, fleetBW int, params map[string]string, jsonPath string) error {
 	fmt.Printf("active files — full battery (%d ops per point)\n\n", ops)
 	panels, err := runner.RunFigure6(opts)
 	if err != nil {
@@ -478,6 +517,18 @@ func runFull(runner *bench.Runner, opts bench.FigureOptions, ops, churnOpens, po
 		return err
 	}
 	rep.AddTenants(tenResults)
+
+	// Fleet scaling sweep: aggregate throughput against 1/2/4 bandwidth-
+	// capped shards, plus the hot-file replication pair.
+	fOpts := bench.FleetOptions{Shards: fleetShards, BandwidthMB: fleetBW}
+	fResults, err := runner.RunFleet(fOpts)
+	if err != nil {
+		return err
+	}
+	if err := bench.WriteFleetTable(os.Stdout, fOpts, fResults); err != nil {
+		return err
+	}
+	rep.AddFleet(fOpts, fResults)
 
 	if churnOpens <= 0 {
 		churnOpens = bench.DefaultChurnOpens

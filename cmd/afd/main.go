@@ -23,6 +23,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -33,6 +34,8 @@ import (
 	// Make the network-crossing backend kinds available to -backend specs,
 	// so one afd can re-export another's file service.
 	_ "repro/internal/backend/remotefs"
+
+	"repro/internal/fleet"
 )
 
 func main() {
@@ -87,6 +90,15 @@ type config struct {
 	maxInFlight int
 	maxBytes    int64
 	drain       time.Duration
+
+	// Static fleet membership: join lists every shard address (including
+	// this one), self names this server in that list, replicas and hot
+	// configure hot-file replication. Every shard must be started with the
+	// same three placement flags so the fleet agrees on one map.
+	join     string
+	self     string
+	replicas int
+	hot      string
 }
 
 func parseFlags(args []string) (config, error) {
@@ -103,10 +115,42 @@ func parseFlags(args []string) (config, error) {
 	flags.IntVar(&cfg.maxInFlight, "max-inflight", 0, "per-tenant cap on concurrently executing operations (0 = unlimited)")
 	flags.Int64Var(&cfg.maxBytes, "max-bytes", 0, "per-tenant cap on resident in-flight payload bytes (0 = unlimited)")
 	flags.DurationVar(&cfg.drain, "drain", 5*time.Second, "how long shutdown lets in-flight operations finish")
+	flags.StringVar(&cfg.join, "join", "", "comma-separated fleet shard addresses (static membership; include this server)")
+	flags.StringVar(&cfg.self, "self", "", "this server's address within -join (required with -join; must match -file)")
+	flags.IntVar(&cfg.replicas, "replicas", 1, "replication factor for hot files across the fleet")
+	flags.StringVar(&cfg.hot, "hot", "", "semicolon-separated globs naming hot (replicated) files, e.g. 'hot/*;indexes/*'")
 	if err := flags.Parse(args); err != nil {
 		return config{}, err
 	}
+	if cfg.join != "" && cfg.self == "" {
+		return config{}, fmt.Errorf("-join requires -self (this server's address in the member list)")
+	}
 	return cfg, nil
+}
+
+// fleetMap builds the shard map a -join'ed server serves and enforces.
+func fleetMap(cfg config) (*fleet.Map, error) {
+	var addrs []string
+	selfListed := false
+	for _, a := range strings.Split(cfg.join, ",") {
+		if a = strings.TrimSpace(a); a == "" {
+			continue
+		}
+		addrs = append(addrs, a)
+		if a == cfg.self {
+			selfListed = true
+		}
+	}
+	if !selfListed {
+		return nil, fmt.Errorf("-self %q is not in -join %q", cfg.self, cfg.join)
+	}
+	var hot []string
+	for _, g := range strings.Split(cfg.hot, ";") {
+		if g = strings.TrimSpace(g); g != "" {
+			hot = append(hot, g)
+		}
+	}
+	return fleet.NewMap(1, addrs, cfg.replicas, hot)
 }
 
 // services is the running set, with the addresses actually bound.
@@ -163,6 +207,27 @@ func startServices(cfg config) (*services, error) {
 		srv.SetRegistry(svc.Registry)
 		if cfg.drain > 0 {
 			srv.SetDrainTimeout(cfg.drain)
+		}
+		if cfg.join != "" {
+			m, err := fleetMap(cfg)
+			if err != nil {
+				store.Close()
+				return nil, err
+			}
+			srv.SetFleet(m, cfg.self)
+			svc.Registry.SetShardProvider(func() daemon.ShardStats {
+				ls := srv.LeaseStats()
+				return daemon.ShardStats{
+					Self:           cfg.self,
+					MapEpoch:       m.Epoch(),
+					Shards:         len(m.Addrs()),
+					Replicas:       m.Replicas(),
+					LeaseGrants:    ls.Grants,
+					LeaseRevokes:   ls.Revokes,
+					RevokeTimeouts: ls.RevokeTimeouts,
+					ApplyForwards:  srv.ApplyForwards(),
+				}
+			})
 		}
 		if cfg.seed && store.Caps().Has(backend.CapWrite) {
 			srv.Put("hello", []byte("hello from the block file service\n"))

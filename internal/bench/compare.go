@@ -8,12 +8,12 @@ import (
 	"strings"
 )
 
-// Report comparison: load two afbench JSON reports (v1–v5) and render the
-// per-cell deltas as a table, so a PR's perf claim is a `make bench-compare`
-// away instead of a manual diff of two JSON files.
+// Report comparison: load two afbench JSON reports (any schema version) and
+// render the per-cell deltas as a table, so a PR's perf claim is a
+// `make bench-compare` away instead of a manual diff of two JSON files.
 
-// LoadReport reads an afbench JSON report from path. The current v5 schema
-// and the older v1–v4 layouts are all accepted; sections an older report
+// LoadReport reads an afbench JSON report from path. The current v7 schema
+// and the older v1–v6 layouts are all accepted; sections an older report
 // lacks stay empty.
 func LoadReport(path string) (*Report, error) {
 	data, err := os.ReadFile(path)
@@ -25,7 +25,8 @@ func LoadReport(path string) (*Report, error) {
 		return nil, fmt.Errorf("parse report %s: %w", path, err)
 	}
 	switch rep.Schema {
-	case "afbench/v1", "afbench/v2", "afbench/v3", "afbench/v4", "afbench/v5", "afbench/v6":
+	case "afbench/v1", "afbench/v2", "afbench/v3", "afbench/v4", "afbench/v5",
+		"afbench/v6", "afbench/v7":
 		return &rep, nil
 	default:
 		return nil, fmt.Errorf("report %s: unknown schema %q", path, rep.Schema)
@@ -216,6 +217,30 @@ func WriteCompareTable(w io.Writer, oldRep, newRep *Report) error {
 					key, col.old, col.new, deltaPct(col.old, col.new)); err != nil {
 					return err
 				}
+			}
+		}
+	}
+
+	// Fleet scaling sweep, when both reports carry it (pre-v7 have none).
+	// Throughput cells: positive delta is the improvement.
+	if len(oldRep.Fleet) > 0 && len(newRep.Fleet) > 0 {
+		oldFl := map[string]FleetReportRow{}
+		for _, row := range oldRep.Fleet {
+			oldFl[fmt.Sprintf("%s/s%d/r%d/x%d", row.Cell, row.Shards, row.Replicas, row.Clients)] = row
+		}
+		if _, err := fmt.Fprintf(w, "\nfleet sweep (aggregate MB/s; positive delta = faster)\n%-34s%10s%10s%9s\n", "cell", "old", "new", "delta"); err != nil {
+			return err
+		}
+		for _, row := range newRep.Fleet {
+			key := fmt.Sprintf("%s/s%d/r%d/x%d", row.Cell, row.Shards, row.Replicas, row.Clients)
+			old, ok := oldFl[key]
+			if !ok {
+				unmatched++
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%-34s%10.1f%10.1f%+8.1f%%\n",
+				key, old.MBPerSec, row.MBPerSec, deltaPct(old.MBPerSec, row.MBPerSec)); err != nil {
+				return err
 			}
 		}
 	}

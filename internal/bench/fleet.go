@@ -1,0 +1,347 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/fleet"
+	"repro/internal/remote"
+)
+
+// The fleet sweep measures horizontal scaling: the same 16-client read load
+// against fleets of 1, 2, and 4 FileServer shards, each shard's service
+// capacity capped by a token-bucket bandwidth throttle so that same-host
+// shards model independent machines (without the cap, every cell saturates
+// the loopback memory bus and "scaling" measures nothing). The aggregate
+// MB/s column should grow near-linearly with the shard count. A second pair
+// of cells reads ONE hot file with and without 2-way replication: the
+// replicated cell fans reads across both replicas (power-of-two-choices)
+// and should approach twice the single-server ceiling.
+
+const (
+	// DefaultFleetClients is the concurrent reader count per cell.
+	DefaultFleetClients = 16
+	// DefaultFleetBlock is the read size.
+	DefaultFleetBlock = 64 << 10
+	// DefaultFleetOps is reads per client per cell.
+	DefaultFleetOps = 48
+	// DefaultFleetBandwidthMB caps each shard's service rate (MB/s).
+	DefaultFleetBandwidthMB = 48
+	// fleetObjectSize is each benchmark object's seeded size.
+	fleetObjectSize = 1 << 20
+)
+
+// FleetOptions adjust the sharded-fleet scaling sweep.
+type FleetOptions struct {
+	// Shards are the scaling cells; empty means {1, 2, 4}.
+	Shards []int
+	// Clients is the concurrent reader count; 0 means DefaultFleetClients.
+	Clients int
+	// Block is the read size; 0 means DefaultFleetBlock.
+	Block int
+	// Ops is reads per client per cell; 0 means DefaultFleetOps.
+	Ops int
+	// BandwidthMB caps each shard's service rate in MB/s; 0 means
+	// DefaultFleetBandwidthMB. Negative disables the cap (loopback ceiling).
+	BandwidthMB int
+	// HotReplicas is the replication factor of the hot-file cells; 0 means 2.
+	HotReplicas int
+}
+
+// FleetResult is one cell of the sweep.
+type FleetResult struct {
+	Cell     string // "scale" (cold files spread over shards) or "hot" (one file)
+	Shards   int
+	Replicas int
+	Clients  int
+	Block    int
+	Bytes    int64
+	Elapsed  time.Duration
+}
+
+// MBPerSec returns the cell's aggregate read throughput.
+func (r FleetResult) MBPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / r.Elapsed.Seconds() / (1 << 20)
+}
+
+// RunFleet sweeps fleet sizes with the scaling load, then measures the
+// hot-file replication pair.
+func (r *Runner) RunFleet(opts FleetOptions) ([]FleetResult, error) {
+	shards := opts.Shards
+	if len(shards) == 0 {
+		shards = []int{1, 2, 4}
+	}
+	clients := opts.Clients
+	if clients <= 0 {
+		clients = DefaultFleetClients
+	}
+	block := opts.Block
+	if block <= 0 {
+		block = DefaultFleetBlock
+	}
+	ops := opts.Ops
+	if ops <= 0 {
+		ops = DefaultFleetOps
+	}
+	bw := int64(opts.BandwidthMB)
+	if bw == 0 {
+		bw = DefaultFleetBandwidthMB
+	}
+	if bw < 0 {
+		bw = 0 // uncapped
+	}
+	bw *= 1 << 20
+	hotReplicas := opts.HotReplicas
+	if hotReplicas <= 0 {
+		hotReplicas = 2
+	}
+
+	var results []FleetResult
+	for _, n := range shards {
+		res, err := measureFleetScaleCell(n, clients, block, ops, bw)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+	}
+	for _, reps := range []int{1, hotReplicas} {
+		res, err := measureFleetHotCell(reps, clients, block, ops, bw)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// startFleetServers boots n bandwidth-capped shards under one shard map.
+func startFleetServers(n, replicas int, hot []string, bw int64) (*fleet.Map, map[string]*remote.FileServer, func(), error) {
+	byAddr := make(map[string]*remote.FileServer, n)
+	addrs := make([]string, 0, n)
+	stop := func() {
+		for _, srv := range byAddr {
+			srv.Close()
+		}
+	}
+	for i := 0; i < n; i++ {
+		srv := remote.NewFileServer()
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			stop()
+			return nil, nil, nil, err
+		}
+		addrs = append(addrs, addr)
+		byAddr[addr] = srv
+	}
+	m, err := fleet.NewMap(1, addrs, replicas, hot)
+	if err != nil {
+		stop()
+		return nil, nil, nil, err
+	}
+	for addr, srv := range byAddr {
+		srv.SetFleet(m, addr)
+		if bw > 0 {
+			srv.SetBandwidth(bw)
+		}
+	}
+	return m, byAddr, stop, nil
+}
+
+// fleetPayload builds the seeded object contents.
+func fleetPayload(block int) []byte {
+	size := fleetObjectSize
+	if size < 2*block {
+		size = 2 * block
+	}
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte('a' + i%26)
+	}
+	return payload
+}
+
+// measureFleetScaleCell times clients readers over a fleet of n shards, each
+// client pinned to an object whose primary is shard (client mod n) — even,
+// deterministic demand, so the aggregate divided by the per-shard cap reads
+// directly as scaling efficiency.
+func measureFleetScaleCell(n, clients, block, ops int, bw int64) (FleetResult, error) {
+	m, byAddr, stop, err := startFleetServers(n, 1, nil, bw)
+	if err != nil {
+		return FleetResult{}, err
+	}
+	defer stop()
+
+	// One object per shard: probe names until each shard owns one, then seed
+	// it directly on its primary (seeding bypasses the wire, so the cap does
+	// not slow setup).
+	payload := fleetPayload(block)
+	names := make([]string, 0, n)
+	owned := make(map[string]bool, n)
+	for j := 0; len(names) < n; j++ {
+		if j > 100000 {
+			return FleetResult{}, fmt.Errorf("fleet bench: ring never placed an object on every shard")
+		}
+		name := fmt.Sprintf("scale/obj-%d", j)
+		primary := m.Primary(name)
+		if owned[primary] {
+			continue
+		}
+		owned[primary] = true
+		byAddr[primary].Put(name, payload)
+		names = append(names, name)
+	}
+
+	fl := fleet.New(m, fleet.Options{Dial: remote.DialOptions{OpTimeout: 30 * time.Second}})
+	objs := make([]backend.Object, clients)
+	for i := range objs {
+		obj, err := fl.Open(names[i%n])
+		if err != nil {
+			return FleetResult{}, err
+		}
+		objs[i] = obj
+	}
+	defer func() {
+		for _, o := range objs {
+			o.Close()
+		}
+	}()
+
+	bytes, elapsed, err := timeFleetReaders(objs, block, ops, len(payload))
+	if err != nil {
+		return FleetResult{}, err
+	}
+	return FleetResult{
+		Cell: "scale", Shards: n, Replicas: 1, Clients: clients, Block: block,
+		Bytes: bytes, Elapsed: elapsed,
+	}, nil
+}
+
+// measureFleetHotCell times clients readers all hammering ONE file, served by
+// `replicas` shards (replicas == 1 is the single-server baseline).
+func measureFleetHotCell(replicas, clients, block, ops int, bw int64) (FleetResult, error) {
+	m, _, stop, err := startFleetServers(replicas, replicas, []string{"hot/*"}, bw)
+	if err != nil {
+		return FleetResult{}, err
+	}
+	defer stop()
+
+	// Seed through the fleet: a replicated write lands on every owner.
+	payload := fleetPayload(block)
+	seeder := fleet.New(m, fleet.Options{Dial: remote.DialOptions{OpTimeout: 60 * time.Second}})
+	sobj, err := seeder.Open("hot/obj")
+	if err != nil {
+		return FleetResult{}, err
+	}
+	if _, err := sobj.WriteAt(payload, 0); err != nil {
+		sobj.Close()
+		return FleetResult{}, err
+	}
+	sobj.Close()
+
+	fl := fleet.New(m, fleet.Options{Dial: remote.DialOptions{OpTimeout: 30 * time.Second}})
+	objs := make([]backend.Object, clients)
+	for i := range objs {
+		obj, err := fl.Open("hot/obj")
+		if err != nil {
+			return FleetResult{}, err
+		}
+		objs[i] = obj
+	}
+	defer func() {
+		for _, o := range objs {
+			o.Close()
+		}
+	}()
+
+	bytes, elapsed, err := timeFleetReaders(objs, block, ops, len(payload))
+	if err != nil {
+		return FleetResult{}, err
+	}
+	return FleetResult{
+		Cell: "hot", Shards: replicas, Replicas: replicas, Clients: clients,
+		Block: block, Bytes: bytes, Elapsed: elapsed,
+	}, nil
+}
+
+// timeFleetReaders drives every object with ops sequential block reads from
+// its own goroutine, all released together, and returns total bytes moved.
+func timeFleetReaders(objs []backend.Object, block, ops, size int) (int64, time.Duration, error) {
+	var (
+		wg       sync.WaitGroup
+		moved    atomic.Int64
+		firstErr atomic.Pointer[error]
+	)
+	start := make(chan struct{})
+	for i, obj := range objs {
+		wg.Add(1)
+		go func(i int, obj backend.Object) {
+			defer wg.Done()
+			buf := make([]byte, block)
+			<-start
+			for k := 0; k < ops; k++ {
+				off := int64(((i*ops + k) * block) % (size - block))
+				n, err := obj.ReadAt(buf, off)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, &err)
+					return
+				}
+				moved.Add(int64(n))
+			}
+		}(i, obj)
+	}
+	begin := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(begin)
+	if errp := firstErr.Load(); errp != nil {
+		return 0, 0, *errp
+	}
+	return moved.Load(), elapsed, nil
+}
+
+// WriteFleetTable renders the sweep as text: the scaling cells with speedup
+// against the single-shard cell, then the hot-file pair.
+func WriteFleetTable(w io.Writer, opts FleetOptions, results []FleetResult) error {
+	clients := opts.Clients
+	if clients <= 0 {
+		clients = DefaultFleetClients
+	}
+	bwMB := opts.BandwidthMB
+	if bwMB == 0 {
+		bwMB = DefaultFleetBandwidthMB
+	}
+	if _, err := fmt.Fprintf(w, "sharded fleet — aggregate read throughput (%d clients, %d MB/s per-shard cap)\n", clients, bwMB); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-10s%8s%10s%8s%12s%10s\n", "cell", "shards", "replicas", "block", "MB/s", "speedup"); err != nil {
+		return err
+	}
+	base := map[string]float64{}
+	for _, res := range results {
+		if res.Cell == "scale" && res.Shards == 1 {
+			base["scale"] = res.MBPerSec()
+		}
+		if res.Cell == "hot" && res.Replicas == 1 {
+			base["hot"] = res.MBPerSec()
+		}
+	}
+	for _, res := range results {
+		speedup := ""
+		if b := base[res.Cell]; b > 0 {
+			speedup = fmt.Sprintf("%.2fx", res.MBPerSec()/b)
+		}
+		if _, err := fmt.Fprintf(w, "%-10s%8d%10d%8d%12.1f%10s\n",
+			res.Cell, res.Shards, res.Replicas, res.Block, res.MBPerSec(), speedup); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

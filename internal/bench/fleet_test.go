@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunFleetSmoke single-shots a tiny fleet sweep — uncapped bandwidth,
+// few ops — so the scaling harness cannot bit-rot between bench runs.
+func TestRunFleetSmoke(t *testing.T) {
+	r, err := NewRunner(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	opts := FleetOptions{
+		Shards:      []int{1, 2},
+		Clients:     4,
+		Ops:         4,
+		Block:       8 << 10,
+		BandwidthMB: -1, // uncapped: this is a correctness smoke, not a measurement
+	}
+	results, err := r.RunFleet(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two scale cells plus the hot pair (1 replica baseline, 2 replicas).
+	if len(results) != 4 {
+		t.Fatalf("got %d cells, want 4: %+v", len(results), results)
+	}
+	wantBytes := int64(opts.Clients * opts.Ops * opts.Block)
+	for _, res := range results {
+		if res.Bytes != wantBytes {
+			t.Errorf("cell %s/s%d moved %d bytes, want %d", res.Cell, res.Shards, res.Bytes, wantBytes)
+		}
+		if res.MBPerSec() <= 0 {
+			t.Errorf("cell %s/s%d reports no throughput", res.Cell, res.Shards)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteFleetTable(&buf, opts, results); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "scale") || !strings.Contains(buf.String(), "hot") {
+		t.Fatalf("table missing cells:\n%s", buf.String())
+	}
+
+	rep := BuildReport(nil, 1, nil)
+	rep.AddFleet(opts, results)
+	if len(rep.Fleet) != 4 {
+		t.Fatalf("report carries %d fleet rows, want 4", len(rep.Fleet))
+	}
+	if rep.Fleet[1].Speedup == 0 {
+		t.Fatal("scale cell missing derived speedup")
+	}
+}

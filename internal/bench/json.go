@@ -15,9 +15,10 @@ import (
 // sweep; v4 added the per-backend sweep; v5 added the syscall-economy cells
 // (doorbell and drain-mode wakeup counters) and the frames-per-wakeup column
 // in parallel cells; v6 added the many-tenant session sweep (concurrent
-// sessions, quota rejections, drain latency). Older reports remain loadable
-// for comparison.
-const ReportSchema = "afbench/v6"
+// sessions, quota rejections, drain latency); v7 added the sharded-fleet
+// scaling sweep (aggregate throughput vs shard count, hot-file replication).
+// Older reports remain loadable for comparison.
+const ReportSchema = "afbench/v7"
 
 // Report is the machine-readable form of a benchmark run, written by
 // afbench -json so successive PRs can diff per-cell numbers instead of
@@ -44,6 +45,24 @@ type Report struct {
 	// -tenants): concurrent sessions against the daemon's registry, with
 	// quota rejections and graceful-drain latency.
 	Tenants []TenantReportRow `json:"tenants,omitempty"`
+	// Fleet holds the sharded-fleet scaling sweep (afbench -full / -fleet):
+	// aggregate read throughput against 1/2/4 bandwidth-capped shards, plus
+	// the hot-file replication pair.
+	Fleet []FleetReportRow `json:"fleet,omitempty"`
+}
+
+// FleetReportRow is one cell of the fleet scaling sweep. Speedup is the
+// throughput ratio against the cell family's baseline (1 shard for "scale",
+// 1 replica for "hot").
+type FleetReportRow struct {
+	Cell        string  `json:"cell"`
+	Shards      int     `json:"shards"`
+	Replicas    int     `json:"replicas"`
+	Clients     int     `json:"clients"`
+	Block       int     `json:"block"`
+	MBPerSec    float64 `json:"mbPerSec"`
+	Speedup     float64 `json:"speedup,omitempty"`
+	BandwidthMB int     `json:"bandwidthMBPerShard,omitempty"`
 }
 
 // TenantReportRow is one concurrency cell of the many-tenant sweep.
@@ -266,6 +285,42 @@ func (rep *Report) AddTenants(results []TenantResult) {
 			DrainMillis:   res.DrainMillis(),
 			DrainClean:    res.DrainClean,
 		})
+	}
+}
+
+// AddFleet appends the fleet scaling sweep to the report, deriving each
+// cell's speedup against its family baseline.
+func (rep *Report) AddFleet(opts FleetOptions, results []FleetResult) {
+	bwMB := opts.BandwidthMB
+	if bwMB == 0 {
+		bwMB = DefaultFleetBandwidthMB
+	}
+	if bwMB < 0 {
+		bwMB = 0
+	}
+	base := map[string]float64{}
+	for _, res := range results {
+		if res.Cell == "scale" && res.Shards == 1 {
+			base["scale"] = res.MBPerSec()
+		}
+		if res.Cell == "hot" && res.Replicas == 1 {
+			base["hot"] = res.MBPerSec()
+		}
+	}
+	for _, res := range results {
+		row := FleetReportRow{
+			Cell:        res.Cell,
+			Shards:      res.Shards,
+			Replicas:    res.Replicas,
+			Clients:     res.Clients,
+			Block:       res.Block,
+			MBPerSec:    res.MBPerSec(),
+			BandwidthMB: bwMB,
+		}
+		if b := base[res.Cell]; b > 0 {
+			row.Speedup = res.MBPerSec() / b
+		}
+		rep.Fleet = append(rep.Fleet, row)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 )
 
 // Stats counts BlockCache activity.
@@ -56,6 +57,16 @@ type BlockCache struct {
 
 	shards []*blockShard
 	mask   int64 // len(shards)-1; shard key = block index & mask
+
+	// epoch is the cache's validity generation, the client half of the
+	// lease/epoch invalidation protocol. Every block is tagged with the
+	// epoch current when its fill BEGAN (before the backing read, so a bump
+	// racing a fill invalidates data that may predate the bump); a hit on a
+	// block tagged with an older epoch refetches instead of serving it.
+	// SetEpoch therefore invalidates every earlier entry in O(1) — the
+	// lease-revoke push path — with the dead entries reaped lazily on access
+	// or eviction.
+	epoch atomic.Uint64
 }
 
 // blockShard is one independently locked slice of the cache.
@@ -72,6 +83,7 @@ type cachedBlock struct {
 	index int64
 	data  []byte // exactly blockSize, zero padded past EOF; nil until filled
 	valid int    // bytes of data that are real (≤ blockSize)
+	epoch uint64 // cache epoch when the fill began; older than current = invalid
 
 	// Singleflight fill state. A block is inserted as a placeholder before
 	// its backing read runs, so concurrent readers of the same block share
@@ -190,12 +202,25 @@ func (c *BlockCache) ShardStats() []Stats {
 func (c *BlockCache) block(index int64) (*cachedBlock, error) {
 	s := c.shard(index)
 	for {
+		cur := c.epoch.Load()
 		s.mu.Lock()
 		if el, ok := s.blocks[index]; ok {
 			blk, bok := el.Value.(*cachedBlock)
 			if !bok {
 				s.mu.Unlock()
 				return nil, errors.New("cache: corrupt lru entry")
+			}
+			if blk.epoch != cur {
+				// Tagged with a revoked epoch: the entry predates an
+				// invalidation push. Drop it (marking an in-flight fill stale
+				// so its waiters refetch too) and fault in fresh bytes.
+				if !blk.filled {
+					blk.stale = true
+				}
+				s.removeLocked(blk)
+				s.stats.Invalidations++
+				s.mu.Unlock()
+				continue
 			}
 			s.stats.Hits++
 			s.lru.MoveToFront(el)
@@ -212,12 +237,17 @@ func (c *BlockCache) block(index int64) (*cachedBlock, error) {
 					continue // the fill lost a race with a write; refetch
 				}
 			}
+			if blk.epoch != c.epoch.Load() {
+				s.removeLocked(blk) // epoch advanced while we joined the fill
+				s.mu.Unlock()
+				continue
+			}
 			s.mu.Unlock()
 			return blk, nil
 		}
 
 		s.stats.Misses++
-		blk := &cachedBlock{index: index, ready: make(chan struct{})}
+		blk := &cachedBlock{index: index, epoch: cur, ready: make(chan struct{})}
 		s.insert(blk)
 		s.mu.Unlock()
 
@@ -238,6 +268,12 @@ func (c *BlockCache) block(index int64) (*cachedBlock, error) {
 				// refetches.
 				s.removeLocked(blk)
 			}
+		}
+		if blk.filled && blk.epoch != c.epoch.Load() {
+			// An invalidation (lease revoke, SetEpoch) landed during the
+			// backing read: the bytes may predate the event it announced.
+			blk.stale = true
+			s.removeLocked(blk)
 		}
 		stale, ferr := blk.stale, blk.err
 		close(blk.ready)
@@ -318,7 +354,7 @@ func (c *BlockCache) ReadAt(p []byte, off int64) (int, error) {
 }
 
 // WriteAt implements RandomAccess: write-through to the backing store, then
-// update any cached blocks in place so subsequent reads stay consistent.
+// drop any cached blocks the write spans so subsequent reads refetch them.
 func (c *BlockCache) WriteAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, errors.New("cache: negative offset")
@@ -328,7 +364,7 @@ func (c *BlockCache) WriteAt(p []byte, off int64) (int, error) {
 	return n, err
 }
 
-// patch overlays written bytes onto cached blocks, locking each spanned
+// patch invalidates the cached blocks a write spans, locking each spanned
 // block's shard in turn.
 func (c *BlockCache) patch(p []byte, off int64) {
 	done := 0
@@ -344,19 +380,18 @@ func (c *BlockCache) patch(p []byte, off int64) {
 		s.mu.Lock()
 		if el, ok := s.blocks[index]; ok {
 			if blk, ok := el.Value.(*cachedBlock); ok {
+				// Drop the block rather than patching it in place: the store
+				// write and this cache update are two steps, so two racing
+				// writers can patch in the opposite order their writes landed
+				// in the store — the cache would keep the loser forever. A
+				// removal commutes with other removals, so every interleaving
+				// converges on a refetch of the store's winner. Marking an
+				// in-flight fill stale makes its waiters refetch too.
 				if !blk.filled {
-					// The block's fill is mid-flight and may have read the
-					// backing store before this write landed; make everyone
-					// refetch instead of patching data that isn't there yet.
 					blk.stale = true
-					s.lru.Remove(el)
-					delete(s.blocks, index)
-				} else {
-					copy(blk.data[inBlock:inBlock+span], p[done:done+span])
-					if end := inBlock + span; end > blk.valid {
-						blk.valid = end
-					}
 				}
+				s.lru.Remove(el)
+				delete(s.blocks, index)
 			}
 		}
 		s.mu.Unlock()
@@ -399,6 +434,23 @@ func (c *BlockCache) Invalidate(off, length int64) {
 		s.mu.Unlock()
 	}
 }
+
+// SetEpoch advances the cache's validity epoch to e, invalidating every
+// block tagged with an earlier epoch in O(1). Epochs are monotonic: a value
+// at or below the current epoch is a no-op, so out-of-order lease grants
+// cannot resurrect invalidated entries. Dead entries are reaped lazily on
+// the next access (counted as Invalidations there) or by eviction.
+func (c *BlockCache) SetEpoch(e uint64) {
+	for {
+		cur := c.epoch.Load()
+		if e <= cur || c.epoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// Epoch returns the cache's current validity epoch.
+func (c *BlockCache) Epoch() uint64 { return c.epoch.Load() }
 
 // InvalidateAll discards every cached block.
 func (c *BlockCache) InvalidateAll() {

@@ -297,7 +297,7 @@ func TestBlockCacheWriteThrough(t *testing.T) {
 	if _, err := mem.ReadAt(got, 2); err != nil || string(got) != "fresh" {
 		t.Errorf("backing = (%q, %v)", got, err)
 	}
-	// The cached block was patched, not left stale.
+	// A subsequent read through the cache observes the write.
 	if _, err := c.ReadAt(got, 2); err != nil || string(got) != "fresh" {
 		t.Errorf("cached read = (%q, %v)", got, err)
 	}

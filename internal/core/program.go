@@ -12,10 +12,12 @@ import (
 	"repro/internal/remote"
 	"repro/internal/vfs"
 
-	// Register the network-crossing backend kinds ("remote", "http") in every
-	// binary that links the core — including re-exec'd sentinel children, so a
-	// manifest's backend= param resolves identically on both sides of a fork.
+	// Register the network-crossing backend kinds ("remote", "http", "fleet")
+	// in every binary that links the core — including re-exec'd sentinel
+	// children, so a manifest's backend= param resolves identically on both
+	// sides of a fork.
 	_ "repro/internal/backend/remotefs"
+	_ "repro/internal/fleet"
 )
 
 // Handler serves the file operations of one open session of an active file.

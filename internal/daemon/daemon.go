@@ -81,6 +81,7 @@ type Registry struct {
 
 	mu      sync.Mutex
 	tenants map[string]*tenant
+	shard   func() ShardStats // optional fleet-shard gauge provider
 
 	draining atomic.Bool
 	inflight atomic.Int64 // daemon-wide gauge; Drain waits on it
@@ -101,12 +102,21 @@ type Registry struct {
 }
 
 // opSlots sizes the per-op histogram array; wire ops are small contiguous
-// constants (OpOpen=1 … OpControl=12).
-const opSlots = 16
+// constants (OpOpen=1 … OpApply=16).
+const opSlots = 20
 
 // NewRegistry returns a registry enforcing q.
 func NewRegistry(q Quotas) *Registry {
 	return &Registry{quotas: q, tenants: make(map[string]*tenant)}
+}
+
+// SetShardProvider installs f as the source of fleet-shard gauges included
+// in Snapshot — identity in the shard map, lease-protocol counters,
+// replication forwards. A daemon that is not a fleet shard leaves it unset.
+func (r *Registry) SetShardProvider(f func() ShardStats) {
+	r.mu.Lock()
+	r.shard = f
+	r.mu.Unlock()
 }
 
 // tenant is one tenant's accounting row. Gauges and counters are atomics:

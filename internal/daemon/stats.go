@@ -30,6 +30,22 @@ type Stats struct {
 	RecvFills        uint64  `json:"recvFills,omitempty"`
 	RecvBytes        uint64  `json:"recvBytes,omitempty"`
 	RejectedShutdown uint64  `json:"rejectedShutdown,omitempty"`
+
+	// Shard is present when the daemon serves as one shard of a fleet: its
+	// identity in the shard map plus lease-protocol and replication gauges.
+	Shard *ShardStats `json:"shard,omitempty"`
+}
+
+// ShardStats is the fleet-facing slice of one shard's snapshot.
+type ShardStats struct {
+	Self           string `json:"self"`
+	MapEpoch       uint64 `json:"mapEpoch"`
+	Shards         int    `json:"shards"`
+	Replicas       int    `json:"replicas"`
+	LeaseGrants    uint64 `json:"leaseGrants,omitempty"`
+	LeaseRevokes   uint64 `json:"leaseRevokes,omitempty"`
+	RevokeTimeouts uint64 `json:"revokeTimeouts,omitempty"`
+	ApplyForwards  uint64 `json:"applyForwards,omitempty"`
 }
 
 // TenantStats is one tenant's accounting row.
@@ -82,7 +98,12 @@ func (r *Registry) Snapshot() Stats {
 	for _, t := range r.tenants {
 		rows = append(rows, t)
 	}
+	shard := r.shard
 	r.mu.Unlock()
+	if shard != nil {
+		ss := shard()
+		s.Shard = &ss
+	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
 	for _, t := range rows {
 		s.Tenants = append(s.Tenants, TenantStats{

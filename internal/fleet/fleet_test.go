@@ -1,0 +1,460 @@
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/daemon"
+	"repro/internal/faultinject"
+	"repro/internal/remote"
+	"repro/internal/wire"
+)
+
+// startShards boots n FileServers on ephemeral ports, builds one shard map
+// over them (epoch 1), and installs fleet membership on every server. The
+// returned index maps each address back to its server for store inspection.
+func startShards(t *testing.T, n, replicas int, hot []string) (*Map, map[string]*remote.FileServer) {
+	t.Helper()
+	addrs := make([]string, n)
+	byAddr := make(map[string]*remote.FileServer, n)
+	for i := 0; i < n; i++ {
+		srv := remote.NewFileServer()
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("shard %d start: %v", i, err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		addrs[i] = addr
+		byAddr[addr] = srv
+	}
+	m, err := NewMap(1, addrs, replicas, hot)
+	if err != nil {
+		t.Fatalf("NewMap: %v", err)
+	}
+	for addr, srv := range byAddr {
+		srv.SetFleet(m, addr)
+	}
+	return m, byAddr
+}
+
+// openObj opens name through fl and returns the concrete fleet object.
+func openObj(t *testing.T, fl *Fleet, name string) *Object {
+	t.Helper()
+	obj, err := fl.Open(name)
+	if err != nil {
+		t.Fatalf("open %q: %v", name, err)
+	}
+	return obj.(*Object)
+}
+
+// fastDial keeps failover snappy in tests: quick backoff, bounded ops.
+var fastDial = remote.DialOptions{
+	OpTimeout:   2 * time.Second,
+	BackoffBase: time.Millisecond,
+	BackoffMax:  5 * time.Millisecond,
+	DialTimeout: 250 * time.Millisecond,
+}
+
+// TestFleetRoutingWriteReplication: a write through the fleet lands on every
+// owner of a hot file (synchronously, before the write returns) and only on
+// the primary of a cold one.
+func TestFleetRoutingWriteReplication(t *testing.T) {
+	m, byAddr := startShards(t, 3, 2, []string{"hot/*"})
+	fl := New(m, Options{Dial: fastDial})
+
+	hotObj, err := fl.Open("hot/obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hotObj.Close()
+	payload := []byte("replicated before the write returned")
+	if _, err := hotObj.WriteAt(payload, 0); err != nil {
+		t.Fatalf("hot write: %v", err)
+	}
+
+	hotOwners := m.Owners("hot/obj")
+	if len(hotOwners) != 2 {
+		t.Fatalf("hot owners = %v, want 2", hotOwners)
+	}
+	for _, addr := range hotOwners {
+		got, ok := byAddr[addr].Get("hot/obj")
+		if !ok || !bytes.Equal(got, payload) {
+			t.Fatalf("owner %s store = (%q, %v), want the written payload", addr, got, ok)
+		}
+	}
+	for addr, srv := range byAddr {
+		if addr == hotOwners[0] || addr == hotOwners[1] {
+			continue
+		}
+		if _, ok := srv.Get("hot/obj"); ok {
+			t.Fatalf("non-owner %s has a copy of hot/obj", addr)
+		}
+	}
+	if fwd := byAddr[hotOwners[0]].ApplyForwards(); fwd == 0 {
+		t.Fatal("primary forwarded no applies despite a replicated write")
+	}
+
+	coldObj, err := fl.Open("cold/obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coldObj.Close()
+	if _, err := coldObj.WriteAt([]byte("single copy"), 0); err != nil {
+		t.Fatalf("cold write: %v", err)
+	}
+	coldOwners := m.Owners("cold/obj")
+	if len(coldOwners) != 1 {
+		t.Fatalf("cold owners = %v, want 1", coldOwners)
+	}
+	for addr, srv := range byAddr {
+		_, ok := srv.Get("cold/obj")
+		if want := addr == coldOwners[0]; ok != want {
+			t.Fatalf("shard %s has cold/obj = %v, want %v", addr, ok, want)
+		}
+	}
+
+	// Reads through a fresh fleet handle see the replicated bytes whichever
+	// replica they land on.
+	fl2 := New(m, Options{Dial: fastDial})
+	for i := 0; i < 8; i++ {
+		obj, err := fl2.Open("hot/obj")
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, len(payload))
+		if _, err := obj.ReadAt(buf, 0); err != nil || !bytes.Equal(buf, payload) {
+			t.Fatalf("fanned-out read = (%q, %v)", buf, err)
+		}
+		obj.Close()
+	}
+}
+
+// TestFleetWriteRefusedOnNonPrimary: a client that dials a replica directly
+// cannot write through it — placement is enforced server-side, not by client
+// etiquette.
+func TestFleetWriteRefusedOnNonPrimary(t *testing.T) {
+	m, _ := startShards(t, 3, 2, []string{"hot/*"})
+	owners := m.Owners("hot/obj")
+
+	c, err := remote.DialWith(owners[1], "hot/obj", fastDial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, werr := c.WriteAt([]byte("sneaky"), 0)
+	var re *wire.RemoteError
+	if !errors.As(werr, &re) {
+		t.Fatalf("write via replica = %v, want a remote refusal", werr)
+	}
+
+	// The same write through the primary is accepted.
+	p, err := remote.DialWith(owners[0], "hot/obj", fastDial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := p.WriteAt([]byte("proper"), 0); err != nil {
+		t.Fatalf("write via primary: %v", err)
+	}
+}
+
+// TestFleetHotReadFanout: replicated reads spread across both owners instead
+// of pinning to one.
+func TestFleetHotReadFanout(t *testing.T) {
+	m, byAddr := startShards(t, 2, 2, []string{"*"})
+	fl := New(m, Options{Dial: fastDial})
+	obj := openObj(t, fl, "obj")
+	defer obj.Close()
+	if _, err := obj.WriteAt([]byte("fan this out"), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	var readErrs atomic.Uint64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 12)
+			for i := 0; i < 50; i++ {
+				if _, err := obj.ReadAt(buf, 0); err != nil {
+					readErrs.Add(1)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := readErrs.Load(); n != 0 {
+		t.Fatalf("%d read errors during fan-out", n)
+	}
+
+	// Every shard granted no lease (caching off) but each should have served
+	// some of the 400 reads; with power-of-two-choices the odds of total
+	// starvation are negligible.
+	for addr, srv := range byAddr {
+		data, ok := srv.Get("obj")
+		if !ok || string(data) != "fan this out" {
+			t.Fatalf("shard %s lost the object: (%q, %v)", addr, data, ok)
+		}
+	}
+	if obj.Failovers() != 0 {
+		t.Fatalf("failovers = %d on a healthy fleet", obj.Failovers())
+	}
+}
+
+// TestLeaseInvalidationNoStaleRead is the acceptance test for lease-based
+// client caching: a cached reader NEVER observes bytes older than the last
+// committed write, because the conflicting write revokes the reader's lease
+// (bumping its cache epoch) before it commits — on the primary and, for
+// replicated files, on every replica the reader might have leased from.
+func TestLeaseInvalidationNoStaleRead(t *testing.T) {
+	m, _ := startShards(t, 3, 2, []string{"hot/*"})
+
+	reader := New(m, Options{Dial: fastDial, CacheBlocks: 8, CacheBlockSize: 64})
+	robj := openObj(t, reader, "hot/obj")
+	defer robj.Close()
+
+	writer := New(m, Options{Dial: fastDial})
+	wobj, err := writer.Open("hot/obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wobj.Close()
+
+	const rounds = 20
+	val := func(i int) []byte {
+		return []byte(fmt.Sprintf("version %03d padded to one cache block boundary ....", i))
+	}
+	if _, err := wobj.WriteAt(val(0), 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(val(0)))
+	for i := 1; i <= rounds; i++ {
+		// Warm the cache: repeated reads of the current version must hit.
+		for j := 0; j < 3; j++ {
+			if _, err := robj.ReadAt(buf, 0); err != nil {
+				t.Fatalf("round %d warm read: %v", i, err)
+			}
+			if want := val(i - 1); !bytes.Equal(buf, want) {
+				t.Fatalf("round %d warm read = %q, want %q", i, buf, want)
+			}
+		}
+		// Conflicting write: by the time WriteAt returns, every lease is
+		// revoked and every replica has applied.
+		if _, err := wobj.WriteAt(val(i), 0); err != nil {
+			t.Fatalf("round %d write: %v", i, err)
+		}
+		// The very next cached read must see the new version — no grace
+		// period, no eventual consistency.
+		if _, err := robj.ReadAt(buf, 0); err != nil {
+			t.Fatalf("round %d read after write: %v", i, err)
+		}
+		if want := val(i); !bytes.Equal(buf, want) {
+			t.Fatalf("STALE READ after round %d write: got %q, want %q", i, buf, want)
+		}
+	}
+
+	stats, ok := robj.CacheStats()
+	if !ok {
+		t.Fatal("caching object reports no cache")
+	}
+	if stats.Hits == 0 {
+		t.Fatalf("cache never hit (stats %+v) — the test exercised no cached path", stats)
+	}
+	if stats.Invalidations == 0 {
+		t.Fatalf("cache never invalidated (stats %+v) — revokes are not reaching the cache", stats)
+	}
+}
+
+// TestLeaseRevokeAcrossReplicaLease: the reader leases from a NON-primary
+// replica explicitly; a write through the primary must still revoke it
+// (via the replica's own revoke round during OpApply) before committing.
+func TestLeaseRevokeAcrossReplicaLease(t *testing.T) {
+	m, _ := startShards(t, 2, 2, []string{"*"})
+	owners := m.Owners("obj")
+
+	// Seed through the primary.
+	p, err := remote.DialWith(owners[0], "obj", fastDial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := p.WriteAt([]byte("v1"), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Lease on the replica.
+	r, err := remote.DialWith(owners[1], "obj", fastDial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var revoked atomic.Uint64
+	r.SetRevokeHandler(func(_ string, epoch uint64) { revoked.Store(epoch) })
+	if _, err := r.Lease(); err != nil {
+		t.Fatalf("lease on replica: %v", err)
+	}
+
+	if _, err := p.WriteAt([]byte("v2"), 0); err != nil {
+		t.Fatalf("write with an outstanding replica lease: %v", err)
+	}
+	// The write's return means the replica applied, which means its revoke
+	// round finished first — the push must already be here.
+	deadline := time.Now().Add(time.Second)
+	for revoked.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if revoked.Load() == 0 {
+		t.Fatal("replica lease never revoked by a primary write")
+	}
+	buf := make([]byte, 2)
+	if _, err := r.ReadAt(buf, 0); err != nil || string(buf) != "v2" {
+		t.Fatalf("replica read after revoke = (%q, %v)", buf, err)
+	}
+}
+
+// TestFleetRefusalDoesNotFailover: a typed admission refusal from a shard is
+// policy, not a fault — the fleet client must surface it immediately instead
+// of hammering the remaining replicas with the refused work.
+func TestFleetRefusalDoesNotFailover(t *testing.T) {
+	m, byAddr := startShards(t, 2, 2, []string{"*"})
+	for _, srv := range byAddr {
+		srv.SetRegistry(daemon.NewRegistry(daemon.Quotas{}))
+		srv.Registry().Drain(0)
+	}
+	// Huge backoff: any retry or failover attempt shows up as a stall.
+	fl := New(m, Options{Dial: remote.DialOptions{
+		MaxRetries:  5,
+		BackoffBase: 500 * time.Millisecond,
+		BackoffMax:  2 * time.Second,
+	}})
+	obj := openObj(t, fl, "obj")
+	defer obj.Close()
+
+	start := time.Now()
+	_, err := obj.ReadAt(make([]byte, 8), 0)
+	waited := time.Since(start)
+	if !errors.Is(err, wire.ErrShuttingDown) {
+		t.Fatalf("read against draining fleet = %v, want wire.ErrShuttingDown", err)
+	}
+	if waited >= 400*time.Millisecond {
+		t.Fatalf("refusal took %v — it went through retry/failover", waited)
+	}
+	if obj.Failovers() != 0 {
+		t.Fatalf("refusal triggered %d failovers", obj.Failovers())
+	}
+}
+
+// TestFleetShardKillFailoverChaos SIGKILLs one owner of a replicated file
+// while a pipeline of readers is running flat out. Every read must recover
+// via the surviving replica — zero unrecovered errors.
+func TestFleetShardKillFailoverChaos(t *testing.T) {
+	faultinject.LeakCheck(t)
+	m, byAddr := startShards(t, 3, 2, []string{"hot/*"})
+	fl := New(m, Options{Dial: fastDial})
+
+	obj, err := fl.Open("hot/obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obj.Close()
+	payload := bytes.Repeat([]byte("failover-chaos-"), 64)
+	if _, err := obj.WriteAt(payload, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		wg      sync.WaitGroup
+		stop    atomic.Bool
+		reads   atomic.Uint64
+		badErrs atomic.Uint64
+	)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, len(payload))
+			for !stop.Load() {
+				n, err := obj.ReadAt(buf, 0)
+				if err != nil || n != len(payload) || !bytes.Equal(buf, payload) {
+					badErrs.Add(1)
+					t.Errorf("read under chaos = (%d, %v)", n, err)
+					return
+				}
+				reads.Add(1)
+			}
+		}()
+	}
+
+	// Let the pipeline reach steady state, then kill one owner abruptly —
+	// no drain, no goodbye, connections torn mid-exchange.
+	for reads.Load() < 100 {
+		time.Sleep(time.Millisecond)
+	}
+	owners := m.Owners("hot/obj")
+	byAddr[owners[1]].Kill()
+
+	// The survivors must keep serving; require substantial post-kill
+	// progress before stopping.
+	target := reads.Load() + 500
+	deadline := time.Now().Add(10 * time.Second)
+	for reads.Load() < target && badErrs.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if badErrs.Load() != 0 {
+		t.Fatalf("%d unrecovered read errors after shard kill", badErrs.Load())
+	}
+	if reads.Load() < target {
+		t.Fatalf("reads stalled after shard kill: %d done, wanted %d", reads.Load(), target)
+	}
+}
+
+// TestFleetCachedReaderSurvivesLeaseServerKill: killing the shard a cached
+// reader leased from must not wedge or poison it — the reader re-leases from
+// the surviving replica and keeps answering correctly.
+func TestFleetCachedReaderSurvivesLeaseServerKill(t *testing.T) {
+	faultinject.LeakCheck(t)
+	m, byAddr := startShards(t, 2, 2, []string{"*"})
+	fl := New(m, Options{Dial: fastDial, CacheBlocks: 8, CacheBlockSize: 64})
+
+	obj, err := fl.Open("obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obj.Close()
+	payload := []byte("cached across a lease-server funeral")
+	if _, err := obj.WriteAt(payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(payload))
+	if _, err := obj.ReadAt(buf, 0); err != nil || !bytes.Equal(buf, payload) {
+		t.Fatalf("pre-kill read = (%q, %v)", buf, err)
+	}
+
+	// Kill whichever shard granted the lease. We don't know which owner that
+	// was, so kill one and make sure reads still work, covering both cases
+	// (lease holder dead → re-lease elsewhere; other shard dead → no-op).
+	owners := m.Owners("obj")
+	byAddr[owners[1]].Kill()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n, rerr := obj.ReadAt(buf, 0)
+		if rerr == nil && n == len(payload) && bytes.Equal(buf, payload) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("read never recovered after lease-server kill: (%d, %v)", n, rerr)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,227 @@
+// Package fleet turns a set of independent FileServers into one sharded
+// store. A Map places each object name on a shard with a consistent-hash
+// ring (so adding a shard moves ~1/N of the keyspace, not all of it) and
+// designates HOT files — matched by glob patterns — for replication across
+// R shards. Maps carry an epoch number so every participant can tell a stale
+// map from a current one; the Source in this package routes client traffic
+// with a Map, and remote.FileServer serves and enforces one.
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// vnodesPerAddr is how many virtual nodes each address contributes to the
+// ring. More vnodes smooth the keyspace split between shards; 64 keeps the
+// max/min shard load ratio under ~1.3 for small fleets while the ring stays
+// a few KiB.
+const vnodesPerAddr = 64
+
+// Map is an immutable placement description: an epoch-numbered
+// consistent-hash ring over shard addresses plus a replication rule for hot
+// files. Construct with NewMap or DecodeMap; a Map is safe for concurrent
+// use because nothing mutates it after construction.
+type Map struct {
+	epoch    uint64
+	addrs    []string // distinct shard addresses, sorted
+	replicas int      // replication factor R for hot files (1 = no replication)
+	hot      []string // glob patterns (path.Match) naming replicated files
+	ring     []vnode  // sorted by hash
+}
+
+type vnode struct {
+	hash uint32
+	addr int // index into addrs
+}
+
+// NewMap builds a Map with the given epoch over addrs. Hot files — object
+// names matching any of the hot globs — are replicated on replicas distinct
+// shards (capped at the fleet size); every other file lives on exactly one.
+func NewMap(epoch uint64, addrs []string, replicas int, hot []string) (*Map, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("fleet: map needs at least one shard address")
+	}
+	if replicas < 1 {
+		return nil, fmt.Errorf("fleet: replication factor %d must be at least 1", replicas)
+	}
+	seen := make(map[string]bool, len(addrs))
+	sorted := make([]string, 0, len(addrs))
+	for _, a := range addrs {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			return nil, fmt.Errorf("fleet: empty shard address")
+		}
+		if seen[a] {
+			return nil, fmt.Errorf("fleet: duplicate shard address %q", a)
+		}
+		seen[a] = true
+		sorted = append(sorted, a)
+	}
+	sort.Strings(sorted)
+	for _, g := range hot {
+		if _, err := path.Match(g, "probe"); err != nil {
+			return nil, fmt.Errorf("fleet: bad hot glob %q: %w", g, err)
+		}
+	}
+	if replicas > len(sorted) {
+		replicas = len(sorted)
+	}
+	m := &Map{
+		epoch:    epoch,
+		addrs:    sorted,
+		replicas: replicas,
+		hot:      append([]string(nil), hot...),
+		ring:     make([]vnode, 0, len(sorted)*vnodesPerAddr),
+	}
+	for i, a := range sorted {
+		for v := 0; v < vnodesPerAddr; v++ {
+			m.ring = append(m.ring, vnode{hash: hash32(a + "#" + strconv.Itoa(v)), addr: i})
+		}
+	}
+	sort.Slice(m.ring, func(i, j int) bool {
+		if m.ring[i].hash != m.ring[j].hash {
+			return m.ring[i].hash < m.ring[j].hash
+		}
+		return m.ring[i].addr < m.ring[j].addr // deterministic on (rare) collisions
+	})
+	return m, nil
+}
+
+func hash32(s string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	x := h.Sum32()
+	// Murmur3-style finalizer: raw FNV-1a clusters badly on the short,
+	// near-identical keys a ring is built from ("host:port#3" vs "#4"),
+	// skewing shard loads by integer factors. The extra mix buys full
+	// avalanche for two multiplies.
+	x ^= x >> 16
+	x *= 0x85ebca6b
+	x ^= x >> 13
+	x *= 0xc2b2ae35
+	x ^= x >> 16
+	return x
+}
+
+// Epoch returns the map's version number.
+func (m *Map) Epoch() uint64 { return m.epoch }
+
+// Addrs returns the fleet's shard addresses, sorted. Callers must not
+// mutate the returned slice.
+func (m *Map) Addrs() []string { return m.addrs }
+
+// Replicas returns the replication factor applied to hot files.
+func (m *Map) Replicas() int { return m.replicas }
+
+// Hot reports whether name is designated hot (replicated). Matching uses
+// path.Match against each configured glob.
+func (m *Map) Hot(name string) bool {
+	for _, g := range m.hot {
+		if ok, _ := path.Match(g, name); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Owners returns the addresses serving name, primary first. Cold files get
+// exactly one owner; hot files get Replicas distinct owners found by walking
+// the ring clockwise from the name's hash point, so each replica set is
+// stable under shard addition/removal the same way primaries are.
+func (m *Map) Owners(name string) []string {
+	want := 1
+	if m.Hot(name) {
+		want = m.replicas
+	}
+	h := hash32(name)
+	start := sort.Search(len(m.ring), func(i int) bool { return m.ring[i].hash >= h })
+	owners := make([]string, 0, want)
+	taken := make(map[int]bool, want)
+	for i := 0; len(owners) < want && i < len(m.ring); i++ {
+		vn := m.ring[(start+i)%len(m.ring)]
+		if !taken[vn.addr] {
+			taken[vn.addr] = true
+			owners = append(owners, m.addrs[vn.addr])
+		}
+	}
+	return owners
+}
+
+// Primary returns the first owner of name — the shard that serves cold
+// traffic and orders all writes.
+func (m *Map) Primary(name string) string { return m.Owners(name)[0] }
+
+// Encode serializes the map in the afmap/v1 wire form served by OpShardMap.
+// The ring itself is not encoded: it is a pure function of the addresses, so
+// DecodeMap rebuilds it and every decoder agrees on placement.
+func (m *Map) Encode() []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "afmap/v1\nepoch %d\nreplicas %d\n", m.epoch, m.replicas)
+	for _, a := range m.addrs {
+		fmt.Fprintf(&b, "addr %s\n", a)
+	}
+	for _, g := range m.hot {
+		fmt.Fprintf(&b, "hot %s\n", g)
+	}
+	return b.Bytes()
+}
+
+// DecodeMap parses an Encode'd map and rebuilds its ring.
+func DecodeMap(data []byte) (*Map, error) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	if !sc.Scan() || sc.Text() != "afmap/v1" {
+		return nil, fmt.Errorf("fleet: not an afmap/v1 document")
+	}
+	var (
+		epoch    uint64
+		replicas int
+		addrs    []string
+		hot      []string
+		haveE    bool
+		haveR    bool
+	)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(line, " ")
+		if !ok {
+			return nil, fmt.Errorf("fleet: malformed map line %q", line)
+		}
+		switch key {
+		case "epoch":
+			e, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fleet: bad epoch %q: %w", val, err)
+			}
+			epoch, haveE = e, true
+		case "replicas":
+			r, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("fleet: bad replicas %q: %w", val, err)
+			}
+			replicas, haveR = r, true
+		case "addr":
+			addrs = append(addrs, val)
+		case "hot":
+			hot = append(hot, val)
+		default:
+			return nil, fmt.Errorf("fleet: unknown map key %q", key)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !haveE || !haveR {
+		return nil, fmt.Errorf("fleet: map missing epoch or replicas")
+	}
+	return NewMap(epoch, addrs, replicas, hot)
+}

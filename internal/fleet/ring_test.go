@@ -1,0 +1,157 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestMapOwners(t *testing.T) {
+	addrs := []string{"h1:1", "h2:1", "h3:1", "h4:1"}
+	m, err := NewMap(3, addrs, 2, []string{"hot/*"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Epoch() != 3 {
+		t.Fatalf("epoch = %d, want 3", m.Epoch())
+	}
+
+	cold := m.Owners("cold/file")
+	if len(cold) != 1 {
+		t.Fatalf("cold file owners = %v, want exactly one", cold)
+	}
+	hot := m.Owners("hot/file")
+	if len(hot) != 2 {
+		t.Fatalf("hot file owners = %v, want two", hot)
+	}
+	if hot[0] == hot[1] {
+		t.Fatalf("hot replicas not distinct: %v", hot)
+	}
+	if m.Primary("hot/file") != hot[0] {
+		t.Fatalf("Primary disagrees with Owners[0]")
+	}
+
+	// Placement is deterministic.
+	for i := 0; i < 10; i++ {
+		again := m.Owners("hot/file")
+		if len(again) != 2 || again[0] != hot[0] || again[1] != hot[1] {
+			t.Fatalf("owners changed across calls: %v vs %v", again, hot)
+		}
+	}
+}
+
+func TestMapHotGlobs(t *testing.T) {
+	m, err := NewMap(1, []string{"a:1", "b:1"}, 2, []string{"hot/*", "exact"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]bool{
+		"hot/x":    true,
+		"exact":    true,
+		"cold/x":   false,
+		"hot/x/y":  false, // path.Match: * does not cross /
+		"exactish": false,
+	} {
+		if got := m.Hot(name); got != want {
+			t.Errorf("Hot(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestMapReplicasCappedAtFleetSize(t *testing.T) {
+	m, err := NewMap(1, []string{"a:1", "b:1"}, 5, []string{"*"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.Owners("x")); got != 2 {
+		t.Fatalf("owners = %d, want capped at 2", got)
+	}
+}
+
+func TestMapBalance(t *testing.T) {
+	addrs := []string{"h1:1", "h2:1", "h3:1", "h4:1"}
+	m, err := NewMap(1, addrs, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const names = 4000
+	for i := 0; i < names; i++ {
+		counts[m.Primary(fmt.Sprintf("obj/%d", i))]++
+	}
+	for _, a := range addrs {
+		if counts[a] < names/4/3 {
+			t.Fatalf("shard %s got %d of %d names — ring badly unbalanced: %v", a, counts[a], names, counts)
+		}
+	}
+}
+
+func TestMapStabilityUnderGrowth(t *testing.T) {
+	// Consistent hashing: adding a shard must keep most placements.
+	m4, _ := NewMap(1, []string{"h1:1", "h2:1", "h3:1", "h4:1"}, 1, nil)
+	m5, _ := NewMap(1, []string{"h1:1", "h2:1", "h3:1", "h4:1", "h5:1"}, 1, nil)
+	moved := 0
+	const names = 2000
+	for i := 0; i < names; i++ {
+		name := fmt.Sprintf("obj/%d", i)
+		if m4.Primary(name) != m5.Primary(name) {
+			moved++
+		}
+	}
+	// Ideal is 1/5 = 20%; allow generous slack for vnode variance.
+	if moved > names*35/100 {
+		t.Fatalf("%d/%d names moved when adding one shard — not consistent hashing", moved, names)
+	}
+}
+
+func TestMapCodecRoundTrip(t *testing.T) {
+	m, err := NewMap(7, []string{"10.0.0.2:9000", "10.0.0.1:9000", "10.0.0.3:9001"}, 2, []string{"hot/*", "idx-?"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeMap(m.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if back.Epoch() != m.Epoch() || back.Replicas() != m.Replicas() {
+		t.Fatalf("epoch/replicas changed: %d/%d vs %d/%d", back.Epoch(), back.Replicas(), m.Epoch(), m.Replicas())
+	}
+	for i := 0; i < 100; i++ {
+		name := fmt.Sprintf("hot/%d", i)
+		a, b := m.Owners(name), back.Owners(name)
+		if len(a) != len(b) {
+			t.Fatalf("owner count differs for %q", name)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("placement differs after roundtrip for %q: %v vs %v", name, a, b)
+			}
+		}
+	}
+}
+
+func TestMapValidation(t *testing.T) {
+	if _, err := NewMap(1, nil, 1, nil); err == nil {
+		t.Error("empty fleet accepted")
+	}
+	if _, err := NewMap(1, []string{"a:1", "a:1"}, 1, nil); err == nil {
+		t.Error("duplicate address accepted")
+	}
+	if _, err := NewMap(1, []string{"a:1"}, 0, nil); err == nil {
+		t.Error("zero replication accepted")
+	}
+	if _, err := NewMap(1, []string{"a:1"}, 1, []string{"[bad"}); err == nil {
+		t.Error("malformed glob accepted")
+	}
+	for _, doc := range []string{
+		"",
+		"garbage",
+		"afmap/v1\nepoch x\nreplicas 1\naddr a:1\n",
+		"afmap/v1\nreplicas 1\naddr a:1\n",
+		"afmap/v1\nepoch 1\nreplicas 1\n",
+		"afmap/v1\nepoch 1\nreplicas 1\nwhat now\naddr a:1\n",
+	} {
+		if _, err := DecodeMap([]byte(doc)); err == nil {
+			t.Errorf("DecodeMap(%q) accepted", doc)
+		}
+	}
+}

@@ -1,0 +1,566 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/backend"
+	"repro/internal/cache"
+	"repro/internal/remote"
+	"repro/internal/wire"
+)
+
+// Options tunes a fleet client.
+type Options struct {
+	// Dial configures every per-shard remote.Client.
+	Dial remote.DialOptions
+	// CacheBlocks enables lease-protected client caching: each object gets a
+	// cache.BlockCache of this many blocks whose entries are tagged with the
+	// object's lease epoch, so cached reads cost no network round trip and a
+	// conflicting write anywhere in the fleet invalidates them (via the
+	// lease-revoke push) before it commits. Zero disables caching.
+	CacheBlocks int
+	// CacheBlockSize is the cache's block size (default 4096).
+	CacheBlockSize int
+}
+
+const defaultCacheBlockSize = 4096
+
+// Fleet is a client-side handle on a sharded FileServer fleet: a Backend
+// whose objects are routed by a shard Map. Each object dials its owners
+// lazily and keeps those connections pooled for the object's lifetime —
+// reads on hot files fan out across replicas by power-of-two-choices on the
+// clients' in-flight gauges, writes pin to the primary (which replicates
+// synchronously server-side), and failover retires a shard's connection and
+// carries on with the remaining replicas.
+type Fleet struct {
+	m    *Map
+	opts Options
+}
+
+var _ backend.Backend = (*Fleet)(nil)
+
+// New returns a fleet client over m.
+func New(m *Map, opts Options) *Fleet {
+	if opts.CacheBlockSize <= 0 {
+		opts.CacheBlockSize = defaultCacheBlockSize
+	}
+	return &Fleet{m: m, opts: opts}
+}
+
+// Fetch bootstraps routing by retrieving the shard map from the first
+// reachable of addrs — any shard serves the authoritative map.
+func Fetch(addrs []string, d remote.DialOptions) (*Map, error) {
+	var firstErr error
+	for _, a := range addrs {
+		data, _, err := remote.FetchShardMap(a, d)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		return DecodeMap(data)
+	}
+	return nil, fmt.Errorf("fleet: no shard served a map: %w", firstErr)
+}
+
+// Map returns the shard map routing this fleet.
+func (f *Fleet) Map() *Map { return f.m }
+
+// Kind implements backend.Backend.
+func (f *Fleet) Kind() string { return "fleet" }
+
+// Caps implements backend.Backend.
+func (f *Fleet) Caps() backend.Caps { return backend.CapWrite }
+
+// Close implements backend.Backend; connections belong to the objects.
+func (f *Fleet) Close() error { return nil }
+
+// Open implements backend.Backend, returning a routed (and, when configured,
+// lease-cached) object.
+func (f *Fleet) Open(name string) (backend.Object, error) {
+	owners := f.m.Owners(name)
+	o := &Object{
+		f:       f,
+		name:    name,
+		owners:  owners,
+		ledIdx:  -1,
+		clients: make([]*remote.Client, len(owners)),
+	}
+	if f.opts.CacheBlocks > 0 {
+		c, err := cache.NewBlockCache(&leaseRouter{o: o}, f.opts.CacheBlockSize, f.opts.CacheBlocks)
+		if err != nil {
+			return nil, err
+		}
+		o.cache = c
+	}
+	return o, nil
+}
+
+// Object is one fleet-routed object. It implements remote.Source (and so
+// backend.Object): reads fan out over the object's owners, writes go to the
+// primary. With caching enabled, reads are served from an epoch-tagged block
+// cache kept coherent by the lease protocol.
+type Object struct {
+	f      *Fleet
+	name   string
+	owners []string // primary first
+
+	cache *cache.BlockCache // nil when caching is off
+
+	mu      sync.Mutex
+	clients []*remote.Client // lazily dialed, parallel to owners
+	closed  bool
+
+	// Lease state, meaningful only with caching. A lease is live while it
+	// has not been revoked AND the session it was granted on survives: the
+	// grant is connection-scoped on the server, so a reconnect (leaseSession
+	// no longer matching the client's Reconnects count) means the server has
+	// already forgotten us and the cache must not be trusted until a fresh
+	// lease re-tags it.
+	leased       bool
+	ledIdx       int // owner index the lease was granted by
+	leaseSession uint64
+
+	failovers uint64 // reads re-routed to another replica after a transport error
+}
+
+var _ remote.Source = (*Object)(nil)
+
+// client returns the pooled connection to owner i, dialing on first use (or
+// after a failover retired the previous one).
+func (o *Object) client(i int) (*remote.Client, error) {
+	o.mu.Lock()
+	if o.closed {
+		o.mu.Unlock()
+		return nil, remote.ErrSourceClosed
+	}
+	if c := o.clients[i]; c != nil {
+		o.mu.Unlock()
+		return c, nil
+	}
+	addr := o.owners[i]
+	o.mu.Unlock()
+
+	c, err := remote.DialWith(addr, o.name, o.f.opts.Dial)
+	if err != nil {
+		return nil, err
+	}
+	o.mu.Lock()
+	if o.closed {
+		o.mu.Unlock()
+		c.Close()
+		return nil, remote.ErrSourceClosed
+	}
+	if prev := o.clients[i]; prev != nil {
+		o.mu.Unlock()
+		c.Close()
+		return prev, nil
+	}
+	o.clients[i] = c
+	o.mu.Unlock()
+	return c, nil
+}
+
+// dropClient retires owner i's connection after a transport failure; the
+// next use redials, so a recovered shard rejoins the rotation.
+func (o *Object) dropClient(i int, c *remote.Client) {
+	o.mu.Lock()
+	if o.clients[i] == c {
+		o.clients[i] = nil
+	} else {
+		c = nil
+	}
+	if o.leased && o.ledIdx == i {
+		o.leased = false // the lease lived on that connection
+	}
+	o.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+}
+
+// pick chooses the owner index to read from: power of two choices on the
+// clients' in-flight gauges, with an undialed owner counting as idle — two
+// random owners are sampled and the less loaded one wins, which keeps the
+// fan-out balanced without any shared coordination.
+func (o *Object) pick() int {
+	n := len(o.owners)
+	if n == 1 {
+		return 0
+	}
+	a := rand.Intn(n)
+	b := rand.Intn(n - 1)
+	if b >= a {
+		b++
+	}
+	o.mu.Lock()
+	la, lb := int64(0), int64(0)
+	if c := o.clients[a]; c != nil {
+		la = c.InFlight()
+	}
+	if c := o.clients[b]; c != nil {
+		lb = c.InFlight()
+	}
+	o.mu.Unlock()
+	if lb < la {
+		return b
+	}
+	return a
+}
+
+// shouldFailover reports whether err warrants trying another replica: only
+// transport-level failures do. Application answers (EOF, not-found, remote
+// errors) are deterministic and replica-independent, and typed admission
+// refusals are policy — failing over would route around admission control.
+func shouldFailover(err error) bool {
+	if err == nil || remote.IsRefusal(err) {
+		return false
+	}
+	// Plain io.EOF is the application's end-of-object answer; a transport EOF
+	// (peer died mid-exchange) reaches us wrapped and must fail over.
+	if err == io.EOF {
+		return false
+	}
+	if errors.Is(err, wire.ErrUnsupported) ||
+		errors.Is(err, wire.ErrClosed) || errors.Is(err, wire.ErrNotFound) ||
+		errors.Is(err, wire.ErrBusy) {
+		return false
+	}
+	var re *wire.RemoteError
+	return !errors.As(err, &re)
+}
+
+// readDirect reads from one of the object's owners, failing over across
+// replicas on transport errors. Reads are idempotent, so a partially
+// transferred attempt is simply reissued in full elsewhere.
+func (o *Object) readDirect(p []byte, off int64) (int, error) {
+	start := o.pick()
+	var lastErr error
+	for i := 0; i < len(o.owners); i++ {
+		idx := (start + i) % len(o.owners)
+		c, err := o.client(idx)
+		if err != nil {
+			if !shouldFailover(err) && !errors.Is(err, remote.ErrSourceClosed) {
+				return 0, err
+			}
+			if errors.Is(err, remote.ErrSourceClosed) && o.isClosed() {
+				return 0, remote.ErrSourceClosed
+			}
+			lastErr = err
+			continue
+		}
+		n, rerr := c.ReadAt(p, off)
+		if rerr == nil || !shouldFailover(rerr) {
+			if errors.Is(rerr, remote.ErrSourceClosed) && !o.isClosed() {
+				// A concurrent failover closed this client under us, not the
+				// object; try the next replica.
+				lastErr = rerr
+				continue
+			}
+			return n, rerr
+		}
+		o.dropClient(idx, c)
+		o.mu.Lock()
+		o.failovers++
+		o.mu.Unlock()
+		lastErr = rerr
+	}
+	return 0, fmt.Errorf("fleet: every owner of %q failed: %w", o.name, lastErr)
+}
+
+func (o *Object) isClosed() bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.closed
+}
+
+// CacheStats reports the object's block-cache counters; ok is false when
+// caching is off.
+func (o *Object) CacheStats() (cache.Stats, bool) {
+	if o.cache == nil {
+		return cache.Stats{}, false
+	}
+	return o.cache.Stats(), true
+}
+
+// Failovers reports how many reads were re-routed to another replica.
+func (o *Object) Failovers() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.failovers
+}
+
+// ReadAt implements remote.Source.
+func (o *Object) ReadAt(p []byte, off int64) (int, error) {
+	if o.cache != nil {
+		return o.cache.ReadAt(p, off)
+	}
+	return o.readDirect(p, off)
+}
+
+// WriteAt implements remote.Source: writes pin to the primary, which revokes
+// read leases, applies, and synchronously replicates before answering. No
+// failover — a non-primary shard would refuse, and replaying a write that
+// may have applied is never safe.
+func (o *Object) WriteAt(p []byte, off int64) (int, error) {
+	if o.cache != nil {
+		return o.cache.WriteAt(p, off)
+	}
+	return o.writeDirect(p, off)
+}
+
+func (o *Object) writeDirect(p []byte, off int64) (int, error) {
+	c, err := o.client(0)
+	if err != nil {
+		return 0, err
+	}
+	return c.WriteAt(p, off)
+}
+
+// Size implements remote.Source (idempotent; fails over like reads).
+func (o *Object) Size() (int64, error) {
+	if o.cache != nil {
+		return o.cache.Size()
+	}
+	return o.sizeDirect()
+}
+
+func (o *Object) sizeDirect() (int64, error) {
+	start := o.pick()
+	var lastErr error
+	for i := 0; i < len(o.owners); i++ {
+		idx := (start + i) % len(o.owners)
+		c, err := o.client(idx)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		n, serr := c.Size()
+		if serr == nil || !shouldFailover(serr) {
+			if errors.Is(serr, remote.ErrSourceClosed) && !o.isClosed() {
+				lastErr = serr
+				continue
+			}
+			return n, serr
+		}
+		o.dropClient(idx, c)
+		lastErr = serr
+	}
+	return 0, fmt.Errorf("fleet: every owner of %q failed: %w", o.name, lastErr)
+}
+
+// Truncate implements remote.Source; primary-pinned like writes.
+func (o *Object) Truncate(n int64) error {
+	if o.cache != nil {
+		return o.cache.Truncate(n)
+	}
+	return o.truncateDirect(n)
+}
+
+func (o *Object) truncateDirect(n int64) error {
+	c, err := o.client(0)
+	if err != nil {
+		return err
+	}
+	return c.Truncate(n)
+}
+
+// Close implements remote.Source, releasing every pooled connection.
+func (o *Object) Close() error {
+	o.mu.Lock()
+	if o.closed {
+		o.mu.Unlock()
+		return nil
+	}
+	o.closed = true
+	o.leased = false
+	clients := o.clients
+	o.clients = make([]*remote.Client, len(o.owners))
+	o.mu.Unlock()
+	for _, c := range clients {
+		if c != nil {
+			c.Close()
+		}
+	}
+	return nil
+}
+
+// ensureLease returns a client holding a live lease on the object, acquiring
+// or re-acquiring one as needed. The revoke handler is installed before the
+// grant so no revoke can slip through unobserved, and it marks the lease
+// dead BEFORE bumping the cache epoch — a fill racing the revoke therefore
+// either tags with the old epoch (and is discarded) or re-leases first (and
+// blocks until the conflicting write has fully applied).
+func (o *Object) ensureLease() (*remote.Client, int, error) {
+	o.mu.Lock()
+	if o.leased {
+		c := o.clients[o.ledIdx]
+		if c != nil && c.Reconnects() == o.leaseSession {
+			idx := o.ledIdx
+			o.mu.Unlock()
+			return c, idx, nil
+		}
+		o.leased = false
+	}
+	prefer := o.ledIdx
+	o.mu.Unlock()
+	if prefer < 0 {
+		prefer = o.pick()
+	}
+
+	var lastErr error
+	for i := 0; i < len(o.owners); i++ {
+		idx := (prefer + i) % len(o.owners)
+		c, err := o.client(idx)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		leasedIdx := idx
+		c.SetRevokeHandler(func(_ string, epoch uint64) {
+			o.mu.Lock()
+			if o.leased && o.ledIdx == leasedIdx {
+				o.leased = false
+			}
+			o.mu.Unlock()
+			o.cache.SetEpoch(epoch)
+		})
+		// The lease must be paired with the session that granted it: if the
+		// session turned over during the exchange (idempotent replay), the
+		// grant we hold may belong to a connection the server has already
+		// forgotten, so lease again on the settled session.
+		var epoch uint64
+		granted := false
+		for tries := 0; tries < 3; tries++ {
+			before := c.Reconnects()
+			e, lerr := c.Lease()
+			if lerr != nil {
+				lastErr = lerr
+				break
+			}
+			if c.Reconnects() == before {
+				epoch, granted = e, true
+				break
+			}
+		}
+		if !granted {
+			if lastErr != nil && !shouldFailover(lastErr) {
+				return nil, 0, lastErr
+			}
+			o.dropClient(idx, c)
+			if lastErr == nil {
+				lastErr = fmt.Errorf("fleet: lease on %q kept losing its session", o.name)
+			}
+			continue
+		}
+		o.mu.Lock()
+		o.leased, o.ledIdx, o.leaseSession = true, idx, c.Reconnects()
+		o.mu.Unlock()
+		o.cache.SetEpoch(epoch)
+		return c, idx, nil
+	}
+	return nil, 0, fmt.Errorf("fleet: no owner of %q granted a lease: %w", o.name, lastErr)
+}
+
+// leaseRouter is the cache's backing store: fills read from the replica the
+// object holds a lease on (so every cached byte is covered by a revoke
+// channel), writes and truncates route to the primary.
+type leaseRouter struct {
+	o *Object
+}
+
+var _ cache.RandomAccess = (*leaseRouter)(nil)
+
+func (r *leaseRouter) ReadAt(p []byte, off int64) (int, error) {
+	var lastErr error
+	for i := 0; i <= len(r.o.owners); i++ {
+		c, idx, err := r.o.ensureLease()
+		if err != nil {
+			return 0, err
+		}
+		n, rerr := c.ReadAt(p, off)
+		if rerr == nil || !shouldFailover(rerr) {
+			if errors.Is(rerr, remote.ErrSourceClosed) && !r.o.isClosed() {
+				lastErr = rerr
+				r.o.dropClient(idx, c)
+				continue
+			}
+			return n, rerr
+		}
+		r.o.dropClient(idx, c) // also drops the lease that lived on it
+		r.o.mu.Lock()
+		r.o.failovers++
+		r.o.mu.Unlock()
+		lastErr = rerr
+	}
+	return 0, fmt.Errorf("fleet: leased reads of %q kept failing: %w", r.o.name, lastErr)
+}
+
+func (r *leaseRouter) WriteAt(p []byte, off int64) (int, error) { return r.o.writeDirect(p, off) }
+func (r *leaseRouter) Size() (int64, error)                     { return r.o.sizeDirect() }
+func (r *leaseRouter) Truncate(n int64) error                   { return r.o.truncateDirect(n) }
+
+func init() {
+	backend.Register("fleet", func(opts map[string]string, config string) (backend.Backend, error) {
+		if config == "" {
+			return nil, fmt.Errorf("%w: fleet wants shard addresses (fleet:host:port,host:port,...)", backend.ErrBadSpec)
+		}
+		var addrs []string
+		for _, a := range strings.Split(config, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		var o Options
+		replicas := 1
+		var hot []string
+		for k, v := range opts {
+			switch k {
+			case "cache":
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("%w: fleet cache=%q wants a block count", backend.ErrBadSpec, v)
+				}
+				o.CacheBlocks = n
+			case "bsize":
+				n, err := strconv.Atoi(v)
+				if err != nil || n <= 0 {
+					return nil, fmt.Errorf("%w: fleet bsize=%q wants a positive block size", backend.ErrBadSpec, v)
+				}
+				o.CacheBlockSize = n
+			case "replicas":
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 1 {
+					return nil, fmt.Errorf("%w: fleet replicas=%q wants a positive count", backend.ErrBadSpec, v)
+				}
+				replicas = n
+			case "hot":
+				// Globs are ';'-separated: ',' delimits spec options.
+				for _, g := range strings.Split(v, ";") {
+					if g != "" {
+						hot = append(hot, g)
+					}
+				}
+			default:
+				return nil, fmt.Errorf("%w: fleet does not understand option %q", backend.ErrBadSpec, k)
+			}
+		}
+		// The shards' own map is authoritative; a locally built one (epoch 0)
+		// covers fleets of plain FileServers that were never SetFleet'd.
+		m, err := Fetch(addrs, o.Dial)
+		if err != nil {
+			m, err = NewMap(0, addrs, replicas, hot)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return New(m, o), nil
+	})
+}

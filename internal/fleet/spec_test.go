@@ -1,0 +1,59 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/backend/conformance"
+)
+
+// specFactory provisions fresh, uniquely named objects through a backend
+// opened from a fleet spec string, seeding each with the requested content.
+func specFactory(t *testing.T, spec, prefix string) conformance.Factory {
+	t.Helper()
+	b, err := backend.Open(spec)
+	if err != nil {
+		t.Fatalf("open %q: %v", spec, err)
+	}
+	t.Cleanup(func() { b.Close() })
+	serial := 0
+	return func(t *testing.T, content []byte) conformance.Object {
+		serial++
+		obj, err := b.Open(fmt.Sprintf("%s/obj-%d", prefix, serial))
+		if err != nil {
+			t.Fatalf("open object: %v", err)
+		}
+		t.Cleanup(func() { obj.Close() })
+		if err := obj.Truncate(0); err != nil {
+			t.Fatalf("seed truncate: %v", err)
+		}
+		if len(content) > 0 {
+			if _, err := obj.WriteAt(content, 0); err != nil {
+				t.Fatalf("seed write: %v", err)
+			}
+		}
+		return obj
+	}
+}
+
+// TestConformanceFleetSpec pins the full read-write contract on a 3-shard
+// fleet reached through the spec registry ("fleet:addr,addr,addr") — routed,
+// unreplicated, uncached.
+func TestConformanceFleetSpec(t *testing.T) {
+	m, _ := startShards(t, 3, 1, nil)
+	spec := "fleet:" + strings.Join(m.Addrs(), ",")
+	conformance.RunRW(t, specFactory(t, spec, "conf"))
+}
+
+// TestConformanceFleetSpecCachedReplicated pins the same contract with every
+// fleet feature on at once: hot-file replication across 2 shards plus
+// lease-protected client caching with a small block size, so conformance
+// traffic crosses block boundaries, replica fan-out, and revoke rounds.
+func TestConformanceFleetSpecCachedReplicated(t *testing.T) {
+	m, _ := startShards(t, 3, 2, []string{"hot/*"})
+	spec := fmt.Sprintf("fleet(cache=16,bsize=32,replicas=2,hot=hot/*):%s",
+		strings.Join(m.Addrs(), ","))
+	conformance.RunRW(t, specFactory(t, spec, "hot"))
+}

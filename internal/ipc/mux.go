@@ -76,6 +76,12 @@ type Mux struct {
 	mu      sync.Mutex
 	pending map[uint32]muxPending
 	err     error // terminal failure; set once, fails all current and future exchanges
+
+	// push receives server-initiated frames (Seq == wire.PushSeq) — lease
+	// revokes and other notifications the peer sends without a request.
+	// Guarded by mu; called from the receive loop, so it must not block on
+	// another exchange's response (sending with Post is fine).
+	push func(wire.Response)
 }
 
 // NewMux returns a mux sending command frames on ctrl, matching response
@@ -141,6 +147,28 @@ func (m *Mux) receive(r *wire.Reader) {
 			return
 		}
 		m.recvFrames.Add(1)
+		if resp.Seq == wire.PushSeq {
+			// Server-initiated frame: no waiter holds this Seq. The payload
+			// lands in a fresh buffer (pushes are rare and small) and the
+			// handler runs on the receive loop, so by the time the next frame
+			// is decoded the push has been fully acted on — the ordering the
+			// lease protocol relies on.
+			if payloadLen > 0 {
+				data := make([]byte, payloadLen)
+				if err := r.ReadPayload(data); err != nil {
+					m.Fail(err)
+					return
+				}
+				resp.Data = data
+			}
+			m.mu.Lock()
+			h := m.push
+			m.mu.Unlock()
+			if h != nil {
+				h(resp)
+			}
+			continue
+		}
 		m.mu.Lock()
 		p, ok := m.pending[resp.Seq]
 		delete(m.pending, resp.Seq)
@@ -197,6 +225,16 @@ func (m *Mux) Err() error {
 	return m.err
 }
 
+// SetPushHandler installs h for server-initiated frames (Seq ==
+// wire.PushSeq). h runs on the receive loop: it must not wait for another
+// exchange's response, but may send (Post) — the lease-ack path. A nil h
+// drops pushes.
+func (m *Mux) SetPushHandler(h func(wire.Response)) {
+	m.mu.Lock()
+	m.push = h
+	m.mu.Unlock()
+}
+
 // sendValidationErr reports whether err is a pure encode-time validation
 // failure, raised before any bytes reach the channel. Every other send error
 // may have left a partial frame on the stream and must poison the mux.
@@ -232,9 +270,10 @@ func (m *Mux) RoundTripContext(ctx context.Context, req *wire.Request, dst []byt
 	// A wrapped Seq counter could hand out a key some slow exchange still
 	// holds; registering the new waiter under it would orphan the old one
 	// (its response would be routed here and its goroutine blocked forever).
-	// Retag until the key is free.
+	// Retag until the key is free. wire.PushSeq is never free: it names
+	// server-initiated frames, so a wrapped counter skips it too.
 	for retags := 0; ; retags++ {
-		if _, dup := m.pending[req.Seq]; !dup {
+		if _, dup := m.pending[req.Seq]; !dup && req.Seq != wire.PushSeq {
 			break
 		}
 		if retags == seqRetagLimit {
@@ -299,6 +338,9 @@ func finishRoundTrip(op wire.Op, res muxResult) (wire.Response, error) {
 // corrupting offsets.
 func (m *Mux) Post(req *wire.Request, payload []byte) error {
 	req.Seq = m.seq.Next()
+	if req.Seq == wire.PushSeq { // wrapped counter; the echo would look like a push
+		req.Seq = m.seq.Next()
+	}
 
 	m.mu.Lock()
 	err := m.err

@@ -2,6 +2,7 @@ package remote
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
@@ -92,10 +93,16 @@ type Client struct {
 
 	closed atomic.Bool
 
-	mu   sync.Mutex // guards sess and dialing
+	mu   sync.Mutex // guards sess, dialing, and revoke
 	sess *session
 
+	// revoke, when set, observes lease-revoke pushes from the server before
+	// the client acknowledges them — the cache-invalidation hook. It runs on
+	// the session's receive loop and must not block on another exchange.
+	revoke func(name string, epoch uint64)
+
 	reconnects atomic.Uint64
+	inflight   atomic.Int64
 }
 
 var _ Source = (*Client)(nil)
@@ -126,6 +133,20 @@ func (c *Client) connect() (*session, error) {
 		return nil, fmt.Errorf("dial file server %s: %w", c.addr, err)
 	}
 	s := &session{conn: conn, mux: ipc.NewMux(conn, conn, nil)}
+	// Every session — including pooled, currently idle ones — answers
+	// lease-revoke pushes: the revoke hook (if any) invalidates first, then
+	// the ack is posted. Without the auto-ack an idle pooled connection
+	// holding a stale lease would stall every conflicting write until the
+	// server's revoke timeout evicted it.
+	s.mux.SetPushHandler(func(resp wire.Response) {
+		c.mu.Lock()
+		h := c.revoke
+		c.mu.Unlock()
+		if h != nil {
+			h(string(resp.Data), uint64(resp.N))
+		}
+		s.mux.Post(&wire.Request{Op: wire.OpLeaseAck, N: resp.N}, nil)
+	})
 	ctx, cancel := c.opCtx()
 	resp, err := s.mux.RoundTripContext(ctx, &wire.Request{Op: wire.OpOpen, Data: []byte(c.name)}, nil)
 	cancel()
@@ -189,8 +210,87 @@ func (c *Client) dropSession(s *session) {
 }
 
 // Reconnects reports how many sessions have been retired after transport
-// failures — observability for chaos harnesses and tests.
+// failures. Beyond chaos observability, it is the client's SESSION EPOCH: a
+// lease is only as live as the session it was granted on, so lease holders
+// record this value at grant time and treat any change as lease loss.
 func (c *Client) Reconnects() uint64 { return c.reconnects.Load() }
+
+// InFlight reports how many exchanges are currently outstanding — the load
+// gauge power-of-two-choices replica selection compares.
+func (c *Client) InFlight() int64 { return c.inflight.Load() }
+
+// Addr returns the server address this client dials.
+func (c *Client) Addr() string { return c.addr }
+
+// SetRevokeHandler installs h to observe lease-revoke pushes before they are
+// acknowledged. h runs on the session's receive loop: it must not wait for
+// another exchange's response. Install it BEFORE acquiring a lease, so no
+// revoke can slip through unobserved.
+func (c *Client) SetRevokeHandler(h func(name string, epoch uint64)) {
+	c.mu.Lock()
+	c.revoke = h
+	c.mu.Unlock()
+}
+
+// IsRefusal reports whether err is a typed admission-control refusal
+// (quota, overload, shutdown) — a server's deliberate policy decision.
+// Refusals are never retried and never trigger cross-replica failover:
+// routing around admission control would defeat it.
+func IsRefusal(err error) bool {
+	return errors.Is(err, wire.ErrQuotaExceeded) ||
+		errors.Is(err, wire.ErrOverloaded) ||
+		errors.Is(err, wire.ErrShuttingDown)
+}
+
+// Lease acquires (or refreshes) a read lease on the bound object and returns
+// its epoch. The caller tags cached data with the epoch; a lease-revoke push
+// carrying a higher epoch invalidates it. Idempotent — re-requesting after a
+// transport failure just re-grants on the new session.
+func (c *Client) Lease() (uint64, error) {
+	n, _, err := c.call(&wire.Request{Op: wire.OpLease}, nil, true)
+	return uint64(n), err
+}
+
+// Apply forwards a primary-ordered mutation to this replica: kind is
+// wire.ApplyWrite (data at off) or wire.ApplyTruncate (truncate to off).
+// Like writes it is never replayed after the request may have reached the
+// server.
+func (c *Client) Apply(kind, off int64, data []byte) (int64, error) {
+	n, _, err := c.call(&wire.Request{Op: wire.OpApply, N: kind, Off: off, Data: data}, nil, false)
+	return n, err
+}
+
+// FetchShardMap dials addr and retrieves the fleet shard map it serves —
+// no object binding needed, so a client can bootstrap routing from any one
+// shard address. It returns the encoded map and its epoch.
+func FetchShardMap(addr string, opts DialOptions) ([]byte, uint64, error) {
+	opts = opts.withDefaults()
+	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+	if err != nil {
+		return nil, 0, fmt.Errorf("dial shard %s: %w", addr, err)
+	}
+	mux := ipc.NewMux(conn, conn, nil)
+	defer func() {
+		mux.Close()
+		conn.Close()
+	}()
+	ctx := context.Background()
+	if opts.OpTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.OpTimeout)
+		defer cancel()
+	}
+	buf, rel := wire.GetBuf(1 << 16) // maps are small: a few KiB even at 64 shards
+	defer rel()
+	resp, err := mux.RoundTripContext(ctx, &wire.Request{Op: wire.OpShardMap}, buf)
+	if err == nil {
+		err = wire.ToError(wire.OpShardMap, resp.Status, resp.Msg)
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("fetch shard map from %s: %w", addr, err)
+	}
+	return append([]byte(nil), resp.Data...), uint64(resp.N), nil
+}
 
 // backoff sleeps the attempt-th reconnect delay: exponential growth from
 // BackoffBase capped at BackoffMax, with equal jitter so a fleet of waiters
@@ -208,12 +308,19 @@ func (c *Client) backoff(attempt int) {
 // for idempotent operations — replaying across transport failures. Any
 // response payload lands in dst (which may be nil); copied reports how much.
 func (c *Client) call(req *wire.Request, dst []byte, idempotent bool) (n int64, copied int, err error) {
+	c.inflight.Add(1)
+	defer c.inflight.Add(-1)
 	for attempt := 0; ; attempt++ {
 		s, serr := c.getSession()
 		if serr != nil {
 			// The operation was never sent, so retrying a failed dial is
-			// safe for every op, idempotent or not.
-			if serr == ErrSourceClosed || attempt >= c.opts.MaxRetries {
+			// safe for every op, idempotent or not — EXCEPT when the server
+			// answered the redial's OpOpen with a typed policy refusal
+			// (quota, overload, shutdown): that is a deliberate decision, not
+			// a fault, and retrying it — here or against a replica — would
+			// turn admission control into a retry storm. It surfaces
+			// immediately.
+			if serr == ErrSourceClosed || IsRefusal(serr) || attempt >= c.opts.MaxRetries {
 				return 0, 0, serr
 			}
 			c.backoff(attempt)

@@ -49,9 +49,46 @@ type FileServer struct {
 	inflightOps  atomic.Int64 // ops between intake and reply flush
 	drainTimeout time.Duration
 
+	// leases is the server half of the read-lease protocol: clients tag
+	// cached blocks with granted epochs, and conflicting writes revoke
+	// every holder before applying. Always present; idle until a client
+	// sends OpLease.
+	leases *leaseTable
+
+	// Fleet membership, when this server is one shard of a fleet map
+	// (SetFleet): writes are refused unless this server is the object's
+	// primary, and a primary synchronously forwards applied writes to the
+	// object's replicas through pooled peer clients. Atomic so membership
+	// can be installed after Start (tests learn ephemeral addresses only
+	// then) without racing the serve loops.
+	fleet atomic.Pointer[fleetMembership]
+
+	peersMu sync.Mutex
+	peers   map[string]*Client // key addr+"\x00"+name
+
+	applyForwards atomic.Uint64 // replica applies forwarded as primary
+
+	bw throttle
+
 	latency   time.Duration
 	failNext  error
 	stallNext time.Duration
+}
+
+// ShardMap is the placement view a FileServer enforces when it is one shard
+// of a fleet: who owns an object (primary first), the map's version, and its
+// wire encoding for OpShardMap. fleet.Map implements it; the indirection
+// keeps this package free of a dependency on the fleet package.
+type ShardMap interface {
+	Owners(name string) []string
+	Epoch() uint64
+	Encode() []byte
+}
+
+// fleetMembership pairs the map with this server's own address in it.
+type fleetMembership struct {
+	m    ShardMap
+	self string
 }
 
 // DefaultDrainTimeout bounds how long Close waits for in-flight
@@ -66,13 +103,82 @@ func NewFileServer() *FileServer {
 // NewFileServerWith returns a server exporting store's objects.
 func NewFileServerWith(store backend.Backend) *FileServer {
 	return &FileServer{
-		store: store,
-		conns: make(map[net.Conn]struct{}),
+		store:  store,
+		conns:  make(map[net.Conn]struct{}),
+		leases: newLeaseTable(0),
+		peers:  make(map[string]*Client),
 	}
 }
 
 // Store returns the backend the server is exporting.
 func (s *FileServer) Store() backend.Backend { return s.store }
+
+// SetFleet makes the server one shard of a fleet: m is the shard map it
+// serves over OpShardMap and enforces (writes are refused unless self — this
+// server's address as it appears in the map — is the object's primary), and
+// a primary forwards applied writes to the object's replicas synchronously
+// before replying. Safe to call anytime, though membership should be in
+// place before clients route by it.
+func (s *FileServer) SetFleet(m ShardMap, self string) {
+	s.fleet.Store(&fleetMembership{m: m, self: self})
+}
+
+// SetRevokeTimeout overrides how long a write round waits for lease holders
+// to acknowledge a revoke before evicting them (DefaultRevokeTimeout
+// otherwise). Set it before Start.
+func (s *FileServer) SetRevokeTimeout(d time.Duration) {
+	s.leases = newLeaseTable(d)
+}
+
+// LeaseStats reports lease-protocol counters.
+func (s *FileServer) LeaseStats() LeaseStats { return s.leases.stats() }
+
+// ApplyForwards reports how many replica applies this server has forwarded
+// as a primary.
+func (s *FileServer) ApplyForwards() uint64 { return s.applyForwards.Load() }
+
+// SetBandwidth caps the server's aggregate data bandwidth (reads, writes,
+// and replica applies) at bytesPerSec, zero meaning unlimited. The cap
+// models a shard's service capacity — disk or NIC — so fleet scaling is
+// measurable even when every shard shares one host. Safe to call anytime.
+func (s *FileServer) SetBandwidth(bytesPerSec int64) { s.bw.setRate(bytesPerSec) }
+
+// throttle is a token-bucket pacer: each payload reserves its transmission
+// slot in a virtual timeline advancing at the configured rate, and the
+// carrying goroutine sleeps until its slot arrives. Concurrency is
+// preserved — many operations pace in parallel — while the aggregate rate
+// converges on the cap.
+type throttle struct {
+	mu   sync.Mutex
+	rate float64 // bytes per second; <= 0 means unlimited
+	next time.Time
+}
+
+func (t *throttle) setRate(bytesPerSec int64) {
+	t.mu.Lock()
+	t.rate = float64(bytesPerSec)
+	t.next = time.Time{}
+	t.mu.Unlock()
+}
+
+func (t *throttle) wait(n int) {
+	if n <= 0 {
+		return
+	}
+	t.mu.Lock()
+	if t.rate <= 0 {
+		t.mu.Unlock()
+		return
+	}
+	now := time.Now()
+	if t.next.Before(now) {
+		t.next = now
+	}
+	slot := t.next
+	t.next = t.next.Add(time.Duration(float64(n) / t.rate * float64(time.Second)))
+	t.mu.Unlock()
+	time.Sleep(time.Until(slot))
+}
 
 // SetRegistry installs the multi-tenant session registry. Every
 // connection's OpOpen is then admitted against the named tenant's session
@@ -227,8 +333,11 @@ func (s *FileServer) Kill() {
 		s.wg.Wait()
 		return
 	}
+	// Deliberately NOT flipping the draining gate: a crashed server never
+	// answers with a typed shutdown status — clients must see only torn
+	// connections, or failover tests would mistake the death throes for a
+	// policy refusal.
 	s.closed = true
-	s.draining.Store(true)
 	ln := s.ln
 	for c := range s.conns {
 		c.Close()
@@ -238,6 +347,7 @@ func (s *FileServer) Kill() {
 		ln.Close()
 	}
 	s.wg.Wait()
+	s.closePeers()
 }
 
 // Shutdown is Close with an explicit drain deadline. It reports whether
@@ -284,7 +394,87 @@ func (s *FileServer) Shutdown(timeout time.Duration) bool {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	s.closePeers()
 	return clean
+}
+
+// notPrimary returns a refusal message when this server is part of a fleet
+// but not the named object's primary — writes must go to the primary, which
+// orders them and drives replication.
+func (s *FileServer) notPrimary(name string) string {
+	fm := s.fleet.Load()
+	if fm == nil {
+		return ""
+	}
+	if p := fm.m.Owners(name)[0]; p != fm.self {
+		return "not primary for object (primary is " + p + ")"
+	}
+	return ""
+}
+
+// peer returns the pooled client bound to name on the replica at addr,
+// dialing on first use. Peer connections carry OpApply forwarding only.
+func (s *FileServer) peer(addr, name string) (*Client, error) {
+	key := addr + "\x00" + name
+	s.peersMu.Lock()
+	c := s.peers[key]
+	s.peersMu.Unlock()
+	if c != nil {
+		return c, nil
+	}
+	c, err := DialWith(addr, name, DialOptions{
+		OpTimeout:   2 * DefaultRevokeTimeout,
+		DialTimeout: time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.peersMu.Lock()
+	if prev := s.peers[key]; prev != nil {
+		s.peersMu.Unlock()
+		c.Close()
+		return prev, nil
+	}
+	s.peers[key] = c
+	s.peersMu.Unlock()
+	return c, nil
+}
+
+func (s *FileServer) closePeers() {
+	s.peersMu.Lock()
+	peers := s.peers
+	s.peers = make(map[string]*Client)
+	s.peersMu.Unlock()
+	for _, c := range peers {
+		c.Close()
+	}
+}
+
+// replicate forwards an applied mutation to every replica of name, in owner
+// order, synchronously — the write's reply waits until each replica has
+// applied (running its own local revoke round), so a lease granted by any
+// replica after the write commits observes the new bytes. A replica failure
+// surfaces as the write's error: with synchronous replication a write is
+// either on every replica or reported failed.
+func (s *FileServer) replicate(name string, kind int64, off int64, data []byte) error {
+	fm := s.fleet.Load()
+	if fm == nil {
+		return nil
+	}
+	for _, addr := range fm.m.Owners(name) {
+		if addr == fm.self {
+			continue
+		}
+		c, err := s.peer(addr, name)
+		if err != nil {
+			return fmt.Errorf("replica %s unreachable: %w", addr, err)
+		}
+		if _, err := c.Apply(kind, off, data); err != nil {
+			return fmt.Errorf("replica %s apply: %w", addr, err)
+		}
+		s.applyForwards.Add(1)
+	}
+	return nil
 }
 
 // injectedDelayAndFault applies configured latency and returns any one-shot
@@ -345,11 +535,13 @@ func (s *FileServer) serveConn(conn net.Conn) {
 	// The connection binds one backend object at OpOpen. Backends hand out
 	// handles onto shared state (mem) or shared files (nativefs), so
 	// replacements (Put) and other sessions' writes stay visible through a
-	// held handle. obj/opened are written only by the intake loop, behind an
-	// inflight.Wait() barrier, so workers read them race-free.
+	// held handle. obj/opened/boundName are written only by the intake loop,
+	// behind an inflight.Wait() barrier, so workers read them race-free.
 	var obj backend.Object
+	var boundName string
 	opened := false
 	defer func() {
+		s.leases.dropConn(conn) // a closed connection's lease lapses with it
 		if obj != nil {
 			obj.Close()
 		}
@@ -371,7 +563,7 @@ func (s *FileServer) serveConn(conn net.Conn) {
 			switch req.Op {
 			case wire.OpRead:
 				resident = req.N // the response buffer the read reserves
-			case wire.OpWrite:
+			case wire.OpWrite, wire.OpApply:
 				resident = int64(len(req.Data))
 			}
 			var aerr error
@@ -400,6 +592,15 @@ func (s *FileServer) serveConn(conn net.Conn) {
 			settle()
 			return
 		}
+		// Pace data-moving operations against the configured bandwidth cap;
+		// each payload reserves its slot in the shared timeline, so the
+		// server's aggregate rate models one shard's service capacity.
+		switch req.Op {
+		case wire.OpRead:
+			s.bw.wait(int(req.N))
+		case wire.OpWrite, wire.OpApply:
+			s.bw.wait(len(req.Data))
+		}
 		switch req.Op {
 		case wire.OpRead:
 			if !opened {
@@ -427,11 +628,82 @@ func (s *FileServer) serveConn(conn net.Conn) {
 				resp.Status, resp.Msg = wire.StatusError, "no object opened"
 				break
 			}
+			if msg := s.notPrimary(boundName); msg != "" {
+				resp.Status, resp.Msg = wire.StatusError, msg
+				break
+			}
+			// Revoke every read lease before the write applies — holders
+			// invalidate their caches and ack — then apply locally, push the
+			// mutation to each replica, and only then close the round, so a
+			// lease granted after this write always observes its bytes.
+			endRound := s.leases.beginWrite(boundName)
 			wn, werr := obj.WriteAt(req.Data, req.Off)
 			resp.N = int64(wn)
+			if werr == nil && wn > 0 {
+				werr = s.replicate(boundName, wire.ApplyWrite, req.Off, req.Data[:wn])
+			}
 			if werr != nil {
 				resp.Status, resp.Msg = wire.FromError(werr)
+				if resp.Status == wire.StatusOK {
+					resp.Status = wire.StatusError
+				}
 			}
+			endRound()
+
+		case wire.OpLease:
+			if !opened {
+				resp.Status, resp.Msg = wire.StatusError, "no object opened"
+				break
+			}
+			// Grant runs on a worker so the intake loop stays free to read
+			// this connection's OpLeaseAck while the grant waits out an
+			// in-progress write round. The push closure captures the bound
+			// name by value: it outlives this request and is invoked from
+			// other connections' write rounds; BatchWriter is safe for that.
+			name := boundName
+			epoch := s.leases.grant(conn, name,
+				func(e uint64) {
+					w.WriteResponse(&wire.Response{Seq: wire.PushSeq, Status: wire.StatusOK, N: int64(e), Data: []byte(name)})
+				},
+				func() { conn.Close() },
+			)
+			resp.N = int64(epoch)
+
+		case wire.OpApply:
+			// Replica apply, forwarded by the object's primary: run our own
+			// revoke round (clients lease from the replica they read), apply,
+			// never forward further — the primary drives the fan-out.
+			if !opened {
+				resp.Status, resp.Msg = wire.StatusError, "no object opened"
+				break
+			}
+			endRound := s.leases.beginWrite(boundName)
+			switch req.N {
+			case wire.ApplyWrite:
+				wn, werr := obj.WriteAt(req.Data, req.Off)
+				resp.N = int64(wn)
+				if werr != nil {
+					resp.Status, resp.Msg = wire.FromError(werr)
+				}
+			case wire.ApplyTruncate:
+				if terr := obj.Truncate(req.Off); terr != nil {
+					resp.Status, resp.Msg = wire.FromError(terr)
+				}
+			default:
+				resp.Status, resp.Msg = wire.StatusError, "bad apply kind"
+			}
+			endRound()
+
+		case wire.OpShardMap:
+			// Served without an object binding so clients can bootstrap
+			// routing from any shard address they know.
+			fm := s.fleet.Load()
+			if fm == nil {
+				resp.Status = wire.StatusUnsupported
+				break
+			}
+			resp.Data = fm.m.Encode()
+			resp.N = int64(fm.m.Epoch())
 
 		case wire.OpSize:
 			if !opened {
@@ -449,9 +721,22 @@ func (s *FileServer) serveConn(conn net.Conn) {
 				resp.Status, resp.Msg = wire.StatusError, "no object opened"
 				break
 			}
-			if terr := obj.Truncate(req.Off); terr != nil {
-				resp.Status, resp.Msg = wire.FromError(terr)
+			if msg := s.notPrimary(boundName); msg != "" {
+				resp.Status, resp.Msg = wire.StatusError, msg
+				break
 			}
+			endRound := s.leases.beginWrite(boundName)
+			terr := obj.Truncate(req.Off)
+			if terr == nil {
+				terr = s.replicate(boundName, wire.ApplyTruncate, req.Off, nil)
+			}
+			if terr != nil {
+				resp.Status, resp.Msg = wire.FromError(terr)
+				if resp.Status == wire.StatusOK {
+					resp.Status = wire.StatusError
+				}
+			}
+			endRound()
 
 		case wire.OpSync:
 			// Objects are in memory; sync is a no-op acknowledgement.
@@ -528,10 +813,12 @@ func (s *FileServer) serveConn(conn net.Conn) {
 				s.inflightOps.Add(-1)
 				continue
 			}
-			// Rebinding a connection closes the previous object first.
+			// Rebinding a connection closes the previous object first and
+			// releases its lease — the new binding leases afresh.
 			if obj != nil {
+				s.leases.dropConn(conn)
 				obj.Close()
-				obj, opened = nil, false
+				obj, opened, boundName = nil, false, ""
 			}
 			o, oerr := s.store.Open(string(name))
 			if oerr != nil {
@@ -545,7 +832,7 @@ func (s *FileServer) serveConn(conn net.Conn) {
 				s.inflightOps.Add(-1)
 				continue
 			}
-			obj, opened = o, true
+			obj, opened, boundName = o, true, string(name)
 			if s.reg != nil {
 				sess.Close() // release the previous binding's slot on rebind
 				sess = newSess
@@ -553,6 +840,17 @@ func (s *FileServer) serveConn(conn net.Conn) {
 			respond(&resp)
 			settleOpen()
 			s.inflightOps.Add(-1)
+
+		case wire.OpLeaseAck:
+			// A revoke acknowledgement, handled inline so it is never queued
+			// behind this connection's own in-flight operations — the write
+			// round it unblocks may be what those operations are waiting on.
+			// Pure notification: the client Posts it without a waiter, so no
+			// response is sent.
+			if err := r.DiscardPayload(); err != nil {
+				return
+			}
+			s.leases.ack(conn, uint64(req.N))
 
 		case wire.OpClose:
 			if err := r.DiscardPayload(); err != nil {

@@ -1,0 +1,221 @@
+package remote
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultRevokeTimeout bounds how long a write waits for lease holders to
+// acknowledge a revoke before their connections are forcibly closed. It is
+// the lease protocol's liveness backstop: a client that cannot ack within
+// this window loses its session (and with it any claim to cached validity)
+// rather than stalling writers forever.
+const DefaultRevokeTimeout = time.Second
+
+// leasePoll is the granularity of the table's wait loops — the same
+// sleep-poll idiom the server's drain loop uses, cheap at the sub-ms
+// timescales the protocol operates on.
+const leasePoll = 100 * time.Microsecond
+
+// LeaseStats counts lease-protocol activity on one server.
+type LeaseStats struct {
+	Grants         uint64 // leases issued (including re-grants)
+	Rounds         uint64 // write rounds that revoked at least one holder
+	Revokes        uint64 // revoke pushes sent
+	RevokeTimeouts uint64 // holders evicted for not acking in time
+}
+
+// leaseTable is the server half of the read-lease protocol. Each object has
+// a monotonically increasing lease EPOCH; granting a lease hands the current
+// epoch to the client, which tags its cached blocks with it. Before a
+// conflicting write applies, the table runs a revoke ROUND: the epoch is
+// bumped, every holder is pushed a revoke frame carrying the new epoch, and
+// the write proceeds only once every holder has acked (having invalidated
+// its cache) — or been evicted at the revoke timeout, losing its connection
+// and therefore its session. Grants issued while a round is in progress wait
+// until it completes, so a freshly granted lease always observes the write's
+// bytes.
+//
+// Holders are keyed by connection: a connection binds one object, acks and
+// disconnections are attributed to it, and a closed connection's lease
+// lapses immediately (its client can no longer serve reads without redialing
+// and re-leasing).
+type leaseTable struct {
+	timeout time.Duration
+
+	mu     sync.Mutex
+	objs   map[string]*objLease
+	byConn map[any]*connLease
+
+	grants   atomic.Uint64
+	rounds   atomic.Uint64
+	revokes  atomic.Uint64
+	timeouts atomic.Uint64
+}
+
+type objLease struct {
+	name    string
+	epoch   uint64
+	writing bool // a revoke/apply round is in progress; grants wait
+	holders map[any]*connLease
+}
+
+// connLease is one connection's lease on one object.
+type connLease struct {
+	obj   *objLease
+	push  func(epoch uint64) // enqueue a revoke frame on the holder's connection
+	kill  func()             // force-close the holder's connection (timeout eviction)
+	acked uint64             // highest epoch the holder has acknowledged
+}
+
+func newLeaseTable(timeout time.Duration) *leaseTable {
+	if timeout <= 0 {
+		timeout = DefaultRevokeTimeout
+	}
+	return &leaseTable{
+		timeout: timeout,
+		objs:    make(map[string]*objLease),
+		byConn:  make(map[any]*connLease),
+	}
+}
+
+func (t *leaseTable) stats() LeaseStats {
+	return LeaseStats{
+		Grants:         t.grants.Load(),
+		Rounds:         t.rounds.Load(),
+		Revokes:        t.revokes.Load(),
+		RevokeTimeouts: t.timeouts.Load(),
+	}
+}
+
+func (t *leaseTable) obj(name string) *objLease {
+	o := t.objs[name]
+	if o == nil {
+		o = &objLease{name: name, epoch: 1, holders: make(map[any]*connLease)}
+		t.objs[name] = o
+	}
+	return o
+}
+
+// grant issues (or refreshes) conn's lease on name, returning the lease
+// epoch. It blocks while a write round is in progress, so the returned epoch
+// is never about to be revoked by an already-committed write. push enqueues
+// a revoke frame on the connection; kill force-closes it.
+func (t *leaseTable) grant(conn any, name string, push func(uint64), kill func()) uint64 {
+	t.mu.Lock()
+	o := t.obj(name)
+	for o.writing {
+		t.mu.Unlock()
+		time.Sleep(leasePoll)
+		t.mu.Lock()
+	}
+	if prev := t.byConn[conn]; prev != nil && prev.obj != o {
+		delete(prev.obj.holders, conn) // connection rebound to another object
+	}
+	h := o.holders[conn]
+	if h == nil {
+		h = &connLease{obj: o, push: push, kill: kill}
+		o.holders[conn] = h
+		t.byConn[conn] = h
+	}
+	h.acked = o.epoch // holding the current epoch implies nothing to revoke
+	epoch := o.epoch
+	t.mu.Unlock()
+	t.grants.Add(1)
+	return epoch
+}
+
+// ack records conn's acknowledgement of a revoke up to epoch.
+func (t *leaseTable) ack(conn any, epoch uint64) {
+	t.mu.Lock()
+	if h := t.byConn[conn]; h != nil && epoch > h.acked {
+		h.acked = epoch
+	}
+	t.mu.Unlock()
+}
+
+// dropConn releases conn's lease, if any. Called when a connection closes
+// (its client must redial and re-lease, so the lease lapses with it) and on
+// rebind.
+func (t *leaseTable) dropConn(conn any) {
+	t.mu.Lock()
+	if h := t.byConn[conn]; h != nil {
+		delete(h.obj.holders, conn)
+		delete(t.byConn, conn)
+	}
+	t.mu.Unlock()
+}
+
+// beginWrite opens a write round on name: it serializes with other rounds,
+// bumps the epoch if anyone holds a lease, pushes revokes, and waits for
+// every holder to ack or be evicted at the timeout. The returned func closes
+// the round; the caller applies the write (and any replica forwarding)
+// BETWEEN the two, so leases granted after the round observe the new bytes.
+func (t *leaseTable) beginWrite(name string) func() {
+	t.mu.Lock()
+	o := t.obj(name)
+	for o.writing {
+		t.mu.Unlock()
+		time.Sleep(leasePoll)
+		t.mu.Lock()
+	}
+	o.writing = true
+
+	if len(o.holders) > 0 {
+		o.epoch++
+		target := o.epoch
+		pushes := make([]func(uint64), 0, len(o.holders))
+		for _, h := range o.holders {
+			if h.acked < target {
+				pushes = append(pushes, h.push)
+			}
+		}
+		t.mu.Unlock()
+		t.rounds.Add(1)
+		for _, p := range pushes {
+			p(target)
+			t.revokes.Add(1)
+		}
+
+		deadline := time.Now().Add(t.timeout)
+		t.mu.Lock()
+		for {
+			settled := true
+			for _, h := range o.holders {
+				if h.acked < target {
+					settled = false
+					break
+				}
+			}
+			if settled {
+				break
+			}
+			if time.Now().After(deadline) {
+				// Liveness backstop: evict unresponsive holders. Closing the
+				// connection invalidates the client's session — it cannot
+				// keep serving cached blocks without redialing and
+				// re-leasing, which hands it the post-write epoch.
+				for conn, h := range o.holders {
+					if h.acked < target {
+						delete(o.holders, conn)
+						delete(t.byConn, conn)
+						t.timeouts.Add(1)
+						go h.kill() // conn close; async, the conn teardown re-calls dropConn harmlessly
+					}
+				}
+				break
+			}
+			t.mu.Unlock()
+			time.Sleep(leasePoll)
+			t.mu.Lock()
+		}
+	}
+	t.mu.Unlock()
+
+	return func() {
+		t.mu.Lock()
+		o.writing = false
+		t.mu.Unlock()
+	}
+}

@@ -53,7 +53,23 @@ const (
 	OpStat                   // extended attributes
 	OpClose                  // session teardown
 	OpControl                // program-specific out-of-band command
+	OpLease                  // acquire a read lease on the bound object; response N is the lease epoch
+	OpLeaseAck               // acknowledge a lease-revoke push; N echoes the revoked epoch
+	OpShardMap               // fetch the server's shard map; response Data is the encoded map, N its epoch
+	OpApply                  // replica apply forwarded by a shard primary: N=ApplyWrite carries Off+Data, N=ApplyTruncate carries Off
 )
+
+// OpApply subkinds, carried in the request's N field.
+const (
+	ApplyWrite    = 0 // apply a replicated WriteAt(Data, Off)
+	ApplyTruncate = 1 // apply a replicated Truncate(Off)
+)
+
+// PushSeq is the correlation key of SERVER-INITIATED frames. Clients allocate
+// request Seqs starting at 1, so Seq 0 never answers a request; a response
+// frame tagged PushSeq is a push (e.g. a lease revoke) routed to the mux's
+// push handler instead of a waiter.
+const PushSeq uint32 = 0
 
 var opNames = map[Op]string{
 	OpOpen:     "open",
@@ -68,6 +84,10 @@ var opNames = map[Op]string{
 	OpStat:     "stat",
 	OpClose:    "close",
 	OpControl:  "control",
+	OpLease:    "lease",
+	OpLeaseAck: "lease-ack",
+	OpShardMap: "shardmap",
+	OpApply:    "apply",
 }
 
 // String returns the lower-case operation name.
