@@ -452,6 +452,21 @@ func (c *BlockCache) SetEpoch(e uint64) {
 // Epoch returns the cache's current validity epoch.
 func (c *BlockCache) Epoch() uint64 { return c.epoch.Load() }
 
+// ResetEpoch rebases the cache onto a NEW epoch regime: the epoch is set to e
+// unconditionally — backwards included — and every cached block is discarded.
+// SetEpoch's monotonicity assumes all epochs come from one issuer; when the
+// issuer changes (a client re-leasing from a different replica, or from a
+// server that restarted and reset its counters, each numbering epochs
+// independently), old tags are not comparable with new values and could
+// collide with them numerically, so nothing cached under the old regime may
+// survive the switch. In-flight fills that began under the old regime are
+// marked stale by the invalidation sweep, so their bytes are discarded even
+// if their tag happens to equal e.
+func (c *BlockCache) ResetEpoch(e uint64) {
+	c.epoch.Store(e)
+	c.InvalidateAll()
+}
+
 // InvalidateAll discards every cached block.
 func (c *BlockCache) InvalidateAll() {
 	for _, s := range c.shards {

@@ -296,7 +296,7 @@ func TestLeaseRevokeAcrossReplicaLease(t *testing.T) {
 	}
 	defer r.Close()
 	var revoked atomic.Uint64
-	r.SetRevokeHandler(func(_ string, epoch uint64) { revoked.Store(epoch) })
+	r.SetRevokeHandler(func(_ string, epoch, _ uint64) { revoked.Store(epoch) })
 	if _, err := r.Lease(); err != nil {
 		t.Fatalf("lease on replica: %v", err)
 	}
@@ -415,6 +415,200 @@ func TestFleetShardKillFailoverChaos(t *testing.T) {
 	}
 	if reads.Load() < target {
 		t.Fatalf("reads stalled after shard kill: %d done, wanted %d", reads.Load(), target)
+	}
+}
+
+// restartShard boots a replacement FileServer on addr (a shard killed
+// earlier), seeds it with contents, and installs fleet membership — a shard
+// process restart: same address, same data, but FRESH in-memory lease state,
+// so its lease epochs restart from scratch.
+func restartShard(t *testing.T, m *Map, addr string, contents map[string][]byte) *remote.FileServer {
+	t.Helper()
+	srv := remote.NewFileServer()
+	for name, data := range contents {
+		srv.Put(name, data)
+	}
+	srv.SetFleet(m, addr)
+	var err error
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err = srv.Start(addr); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restart shard %s: %v", addr, err)
+		}
+		time.Sleep(5 * time.Millisecond) // the killed listener's port may linger briefly
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// TestFleetFailoverEpochRegimeReset: lease epochs are independent per-server
+// counters, so after failing over from a replica with a HIGH epoch to an
+// owner with a LOW one (here: a restarted primary, whose in-memory lease
+// table reset), the new grants and revokes carry smaller numbers than the
+// cache's tags. The cache must be rebased onto the new owner's epoch regime
+// at failover — with only the monotonic SetEpoch, every later revoke would
+// be a no-op and a committed write would never invalidate the cached blocks.
+func TestFleetFailoverEpochRegimeReset(t *testing.T) {
+	faultinject.LeakCheck(t)
+	m, byAddr := startShards(t, 2, 2, []string{"*"})
+	owners := m.Owners("obj")
+
+	// Seed several write rounds so both owners' lease epochs climb well above
+	// what the restarted primary will restart at.
+	w, err := remote.DialWith(owners[0], "obj", fastDial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := w.WriteAt([]byte("v1 — the bytes every owner holds"), 0); err != nil {
+			t.Fatalf("seed write %d: %v", i, err)
+		}
+	}
+	w.Close()
+	v1, _ := byAddr[owners[0]].Get("obj")
+
+	// A cached reader leasing from the REPLICA (owner index 1), whose epoch
+	// is now high; its cached blocks are tagged with that epoch.
+	fl := New(m, Options{Dial: fastDial, CacheBlocks: 8, CacheBlockSize: 64})
+	robj := openObj(t, fl, "obj")
+	defer robj.Close()
+	robj.ledIdx = 1 // steer the first lease to the replica
+	buf := make([]byte, len(v1))
+	if _, err := robj.ReadAt(buf, 0); err != nil || !bytes.Equal(buf, v1) {
+		t.Fatalf("warm read = (%q, %v), want %q", buf, err, v1)
+	}
+	robj.mu.Lock()
+	leasedReplica := robj.leased && robj.ledIdx == 1
+	robj.mu.Unlock()
+	if !leasedReplica {
+		t.Fatal("test setup: reader did not lease from the replica")
+	}
+
+	// The primary crash-restarts: same address and data, but its lease
+	// epochs restart far BELOW the replica's. Then the replica dies, forcing
+	// the reader to fail over to the low-epoch primary.
+	byAddr[owners[0]].Kill()
+	restarted := restartShard(t, m, owners[0], map[string][]byte{"obj": v1})
+	byAddr[owners[1]].Kill()
+
+	// A committed write through the restarted primary. Its replica is dead,
+	// so the write reports failure — yet it HAS applied locally (documented
+	// partial-application semantics) and its revoke round ran, carrying a
+	// small epoch number.
+	v2 := []byte("v2: committed right after failover")
+	if len(v2) != len(v1) {
+		t.Fatalf("test wants equal-length versions: %d vs %d", len(v2), len(v1))
+	}
+	w2, err := remote.DialWith(owners[0], "obj", fastDial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	// Fail over first, so the reader holds a low-epoch lease on the primary
+	// with blocks that were tagged under the replica's high-epoch regime —
+	// the dangerous configuration. Transport-failure detection is
+	// asynchronous, so nudge with reads until the lease has moved.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := robj.ReadAt(buf, 0); err == nil && !bytes.Equal(buf, v1) {
+			t.Fatalf("read during failover = %q, want %q", buf, v1)
+		}
+		robj.mu.Lock()
+		onPrimary := robj.leased && robj.ledIdx == 0
+		robj.mu.Unlock()
+		if onPrimary {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("reader never re-leased from the restarted primary")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if _, werr := w2.WriteAt(v2, 0); werr == nil {
+		t.Fatal("write with a dead replica reported success, want a replication error")
+	}
+	if got, _ := restarted.Get("obj"); !bytes.Equal(got, v2) {
+		t.Fatalf("primary store after failed-replication write = %q, want %q applied locally", got, v2)
+	}
+
+	// The reader holds a live lease on the primary, so the write's revoke
+	// round completed against it before the bytes applied: the VERY NEXT
+	// cached read must observe the committed write. Without the regime
+	// rebase the revoke's small epoch is a no-op on the cache and the reader
+	// serves v1 forever.
+	if n, rerr := robj.ReadAt(buf, 0); rerr != nil || n != len(v2) {
+		t.Fatalf("read after write = (%d, %v)", n, rerr)
+	}
+	if !bytes.Equal(buf, v2) {
+		t.Fatalf("STALE READ after failover + write: got %q, want %q", buf, v2)
+	}
+}
+
+// TestFleetCachedHitPathDetectsLeaseLoss: a fully cached working set issues
+// no fills, so without a liveness check on the HIT path a reader whose
+// leased connection died would keep serving its cache indefinitely — the
+// server has forgotten the lease and commits writes without revoking it.
+// Killing the only shard and restarting it with different bytes (a stand-in
+// for "writes happened while we were gone") must be observed by the very
+// next cached read.
+func TestFleetCachedHitPathDetectsLeaseLoss(t *testing.T) {
+	faultinject.LeakCheck(t)
+	m, byAddr := startShards(t, 1, 1, nil)
+	addr := m.Owners("obj")[0]
+	old := []byte("old bytes, cached and leased")
+	byAddr[addr].Put("obj", old)
+
+	fl := New(m, Options{Dial: fastDial, CacheBlocks: 8, CacheBlockSize: 64})
+	robj := openObj(t, fl, "obj")
+	defer robj.Close()
+	buf := make([]byte, len(old))
+	for i := 0; i < 3; i++ { // warm until reads are pure cache hits
+		if _, err := robj.ReadAt(buf, 0); err != nil || !bytes.Equal(buf, old) {
+			t.Fatalf("warm read %d = (%q, %v)", i, buf, err)
+		}
+	}
+	stats, _ := robj.CacheStats()
+	if stats.Hits == 0 {
+		t.Fatal("test setup: working set never hit the cache")
+	}
+
+	// The shard dies and comes back with new bytes and a fresh lease table;
+	// the reader's lease died with the old process.
+	byAddr[addr].Kill()
+	newer := []byte("NEW bytes the reader must see")
+	restartShard(t, m, addr, map[string][]byte{"obj": newer})
+
+	// Wait until the client's transport has noticed the dead session — the
+	// signal the hit path consults — then read. The read must renew the
+	// lease and refill rather than trust the orphaned cache.
+	robj.mu.Lock()
+	c, session := robj.clients[robj.ledIdx], robj.leaseSession
+	robj.mu.Unlock()
+	deadline := time.Now().Add(2 * time.Second)
+	for c.SessionLive(session) {
+		if time.Now().After(deadline) {
+			t.Fatal("dead session still reports live")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	got := make([]byte, len(newer))
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		n, rerr := robj.ReadAt(got, 0)
+		if rerr == nil && n == len(newer) {
+			if bytes.Equal(got, newer) {
+				break
+			}
+			t.Fatalf("STALE READ from orphaned cache: got %q, want %q", got, newer)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("read never recovered after restart: (%d, %v)", n, rerr)
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 

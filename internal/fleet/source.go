@@ -87,11 +87,13 @@ func (f *Fleet) Close() error { return nil }
 func (f *Fleet) Open(name string) (backend.Object, error) {
 	owners := f.m.Owners(name)
 	o := &Object{
-		f:       f,
-		name:    name,
-		owners:  owners,
-		ledIdx:  -1,
-		clients: make([]*remote.Client, len(owners)),
+		f:          f,
+		name:       name,
+		owners:     owners,
+		ledIdx:     -1,
+		epochOwner: -1,
+		acqIdx:     -1,
+		clients:    make([]*remote.Client, len(owners)),
 	}
 	if f.opts.CacheBlocks > 0 {
 		c, err := cache.NewBlockCache(&leaseRouter{o: o}, f.opts.CacheBlockSize, f.opts.CacheBlocks)
@@ -127,6 +129,33 @@ type Object struct {
 	leased       bool
 	ledIdx       int // owner index the lease was granted by
 	leaseSession uint64
+
+	// Epoch REGIME of the cache's tags. Lease epochs are per-server counters:
+	// a different replica — or the same server after a restart — numbers them
+	// independently, so epoch values are only comparable while both the owner
+	// index and the session they arrived on are unchanged. A grant from any
+	// other (owner, session) pair rebases the cache (ResetEpoch) instead of
+	// advancing it monotonically; without the rebase, failing over from a
+	// high-epoch replica to a low-epoch one would make every subsequent grant
+	// and revoke a no-op on the cache and committed writes would stop
+	// invalidating cached blocks.
+	epochOwner   int // owner index the cache's epochs come from; -1 = none yet
+	epochSession uint64
+
+	// Acquisition window (guarded by mu; serialized by acqMu). The server may
+	// emit a revoke for a just-granted lease before the grant's reply is even
+	// processed — frames are concurrent server-side and the granting RPC's
+	// waiter races the push handler client-side. While a grant is in flight
+	// the handler banks such revokes in pendingRevoke instead of dropping
+	// them, and the acquirer folds the banked epoch in before publishing.
+	acqIdx        int // owner index of the grant in flight; -1 = none
+	acqSession    uint64
+	pendingRevoke uint64
+
+	// acqMu serializes lease acquisition so concurrent fills don't interleave
+	// their acquisition windows. Lock order: acqMu before mu; the revoke
+	// handler takes only mu.
+	acqMu sync.Mutex
 
 	failovers uint64 // reads re-routed to another replica after a transport error
 }
@@ -297,9 +326,12 @@ func (o *Object) Failovers() uint64 {
 	return o.failovers
 }
 
-// ReadAt implements remote.Source.
+// ReadAt implements remote.Source. Cached reads first verify the lease's
+// revoke channel is still live — a hit must never outlive the lease that
+// keeps it coherent.
 func (o *Object) ReadAt(p []byte, off int64) (int, error) {
 	if o.cache != nil {
+		o.ensureLive()
 		return o.cache.ReadAt(p, off)
 	}
 	return o.readDirect(p, off)
@@ -392,6 +424,30 @@ func (o *Object) Close() error {
 	return nil
 }
 
+// ensureLive guards the cached-read hit path. Cache hits cost no network
+// traffic, so without this check a fully cached working set would keep
+// being served after the leased connection died: the server forgets a dead
+// connection's lease and commits writes without revoking this client, yet
+// every hit would still validate. Before any cached byte is trusted the
+// lease's session must be the live one; when it is not, re-leasing either
+// rebases the cache onto the new grant's epoch regime (discarding anything
+// a missed write may have invalidated) or, if no owner will grant a lease,
+// discards everything — with no revoke channel nothing cached may be served.
+func (o *Object) ensureLive() {
+	o.mu.Lock()
+	if o.leased {
+		if c := o.clients[o.ledIdx]; c != nil && c.SessionLive(o.leaseSession) {
+			o.mu.Unlock()
+			return
+		}
+		o.leased = false
+	}
+	o.mu.Unlock()
+	if _, _, err := o.ensureLease(); err != nil {
+		o.cache.InvalidateAll() // reads now refill — and surface err — instead of hitting
+	}
+}
+
 // ensureLease returns a client holding a live lease on the object, acquiring
 // or re-acquiring one as needed. The revoke handler is installed before the
 // grant so no revoke can slip through unobserved, and it marks the lease
@@ -399,10 +455,13 @@ func (o *Object) Close() error {
 // either tags with the old epoch (and is discarded) or re-leases first (and
 // blocks until the conflicting write has fully applied).
 func (o *Object) ensureLease() (*remote.Client, int, error) {
+	o.acqMu.Lock()
+	defer o.acqMu.Unlock()
+
 	o.mu.Lock()
 	if o.leased {
 		c := o.clients[o.ledIdx]
-		if c != nil && c.Reconnects() == o.leaseSession {
+		if c != nil && c.SessionLive(o.leaseSession) {
 			idx := o.ledIdx
 			o.mu.Unlock()
 			return c, idx, nil
@@ -414,6 +473,11 @@ func (o *Object) ensureLease() (*remote.Client, int, error) {
 	if prefer < 0 {
 		prefer = o.pick()
 	}
+	defer func() {
+		o.mu.Lock()
+		o.acqIdx = -1
+		o.mu.Unlock()
+	}()
 
 	var lastErr error
 	for i := 0; i < len(o.owners); i++ {
@@ -424,47 +488,85 @@ func (o *Object) ensureLease() (*remote.Client, int, error) {
 			continue
 		}
 		leasedIdx := idx
-		c.SetRevokeHandler(func(_ string, epoch uint64) {
+		c.SetRevokeHandler(func(_ string, epoch, sid uint64) {
 			o.mu.Lock()
-			if o.leased && o.ledIdx == leasedIdx {
+			defer o.mu.Unlock()
+			switch {
+			case o.leased && o.ledIdx == leasedIdx && o.leaseSession == sid:
+				// The live lease: one monotonic epoch bump invalidates every
+				// earlier-tagged block in O(1).
 				o.leased = false
+				o.cache.SetEpoch(epoch)
+			case o.acqIdx == leasedIdx && o.acqSession == sid:
+				// The revoke raced a grant in flight on this session — the
+				// server may push before the grant's reply is processed. Bank
+				// it; the acquirer folds it in before publishing the lease.
+				if epoch > o.pendingRevoke {
+					o.pendingRevoke = epoch
+				}
 			}
-			o.mu.Unlock()
-			o.cache.SetEpoch(epoch)
+			// Anything else is a straggler from a dead regime: every block
+			// cached under it was discarded when the regime turned over.
 		})
 		// The lease must be paired with the session that granted it: if the
 		// session turned over during the exchange (idempotent replay), the
 		// grant we hold may belong to a connection the server has already
 		// forgotten, so lease again on the settled session.
-		var epoch uint64
 		granted := false
 		for tries := 0; tries < 3; tries++ {
 			before := c.Reconnects()
+			o.mu.Lock()
+			o.acqIdx, o.acqSession, o.pendingRevoke = idx, before, 0
+			o.mu.Unlock()
 			e, lerr := c.Lease()
 			if lerr != nil {
+				if !shouldFailover(lerr) {
+					return nil, 0, lerr
+				}
 				lastErr = lerr
 				break
 			}
-			if c.Reconnects() == before {
-				epoch, granted = e, true
-				break
+			if c.Reconnects() != before {
+				continue
 			}
+			o.mu.Lock()
+			// Epochs are only comparable with the cache's tags while they
+			// come from the same owner on the same session; any other grant
+			// rebases the cache wholesale.
+			sameRegime := o.epochOwner == idx && o.epochSession == before
+			pending := o.pendingRevoke
+			o.acqIdx = -1
+			eff := e
+			if pending > eff {
+				eff = pending
+			}
+			o.ledIdx, o.leaseSession = idx, before
+			o.epochOwner, o.epochSession = idx, before
+			o.leased = pending <= e // a banked revoke above the grant means it is already dead
+			live := o.leased
+			if sameRegime {
+				o.cache.SetEpoch(eff)
+			} else {
+				o.cache.ResetEpoch(eff)
+			}
+			o.mu.Unlock()
+			if live {
+				return c, idx, nil
+			}
+			granted = true // regime published; retry waits out the conflicting write's round
 		}
 		if !granted {
-			if lastErr != nil && !shouldFailover(lastErr) {
-				return nil, 0, lastErr
-			}
 			o.dropClient(idx, c)
 			if lastErr == nil {
 				lastErr = fmt.Errorf("fleet: lease on %q kept losing its session", o.name)
 			}
 			continue
 		}
-		o.mu.Lock()
-		o.leased, o.ledIdx, o.leaseSession = true, idx, c.Reconnects()
-		o.mu.Unlock()
-		o.cache.SetEpoch(epoch)
-		return c, idx, nil
+		// Granted but revoked mid-grant every try: the connection is healthy,
+		// so keep it and try another owner.
+		if lastErr == nil {
+			lastErr = fmt.Errorf("fleet: lease on %q kept being revoked mid-grant", o.name)
+		}
 	}
 	return nil, 0, fmt.Errorf("fleet: no owner of %q granted a lease: %w", o.name, lastErr)
 }

@@ -99,7 +99,7 @@ type Client struct {
 	// revoke, when set, observes lease-revoke pushes from the server before
 	// the client acknowledges them — the cache-invalidation hook. It runs on
 	// the session's receive loop and must not block on another exchange.
-	revoke func(name string, epoch uint64)
+	revoke func(name string, epoch, session uint64)
 
 	reconnects atomic.Uint64
 	inflight   atomic.Int64
@@ -133,6 +133,12 @@ func (c *Client) connect() (*session, error) {
 		return nil, fmt.Errorf("dial file server %s: %w", c.addr, err)
 	}
 	s := &session{conn: conn, mux: ipc.NewMux(conn, conn, nil)}
+	// The session's id is the reconnect count at creation: connect runs under
+	// c.mu and dropSession (the only bumper) also needs c.mu, so the value is
+	// stable here and matches what Reconnects() reports while this session is
+	// the live one. Pushes carry it so a handler can tell a revoke for the
+	// lease it holds from a straggler delivered by a session already replaced.
+	sid := c.reconnects.Load()
 	// Every session — including pooled, currently idle ones — answers
 	// lease-revoke pushes: the revoke hook (if any) invalidates first, then
 	// the ack is posted. Without the auto-ack an idle pooled connection
@@ -143,7 +149,7 @@ func (c *Client) connect() (*session, error) {
 		h := c.revoke
 		c.mu.Unlock()
 		if h != nil {
-			h(string(resp.Data), uint64(resp.N))
+			h(string(resp.Data), uint64(resp.N), sid)
 		}
 		s.mux.Post(&wire.Request{Op: wire.OpLeaseAck, N: resp.N}, nil)
 	})
@@ -225,11 +231,29 @@ func (c *Client) Addr() string { return c.addr }
 // SetRevokeHandler installs h to observe lease-revoke pushes before they are
 // acknowledged. h runs on the session's receive loop: it must not wait for
 // another exchange's response. Install it BEFORE acquiring a lease, so no
-// revoke can slip through unobserved.
-func (c *Client) SetRevokeHandler(h func(name string, epoch uint64)) {
+// revoke can slip through unobserved. session identifies the session the
+// push arrived on — the Reconnects() value current while that session is
+// live — so h can attribute the revoke to the lease granted on it rather
+// than to one re-acquired since.
+func (c *Client) SetRevokeHandler(h func(name string, epoch, session uint64)) {
 	c.mu.Lock()
 	c.revoke = h
 	c.mu.Unlock()
+}
+
+// SessionLive reports whether the session identified by session (a
+// Reconnects() value recorded when a lease was granted) is still the
+// client's current one AND healthy — its receive loop has observed no
+// transport failure. The mux fails as soon as the connection dies, even with
+// no exchange outstanding, so this is how a lease holder serving purely from
+// cache learns its revoke channel is gone: a dead or replaced session means
+// the server has already forgotten the lease and cached data granted under
+// it must not be trusted.
+func (c *Client) SessionLive(session uint64) bool {
+	c.mu.Lock()
+	s := c.sess
+	c.mu.Unlock()
+	return s != nil && c.reconnects.Load() == session && s.mux.Err() == nil
 }
 
 // IsRefusal reports whether err is a typed admission-control refusal

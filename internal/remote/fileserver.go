@@ -412,6 +412,29 @@ func (s *FileServer) notPrimary(name string) string {
 	return ""
 }
 
+// applyRefusal returns a refusal message unless this server is a NON-primary
+// owner (replica) of name in an installed fleet map — the only role that
+// legitimately receives primary-forwarded applies. Without the check any
+// opened connection could mutate through OpApply, bypassing the primary's
+// write ordering and the lease revocation on the other owners, silently
+// diverging replicas.
+func (s *FileServer) applyRefusal(name string) string {
+	fm := s.fleet.Load()
+	if fm == nil {
+		return "apply refused: not a fleet member"
+	}
+	for i, a := range fm.m.Owners(name) {
+		if a != fm.self {
+			continue
+		}
+		if i == 0 {
+			return "apply refused: the primary orders writes (use OpWrite)"
+		}
+		return ""
+	}
+	return "apply refused: not an owner of object"
+}
+
 // peer returns the pooled client bound to name on the replica at addr,
 // dialing on first use. Peer connections carry OpApply forwarding only.
 func (s *FileServer) peer(addr, name string) (*Client, error) {
@@ -453,9 +476,17 @@ func (s *FileServer) closePeers() {
 // replicate forwards an applied mutation to every replica of name, in owner
 // order, synchronously — the write's reply waits until each replica has
 // applied (running its own local revoke round), so a lease granted by any
-// replica after the write commits observes the new bytes. A replica failure
-// surfaces as the write's error: with synchronous replication a write is
-// either on every replica or reported failed.
+// replica after the write commits observes the new bytes.
+//
+// Failure semantics: the primary has ALREADY applied by the time replication
+// runs, so a replica failure surfaces as the write's error while the write
+// is PARTIALLY APPLIED — on the primary and any replicas reached before the
+// failure. Replicas that missed the apply diverge until the object's next
+// successful replicated mutation overwrites the gap, and fanned-out reads
+// may observe either version in the interim. A caller that must know the
+// outcome of a failed write reissues it (offset writes are idempotent) or
+// reads through the primary, which is always authoritative; see DESIGN.md
+// §15 failure modes.
 func (s *FileServer) replicate(name string, kind int64, off int64, data []byte) error {
 	fm := s.fleet.Load()
 	if fm == nil {
@@ -672,9 +703,15 @@ func (s *FileServer) serveConn(conn net.Conn) {
 		case wire.OpApply:
 			// Replica apply, forwarded by the object's primary: run our own
 			// revoke round (clients lease from the replica they read), apply,
-			// never forward further — the primary drives the fan-out.
+			// never forward further — the primary drives the fan-out. Only a
+			// replica of the object may honor it; everyone else refuses, so a
+			// client cannot smuggle writes past the primary.
 			if !opened {
 				resp.Status, resp.Msg = wire.StatusError, "no object opened"
+				break
+			}
+			if msg := s.applyRefusal(boundName); msg != "" {
+				resp.Status, resp.Msg = wire.StatusError, msg
 				break
 			}
 			endRound := s.leases.beginWrite(boundName)

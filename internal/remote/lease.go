@@ -148,10 +148,10 @@ func (t *leaseTable) dropConn(conn any) {
 }
 
 // beginWrite opens a write round on name: it serializes with other rounds,
-// bumps the epoch if anyone holds a lease, pushes revokes, and waits for
-// every holder to ack or be evicted at the timeout. The returned func closes
-// the round; the caller applies the write (and any replica forwarding)
-// BETWEEN the two, so leases granted after the round observe the new bytes.
+// bumps the epoch, pushes revokes to any holders, and waits for every holder
+// to ack or be evicted at the timeout. The returned func closes the round;
+// the caller applies the write (and any replica forwarding) BETWEEN the two,
+// so leases granted after the round observe the new bytes.
 func (t *leaseTable) beginWrite(name string) func() {
 	t.mu.Lock()
 	o := t.obj(name)
@@ -162,9 +162,16 @@ func (t *leaseTable) beginWrite(name string) func() {
 	}
 	o.writing = true
 
+	// The epoch advances on EVERY write, holders or not. A client whose lease
+	// lapsed (its connection dropped) still holds blocks tagged with the old
+	// epoch; if a write landed while it was gone, the epoch it re-leases at
+	// must be ahead of those tags or they would validate again and serve the
+	// pre-write bytes forever. Revoke work is still skipped when nobody holds
+	// a lease.
+	o.epoch++
+	target := o.epoch
+
 	if len(o.holders) > 0 {
-		o.epoch++
-		target := o.epoch
 		pushes := make([]func(uint64), 0, len(o.holders))
 		for _, h := range o.holders {
 			if h.acked < target {

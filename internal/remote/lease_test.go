@@ -1,0 +1,105 @@
+package remote
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// TestLeaseEpochAdvancesWithoutHolders pins the gap-write invalidation rule:
+// the lease epoch advances on EVERY write round, even when nobody holds a
+// lease at the time. A client whose lease lapsed (connection drop) and who
+// re-leases after a gap write must receive an epoch ahead of the one its
+// cached blocks are tagged with — at the old epoch they would validate again
+// and serve the pre-write bytes forever.
+func TestLeaseEpochAdvancesWithoutHolders(t *testing.T) {
+	lt := newLeaseTable(0)
+	conn := new(int)
+
+	e0 := lt.grant(conn, "obj", func(uint64) {}, func() {})
+	if e0 == 0 {
+		t.Fatal("grant returned epoch 0")
+	}
+
+	// The connection drops: the lease lapses with it.
+	lt.dropConn(conn)
+
+	// A write lands during the gap — no holders, so no revokes, but the
+	// epoch must still advance.
+	end := lt.beginWrite("obj")
+	end()
+
+	e1 := lt.grant(conn, "obj", func(uint64) {}, func() {})
+	if e1 <= e0 {
+		t.Fatalf("re-grant after gap write returned epoch %d, want > %d — "+
+			"blocks cached before the write would validate again", e1, e0)
+	}
+}
+
+// staticMap is a minimal ShardMap for server-side role tests: fixed owners
+// for every name.
+type staticMap struct{ owners []string }
+
+func (m staticMap) Owners(string) []string { return m.owners }
+func (m staticMap) Epoch() uint64          { return 1 }
+func (m staticMap) Encode() []byte         { return []byte("static") }
+
+// TestApplyRefusedOutsideFleetRole: OpApply is the primary→replica
+// replication channel, not a client write path. A server that is not a
+// fleet member, or is the object's primary, or does not own the object at
+// all must refuse it — otherwise any client could write directly to a
+// replica, bypassing the primary's write ordering and lease revocation and
+// silently diverging the copies.
+func TestApplyRefusedOutsideFleetRole(t *testing.T) {
+	checkRefused := func(t *testing.T, srv *FileServer, addr, want string) {
+		t.Helper()
+		c, err := Dial(addr, "obj")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if _, err := c.Apply(wire.ApplyWrite, 0, []byte("forged")); err == nil {
+			t.Fatal("direct OpApply accepted, want refusal")
+		} else if !strings.Contains(err.Error(), want) {
+			t.Fatalf("refusal = %v, want it to mention %q", err, want)
+		}
+		// The store must be untouched by the refused apply.
+		if data, ok := srv.Get("obj"); ok && string(data) == "forged" {
+			t.Fatal("refused apply still mutated the store")
+		}
+	}
+
+	t.Run("plain server", func(t *testing.T) {
+		srv, addr := startServer(t)
+		checkRefused(t, srv, addr, "not a fleet member")
+	})
+
+	t.Run("primary", func(t *testing.T) {
+		srv, addr := startServer(t)
+		srv.SetFleet(staticMap{owners: []string{addr, "127.0.0.1:1"}}, addr)
+		checkRefused(t, srv, addr, "primary orders writes")
+	})
+
+	t.Run("non-owner", func(t *testing.T) {
+		srv, addr := startServer(t)
+		srv.SetFleet(staticMap{owners: []string{"127.0.0.1:1", "127.0.0.1:2"}}, addr)
+		checkRefused(t, srv, addr, "not an owner")
+	})
+
+	t.Run("replica accepts", func(t *testing.T) {
+		srv, addr := startServer(t)
+		srv.SetFleet(staticMap{owners: []string{"127.0.0.1:1", addr}}, addr)
+		c, err := Dial(addr, "obj")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if _, err := c.Apply(wire.ApplyWrite, 0, []byte("replicated")); err != nil {
+			t.Fatalf("apply on a replica: %v", err)
+		}
+		if data, ok := srv.Get("obj"); !ok || string(data) != "replicated" {
+			t.Fatalf("replica store after apply = (%q, %v)", data, ok)
+		}
+	})
+}
