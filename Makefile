@@ -9,8 +9,8 @@
 # regenerates the committed Figure 6 JSON report.
 
 GO ?= go
-BENCH_JSON ?= BENCH_8.json
-BENCH_BASE ?= BENCH_7.json
+BENCH_JSON ?= BENCH_9.json
+BENCH_BASE ?= BENCH_8.json
 
 .PHONY: all tier1 race conformance bench-smoke bench-json bench-compare
 
@@ -19,6 +19,7 @@ all: tier1 race bench-smoke
 tier1:
 	$(GO) build ./...
 	$(GO) vet ./...
+	GOOS=darwin $(GO) vet ./...
 	$(GO) test ./...
 
 race:
@@ -30,6 +31,8 @@ race:
 		./internal/daemon ./internal/remote ./cmd/afd
 	$(GO) test -race -count=1 -run 'Fleet|Lease|Refusal|Map' \
 		./internal/fleet ./internal/remote ./internal/cache
+	$(GO) test -race -count=1 -run 'MPSC|Numa|Lane|Submitter|URing' \
+		./internal/shm ./internal/core ./internal/wire
 
 # The backend contract suite: conformance profiles over every backend kind
 # directly (package backend) and end-to-end through each strategy via the
@@ -55,8 +58,9 @@ bench-smoke:
 # Regenerate the machine-readable benchmark report committed alongside
 # EXPERIMENTS.md: the Figure 6 panels plus the concurrency sweeps (with
 # frame-batching amortization), the many-tenant session sweep (admission,
-# quota rejections, drain), and the open/close churn sweep. Override
-# BENCH_JSON to write elsewhere.
+# quota rejections, drain), the fleet-scale session cohorts (MPSC lane
+# plane descriptor economy at 64/256/1024 sessions), and the open/close
+# churn sweep. Override BENCH_JSON to write elsewhere.
 bench-json:
 	$(GO) run ./cmd/afbench -full -json $(BENCH_JSON)
 

@@ -12,8 +12,8 @@ import (
 // render the per-cell deltas as a table, so a PR's perf claim is a
 // `make bench-compare` away instead of a manual diff of two JSON files.
 
-// LoadReport reads an afbench JSON report from path. The current v7 schema
-// and the older v1–v6 layouts are all accepted; sections an older report
+// LoadReport reads an afbench JSON report from path. The current v8 schema
+// and the older v1–v7 layouts are all accepted; sections an older report
 // lacks stay empty.
 func LoadReport(path string) (*Report, error) {
 	data, err := os.ReadFile(path)
@@ -26,7 +26,7 @@ func LoadReport(path string) (*Report, error) {
 	}
 	switch rep.Schema {
 	case "afbench/v1", "afbench/v2", "afbench/v3", "afbench/v4", "afbench/v5",
-		"afbench/v6", "afbench/v7":
+		"afbench/v6", "afbench/v7", "afbench/v8":
 		return &rep, nil
 	default:
 		return nil, fmt.Errorf("report %s: unknown schema %q", path, rep.Schema)
@@ -240,6 +240,30 @@ func WriteCompareTable(w io.Writer, oldRep, newRep *Report) error {
 			}
 			if _, err := fmt.Fprintf(w, "%-34s%10.1f%10.1f%+8.1f%%\n",
 				key, old.MBPerSec, row.MBPerSec, deltaPct(old.MBPerSec, row.MBPerSec)); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Session sweep, when both reports carry it (pre-v8 have none).
+	// Latency cells: negative delta is the improvement.
+	if len(oldRep.Sessions) > 0 && len(newRep.Sessions) > 0 {
+		oldSe := map[string]SessionsReportRow{}
+		for _, row := range oldRep.Sessions {
+			oldSe[fmt.Sprintf("%s/x%d", row.Cell, row.Sessions)] = row
+		}
+		if _, err := fmt.Fprintf(w, "\nsession sweep (aggregate µs/op)\n%-34s%10s%10s%9s\n", "cell", "old", "new", "delta"); err != nil {
+			return err
+		}
+		for _, row := range newRep.Sessions {
+			key := fmt.Sprintf("%s/x%d", row.Cell, row.Sessions)
+			old, ok := oldSe[key]
+			if !ok {
+				unmatched++
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%-34s%10.1f%10.1f%+8.1f%%\n",
+				key, old.MicrosPerOp, row.MicrosPerOp, deltaPct(old.MicrosPerOp, row.MicrosPerOp)); err != nil {
 				return err
 			}
 		}

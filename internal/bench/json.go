@@ -16,9 +16,11 @@ import (
 // (doorbell and drain-mode wakeup counters) and the frames-per-wakeup column
 // in parallel cells; v6 added the many-tenant session sweep (concurrent
 // sessions, quota rejections, drain latency); v7 added the sharded-fleet
-// scaling sweep (aggregate throughput vs shard count, hot-file replication).
-// Older reports remain loadable for comparison.
-const ReportSchema = "afbench/v7"
+// scaling sweep (aggregate throughput vs shard count, hot-file replication);
+// v8 added the fleet-scale session sweep (MPSC lane multiplexing with
+// descriptor deltas) and the submitter/frames-per-flush columns on the
+// syscall-economy cells. Older reports remain loadable for comparison.
+const ReportSchema = "afbench/v8"
 
 // Report is the machine-readable form of a benchmark run, written by
 // afbench -json so successive PRs can diff per-cell numbers instead of
@@ -49,6 +51,25 @@ type Report struct {
 	// aggregate read throughput against 1/2/4 bandwidth-capped shards, plus
 	// the hot-file replication pair.
 	Fleet []FleetReportRow `json:"fleet,omitempty"`
+	// Sessions holds the fleet-scale session sweep (afbench -full /
+	// -sessions): N concurrent sessions per cell with the data plane's
+	// descriptor deltas — the MPSC lane plane's O(1)-doorbells-per-segment
+	// contract made measurable.
+	Sessions []SessionsReportRow `json:"sessions,omitempty"`
+}
+
+// SessionsReportRow is one (cell, cohort size) point of the session sweep.
+type SessionsReportRow struct {
+	Cell                string  `json:"cell"`
+	Sessions            int     `json:"sessions"`
+	Block               int     `json:"block"`
+	OpsPerSession       int     `json:"opsPerSession"`
+	MicrosPerOp         float64 `json:"microsPerOp"`
+	OpenMillis          float64 `json:"openMillis"`
+	Segments            int64   `json:"segments"`
+	DoorbellFDs         int64   `json:"doorbellFDs"`
+	LaneSessions        int64   `json:"laneSessions,omitempty"`
+	DoorbellsPerSegment float64 `json:"doorbellsPerSegment,omitempty"`
 }
 
 // FleetReportRow is one cell of the fleet scaling sweep. Speedup is the
@@ -113,6 +134,12 @@ type TransportEconomyRow struct {
 	RecvWakeups       uint64  `json:"recvWakeups"`
 	DoorbellsPerFrame float64 `json:"doorbellsPerFrame,omitempty"`
 	FramesPerWakeup   float64 `json:"framesPerWakeup,omitempty"`
+	// Submitter names the send-side flush backend ("io_uring"/"portable");
+	// Flushes and FramesPerFlush quantify its group-commit amortization.
+	// All three are v8 columns, absent in older reports.
+	Submitter      string  `json:"submitter,omitempty"`
+	Flushes        uint64  `json:"flushes,omitempty"`
+	FramesPerFlush float64 `json:"framesPerFlush,omitempty"`
 }
 
 // ParallelReportPanel is one concurrency sweep in the report.
@@ -252,6 +279,11 @@ func (rep *Report) AddTransportEconomy(path CachePath, cells []TransportEconomy)
 		if fpw, ok := c.FramesPerWakeup(); ok {
 			row.FramesPerWakeup = fpw
 		}
+		row.Submitter = c.Submitter
+		row.Flushes = c.Flushes
+		if fpf, ok := c.FramesPerFlush(); ok {
+			row.FramesPerFlush = fpf
+		}
 		rep.TransportEconomy = append(rep.TransportEconomy, row)
 	}
 }
@@ -321,6 +353,27 @@ func (rep *Report) AddFleet(opts FleetOptions, results []FleetResult) {
 			row.Speedup = res.MBPerSec() / b
 		}
 		rep.Fleet = append(rep.Fleet, row)
+	}
+}
+
+// AddSessions appends the fleet-scale session sweep to the report.
+func (rep *Report) AddSessions(results []SessionsResult) {
+	for _, res := range results {
+		row := SessionsReportRow{
+			Cell:          res.Cell,
+			Sessions:      res.Sessions,
+			Block:         res.Block,
+			OpsPerSession: res.OpsPerSession,
+			MicrosPerOp:   res.MicrosPerOp(),
+			OpenMillis:    res.OpenMillis,
+			Segments:      res.Segments,
+			DoorbellFDs:   res.DoorbellFDs,
+			LaneSessions:  res.LaneSessions,
+		}
+		if dps, ok := res.DoorbellsPerSegment(); ok {
+			row.DoorbellsPerSegment = dps
+		}
+		rep.Sessions = append(rep.Sessions, row)
 	}
 }
 

@@ -1,0 +1,259 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/shm"
+)
+
+// The sessions sweep measures fleet-scale multiplexing: N concurrent
+// sessions opened against one active file, timed together, with the
+// process-wide descriptor gauges sampled around the opens. The MPSC lane
+// plane is the cell under test — sessions share segments, so descriptors
+// grow with segments (O(1) doorbells each), not with sessions. Dedicated
+// shm and pipe sessions anchor the comparison at the smallest count; they
+// spawn a process per session, which is exactly the cost the lane plane
+// exists to avoid, so sweeping them to 1024 would measure the host's
+// process limits rather than the data plane.
+
+// SessionCounts are the sweep's session cohorts.
+var SessionCounts = []int{64, 256, 1024}
+
+// sessionsBlock keeps the per-op work small so the cell measures session
+// multiplexing, not memcpy.
+const sessionsBlock = 64
+
+// sessionsOpsPerSession bounds the work each session performs; the cohort's
+// aggregate op count is Sessions × this.
+const sessionsOpsPerSession = 25
+
+// SessionsOptions configures the sweep.
+type SessionsOptions struct {
+	Counts        []int // default SessionCounts
+	OpsPerSession int   // default sessionsOpsPerSession
+	Params        map[string]string
+}
+
+// SessionsResult is one (cell, cohort size) measurement.
+type SessionsResult struct {
+	Cell          string // "mpsc", "shm", "pipe"
+	Sessions      int
+	Block         int
+	OpsPerSession int
+	OpenMillis    float64       // wall clock to open the whole cohort
+	Total         time.Duration // wall clock for all sessions' ops together
+	// Descriptor deltas attributable to the cohort, from shm.SnapshotFDs.
+	Segments     int64
+	DoorbellFDs  int64
+	LaneSessions int64
+}
+
+// MicrosPerOp reports aggregate wall-clock cost per operation across the
+// whole cohort — lower means more throughput.
+func (r SessionsResult) MicrosPerOp() float64 {
+	ops := r.Sessions * r.OpsPerSession
+	if ops == 0 {
+		return 0
+	}
+	return float64(r.Total.Nanoseconds()) / float64(ops) / 1e3
+}
+
+// DoorbellsPerSegment reports the doorbell-fd cost per mapped segment; the
+// MPSC plane's contract is that this stays constant as sessions grow. ok is
+// false when the cohort mapped no segments (the pipe cell).
+func (r SessionsResult) DoorbellsPerSegment() (float64, bool) {
+	if r.Segments == 0 {
+		return 0, false
+	}
+	return float64(r.DoorbellFDs) / float64(r.Segments), true
+}
+
+// sessionCells returns the sweep's cells for this platform. Each cell's
+// counts are the cohort sizes it runs; the process-per-session baselines
+// stay at the smallest cohort.
+func sessionCells(counts []int) []struct {
+	name   string
+	params map[string]string
+	counts []int
+} {
+	base := counts[:1]
+	cells := []struct {
+		name   string
+		params map[string]string
+		counts []int
+	}{
+		{"pipe", map[string]string{"readahead": "false"}, base},
+	}
+	if shm.Supported() {
+		cells = append(cells,
+			struct {
+				name   string
+				params map[string]string
+				counts []int
+			}{"shm", map[string]string{"transport": "shm", "readahead": "false"}, base},
+			struct {
+				name   string
+				params map[string]string
+				counts []int
+			}{"mpsc", map[string]string{
+				"transport": "shm",
+				"shmlanes":  fmt.Sprint(shm.MaxLanes),
+				"readahead": "false",
+			}, counts},
+		)
+	}
+	return cells
+}
+
+// RunSessions measures every cell of the session sweep. Cohort teardown is
+// part of each cell: all handles close and shared segments drain before the
+// next cell samples the gauges, so deltas are attributable.
+func (r *Runner) RunSessions(opts SessionsOptions) ([]SessionsResult, error) {
+	counts := opts.Counts
+	if len(counts) == 0 {
+		counts = SessionCounts
+	}
+	opsPer := opts.OpsPerSession
+	if opsPer == 0 {
+		opsPer = sessionsOpsPerSession
+	}
+
+	var results []SessionsResult
+	for _, cell := range sessionCells(counts) {
+		for _, n := range cell.counts {
+			res, err := r.measureSessions(cell.name, cell.params, opts.Params, n, opsPer)
+			if err != nil {
+				return nil, fmt.Errorf("sessions %s/%d: %w", cell.name, n, err)
+			}
+			results = append(results, res)
+		}
+	}
+	return results, nil
+}
+
+func (r *Runner) measureSessions(cellName string, cellParams, extra map[string]string, sessions, opsPer int) (SessionsResult, error) {
+	params := map[string]string{}
+	for k, v := range extra {
+		params[k] = v
+	}
+	for k, v := range cellParams {
+		params[k] = v
+	}
+
+	// One manifest for the whole cohort: every session opens the same path,
+	// which is what routes them onto shared lane segments in the mpsc cell.
+	cfg := Config{
+		Strategy:  core.StrategyProcCtl,
+		Path:      PathMemory,
+		Op:        OpRead,
+		BlockSize: sessionsBlock,
+		Ops:       opsPer,
+		Params:    params,
+	}
+	h0, size, cleanup, err := r.Setup(cfg)
+	if err != nil {
+		return SessionsResult{}, err
+	}
+	defer cleanup()
+	defer core.DrainSharedSegments()
+	path := r.lastPath
+	// Setup's probe handle is not part of the cohort: close it — and drain
+	// the shared segment its open may have spawned — so the descriptor
+	// deltas sampled below belong to the N sessions alone.
+	h0.Close()
+	core.DrainSharedSegments()
+
+	before := shm.SnapshotFDs()
+	handles := make([]*core.Handle, 0, sessions)
+	closeAll := func() {
+		for _, h := range handles {
+			h.Close()
+		}
+		handles = nil
+	}
+	defer closeAll()
+
+	openStart := time.Now()
+	for i := 0; i < sessions; i++ {
+		h, err := core.Open(path, core.Options{Strategy: core.StrategyProcCtl})
+		if err != nil {
+			return SessionsResult{}, fmt.Errorf("open session %d: %w", i, err)
+		}
+		handles = append(handles, h)
+	}
+	openDur := time.Since(openStart)
+	after := shm.SnapshotFDs()
+
+	errs := make(chan error, sessions)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for s, h := range handles {
+		wg.Add(1)
+		go func(s int, h *core.Handle) {
+			defer wg.Done()
+			buf := make([]byte, sessionsBlock)
+			for i := 0; i < opsPer; i++ {
+				off := (int64(i*sessions+s) * sessionsBlock) % size
+				if _, err := h.ReadAt(buf, off); err != nil {
+					errs <- fmt.Errorf("session %d op %d: %w", s, i, err)
+					return
+				}
+			}
+		}(s, h)
+	}
+	wg.Wait()
+	total := time.Since(start)
+	close(errs)
+	if err := <-errs; err != nil {
+		return SessionsResult{}, err
+	}
+
+	res := SessionsResult{
+		Cell:          cellName,
+		Sessions:      sessions,
+		Block:         sessionsBlock,
+		OpsPerSession: opsPer,
+		OpenMillis:    float64(openDur.Nanoseconds()) / 1e6,
+		Total:         total,
+		Segments:      after.Segments - before.Segments,
+		DoorbellFDs:   after.DoorbellFDs - before.DoorbellFDs,
+		LaneSessions:  after.LaneSessions - before.LaneSessions,
+	}
+	return res, nil
+}
+
+// WriteSessionsTable renders the session sweep.
+func WriteSessionsTable(w io.Writer, results []SessionsResult) error {
+	if len(results) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w,
+		"session sweep — procctl, memory path, %dB reads, %d ops/session, descriptor deltas per cohort\n",
+		results[0].Block, results[0].OpsPerSession); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-8s%10s%10s%12s%10s%10s%12s%12s\n",
+		"cell", "sessions", "µs/op", "open ms", "segments", "bell fds", "lanes", "bells/seg"); err != nil {
+		return err
+	}
+	for _, res := range results {
+		if _, err := fmt.Fprintf(w, "%-8s%10d%10.1f%12.1f%10d%10d%12d",
+			res.Cell, res.Sessions, res.MicrosPerOp(), res.OpenMillis,
+			res.Segments, res.DoorbellFDs, res.LaneSessions); err != nil {
+			return err
+		}
+		if dps, ok := res.DoorbellsPerSegment(); ok {
+			if _, err := fmt.Fprintf(w, "%12.1f\n", dps); err != nil {
+				return err
+			}
+		} else if _, err := fmt.Fprintf(w, "%12s\n", "-"); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

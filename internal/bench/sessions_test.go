@@ -1,0 +1,86 @@
+package bench_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/shm"
+)
+
+func TestRunSessionsSweep(t *testing.T) {
+	r := newRunner(t)
+	results, err := r.RunSessions(bench.SessionsOptions{Counts: []int{8}, OpsPerSession: 4})
+	if err != nil {
+		t.Fatalf("RunSessions: %v", err)
+	}
+	wantCells := 1 // pipe
+	if shm.Supported() {
+		wantCells = 3 // + shm, mpsc
+	}
+	if len(results) != wantCells {
+		t.Fatalf("got %d cells, want %d: %+v", len(results), wantCells, results)
+	}
+
+	byCell := map[string]bench.SessionsResult{}
+	for _, res := range results {
+		byCell[res.Cell] = res
+		if res.Sessions != 8 || res.MicrosPerOp() <= 0 {
+			t.Errorf("cell %s: sessions=%d µs/op=%.1f", res.Cell, res.Sessions, res.MicrosPerOp())
+		}
+	}
+
+	// The pipe cohort maps no segments; its descriptor columns must be zero.
+	pipe := byCell["pipe"]
+	if pipe.Segments != 0 || pipe.DoorbellFDs != 0 || pipe.LaneSessions != 0 {
+		t.Errorf("pipe cell leaked shm descriptors: %+v", pipe)
+	}
+
+	if !shm.Supported() {
+		return
+	}
+	// Dedicated shm: one segment per session, doorbells grow with sessions.
+	shmCell := byCell["shm"]
+	if shmCell.Segments != 8 || shmCell.LaneSessions != 0 {
+		t.Errorf("shm cell: segments=%d laneSessions=%d, want 8/0", shmCell.Segments, shmCell.LaneSessions)
+	}
+	// MPSC: the whole cohort shares one segment with O(1) doorbell fds.
+	mpsc := byCell["mpsc"]
+	if mpsc.Segments != 1 || mpsc.LaneSessions != 8 {
+		t.Errorf("mpsc cell: segments=%d laneSessions=%d, want 1/8", mpsc.Segments, mpsc.LaneSessions)
+	}
+	if dps, ok := mpsc.DoorbellsPerSegment(); !ok || dps > 4 {
+		t.Errorf("mpsc doorbells/segment = %.1f (ok=%v), want <= 4", dps, ok)
+	}
+	if shmDps, ok := shmCell.DoorbellsPerSegment(); ok {
+		if mpscDps, _ := mpsc.DoorbellsPerSegment(); mpscDps > shmDps*2 {
+			t.Errorf("mpsc per-segment doorbells (%.1f) dwarf dedicated shm's (%.1f)", mpscDps, shmDps)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := bench.WriteSessionsTable(&buf, results); err != nil {
+		t.Fatalf("WriteSessionsTable: %v", err)
+	}
+	for _, want := range []string{"session sweep", "mpsc", "bells/seg"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("table missing %q:\n%s", want, buf.String())
+		}
+	}
+
+	rep := bench.BuildReport(nil, 4, nil)
+	rep.AddSessions(results)
+	if len(rep.Sessions) != wantCells {
+		t.Fatalf("report carries %d session rows, want %d", len(rep.Sessions), wantCells)
+	}
+	var js bytes.Buffer
+	if err := rep.WriteJSON(&js); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	for _, want := range []string{`"sessions"`, `"doorbellFDs"`, `"cell": "mpsc"`} {
+		if !strings.Contains(js.String(), want) {
+			t.Errorf("JSON missing %s", want)
+		}
+	}
+}

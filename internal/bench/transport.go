@@ -122,6 +122,18 @@ type TransportEconomy struct {
 	Suppressed  uint64  // ring wakeups avoided (peer running or flush-coalesced)
 	RecvFrames  uint64  // response frames the client receive loop decoded
 	RecvWakeups uint64  // read syscalls that delivered them (0 on shm)
+	Submitter   string  // flush backend: "io_uring" or "portable"
+	Flushes     uint64  // submission flushes (write syscalls, or ring enters)
+	Frames      uint64  // command frames those flushes carried
+}
+
+// FramesPerFlush reports command frames per submission flush — the send-side
+// group-commit amortization; ok is false when the channel never flushed.
+func (e TransportEconomy) FramesPerFlush() (float64, bool) {
+	if e.Flushes == 0 {
+		return 0, false
+	}
+	return float64(e.Frames) / float64(e.Flushes), true
 }
 
 // DoorbellsPerFrame reports doorbells rung per frame moved across the rings.
@@ -189,6 +201,9 @@ func (r *Runner) RunTransportEconomy(opts TransportOptions) ([]TransportEconomy,
 			Suppressed:  res.Suppressed,
 			RecvFrames:  res.RecvFrames,
 			RecvWakeups: res.RecvWakeups,
+			Submitter:   res.Submitter,
+			Flushes:     res.BatchFlushes,
+			Frames:      res.BatchFrames,
 		})
 	}
 	return cells, nil
@@ -207,8 +222,9 @@ func WriteTransportEconomyTable(w io.Writer, path CachePath, ops int, cells []Tr
 		path, TransportEconomyClients, transportEconomyBlock, ops); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "%-10s%10s%12s%12s%12s%12s\n",
-		"carrier", "µs/op", "doorbells", "suppressed", "bells/frame", "frames/wake"); err != nil {
+	if _, err := fmt.Fprintf(w, "%-10s%10s%12s%12s%12s%12s%12s%13s\n",
+		"carrier", "µs/op", "doorbells", "suppressed", "bells/frame", "frames/wake",
+		"submitter", "frames/flush"); err != nil {
 		return err
 	}
 	for _, c := range cells {
@@ -223,10 +239,20 @@ func WriteTransportEconomyTable(w io.Writer, path CachePath, ops int, cells []Tr
 			return err
 		}
 		if fpw, ok := c.FramesPerWakeup(); ok {
-			if _, err := fmt.Fprintf(w, "%12.1f\n", fpw); err != nil {
+			if _, err := fmt.Fprintf(w, "%12.1f", fpw); err != nil {
 				return err
 			}
-		} else if _, err := fmt.Fprintf(w, "%12s\n", "-"); err != nil {
+		} else if _, err := fmt.Fprintf(w, "%12s", "-"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%12s", c.Submitter); err != nil {
+			return err
+		}
+		if fpf, ok := c.FramesPerFlush(); ok {
+			if _, err := fmt.Fprintf(w, "%13.2f\n", fpf); err != nil {
+				return err
+			}
+		} else if _, err := fmt.Fprintf(w, "%13s\n", "-"); err != nil {
 			return err
 		}
 	}

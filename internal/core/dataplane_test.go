@@ -63,16 +63,20 @@ func TestCarrierFallbackReasonPlumbed(t *testing.T) {
 		t.Fatalf("carrierInfo = %q/%q", carrier, reason)
 	}
 
-	// A session that did get its segment reports no fallback even if one was
-	// recorded spuriously.
+	// A session that did get its segment reports shm — and still surfaces a
+	// recorded demotion reason (a lane→dedicated fallback lands exactly so).
 	seg, err := shm.New(0, 0)
 	if err != nil {
 		t.Skipf("shm.New: %v", err)
 	}
 	defer seg.Close()
-	trShm := &procCtlTransport{seg: seg, fallback: "stale"}
+	trShm := &procCtlTransport{seg: seg}
 	if carrier, reason := trShm.carrierInfo(); carrier != "shm" || reason != "" {
 		t.Fatalf("shm carrierInfo = %q/%q, want shm with no fallback", carrier, reason)
+	}
+	trShm.fallback = "lane plane: injected"
+	if carrier, reason := trShm.carrierInfo(); carrier != "shm" || reason != "lane plane: injected" {
+		t.Fatalf("demoted shm carrierInfo = %q/%q, want shm with lane demotion reason", carrier, reason)
 	}
 }
 

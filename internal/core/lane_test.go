@@ -1,0 +1,397 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/shm"
+	"repro/internal/vfs"
+)
+
+// newLaneManifest creates one lane-plane active file and returns its path
+// and manifest; sessions opened from it share MPSC segments. The hub is
+// drained at cleanup so shared children never outlive the test.
+func newLaneManifest(t *testing.T, lanes int, extra map[string]string) (string, vfs.Manifest) {
+	t.Helper()
+	params := map[string]string{
+		"transport": "shm",
+		"shmlanes":  fmt.Sprint(lanes),
+	}
+	for k, v := range extra {
+		params[k] = v
+	}
+	path := filepath.Join(t.TempDir(), "file.af")
+	if err := vfs.Create(path, vfs.Manifest{
+		Program: vfs.ProgramSpec{Name: "passthrough"},
+		Cache:   "memory",
+		Params:  params,
+	}); err != nil {
+		t.Fatalf("vfs.Create: %v", err)
+	}
+	m, err := vfs.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(DrainSharedSegments)
+	return path, m
+}
+
+// openLane opens one session on the lane plane and fails the test on any
+// demotion: these tests exist to drive the shared plane, not its fallback.
+func openLane(t *testing.T, path string, m vfs.Manifest) *procCtlTransport {
+	t.Helper()
+	tr, err := newProcCtlTransport(path, m)
+	if err != nil {
+		t.Fatalf("newProcCtlTransport: %v", err)
+	}
+	if tr.lane == nil {
+		tr.close()
+		t.Fatalf("session fell off the lane plane: %q", tr.fallback)
+	}
+	return tr
+}
+
+// TestShmLanesParam pins lane-count validation and the transport=shm
+// requirement.
+func TestShmLanesParam(t *testing.T) {
+	man := func(params map[string]string) vfs.Manifest { return vfs.Manifest{Params: params} }
+	if n, err := shmLanesParam(man(nil)); n != 0 || err != nil {
+		t.Fatalf("absent shmlanes = %d, %v", n, err)
+	}
+	if n, err := shmLanesParam(man(map[string]string{"shmlanes": "16", "transport": "shm"})); n != 16 || err != nil {
+		t.Fatalf("shmlanes=16 = %d, %v", n, err)
+	}
+	for _, bad := range []string{"0", "-1", "abc", fmt.Sprint(shm.MaxLanes + 1)} {
+		if _, err := shmLanesParam(man(map[string]string{"shmlanes": bad, "transport": "shm"})); err == nil {
+			t.Errorf("shmlanes=%q accepted", bad)
+		}
+	}
+	// Lanes are a sharing discipline for the ring carrier; pipe cannot host them.
+	if _, err := shmLanesParam(man(map[string]string{"shmlanes": "4"})); err == nil {
+		t.Error("shmlanes without transport=shm accepted")
+	}
+}
+
+// TestLaneTransportEndToEnd drives one session over a shared MPSC segment:
+// reads, bulk writes (RecordData payloads), size, sync, and close must
+// behave exactly like a dedicated sentinel.
+func TestLaneTransportEndToEnd(t *testing.T) {
+	requireShm(t)
+	path, m := newLaneManifest(t, 8, nil)
+	tr := openLane(t, path, m)
+
+	payload := make([]byte, 64<<10) // large enough to chunk across records
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	if n, err := tr.writeAt(payload, 0); err != nil || n != len(payload) {
+		t.Fatalf("writeAt = %d, %v", n, err)
+	}
+	if err := tr.sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	got := make([]byte, len(payload))
+	if n, err := tr.readAt(got, 0); err != nil || n != len(got) {
+		t.Fatalf("readAt = %d, %v", n, err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("lane round trip corrupted payload")
+	}
+	if size, err := tr.size(); err != nil || size != int64(len(payload)) {
+		t.Fatalf("size = %d, %v", size, err)
+	}
+	ds := tr.dataPlaneStats()
+	if ds.Carrier != "shm" || ds.CarrierFallback != "" {
+		t.Fatalf("lane carrier = %q/%q", ds.Carrier, ds.CarrierFallback)
+	}
+	if ds.SegmentSessions != 1 || ds.SegmentFDs != 5 || ds.DoorbellFDs != 4 {
+		t.Fatalf("lane fd stats = %+v", ds)
+	}
+	if err := tr.close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// TestLaneSessionsShareSegment is the descriptor-economy criterion: 256
+// sessions multiplexed on one shared segment must cost the parent exactly
+// one extra segment (five descriptors, four of them doorbells) — O(1) fds
+// per segment, not per session — and everything must return to baseline
+// after the sessions close and the hub drains.
+func TestLaneSessionsShareSegment(t *testing.T) {
+	requireShm(t)
+	if testing.Short() {
+		t.Skip("256-session sweep in -short mode")
+	}
+	base := shm.SnapshotFDs()
+	path, m := newLaneManifest(t, 256, map[string]string{"readahead": "false"})
+
+	const sessions = 256
+	trs := make([]*procCtlTransport, sessions)
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for i := range trs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr, err := newProcCtlTransport(path, m)
+			if err != nil {
+				errs <- err
+				return
+			}
+			trs[i] = tr
+			if tr.lane == nil {
+				errs <- fmt.Errorf("session %d fell off the lane plane: %q", i, tr.fallback)
+				return
+			}
+			if _, err := tr.size(); err != nil {
+				errs <- fmt.Errorf("session %d size: %w", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	now := shm.SnapshotFDs()
+	if got := now.Segments - base.Segments; got != 1 {
+		t.Fatalf("256 lane sessions mapped %d segments, want 1", got)
+	}
+	if got := now.DoorbellFDs - base.DoorbellFDs; got != 4 {
+		t.Fatalf("256 lane sessions pinned %d doorbell fds, want 4", got)
+	}
+	if got := now.LaneSessions - base.LaneSessions; got != sessions {
+		t.Fatalf("lane session gauge = %d, want %d", got, sessions)
+	}
+	for _, tr := range trs {
+		if tr == nil {
+			continue
+		}
+		if err := tr.close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	}
+	DrainSharedSegments()
+	end := shm.SnapshotFDs()
+	if end != base {
+		t.Fatalf("fd gauges did not return to baseline: base %+v, end %+v", base, end)
+	}
+}
+
+// TestLaneSessionCloseDoesNotPoisonSiblings closes one of N sessions sharing
+// a segment mid-traffic; the siblings' pipelines must keep answering, and a
+// successor session must be able to reuse the quiesced lane on the same
+// segment (no new descriptors).
+func TestLaneSessionCloseDoesNotPoisonSiblings(t *testing.T) {
+	requireShm(t)
+	path, m := newLaneManifest(t, 8, map[string]string{"readahead": "false"})
+
+	const sessions = 4
+	trs := make([]*procCtlTransport, sessions)
+	for i := range trs {
+		trs[i] = openLane(t, path, m)
+		seed := []byte(fmt.Sprintf("session %d content", i))
+		if _, err := trs[i].writeAt(seed, 0); err != nil {
+			t.Fatalf("seed %d: %v", i, err)
+		}
+		if err := trs[i].sync(); err != nil {
+			t.Fatalf("seed sync %d: %v", i, err)
+		}
+	}
+	before := shm.SnapshotFDs()
+
+	stop := make(chan struct{})
+	errs := make(chan error, sessions-1)
+	var wg sync.WaitGroup
+	for i := 1; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			want := []byte(fmt.Sprintf("session %d content", i))
+			buf := make([]byte, len(want))
+			for {
+				select {
+				case <-stop:
+					errs <- nil
+					return
+				default:
+				}
+				n, err := trs[i].readAt(buf, 0)
+				if err != nil {
+					errs <- fmt.Errorf("sibling %d read: %w", i, err)
+					return
+				}
+				if !bytes.Equal(buf[:n], want) {
+					errs <- fmt.Errorf("sibling %d read misattributed bytes %q", i, buf[:n])
+					return
+				}
+			}
+		}(i)
+	}
+	// Retire session 0 while the siblings hammer the shared queues.
+	if err := trs[0].close(); err != nil {
+		t.Fatalf("close session 0: %v", err)
+	}
+	// Its lane must come back for a successor on the same segment.
+	deadline := time.Now().Add(5 * time.Second)
+	var succ *procCtlTransport
+	for {
+		tr, err := newProcCtlTransport(path, m)
+		if err != nil {
+			t.Fatalf("successor open: %v", err)
+		}
+		if tr.lane != nil {
+			succ = tr
+			break
+		}
+		tr.close()
+		if time.Now().After(deadline) {
+			t.Fatal("released lane never quiesced for reuse")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, err := succ.size(); err != nil {
+		t.Fatalf("successor size: %v", err)
+	}
+	if now := shm.SnapshotFDs(); now.Segments != before.Segments || now.DoorbellFDs != before.DoorbellFDs {
+		t.Fatalf("lane reuse changed segment fds: before %+v, now %+v", before, now)
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	succ.close()
+	for i := 1; i < sessions; i++ {
+		if err := trs[i].close(); err != nil {
+			t.Fatalf("close sibling %d: %v", i, err)
+		}
+	}
+}
+
+// TestLaneSentinelDeathFansOut is the chaos criterion for the shared plane:
+// SIGKILL of the one sentinel serving N lanes must fail every session's
+// exchanges promptly (ErrSentinelDied), and the next open must come up on a
+// fresh segment instead of the dead one.
+func TestLaneSentinelDeathFansOut(t *testing.T) {
+	requireShm(t)
+	faultinject.LeakCheck(t)
+	path, m := newLaneManifest(t, 8, map[string]string{"readahead": "false"})
+
+	const sessions = 3
+	trs := make([]*procCtlTransport, sessions)
+	for i := range trs {
+		trs[i] = openLane(t, path, m)
+		if _, err := trs[i].size(); err != nil {
+			t.Fatalf("healthy size %d: %v", i, err)
+		}
+	}
+	seg := trs[0].lane.ls
+	if err := seg.cmd.Process.Kill(); err != nil {
+		t.Fatalf("kill shared sentinel: %v", err)
+	}
+
+	for i, tr := range trs {
+		waitDeadline := time.Now().Add(5 * time.Second)
+		for {
+			_, err := tr.size()
+			if errors.Is(err, ErrSentinelDied) {
+				break
+			}
+			if err == nil {
+				t.Fatalf("session %d exchange succeeded against a dead sentinel", i)
+			}
+			if time.Now().After(waitDeadline) {
+				t.Fatalf("session %d error never became ErrSentinelDied: %v", i, err)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// The hub must retire the dead segment and spawn a fresh one.
+	tr, err := newProcCtlTransport(path, m)
+	if err != nil {
+		t.Fatalf("open after death: %v", err)
+	}
+	if tr.lane == nil {
+		t.Fatalf("post-death open fell off the lane plane: %q", tr.fallback)
+	}
+	if tr.lane.ls == seg {
+		t.Fatal("post-death open landed on the dead segment")
+	}
+	if _, err := tr.size(); err != nil {
+		t.Fatalf("size on fresh segment: %v", err)
+	}
+	if err := tr.close(); err != nil {
+		t.Fatalf("close fresh: %v", err)
+	}
+	for i, tr := range trs {
+		done := make(chan error, 1)
+		go func() { done <- tr.close() }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("session %d close hung after sentinel death", i)
+		}
+	}
+}
+
+// TestLaneTornTeardown drains the hub while sessions are mid-pipeline: every
+// session must fail or finish promptly — nothing may park forever on the
+// vanished queues — and no goroutine may leak.
+func TestLaneTornTeardown(t *testing.T) {
+	requireShm(t)
+	faultinject.LeakCheck(t)
+	path, m := newLaneManifest(t, 8, map[string]string{"readahead": "false"})
+
+	const sessions = 4
+	trs := make([]*procCtlTransport, sessions)
+	for i := range trs {
+		trs[i] = openLane(t, path, m)
+		if _, err := trs[i].writeAt([]byte("torn"), 0); err != nil {
+			t.Fatalf("seed %d: %v", i, err)
+		}
+	}
+	var wg sync.WaitGroup
+	for _, tr := range trs {
+		wg.Add(1)
+		go func(tr *procCtlTransport) {
+			defer wg.Done()
+			buf := make([]byte, 4)
+			for {
+				if _, err := tr.readAt(buf, 0); err != nil {
+					return
+				}
+			}
+		}(tr)
+	}
+	time.Sleep(10 * time.Millisecond) // let the pipelines overlap the drain
+	DrainSharedSegments()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("sessions still blocked after hub drain")
+	}
+	for i, tr := range trs {
+		fin := make(chan error, 1)
+		go func() { fin <- tr.close() }()
+		select {
+		case <-fin:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("session %d close hung after drain", i)
+		}
+	}
+}

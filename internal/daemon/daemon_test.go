@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/shm"
 	"repro/internal/wire"
 )
 
@@ -272,4 +273,29 @@ func TestStatsEndpointServesJSON(t *testing.T) {
 		t.Errorf("framesPerFlush = %v", st.FramesPerFlush)
 	}
 	s.Close()
+}
+
+// TestSnapshotReportsDataPlaneFDs: with a mapped segment in the process the
+// snapshot must carry the descriptor-economy section, and it must retire
+// with the segment — the section reflects live gauges, not history.
+func TestSnapshotReportsDataPlaneFDs(t *testing.T) {
+	if !shm.Supported() {
+		t.Skip("shm unsupported on this platform")
+	}
+	r := NewRegistry(Quotas{})
+	if dp := r.Snapshot().DataPlane; dp != nil {
+		t.Fatalf("idle process reports data-plane fds: %+v", dp)
+	}
+	seg, err := shm.New(0, 0)
+	if err != nil {
+		t.Fatalf("shm.New: %v", err)
+	}
+	dp := r.Snapshot().DataPlane
+	if dp == nil || dp.Segments < 1 || dp.DoorbellFDs < 1 {
+		t.Fatalf("snapshot missed the mapped segment: %+v", dp)
+	}
+	seg.Close()
+	if dp := r.Snapshot().DataPlane; dp != nil {
+		t.Fatalf("closed segment still reported: %+v", dp)
+	}
 }

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"sort"
 
+	"repro/internal/shm"
 	"repro/internal/wire"
 )
 
@@ -34,6 +35,21 @@ type Stats struct {
 	// Shard is present when the daemon serves as one shard of a fleet: its
 	// identity in the shard map plus lease-protocol and replication gauges.
 	Shard *ShardStats `json:"shard,omitempty"`
+
+	// DataPlane reports the process-wide descriptor economy of the shared-
+	// memory data plane: mapped segments, their backing files and doorbell
+	// eventfds, and the sessions multiplexed over MPSC lane segments. The
+	// fleet-scale contract is visible here: doorbell fds grow with segments,
+	// not with sessions.
+	DataPlane *DataPlaneFDStats `json:"dataPlane,omitempty"`
+}
+
+// DataPlaneFDStats is the JSON form of shm.SnapshotFDs.
+type DataPlaneFDStats struct {
+	Segments     int64 `json:"segments"`
+	SegmentFiles int64 `json:"segmentFiles"`
+	DoorbellFDs  int64 `json:"doorbellFDs"`
+	LaneSessions int64 `json:"laneSessions"`
 }
 
 // ShardStats is the fleet-facing slice of one shard's snapshot.
@@ -91,6 +107,14 @@ func (r *Registry) Snapshot() Stats {
 	}
 	if s.BatchFlushes > 0 {
 		s.FramesPerFlush = float64(s.BatchFrames) / float64(s.BatchFlushes)
+	}
+	if fds := shm.SnapshotFDs(); fds != (shm.FDStats{}) {
+		s.DataPlane = &DataPlaneFDStats{
+			Segments:     fds.Segments,
+			SegmentFiles: fds.SegmentFiles,
+			DoorbellFDs:  fds.DoorbellFDs,
+			LaneSessions: fds.LaneSessions,
+		}
 	}
 
 	r.mu.Lock()

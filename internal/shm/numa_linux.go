@@ -1,0 +1,151 @@
+//go:build linux
+
+package shm
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"syscall"
+	"unsafe"
+)
+
+// NUMA-aware segment placement. On a multi-socket host the free-running
+// cursors of a segment whose producer and consumer sit on different nodes
+// ping-pong cache lines across the interconnect on every publish; binding
+// each segment's pages to one node and pinning its consumer thread there
+// keeps the hot path on-package. Everything here is best-effort: probes
+// that find nothing and syscalls the kernel (or a sandbox) refuses degrade
+// to no-ops, never errors — placement is an optimization, not a contract.
+
+const sysfsNodeDir = "/sys/devices/system/node"
+
+// NumaNodes returns the IDs of NUMA nodes that have CPUs, in ascending
+// order. Single-node hosts, hosts without the sysfs topology (containers,
+// non-NUMA kernels), and probe failures all return nil — callers treat nil
+// as "no placement to do".
+func NumaNodes() []int {
+	entries, err := os.ReadDir(sysfsNodeDir)
+	if err != nil {
+		return nil
+	}
+	var nodes []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "node") {
+			continue
+		}
+		id, err := strconv.Atoi(name[4:])
+		if err != nil {
+			continue
+		}
+		if len(nodeCPUs(id)) > 0 {
+			nodes = append(nodes, id)
+		}
+	}
+	if len(nodes) < 2 {
+		// One node (or none) means placement cannot matter.
+		return nil
+	}
+	return nodes
+}
+
+// nodeCPUs parses one node's cpulist ("0-3,8-11") into CPU numbers.
+func nodeCPUs(node int) []int {
+	data, err := os.ReadFile(sysfsNodeDir + "/node" + strconv.Itoa(node) + "/cpulist")
+	if err != nil {
+		return nil
+	}
+	var cpus []int
+	for _, part := range strings.Split(strings.TrimSpace(string(data)), ",") {
+		if part == "" {
+			continue
+		}
+		lo, hi, found := strings.Cut(part, "-")
+		a, err := strconv.Atoi(lo)
+		if err != nil {
+			continue
+		}
+		b := a
+		if found {
+			if b, err = strconv.Atoi(hi); err != nil {
+				continue
+			}
+		}
+		for c := a; c <= b; c++ {
+			cpus = append(cpus, c)
+		}
+	}
+	return cpus
+}
+
+// BindMemory asks the kernel to place (and keep) b's pages on the given
+// node via mbind(MPOL_BIND). Failures — unaligned kernels, sandboxes without
+// the syscall, CAP-less callers — are reported but harmless to ignore.
+func BindMemory(b []byte, node int) error {
+	if len(b) == 0 || node < 0 || node >= 64 {
+		return nil
+	}
+	const mpolBind = 2
+	nodemask := uint64(1) << uint(node)
+	// maxnode counts bits and must exceed the highest set bit; the kernel
+	// wants at least one full word plus the terminator bit.
+	_, _, errno := syscall.Syscall6(syscall.SYS_MBIND,
+		uintptr(unsafe.Pointer(&b[0])), uintptr(len(b)),
+		mpolBind, uintptr(unsafe.Pointer(&nodemask)), 65, 0)
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}
+
+// PinThreadToNode pins the calling OS thread to the node's CPU set. The
+// caller must hold runtime.LockOSThread for the pin to mean anything; this
+// function does not take it, so consumers can scope the lock to their serve
+// loop. No-op (with error) when the node has no CPUs or the kernel refuses.
+func PinThreadToNode(node int) error {
+	cpus := nodeCPUs(node)
+	if len(cpus) == 0 {
+		return nil
+	}
+	var mask [16]uint64 // 1024 CPUs
+	for _, c := range cpus {
+		if c >= 0 && c < len(mask)*64 {
+			mask[c/64] |= uint64(1) << uint(c%64)
+		}
+	}
+	_, _, errno := syscall.Syscall(syscall.SYS_SCHED_SETAFFINITY,
+		0, uintptr(len(mask)*8), uintptr(unsafe.Pointer(&mask[0])))
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}
+
+// PlaceSegment binds an MPSC segment's mapping to node and reports whether
+// the binding took. Called by the lane hub when it spreads segments
+// round-robin across the probed nodes.
+func (s *MPSCSegment) PlaceSegment(node int) bool {
+	if s.mem == nil {
+		return false
+	}
+	return BindMemory(s.mem, node) == nil
+}
+
+// PinConsumer pins the calling goroutine's OS thread to node for the
+// duration of fn — the consumer-side hook: the demux loop runs inside it so
+// its cursor loads stay on the segment's package. Thread identity is
+// restored by unlocking; affinity of the (now unpinned) thread is left to
+// the scheduler, which is safe because the runtime hands parked Ps around
+// anyway.
+func PinConsumer(node int, fn func()) {
+	if node < 0 {
+		fn()
+		return
+	}
+	runtime.LockOSThread()
+	PinThreadToNode(node)
+	fn()
+	runtime.UnlockOSThread()
+}

@@ -1,0 +1,18 @@
+//go:build !linux
+
+package shm
+
+// NUMA placement is Linux-only; elsewhere the probe finds nothing and every
+// placement call is a no-op, which is exactly the single-node behavior.
+
+// NumaNodes returns nil: no multi-node topology to place against.
+func NumaNodes() []int { return nil }
+
+// BindMemory is a no-op off Linux.
+func BindMemory(b []byte, node int) error { return nil }
+
+// PinThreadToNode is a no-op off Linux.
+func PinThreadToNode(node int) error { return nil }
+
+// PinConsumer runs fn without pinning.
+func PinConsumer(node int, fn func()) { fn() }

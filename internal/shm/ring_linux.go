@@ -319,6 +319,9 @@ func Attach(seg *os.File, bells []*os.File) (*Segment, error) {
 // that is [cmd data, cmd space, reply data, reply space].
 func assemble(f *os.File, mem []byte, hdr *segHdr, bells []*os.File) *Segment {
 	s := &Segment{mem: mem, file: f, hdr: hdr}
+	fdSegments.Add(1)
+	fdSegmentFiles.Add(1)
+	fdDoorbells.Add(int64(len(bells)))
 	for i := 0; i < int(hdr.nrings); i++ {
 		d := hdr.dir[i]
 		name := "cmd"
@@ -409,6 +412,9 @@ func (s *Segment) Close() error {
 		r.dataBell.Close()
 		r.spaceBell.Close()
 	}
+	fdSegments.Add(-1)
+	fdSegmentFiles.Add(-1)
+	fdDoorbells.Add(-2 * int64(len(s.rings)))
 	return err
 }
 

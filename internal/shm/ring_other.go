@@ -41,11 +41,11 @@ func Attach(seg *os.File, bells []*os.File) (*Segment, error) {
 	return nil, ErrUnsupported
 }
 
-func (s *Segment) Cmd() *Ring              { return nil }
-func (s *Segment) Reply() *Ring            { return nil }
-func (s *Segment) Rings() []*Ring          { return nil }
-func (s *Segment) Epoch() uint64           { return 0 }
-func (s *Segment) AdvanceEpoch() uint64    { return 0 }
-func (s *Segment) Closed() bool            { return true }
-func (s *Segment) ChildFiles() []*os.File  { return nil }
-func (s *Segment) Close() error            { return nil }
+func (s *Segment) Cmd() *Ring             { return nil }
+func (s *Segment) Reply() *Ring           { return nil }
+func (s *Segment) Rings() []*Ring         { return nil }
+func (s *Segment) Epoch() uint64          { return 0 }
+func (s *Segment) AdvanceEpoch() uint64   { return 0 }
+func (s *Segment) Closed() bool           { return true }
+func (s *Segment) ChildFiles() []*os.File { return nil }
+func (s *Segment) Close() error           { return nil }

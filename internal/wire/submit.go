@@ -1,0 +1,120 @@
+package wire
+
+import (
+	"io"
+	"net"
+	"os"
+)
+
+// The submitter seam: BatchWriter's flush turns one batch into at most two
+// ordered spans — control frames, then posted payloads — and hands them to a
+// Submitter in a single call. The portable implementation issues one write
+// (or writev via net.Buffers) per span; the Linux io_uring backend queues one
+// WRITEV SQE per span and crosses the kernel boundary once for the whole
+// batch, halving the submission syscalls of a two-channel flush.
+//
+// Reads deliberately stay on the portable path. A pending io_uring read
+// pins its buffer and fd until the kernel completes or cancels it, which
+// turns session teardown into a distributed cancellation problem; the
+// DrainReader already amortizes read syscalls by draining readable bytes
+// into a user-space buffer, so the submission side is where the remaining
+// syscalls live.
+
+// Span is one ordered vectored write destined for a single channel.
+type Span struct {
+	W    io.Writer
+	Bufs net.Buffers
+}
+
+// Submitter ships batches of spans. Implementations must preserve byte
+// order within each span; ordering across spans of one Submit call is
+// unspecified (they target distinct channels). A non-nil error may leave a
+// partial span on a stream, so callers must treat it as a sticky transport
+// failure — exactly BatchWriter's discipline.
+type Submitter interface {
+	Submit(spans []Span) error
+	// Name identifies the backend ("io_uring") for stats and benchmarks.
+	Name() string
+}
+
+// envNoURing disables the io_uring backend when set (any non-empty value),
+// forcing the portable write path. Kill switch for kernels with io_uring
+// present but misbehaving, and for A/B syscall-economy runs.
+const envNoURing = "AF_NO_URING"
+
+// newSubmitter picks the best backend for the writer pair, or nil when the
+// plain write path is the right one (non-Linux, kernel without io_uring,
+// writers that expose no descriptor, or the kill switch). data may be nil.
+func newSubmitter(w, data io.Writer) Submitter {
+	if os.Getenv(envNoURing) != "" {
+		return nil
+	}
+	return newURingSubmitter(w, data)
+}
+
+// portableSubmit is the reference semantics: one Write (or one writev via
+// net.Buffers) per span, in span order. It is both the non-Linux path and
+// the remainder path when a backend bows out mid-batch.
+func portableSubmit(spans []Span) error {
+	for _, s := range spans {
+		bufs := s.Bufs
+		if len(bufs) == 0 {
+			continue
+		}
+		if len(bufs) == 1 {
+			if len(bufs[0]) == 0 {
+				continue
+			}
+			if _, err := s.W.Write(bufs[0]); err != nil {
+				return err
+			}
+			continue
+		}
+		// WriteTo consumes bufs; spans are built fresh per flush, so the
+		// caller never observes the drained header.
+		if _, err := bufs.WriteTo(s.W); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// spliceRefs stitches by-reference payloads into buf at their recorded
+// positions, producing the vectored form of one span. A nil return means
+// the span carries no bytes.
+func spliceRefs(buf []byte, refs []payloadRef) net.Buffers {
+	if len(refs) == 0 {
+		if len(buf) == 0 {
+			return nil
+		}
+		return net.Buffers{buf}
+	}
+	segs := make(net.Buffers, 0, 2*len(refs)+1)
+	prev := 0
+	for _, ref := range refs {
+		if ref.pos > prev {
+			segs = append(segs, buf[prev:ref.pos])
+		}
+		segs = append(segs, ref.data)
+		prev = ref.pos
+	}
+	if prev < len(buf) {
+		segs = append(segs, buf[prev:])
+	}
+	return segs
+}
+
+// advanceBufs drops n written bytes from the front of bufs, trimming a
+// partially written buffer in place (the slice header copy, not the bytes).
+func advanceBufs(bufs net.Buffers, n int) net.Buffers {
+	for n > 0 && len(bufs) > 0 {
+		if n >= len(bufs[0]) {
+			n -= len(bufs[0])
+			bufs = bufs[1:]
+			continue
+		}
+		bufs[0] = bufs[0][n:]
+		n = 0
+	}
+	return bufs
+}

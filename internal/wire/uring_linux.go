@@ -1,0 +1,427 @@
+//go:build linux
+
+package wire
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"unsafe"
+)
+
+// io_uring write backend. One ring per BatchWriter; each flush queues one
+// IORING_OP_WRITEV SQE per span and makes a single io_uring_enter that both
+// submits and waits for every completion (IORING_ENTER_GETEVENTS), so a
+// two-channel batch — control frames plus posted payloads — costs one
+// syscall instead of two writev calls.
+//
+// The backend is feature-probed at first use and engages only when the
+// kernel grants IORING_FEAT_FAST_POLL: the fds under BatchWriter (Go pipes
+// and net.Conns) are nonblocking, and without fast poll a full pipe would
+// bounce -EAGAIN to userspace instead of completing when the reader drains.
+// Kernels without io_uring (ENOSYS — e.g. gVisor) fail the probe cleanly
+// and the portable write path carries all traffic.
+//
+// Descriptor discipline: writers must implement syscall.Conn. Each Submit
+// resolves fds inside RawConn.Control, which holds the runtime's fd
+// reference for the duration of the kernel round trip — a concurrent Close
+// cannot recycle the descriptor under an in-flight SQE. Submission is
+// synchronous (the enter waits for all CQEs), so buffers and iovec arrays
+// are provably live across kernel access without registration.
+
+const (
+	sysIOURingSetup = 425
+	sysIOURingEnter = 426
+
+	ioringOffSQRing = 0x0
+	ioringOffCQRing = 0x8000000
+	ioringOffSQEs   = 0x10000000
+
+	ioringEnterGetevents = 1 << 0
+
+	ioringFeatSingleMmap = 1 << 0
+	ioringFeatFastPoll   = 1 << 5
+
+	ioringOpWritev = 2
+
+	// uringEntries sizes each ring. A flush submits at most two SQEs (one
+	// per span) plus short-write resubmissions, one round at a time.
+	uringEntries = 8
+
+	// iovMax mirrors the kernel's UIO_MAXIOV; a span with more segments than
+	// one writev accepts is handed back to the portable path whole.
+	iovMax = 1024
+)
+
+// Ring geometry structs, byte-compatible with the kernel ABI.
+
+type ioSqringOffsets struct {
+	head, tail, ringMask, ringEntries uint32
+	flags, dropped, array, resv1      uint32
+	userAddr                          uint64
+}
+
+type ioCqringOffsets struct {
+	head, tail, ringMask, ringEntries uint32
+	overflow, cqes, flags, resv1      uint32
+	userAddr                          uint64
+}
+
+type ioUringParams struct {
+	sqEntries, cqEntries, flags      uint32
+	sqThreadCPU, sqThreadIdle        uint32
+	features, wqFd                   uint32
+	resv                             [3]uint32
+	sqOff                            ioSqringOffsets
+	cqOff                            ioCqringOffsets
+}
+
+type ioUringSqe struct {
+	opcode   uint8
+	flags    uint8
+	ioprio   uint16
+	fd       int32
+	off      uint64
+	addr     uint64
+	length   uint32
+	opFlags  uint32
+	userData uint64
+	pad      [3]uint64
+}
+
+type ioUringCqe struct {
+	userData uint64
+	res      int32
+	flags    uint32
+}
+
+// uring owns one ring's fd and mappings. All access is serialized by the
+// owning submitter (BatchWriter admits one flush leader at a time).
+type uring struct {
+	fd       int
+	features uint32
+	single   bool // SQ and CQ share one mapping (IORING_FEAT_SINGLE_MMAP)
+
+	sqMem, cqMem, sqeMem []byte
+
+	sqHead, sqTail, sqMask *uint32
+	sqArray                unsafe.Pointer // []uint32 index array
+	sqEntries              uint32
+	sqes                   unsafe.Pointer // []ioUringSqe
+
+	cqHead, cqTail, cqMask *uint32
+	cqes                   unsafe.Pointer // []ioUringCqe
+}
+
+func uringEnter(fd int, toSubmit, minComplete, flags uint32) (int, syscall.Errno) {
+	r, _, errno := syscall.Syscall6(sysIOURingEnter,
+		uintptr(fd), uintptr(toSubmit), uintptr(minComplete), uintptr(flags), 0, 0)
+	return int(r), errno
+}
+
+func setupURing(entries uint32) (*uring, error) {
+	var p ioUringParams
+	fd, _, errno := syscall.Syscall(sysIOURingSetup,
+		uintptr(entries), uintptr(unsafe.Pointer(&p)), 0)
+	if errno != 0 {
+		return nil, errno
+	}
+	r := &uring{fd: int(fd), features: p.features}
+
+	sqSize := int(p.sqOff.array) + int(p.sqEntries)*4
+	cqSize := int(p.cqOff.cqes) + int(p.cqEntries)*int(unsafe.Sizeof(ioUringCqe{}))
+	single := p.features&ioringFeatSingleMmap != 0
+	r.single = single
+	if single && cqSize > sqSize {
+		sqSize = cqSize
+	}
+	prot := syscall.PROT_READ | syscall.PROT_WRITE
+	flags := syscall.MAP_SHARED | syscall.MAP_POPULATE
+
+	var err error
+	if r.sqMem, err = syscall.Mmap(r.fd, ioringOffSQRing, sqSize, prot, flags); err != nil {
+		r.close()
+		return nil, fmt.Errorf("sq ring mmap: %w", err)
+	}
+	if single {
+		r.cqMem = r.sqMem
+	} else if r.cqMem, err = syscall.Mmap(r.fd, ioringOffCQRing, cqSize, prot, flags); err != nil {
+		r.close()
+		return nil, fmt.Errorf("cq ring mmap: %w", err)
+	}
+	sqeBytes := int(p.sqEntries) * int(unsafe.Sizeof(ioUringSqe{}))
+	if r.sqeMem, err = syscall.Mmap(r.fd, ioringOffSQEs, sqeBytes, prot, flags); err != nil {
+		r.close()
+		return nil, fmt.Errorf("sqe array mmap: %w", err)
+	}
+
+	sq := unsafe.Pointer(&r.sqMem[0])
+	r.sqHead = (*uint32)(unsafe.Add(sq, p.sqOff.head))
+	r.sqTail = (*uint32)(unsafe.Add(sq, p.sqOff.tail))
+	r.sqMask = (*uint32)(unsafe.Add(sq, p.sqOff.ringMask))
+	r.sqArray = unsafe.Add(sq, p.sqOff.array)
+	r.sqEntries = p.sqEntries
+	r.sqes = unsafe.Pointer(&r.sqeMem[0])
+
+	cq := unsafe.Pointer(&r.cqMem[0])
+	r.cqHead = (*uint32)(unsafe.Add(cq, p.cqOff.head))
+	r.cqTail = (*uint32)(unsafe.Add(cq, p.cqOff.tail))
+	r.cqMask = (*uint32)(unsafe.Add(cq, p.cqOff.ringMask))
+	r.cqes = unsafe.Add(cq, p.cqOff.cqes)
+	return r, nil
+}
+
+func (r *uring) close() {
+	if r.sqeMem != nil {
+		_ = syscall.Munmap(r.sqeMem)
+	}
+	if r.cqMem != nil && !r.single {
+		_ = syscall.Munmap(r.cqMem)
+	}
+	if r.sqMem != nil {
+		_ = syscall.Munmap(r.sqMem)
+	}
+	_ = syscall.Close(r.fd)
+	r.sqMem, r.cqMem, r.sqeMem = nil, nil, nil
+}
+
+func (r *uring) sqe(i uint32) *ioUringSqe {
+	return (*ioUringSqe)(unsafe.Add(r.sqes, uintptr(i)*unsafe.Sizeof(ioUringSqe{})))
+}
+
+func (r *uring) cqe(i uint32) *ioUringCqe {
+	return (*ioUringCqe)(unsafe.Add(r.cqes, uintptr(i)*unsafe.Sizeof(ioUringCqe{})))
+}
+
+func (r *uring) sqIndex(i uint32) *uint32 {
+	return (*uint32)(unsafe.Add(r.sqArray, uintptr(i)*4))
+}
+
+// uringOp is one writev to queue: fd plus an assembled iovec array.
+type uringOp struct {
+	fd    int32
+	iov   []syscall.Iovec
+	total int
+}
+
+// submitAndWait queues every op, crosses the kernel once to submit, waits
+// for all completions, and returns each op's raw result (bytes written, or
+// a negated errno). The caller guarantees len(ops) <= sqEntries and that no
+// other submission is in flight on this ring.
+func (r *uring) submitAndWait(ops []uringOp) ([]int32, error) {
+	n := uint32(len(ops))
+	tail := *r.sqTail
+	mask := *r.sqMask
+	for i := range ops {
+		idx := (tail + uint32(i)) & mask
+		sqe := r.sqe(idx)
+		*sqe = ioUringSqe{
+			opcode:   ioringOpWritev,
+			fd:       ops[i].fd,
+			addr:     uint64(uintptr(unsafe.Pointer(&ops[i].iov[0]))),
+			length:   uint32(len(ops[i].iov)),
+			userData: uint64(i),
+		}
+		*r.sqIndex(idx) = idx
+	}
+	// Publish the new tail; the store must be observed after the SQE writes.
+	atomic.StoreUint32(r.sqTail, tail+n)
+
+	// Submit everything. The first enter also waits for all completions;
+	// an EINTR retry degenerates to submit-then-wait rounds.
+	rem := n
+	for rem > 0 {
+		got, errno := uringEnter(r.fd, rem, n, ioringEnterGetevents)
+		if errno == syscall.EINTR {
+			continue
+		}
+		if errno != 0 {
+			return nil, errno
+		}
+		rem -= uint32(got)
+	}
+
+	res := make([]int32, n)
+	reaped := uint32(0)
+	for reaped < n {
+		head := atomic.LoadUint32(r.cqHead)
+		avail := atomic.LoadUint32(r.cqTail) - head
+		for ; avail > 0 && reaped < n; avail-- {
+			cqe := r.cqe(head & *r.cqMask)
+			if cqe.userData < uint64(n) {
+				res[cqe.userData] = cqe.res
+			}
+			head++
+			reaped++
+		}
+		atomic.StoreUint32(r.cqHead, head)
+		if reaped < n {
+			if _, errno := uringEnter(r.fd, 0, n-reaped, ioringEnterGetevents); errno != 0 && errno != syscall.EINTR {
+				return nil, errno
+			}
+		}
+	}
+	runtime.KeepAlive(ops)
+	return res, nil
+}
+
+// uringSupported probes once per process: can a ring be created, and does
+// the kernel grant fast poll for nonblocking fds.
+var uringSupported = sync.OnceValue(func() bool {
+	r, err := setupURing(2)
+	if err != nil {
+		return false
+	}
+	ok := r.features&ioringFeatFastPoll != 0
+	r.close()
+	return ok
+})
+
+// uringSubmitter drives one ring for a BatchWriter's writer pair.
+type uringSubmitter struct {
+	ring *uring
+	// conns resolves each writer to its RawConn; fds are extracted inside
+	// Control per Submit so the runtime cannot recycle them mid-flight.
+	conns map[io.Writer]syscall.RawConn
+}
+
+// newURingSubmitter returns an io_uring backend for the writer pair, or nil
+// when the kernel or the writers cannot support it (the portable path is
+// then the right one). data may be nil.
+func newURingSubmitter(w, data io.Writer) Submitter {
+	if !uringSupported() {
+		return nil
+	}
+	conns := make(map[io.Writer]syscall.RawConn, 2)
+	for _, wr := range []io.Writer{w, data} {
+		if wr == nil {
+			continue
+		}
+		sc, ok := wr.(syscall.Conn)
+		if !ok {
+			return nil
+		}
+		rc, err := sc.SyscallConn()
+		if err != nil {
+			return nil
+		}
+		conns[wr] = rc
+	}
+	ring, err := setupURing(uringEntries)
+	if err != nil {
+		return nil
+	}
+	s := &uringSubmitter{ring: ring, conns: conns}
+	// The ring fd lives as long as the BatchWriter; transports hold those
+	// for their session lifetime, so reclamation rides the collector.
+	runtime.SetFinalizer(s, func(s *uringSubmitter) { s.ring.close() })
+	return s
+}
+
+func (s *uringSubmitter) Name() string { return "io_uring" }
+
+// Submit ships the spans through the ring, one WRITEV SQE per span and one
+// enter per round. Short writes (a nonblocking pipe accepting only part of
+// an iovec) resubmit the remainder; shapes the ring cannot take (unknown
+// writer, iovec overflow) fall back to the portable path before anything is
+// queued. Failures after submission are returned as-is — bytes may be on
+// the stream, and BatchWriter's sticky-error discipline owns that.
+func (s *uringSubmitter) Submit(spans []Span) error {
+	work := make([]Span, len(spans))
+	copy(work, spans)
+	retries := 0
+	for {
+		ops := make([]uringOp, 0, len(work))
+		spanOf := make([]int, 0, len(work))
+		for i := range work {
+			bufs := trimEmpty(work[i].Bufs)
+			work[i].Bufs = bufs
+			if len(bufs) == 0 {
+				continue
+			}
+			if _, known := s.conns[work[i].W]; !known || len(bufs) > iovMax {
+				// Nothing queued this round: the remainder is intact, so the
+				// portable path can carry it whole.
+				return portableSubmit(work)
+			}
+			iov := make([]syscall.Iovec, len(bufs))
+			total := 0
+			for j := range bufs {
+				iov[j].Base = &bufs[j][0]
+				iov[j].SetLen(len(bufs[j]))
+				total += len(bufs[j])
+			}
+			ops = append(ops, uringOp{iov: iov, total: total})
+			spanOf = append(spanOf, i)
+		}
+		if len(ops) == 0 {
+			return nil
+		}
+
+		res, err := s.submitRound(work, ops, spanOf)
+		if err != nil {
+			return err
+		}
+		again := false
+		for k, r := range res {
+			i := spanOf[k]
+			switch {
+			case r >= 0:
+				work[i].Bufs = advanceBufs(work[i].Bufs, int(r))
+				if int(r) < ops[k].total {
+					again = true
+				}
+			case r == -int32(syscall.EINTR), r == -int32(syscall.EAGAIN):
+				// Fast poll makes EAGAIN rare; retry bounded, then surface it.
+				again = true
+				retries++
+				if retries > 1024 {
+					return syscall.Errno(-r)
+				}
+			default:
+				return fmt.Errorf("io_uring writev: %w", syscall.Errno(-r))
+			}
+		}
+		if !again {
+			return nil
+		}
+	}
+}
+
+// submitRound resolves every span's fd inside nested RawConn.Control calls
+// (pinning the descriptors) and runs one submitAndWait.
+func (s *uringSubmitter) submitRound(work []Span, ops []uringOp, spanOf []int) ([]int32, error) {
+	var res []int32
+	var err error
+	var run func(k int) error
+	run = func(k int) error {
+		if k == len(ops) {
+			res, err = s.ring.submitAndWait(ops)
+			return nil
+		}
+		rc := s.conns[work[spanOf[k]].W]
+		var inner error
+		if cerr := rc.Control(func(fd uintptr) {
+			ops[k].fd = int32(fd)
+			inner = run(k + 1)
+		}); cerr != nil {
+			return cerr
+		}
+		return inner
+	}
+	if cerr := run(0); cerr != nil {
+		return nil, cerr
+	}
+	return res, err
+}
+
+func trimEmpty(bufs net.Buffers) net.Buffers {
+	for len(bufs) > 0 && len(bufs[0]) == 0 {
+		bufs = bufs[1:]
+	}
+	return bufs
+}

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package wire
+
+import "io"
+
+// io_uring is Linux-only; everywhere else the portable write path is the
+// submitter, which newSubmitter signals with nil.
+func newURingSubmitter(w, data io.Writer) Submitter { return nil }
